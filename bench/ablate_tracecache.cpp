@@ -1,0 +1,52 @@
+// Ablation: trace-cache capacity sweep, original vs ops layout. The paper's
+// observation: a Trace Cache alone cannot remember all executed sequences
+// (52% of fetches fell back to sequential fetching), while the software
+// layout uses the whole memory space as a trace store; hardware capacity
+// therefore matters much less once the code is reordered.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace stc;
+  using core::LayoutKind;
+  const auto env = bench::Env::from_environment();
+  bench::Setup setup(env);
+  bench::print_banner("Ablation: trace cache entries (4K i-cache)", env,
+                      setup);
+
+  const std::uint32_t cache = 4096;
+  const sim::CacheGeometry dm{cache, env.line_bytes, 1};
+  const auto& orig = setup.layout(LayoutKind::kOrig, 0, 0);
+  const auto& ops = setup.layout(LayoutKind::kStcOps, cache, cache / 4);
+
+  TextTable table;
+  table.header({"TC entries", "TC bytes", "orig IPC", "orig TC hit%",
+                "ops IPC", "ops TC hit%"});
+  for (std::uint32_t entries : {16u, 64u, 256u, 1024u}) {
+    sim::TraceCacheParams tc;
+    tc.entries = entries;
+    sim::FetchParams params;
+    sim::ICache c1(dm);
+    const auto r_orig = sim::run_trace_cache(setup.test_trace(), setup.image(),
+                                             orig, params, tc, &c1);
+    sim::ICache c2(dm);
+    const auto r_ops = sim::run_trace_cache(setup.test_trace(), setup.image(),
+                                            ops, params, tc, &c2);
+    table.row({fmt_count(entries), fmt_size(tc.capacity_bytes()),
+               fmt_fixed(r_orig.ipc(), 2),
+               fmt_percent(r_orig.tc_hit_ratio()),
+               fmt_fixed(r_ops.ipc(), 2), fmt_percent(r_ops.tc_hit_ratio())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  sim::FetchParams params;
+  sim::ICache c(dm);
+  const double seq_ops =
+      sim::run_seq3(setup.test_trace(), setup.image(), ops, params, &c).ipc();
+  std::printf(
+      "\nSEQ.3 alone on the ops layout: %.2f IPC - the software trace cache\n"
+      "provides a strong back-up on trace-cache misses (Section 6).\n",
+      seq_ops);
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/thread_pool.h"
+
+namespace stc::bench {
+
+std::vector<CfaPoint> Env::cfa_sweep() const {
+  // Structured like the paper's Table 3 rows (cache / CFA):
+  // 8/2 8/4 8/6 | 16/4 16/8 16/12 | 32/4 32/8 32/16 32/24 | 64/8 64/16 64/24,
+  // scaled to this kernel (divide by 8).
+  return {
+      {1024, 256},  {1024, 512},  {1024, 768},
+      {2048, 512},  {2048, 1024}, {2048, 1536},
+      {4096, 512},  {4096, 1024}, {4096, 2048}, {4096, 3072},
+      {8192, 1024}, {8192, 2048}, {8192, 3072},
+  };
+}
+
+Env Env::from_environment() {
+  Env env;
+  if (const char* sf = std::getenv("STC_SF")) env.scale_factor = std::atof(sf);
+  if (const char* seed = std::getenv("STC_SEED")) {
+    env.seed = static_cast<std::uint64_t>(std::atoll(seed));
+  }
+  if (const char* line = std::getenv("STC_LINE")) {
+    env.line_bytes = static_cast<std::uint32_t>(std::atoi(line));
+  }
+  return env;
+}
+
+Setup::Setup(const Env& env) : env_(env) {
+  db::tpcd::WorkloadConfig config;
+  config.scale_factor = env.scale_factor;
+  config.seed = env.seed;
+  btree_ = db::tpcd::make_database(config, db::IndexKind::kBTree);
+  hash_ = db::tpcd::make_database(config, db::IndexKind::kHash);
+
+  profile_ = std::make_unique<profile::Profile>(db::kernel_image());
+  {
+    trace::TraceRecorder recorder(training_);
+    cfg::TeeSink tee;
+    tee.add(profile_.get());
+    tee.add(&recorder);
+    db::tpcd::run_training_workload(*btree_, &tee);
+  }
+  {
+    trace::TraceRecorder recorder(test_);
+    db::tpcd::run_test_workload(*btree_, *hash_, &recorder);
+  }
+  wcfg_ = std::make_unique<profile::WeightedCFG>(
+      profile::WeightedCFG::from_profile(*profile_));
+}
+
+const cfg::ProgramImage& Setup::image() const { return db::kernel_image(); }
+
+const cfg::AddressMap& Setup::layout(core::LayoutKind kind,
+                                     std::uint32_t cache_bytes,
+                                     std::uint32_t cfa_bytes) {
+  // orig and P&H ignore the geometry; cache them once.
+  if (kind == core::LayoutKind::kOrig || kind == core::LayoutKind::kPettisHansen) {
+    cache_bytes = 0;
+    cfa_bytes = 0;
+  }
+  for (const auto& cached : layouts_) {
+    if (cached->kind == kind && cached->cache_bytes == cache_bytes &&
+        cached->cfa_bytes == cfa_bytes) {
+      return cached->map;
+    }
+  }
+  const std::uint32_t effective_cache = cache_bytes == 0 ? 4096 : cache_bytes;
+  const std::uint32_t effective_cfa = cache_bytes == 0 ? 1024 : cfa_bytes;
+  layouts_.push_back(std::make_unique<CachedLayout>(CachedLayout{
+      kind, cache_bytes, cfa_bytes,
+      core::make_layout(kind, *wcfg_, effective_cache, effective_cfa)}));
+  return layouts_.back()->map;
+}
+
+double miss_pct(Setup& setup, const cfg::AddressMap& layout,
+                const sim::CacheGeometry& geometry,
+                std::uint32_t victim_lines) {
+  sim::ICache cache(geometry, victim_lines);
+  return sim::run_missrate(setup.test_trace(), setup.image(), layout, cache)
+      .misses_per_100_insns();
+}
+
+double seq3_ipc(Setup& setup, const cfg::AddressMap& layout,
+                const sim::CacheGeometry& geometry, bool perfect) {
+  sim::FetchParams params;
+  params.perfect_icache = perfect;
+  sim::ICache cache(geometry);
+  return sim::run_seq3(setup.test_trace(), setup.image(), layout, params,
+                       perfect ? nullptr : &cache)
+      .ipc();
+}
+
+double tc_ipc(Setup& setup, const cfg::AddressMap& layout,
+              const sim::CacheGeometry& geometry,
+              const sim::TraceCacheParams& tc, bool perfect) {
+  sim::FetchParams params;
+  params.perfect_icache = perfect;
+  sim::ICache cache(geometry);
+  return sim::run_trace_cache(setup.test_trace(), setup.image(), layout, params,
+                              tc, perfect ? nullptr : &cache)
+      .ipc();
+}
+
+std::vector<double> parallel_cells(
+    const std::vector<std::function<double()>>& jobs) {
+  std::size_t threads = 0;  // hardware concurrency
+  if (const char* env = std::getenv("STC_THREADS")) {
+    threads = static_cast<std::size_t>(std::atoi(env));
+  }
+  ThreadPool pool(threads);
+  std::vector<double> results(jobs.size(), 0.0);
+  pool.parallel_for(jobs.size(),
+                    [&](std::size_t i) { results[i] = jobs[i](); });
+  return results;
+}
+
+void print_banner(const char* title, const Env& env, const Setup& setup) {
+  std::printf("== %s ==\n", title);
+  std::printf(
+      "setup: SF=%.4g seed=%llu line=%uB | training events=%llu "
+      "test events=%llu | kernel: %zu routines, %zu blocks, %llu insns\n\n",
+      env.scale_factor, static_cast<unsigned long long>(env.seed),
+      env.line_bytes,
+      static_cast<unsigned long long>(setup.training_trace().num_events()),
+      static_cast<unsigned long long>(setup.test_trace().num_events()),
+      setup.image().num_routines(), setup.image().num_blocks(),
+      static_cast<unsigned long long>(setup.image().total_instructions()));
+}
+
+}  // namespace stc::bench

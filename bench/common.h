@@ -1,0 +1,105 @@
+// Shared harness for the table/figure reproduction benches.
+//
+// Every bench binary rebuilds the paper's experimental setup: the Btree and
+// Hash TPC-D databases, the Training-set profile (queries 3,4,5,6,9 on the
+// Btree database) and the Test-set trace (queries 2,3,4,6,11,12,13,14,15,17
+// on both databases). Environment knobs:
+//   STC_SF    - TPC-D scale factor               (default 0.002)
+//   STC_SEED  - generator seed                   (default 19990401)
+//   STC_LINE  - cache line bytes                 (default 32)
+// The paper's absolute cache sizes (8-64KB) are scaled to this kernel's
+// executed footprint: the sweep uses 1-8KB caches, spanning the same ratio
+// of hot-code size to cache size as the original (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/layouts.h"
+#include "db/tpcd/workload.h"
+#include "profile/locality.h"
+#include "profile/profile.h"
+#include "sim/fetch_unit.h"
+#include "sim/icache.h"
+#include "sim/trace_cache.h"
+#include "support/table.h"
+
+namespace stc::bench {
+
+struct CfaPoint {
+  std::uint32_t cache_bytes;
+  std::uint32_t cfa_bytes;
+};
+
+struct Env {
+  double scale_factor = 0.002;
+  std::uint64_t seed = 19990401;
+  std::uint32_t line_bytes = 32;
+
+  // Cache sweep mirroring the paper's Table 3/4 rows (cache/CFA in bytes).
+  std::vector<CfaPoint> cfa_sweep() const;
+  std::vector<std::uint32_t> cache_sizes() const { return {1024, 2048, 4096, 8192}; }
+
+  static Env from_environment();
+};
+
+// The full experimental setup, built once per bench binary.
+class Setup {
+ public:
+  explicit Setup(const Env& env);
+
+  const Env& env() const { return env_; }
+  const cfg::ProgramImage& image() const;
+  db::Database& btree() { return *btree_; }
+  db::Database& hash() { return *hash_; }
+  const profile::Profile& training_profile() const { return *profile_; }
+  const trace::BlockTrace& training_trace() const { return training_; }
+  const trace::BlockTrace& test_trace() const { return test_; }
+  const profile::WeightedCFG& wcfg() const { return *wcfg_; }
+
+  // Builds (and caches) a layout for the given kind and geometry.
+  const cfg::AddressMap& layout(core::LayoutKind kind,
+                                std::uint32_t cache_bytes,
+                                std::uint32_t cfa_bytes);
+
+ private:
+  Env env_;
+  std::unique_ptr<db::Database> btree_;
+  std::unique_ptr<db::Database> hash_;
+  std::unique_ptr<profile::Profile> profile_;
+  trace::BlockTrace training_;
+  trace::BlockTrace test_;
+  std::unique_ptr<profile::WeightedCFG> wcfg_;
+  struct CachedLayout {
+    core::LayoutKind kind;
+    std::uint32_t cache_bytes;
+    std::uint32_t cfa_bytes;
+    cfg::AddressMap map;
+  };
+  // unique_ptr elements keep returned references stable across growth.
+  std::vector<std::unique_ptr<CachedLayout>> layouts_;
+};
+
+// Convenience wrappers over the simulators using the Test trace.
+double miss_pct(Setup& setup, const cfg::AddressMap& layout,
+                const sim::CacheGeometry& geometry,
+                std::uint32_t victim_lines = 0);
+double seq3_ipc(Setup& setup, const cfg::AddressMap& layout,
+                const sim::CacheGeometry& geometry, bool perfect = false);
+double tc_ipc(Setup& setup, const cfg::AddressMap& layout,
+              const sim::CacheGeometry& geometry,
+              const sim::TraceCacheParams& tc, bool perfect = false);
+
+// Header banner shared by all benches.
+void print_banner(const char* title, const Env& env, const Setup& setup);
+
+// Evaluates independent measurement cells concurrently (STC_THREADS workers,
+// default = hardware concurrency). Each job must only read shared state:
+// prebuild every layout via Setup::layout() before fanning out.
+std::vector<double> parallel_cells(
+    const std::vector<std::function<double()>>& jobs);
+
+}  // namespace stc::bench

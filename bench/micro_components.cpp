@@ -1,0 +1,162 @@
+// google-benchmark microbenchmarks of the core components: simulator
+// throughput, layout construction cost, index operation latency, trace
+// recording overhead. These measure the tooling itself, not the paper's
+// results.
+#include <benchmark/benchmark.h>
+
+#include "cfg/builder.h"
+#include "core/layouts.h"
+#include "db/btree.h"
+#include "db/hash_index.h"
+#include "sim/fetch_unit.h"
+#include "sim/icache.h"
+#include "support/rng.h"
+#include "testing/synthetic.h"
+#include "trace/block_trace.h"
+
+namespace stc {
+namespace {
+
+// Shared synthetic inputs (built once; benchmarks must be deterministic).
+struct MicroInputs {
+  MicroInputs() {
+    Rng rng(2024);
+    image = testing::random_image(rng, 200);
+    wcfg = testing::random_wcfg(*image, rng);
+    trace = testing::random_trace(*image, rng, 200000);
+    layout = cfg::AddressMap::original(*image);
+  }
+  std::unique_ptr<cfg::ProgramImage> image;
+  profile::WeightedCFG wcfg;
+  trace::BlockTrace trace;
+  cfg::AddressMap layout;
+};
+
+MicroInputs& inputs() {
+  static MicroInputs instance;
+  return instance;
+}
+
+void BM_TraceAppend(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    trace::BlockTrace t;
+    for (int i = 0; i < 10000; ++i) {
+      t.append(static_cast<cfg::BlockId>(rng.uniform(1000)));
+    }
+    benchmark::DoNotOptimize(t.num_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TraceAppend);
+
+void BM_TraceReplay(benchmark::State& state) {
+  auto& in = inputs();
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    in.trace.for_each([&](cfg::BlockId b) { sum += b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.trace.num_events()));
+}
+BENCHMARK(BM_TraceReplay);
+
+void BM_MissRateSim(benchmark::State& state) {
+  auto& in = inputs();
+  for (auto _ : state) {
+    sim::ICache cache({static_cast<std::uint32_t>(state.range(0)), 32, 1});
+    const auto result = sim::run_missrate(in.trace, *in.image, in.layout, cache);
+    benchmark::DoNotOptimize(result.misses);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.trace.num_events()));
+}
+BENCHMARK(BM_MissRateSim)->Arg(1024)->Arg(8192);
+
+void BM_Seq3Sim(benchmark::State& state) {
+  auto& in = inputs();
+  for (auto _ : state) {
+    sim::FetchParams params;
+    sim::ICache cache({4096, 32, 1});
+    const auto result = sim::run_seq3(in.trace, *in.image, in.layout, params,
+                                      &cache);
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.trace.num_events()));
+}
+BENCHMARK(BM_Seq3Sim);
+
+void BM_StcLayoutBuild(benchmark::State& state) {
+  auto& in = inputs();
+  for (auto _ : state) {
+    const auto map =
+        core::make_layout(core::LayoutKind::kStcAuto, in.wcfg, 4096, 1024);
+    benchmark::DoNotOptimize(map.size());
+  }
+}
+BENCHMARK(BM_StcLayoutBuild);
+
+void BM_PettisHansenBuild(benchmark::State& state) {
+  auto& in = inputs();
+  for (auto _ : state) {
+    const auto map =
+        core::make_layout(core::LayoutKind::kPettisHansen, in.wcfg, 0, 0);
+    benchmark::DoNotOptimize(map.size());
+  }
+}
+BENCHMARK(BM_PettisHansenBuild);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    db::Kernel kernel;
+    db::BTreeIndex index(kernel);
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      index.insert(db::Value((i * 2654435761) % 100000),
+                   db::RID{static_cast<std::uint32_t>(i), 0});
+    }
+    benchmark::DoNotOptimize(index.entry_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeProbe(benchmark::State& state) {
+  db::Kernel kernel;
+  db::BTreeIndex index(kernel);
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    index.insert(db::Value(i), db::RID{static_cast<std::uint32_t>(i), 0});
+  }
+  std::int64_t key = 0;
+  for (auto _ : state) {
+    auto cursor = index.seek_equal(db::Value(key));
+    db::RID rid;
+    benchmark::DoNotOptimize(cursor->next(rid));
+    key = (key + 7919) % 10000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeProbe);
+
+void BM_HashProbe(benchmark::State& state) {
+  db::Kernel kernel;
+  db::HashIndex index(kernel);
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    index.insert(db::Value(i), db::RID{static_cast<std::uint32_t>(i), 0});
+  }
+  std::int64_t key = 0;
+  for (auto _ : state) {
+    auto cursor = index.seek_equal(db::Value(key));
+    db::RID rid;
+    benchmark::DoNotOptimize(cursor->next(rid));
+    key = (key + 7919) % 10000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashProbe);
+
+}  // namespace
+}  // namespace stc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Reproduces the Section 4.1 temporal-locality measurement: the probability
+// that a popular basic block (from the set covering 75% of dynamic
+// references) is re-executed within a given number of instructions.
+// Paper: 33% within 250 instructions, 19% within 100.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace stc;
+  const auto env = bench::Env::from_environment();
+  bench::Setup setup(env);
+  bench::print_banner("Section 4.1: re-reference distance of popular blocks",
+                      env, setup);
+
+  const auto reuse = profile::reuse_distances(setup.training_trace(),
+                                              setup.training_profile(), 0.75);
+  std::printf("hot set: %llu blocks covering %.1f%% of references\n\n",
+              static_cast<unsigned long long>(reuse.hot_blocks),
+              100.0 * reuse.coverage);
+
+  TextTable table;
+  table.header({"Re-referenced within", "Fraction of re-references", "(paper)"});
+  const auto row = [&](std::uint64_t insns, const char* paper) {
+    table.row({fmt_count(insns) + " insns",
+               fmt_percent(reuse.fraction_below(insns)), paper});
+  };
+  row(25, "");
+  row(50, "");
+  row(100, "19%");
+  row(250, "33%");
+  row(500, "");
+  row(1000, "");
+  row(10000, "");
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nThe most popular blocks are re-executed every few instructions:\n"
+      "substantial temporal locality for a Conflict-Free Area to exploit.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Reproduces Table 4: fetch bandwidth (instructions per cycle) of the SEQ.3
+// fetch unit with perfect branch prediction and a 5-cycle miss penalty, for
+// every layout over the cache/CFA sweep; the Ideal row uses a perfect
+// i-cache; the last two columns give the Trace Cache alone (orig layout) and
+// combined with the ops layout.
+//
+// Headline paper numbers: orig 5.8 -> ops 10.6 at the largest cache;
+// Trace Cache alone 8.6 -> 12.1 combined; instructions between taken
+// branches 8.9 -> 22.4. Independent cells run concurrently.
+#include <cstdio>
+#include <functional>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace stc;
+  using core::LayoutKind;
+  const auto env = bench::Env::from_environment();
+  bench::Setup setup(env);
+  bench::print_banner("Table 4: SEQ.3 fetch bandwidth (Test set)", env, setup);
+
+  sim::TraceCacheParams tc;
+  tc.entries = 64;  // 64 x 16 insns x 4B = 4KB, scaled like the cache axis
+
+  // Prebuild layouts (the parallel phase must be read-only).
+  const auto sweep = env.cfa_sweep();
+  for (const bench::CfaPoint& point : sweep) {
+    for (LayoutKind kind :
+         {LayoutKind::kTorrellas, LayoutKind::kStcAuto, LayoutKind::kStcOps}) {
+      setup.layout(kind, point.cache_bytes, point.cfa_bytes);
+    }
+  }
+  setup.layout(LayoutKind::kOrig, 0, 0);
+  setup.layout(LayoutKind::kPettisHansen, 0, 0);
+  setup.layout(LayoutKind::kStcAuto, 4096, 1024);
+  setup.layout(LayoutKind::kStcOps, 4096, 1024);
+
+  // Columns: orig P&H Torr auto ops TC TC+ops.
+  std::vector<std::function<double()>> jobs;
+  struct CellRef {
+    std::size_t row;  // 0 = Ideal, 1.. = sweep rows
+    std::size_t column;
+  };
+  std::vector<CellRef> refs;
+  std::vector<std::array<double, 7>> values(sweep.size() + 1);
+  std::vector<bool> leads_cache(sweep.size() + 1, true);
+
+  const auto add = [&](std::size_t row, std::size_t column,
+                       std::function<double()> job) {
+    jobs.push_back(std::move(job));
+    refs.push_back({row, column});
+  };
+
+  // ---- Ideal row (perfect i-cache) ---------------------------------------
+  {
+    const sim::CacheGeometry any{8192, env.line_bytes, 1};
+    const LayoutKind kinds[] = {LayoutKind::kOrig, LayoutKind::kPettisHansen,
+                                LayoutKind::kTorrellas, LayoutKind::kStcAuto,
+                                LayoutKind::kStcOps};
+    for (std::size_t k = 0; k < 5; ++k) {
+      const auto& layout = setup.layout(kinds[k], 4096, 1024);
+      add(0, k, [&setup, &layout, any] {
+        return bench::seq3_ipc(setup, layout, any, true);
+      });
+    }
+    const auto& orig = setup.layout(LayoutKind::kOrig, 0, 0);
+    add(0, 5, [&setup, &orig, any, tc] {
+      return bench::tc_ipc(setup, orig, any, tc, true);
+    });
+    const auto& ops = setup.layout(LayoutKind::kStcOps, 4096, 1024);
+    add(0, 6, [&setup, &ops, any, tc] {
+      return bench::tc_ipc(setup, ops, any, tc, true);
+    });
+  }
+
+  // ---- realistic rows ------------------------------------------------------
+  std::uint32_t last_cache = 0;
+  for (std::size_t r = 0; r < sweep.size(); ++r) {
+    const bench::CfaPoint point = sweep[r];
+    const sim::CacheGeometry dm{point.cache_bytes, env.line_bytes, 1};
+    leads_cache[r + 1] = point.cache_bytes != last_cache;
+    last_cache = point.cache_bytes;
+    if (leads_cache[r + 1]) {
+      const auto& orig = setup.layout(LayoutKind::kOrig, 0, 0);
+      add(r + 1, 0,
+          [&setup, &orig, dm] { return bench::seq3_ipc(setup, orig, dm); });
+      const auto& ph = setup.layout(LayoutKind::kPettisHansen, 0, 0);
+      add(r + 1, 1,
+          [&setup, &ph, dm] { return bench::seq3_ipc(setup, ph, dm); });
+      add(r + 1, 5, [&setup, &orig, dm, tc] {
+        return bench::tc_ipc(setup, orig, dm, tc);
+      });
+    }
+    const LayoutKind kinds[] = {LayoutKind::kTorrellas, LayoutKind::kStcAuto,
+                                LayoutKind::kStcOps};
+    for (std::size_t k = 0; k < 3; ++k) {
+      const auto& layout =
+          setup.layout(kinds[k], point.cache_bytes, point.cfa_bytes);
+      add(r + 1, 2 + k,
+          [&setup, &layout, dm] { return bench::seq3_ipc(setup, layout, dm); });
+    }
+    const auto& ops =
+        setup.layout(LayoutKind::kStcOps, point.cache_bytes, point.cfa_bytes);
+    add(r + 1, 6, [&setup, &ops, dm, tc] {
+      return bench::tc_ipc(setup, ops, dm, tc);
+    });
+  }
+
+  const std::vector<double> results = bench::parallel_cells(jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    values[refs[i].row][refs[i].column] = results[i];
+  }
+
+  // ---- render ----------------------------------------------------------------
+  TextTable table;
+  table.header({"i-cache/CFA", "orig", "P&H", "Torr", "auto", "ops",
+                "TC(" + fmt_size(tc.capacity_bytes()) + ")", "TC+ops"});
+  {
+    std::vector<std::string> cells{"Ideal"};
+    for (std::size_t c = 0; c < 7; ++c) cells.push_back(fmt_fixed(values[0][c], 1));
+    table.row(std::move(cells));
+    table.separator();
+  }
+  for (std::size_t r = 0; r < sweep.size(); ++r) {
+    const bench::CfaPoint point = sweep[r];
+    std::vector<std::string> cells{fmt_size(point.cache_bytes) + "/" +
+                                   fmt_size(point.cfa_bytes)};
+    for (std::size_t c = 0; c < 7; ++c) {
+      const bool geometry_free = c <= 1 || c == 5;
+      if (geometry_free && !leads_cache[r + 1]) {
+        cells.push_back("-");
+      } else {
+        cells.push_back(fmt_fixed(values[r + 1][c], 1));
+      }
+    }
+    table.row(std::move(cells));
+    if (point.cfa_bytes * 4 >= point.cache_bytes * 3) table.separator();
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // ---- headline metrics --------------------------------------------------------
+  const std::uint32_t big = env.cache_sizes().back();
+  const auto& orig = setup.layout(LayoutKind::kOrig, 0, 0);
+  const auto& ops = setup.layout(LayoutKind::kStcOps, big, big / 4);
+  const auto seq_orig =
+      trace::measure_sequentiality(setup.test_trace(), setup.image(), orig);
+  const auto seq_ops =
+      trace::measure_sequentiality(setup.test_trace(), setup.image(), ops);
+  const sim::CacheGeometry dm{big, env.line_bytes, 1};
+  std::printf(
+      "\ninstructions between taken branches: %.1f -> %.1f  (paper: 8.9 -> "
+      "22.4)\n",
+      seq_orig.insns_between_taken_branches(),
+      seq_ops.insns_between_taken_branches());
+  std::printf("SEQ.3 fetch bandwidth at %s:      %.1f -> %.1f  (paper: 5.8 -> "
+              "10.6)\n",
+              fmt_size(big).c_str(), bench::seq3_ipc(setup, orig, dm),
+              bench::seq3_ipc(setup, ops, dm));
+  std::printf("Trace Cache alone vs TC + ops:      %.1f -> %.1f  (paper: 8.6 "
+              "-> 12.1)\n",
+              bench::tc_ipc(setup, orig, dm, tc),
+              bench::tc_ipc(setup, ops, dm, tc));
+  return 0;
+}

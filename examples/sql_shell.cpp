@@ -1,0 +1,78 @@
+// Interactive SQL shell over the TPC-D database - exercises the whole
+// substrate (parser, planner, executor, access methods, buffer manager)
+// interactively.
+//
+// Usage: sql_shell [scale_factor]
+// Commands:  \q quit | \tables | \tpcd N (run TPC-D query N) | \explain SQL
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "db/coldcode.h"
+#include "db/tpcd/workload.h"
+
+using namespace stc;
+
+int main(int argc, char** argv) {
+  db::tpcd::WorkloadConfig config;
+  if (argc > 1) config.scale_factor = std::atof(argv[1]);
+  std::printf("loading TPC-D (SF=%.4g, btree indexes)...\n",
+              config.scale_factor);
+  auto database = db::tpcd::make_database(config, db::IndexKind::kBTree);
+  std::printf("ready. \\q quits, \\tables lists tables, \\tpcd N runs query "
+              "N, \\explain SQL shows the plan.\n");
+
+  std::string line;
+  while (std::printf("stc> "), std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "\\q") break;
+    if (line == "\\tables") {
+      for (std::size_t i = 0; i < database->catalog().table_count(); ++i) {
+        const db::TableInfo& t = database->catalog().table_at(i);
+        std::printf("  %-10s %8llu rows, %zu indexes\n", t.name.c_str(),
+                    static_cast<unsigned long long>(t.heap->tuple_count()),
+                    t.indexes.size());
+      }
+      continue;
+    }
+    std::string sql = line;
+    bool explain_only = false;
+    if (line.rfind("\\tpcd ", 0) == 0) {
+      const int id = std::atoi(line.c_str() + 6);
+      if (id < 1 || id > 17) {
+        std::printf("query id must be 1..17\n");
+        continue;
+      }
+      sql = db::tpcd::query(id).sql;
+      std::printf("-- %s\n%s\n", db::tpcd::query(id).name, sql.c_str());
+    } else if (line.rfind("\\explain ", 0) == 0) {
+      sql = line.substr(9);
+      explain_only = true;
+    }
+    if (explain_only) {
+      const auto plan = database->plan(sql);
+      std::fputs(plan->explain().c_str(), stdout);
+      continue;
+    }
+    const db::QueryResult result = database->run_query(sql);
+    // Header row.
+    std::string header;
+    for (std::size_t c = 0; c < result.schema.size(); ++c) {
+      if (c != 0) header += " | ";
+      header += result.schema.column(c).name;
+    }
+    std::printf("%s\n", header.c_str());
+    std::size_t shown = 0;
+    for (const db::Tuple& row : result.rows) {
+      std::printf("%s\n",
+                  db::util::format_row(database->kernel(), row).c_str());
+      if (++shown == 40 && result.rows.size() > 40) {
+        std::printf("... (%zu rows total)\n", result.rows.size());
+        break;
+      }
+    }
+    std::printf("(%zu rows)\n", result.rows.size());
+  }
+  return 0;
+}

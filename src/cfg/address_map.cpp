@@ -1,0 +1,47 @@
+#include "cfg/address_map.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace stc::cfg {
+
+AddressMap AddressMap::original(const ProgramImage& image) {
+  STC_REQUIRE(image.finalized());
+  AddressMap map("orig", image.num_blocks());
+  for (BlockId b = 0; b < image.num_blocks(); ++b) {
+    map.set(b, image.block(b).orig_addr);
+  }
+  return map;
+}
+
+std::uint64_t AddressMap::extent(const ProgramImage& image) const {
+  std::uint64_t max_end = 0;
+  for (BlockId b = 0; b < addr_.size(); ++b) {
+    if (!assigned(b)) continue;
+    max_end = std::max(max_end, end_addr(image, b));
+  }
+  return max_end;
+}
+
+void AddressMap::validate(const ProgramImage& image) const {
+  STC_REQUIRE(image.num_blocks() == addr_.size());
+  struct Range {
+    std::uint64_t begin;
+    std::uint64_t end;
+  };
+  std::vector<Range> ranges;
+  ranges.reserve(addr_.size());
+  for (BlockId b = 0; b < addr_.size(); ++b) {
+    STC_CHECK_MSG(assigned(b), "layout leaves a block unassigned");
+    ranges.push_back({addr_[b], end_addr(image, b)});
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    STC_CHECK_MSG(ranges[i - 1].end <= ranges[i].begin,
+                  "layout assigns overlapping block ranges");
+  }
+}
+
+}  // namespace stc::cfg

@@ -1,0 +1,53 @@
+// A code layout: the address assigned to every basic block.
+//
+// Layout algorithms (src/core) produce AddressMaps; simulators (src/sim)
+// consume them through the trace adapter. The paper evaluates layouts without
+// regenerating the executable, "feeding the simulators with this faked address
+// instead of the original PC" (Section 7.1) — an AddressMap is exactly that
+// fake-address table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/program.h"
+#include "cfg/types.h"
+
+namespace stc::cfg {
+
+class AddressMap {
+ public:
+  AddressMap() = default;
+  AddressMap(std::string name, std::size_t num_blocks)
+      : name_(std::move(name)), addr_(num_blocks, kUnassigned) {}
+
+  // Initializes from the program's original addresses (the "orig" layout).
+  static AddressMap original(const ProgramImage& image);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return addr_.size(); }
+
+  void set(BlockId block, std::uint64_t addr) { addr_.at(block) = addr; }
+  std::uint64_t addr(BlockId block) const { return addr_.at(block); }
+  bool assigned(BlockId block) const { return addr_.at(block) != kUnassigned; }
+
+  // End address (one past the last byte) of a block under this layout.
+  std::uint64_t end_addr(const ProgramImage& image, BlockId block) const {
+    return addr(block) + image.block(block).bytes();
+  }
+
+  // Highest end address over all assigned blocks (layout footprint).
+  std::uint64_t extent(const ProgramImage& image) const;
+
+  // Validates that every block is assigned and no two blocks overlap.
+  // Aborts with a message on violation (layout bugs are programming errors).
+  void validate(const ProgramImage& image) const;
+
+ private:
+  static constexpr std::uint64_t kUnassigned = ~std::uint64_t{0};
+  std::string name_;
+  std::vector<std::uint64_t> addr_;
+};
+
+}  // namespace stc::cfg

@@ -1,0 +1,44 @@
+// Convenience builder for constructing small programs in tests and examples.
+//
+// Allows terse declaration of routines and provides a fluent way to fabricate
+// synthetic weighted CFGs (used heavily by the layout property tests).
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "cfg/program.h"
+
+namespace stc::cfg {
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder() : image_(std::make_unique<ProgramImage>()) {}
+
+  ModuleId module(std::string name) { return image_->add_module(std::move(name)); }
+
+  RoutineId routine(std::string name, ModuleId module,
+                    std::initializer_list<BlockDef> blocks,
+                    bool executor_op = false) {
+    return image_->add_routine(std::move(name), module,
+                               std::vector<BlockDef>(blocks), executor_op);
+  }
+
+  RoutineId routine(std::string name, ModuleId module,
+                    std::vector<BlockDef> blocks, bool executor_op = false) {
+    return image_->add_routine(std::move(name), module, std::move(blocks),
+                               executor_op);
+  }
+
+  // Finalizes and transfers ownership of the image.
+  std::unique_ptr<ProgramImage> build() {
+    image_->finalize();
+    return std::move(image_);
+  }
+
+ private:
+  std::unique_ptr<ProgramImage> image_;
+};
+
+}  // namespace stc::cfg

@@ -1,0 +1,61 @@
+#include "cfg/exec.h"
+
+namespace stc::cfg {
+
+void ExecContext::enter(RoutineId routine) {
+  if (validate_) {
+    STC_REQUIRE(routine < image_.num_routines());
+    if (!stack_.empty()) {
+      // A nested activation must come from a call block of the caller.
+      STC_CHECK_MSG(last_block_ != kInvalidBlock,
+                    "routine entered before any block of the caller executed");
+      STC_CHECK_MSG(image_.block(last_block_).kind == BlockKind::kCall,
+                    "routine entered from a non-call block");
+    }
+  }
+  stack_.push_back({routine, false});
+}
+
+void ExecContext::leave() {
+  if (validate_) {
+    STC_CHECK_MSG(!stack_.empty(), "leave without matching enter");
+    const Frame& frame = stack_.back();
+    if (frame.entered) {
+      // The last executed block of this activation must be a return block.
+      STC_CHECK_MSG(last_block_ != kInvalidBlock &&
+                        image_.block(last_block_).routine == frame.routine &&
+                        image_.block(last_block_).kind == BlockKind::kReturn,
+                    "routine left from a non-return block");
+    }
+  }
+  stack_.pop_back();
+  // After a return, control resumes in the caller; the next bb() call will be
+  // a block of the routine on top of the stack (checked by validate_block).
+}
+
+void ExecContext::validate_block(BlockId block) {
+  STC_CHECK_MSG(!stack_.empty(), "bb() outside any RoutineScope");
+  STC_REQUIRE(block < image_.num_blocks());
+  const BlockInfo& info = image_.block(block);
+  Frame& frame = stack_.back();
+  STC_CHECK_MSG(info.routine == frame.routine,
+                "bb() for a block of a different routine");
+  if (!frame.entered) {
+    STC_CHECK_MSG(block == image_.routine(frame.routine).entry,
+                  "first block of an activation must be the routine entry");
+    frame.entered = true;
+    return;
+  }
+  // Fall-through blocks have exactly one static successor: the next block of
+  // the same routine.
+  if (last_block_ != kInvalidBlock) {
+    const BlockInfo& prev = image_.block(last_block_);
+    if (prev.routine == frame.routine &&
+        prev.kind == BlockKind::kFallThrough) {
+      STC_CHECK_MSG(block == last_block_ + 1,
+                    "fall-through block not followed by its static successor");
+    }
+  }
+}
+
+}  // namespace stc::cfg

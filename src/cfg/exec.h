@@ -1,0 +1,111 @@
+// Execution runtime for instrumented kernels.
+//
+// Instrumented routine bodies are ordinary C++ functions that (a) open a
+// RoutineScope on entry and (b) mark each basic-block region with
+// ExecContext::bb(). The context emits the dynamic block stream to a
+// TraceSink — the same stream ATOM-style instrumentation produced for the
+// paper — and, when validation is enabled, enforces the instrumentation
+// discipline (entry block first, return block last, fall-through blocks
+// followed by their static successor).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/program.h"
+#include "cfg/types.h"
+#include "support/check.h"
+
+namespace stc::cfg {
+
+// Receiver of dynamic basic-block events.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_block(BlockId block) = 0;
+};
+
+// Fans one block stream out to several sinks (e.g. a profile collector and a
+// trace recorder in the same run).
+class TeeSink final : public TraceSink {
+ public:
+  void add(TraceSink* sink) {
+    STC_REQUIRE(sink != nullptr);
+    sinks_.push_back(sink);
+  }
+  void on_block(BlockId block) override {
+    for (TraceSink* s : sinks_) s->on_block(block);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+class ExecContext {
+ public:
+  // `validate` turns on instrumentation-discipline checking (default: on in
+  // debug builds). Validation costs a few branches per block event.
+  explicit ExecContext(const ProgramImage& image, TraceSink* sink = nullptr,
+#ifdef NDEBUG
+                       bool validate = false
+#else
+                       bool validate = true
+#endif
+                       )
+      : image_(image), sink_(sink), validate_(validate) {
+    STC_REQUIRE(image.finalized());
+  }
+
+  const ProgramImage& image() const { return image_; }
+
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+
+  // Called by RoutineScope.
+  void enter(RoutineId routine);
+  void leave();
+
+  // Marks execution of one basic block.
+  void bb(BlockId block) {
+    if (validate_) validate_block(block);
+    if (sink_ != nullptr) sink_->on_block(block);
+    last_block_ = block;
+    ++blocks_emitted_;
+  }
+
+  std::size_t call_depth() const { return stack_.size(); }
+  std::uint64_t blocks_emitted() const { return blocks_emitted_; }
+  BlockId last_block() const { return last_block_; }
+
+ private:
+  void validate_block(BlockId block);
+
+  struct Frame {
+    RoutineId routine;
+    bool entered = false;  // entry block seen
+  };
+
+  const ProgramImage& image_;
+  TraceSink* sink_;
+  bool validate_;
+  std::vector<Frame> stack_;
+  BlockId last_block_ = kInvalidBlock;
+  std::uint64_t blocks_emitted_ = 0;
+};
+
+// RAII scope for one dynamic routine activation.
+class RoutineScope {
+ public:
+  RoutineScope(ExecContext& ctx, RoutineId routine) : ctx_(ctx) {
+    ctx_.enter(routine);
+  }
+  ~RoutineScope() { ctx_.leave(); }
+
+  RoutineScope(const RoutineScope&) = delete;
+  RoutineScope& operator=(const RoutineScope&) = delete;
+
+ private:
+  ExecContext& ctx_;
+};
+
+}  // namespace stc::cfg

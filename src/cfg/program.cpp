@@ -1,0 +1,138 @@
+#include "cfg/program.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace stc::cfg {
+namespace {
+
+std::uint64_t align_up(std::uint64_t value, std::uint64_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+std::string qualified(RoutineId routine, std::string_view block_name) {
+  std::string key = std::to_string(routine);
+  key += '.';
+  key.append(block_name);
+  return key;
+}
+
+}  // namespace
+
+ProgramImage::ProgramImage(std::uint32_t routine_align)
+    : routine_align_(routine_align) {
+  STC_REQUIRE_MSG(routine_align >= kInsnBytes &&
+                      (routine_align & (routine_align - 1)) == 0,
+                  "routine alignment must be a power of two >= 4");
+}
+
+ModuleId ProgramImage::add_module(std::string name) {
+  STC_REQUIRE_MSG(!finalized_, "add_module after finalize");
+  STC_REQUIRE(!name.empty());
+  modules_.push_back(std::move(name));
+  return static_cast<ModuleId>(modules_.size() - 1);
+}
+
+RoutineId ProgramImage::add_routine(std::string name, ModuleId module,
+                                    std::vector<BlockDef> blocks,
+                                    bool executor_op) {
+  STC_REQUIRE_MSG(!finalized_, "add_routine after finalize");
+  STC_REQUIRE(module < modules_.size());
+  STC_REQUIRE_MSG(!blocks.empty(), "routine needs at least one block");
+  STC_REQUIRE_MSG(routine_by_name_.find(name) == routine_by_name_.end(),
+                  "duplicate routine name");
+
+  const RoutineId rid = static_cast<RoutineId>(routines_.size());
+  RoutineInfo info;
+  info.name = name;
+  info.module = module;
+  info.entry = static_cast<BlockId>(blocks_.size());
+  info.num_blocks = static_cast<std::uint32_t>(blocks.size());
+  info.executor_op = executor_op;
+
+  std::uint32_t routine_bytes = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    BlockDef& def = blocks[i];
+    STC_REQUIRE_MSG(def.insns >= 1, "block must have at least one instruction");
+    const BlockId bid = static_cast<BlockId>(blocks_.size());
+    const auto [it, inserted] =
+        block_by_qualified_name_.emplace(qualified(rid, def.name), bid);
+    (void)it;
+    STC_REQUIRE_MSG(inserted, "duplicate block name within routine");
+    BlockInfo binfo;
+    binfo.name = std::move(def.name);
+    binfo.routine = rid;
+    binfo.index_in_routine = static_cast<std::uint32_t>(i);
+    binfo.insns = def.insns;
+    binfo.kind = def.kind;
+    routine_bytes += std::uint32_t{def.insns} * kInsnBytes;
+    total_insns_ += def.insns;
+    blocks_.push_back(std::move(binfo));
+  }
+  info.bytes = routine_bytes;
+  routine_by_name_.emplace(std::move(name), rid);
+  routines_.push_back(std::move(info));
+  return rid;
+}
+
+void ProgramImage::finalize() {
+  STC_REQUIRE_MSG(!finalized_, "finalize called twice");
+  // Modules were registered in order; routines carry registration order
+  // already, so a single pass assigns addresses module-by-module in that
+  // order, mimicking object files concatenated by a linker.
+  std::uint64_t cursor = 0;
+  for (ModuleId m = 0; m < modules_.size(); ++m) {
+    for (auto& routine : routines_) {
+      if (routine.module != m) continue;
+      cursor = align_up(cursor, routine_align_);
+      routine.orig_addr = cursor;
+      for (std::uint32_t i = 0; i < routine.num_blocks; ++i) {
+        BlockInfo& block = blocks_[routine.entry + i];
+        block.orig_addr = cursor;
+        cursor += block.bytes();
+      }
+    }
+  }
+  image_bytes_ = cursor;
+  finalized_ = true;
+}
+
+const std::string& ProgramImage::module_name(ModuleId m) const {
+  STC_REQUIRE(m < modules_.size());
+  return modules_[m];
+}
+
+const RoutineInfo& ProgramImage::routine(RoutineId r) const {
+  STC_REQUIRE(r < routines_.size());
+  return routines_[r];
+}
+
+const BlockInfo& ProgramImage::block(BlockId b) const {
+  STC_REQUIRE(b < blocks_.size());
+  return blocks_[b];
+}
+
+RoutineId ProgramImage::routine_id(std::string_view name) const {
+  const auto it = routine_by_name_.find(std::string(name));
+  STC_REQUIRE_MSG(it != routine_by_name_.end(), "unknown routine name");
+  return it->second;
+}
+
+BlockId ProgramImage::block_id(RoutineId routine,
+                               std::string_view block_name) const {
+  const auto it = block_by_qualified_name_.find(qualified(routine, block_name));
+  STC_REQUIRE_MSG(it != block_by_qualified_name_.end(), "unknown block name");
+  return it->second;
+}
+
+std::vector<RoutineId> ProgramImage::routines_in_order() const {
+  std::vector<RoutineId> order(routines_.size());
+  for (RoutineId r = 0; r < routines_.size(); ++r) order[r] = r;
+  std::stable_sort(order.begin(), order.end(), [this](RoutineId a, RoutineId b) {
+    return routines_[a].orig_addr < routines_[b].orig_addr;
+  });
+  return order;
+}
+
+}  // namespace stc::cfg

@@ -1,0 +1,109 @@
+// Static program image: routines, basic blocks, modules, original addresses.
+//
+// A ProgramImage is built once (add_module / add_routine), then finalized.
+// Finalization assigns each block its *original* address: modules in
+// registration order, routines in registration order within their module,
+// blocks contiguous within their routine, routines aligned like compiler
+// output. The original address map is the paper's "orig" code layout; every
+// other layout is an AddressMap produced by the algorithms in src/core.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cfg/types.h"
+
+namespace stc::cfg {
+
+// Declaration of one basic block inside add_routine().
+struct BlockDef {
+  std::string name;     // unique within the routine
+  std::uint16_t insns;  // size in instructions; must be >= 1
+  BlockKind kind = BlockKind::kFallThrough;
+};
+
+struct BlockInfo {
+  std::string name;
+  RoutineId routine = kInvalidRoutine;
+  std::uint32_t index_in_routine = 0;
+  std::uint16_t insns = 0;
+  BlockKind kind = BlockKind::kFallThrough;
+  std::uint64_t orig_addr = 0;  // assigned at finalize()
+
+  std::uint32_t bytes() const { return std::uint32_t{insns} * kInsnBytes; }
+};
+
+struct RoutineInfo {
+  std::string name;
+  ModuleId module = 0;
+  BlockId entry = kInvalidBlock;  // first declared block
+  std::uint32_t num_blocks = 0;
+  bool executor_op = false;  // seed candidate for the paper's "ops" selection
+  std::uint64_t orig_addr = 0;
+  std::uint32_t bytes = 0;  // total size of all blocks
+};
+
+class ProgramImage {
+ public:
+  // Routine alignment in bytes for original address assignment (compiler-like
+  // function alignment). Must be a power of two.
+  explicit ProgramImage(std::uint32_t routine_align = 16);
+
+  ProgramImage(const ProgramImage&) = delete;
+  ProgramImage& operator=(const ProgramImage&) = delete;
+  ProgramImage(ProgramImage&&) = default;
+  ProgramImage& operator=(ProgramImage&&) = default;
+
+  // --- construction phase ------------------------------------------------
+  ModuleId add_module(std::string name);
+
+  // Declares a routine and all of its basic blocks. Block names must be
+  // unique within the routine; the first block is the routine entry.
+  // Must not be called after finalize().
+  RoutineId add_routine(std::string name, ModuleId module,
+                        std::vector<BlockDef> blocks, bool executor_op = false);
+
+  // Freezes the image and assigns original addresses. Idempotent is NOT
+  // supported: call exactly once.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // --- queries (valid after finalize unless noted) ------------------------
+  std::size_t num_modules() const { return modules_.size(); }
+  std::size_t num_routines() const { return routines_.size(); }
+  std::size_t num_blocks() const { return blocks_.size(); }
+  std::uint64_t total_instructions() const { return total_insns_; }
+  std::uint64_t image_bytes() const { return image_bytes_; }
+
+  const std::string& module_name(ModuleId m) const;
+  const RoutineInfo& routine(RoutineId r) const;
+  const BlockInfo& block(BlockId b) const;
+
+  // Lookups by name; abort if missing (instrumentation discipline errors are
+  // programming errors, not recoverable conditions).
+  RoutineId routine_id(std::string_view name) const;
+  BlockId block_id(RoutineId routine, std::string_view block_name) const;
+
+  // Convenience: entry block of a routine.
+  BlockId entry_of(RoutineId r) const { return routine(r).entry; }
+
+  // All routine ids in registration (= original layout) order.
+  std::vector<RoutineId> routines_in_order() const;
+
+ private:
+  std::uint32_t routine_align_;
+  bool finalized_ = false;
+  std::vector<std::string> modules_;
+  std::vector<RoutineInfo> routines_;
+  std::vector<BlockInfo> blocks_;
+  std::unordered_map<std::string, RoutineId> routine_by_name_;
+  // key: routine id << 32 | hash-bucketed block name (resolved via per-routine
+  // linear map kept simple: name -> id within a flat map keyed by full key)
+  std::unordered_map<std::string, BlockId> block_by_qualified_name_;
+  std::uint64_t total_insns_ = 0;
+  std::uint64_t image_bytes_ = 0;
+};
+
+}  // namespace stc::cfg

@@ -1,0 +1,48 @@
+// Core identifiers and enums of the program model.
+//
+// The repository models a program the way the paper's binary instrumentation
+// saw PostgreSQL: a list of routines, each a list of basic blocks with a size
+// in (4-byte, RISC-style) instructions and a kind describing how the block
+// ends. The paper classifies blocks into exactly four kinds (Section 4.2).
+#pragma once
+
+#include <cstdint>
+
+namespace stc::cfg {
+
+using RoutineId = std::uint32_t;
+using BlockId = std::uint32_t;
+using ModuleId = std::uint16_t;
+
+inline constexpr BlockId kInvalidBlock = 0xffffffffu;
+inline constexpr RoutineId kInvalidRoutine = 0xffffffffu;
+
+// Bytes per instruction (Alpha-like fixed-width RISC encoding).
+inline constexpr std::uint32_t kInsnBytes = 4;
+
+// How a basic block ends; determines whether its last instruction is a branch
+// (counted against the fetch unit's branch limit) and how its successor
+// transitions are classified.
+enum class BlockKind : std::uint8_t {
+  kFallThrough,  // no terminating branch; execution continues at next block
+  kBranch,       // conditional or unconditional branch
+  kCall,         // subroutine call or indirect jump (possibly many targets)
+  kReturn,       // subroutine return (many possible successors)
+};
+
+inline const char* to_string(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kFallThrough: return "fall-through";
+    case BlockKind::kBranch: return "branch";
+    case BlockKind::kCall: return "call";
+    case BlockKind::kReturn: return "return";
+  }
+  return "?";
+}
+
+// True if the block's final instruction is a control-transfer instruction.
+inline bool ends_in_branch(BlockKind kind) {
+  return kind != BlockKind::kFallThrough;
+}
+
+}  // namespace stc::cfg

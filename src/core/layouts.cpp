@@ -1,0 +1,36 @@
+#include "core/layouts.h"
+
+#include "support/check.h"
+
+namespace stc::core {
+
+cfg::AddressMap make_layout(LayoutKind kind, const profile::WeightedCFG& cfg,
+                            std::uint64_t cache_bytes,
+                            std::uint64_t cfa_bytes) {
+  STC_REQUIRE(cfg.image != nullptr);
+  switch (kind) {
+    case LayoutKind::kOrig:
+      return cfg::AddressMap::original(*cfg.image);
+    case LayoutKind::kPettisHansen:
+      return pettis_hansen_layout(cfg);
+    case LayoutKind::kTorrellas: {
+      TorrParams params;
+      params.cache_bytes = cache_bytes;
+      params.cfa_bytes = cfa_bytes;
+      return torrellas_layout(cfg, params);
+    }
+    case LayoutKind::kStcAuto:
+    case LayoutKind::kStcOps: {
+      StcParams params;
+      params.cache_bytes = cache_bytes;
+      params.cfa_bytes = cfa_bytes;
+      const SeedKind seeds = kind == LayoutKind::kStcAuto ? SeedKind::kAuto
+                                                          : SeedKind::kOps;
+      return stc_layout(cfg, seeds, params).layout;
+    }
+  }
+  STC_CHECK_MSG(false, "unknown layout kind");
+  return cfg::AddressMap();
+}
+
+}  // namespace stc::core

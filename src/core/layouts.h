@@ -1,0 +1,32 @@
+// Umbrella header and layout factory used by benches, examples and tests.
+#pragma once
+
+#include <string>
+
+#include "cfg/address_map.h"
+#include "core/pettis_hansen.h"
+#include "core/stc_layout.h"
+#include "core/torrellas.h"
+#include "profile/profile.h"
+
+namespace stc::core {
+
+enum class LayoutKind { kOrig, kPettisHansen, kTorrellas, kStcAuto, kStcOps };
+
+inline const char* to_string(LayoutKind kind) {
+  switch (kind) {
+    case LayoutKind::kOrig: return "orig";
+    case LayoutKind::kPettisHansen: return "P&H";
+    case LayoutKind::kTorrellas: return "Torr";
+    case LayoutKind::kStcAuto: return "auto";
+    case LayoutKind::kStcOps: return "ops";
+  }
+  return "?";
+}
+
+// Builds the requested layout. cache_bytes/cfa_bytes are ignored by layouts
+// that do not use the cache geometry (orig, P&H).
+cfg::AddressMap make_layout(LayoutKind kind, const profile::WeightedCFG& cfg,
+                            std::uint64_t cache_bytes, std::uint64_t cfa_bytes);
+
+}  // namespace stc::core

@@ -1,0 +1,106 @@
+#include "core/mapping.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace stc::core {
+namespace {
+
+// Address-space cursor that can optionally skip the reserved CFA window
+// (offsets [0, cfa) of every cache-sized region).
+class Cursor {
+ public:
+  Cursor(std::uint64_t cache_bytes, std::uint64_t cfa_bytes)
+      : cache_(cache_bytes), cfa_(cfa_bytes) {}
+
+  std::uint64_t pos() const { return pos_; }
+  void seek(std::uint64_t pos) { pos_ = pos; }
+
+  // Moves past the CFA window if the cursor currently points inside one.
+  void skip_reserved() {
+    if (cfa_ == 0) return;
+    const std::uint64_t offset = pos_ % cache_;
+    if (offset < cfa_) pos_ += cfa_ - offset;
+  }
+
+  // Bytes remaining until the next reserved window begins.
+  std::uint64_t window_remaining() const {
+    if (cfa_ == 0) return ~std::uint64_t{0};
+    const std::uint64_t offset = pos_ % cache_;
+    STC_DCHECK(offset >= cfa_);
+    return cache_ - offset;
+  }
+
+  std::uint64_t place(std::uint64_t bytes) {
+    const std::uint64_t addr = pos_;
+    pos_ += bytes;
+    return addr;
+  }
+
+ private:
+  std::uint64_t cache_;
+  std::uint64_t cfa_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace
+
+cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
+                              std::string layout_name,
+                              const std::vector<std::vector<Sequence>>& passes,
+                              const std::vector<cfg::BlockId>& cold_blocks,
+                              const MappingParams& params) {
+  STC_REQUIRE(params.cache_bytes > 0);
+  STC_REQUIRE(params.cfa_bytes < params.cache_bytes);
+  cfg::AddressMap map(std::move(layout_name), image.num_blocks());
+
+  // Pass 1: the Conflict-Free Area, from address 0.
+  Cursor cursor(params.cache_bytes, params.cfa_bytes);
+  if (!passes.empty()) {
+    for (const Sequence& seq : passes.front()) {
+      for (cfg::BlockId b : seq.blocks) {
+        map.set(b, cursor.place(image.block(b).bytes()));
+      }
+    }
+    STC_CHECK_MSG(params.cfa_bytes == 0 || cursor.pos() <= params.cfa_bytes,
+                  "first-pass sequences exceed the CFA budget");
+  }
+
+  // Later passes: fill non-CFA offsets, keeping every region's CFA window
+  // free of code so first-pass traces never see interference. (With a zero
+  // CFA there is no reservation and placement simply continues.)
+  cursor.seek(std::max<std::uint64_t>(params.cfa_bytes, cursor.pos()));
+  for (std::size_t p = 1; p < passes.size(); ++p) {
+    for (const Sequence& seq : passes[p]) {
+      std::uint64_t seq_bytes = 0;
+      for (cfg::BlockId b : seq.blocks) seq_bytes += image.block(b).bytes();
+
+      cursor.skip_reserved();
+      if (params.avoid_splitting_sequences &&
+          seq_bytes > cursor.window_remaining() &&
+          seq_bytes <= params.cache_bytes - params.cfa_bytes) {
+        // Start at the next inter-CFA window so the sequence stays contiguous.
+        cursor.place(cursor.window_remaining());
+        cursor.skip_reserved();
+      }
+      for (cfg::BlockId b : seq.blocks) {
+        cursor.skip_reserved();
+        map.set(b, cursor.place(image.block(b).bytes()));
+      }
+    }
+  }
+
+  // Remaining blocks fill the entire address space (no reservation): this
+  // rarely executed code is expected not to conflict with the CFA traces.
+  for (cfg::BlockId b : cold_blocks) {
+    STC_CHECK_MSG(!map.assigned(b),
+                  "cold block already placed by a sequence pass");
+    map.set(b, cursor.place(image.block(b).bytes()));
+  }
+
+  map.validate(image);
+  return map;
+}
+
+}  // namespace stc::core

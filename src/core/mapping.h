@@ -1,0 +1,39 @@
+// Sequence mapping into a logical array of caches — Section 5.3 / Figure 4.
+//
+// The address space is viewed as an array of cache-sized regions. The
+// sequences of the *first* pass are mapped from address 0 and their area —
+// the Conflict-Free Area, offsets [0, cfa) of every cache-sized region — is
+// kept free of any other code, so the most popular traces can never be
+// evicted by the rest of the program. Later passes fill the non-CFA offsets
+// region by region; finally the remaining (rarely or never executed) blocks
+// are appended, this time filling the entire address space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/address_map.h"
+#include "core/trace_builder.h"
+
+namespace stc::core {
+
+struct MappingParams {
+  std::uint64_t cache_bytes = 64 * 1024;
+  std::uint64_t cfa_bytes = 8 * 1024;  // 0 disables the CFA reservation
+  // When a sequence does not fit in the rest of the current inter-CFA window
+  // but fits in a whole window, start it at the next window instead of
+  // splitting it around the hole (keeps sequences sequential).
+  bool avoid_splitting_sequences = false;
+};
+
+// passes[0] feeds the CFA; its total size must not exceed cfa_bytes
+// (checked). `cold_blocks` are appended last in the order given and must
+// contain exactly the blocks that appear in no sequence.
+cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
+                              std::string layout_name,
+                              const std::vector<std::vector<Sequence>>& passes,
+                              const std::vector<cfg::BlockId>& cold_blocks,
+                              const MappingParams& params);
+
+}  // namespace stc::core

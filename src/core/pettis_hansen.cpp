@@ -1,0 +1,239 @@
+#include "core/pettis_hansen.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.h"
+
+namespace stc::core {
+namespace {
+
+using cfg::BlockId;
+using cfg::ProgramImage;
+using cfg::RoutineId;
+
+struct WeightedPair {
+  std::uint32_t a;
+  std::uint32_t b;
+  std::uint64_t weight;
+};
+
+// Sorts heaviest first with deterministic tie-breaking.
+void sort_pairs(std::vector<WeightedPair>& pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const WeightedPair& x, const WeightedPair& y) {
+              if (x.weight != y.weight) return x.weight > y.weight;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+}
+
+// ---- 1. intra-procedure block chaining ------------------------------------
+
+// Returns the executed blocks of `routine` in their P&H order (entry chain
+// first, then remaining chains by weight); appends never-executed blocks to
+// `fluff`.
+std::vector<BlockId> order_routine_blocks(const profile::WeightedCFG& cfg,
+                                          RoutineId routine,
+                                          std::vector<BlockId>& fluff) {
+  const ProgramImage& image = *cfg.image;
+  const cfg::RoutineInfo& info = image.routine(routine);
+
+  std::vector<BlockId> executed;
+  for (std::uint32_t i = 0; i < info.num_blocks; ++i) {
+    const BlockId b = info.entry + i;
+    if (cfg.block_count[b] > 0) {
+      executed.push_back(b);
+    } else {
+      fluff.push_back(b);
+    }
+  }
+  if (executed.empty()) return executed;
+
+  // Local indices for the executed blocks.
+  std::unordered_map<BlockId, std::uint32_t> local;
+  for (std::uint32_t i = 0; i < executed.size(); ++i) local[executed[i]] = i;
+
+  // Intra-procedure edges between executed blocks.
+  std::vector<WeightedPair> edges;
+  for (std::uint32_t i = 0; i < executed.size(); ++i) {
+    for (const auto& succ : cfg.succs[executed[i]]) {
+      const auto it = local.find(succ.to);
+      if (it == local.end()) continue;
+      edges.push_back({i, it->second, succ.count});
+    }
+  }
+  sort_pairs(edges);
+
+  // Chains: each block starts alone; merge tail(a) -> head(b).
+  struct Chain {
+    std::vector<std::uint32_t> blocks;
+    std::uint64_t weight = 0;  // sum of merged edge weights
+  };
+  std::vector<Chain> chains(executed.size());
+  std::vector<std::uint32_t> chain_of(executed.size());
+  for (std::uint32_t i = 0; i < executed.size(); ++i) {
+    chains[i].blocks = {i};
+    chain_of[i] = i;
+  }
+  for (const WeightedPair& e : edges) {
+    const std::uint32_t ca = chain_of[e.a];
+    const std::uint32_t cb = chain_of[e.b];
+    if (ca == cb) continue;
+    if (chains[ca].blocks.back() != e.a) continue;  // a must be a chain tail
+    if (chains[cb].blocks.front() != e.b) continue;  // b must be a chain head
+    for (std::uint32_t idx : chains[cb].blocks) {
+      chains[ca].blocks.push_back(idx);
+      chain_of[idx] = ca;
+    }
+    chains[ca].weight += chains[cb].weight + e.weight;
+    chains[cb].blocks.clear();
+  }
+
+  // Order: the chain containing the entry first, then by weight descending
+  // (deterministic: by head block index on ties).
+  std::vector<std::uint32_t> chain_ids;
+  for (std::uint32_t c = 0; c < chains.size(); ++c) {
+    if (!chains[c].blocks.empty()) chain_ids.push_back(c);
+  }
+  const std::uint32_t entry_chain = chain_of[0];  // local index 0 == entry
+  std::stable_sort(chain_ids.begin(), chain_ids.end(),
+                   [&](std::uint32_t x, std::uint32_t y) {
+                     if ((x == entry_chain) != (y == entry_chain)) {
+                       return x == entry_chain;
+                     }
+                     if (chains[x].weight != chains[y].weight) {
+                       return chains[x].weight > chains[y].weight;
+                     }
+                     return chains[x].blocks.front() < chains[y].blocks.front();
+                   });
+
+  std::vector<BlockId> ordered;
+  ordered.reserve(executed.size());
+  for (std::uint32_t c : chain_ids) {
+    for (std::uint32_t idx : chains[c].blocks) ordered.push_back(executed[idx]);
+  }
+  return ordered;
+}
+
+// ---- 2. procedure ordering (closest is best) ------------------------------
+
+std::vector<RoutineId> order_routines(const profile::WeightedCFG& cfg) {
+  const ProgramImage& image = *cfg.image;
+  const std::size_t n = image.num_routines();
+
+  // Undirected routine-level weights from every inter-routine transition
+  // (calls and returns both witness affinity).
+  std::unordered_map<std::uint64_t, std::uint64_t> weight;
+  for (BlockId b = 0; b < cfg.block_count.size(); ++b) {
+    const RoutineId rb = image.block(b).routine;
+    for (const auto& succ : cfg.succs[b]) {
+      const RoutineId rt = image.block(succ.to).routine;
+      if (rb == rt) continue;
+      const std::uint64_t lo = std::min(rb, rt);
+      const std::uint64_t hi = std::max(rb, rt);
+      weight[(lo << 32) | hi] += succ.count;
+    }
+  }
+  std::vector<WeightedPair> edges;
+  edges.reserve(weight.size());
+  for (const auto& [key, w] : weight) {
+    edges.push_back({static_cast<std::uint32_t>(key >> 32),
+                     static_cast<std::uint32_t>(key & 0xffffffffu), w});
+  }
+  sort_pairs(edges);
+
+  std::vector<std::vector<RoutineId>> chains(n);
+  std::vector<std::uint32_t> chain_of(n);
+  for (RoutineId r = 0; r < n; ++r) {
+    chains[r] = {r};
+    chain_of[r] = r;
+  }
+
+  for (const WeightedPair& e : edges) {
+    const std::uint32_t ca = chain_of[e.a];
+    const std::uint32_t cb = chain_of[e.b];
+    if (ca == cb) continue;
+    auto& A = chains[ca];
+    auto& B = chains[cb];
+    // "Closest is best": orient both chains so the joined endpoints are as
+    // close as possible — distance is the number of routines separating them
+    // after concatenation A' + B'.
+    const auto pos = [](const std::vector<RoutineId>& v, RoutineId r) {
+      return static_cast<std::size_t>(
+          std::find(v.begin(), v.end(), r) - v.begin());
+    };
+    const std::size_t pa = pos(A, e.a);
+    const std::size_t pb = pos(B, e.b);
+    // Distance from a to the junction if A kept (tail side) vs reversed.
+    const std::size_t a_keep = A.size() - 1 - pa;
+    const std::size_t a_rev = pa;
+    const std::size_t b_keep = pb;
+    const std::size_t b_rev = B.size() - 1 - pb;
+    const bool rev_a = a_rev < a_keep;
+    const bool rev_b = b_rev < b_keep;
+    if (rev_a) std::reverse(A.begin(), A.end());
+    if (rev_b) std::reverse(B.begin(), B.end());
+    for (RoutineId r : B) {
+      A.push_back(r);
+      chain_of[r] = ca;
+    }
+    B.clear();
+  }
+
+  // Remaining chains (popular merged clusters plus isolated routines) are
+  // emitted by total routine popularity, then original order.
+  std::vector<std::uint32_t> chain_ids;
+  for (std::uint32_t c = 0; c < chains.size(); ++c) {
+    if (!chains[c].empty()) chain_ids.push_back(c);
+  }
+  const auto chain_weight = [&](std::uint32_t c) {
+    std::uint64_t w = 0;
+    for (RoutineId r : chains[c]) {
+      w += cfg.block_count[image.routine(r).entry];
+    }
+    return w;
+  };
+  std::stable_sort(chain_ids.begin(), chain_ids.end(),
+                   [&](std::uint32_t x, std::uint32_t y) {
+                     const std::uint64_t wx = chain_weight(x);
+                     const std::uint64_t wy = chain_weight(y);
+                     if (wx != wy) return wx > wy;
+                     return chains[x].front() < chains[y].front();
+                   });
+
+  std::vector<RoutineId> order;
+  order.reserve(n);
+  for (std::uint32_t c : chain_ids) {
+    for (RoutineId r : chains[c]) order.push_back(r);
+  }
+  return order;
+}
+
+}  // namespace
+
+cfg::AddressMap pettis_hansen_layout(const profile::WeightedCFG& cfg) {
+  STC_REQUIRE(cfg.image != nullptr);
+  const ProgramImage& image = *cfg.image;
+  cfg::AddressMap map("ph", image.num_blocks());
+
+  std::vector<BlockId> fluff;
+  std::uint64_t cursor = 0;
+  for (RoutineId r : order_routines(cfg)) {
+    for (BlockId b : order_routine_blocks(cfg, r, fluff)) {
+      map.set(b, cursor);
+      cursor += image.block(b).bytes();
+    }
+  }
+  // The split-out never-executed code lands at the end of the program.
+  for (BlockId b : fluff) {
+    map.set(b, cursor);
+    cursor += image.block(b).bytes();
+  }
+  map.validate(image);
+  return map;
+}
+
+}  // namespace stc::core

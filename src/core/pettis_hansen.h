@@ -1,0 +1,23 @@
+// Pettis & Hansen profile-guided code positioning (PLDI'90), the paper's
+// software baseline ("P&H layout").
+//
+// Two components, both driven by the dynamic profile:
+//  1. Basic-block positioning inside each procedure: chains of blocks are
+//     grown by merging along the heaviest intra-procedure edges; never-
+//     executed blocks ("fluff") are split out of the procedure entirely and
+//     moved to the end of the program.
+//  2. Procedure positioning: an undirected weighted call graph is reduced by
+//     repeatedly merging the two procedure chains joined by the heaviest
+//     remaining edge, orienting the chains so the two endpoints end up as
+//     close together as possible ("closest is best").
+// The algorithm does not consider the target cache geometry.
+#pragma once
+
+#include "cfg/address_map.h"
+#include "profile/profile.h"
+
+namespace stc::core {
+
+cfg::AddressMap pettis_hansen_layout(const profile::WeightedCFG& cfg);
+
+}  // namespace stc::core

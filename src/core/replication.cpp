@@ -1,0 +1,193 @@
+#include "core/replication.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace stc::core {
+namespace {
+
+using cfg::BlockId;
+using cfg::BlockKind;
+using cfg::RoutineId;
+
+struct SiteCount {
+  BlockId site;
+  std::uint64_t count;
+};
+
+}  // namespace
+
+Replicator::Replicator(const cfg::ProgramImage& original,
+                       const profile::Profile& prof,
+                       const ReplicationParams& params)
+    : original_(original) {
+  STC_REQUIRE(original.finalized());
+  STC_REQUIRE(&prof.image() == &original);
+
+  // ---- 1. per-routine dynamic weight and call sites -----------------------
+  std::vector<std::uint64_t> routine_events(original.num_routines(), 0);
+  for (BlockId b = 0; b < original.num_blocks(); ++b) {
+    routine_events[original.block(b).routine] += prof.block_count(b);
+  }
+  const std::uint64_t total_events = prof.total_block_events();
+
+  // Call sites of each routine: call-kind predecessor blocks of its entry.
+  std::vector<std::vector<SiteCount>> sites(original.num_routines());
+  for (const profile::Profile::Edge& edge : prof.edges()) {
+    const cfg::BlockInfo& from = original.block(edge.from);
+    const cfg::BlockInfo& to = original.block(edge.to);
+    if (from.kind != BlockKind::kCall) continue;
+    const RoutineId callee = to.routine;
+    if (original.routine(callee).entry != edge.to) continue;  // not an entry
+    if (from.routine == callee) continue;  // direct recursion: keep original
+    sites[callee].push_back({edge.from, edge.count});
+  }
+
+  // ---- 2. choose (routine, site) clones ------------------------------------
+  // Hottest routines first, so the growth budget goes to the best targets.
+  std::vector<RoutineId> order(original.num_routines());
+  for (RoutineId r = 0; r < original.num_routines(); ++r) order[r] = r;
+  std::sort(order.begin(), order.end(), [&](RoutineId a, RoutineId b) {
+    if (routine_events[a] != routine_events[b]) {
+      return routine_events[a] > routine_events[b];
+    }
+    return a < b;
+  });
+
+  struct PlannedClone {
+    RoutineId routine;
+    BlockId site;
+  };
+  std::vector<PlannedClone> plan;
+  std::uint64_t growth_budget = static_cast<std::uint64_t>(
+      (params.max_code_growth - 1.0) *
+      static_cast<double>(original.image_bytes()));
+
+  for (RoutineId r : order) {
+    const cfg::RoutineInfo& info = original.routine(r);
+    if (total_events == 0 ||
+        static_cast<double>(routine_events[r]) <
+            params.min_routine_weight * static_cast<double>(total_events)) {
+      break;  // sorted by weight: nothing hotter follows
+    }
+    if (info.bytes > params.max_routine_bytes) continue;
+    auto& routine_sites = sites[r];
+    if (routine_sites.size() < params.min_call_sites) continue;
+    std::sort(routine_sites.begin(), routine_sites.end(),
+              [](const SiteCount& a, const SiteCount& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.site < b.site;
+              });
+    std::uint64_t total_calls = 0;
+    for (const SiteCount& s : routine_sites) total_calls += s.count;
+
+    std::uint64_t covered = 0;
+    std::size_t clones = 0;
+    bool any = false;
+    for (const SiteCount& s : routine_sites) {
+      if (clones >= params.max_clones_per_routine) break;
+      if (static_cast<double>(covered) >=
+          params.site_coverage * static_cast<double>(total_calls)) {
+        break;
+      }
+      if (info.bytes > growth_budget) break;
+      plan.push_back({r, s.site});
+      growth_budget -= info.bytes;
+      replicated_bytes_ += info.bytes;
+      covered += s.count;
+      ++clones;
+      any = true;
+    }
+    if (any) ++cloned_routines_;
+  }
+
+  // ---- 3. rebuild the image: originals first (identical ids), clones after.
+  image_ = std::make_unique<cfg::ProgramImage>();
+  std::vector<cfg::ModuleId> module_map;
+  for (cfg::ModuleId m = 0; m < original.num_modules(); ++m) {
+    module_map.push_back(image_->add_module(original.module_name(m)));
+  }
+  for (RoutineId r = 0; r < original.num_routines(); ++r) {
+    const cfg::RoutineInfo& info = original.routine(r);
+    std::vector<cfg::BlockDef> blocks;
+    blocks.reserve(info.num_blocks);
+    for (std::uint32_t i = 0; i < info.num_blocks; ++i) {
+      const cfg::BlockInfo& block = original.block(info.entry + i);
+      blocks.push_back({block.name, block.insns, block.kind});
+    }
+    const RoutineId new_id = image_->add_routine(
+        info.name, module_map[info.module], std::move(blocks),
+        info.executor_op);
+    STC_CHECK(new_id == r);  // identity mapping for original routines
+  }
+  const cfg::ModuleId replicated = image_->add_module("replicated");
+  for (const PlannedClone& c : plan) {
+    const cfg::RoutineInfo& info = original.routine(c.routine);
+    std::vector<cfg::BlockDef> blocks;
+    for (std::uint32_t i = 0; i < info.num_blocks; ++i) {
+      const cfg::BlockInfo& block = original.block(info.entry + i);
+      blocks.push_back({block.name, block.insns, block.kind});
+    }
+    const RoutineId clone = image_->add_routine(
+        info.name + "@" + std::to_string(c.site), replicated,
+        std::move(blocks), info.executor_op);
+    clone_of_[site_key(c.site, c.routine)] = image_->routine(clone).entry;
+  }
+  image_->finalize();
+  STC_CHECK(image_->num_blocks() >= original.num_blocks());
+}
+
+double Replicator::code_growth() const {
+  return static_cast<double>(image_->image_bytes()) /
+         static_cast<double>(original_.image_bytes());
+}
+
+trace::BlockTrace Replicator::transform(
+    const trace::BlockTrace& original_trace) const {
+  trace::BlockTrace out;
+
+  // Activation stack. delta = clone_entry - original_entry for activations
+  // entered through a cloned call site; 0 otherwise.
+  struct Frame {
+    RoutineId routine;
+    std::int64_t delta;
+  };
+  std::vector<Frame> stack;
+  BlockId prev = cfg::kInvalidBlock;
+
+  original_trace.for_each([&](BlockId cur) {
+    const cfg::BlockInfo& info = original_.block(cur);
+    if (prev != cfg::kInvalidBlock) {
+      const cfg::BlockInfo& prev_info = original_.block(prev);
+      // A return transition pops exactly one activation (traces obey the
+      // instrumentation discipline). Below the recorded stack base there is
+      // nothing to pop.
+      if (prev_info.kind == BlockKind::kReturn && !stack.empty() &&
+          stack.back().routine == prev_info.routine) {
+        stack.pop_back();
+      }
+      if (prev_info.kind == BlockKind::kCall &&
+          original_.routine(info.routine).entry == cur) {
+        // New activation; route it to a clone when the (site, callee) pair
+        // was selected. The site key uses original block ids.
+        std::int64_t delta = 0;
+        const auto it = clone_of_.find(site_key(prev, info.routine));
+        if (it != clone_of_.end()) {
+          delta = static_cast<std::int64_t>(it->second) -
+                  static_cast<std::int64_t>(cur);
+        }
+        stack.push_back({info.routine, delta});
+      }
+    }
+    std::int64_t delta = 0;
+    if (!stack.empty() && stack.back().routine == info.routine) {
+      delta = stack.back().delta;
+    }
+    out.append(static_cast<BlockId>(static_cast<std::int64_t>(cur) + delta));
+    prev = cur;
+  });
+  return out;
+}
+
+}  // namespace stc::core

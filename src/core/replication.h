@@ -1,0 +1,84 @@
+// Code replication — the paper's Section 8 future work ("it is worth
+// studying if the controlled use of code expanding techniques like function
+// inlining and code replication can increase the potential fetch bandwidth
+// provided by a sequential fetch unit while keeping the miss rate under
+// control").
+//
+// A routine called from many sites puts a hard ceiling on any static layout:
+// at most one call site can have the callee laid out sequentially, and the
+// callee's return can be sequential for at most one resume point. The
+// Replicator clones such routines per dominant call site, producing
+//   (a) an extended ProgramImage (original blocks keep their ids; clones are
+//       appended under a "replicated" module), and
+//   (b) a trace transformer that rewrites each dynamic activation to the
+//       clone belonging to its actual call site (tracked with an activation
+//       stack, so recursion and nesting are handled exactly).
+// Layouts are then built from a re-profile of the transformed trace, giving
+// every dominant call site its own sequential copy of the callee.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cfg/program.h"
+#include "profile/profile.h"
+#include "trace/block_trace.h"
+
+namespace stc::core {
+
+struct ReplicationParams {
+  // A routine qualifies when its dynamic block events are at least this
+  // fraction of all events...
+  double min_routine_weight = 0.002;
+  // ...it is entered from at least this many distinct call-site blocks...
+  std::size_t min_call_sites = 2;
+  // ...and its code is small enough that copies stay cheap.
+  std::uint32_t max_routine_bytes = 640;
+
+  // Per routine, clone the most frequent call sites until this fraction of
+  // its activations is covered, up to the clone cap. Remaining sites keep
+  // calling the original copy.
+  double site_coverage = 0.95;
+  std::size_t max_clones_per_routine = 8;
+
+  // Global brake: stop creating clones once the image has grown by this
+  // factor ("controlled use of code expanding techniques").
+  double max_code_growth = 1.5;
+};
+
+class Replicator {
+ public:
+  Replicator(const cfg::ProgramImage& original, const profile::Profile& prof,
+             const ReplicationParams& params = {});
+
+  // The extended image: block ids < original.num_blocks() are unchanged;
+  // clone blocks follow.
+  const cfg::ProgramImage& image() const { return *image_; }
+
+  // Rewrites a trace recorded against the original image so that every
+  // activation entered from a cloned call site references its clone.
+  trace::BlockTrace transform(const trace::BlockTrace& original) const;
+
+  // Statistics.
+  std::size_t num_cloned_routines() const { return cloned_routines_; }
+  std::size_t num_clones() const { return clone_of_.size(); }
+  std::uint64_t replicated_bytes() const { return replicated_bytes_; }
+  double code_growth() const;
+
+ private:
+  // Key: (call-site block id << 32) | callee routine id.
+  static std::uint64_t site_key(cfg::BlockId site, cfg::RoutineId callee) {
+    return (std::uint64_t{site} << 32) | callee;
+  }
+
+  const cfg::ProgramImage& original_;
+  std::unique_ptr<cfg::ProgramImage> image_;
+  // Call site -> entry block id of the clone (in the extended image).
+  std::unordered_map<std::uint64_t, cfg::BlockId> clone_of_;
+  std::size_t cloned_routines_ = 0;
+  std::uint64_t replicated_bytes_ = 0;
+};
+
+}  // namespace stc::core

@@ -1,0 +1,30 @@
+#include "core/seeds.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace stc::core {
+
+std::vector<cfg::BlockId> select_seeds(const profile::WeightedCFG& cfg,
+                                       SeedKind kind) {
+  STC_REQUIRE(cfg.image != nullptr);
+  const cfg::ProgramImage& image = *cfg.image;
+  std::vector<cfg::BlockId> seeds;
+  for (cfg::RoutineId r = 0; r < image.num_routines(); ++r) {
+    const cfg::RoutineInfo& info = image.routine(r);
+    if (kind == SeedKind::kOps && !info.executor_op) continue;
+    if (cfg.block_count[info.entry] == 0) continue;
+    seeds.push_back(info.entry);
+  }
+  std::stable_sort(seeds.begin(), seeds.end(),
+                   [&](cfg::BlockId a, cfg::BlockId b) {
+                     if (cfg.block_count[a] != cfg.block_count[b]) {
+                       return cfg.block_count[a] > cfg.block_count[b];
+                     }
+                     return a < b;
+                   });
+  return seeds;
+}
+
+}  // namespace stc::core

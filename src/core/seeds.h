@@ -1,0 +1,28 @@
+// Seed selection for sequence building (Section 5.1 of the paper).
+//
+//  - auto_seeds: the entry points of *all* functions, in decreasing order of
+//    popularity ("auto selection").
+//  - ops_seeds:  the entry points of the Executor operations only
+//    ("ops selection", the knowledge-based variant). Routines flagged
+//    executor_op at registration are the candidates.
+#pragma once
+
+#include <vector>
+
+#include "cfg/types.h"
+#include "profile/profile.h"
+
+namespace stc::core {
+
+enum class SeedKind { kAuto, kOps };
+
+inline const char* to_string(SeedKind kind) {
+  return kind == SeedKind::kAuto ? "auto" : "ops";
+}
+
+// Entry blocks of candidate routines, most popular first. Routines whose
+// entry never executed are excluded (they cannot start a sequence).
+std::vector<cfg::BlockId> select_seeds(const profile::WeightedCFG& cfg,
+                                       SeedKind kind);
+
+}  // namespace stc::core

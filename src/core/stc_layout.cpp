@@ -1,0 +1,160 @@
+#include "core/stc_layout.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace stc::core {
+namespace {
+
+// Seeds used for later passes: the pass-1 seeds first (so secondary code of
+// the chosen policy clusters near its own hot code), then every executed
+// routine entry so no popular block is orphaned to the cold section merely
+// because it is unreachable from the Executor-operation seeds.
+std::vector<cfg::BlockId> later_pass_seeds(const profile::WeightedCFG& cfg,
+                                           SeedKind kind) {
+  std::vector<cfg::BlockId> seeds = select_seeds(cfg, kind);
+  if (kind != SeedKind::kAuto) {
+    std::vector<bool> present(cfg.block_count.size(), false);
+    for (cfg::BlockId s : seeds) present[s] = true;
+    for (cfg::BlockId s : select_seeds(cfg, SeedKind::kAuto)) {
+      if (!present[s]) seeds.push_back(s);
+    }
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::uint64_t fit_exec_threshold(const profile::WeightedCFG& cfg,
+                                 const std::vector<cfg::BlockId>& seeds,
+                                 double branch_threshold,
+                                 std::uint64_t cfa_bytes) {
+  STC_REQUIRE(cfg.image != nullptr);
+  if (cfa_bytes == 0) return ~std::uint64_t{0};
+
+  // Candidate thresholds are the distinct block counts: pass-1 footprint is a
+  // step function whose steps occur exactly at those values.
+  std::vector<std::uint64_t> candidates;
+  for (std::uint64_t c : cfg.block_count) {
+    if (c > 0) candidates.push_back(c);
+  }
+  if (candidates.empty()) return 1;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  const auto pass_bytes = [&](std::uint64_t threshold) {
+    const TraceBuildParams params{threshold, branch_threshold};
+    std::vector<bool> visited(cfg.block_count.size(), false);
+    return sequences_bytes(*cfg.image,
+                           build_traces_complete(cfg, seeds, params, &visited));
+  };
+
+  // Find the smallest threshold that still fits (footprint shrinks as the
+  // threshold grows, so this is a standard predicate binary search).
+  std::size_t lo = 0;
+  std::size_t hi = candidates.size();  // one past the last candidate
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (pass_bytes(candidates[mid]) <= cfa_bytes) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (lo == candidates.size()) {
+    // Even the strictest threshold overflows; the caller's sequence spill
+    // handles the rest.
+    return candidates.back() + 1;
+  }
+  return candidates[lo];
+}
+
+StcResult stc_layout(const profile::WeightedCFG& cfg, SeedKind seed_kind,
+                     const StcParams& params) {
+  STC_REQUIRE(cfg.image != nullptr);
+  STC_REQUIRE(params.pass_decay > 1.0);
+  const cfg::ProgramImage& image = *cfg.image;
+
+  const std::vector<cfg::BlockId> pass1_seeds = select_seeds(cfg, seed_kind);
+  std::uint64_t threshold =
+      params.exec_threshold_pass1.has_value()
+          ? *params.exec_threshold_pass1
+          : fit_exec_threshold(cfg, pass1_seeds, params.branch_threshold,
+                               params.cfa_bytes);
+  const std::uint64_t fitted_threshold = threshold;
+
+  std::vector<bool> visited(cfg.block_count.size(), false);
+  std::vector<std::vector<Sequence>> passes;
+
+  // ---- Pass 1: the CFA content ----------------------------------------
+  std::vector<Sequence> pass1 = build_traces_complete(
+      cfg, pass1_seeds, TraceBuildParams{threshold, params.branch_threshold},
+      &visited);
+  // Spill sequences that no longer fit the CFA budget into pass 2 (kept in
+  // build order: later sequences come from less popular seeds).
+  std::vector<Sequence> spilled;
+  if (params.cfa_bytes > 0) {
+    std::uint64_t used = 0;
+    std::size_t keep = 0;
+    for (; keep < pass1.size(); ++keep) {
+      std::uint64_t bytes = 0;
+      for (cfg::BlockId b : pass1[keep].blocks) bytes += image.block(b).bytes();
+      if (used + bytes > params.cfa_bytes) break;
+      used += bytes;
+    }
+    spilled.assign(std::make_move_iterator(pass1.begin() + keep),
+                   std::make_move_iterator(pass1.end()));
+    pass1.resize(keep);
+  } else {
+    spilled = std::move(pass1);
+    pass1.clear();
+  }
+  passes.push_back(std::move(pass1));
+
+  // ---- Later passes: decaying thresholds -------------------------------
+  const std::vector<cfg::BlockId> seeds = later_pass_seeds(cfg, seed_kind);
+  std::vector<Sequence> current = std::move(spilled);
+  while (true) {
+    const std::uint64_t next_threshold = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(threshold) / params.pass_decay));
+    const bool last_pass = next_threshold == 1 && threshold == 1;
+    threshold = next_threshold;
+    const double branch = last_pass ? 0.0 : params.later_branch_threshold;
+    std::vector<Sequence> built = build_traces_complete(
+        cfg, seeds, TraceBuildParams{threshold, branch}, &visited);
+    current.insert(current.end(), std::make_move_iterator(built.begin()),
+                   std::make_move_iterator(built.end()));
+    passes.push_back(std::move(current));
+    current.clear();
+    if (last_pass) break;
+  }
+
+  // ---- Remaining blocks: cold code in original order --------------------
+  std::vector<cfg::BlockId> cold;
+  for (cfg::RoutineId r : image.routines_in_order()) {
+    const cfg::RoutineInfo& info = image.routine(r);
+    for (std::uint32_t i = 0; i < info.num_blocks; ++i) {
+      const cfg::BlockId b = info.entry + i;
+      if (!visited[b]) cold.push_back(b);
+    }
+  }
+
+  MappingParams mapping;
+  mapping.cache_bytes = params.cache_bytes;
+  mapping.cfa_bytes = params.cfa_bytes;
+  mapping.avoid_splitting_sequences = params.avoid_splitting_sequences;
+
+  StcResult result;
+  result.exec_threshold_pass1 = fitted_threshold;
+  result.pass1_bytes = sequences_bytes(image, passes.front());
+  result.num_passes = passes.size();
+  for (const auto& pass : passes) result.num_sequences += pass.size();
+  std::string name = std::string("stc-") + to_string(seed_kind);
+  result.layout = map_sequences(image, std::move(name), passes, cold, mapping);
+  return result;
+}
+
+}  // namespace stc::core

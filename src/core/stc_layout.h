@@ -1,0 +1,60 @@
+// The full Software Trace Cache layout pipeline (the paper's contribution).
+//
+// Combines seed selection (auto / ops), multi-pass greedy trace building with
+// decaying thresholds, CFA-budget fitting of the first-pass Exec Threshold
+// (the threshold-selection automation announced as future work in Section 8),
+// and the Figure-4 mapping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cfg/address_map.h"
+#include "core/mapping.h"
+#include "core/seeds.h"
+#include "core/trace_builder.h"
+
+namespace stc::core {
+
+struct StcParams {
+  std::uint64_t cache_bytes = 64 * 1024;
+  std::uint64_t cfa_bytes = 8 * 1024;
+
+  // Branch Threshold for the first pass (paper's example value: 0.4).
+  double branch_threshold = 0.4;
+  // Branch Threshold for later passes (relaxed so remaining popular code
+  // still forms sequences).
+  double later_branch_threshold = 0.1;
+
+  // Exec Threshold for the first pass. When unset it is fitted by binary
+  // search so the first-pass sequences maximally fill the CFA budget.
+  std::optional<std::uint64_t> exec_threshold_pass1;
+  // Later passes decay the Exec Threshold by this factor until it reaches 1.
+  double pass_decay = 4.0;
+
+  bool avoid_splitting_sequences = false;
+};
+
+struct StcResult {
+  cfg::AddressMap layout;
+  std::uint64_t exec_threshold_pass1 = 0;  // fitted or explicit
+  std::uint64_t pass1_bytes = 0;           // code mapped into the CFA
+  std::size_t num_passes = 0;
+  std::size_t num_sequences = 0;           // across all passes
+};
+
+// Builds the STC layout for the given seed-selection policy.
+StcResult stc_layout(const profile::WeightedCFG& cfg, SeedKind seed_kind,
+                     const StcParams& params);
+
+// Fits the largest first-pass Exec Threshold... precisely: the smallest
+// threshold whose first-pass sequences still fit within `cfa_bytes`
+// (lower thresholds admit more code). Exposed for tests and the threshold
+// ablation bench.
+std::uint64_t fit_exec_threshold(const profile::WeightedCFG& cfg,
+                                 const std::vector<cfg::BlockId>& seeds,
+                                 double branch_threshold,
+                                 std::uint64_t cfa_bytes);
+
+}  // namespace stc::core

@@ -1,0 +1,76 @@
+#include "core/torrellas.h"
+
+#include <algorithm>
+
+#include "core/mapping.h"
+#include "core/seeds.h"
+#include "core/trace_builder.h"
+#include "support/check.h"
+
+namespace stc::core {
+
+cfg::AddressMap torrellas_layout(const profile::WeightedCFG& cfg,
+                                 const TorrParams& params) {
+  STC_REQUIRE(cfg.image != nullptr);
+  const cfg::ProgramImage& image = *cfg.image;
+
+  // 1. CFA content: the most popular individual blocks, until the budget is
+  //    full. These are marked visited so the sequence builder routes around
+  //    them (they are "pulled out of their sequences").
+  std::vector<cfg::BlockId> by_popularity;
+  for (cfg::BlockId b = 0; b < cfg.block_count.size(); ++b) {
+    if (cfg.block_count[b] > 0) by_popularity.push_back(b);
+  }
+  std::sort(by_popularity.begin(), by_popularity.end(),
+            [&](cfg::BlockId a, cfg::BlockId b) {
+              if (cfg.block_count[a] != cfg.block_count[b]) {
+                return cfg.block_count[a] > cfg.block_count[b];
+              }
+              return a < b;
+            });
+
+  std::vector<bool> visited(cfg.block_count.size(), false);
+  std::vector<Sequence> cfa_pass;
+  std::uint64_t cfa_used = 0;
+  for (cfg::BlockId b : by_popularity) {
+    const std::uint64_t bytes = image.block(b).bytes();
+    if (cfa_used + bytes > params.cfa_bytes) break;
+    cfa_used += bytes;
+    visited[b] = true;
+    Sequence single;
+    single.blocks = {b};
+    single.weight = cfg.block_count[b];
+    cfa_pass.push_back(std::move(single));
+  }
+
+  // 2. Sequences over the remaining blocks (auto seeds; entries already in
+  //    the CFA cannot start sequences, matching the pulled-out semantics).
+  std::vector<Sequence> sequences = build_traces_complete(
+      cfg, select_seeds(cfg, SeedKind::kAuto),
+      TraceBuildParams{params.exec_threshold, params.branch_threshold},
+      &visited);
+  // A final relaxed pass catches executed blocks skipped by the thresholds.
+  std::vector<Sequence> relaxed = build_traces_complete(
+      cfg, select_seeds(cfg, SeedKind::kAuto), TraceBuildParams{1, 0.0},
+      &visited);
+  sequences.insert(sequences.end(), std::make_move_iterator(relaxed.begin()),
+                   std::make_move_iterator(relaxed.end()));
+
+  // 3. Remaining (never executed) code in original order.
+  std::vector<cfg::BlockId> cold;
+  for (cfg::RoutineId r : image.routines_in_order()) {
+    const cfg::RoutineInfo& info = image.routine(r);
+    for (std::uint32_t i = 0; i < info.num_blocks; ++i) {
+      const cfg::BlockId b = info.entry + i;
+      if (!visited[b]) cold.push_back(b);
+    }
+  }
+
+  MappingParams mapping;
+  mapping.cache_bytes = params.cache_bytes;
+  mapping.cfa_bytes = params.cfa_bytes;
+  return map_sequences(image, "torr", {std::move(cfa_pass), std::move(sequences)},
+                       cold, mapping);
+}
+
+}  // namespace stc::core

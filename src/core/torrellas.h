@@ -1,0 +1,30 @@
+// Torrellas, Xia & Daigle basic-block reordering (HPCA'95), the paper's
+// second software baseline ("Torr layout").
+//
+// Like the STC it builds cross-procedure sequences and keeps a conflict-free
+// area, but the CFA holds the most frequently referenced *individual* basic
+// blocks rather than whole sequences: popular blocks are pulled out of their
+// sequences into the CFA. (Section 7.3 of the ICPP paper observes that this
+// breaks sequential execution as the CFA grows — the behaviour this
+// implementation reproduces.)
+#pragma once
+
+#include <cstdint>
+
+#include "cfg/address_map.h"
+#include "profile/profile.h"
+
+namespace stc::core {
+
+struct TorrParams {
+  std::uint64_t cache_bytes = 64 * 1024;
+  std::uint64_t cfa_bytes = 8 * 1024;
+  // Thresholds used for the sequence-building phase.
+  std::uint64_t exec_threshold = 1;
+  double branch_threshold = 0.1;
+};
+
+cfg::AddressMap torrellas_layout(const profile::WeightedCFG& cfg,
+                                 const TorrParams& params);
+
+}  // namespace stc::core

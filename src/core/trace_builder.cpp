@@ -1,0 +1,111 @@
+#include "core/trace_builder.h"
+
+#include <deque>
+
+#include "support/check.h"
+
+namespace stc::core {
+
+std::vector<Sequence> build_traces(const profile::WeightedCFG& cfg,
+                                   const std::vector<cfg::BlockId>& seeds,
+                                   const TraceBuildParams& params,
+                                   std::vector<bool>* visited) {
+  STC_REQUIRE(cfg.image != nullptr);
+  std::vector<bool> local_visited;
+  if (visited == nullptr) {
+    local_visited.assign(cfg.block_count.size(), false);
+    visited = &local_visited;
+  }
+  STC_REQUIRE(visited->size() == cfg.block_count.size());
+
+  std::vector<Sequence> result;
+  for (std::size_t seed_index = 0; seed_index < seeds.size(); ++seed_index) {
+    const cfg::BlockId seed = seeds[seed_index];
+    if ((*visited)[seed]) continue;
+    if (cfg.block_count[seed] < params.exec_threshold) continue;
+
+    // Acceptable-but-not-followed transitions, in discovery order; each may
+    // start a secondary trace for this seed.
+    std::deque<cfg::BlockId> pending;
+    pending.push_back(seed);
+    bool first_sequence = true;
+
+    while (!pending.empty()) {
+      const cfg::BlockId start = pending.front();
+      pending.pop_front();
+      if ((*visited)[start]) continue;
+
+      Sequence seq;
+      seq.weight = cfg.block_count[start];
+      seq.seed_index = seed_index;
+      seq.main_trace = first_sequence;
+      first_sequence = false;
+
+      cfg::BlockId cur = start;
+      while (true) {
+        (*visited)[cur] = true;
+        seq.blocks.push_back(cur);
+
+        // Follow the most frequently executed acceptable transition; note the
+        // other acceptable ones for secondary traces. Successors are already
+        // sorted by decreasing count.
+        cfg::BlockId next = cfg::kInvalidBlock;
+        for (const auto& succ : cfg.succs[cur]) {
+          if ((*visited)[succ.to]) continue;
+          if (cfg.block_count[succ.to] < params.exec_threshold) continue;
+          if (cfg.transition_prob(cur, succ) < params.branch_threshold) {
+            continue;
+          }
+          if (next == cfg::kInvalidBlock) {
+            next = succ.to;
+          } else {
+            pending.push_back(succ.to);
+          }
+        }
+        if (next == cfg::kInvalidBlock) break;
+        cur = next;
+      }
+      result.push_back(std::move(seq));
+    }
+  }
+  return result;
+}
+
+std::vector<Sequence> build_traces_complete(
+    const profile::WeightedCFG& cfg, const std::vector<cfg::BlockId>& seeds,
+    const TraceBuildParams& params, std::vector<bool>* visited) {
+  STC_REQUIRE(visited != nullptr);
+  std::vector<Sequence> result = build_traces(cfg, seeds, params, visited);
+
+  // Orphan sweep: every still-unvisited block that meets the Exec Threshold
+  // seeds a sequence, most popular first.
+  std::vector<cfg::BlockId> orphans;
+  for (cfg::BlockId b = 0; b < cfg.block_count.size(); ++b) {
+    if (!(*visited)[b] && cfg.block_count[b] >= params.exec_threshold &&
+        cfg.block_count[b] > 0) {
+      orphans.push_back(b);
+    }
+  }
+  std::sort(orphans.begin(), orphans.end(),
+            [&](cfg::BlockId a, cfg::BlockId b) {
+              if (cfg.block_count[a] != cfg.block_count[b]) {
+                return cfg.block_count[a] > cfg.block_count[b];
+              }
+              return a < b;
+            });
+  std::vector<Sequence> swept = build_traces(cfg, orphans, params, visited);
+  result.insert(result.end(), std::make_move_iterator(swept.begin()),
+                std::make_move_iterator(swept.end()));
+  return result;
+}
+
+std::uint64_t sequences_bytes(const cfg::ProgramImage& image,
+                              const std::vector<Sequence>& seqs) {
+  std::uint64_t bytes = 0;
+  for (const Sequence& seq : seqs) {
+    for (cfg::BlockId b : seq.blocks) bytes += image.block(b).bytes();
+  }
+  return bytes;
+}
+
+}  // namespace stc::core

@@ -1,0 +1,59 @@
+// Greedy basic-block sequence ("trace") building — Section 5.2 / Figure 3.
+//
+// Starting from each seed, the builder repeatedly follows the most frequently
+// executed transition out of the current block: into a called subroutine, or
+// along the highest-probability control transfer. Other acceptable
+// transitions are noted and later grown into *secondary* traces for the same
+// seed. Growth stops when every successor is already visited, fails the
+// Exec Threshold (block execution count), or fails the Branch Threshold
+// (transition probability).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/types.h"
+#include "profile/profile.h"
+
+namespace stc::core {
+
+struct TraceBuildParams {
+  // Minimum dynamic execution count for a block to enter a sequence.
+  std::uint64_t exec_threshold = 1;
+  // Minimum probability (edge count / source block count) for a transition
+  // to be followed or to start a secondary trace.
+  double branch_threshold = 0.0;
+};
+
+struct Sequence {
+  std::vector<cfg::BlockId> blocks;
+  std::uint64_t weight = 0;     // execution count of the first block
+  std::size_t seed_index = 0;   // which seed produced it
+  bool main_trace = false;      // first sequence grown from its seed
+};
+
+// Builds sequences from `seeds` (in order) over the weighted CFG.
+// `visited` marks blocks already placed by earlier passes; it is updated with
+// every block the call consumes. Pass nullptr for a fresh single-pass build.
+std::vector<Sequence> build_traces(const profile::WeightedCFG& cfg,
+                                   const std::vector<cfg::BlockId>& seeds,
+                                   const TraceBuildParams& params,
+                                   std::vector<bool>* visited = nullptr);
+
+// Like build_traces, but guarantees that *every* unvisited block whose
+// execution count meets the Exec Threshold ends up in some sequence: after
+// the seed-driven build, remaining qualifying blocks (in decreasing
+// popularity order) seed additional sequences. Without this sweep, blocks
+// whose only predecessors were consumed by an earlier pass under a stricter
+// Branch Threshold would fall through to the cold section — the paper leaves
+// orphan handling unspecified; this is the completion its multi-pass mapping
+// needs.
+std::vector<Sequence> build_traces_complete(
+    const profile::WeightedCFG& cfg, const std::vector<cfg::BlockId>& seeds,
+    const TraceBuildParams& params, std::vector<bool>* visited);
+
+// Total code bytes of a set of sequences.
+std::uint64_t sequences_bytes(const cfg::ProgramImage& image,
+                              const std::vector<Sequence>& seqs);
+
+}  // namespace stc::core

@@ -1,0 +1,337 @@
+#include "db/btree.h"
+
+#include <algorithm>
+
+#include "db/registration.h"
+#include "db/typeops.h"
+#include "support/check.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kFall = BlockKind::kFallThrough;
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kCall = BlockKind::kCall;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_btree_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  im.add_routine("BT_lower_bound", m,
+                 {{"entry", 5, kFall},
+                  {"halve", 7, kCall},  // one binary-search iteration
+                  {"ret", 3, kRet}});
+  im.add_routine("BT_upper_bound", m,
+                 {{"entry", 5, kFall},
+                  {"halve", 7, kCall},
+                  {"ret", 3, kRet}});
+  im.add_routine("BT_descend", m,
+                 {{"entry", 5, kBr},
+                  {"level", 6, kCall},   // separator search in one node
+                  {"step", 5, kBr},      // move to the chosen child
+                  {"leaf_pos", 6, kCall},
+                  {"ret", 3, kRet}});
+  im.add_routine("BT_insert", m,
+                 {{"entry", 6, kBr},
+                  {"grow_root", 8, kCall},
+                  {"level", 6, kCall},     // separator search in one node
+                  {"split_check", 4, kBr},
+                  {"split", 5, kCall},
+                  {"resteer", 5, kBr},     // re-aim after a split
+                  {"step", 4, kBr},
+                  {"leaf_pos", 6, kCall},
+                  {"leaf_insert", 12, kFall},
+                  {"ret", 3, kRet}});
+  im.add_routine("BT_split_child", m,
+                 {{"entry", 7, kBr},
+                  {"alloc", 9, kFall},
+                  {"move_leaf", 14, kBr},
+                  {"move_internal", 16, kBr},
+                  {"hookup", 10, kFall},
+                  {"ret", 3, kRet}});
+  im.add_routine("BT_scan_next", m,
+                 {{"entry", 5, kBr},
+                  {"advance_leaf", 6, kBr},
+                  {"bound_check", 8, kCall},
+                  {"emit", 6, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 4, kRet}});
+}
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  std::vector<Value> keys;
+  std::vector<RID> rids;                         // leaf only
+  std::vector<std::unique_ptr<Node>> children;   // internal only
+  Node* next = nullptr;                          // leaf chain
+};
+
+class BTreeIndex::RangeCursor final : public IndexCursor {
+ public:
+  RangeCursor(Kernel& kernel, Node* leaf, std::size_t idx,
+              std::optional<Value> hi, bool hi_inclusive)
+      : kernel_(kernel),
+        leaf_(leaf),
+        idx_(idx),
+        hi_(std::move(hi)),
+        hi_inclusive_(hi_inclusive) {}
+
+  bool next(RID& rid) override {
+    DB_ROUTINE(kernel_, "BT_scan_next");
+    DB_BB(kernel_, "entry");
+    while (leaf_ != nullptr && idx_ >= leaf_->keys.size()) {
+      DB_BB(kernel_, "advance_leaf");
+      leaf_ = leaf_->next;
+      idx_ = 0;
+    }
+    if (leaf_ == nullptr) {
+      DB_BB(kernel_, "eof_ret");
+      return false;
+    }
+    if (hi_.has_value()) {
+      DB_BB(kernel_, "bound_check");
+      const int cmp = cmp_dispatch(kernel_, leaf_->keys[idx_], *hi_);
+      if (cmp > 0 || (cmp == 0 && !hi_inclusive_)) {
+        DB_BB(kernel_, "eof_ret");
+        return false;
+      }
+    }
+    DB_BB(kernel_, "emit");
+    rid = leaf_->rids[idx_];
+    ++idx_;
+    DB_BB(kernel_, "ret");
+    return true;
+  }
+
+ private:
+  Kernel& kernel_;
+  Node* leaf_;
+  std::size_t idx_;
+  std::optional<Value> hi_;
+  bool hi_inclusive_;
+};
+
+BTreeIndex::BTreeIndex(Kernel& kernel)
+    : kernel_(kernel), root_(std::make_unique<Node>()) {}
+
+BTreeIndex::~BTreeIndex() = default;
+
+std::size_t BTreeIndex::node_lower_bound(const Node* node,
+                                         const Value& key) const {
+  DB_ROUTINE(kernel_, "BT_lower_bound");
+  DB_BB(kernel_, "entry");
+  std::size_t lo = 0;
+  std::size_t hi = node->keys.size();
+  while (lo < hi) {
+    DB_BB(kernel_, "halve");
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cmp_dispatch(kernel_, node->keys[mid], key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  DB_BB(kernel_, "ret");
+  return lo;
+}
+
+std::size_t BTreeIndex::node_upper_bound(const Node* node,
+                                         const Value& key) const {
+  DB_ROUTINE(kernel_, "BT_upper_bound");
+  DB_BB(kernel_, "entry");
+  std::size_t lo = 0;
+  std::size_t hi = node->keys.size();
+  while (lo < hi) {
+    DB_BB(kernel_, "halve");
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cmp_dispatch(kernel_, node->keys[mid], key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  DB_BB(kernel_, "ret");
+  return lo;
+}
+
+void BTreeIndex::split_child(Node* parent, std::size_t child_idx) {
+  DB_ROUTINE(kernel_, "BT_split_child");
+  DB_BB(kernel_, "entry");
+  Node* child = parent->children[child_idx].get();
+  DB_BB(kernel_, "alloc");
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+
+  Value separator;
+  if (child->leaf) {
+    DB_BB(kernel_, "move_leaf");
+    const std::size_t mid = child->keys.size() / 2;
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->rids.assign(child->rids.begin() + mid, child->rids.end());
+    child->keys.resize(mid);
+    child->rids.resize(mid);
+    separator = right->keys.front();
+    right->next = child->next;
+    child->next = right.get();
+  } else {
+    DB_BB(kernel_, "move_internal");
+    const std::size_t mid = child->keys.size() / 2;
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    right->children.reserve(child->children.size() - mid - 1);
+    for (std::size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+
+  DB_BB(kernel_, "hookup");
+  parent->keys.insert(parent->keys.begin() + child_idx, std::move(separator));
+  parent->children.insert(parent->children.begin() + child_idx + 1,
+                          std::move(right));
+  DB_BB(kernel_, "ret");
+}
+
+void BTreeIndex::insert(const Value& key, RID rid) {
+  DB_ROUTINE(kernel_, "BT_insert");
+  DB_BB(kernel_, "entry");
+  const bool root_full = root_->leaf
+                             ? root_->keys.size() >= kMaxEntries
+                             : root_->children.size() >= kMaxEntries;
+  if (root_full) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    DB_BB(kernel_, "grow_root");
+    split_child(root_.get(), 0);
+  }
+
+  Node* node = root_.get();
+  while (!node->leaf) {
+    DB_BB(kernel_, "level");
+    std::size_t i = node_upper_bound(node, key);
+    Node* child = node->children[i].get();
+    const bool full = child->leaf ? child->keys.size() >= kMaxEntries
+                                  : child->children.size() >= kMaxEntries;
+    DB_BB(kernel_, "split_check");
+    if (full) {
+      DB_BB(kernel_, "split");
+      split_child(node, i);
+      DB_BB(kernel_, "resteer");
+      if (node->keys[i].compare(key) <= 0) ++i;
+      child = node->children[i].get();
+    }
+    DB_BB(kernel_, "step");
+    node = child;
+  }
+
+  DB_BB(kernel_, "leaf_pos");
+  const std::size_t pos = node_upper_bound(node, key);
+  DB_BB(kernel_, "leaf_insert");
+  node->keys.insert(node->keys.begin() + pos, key);
+  node->rids.insert(node->rids.begin() + pos, rid);
+  ++entries_;
+  DB_BB(kernel_, "ret");
+}
+
+void BTreeIndex::descend_lower(const Value& key, Node*& leaf,
+                               std::size_t& idx) {
+  DB_ROUTINE(kernel_, "BT_descend");
+  DB_BB(kernel_, "entry");
+  Node* node = root_.get();
+  while (!node->leaf) {
+    DB_BB(kernel_, "level");
+    const std::size_t i = node_lower_bound(node, key);
+    DB_BB(kernel_, "step");
+    node = node->children[i].get();
+  }
+  DB_BB(kernel_, "leaf_pos");
+  idx = node_lower_bound(node, key);
+  leaf = node;
+  DB_BB(kernel_, "ret");
+}
+
+std::unique_ptr<IndexCursor> BTreeIndex::seek_equal(const Value& key) {
+  return seek_range(key, true, key, true);
+}
+
+std::unique_ptr<IndexCursor> BTreeIndex::seek_range(
+    const std::optional<Value>& lo, bool lo_inclusive,
+    const std::optional<Value>& hi, bool hi_inclusive) {
+  Node* leaf = root_.get();
+  std::size_t idx = 0;
+  if (lo.has_value()) {
+    descend_lower(*lo, leaf, idx);
+    if (!lo_inclusive) {
+      // Skip keys equal to the exclusive lower bound.
+      while (leaf != nullptr) {
+        if (idx >= leaf->keys.size()) {
+          leaf = leaf->next;
+          idx = 0;
+          continue;
+        }
+        if (leaf->keys[idx].compare(*lo) != 0) break;
+        ++idx;
+      }
+    }
+  } else {
+    // Leftmost leaf.
+    while (!leaf->leaf) leaf = leaf->children.front().get();
+  }
+  return std::make_unique<RangeCursor>(kernel_, leaf, idx, hi, hi_inclusive);
+}
+
+std::uint32_t BTreeIndex::height() const {
+  std::uint32_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+void BTreeIndex::check_invariants() const {
+  struct Walker {
+    std::uint64_t entries = 0;
+    int leaf_depth = -1;
+    const Node* prev_leaf = nullptr;
+
+    void walk(const Node* node, int depth, const Value* lo, const Value* hi) {
+      STC_CHECK(std::is_sorted(
+          node->keys.begin(), node->keys.end(),
+          [](const Value& a, const Value& b) { return a.compare(b) < 0; }));
+      for (const Value& k : node->keys) {
+        if (lo != nullptr) STC_CHECK(lo->compare(k) <= 0);
+        if (hi != nullptr) STC_CHECK(k.compare(*hi) <= 0);
+      }
+      if (node->leaf) {
+        STC_CHECK(node->keys.size() == node->rids.size());
+        if (leaf_depth < 0) leaf_depth = depth;
+        STC_CHECK_MSG(leaf_depth == depth, "unbalanced btree");
+        if (prev_leaf != nullptr) {
+          STC_CHECK_MSG(prev_leaf->next == node, "broken leaf chain");
+        }
+        prev_leaf = node;
+        entries += node->keys.size();
+        return;
+      }
+      STC_CHECK(node->children.size() == node->keys.size() + 1);
+      for (std::size_t i = 0; i < node->children.size(); ++i) {
+        const Value* child_lo = i == 0 ? lo : &node->keys[i - 1];
+        const Value* child_hi = i == node->keys.size() ? hi : &node->keys[i];
+        walk(node->children[i].get(), depth + 1, child_lo, child_hi);
+      }
+    }
+  };
+  Walker walker;
+  walker.walk(root_.get(), 0, nullptr, nullptr);
+  STC_CHECK_MSG(walker.entries == entries_, "btree entry count mismatch");
+  if (walker.prev_leaf != nullptr) {
+    STC_CHECK_MSG(walker.prev_leaf->next == nullptr, "leaf chain has a tail");
+  }
+}
+
+}  // namespace stc::db

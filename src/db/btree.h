@@ -1,0 +1,57 @@
+// B+tree index: sorted (key, RID) pairs in linked leaves under a balanced
+// tree of separator keys. Supports equality and range scans; duplicates are
+// allowed (foreign-key indices are multiple-entry, Section 3 of the paper).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "db/index.h"
+#include "db/kernel.h"
+
+namespace stc::db {
+
+class BTreeIndex final : public Index {
+ public:
+  // Fan-out: maximum entries per node. 2*t entries, CLRS-style.
+  static constexpr std::size_t kMaxEntries = 32;
+
+  explicit BTreeIndex(Kernel& kernel);
+  ~BTreeIndex() override;
+
+  IndexKind kind() const override { return IndexKind::kBTree; }
+  std::uint64_t entry_count() const override { return entries_; }
+
+  void insert(const Value& key, RID rid) override;
+  std::unique_ptr<IndexCursor> seek_equal(const Value& key) override;
+
+  // Range scan over keys in [lo, hi] with per-bound inclusivity; an empty
+  // optional means unbounded on that side.
+  std::unique_ptr<IndexCursor> seek_range(const std::optional<Value>& lo,
+                                          bool lo_inclusive,
+                                          const std::optional<Value>& hi,
+                                          bool hi_inclusive);
+
+  // Structural invariant checker used by tests: sorted keys, balanced depth,
+  // node occupancy, leaf chain consistency. Aborts on violation.
+  void check_invariants() const;
+
+  std::uint32_t height() const;
+
+ private:
+  struct Node;
+  class RangeCursor;
+
+  // Finds the first leaf position with key >= `key` (lower bound).
+  void descend_lower(const Value& key, Node*& leaf, std::size_t& idx);
+  void split_child(Node* parent, std::size_t child_idx);
+  std::size_t node_lower_bound(const Node* node, const Value& key) const;
+  std::size_t node_upper_bound(const Node* node, const Value& key) const;
+
+  Kernel& kernel_;
+  std::unique_ptr<Node> root_;
+  std::uint64_t entries_ = 0;
+};
+
+}  // namespace stc::db

@@ -1,0 +1,165 @@
+#include "db/buffer.h"
+
+#include "db/registration.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kFall = BlockKind::kFallThrough;
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kCall = BlockKind::kCall;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_buffer_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  im.add_routine("BM_hash_lookup", m,
+                 {{"entry", 6, kFall},
+                  {"mix", 7, kFall},         // hash the (file, page) pair
+                  {"probe", 8, kBr},         // bucket probe
+                  {"ret", 3, kRet}});
+  im.add_routine("BM_pin", m,
+                 {{"entry", 4, kCall},        // hash-table lookup
+                  {"hit", 6, kFall},          // bump pin count + recency
+                  {"hit_ret", 2, kRet},
+                  {"miss", 5, kCall},         // pick a victim frame
+                  {"evict_check", 4, kBr},    // victim dirty?
+                  {"writeback", 7, kCall},    // write dirty victim
+                  {"load", 8, kCall},         // read page from storage
+                  {"install", 10, kFall},     // rewire the frame table
+                  {"ret", 3, kRet}});
+  im.add_routine("BM_choose_victim", m,
+                 {{"entry", 5, kFall},
+                  {"scan", 9, kBr},           // LRU scan over frames
+                  {"better", 4, kBr},
+                  {"found_check", 4, kBr},
+                  {"ret", 3, kRet},
+                  {"err_all_pinned", 16, kRet}});
+  im.add_routine("BM_unpin", m,
+                 {{"entry", 8, kBr},
+                  {"mark", 5, kFall},
+                  {"ret", 2, kRet},
+                  {"err_notpinned", 14, kRet}});
+  im.add_routine("BM_flush_all", m,
+                 {{"entry", 5, kBr},
+                  {"scan", 7, kBr},
+                  {"write_one", 6, kCall},
+                  {"ret", 3, kRet}});
+}
+
+BufferManager::BufferManager(Kernel& kernel, StorageManager& storage,
+                             std::size_t frames)
+    : kernel_(kernel), storage_(storage), frames_(frames) {
+  STC_REQUIRE(frames > 0);
+}
+
+std::size_t BufferManager::choose_victim() {
+  DB_ROUTINE(kernel_, "BM_choose_victim");
+  DB_BB(kernel_, "entry");
+  std::size_t victim = frames_.size();
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    DB_BB(kernel_, "scan");
+    const Frame& f = frames_[i];
+    if (f.pin_count > 0) continue;
+    if (!f.valid) {
+      // An empty frame wins outright.
+      DB_BB(kernel_, "better");
+      victim = i;
+      break;
+    }
+    if (victim == frames_.size() || f.last_use < frames_[victim].last_use) {
+      DB_BB(kernel_, "better");
+      victim = i;
+    }
+  }
+  DB_BB(kernel_, "found_check");
+  if (victim == frames_.size()) {
+    DB_BB(kernel_, "err_all_pinned");
+    STC_CHECK_MSG(false, "buffer pool exhausted: all frames pinned");
+  }
+  DB_BB(kernel_, "ret");
+  return victim;
+}
+
+std::size_t BufferManager::hash_lookup(PageId id) {
+  DB_ROUTINE(kernel_, "BM_hash_lookup");
+  DB_BB(kernel_, "entry");
+  DB_BB(kernel_, "mix");
+  const auto it = frame_of_.find(id.key());
+  DB_BB(kernel_, "probe");
+  const std::size_t slot = it == frame_of_.end() ? kNoFrame : it->second;
+  DB_BB(kernel_, "ret");
+  return slot;
+}
+
+Page& BufferManager::pin(PageId id) {
+  DB_ROUTINE(kernel_, "BM_pin");
+  DB_BB(kernel_, "entry");
+  ++stats_.lookups;
+  ++clock_;
+  const std::size_t found = hash_lookup(id);
+  if (found != kNoFrame) {
+    DB_BB(kernel_, "hit");
+    ++stats_.hits;
+    Frame& frame = frames_[found];
+    ++frame.pin_count;
+    frame.last_use = clock_;
+    DB_BB(kernel_, "hit_ret");
+    return frame.page;
+  }
+
+  DB_BB(kernel_, "miss");
+  const std::size_t slot = choose_victim();
+  Frame& frame = frames_[slot];
+  DB_BB(kernel_, "evict_check");
+  if (frame.valid) {
+    ++stats_.evictions;
+    frame_of_.erase(frame.id.key());
+    if (frame.dirty) {
+      DB_BB(kernel_, "writeback");
+      ++stats_.dirty_writebacks;
+      storage_.write_page(frame.id, frame.page);
+    }
+  }
+  DB_BB(kernel_, "load");
+  storage_.read_page(id, frame.page);
+  DB_BB(kernel_, "install");
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.valid = true;
+  frame.last_use = clock_;
+  frame_of_[id.key()] = slot;
+  DB_BB(kernel_, "ret");
+  return frame.page;
+}
+
+void BufferManager::unpin(PageId id, bool dirty) {
+  DB_ROUTINE(kernel_, "BM_unpin");
+  DB_BB(kernel_, "entry");
+  const auto it = frame_of_.find(id.key());
+  if (it == frame_of_.end() || frames_[it->second].pin_count == 0) {
+    DB_BB(kernel_, "err_notpinned");
+    STC_CHECK_MSG(false, "unpin of a page that is not pinned");
+  }
+  DB_BB(kernel_, "mark");
+  Frame& frame = frames_[it->second];
+  --frame.pin_count;
+  frame.dirty = frame.dirty || dirty;
+  DB_BB(kernel_, "ret");
+}
+
+void BufferManager::flush_all() {
+  DB_ROUTINE(kernel_, "BM_flush_all");
+  DB_BB(kernel_, "entry");
+  for (Frame& frame : frames_) {
+    DB_BB(kernel_, "scan");
+    if (!frame.valid || !frame.dirty) continue;
+    DB_BB(kernel_, "write_one");
+    storage_.write_page(frame.id, frame.page);
+    frame.dirty = false;
+  }
+  DB_BB(kernel_, "ret");
+}
+
+}  // namespace stc::db

@@ -1,0 +1,75 @@
+// Buffer Manager: manages in-memory page frames the way an OS virtual memory
+// manager does (paper Section 2.1), providing pinned pages to the Access
+// Methods. LRU replacement over unpinned frames, write-back of dirty pages.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "db/kernel.h"
+#include "db/storage.h"
+
+namespace stc::db {
+
+struct BufferStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_writebacks = 0;
+
+  double hit_ratio() const {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class BufferManager {
+ public:
+  BufferManager(Kernel& kernel, StorageManager& storage, std::size_t frames);
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  // Pins the page into a frame (fetching it from storage on a miss) and
+  // returns it. The caller must unpin() with the same id when done.
+  Page& pin(PageId id);
+
+  // Releases one pin; `dirty` marks the frame for write-back on eviction.
+  void unpin(PageId id, bool dirty);
+
+  // Writes every dirty frame back to storage (end-of-statement hygiene;
+  // cold during read-only DSS execution except at load time).
+  void flush_all();
+
+  std::size_t frame_count() const { return frames_.size(); }
+  const BufferStats& stats() const { return stats_; }
+
+ private:
+  struct Frame {
+    PageId id;
+    Page page;
+    std::uint32_t pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+    std::uint64_t last_use = 0;
+  };
+
+  static constexpr std::size_t kNoFrame = ~std::size_t{0};
+
+  // Instrumented frame-table probe; returns kNoFrame on miss.
+  std::size_t hash_lookup(PageId id);
+
+  // Chooses the least-recently-used unpinned frame; aborts if all pinned.
+  std::size_t choose_victim();
+
+  Kernel& kernel_;
+  StorageManager& storage_;
+  std::vector<Frame> frames_;
+  std::unordered_map<std::uint64_t, std::size_t> frame_of_;
+  std::uint64_t clock_ = 0;
+  BufferStats stats_;
+};
+
+}  // namespace stc::db

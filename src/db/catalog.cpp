@@ -1,0 +1,96 @@
+#include "db/catalog.h"
+
+#include "db/registration.h"
+#include "support/check.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kFall = BlockKind::kFallThrough;
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_catalog_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  im.add_routine("Cat_create_table", m,
+                 {{"entry", 7, kFall},
+                  {"install", 10, kFall},
+                  {"ret", 3, kRet}});
+  im.add_routine("Cat_lookup", m,
+                 {{"entry", 5, kBr},
+                  {"probe", 8, kBr},    // per-table name comparison
+                  {"found", 4, kRet},
+                  {"miss", 4, kRet}});
+  im.add_routine("Cat_column_resolve", m,
+                 {{"entry", 5, kBr},
+                  {"probe", 7, kBr},
+                  {"found", 3, kRet},
+                  {"miss", 3, kRet}});
+}
+
+int Schema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const IndexInfo* TableInfo::index_on(int column) const {
+  for (const IndexInfo& info : indexes) {
+    if (info.column == column) return &info;
+  }
+  return nullptr;
+}
+
+TableInfo& Catalog::create_table(std::string name, Schema schema,
+                                 std::unique_ptr<HeapFile> heap) {
+  DB_ROUTINE(kernel_, "Cat_create_table");
+  DB_BB(kernel_, "entry");
+  for (const auto& table : tables_) {
+    STC_REQUIRE_MSG(table->name != name, "duplicate table name");
+  }
+  DB_BB(kernel_, "install");
+  auto table = std::make_unique<TableInfo>();
+  table->name = std::move(name);
+  table->schema = std::move(schema);
+  table->heap = std::move(heap);
+  tables_.push_back(std::move(table));
+  DB_BB(kernel_, "ret");
+  return *tables_.back();
+}
+
+TableInfo* Catalog::lookup(const std::string& name) {
+  DB_ROUTINE(kernel_, "Cat_lookup");
+  DB_BB(kernel_, "entry");
+  for (const auto& table : tables_) {
+    DB_BB(kernel_, "probe");
+    if (table->name == name) {
+      DB_BB(kernel_, "found");
+      return table.get();
+    }
+  }
+  DB_BB(kernel_, "miss");
+  return nullptr;
+}
+
+const TableInfo* Catalog::lookup(const std::string& name) const {
+  return const_cast<Catalog*>(this)->lookup(name);
+}
+
+int resolve_column(Kernel& kernel, const Schema& schema,
+                   const std::string& name) {
+  DB_ROUTINE(kernel, "Cat_column_resolve");
+  DB_BB(kernel, "entry");
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    DB_BB(kernel, "probe");
+    if (schema.column(i).name == name) {
+      DB_BB(kernel, "found");
+      return static_cast<int>(i);
+    }
+  }
+  DB_BB(kernel, "miss");
+  return -1;
+}
+
+}  // namespace stc::db

@@ -1,0 +1,85 @@
+// System catalog: table schemas, heap files and index metadata.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/heap.h"
+#include "db/index.h"
+#include "db/kernel.h"
+
+namespace stc::db {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  std::size_t size() const { return columns_.size(); }
+  const Column& column(std::size_t i) const { return columns_.at(i); }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Index of a column by name; -1 if absent.
+  int index_of(const std::string& name) const;
+
+  void add(std::string name, ValueType type) {
+    columns_.push_back({std::move(name), type});
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+struct IndexInfo {
+  std::string name;
+  int column = 0;       // indexed column position in the table schema
+  bool unique = false;  // primary-key indices are unique (paper Section 3)
+  std::unique_ptr<Index> index;
+};
+
+struct TableInfo {
+  std::string name;
+  Schema schema;
+  std::unique_ptr<HeapFile> heap;
+  std::vector<IndexInfo> indexes;
+
+  // First index on `column`, or nullptr.
+  const IndexInfo* index_on(int column) const;
+};
+
+// Instrumented column-name resolution against a schema; returns -1 when the
+// name does not resolve. Used by the planner.
+int resolve_column(Kernel& kernel, const Schema& schema,
+                   const std::string& name);
+
+class Catalog {
+ public:
+  explicit Catalog(Kernel& kernel) : kernel_(kernel) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  TableInfo& create_table(std::string name, Schema schema,
+                          std::unique_ptr<HeapFile> heap);
+
+  // Looks a table up by name (instrumented: catalog lookups are part of the
+  // per-query kernel path). Returns nullptr when absent.
+  TableInfo* lookup(const std::string& name);
+  const TableInfo* lookup(const std::string& name) const;
+
+  std::size_t table_count() const { return tables_.size(); }
+  TableInfo& table_at(std::size_t i) { return *tables_.at(i); }
+
+ private:
+  Kernel& kernel_;
+  std::vector<std::unique_ptr<TableInfo>> tables_;
+};
+
+}  // namespace stc::db

@@ -1,0 +1,84 @@
+// Utility and maintenance code of the engine: error reporting, formatting,
+// configuration, vacuum/analyze-style maintenance, integrity checking.
+//
+// All of it is real, tested code — but almost none of it executes during
+// Decision-Support query runs. It models the large cold fraction of a DBMS
+// binary the paper measures in Table 1 (only ~12% of PostgreSQL's static
+// instructions were touched by the Training set).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/catalog.h"
+#include "db/database.h"
+#include "db/kernel.h"
+#include "db/value.h"
+
+namespace stc::db::util {
+
+// ---- error reporting --------------------------------------------------------
+
+enum class ErrorCode : std::uint8_t {
+  kNone,
+  kSyntax,
+  kSemantic,
+  kOutOfRange,
+  kCorruptPage,
+  kBufferExhausted,
+  kInternal,
+};
+
+// Builds a formatted diagnostic message ("ERROR 42: ..."), the way a real
+// backend prepares elog() output.
+std::string format_error(Kernel& kernel, ErrorCode code,
+                         const std::string& detail);
+
+// ---- value / tuple formatting -----------------------------------------------
+
+// Renders a tuple as a '|'-separated row (psql-style output).
+std::string format_row(Kernel& kernel, const Tuple& tuple);
+
+// Fixed-point money formatting with thousands separators.
+std::string format_money(Kernel& kernel, double amount);
+
+// ---- configuration ------------------------------------------------------------
+
+// Parses "key = value" configuration text (comments with '#'); unknown keys
+// are kept verbatim. Returns the map, aborts on malformed lines.
+std::unordered_map<std::string, std::string> parse_config(
+    Kernel& kernel, const std::string& text);
+
+// ---- checksums ----------------------------------------------------------------
+
+// CRC-32 (IEEE polynomial, bitwise implementation) used by page checksum
+// maintenance paths.
+std::uint32_t crc32(Kernel& kernel, const std::uint8_t* data, std::size_t n);
+
+// ---- maintenance ----------------------------------------------------------------
+
+struct VacuumStats {
+  std::uint64_t pages_visited = 0;
+  std::uint64_t tuples_seen = 0;
+};
+
+// Scans every page of a table validating slot directories (a read-only
+// VACUUM). Cold during DSS runs; exercised by maintenance tests.
+VacuumStats vacuum_table(Database& db, const std::string& table);
+
+struct AnalyzeStats {
+  std::uint64_t rows = 0;
+  std::vector<Value> min_values;  // per column
+  std::vector<Value> max_values;
+};
+
+// ANALYZE-style statistics collection over a table.
+AnalyzeStats analyze_table(Database& db, const std::string& table);
+
+// Cross-checks every index of a table against its heap: each heap tuple must
+// be reachable through each index. Returns the number of entries verified.
+std::uint64_t check_table_integrity(Database& db, const std::string& table);
+
+}  // namespace stc::db::util

@@ -1,0 +1,129 @@
+#include "db/database.h"
+
+#include <cctype>
+
+#include "db/btree.h"
+#include "db/hash_index.h"
+#include "db/registration.h"
+#include "db/sql/parser.h"
+#include "support/check.h"
+
+namespace stc::db {
+namespace {
+
+std::string upper(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
+
+Database::Database(std::size_t buffer_frames)
+    : storage_(kernel_), buffer_(kernel_, storage_, buffer_frames),
+      catalog_(kernel_) {}
+
+TableInfo& Database::create_table(const std::string& name, Schema schema) {
+  Schema upper_schema;
+  for (const Column& col : schema.columns()) {
+    upper_schema.add(upper(col.name), col.type);
+  }
+  const std::uint32_t file = storage_.create_file();
+  auto heap = std::make_unique<HeapFile>(kernel_, buffer_, storage_, file);
+  return catalog_.create_table(upper(name), std::move(upper_schema),
+                               std::move(heap));
+}
+
+void Database::create_index(const std::string& table_name,
+                            const std::string& column, IndexKind kind,
+                            bool unique) {
+  TableInfo* table = catalog_.lookup(upper(table_name));
+  STC_REQUIRE_MSG(table != nullptr, "create_index: unknown table");
+  const int col = table->schema.index_of(upper(column));
+  STC_REQUIRE_MSG(col >= 0, "create_index: unknown column");
+
+  IndexInfo info;
+  info.name = upper(table_name) + "_" + upper(column) + "_" +
+              (kind == IndexKind::kBTree ? "BT" : "HX");
+  info.column = col;
+  info.unique = unique;
+  if (kind == IndexKind::kBTree) {
+    info.index = std::make_unique<BTreeIndex>(kernel_);
+  } else {
+    info.index = std::make_unique<HashIndex>(kernel_);
+  }
+
+  // Backfill from existing rows.
+  HeapFile::Scanner scanner(*table->heap);
+  Tuple tuple;
+  RID rid;
+  while (scanner.next(tuple, rid)) {
+    info.index->insert(tuple[static_cast<std::size_t>(col)], rid);
+  }
+  table->indexes.push_back(std::move(info));
+}
+
+void Database::insert(TableInfo& table, const Tuple& tuple) {
+  DB_ROUTINE(kernel_, "Db_insert");
+  DB_BB(kernel_, "entry");
+  STC_REQUIRE(tuple.size() == table.schema.size());
+  const RID rid = table.heap->insert(tuple);
+  for (IndexInfo& index : table.indexes) {
+    DB_BB(kernel_, "index_loop");
+    DB_BB(kernel_, "index_insert");
+    index.index->insert(tuple[static_cast<std::size_t>(index.column)], rid);
+  }
+  DB_BB(kernel_, "ret");
+}
+
+std::unique_ptr<PlanNode> Database::plan(const std::string& sql_text,
+                                         const sql::PlannerOptions& options) {
+  DB_ROUTINE(kernel_, "Db_prepare");
+  DB_BB(kernel_, "entry");
+  auto ast = sql::parse_query(kernel_, sql_text);
+  DB_BB(kernel_, "plan");
+  auto plan = sql::plan_query(kernel_, catalog_, *ast, options);
+  DB_BB(kernel_, "ret");
+  return plan;
+}
+
+QueryResult Database::run_query(const std::string& sql_text,
+                                const sql::PlannerOptions& options) {
+  QueryResult result;
+  DB_ROUTINE(kernel_, "Db_run_query");
+  DB_BB(kernel_, "entry");
+  const std::unique_ptr<PlanNode> root = plan(sql_text, options);
+  result.schema = root->out_schema;
+  result.plan_text = root->explain();
+  DB_BB(kernel_, "execute");
+  result.rows = run_plan(kernel_, *root);
+  DB_BB(kernel_, "ret");
+  return result;
+}
+
+void register_util_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  using cfg::BlockKind;
+  constexpr BlockKind kBr = BlockKind::kBranch;
+  constexpr BlockKind kCall = BlockKind::kCall;
+  constexpr BlockKind kRet = BlockKind::kReturn;
+
+  im.add_routine("Db_insert", m,
+                 {{"entry", 6, kCall},         // heap insert
+                  {"index_loop", 4, kBr},
+                  {"index_insert", 4, kCall},
+                  {"ret", 3, kRet}});
+  im.add_routine("Db_prepare", m,
+                 {{"entry", 6, kCall},   // parse
+                  {"plan", 5, kCall},    // plan
+                  {"ret", 3, kRet}});
+  im.add_routine("Db_run_query", m,
+                 {{"entry", 6, kCall},    // prepare
+                  {"execute", 5, kCall},  // run the plan
+                  {"ret", 3, kRet}});
+
+  register_dbgen_routines(im, m);
+  register_coldcode_routines(im, m);
+}
+
+}  // namespace stc::db

@@ -1,0 +1,57 @@
+// Database: one backend instance wiring the whole module stack together
+// (storage -> buffer -> access -> executor, plus the SQL front end).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/buffer.h"
+#include "db/catalog.h"
+#include "db/exec.h"
+#include "db/sql/planner.h"
+#include "db/storage.h"
+
+namespace stc::db {
+
+struct QueryResult {
+  std::vector<Tuple> rows;
+  Schema schema;
+  std::string plan_text;  // EXPLAIN rendering of the executed plan
+};
+
+class Database {
+ public:
+  // `buffer_frames` sizes the buffer pool (frames of kPageBytes each).
+  explicit Database(std::size_t buffer_frames = 256);
+
+  Kernel& kernel() { return kernel_; }
+  Catalog& catalog() { return catalog_; }
+  BufferManager& buffer() { return buffer_; }
+  StorageManager& storage() { return storage_; }
+
+  // Schema definition. Column names are stored upper-cased so SQL
+  // identifiers resolve case-insensitively.
+  TableInfo& create_table(const std::string& name, Schema schema);
+  void create_index(const std::string& table, const std::string& column,
+                    IndexKind kind, bool unique);
+
+  // Inserts a row, maintaining every index on the table.
+  void insert(TableInfo& table, const Tuple& tuple);
+
+  // Parses, plans and executes one SELECT statement.
+  QueryResult run_query(const std::string& sql,
+                        const sql::PlannerOptions& options = {});
+
+  // Plans without executing (EXPLAIN).
+  std::unique_ptr<PlanNode> plan(const std::string& sql,
+                                 const sql::PlannerOptions& options = {});
+
+ private:
+  Kernel kernel_;
+  StorageManager storage_;
+  BufferManager buffer_;
+  Catalog catalog_;
+};
+
+}  // namespace stc::db

@@ -1,0 +1,379 @@
+// Dispatchers, scan/filter/project/limit/materialize operators, factory.
+#include "db/exec.h"
+
+#include "db/btree.h"
+#include "db/exec_internal.h"
+#include "db/hash_index.h"
+#include "support/check.h"
+
+namespace stc::db {
+
+void Operator::rewind() {
+  STC_CHECK_MSG(false, "operator does not support rewind");
+}
+
+// ---- instrumented dispatchers ----------------------------------------------
+
+void exec_open(Kernel& k, Operator& op) {
+  DB_ROUTINE(k, "Exec_open_node");
+  DB_BB(k, "entry");
+  DB_BB(k, "dispatch");
+  op.open();
+  DB_BB(k, "ret");
+}
+
+bool exec_next(Kernel& k, Operator& op, Tuple& out) {
+  DB_ROUTINE(k, "Exec_proc_node");
+  DB_BB(k, "entry");
+  DB_BB(k, "dispatch");
+  const bool produced = op.next(out);
+  DB_BB(k, "ret");
+  return produced;
+}
+
+void exec_close(Kernel& k, Operator& op) {
+  DB_ROUTINE(k, "Exec_close_node");
+  DB_BB(k, "entry");
+  DB_BB(k, "dispatch");
+  op.close();
+  DB_BB(k, "ret");
+}
+
+void exec_rewind(Kernel& k, Operator& op) {
+  DB_ROUTINE(k, "Exec_rewind_node");
+  DB_BB(k, "entry");
+  DB_BB(k, "dispatch");
+  op.rewind();
+  DB_BB(k, "ret");
+}
+
+namespace detail {
+namespace {
+
+// ---- SeqScan ----------------------------------------------------------------
+
+class SeqScanOp final : public Operator {
+ public:
+  SeqScanOp(Kernel& k, const PlanNode& plan) : k_(k), plan_(plan) {}
+
+  void open() override {
+    scanner_.emplace(*plan_.table->heap);
+  }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_seqscan_next");
+    DB_BB(k_, "entry");
+    RID rid;
+    while (true) {
+      DB_BB(k_, "fetch");
+      if (!scanner_->next(out, rid)) {
+        DB_BB(k_, "eof_ret");
+        return false;
+      }
+      if (plan_.qual != nullptr) {
+        DB_BB(k_, "qual");
+        if (!eval_predicate(k_, *plan_.qual, out)) continue;
+      }
+      DB_BB(k_, "emit");
+      DB_BB(k_, "ret");
+      return true;
+    }
+  }
+
+  void close() override { scanner_.reset(); }
+  void rewind() override { scanner_.emplace(*plan_.table->heap); }
+
+ private:
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::optional<HeapFile::Scanner> scanner_;
+};
+
+// ---- IndexScan --------------------------------------------------------------
+
+class IndexScanOp final : public Operator {
+ public:
+  IndexScanOp(Kernel& k, const PlanNode& plan) : k_(k), plan_(plan) {}
+
+  void open() override {
+    DB_ROUTINE(k_, "Exec_idxscan_open");
+    DB_BB(k_, "entry");
+    Index* index = plan_.index->index.get();
+    if (index->kind() == IndexKind::kBTree) {
+      DB_BB(k_, "seek_btree");
+      cursor_ = static_cast<BTreeIndex*>(index)->seek_range(
+          plan_.lo, plan_.lo_inclusive, plan_.hi, plan_.hi_inclusive);
+    } else {
+      // Hash indices support equality probes only; the planner guarantees
+      // lo == hi for hash index scans.
+      STC_REQUIRE(plan_.lo.has_value() && plan_.hi.has_value() &&
+                  plan_.lo->compare(*plan_.hi) == 0);
+      DB_BB(k_, "seek_hash");
+      cursor_ = index->seek_equal(*plan_.lo);
+    }
+    DB_BB(k_, "ret");
+  }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_idxscan_next");
+    DB_BB(k_, "entry");
+    RID rid;
+    while (true) {
+      DB_BB(k_, "cursor");
+      if (!cursor_->next(rid)) {
+        DB_BB(k_, "eof_ret");
+        return false;
+      }
+      DB_BB(k_, "fetch");
+      plan_.table->heap->get(rid, out);
+      if (plan_.qual != nullptr) {
+        DB_BB(k_, "qual");
+        if (!eval_predicate(k_, *plan_.qual, out)) continue;
+      }
+      DB_BB(k_, "emit");
+      DB_BB(k_, "ret");
+      return true;
+    }
+  }
+
+  void close() override { cursor_.reset(); }
+  void rewind() override { open(); }
+
+ private:
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::unique_ptr<IndexCursor> cursor_;
+};
+
+// ---- Filter (Qualify) --------------------------------------------------------
+
+class FilterOp final : public Operator {
+ public:
+  FilterOp(Kernel& k, const PlanNode& plan, std::unique_ptr<Operator> child)
+      : k_(k), plan_(plan), child_(std::move(child)) {}
+
+  void open() override { exec_open(k_, *child_); }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_qual_next");
+    DB_BB(k_, "entry");
+    while (true) {
+      DB_BB(k_, "child");
+      if (!exec_next(k_, *child_, out)) {
+        DB_BB(k_, "eof_ret");
+        return false;
+      }
+      DB_BB(k_, "qual");
+      if (!eval_predicate(k_, *plan_.qual, out)) continue;
+      DB_BB(k_, "emit");
+      DB_BB(k_, "ret");
+      return true;
+    }
+  }
+
+  void close() override { exec_close(k_, *child_); }
+
+ private:
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::unique_ptr<Operator> child_;
+};
+
+// ---- Project -----------------------------------------------------------------
+
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(Kernel& k, const PlanNode& plan, std::unique_ptr<Operator> child)
+      : k_(k), plan_(plan), child_(std::move(child)) {}
+
+  void open() override { exec_open(k_, *child_); }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_project_next");
+    DB_BB(k_, "entry");
+    if (!exec_next(k_, *child_, input_)) {
+      DB_BB(k_, "eof_ret");
+      return false;
+    }
+    out.clear();
+    out.reserve(plan_.exprs.size());
+    for (const auto& expr : plan_.exprs) {
+      DB_BB(k_, "col_loop");
+      DB_BB(k_, "eval");
+      out.push_back(eval_expr(k_, *expr, input_));
+    }
+    DB_BB(k_, "ret");
+    return true;
+  }
+
+  void close() override { exec_close(k_, *child_); }
+
+ private:
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::unique_ptr<Operator> child_;
+  Tuple input_;
+};
+
+// ---- Limit -------------------------------------------------------------------
+
+class LimitOp final : public Operator {
+ public:
+  LimitOp(Kernel& k, const PlanNode& plan, std::unique_ptr<Operator> child)
+      : k_(k), plan_(plan), child_(std::move(child)) {}
+
+  void open() override {
+    produced_ = 0;
+    exec_open(k_, *child_);
+  }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_limit_next");
+    DB_BB(k_, "entry");
+    if (produced_ >= plan_.limit) {
+      DB_BB(k_, "eof_ret");
+      return false;
+    }
+    DB_BB(k_, "child");
+    if (!exec_next(k_, *child_, out)) {
+      DB_BB(k_, "eof_ret");
+      return false;
+    }
+    ++produced_;
+    DB_BB(k_, "ret");
+    return true;
+  }
+
+  void close() override { exec_close(k_, *child_); }
+
+ private:
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::unique_ptr<Operator> child_;
+  std::uint64_t produced_ = 0;
+};
+
+// ---- Materialize ---------------------------------------------------------------
+
+class MaterializeOp final : public Operator {
+ public:
+  MaterializeOp(Kernel& k, std::unique_ptr<Operator> child)
+      : k_(k), child_(std::move(child)) {}
+
+  void open() override {
+    DB_ROUTINE(k_, "Exec_material_open");
+    DB_BB(k_, "entry");
+    exec_open(k_, *child_);
+    rows_.clear();
+    Tuple tuple;
+    while (true) {
+      DB_BB(k_, "fetch");
+      if (!exec_next(k_, *child_, tuple)) break;
+      DB_BB(k_, "store");
+      rows_.push_back(tuple);
+    }
+    DB_BB(k_, "close_child");
+    exec_close(k_, *child_);
+    pos_ = 0;
+    DB_BB(k_, "ret");
+  }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_material_next");
+    DB_BB(k_, "entry");
+    if (pos_ >= rows_.size()) {
+      DB_BB(k_, "eof_ret");
+      return false;
+    }
+    DB_BB(k_, "emit");
+    out = rows_[pos_++];
+    DB_BB(k_, "ret");
+    return true;
+  }
+
+  void close() override {}
+  void rewind() override { pos_ = 0; }
+
+ private:
+  Kernel& k_;
+  std::unique_ptr<Operator> child_;
+  std::vector<Tuple> rows_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> make_scan_op(Kernel& k, const PlanNode& plan) {
+  if (plan.kind == PlanKind::kSeqScan) {
+    return std::make_unique<SeqScanOp>(k, plan);
+  }
+  return std::make_unique<IndexScanOp>(k, plan);
+}
+
+std::unique_ptr<Operator> make_filter_op(Kernel& k, const PlanNode& plan) {
+  return std::make_unique<FilterOp>(k, plan, make_operator(k, *plan.children[0]));
+}
+
+std::unique_ptr<Operator> make_project_op(Kernel& k, const PlanNode& plan) {
+  return std::make_unique<ProjectOp>(k, plan,
+                                     make_operator(k, *plan.children[0]));
+}
+
+std::unique_ptr<Operator> make_limit_op(Kernel& k, const PlanNode& plan) {
+  return std::make_unique<LimitOp>(k, plan, make_operator(k, *plan.children[0]));
+}
+
+std::unique_ptr<Operator> make_materialize_op(Kernel& k, const PlanNode& plan) {
+  return std::make_unique<MaterializeOp>(k, make_operator(k, *plan.children[0]));
+}
+
+}  // namespace detail
+
+std::unique_ptr<Operator> make_operator(Kernel& kernel, const PlanNode& plan) {
+  switch (plan.kind) {
+    case PlanKind::kSeqScan:
+    case PlanKind::kIndexScan:
+      return detail::make_scan_op(kernel, plan);
+    case PlanKind::kFilter:
+      return detail::make_filter_op(kernel, plan);
+    case PlanKind::kProject:
+      return detail::make_project_op(kernel, plan);
+    case PlanKind::kLimit:
+      return detail::make_limit_op(kernel, plan);
+    case PlanKind::kMaterialize:
+      return detail::make_materialize_op(kernel, plan);
+    case PlanKind::kNLJoin:
+    case PlanKind::kIndexNLJoin:
+    case PlanKind::kHashJoin:
+    case PlanKind::kMergeJoin:
+      return detail::make_join_op(kernel, plan);
+    case PlanKind::kSort:
+      return detail::make_sort_op(kernel, plan);
+    case PlanKind::kAggregate:
+      return detail::make_aggregate_op(kernel, plan);
+  }
+  STC_CHECK_MSG(false, "unknown plan kind");
+  return nullptr;
+}
+
+std::vector<Tuple> run_plan(Kernel& kernel, const PlanNode& plan) {
+  std::unique_ptr<Operator> root = make_operator(kernel, plan);
+  std::vector<Tuple> rows;
+  DB_ROUTINE(kernel, "Exec_run_query");
+  DB_BB(kernel, "entry");
+  exec_open(kernel, *root);
+  Tuple tuple;
+  while (true) {
+    DB_BB(kernel, "pull");
+    const bool produced = exec_next(kernel, *root, tuple);
+    DB_BB(kernel, "collect");
+    if (!produced) break;
+    rows.push_back(tuple);
+  }
+  DB_BB(kernel, "shutdown");
+  exec_close(kernel, *root);
+  DB_BB(kernel, "ret");
+  return rows;
+}
+
+}  // namespace stc::db

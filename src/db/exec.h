@@ -1,0 +1,37 @@
+// Volcano-style executor: one Operator per plan node, pull-based next().
+#pragma once
+
+#include <memory>
+
+#include "db/plan.h"
+
+namespace stc::db {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  // Prepares the operator (builds hash tables, sorts inputs, ...).
+  virtual void open() = 0;
+
+  // Produces the next tuple; returns false when exhausted.
+  virtual bool next(Tuple& out) = 0;
+
+  // Releases resources. Operators may be re-opened after close().
+  virtual void close() = 0;
+
+  // Resets to the first tuple without rebuilding state where possible.
+  // Only rewindable operators (scans, materialize) support this; others
+  // abort — the planner never puts a non-rewindable operator under a naive
+  // nested-loops inner.
+  virtual void rewind();
+};
+
+// Instantiates the executor tree for `plan`. The plan must outlive the
+// returned operator.
+std::unique_ptr<Operator> make_operator(Kernel& kernel, const PlanNode& plan);
+
+// Convenience: open/drain/close, returning all produced tuples.
+std::vector<Tuple> run_plan(Kernel& kernel, const PlanNode& plan);
+
+}  // namespace stc::db

@@ -1,0 +1,269 @@
+// Sort and Aggregate/Group operators. Both stop the pipelined execution and
+// buffer their input (the paper notes this makes them "somehow unique" among
+// the Executor operations: they store temporary results without going
+// through the Access Methods).
+#include <algorithm>
+#include <unordered_map>
+
+#include "db/exec_internal.h"
+#include "db/typeops.h"
+#include "support/check.h"
+
+namespace stc::db {
+namespace detail {
+namespace {
+
+// ---- Sort -------------------------------------------------------------------
+
+class SortOp final : public Operator {
+ public:
+  SortOp(Kernel& k, const PlanNode& plan, std::unique_ptr<Operator> child)
+      : k_(k), plan_(plan), child_(std::move(child)) {}
+
+  void open() override {
+    DB_ROUTINE(k_, "Exec_sort_open");
+    DB_BB(k_, "entry");
+    exec_open(k_, *child_);
+    rows_.clear();
+    Tuple tuple;
+    while (true) {
+      DB_BB(k_, "fetch");
+      if (!exec_next(k_, *child_, tuple)) break;
+      DB_BB(k_, "collect");
+      rows_.push_back(tuple);
+    }
+    const auto& keys = plan_.sort_keys;
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [&](const Tuple& a, const Tuple& b) {
+                       for (const SortKey& key : keys) {
+                         DB_BB(k_, "cmp");
+                         const int c = cmp_dispatch(
+                             k_, a[static_cast<std::size_t>(key.column)],
+                             b[static_cast<std::size_t>(key.column)]);
+                         if (c != 0) return key.descending ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+    DB_BB(k_, "done");
+    pos_ = 0;
+    DB_BB(k_, "ret");
+  }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_sort_next");
+    DB_BB(k_, "entry");
+    if (pos_ >= rows_.size()) {
+      DB_BB(k_, "eof_ret");
+      return false;
+    }
+    DB_BB(k_, "emit");
+    out = rows_[pos_++];
+    DB_BB(k_, "ret");
+    return true;
+  }
+
+  void close() override {
+    rows_.clear();
+    exec_close(k_, *child_);
+  }
+
+  void rewind() override { pos_ = 0; }
+
+ private:
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::unique_ptr<Operator> child_;
+  std::vector<Tuple> rows_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Aggregate / Group --------------------------------------------------------
+
+struct GroupKey {
+  Tuple values;
+
+  bool operator==(const GroupKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i].compare(other.values[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct GroupKeyHasher {
+  std::size_t operator()(const GroupKey& key) const {
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const Value& v : key.values) {
+      h ^= v.hash();
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct AggState {
+  std::uint64_t count = 0;
+  bool all_int = true;
+  std::int64_t isum = 0;
+  double dsum = 0.0;
+  Value minmax;  // running MIN or MAX
+
+  void fold(Kernel& k, AggOp op, const Value& v) {
+    DB_ROUTINE(k, "Agg_fold");
+    DB_BB(k, "entry");
+    if (v.is_null()) {
+      DB_BB(k, "count");
+      return;
+    }
+    ++count;
+    switch (op) {
+      case AggOp::kCount:
+        DB_BB(k, "count");
+        break;
+      case AggOp::kSum:
+      case AggOp::kAvg:
+        if (v.type() == ValueType::kInt) {
+          isum += v.as_int();
+        } else {
+          all_int = false;
+        }
+        dsum += v.as_double();
+        DB_BB(k, "sum");
+        break;
+      case AggOp::kMin:
+      case AggOp::kMax: {
+        if (minmax.is_null()) {
+          minmax = v;
+          DB_BB(k, "minmax_ret");
+          break;
+        }
+        DB_BB(k, "minmax_cmp");
+        const int c = cmp_dispatch(k, v, minmax);
+        if (op == AggOp::kMin ? c < 0 : c > 0) minmax = v;
+        DB_BB(k, "minmax_ret");
+        break;
+      }
+    }
+  }
+
+  Value finalize(AggOp op) const {
+    switch (op) {
+      case AggOp::kCount:
+        return Value(static_cast<std::int64_t>(count));
+      case AggOp::kSum:
+        if (count == 0) return Value::null();
+        return all_int ? Value(isum) : Value(dsum);
+      case AggOp::kAvg:
+        if (count == 0) return Value::null();
+        return Value(dsum / static_cast<double>(count));
+      case AggOp::kMin:
+      case AggOp::kMax:
+        return minmax;
+    }
+    return Value::null();
+  }
+};
+
+class AggregateOp final : public Operator {
+ public:
+  AggregateOp(Kernel& k, const PlanNode& plan, std::unique_ptr<Operator> child)
+      : k_(k), plan_(plan), child_(std::move(child)) {}
+
+  void open() override {
+    DB_ROUTINE(k_, "Exec_agg_open");
+    DB_BB(k_, "entry");
+    exec_open(k_, *child_);
+    groups_.clear();
+    order_.clear();
+    Tuple tuple;
+    while (true) {
+      DB_BB(k_, "fetch");
+      if (!exec_next(k_, *child_, tuple)) break;
+      DB_BB(k_, "group_key");
+      GroupKey key;
+      key.values.reserve(plan_.group_cols.size());
+      for (int col : plan_.group_cols) {
+        key.values.push_back(tuple[static_cast<std::size_t>(col)]);
+      }
+      DB_BB(k_, "probe");
+      auto it = groups_.find(key);
+      if (it == groups_.end()) {
+        DB_BB(k_, "new_group");
+        it = groups_.emplace(std::move(key),
+                             std::vector<AggState>(plan_.aggs.size()))
+                 .first;
+        order_.push_back(&*it);
+      }
+      for (std::size_t a = 0; a < plan_.aggs.size(); ++a) {
+        DB_BB(k_, "accum");
+        const AggSpec& spec = plan_.aggs[a];
+        const Value v = spec.arg != nullptr
+                            ? eval_expr(k_, *spec.arg, tuple)
+                            : Value(std::int64_t{1});
+        DB_BB(k_, "fold");
+        it->second[a].fold(k_, spec.op, v);
+      }
+    }
+    // A grand aggregate (no GROUP BY) over empty input still yields one row.
+    if (order_.empty() && plan_.group_cols.empty()) {
+      auto it = groups_.emplace(GroupKey{},
+                                std::vector<AggState>(plan_.aggs.size()))
+                    .first;
+      order_.push_back(&*it);
+    }
+    pos_ = 0;
+    DB_BB(k_, "ret");
+  }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_agg_next");
+    DB_BB(k_, "entry");
+    if (pos_ >= order_.size()) {
+      DB_BB(k_, "eof_ret");
+      return false;
+    }
+    const auto& [key, states] = *order_[pos_++];
+    out.clear();
+    out.reserve(key.values.size() + states.size());
+    out.insert(out.end(), key.values.begin(), key.values.end());
+    for (std::size_t a = 0; a < states.size(); ++a) {
+      DB_BB(k_, "finalize");
+      out.push_back(states[a].finalize(plan_.aggs[a].op));
+    }
+    DB_BB(k_, "emit");
+    DB_BB(k_, "ret");
+    return true;
+  }
+
+  void close() override {
+    groups_.clear();
+    order_.clear();
+    exec_close(k_, *child_);
+  }
+
+ private:
+  using GroupMap =
+      std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHasher>;
+
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::unique_ptr<Operator> child_;
+  GroupMap groups_;
+  std::vector<GroupMap::value_type*> order_;  // insertion order for output
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> make_sort_op(Kernel& k, const PlanNode& plan) {
+  return std::make_unique<SortOp>(k, plan, make_operator(k, *plan.children[0]));
+}
+
+std::unique_ptr<Operator> make_aggregate_op(Kernel& k, const PlanNode& plan) {
+  return std::make_unique<AggregateOp>(k, plan,
+                                       make_operator(k, *plan.children[0]));
+}
+
+}  // namespace detail
+}  // namespace stc::db

@@ -1,0 +1,34 @@
+// Internal executor interfaces shared by the operator implementation files.
+#pragma once
+
+#include <memory>
+
+#include "db/exec.h"
+#include "db/kernel.h"
+#include "db/plan.h"
+
+namespace stc::db {
+
+// All inter-operator calls go through these instrumented dispatchers (the
+// engine's ExecProcNode analogue), so every transition into an operator
+// routine comes from a call block.
+void exec_open(Kernel& kernel, Operator& op);
+bool exec_next(Kernel& kernel, Operator& op, Tuple& out);
+void exec_close(Kernel& kernel, Operator& op);
+void exec_rewind(Kernel& kernel, Operator& op);
+
+namespace detail {
+
+std::unique_ptr<Operator> make_scan_op(Kernel& kernel, const PlanNode& plan);
+std::unique_ptr<Operator> make_filter_op(Kernel& kernel, const PlanNode& plan);
+std::unique_ptr<Operator> make_project_op(Kernel& kernel, const PlanNode& plan);
+std::unique_ptr<Operator> make_limit_op(Kernel& kernel, const PlanNode& plan);
+std::unique_ptr<Operator> make_materialize_op(Kernel& kernel,
+                                              const PlanNode& plan);
+std::unique_ptr<Operator> make_join_op(Kernel& kernel, const PlanNode& plan);
+std::unique_ptr<Operator> make_sort_op(Kernel& kernel, const PlanNode& plan);
+std::unique_ptr<Operator> make_aggregate_op(Kernel& kernel,
+                                            const PlanNode& plan);
+
+}  // namespace detail
+}  // namespace stc::db

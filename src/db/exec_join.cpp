@@ -1,0 +1,405 @@
+// Join operators: naive nested loops, index nested loops, hash join,
+// merge join.
+#include <unordered_map>
+
+#include "db/exec_internal.h"
+#include "db/typeops.h"
+#include "support/check.h"
+
+namespace stc::db {
+namespace detail {
+namespace {
+
+Tuple concat_tuples(const Tuple& a, const Tuple& b) {
+  Tuple out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+// ---- naive nested loops -----------------------------------------------------
+
+class NLJoinOp final : public Operator {
+ public:
+  NLJoinOp(Kernel& k, const PlanNode& plan, std::unique_ptr<Operator> outer,
+           std::unique_ptr<Operator> inner)
+      : k_(k), plan_(plan), outer_(std::move(outer)), inner_(std::move(inner)) {}
+
+  void open() override {
+    DB_ROUTINE(k_, "Exec_join_open");
+    DB_BB(k_, "entry");
+    exec_open(k_, *outer_);
+    DB_BB(k_, "right");
+    exec_open(k_, *inner_);
+    outer_valid_ = false;
+    DB_BB(k_, "ret");
+  }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_nljoin_next");
+    DB_BB(k_, "entry");
+    while (true) {
+      if (!outer_valid_) {
+        DB_BB(k_, "outer");
+        if (!exec_next(k_, *outer_, outer_row_)) {
+          DB_BB(k_, "eof_ret");
+          return false;
+        }
+        outer_valid_ = true;
+        DB_BB(k_, "rescan");
+        exec_rewind(k_, *inner_);
+      }
+      DB_BB(k_, "inner");
+      Tuple inner_row;
+      if (!exec_next(k_, *inner_, inner_row)) {
+        outer_valid_ = false;
+        continue;
+      }
+      DB_BB(k_, "concat");
+      out = concat_tuples(outer_row_, inner_row);
+      if (plan_.residual != nullptr) {
+        DB_BB(k_, "residual");
+        if (!eval_predicate(k_, *plan_.residual, out)) continue;
+      }
+      DB_BB(k_, "emit");
+      DB_BB(k_, "ret");
+      return true;
+    }
+  }
+
+  void close() override {
+    DB_ROUTINE(k_, "Exec_join_close");
+    DB_BB(k_, "entry");
+    exec_close(k_, *outer_);
+    DB_BB(k_, "right");
+    exec_close(k_, *inner_);
+    DB_BB(k_, "ret");
+  }
+
+ private:
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+  Tuple outer_row_;
+  bool outer_valid_ = false;
+};
+
+// ---- index nested loops -----------------------------------------------------
+
+class IndexNLJoinOp final : public Operator {
+ public:
+  IndexNLJoinOp(Kernel& k, const PlanNode& plan,
+                std::unique_ptr<Operator> outer)
+      : k_(k), plan_(plan), outer_(std::move(outer)) {}
+
+  void open() override {
+    exec_open(k_, *outer_);
+    outer_valid_ = false;
+    cursor_.reset();
+  }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_idxnljoin_next");
+    DB_BB(k_, "entry");
+    while (true) {
+      if (!outer_valid_) {
+        DB_BB(k_, "outer");
+        if (!exec_next(k_, *outer_, outer_row_)) {
+          DB_BB(k_, "eof_ret");
+          return false;
+        }
+        outer_valid_ = true;
+        DB_BB(k_, "key");
+        const Value key = eval_expr(k_, *plan_.left_key, outer_row_);
+        DB_BB(k_, "seek");
+        cursor_ = plan_.index->index->seek_equal(key);
+      }
+      DB_BB(k_, "probe");
+      RID rid;
+      if (!cursor_->next(rid)) {
+        outer_valid_ = false;
+        continue;
+      }
+      DB_BB(k_, "fetch");
+      Tuple inner_row;
+      plan_.table->heap->get(rid, inner_row);
+      DB_BB(k_, "concat");
+      out = concat_tuples(outer_row_, inner_row);
+      if (plan_.residual != nullptr) {
+        DB_BB(k_, "residual");
+        if (!eval_predicate(k_, *plan_.residual, out)) continue;
+      }
+      DB_BB(k_, "emit");
+      DB_BB(k_, "ret");
+      return true;
+    }
+  }
+
+  void close() override { exec_close(k_, *outer_); }
+
+ private:
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<IndexCursor> cursor_;
+  Tuple outer_row_;
+  bool outer_valid_ = false;
+};
+
+// ---- hash join ---------------------------------------------------------------
+
+class HashJoinOp final : public Operator {
+ public:
+  HashJoinOp(Kernel& k, const PlanNode& plan, std::unique_ptr<Operator> probe,
+             std::unique_ptr<Operator> build)
+      : k_(k), plan_(plan), probe_(std::move(probe)), build_(std::move(build)) {}
+
+  void open() override {
+    DB_ROUTINE(k_, "Exec_hashjoin_open");
+    DB_BB(k_, "entry");
+    exec_open(k_, *probe_);
+    DB_BB(k_, "open_build");
+    exec_open(k_, *build_);
+    table_.clear();
+    Tuple row;
+    while (true) {
+      DB_BB(k_, "build_fetch");
+      if (!exec_next(k_, *build_, row)) break;
+      DB_BB(k_, "build_key");
+      Value key = eval_expr(k_, *plan_.right_key, row);
+      DB_BB(k_, "build_insert");
+      hash_dispatch(k_, key);
+      table_[std::move(key)].push_back(row);
+    }
+    matches_ = nullptr;
+    match_idx_ = 0;
+    DB_BB(k_, "ret");
+  }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_hashjoin_next");
+    DB_BB(k_, "entry");
+    while (true) {
+      if (matches_ != nullptr && match_idx_ < matches_->size()) {
+        DB_BB(k_, "candidate");
+        const Tuple& build_row = (*matches_)[match_idx_++];
+        DB_BB(k_, "concat");
+        out = concat_tuples(probe_row_, build_row);
+        if (plan_.residual != nullptr) {
+          DB_BB(k_, "residual");
+          if (!eval_predicate(k_, *plan_.residual, out)) continue;
+        }
+        DB_BB(k_, "emit");
+        DB_BB(k_, "ret");
+        return true;
+      }
+      DB_BB(k_, "probe_fetch");
+      if (!exec_next(k_, *probe_, probe_row_)) {
+        DB_BB(k_, "eof_ret");
+        return false;
+      }
+      DB_BB(k_, "probe_key");
+      const Value key = eval_expr(k_, *plan_.left_key, probe_row_);
+      DB_BB(k_, "bucket");
+      hash_dispatch(k_, key);
+      const auto it = table_.find(key);
+      matches_ = it == table_.end() ? nullptr : &it->second;
+      match_idx_ = 0;
+    }
+  }
+
+  void close() override {
+    DB_ROUTINE(k_, "Exec_join_close");
+    DB_BB(k_, "entry");
+    exec_close(k_, *probe_);
+    DB_BB(k_, "right");
+    exec_close(k_, *build_);
+    table_.clear();
+    DB_BB(k_, "ret");
+  }
+
+ private:
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::unique_ptr<Operator> probe_;
+  std::unique_ptr<Operator> build_;
+  std::unordered_map<Value, std::vector<Tuple>, ValueHasher> table_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  std::size_t match_idx_ = 0;
+  Tuple probe_row_;
+};
+
+// ---- merge join ----------------------------------------------------------------
+
+class MergeJoinOp final : public Operator {
+ public:
+  MergeJoinOp(Kernel& k, const PlanNode& plan, std::unique_ptr<Operator> left,
+              std::unique_ptr<Operator> right)
+      : k_(k), plan_(plan), left_(std::move(left)), right_(std::move(right)) {}
+
+  void open() override {
+    DB_ROUTINE(k_, "Exec_join_open");
+    DB_BB(k_, "entry");
+    exec_open(k_, *left_);
+    DB_BB(k_, "right");
+    exec_open(k_, *right_);
+    left_valid_ = false;
+    right_valid_ = false;
+    right_eof_ = false;
+    group_.clear();
+    group_idx_ = 0;
+    group_valid_ = false;
+    DB_BB(k_, "ret");
+  }
+
+  bool next(Tuple& out) override {
+    DB_ROUTINE(k_, "Exec_mergejoin_next");
+    DB_BB(k_, "entry");
+    // Lambdas so the instrumented blocks stay inside this routine's scope.
+    const auto advance_left = [&]() -> bool {
+      DB_BB(k_, "advance_left");
+      if (!exec_next(k_, *left_, left_row_)) {
+        left_valid_ = false;
+        return false;
+      }
+      left_valid_ = true;
+      DB_BB(k_, "left_key");
+      left_key_ = eval_expr(k_, *plan_.left_key, left_row_);
+      return true;
+    };
+    const auto advance_right = [&]() -> bool {
+      DB_BB(k_, "advance_right");
+      if (!exec_next(k_, *right_, right_row_)) {
+        right_valid_ = false;
+        return false;
+      }
+      right_valid_ = true;
+      DB_BB(k_, "right_key");
+      right_key_ = eval_expr(k_, *plan_.right_key, right_row_);
+      return true;
+    };
+    while (true) {
+      // Emit pending (left, group) combinations.
+      if (group_valid_ && left_valid_ && left_key_.compare(group_key_) == 0) {
+        if (group_idx_ < group_.size()) {
+          DB_BB(k_, "concat");
+          out = concat_tuples(left_row_, group_[group_idx_++]);
+          if (plan_.residual != nullptr) {
+            DB_BB(k_, "residual");
+            if (!eval_predicate(k_, *plan_.residual, out)) continue;
+          }
+          DB_BB(k_, "emit");
+          DB_BB(k_, "ret");
+          return true;
+        }
+        // This left tuple exhausted the group; advance the left side and
+        // replay the group if the key repeats.
+        if (!advance_left()) {
+          DB_BB(k_, "eof_ret");
+          return false;
+        }
+        group_idx_ = 0;
+        continue;
+      }
+
+      if (!left_valid_) {
+        if (!advance_left()) {
+          DB_BB(k_, "eof_ret");
+          return false;
+        }
+      }
+      // Align the right side: build the group of right tuples whose key
+      // equals the current left key.
+      if (!right_valid_ && !right_eof_) {
+        if (!advance_right()) right_eof_ = true;
+      }
+      if (!right_valid_ && right_eof_) {
+        if (group_valid_ && left_valid_ &&
+            left_key_.compare(group_key_) == 0) {
+          continue;  // still emitting against the last group
+        }
+        DB_BB(k_, "eof_ret");
+        return false;
+      }
+      DB_BB(k_, "compare");
+      const int c = cmp_dispatch(k_, left_key_, right_key_);
+      DB_BB(k_, "steer");
+      if (c < 0) {
+        // Left key too small: skip this left tuple.
+        left_valid_ = false;
+        group_valid_ = false;
+        continue;
+      }
+      if (c > 0) {
+        // Right key too small: discard it.
+        right_valid_ = false;
+        continue;
+      }
+      // Keys match: collect every right tuple with this key.
+      group_.clear();
+      group_key_ = right_key_;
+      while (right_valid_ && right_key_.compare(group_key_) == 0) {
+        DB_BB(k_, "fill_group");
+        group_.push_back(right_row_);
+        if (!advance_right()) {
+          right_valid_ = false;
+          right_eof_ = true;
+        }
+      }
+      group_idx_ = 0;
+      group_valid_ = true;
+    }
+  }
+
+  void close() override {
+    DB_ROUTINE(k_, "Exec_join_close");
+    DB_BB(k_, "entry");
+    exec_close(k_, *left_);
+    DB_BB(k_, "right");
+    exec_close(k_, *right_);
+    DB_BB(k_, "ret");
+  }
+
+ private:
+  Kernel& k_;
+  const PlanNode& plan_;
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  Tuple left_row_, right_row_;
+  Value left_key_, right_key_;
+  bool left_valid_ = false, right_valid_ = false, right_eof_ = false;
+  std::vector<Tuple> group_;
+  Value group_key_;
+  std::size_t group_idx_ = 0;
+  bool group_valid_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> make_join_op(Kernel& k, const PlanNode& plan) {
+  switch (plan.kind) {
+    case PlanKind::kNLJoin:
+      return std::make_unique<NLJoinOp>(k, plan,
+                                        make_operator(k, *plan.children[0]),
+                                        make_operator(k, *plan.children[1]));
+    case PlanKind::kIndexNLJoin:
+      return std::make_unique<IndexNLJoinOp>(
+          k, plan, make_operator(k, *plan.children[0]));
+    case PlanKind::kHashJoin:
+      return std::make_unique<HashJoinOp>(k, plan,
+                                          make_operator(k, *plan.children[0]),
+                                          make_operator(k, *plan.children[1]));
+    case PlanKind::kMergeJoin:
+      return std::make_unique<MergeJoinOp>(k, plan,
+                                           make_operator(k, *plan.children[0]),
+                                           make_operator(k, *plan.children[1]));
+    default:
+      STC_CHECK_MSG(false, "not a join plan");
+      return nullptr;
+  }
+}
+
+}  // namespace detail
+}  // namespace stc::db

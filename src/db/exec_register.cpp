@@ -1,0 +1,204 @@
+// Registration of every Executor-module routine. Routines flagged with
+// executor_op = true are the entry points of the Executor operations — the
+// seed candidates for the paper's knowledge-based "ops" selection
+// (Section 5.1).
+#include "db/registration.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kFall = BlockKind::kFallThrough;
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kCall = BlockKind::kCall;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_executor_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  // --- ExecProcNode-style dispatchers -----------------------------------
+  im.add_routine("Exec_open_node", m,
+                 {{"entry", 4, kFall}, {"dispatch", 4, kCall}, {"ret", 2, kRet}});
+  im.add_routine("Exec_proc_node", m,
+                 {{"entry", 4, kFall}, {"dispatch", 4, kCall}, {"ret", 2, kRet}});
+  im.add_routine("Exec_close_node", m,
+                 {{"entry", 4, kFall}, {"dispatch", 4, kCall}, {"ret", 2, kRet}});
+  im.add_routine("Exec_rewind_node", m,
+                 {{"entry", 4, kFall}, {"dispatch", 4, kCall}, {"ret", 2, kRet}});
+  im.add_routine("Exec_run_query", m,
+                 {{"entry", 6, kCall},    // open the plan
+                  {"pull", 4, kCall},     // one next() round
+                  {"collect", 6, kBr},    // append / end-of-stream test
+                  {"shutdown", 4, kCall},
+                  {"ret", 3, kRet}});
+
+  // --- scans --------------------------------------------------------------
+  im.add_routine("Exec_seqscan_next", m,
+                 {{"entry", 5, kBr},
+                  {"fetch", 4, kCall},
+                  {"qual", 4, kCall},
+                  {"emit", 5, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_idxscan_open", m,
+                 {{"entry", 6, kBr},
+                  {"seek_btree", 5, kCall},
+                  {"seek_hash", 5, kCall},
+                  {"ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_idxscan_next", m,
+                 {{"entry", 5, kBr},
+                  {"cursor", 4, kCall},
+                  {"fetch", 4, kCall},
+                  {"qual", 4, kCall},
+                  {"emit", 5, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+
+  // --- qualify / project / limit / materialize ----------------------------
+  im.add_routine("Exec_qual_next", m,
+                 {{"entry", 5, kBr},
+                  {"child", 4, kCall},
+                  {"qual", 4, kCall},
+                  {"emit", 4, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_project_next", m,
+                 {{"entry", 5, kCall},   // pull from child
+                  {"col_loop", 3, kBr},  // per output column
+                  {"eval", 4, kCall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_limit_next", m,
+                 {{"entry", 5, kBr},
+                  {"child", 4, kCall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_material_open", m,
+                 {{"entry", 5, kCall},       // open the child
+                  {"fetch", 4, kCall},
+                  {"store", 6, kBr},
+                  {"close_child", 4, kCall},
+                  {"ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_material_next", m,
+                 {{"entry", 5, kBr},
+                  {"emit", 5, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+
+  // --- joins ---------------------------------------------------------------
+  im.add_routine("Exec_nljoin_next", m,
+                 {{"entry", 6, kBr},
+                  {"outer", 4, kCall},
+                  {"rescan", 4, kCall},
+                  {"inner", 4, kCall},
+                  {"concat", 8, kBr},
+                  {"residual", 4, kCall},
+                  {"emit", 4, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_idxnljoin_next", m,
+                 {{"entry", 6, kBr},
+                  {"outer", 4, kCall},
+                  {"key", 4, kCall},
+                  {"seek", 4, kCall},
+                  {"probe", 4, kCall},
+                  {"fetch", 4, kCall},
+                  {"concat", 8, kBr},
+                  {"residual", 4, kCall},
+                  {"emit", 4, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_join_open", m,
+                 {{"entry", 4, kCall},   // open the outer child
+                  {"right", 4, kCall},   // open the inner child
+                  {"ret", 2, kRet}});
+  im.add_routine("Exec_join_close", m,
+                 {{"entry", 4, kCall},
+                  {"right", 4, kCall},
+                  {"ret", 2, kRet}});
+  im.add_routine("Exec_hashjoin_open", m,
+                 {{"entry", 5, kCall},      // open the probe child
+                  {"open_build", 4, kCall}, // open the build child
+                  {"build_fetch", 4, kCall},
+                  {"build_key", 4, kCall},
+                  {"build_insert", 9, kCall},  // hash the build key
+                  {"ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_hashjoin_next", m,
+                 {{"entry", 6, kBr},
+                  {"probe_fetch", 4, kCall},
+                  {"probe_key", 4, kCall},
+                  {"bucket", 7, kCall},   // hash the probe key
+                  {"candidate", 6, kBr},
+                  {"concat", 8, kBr},
+                  {"residual", 4, kCall},
+                  {"emit", 4, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_mergejoin_next", m,
+                 {{"entry", 6, kBr},
+                  {"advance_left", 4, kCall},
+                  {"advance_right", 4, kCall},
+                  {"left_key", 4, kCall},
+                  {"right_key", 4, kCall},
+                  {"compare", 5, kCall},  // per-type comparison
+                  {"steer", 5, kBr},
+                  {"fill_group", 6, kBr},
+                  {"concat", 8, kBr},
+                  {"residual", 4, kCall},
+                  {"emit", 4, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+
+  // --- sort / aggregate ----------------------------------------------------
+  im.add_routine("Exec_sort_open", m,
+                 {{"entry", 5, kCall},   // open the child
+                  {"fetch", 4, kCall},
+                  {"collect", 5, kBr},
+                  {"cmp", 6, kCall},  // one comparator invocation
+                  {"done", 4, kFall},
+                  {"ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_sort_next", m,
+                 {{"entry", 5, kBr},
+                  {"emit", 5, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Exec_agg_open", m,
+                 {{"entry", 5, kCall},   // open the child
+                  {"fetch", 4, kCall},
+                  {"group_key", 8, kBr},
+                  {"probe", 7, kBr},
+                  {"new_group", 8, kBr},
+                  {"accum", 4, kCall},    // evaluate one aggregate argument
+                  {"fold", 4, kCall},     // per-aggregate fold dispatch
+                  {"ret", 3, kRet}},
+                 /*executor_op=*/true);
+  im.add_routine("Agg_fold", m,
+                 {{"entry", 4, kBr},      // dispatch on aggregate kind
+                  {"count", 3, kRet},
+                  {"sum", 7, kRet},
+                  {"minmax_cmp", 4, kCall},  // per-type comparison
+                  {"minmax_ret", 4, kRet}});
+  im.add_routine("Exec_agg_next", m,
+                 {{"entry", 5, kBr},
+                  {"finalize", 7, kBr},   // per aggregate (AVG divide etc.)
+                  {"emit", 5, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 3, kRet}},
+                 /*executor_op=*/true);
+}
+
+}  // namespace stc::db

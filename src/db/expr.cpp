@@ -1,0 +1,517 @@
+#include "db/expr.h"
+
+#include <algorithm>
+
+#include "db/registration.h"
+#include "db/typeops.h"
+#include "support/check.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kFall = BlockKind::kFallThrough;
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kCall = BlockKind::kCall;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_expr_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  im.add_routine("Expr_eval", m,
+                 {{"entry", 4, kBr},          // dispatch on node kind
+                  {"leaf_const", 3, kRet},
+                  {"leaf_column", 5, kRet},
+                  {"dis_cmp", 3, kCall},
+                  {"dis_logic", 3, kCall},
+                  {"dis_arith", 3, kCall},
+                  {"dis_year", 3, kCall},
+                  {"dis_like", 3, kCall},
+                  {"dis_inset", 3, kCall},
+                  {"dis_case", 3, kCall},
+                  {"ret", 2, kRet}});
+  im.add_routine("Expr_eval_cmp", m,
+                 {{"entry", 3, kCall},   // evaluate left operand
+                  {"rhs", 3, kCall},     // evaluate right operand
+                  {"compare", 5, kCall}, // per-type comparison dispatch
+                  {"decide", 6, kBr},
+                  {"ret", 3, kRet}});
+  im.add_routine("Expr_eval_logic", m,
+                 {{"entry", 4, kBr},
+                  {"lhs", 3, kCall},
+                  {"shortcut", 4, kBr},  // AND false / OR true short circuit
+                  {"rhs", 3, kCall},
+                  {"not_child", 3, kCall},
+                  {"combine", 5, kFall},
+                  {"ret", 3, kRet}});
+  im.add_routine("Expr_eval_arith", m,
+                 {{"entry", 3, kCall},
+                  {"rhs", 3, kCall},
+                  {"null_check", 4, kBr},
+                  {"op_int", 7, kBr},
+                  {"op_double", 7, kBr},
+                  {"ret", 3, kRet},
+                  {"null_ret", 3, kRet},
+                  {"err_div0", 12, kRet}});
+  im.add_routine("Expr_eval_year", m,
+                 {{"entry", 3, kCall},
+                  {"convert", 11, kFall},
+                  {"ret", 3, kRet}});
+  im.add_routine("Expr_eval_like", m,
+                 {{"entry", 3, kCall},       // evaluate the string operand
+                  {"fast_prefix", 8, kBr},
+                  {"fast_suffix", 8, kBr},
+                  {"fast_contains", 10, kBr},
+                  {"general", 5, kCall},
+                  {"ret", 3, kRet}});
+  im.add_routine("Expr_like_general", m,
+                 {{"entry", 5, kBr},
+                  {"step", 9, kBr},       // one pattern position
+                  {"star_retry", 8, kBr}, // backtrack to the last %
+                  {"ret", 3, kRet}});
+  im.add_routine("Expr_eval_inset", m,
+                 {{"entry", 3, kCall},
+                  {"probe", 8, kCall},   // hash the probe value
+                  {"ret", 3, kRet}});
+  im.add_routine("Expr_eval_case", m,
+                 {{"entry", 3, kCall},   // evaluate the condition
+                  {"pick", 4, kBr},
+                  {"then_arm", 3, kCall},
+                  {"else_arm", 3, kCall},
+                  {"ret", 3, kRet}});
+}
+
+// ---- constructors ----------------------------------------------------------
+
+std::unique_ptr<Expr> Expr::make_const(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_column(int position) {
+  STC_REQUIRE(position >= 0);
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumn;
+  e->column = position;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_compare(CmpOp op, std::unique_ptr<Expr> l,
+                                         std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCompare;
+  e->cmp = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_logic(LogicOp op, std::unique_ptr<Expr> l,
+                                       std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLogic;
+  e->logic = op;
+  e->children.push_back(std::move(l));
+  if (op != LogicOp::kNot) {
+    STC_REQUIRE(r != nullptr);
+    e->children.push_back(std::move(r));
+  }
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_arith(ArithOp op, std::unique_ptr<Expr> l,
+                                       std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kArith;
+  e->arith = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_year(std::unique_ptr<Expr> child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kYear;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_like(std::unique_ptr<Expr> child,
+                                      std::string pattern) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLike;
+  e->pattern = std::move(pattern);
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_in_set(std::unique_ptr<Expr> child,
+                                        std::shared_ptr<ValueSet> set,
+                                        bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kInSet;
+  e->set = std::move(set);
+  e->negated = negated;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_case(std::unique_ptr<Expr> cond,
+                                      std::unique_ptr<Expr> then_value,
+                                      std::unique_ptr<Expr> else_value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCaseWhen;
+  e->children.push_back(std::move(cond));
+  e->children.push_back(std::move(then_value));
+  e->children.push_back(std::move(else_value));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->constant = constant;
+  e->column = column;
+  e->cmp = cmp;
+  e->logic = logic;
+  e->arith = arith;
+  e->pattern = pattern;
+  e->set = set;
+  e->negated = negated;
+  e->children.reserve(children.size());
+  for (const auto& child : children) e->children.push_back(child->clone());
+  return e;
+}
+
+void Expr::remap_columns(const std::vector<int>& mapping) {
+  if (kind == ExprKind::kColumn) {
+    STC_REQUIRE(column >= 0 &&
+                static_cast<std::size_t>(column) < mapping.size());
+    STC_REQUIRE_MSG(mapping[column] >= 0, "column not available after remap");
+    column = mapping[column];
+  }
+  for (auto& child : children) child->remap_columns(mapping);
+}
+
+int Expr::max_column() const {
+  int result = kind == ExprKind::kColumn ? column : -1;
+  for (const auto& child : children) {
+    result = std::max(result, child->max_column());
+  }
+  return result;
+}
+
+// ---- evaluation ------------------------------------------------------------
+
+namespace {
+
+Value eval_cmp(Kernel& k, const Expr& e, const Tuple& t);
+Value eval_logic(Kernel& k, const Expr& e, const Tuple& t);
+Value eval_arith(Kernel& k, const Expr& e, const Tuple& t);
+Value eval_year(Kernel& k, const Expr& e, const Tuple& t);
+Value eval_like(Kernel& k, const Expr& e, const Tuple& t);
+Value eval_inset(Kernel& k, const Expr& e, const Tuple& t);
+Value eval_case(Kernel& k, const Expr& e, const Tuple& t);
+
+bool truthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kInt) return v.as_int() != 0;
+  if (v.type() == ValueType::kDouble) return v.as_double() != 0.0;
+  return !v.as_string().empty();
+}
+
+bool like_general(Kernel& k, const std::string& text,
+                  const std::string& pattern) {
+  DB_ROUTINE(k, "Expr_like_general");
+  DB_BB(k, "entry");
+  // Iterative glob matcher with single-star backtracking.
+  std::size_t ti = 0;
+  std::size_t pi = 0;
+  std::size_t star_p = std::string::npos;
+  std::size_t star_t = 0;
+  while (ti < text.size()) {
+    DB_BB(k, "step");
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || pattern[pi] == text[ti])) {
+      ++pi;
+      ++ti;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_p = pi++;
+      star_t = ti;
+    } else if (star_p != std::string::npos) {
+      DB_BB(k, "star_retry");
+      pi = star_p + 1;
+      ti = ++star_t;
+    } else {
+      DB_BB(k, "ret");
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  const bool matched = pi == pattern.size();
+  DB_BB(k, "ret");
+  return matched;
+}
+
+Value eval_cmp(Kernel& k, const Expr& e, const Tuple& t) {
+  DB_ROUTINE(k, "Expr_eval_cmp");
+  DB_BB(k, "entry");
+  const Value lhs = eval_expr(k, *e.children[0], t);
+  DB_BB(k, "rhs");
+  const Value rhs = eval_expr(k, *e.children[1], t);
+  bool result = false;
+  if (!lhs.is_null() && !rhs.is_null()) {
+    DB_BB(k, "compare");
+    const int c = cmp_dispatch(k, lhs, rhs);
+    DB_BB(k, "decide");
+    switch (e.cmp) {
+      case CmpOp::kEq: result = c == 0; break;
+      case CmpOp::kNe: result = c != 0; break;
+      case CmpOp::kLt: result = c < 0; break;
+      case CmpOp::kLe: result = c <= 0; break;
+      case CmpOp::kGt: result = c > 0; break;
+      case CmpOp::kGe: result = c >= 0; break;
+    }
+  }
+  DB_BB(k, "ret");
+  return Value(static_cast<std::int64_t>(result));
+}
+
+Value eval_logic(Kernel& k, const Expr& e, const Tuple& t) {
+  DB_ROUTINE(k, "Expr_eval_logic");
+  DB_BB(k, "entry");
+  if (e.logic == LogicOp::kNot) {
+    DB_BB(k, "not_child");
+    const Value v = eval_expr(k, *e.children[0], t);
+    DB_BB(k, "combine");
+    const bool result = !truthy(v);
+    DB_BB(k, "ret");
+    return Value(static_cast<std::int64_t>(result));
+  }
+  DB_BB(k, "lhs");
+  const Value lhs = eval_expr(k, *e.children[0], t);
+  DB_BB(k, "shortcut");
+  const bool lhs_true = truthy(lhs);
+  if (e.logic == LogicOp::kAnd && !lhs_true) {
+    DB_BB(k, "ret");
+    return Value(std::int64_t{0});
+  }
+  if (e.logic == LogicOp::kOr && lhs_true) {
+    DB_BB(k, "ret");
+    return Value(std::int64_t{1});
+  }
+  DB_BB(k, "rhs");
+  const Value rhs = eval_expr(k, *e.children[1], t);
+  DB_BB(k, "combine");
+  const bool result = truthy(rhs);
+  DB_BB(k, "ret");
+  return Value(static_cast<std::int64_t>(result));
+}
+
+Value eval_arith(Kernel& k, const Expr& e, const Tuple& t) {
+  DB_ROUTINE(k, "Expr_eval_arith");
+  DB_BB(k, "entry");
+  const Value lhs = eval_expr(k, *e.children[0], t);
+  DB_BB(k, "rhs");
+  const Value rhs = eval_expr(k, *e.children[1], t);
+  DB_BB(k, "null_check");
+  if (lhs.is_null() || rhs.is_null()) {
+    DB_BB(k, "null_ret");
+    return Value::null();
+  }
+  if (lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt &&
+      e.arith != ArithOp::kDiv) {
+    DB_BB(k, "op_int");
+    const std::int64_t a = lhs.as_int();
+    const std::int64_t b = rhs.as_int();
+    std::int64_t r = 0;
+    switch (e.arith) {
+      case ArithOp::kAdd: r = a + b; break;
+      case ArithOp::kSub: r = a - b; break;
+      case ArithOp::kMul: r = a * b; break;
+      case ArithOp::kDiv: break;  // handled on the double path
+    }
+    DB_BB(k, "ret");
+    return Value(r);
+  }
+  DB_BB(k, "op_double");
+  const double a = lhs.as_double();
+  const double b = rhs.as_double();
+  double r = 0.0;
+  switch (e.arith) {
+    case ArithOp::kAdd: r = a + b; break;
+    case ArithOp::kSub: r = a - b; break;
+    case ArithOp::kMul: r = a * b; break;
+    case ArithOp::kDiv:
+      if (b == 0.0) {
+        DB_BB(k, "err_div0");
+        STC_CHECK_MSG(false, "division by zero");
+      }
+      r = a / b;
+      break;
+  }
+  DB_BB(k, "ret");
+  return Value(r);
+}
+
+Value eval_year(Kernel& k, const Expr& e, const Tuple& t) {
+  DB_ROUTINE(k, "Expr_eval_year");
+  DB_BB(k, "entry");
+  const Value v = eval_expr(k, *e.children[0], t);
+  DB_BB(k, "convert");
+  const int year = v.is_null() ? 0 : year_of(v.as_int());
+  DB_BB(k, "ret");
+  return Value(static_cast<std::int64_t>(year));
+}
+
+Value eval_like(Kernel& k, const Expr& e, const Tuple& t) {
+  DB_ROUTINE(k, "Expr_eval_like");
+  DB_BB(k, "entry");
+  const Value v = eval_expr(k, *e.children[0], t);
+  if (v.is_null()) {
+    DB_BB(k, "ret");
+    return Value(std::int64_t{0});
+  }
+  const std::string& s = v.as_string();
+  const std::string& p = e.pattern;
+  bool result = false;
+
+  // Fast paths for the shapes TPC-D uses.
+  const std::size_t first = p.find('%');
+  const bool has_underscore = p.find('_') != std::string::npos;
+  if (!has_underscore && first != std::string::npos &&
+      p.find('%', first + 1) == std::string::npos) {
+    if (first == p.size() - 1) {
+      DB_BB(k, "fast_prefix");  // "abc%"
+      result = s.size() >= p.size() - 1 &&
+               s.compare(0, p.size() - 1, p, 0, p.size() - 1) == 0;
+    } else if (first == 0) {
+      DB_BB(k, "fast_suffix");  // "%abc"
+      result = s.size() >= p.size() - 1 &&
+               s.compare(s.size() - (p.size() - 1), p.size() - 1, p, 1,
+                         p.size() - 1) == 0;
+    } else {
+      DB_BB(k, "general");
+      result = like_general(k, s, p);
+    }
+  } else if (!has_underscore && first == 0 && p.size() >= 2 &&
+             p.back() == '%' && p.find('%', 1) == p.size() - 1) {
+    DB_BB(k, "fast_contains");  // "%abc%"
+    result = s.find(p.substr(1, p.size() - 2)) != std::string::npos;
+  } else {
+    DB_BB(k, "general");
+    result = like_general(k, s, p);
+  }
+  DB_BB(k, "ret");
+  return Value(static_cast<std::int64_t>(result));
+}
+
+Value eval_inset(Kernel& k, const Expr& e, const Tuple& t) {
+  DB_ROUTINE(k, "Expr_eval_inset");
+  DB_BB(k, "entry");
+  const Value v = eval_expr(k, *e.children[0], t);
+  DB_BB(k, "probe");
+  if (!v.is_null()) hash_dispatch(k, v);
+  const bool found = !v.is_null() && e.set->count(v) > 0;
+  const bool result = e.negated ? !found : found;
+  DB_BB(k, "ret");
+  return Value(static_cast<std::int64_t>(result));
+}
+
+Value eval_case(Kernel& k, const Expr& e, const Tuple& t) {
+  DB_ROUTINE(k, "Expr_eval_case");
+  DB_BB(k, "entry");
+  const Value cond = eval_expr(k, *e.children[0], t);
+  DB_BB(k, "pick");
+  Value result;
+  if (truthy(cond)) {
+    DB_BB(k, "then_arm");
+    result = eval_expr(k, *e.children[1], t);
+  } else {
+    DB_BB(k, "else_arm");
+    result = eval_expr(k, *e.children[2], t);
+  }
+  DB_BB(k, "ret");
+  return result;
+}
+
+}  // namespace
+
+Value eval_expr(Kernel& k, const Expr& e, const Tuple& t) {
+  DB_ROUTINE(k, "Expr_eval");
+  DB_BB(k, "entry");
+  Value result;
+  switch (e.kind) {
+    case ExprKind::kConst:
+      DB_BB(k, "leaf_const");
+      return e.constant;
+    case ExprKind::kColumn:
+      DB_BB(k, "leaf_column");
+      STC_DCHECK(static_cast<std::size_t>(e.column) < t.size());
+      return t[static_cast<std::size_t>(e.column)];
+    case ExprKind::kCompare:
+      DB_BB(k, "dis_cmp");
+      result = eval_cmp(k, e, t);
+      break;
+    case ExprKind::kLogic:
+      DB_BB(k, "dis_logic");
+      result = eval_logic(k, e, t);
+      break;
+    case ExprKind::kArith:
+      DB_BB(k, "dis_arith");
+      result = eval_arith(k, e, t);
+      break;
+    case ExprKind::kYear:
+      DB_BB(k, "dis_year");
+      result = eval_year(k, e, t);
+      break;
+    case ExprKind::kLike:
+      DB_BB(k, "dis_like");
+      result = eval_like(k, e, t);
+      break;
+    case ExprKind::kInSet:
+      DB_BB(k, "dis_inset");
+      result = eval_inset(k, e, t);
+      break;
+    case ExprKind::kCaseWhen:
+      DB_BB(k, "dis_case");
+      result = eval_case(k, e, t);
+      break;
+  }
+  DB_BB(k, "ret");
+  return result;
+}
+
+bool eval_predicate(Kernel& k, const Expr& e, const Tuple& t) {
+  const Value v = eval_expr(k, e, t);
+  return !v.is_null() && (v.type() != ValueType::kInt || v.as_int() != 0) &&
+         (v.type() != ValueType::kDouble || v.as_double() != 0.0);
+}
+
+bool like_match(const std::string& text, const std::string& pattern) {
+  // Pure (uninstrumented) reference implementation for tests.
+  std::size_t ti = 0;
+  std::size_t pi = 0;
+  std::size_t star_p = std::string::npos;
+  std::size_t star_t = 0;
+  while (ti < text.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || pattern[pi] == text[ti])) {
+      ++pi;
+      ++ti;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_p = pi++;
+      star_t = ti;
+    } else if (star_p != std::string::npos) {
+      pi = star_p + 1;
+      ti = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
+}  // namespace stc::db

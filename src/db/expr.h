@@ -1,0 +1,98 @@
+// Scalar expressions and their instrumented evaluator (the engine's
+// "Qualify" path — the paper singles Qualify and Scan out as the operations
+// that dominate the Training set).
+//
+// Subqueries never appear here at runtime: the planner folds uncorrelated
+// scalar subqueries into constants, folds IN (SELECT ...) into materialized
+// value sets, and decorrelates the rest through derived tables, so the
+// evaluator stays allocation-free per tuple.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "db/kernel.h"
+#include "db/value.h"
+
+namespace stc::db {
+
+enum class ExprKind : std::uint8_t {
+  kConst,
+  kColumn,   // input tuple position
+  kCompare,
+  kLogic,
+  kArith,
+  kYear,     // YEAR(date)
+  kLike,     // string pattern match
+  kInSet,    // value in a materialized set (negatable)
+  kCaseWhen, // CASEWHEN(cond, then, else)
+};
+
+enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicOp : std::uint8_t { kAnd, kOr, kNot };
+enum class ArithOp : std::uint8_t { kAdd, kSub, kMul, kDiv };
+
+struct ValueHasher {
+  std::size_t operator()(const Value& v) const {
+    return static_cast<std::size_t>(v.hash());
+  }
+};
+using ValueSet = std::unordered_set<Value, ValueHasher>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kConst;
+  std::vector<std::unique_ptr<Expr>> children;
+
+  Value constant;                 // kConst
+  int column = -1;                // kColumn
+  CmpOp cmp = CmpOp::kEq;         // kCompare
+  LogicOp logic = LogicOp::kAnd;  // kLogic
+  ArithOp arith = ArithOp::kAdd;  // kArith
+  std::string pattern;            // kLike (SQL % / _ pattern)
+  std::shared_ptr<ValueSet> set;  // kInSet
+  bool negated = false;           // kInSet: NOT IN
+
+  // ---- constructors ----
+  static std::unique_ptr<Expr> make_const(Value v);
+  static std::unique_ptr<Expr> make_column(int position);
+  static std::unique_ptr<Expr> make_compare(CmpOp op, std::unique_ptr<Expr> l,
+                                            std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> make_logic(LogicOp op, std::unique_ptr<Expr> l,
+                                          std::unique_ptr<Expr> r = nullptr);
+  static std::unique_ptr<Expr> make_arith(ArithOp op, std::unique_ptr<Expr> l,
+                                          std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> make_year(std::unique_ptr<Expr> child);
+  static std::unique_ptr<Expr> make_like(std::unique_ptr<Expr> child,
+                                         std::string pattern);
+  static std::unique_ptr<Expr> make_in_set(std::unique_ptr<Expr> child,
+                                           std::shared_ptr<ValueSet> set,
+                                           bool negated);
+  static std::unique_ptr<Expr> make_case(std::unique_ptr<Expr> cond,
+                                         std::unique_ptr<Expr> then_value,
+                                         std::unique_ptr<Expr> else_value);
+
+  std::unique_ptr<Expr> clone() const;
+
+  // Remaps every column reference through `mapping` (old position -> new);
+  // used when predicates are pushed through joins/projections.
+  void remap_columns(const std::vector<int>& mapping);
+
+  // Highest column index referenced, or -1.
+  int max_column() const;
+};
+
+// Evaluates `expr` against `tuple`. Booleans are Int 0/1; NULL propagates
+// through arithmetic and comparisons evaluate NULL as false (sufficient for
+// the TPC-D workload, which has no NULL columns).
+Value eval_expr(Kernel& kernel, const Expr& expr, const Tuple& tuple);
+
+// Convenience: evaluates as a predicate (non-null, non-zero).
+bool eval_predicate(Kernel& kernel, const Expr& expr, const Tuple& tuple);
+
+// SQL LIKE pattern matching (% = any run, _ = any single char). Exposed for
+// tests; the evaluator fast-paths pure prefix/suffix/contains patterns.
+bool like_match(const std::string& text, const std::string& pattern);
+
+}  // namespace stc::db

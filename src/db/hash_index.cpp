@@ -1,0 +1,160 @@
+#include "db/hash_index.h"
+
+#include "db/registration.h"
+#include "db/typeops.h"
+#include "support/check.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kFall = BlockKind::kFallThrough;
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kCall = BlockKind::kCall;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_hashindex_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  im.add_routine("HX_hash_key", m,
+                 {{"entry", 4, kCall},   // per-type hash dispatch
+                  {"finalize", 6, kFall},
+                  {"ret", 2, kRet}});
+  im.add_routine("HX_insert", m,
+                 {{"entry", 5, kCall},    // hash the key
+                  {"bucket", 6, kFall},   // select bucket
+                  {"append", 8, kFall},   // chain the entry
+                  {"grow_check", 5, kBr},
+                  {"grow", 6, kCall},
+                  {"ret", 3, kRet}});
+  im.add_routine("HX_grow", m,
+                 {{"entry", 8, kFall},
+                  {"rehash", 11, kBr},    // per moved entry
+                  {"swap", 7, kFall},
+                  {"ret", 3, kRet}});
+  im.add_routine("HX_seek", m,
+                 {{"entry", 5, kCall},    // hash the probe key
+                  {"bucket", 6, kFall},
+                  {"ret", 3, kRet}});
+  im.add_routine("HX_scan_next", m,
+                 {{"entry", 5, kBr},
+                  {"probe", 9, kBr},      // one chain entry (hash check)
+                  {"keycmp", 4, kCall},   // full key comparison on hash match
+                  {"match", 5, kFall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 4, kRet}});
+}
+
+class HashIndex::EqualCursor final : public IndexCursor {
+ public:
+  EqualCursor(Kernel& kernel, const std::vector<Entry>* bucket,
+              std::uint64_t hash, Value key)
+      : kernel_(kernel), bucket_(bucket), hash_(hash), key_(std::move(key)) {}
+
+  bool next(RID& rid) override {
+    DB_ROUTINE(kernel_, "HX_scan_next");
+    DB_BB(kernel_, "entry");
+    while (pos_ < bucket_->size()) {
+      DB_BB(kernel_, "probe");
+      const Entry& entry = (*bucket_)[pos_];
+      ++pos_;
+      if (entry.hash != hash_) continue;
+      DB_BB(kernel_, "keycmp");
+      if (cmp_dispatch(kernel_, entry.key, key_) != 0) continue;
+      DB_BB(kernel_, "match");
+      rid = entry.rid;
+      DB_BB(kernel_, "ret");
+      return true;
+    }
+    DB_BB(kernel_, "eof_ret");
+    return false;
+  }
+
+ private:
+  Kernel& kernel_;
+  const std::vector<Entry>* bucket_;
+  std::uint64_t hash_;
+  Value key_;
+  std::size_t pos_ = 0;
+};
+
+HashIndex::HashIndex(Kernel& kernel, std::size_t initial_buckets)
+    : kernel_(kernel) {
+  STC_REQUIRE(initial_buckets > 0 &&
+              (initial_buckets & (initial_buckets - 1)) == 0);
+  buckets_.resize(initial_buckets);
+}
+
+std::uint64_t HashIndex::hash_key(const Value& key) const {
+  DB_ROUTINE(kernel_, "HX_hash_key");
+  DB_BB(kernel_, "entry");
+  std::uint64_t h = hash_dispatch(kernel_, key);
+  DB_BB(kernel_, "finalize");
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  DB_BB(kernel_, "ret");
+  return h;
+}
+
+void HashIndex::maybe_grow() {
+  if (static_cast<double>(entries_) <=
+      kMaxLoadFactor * static_cast<double>(buckets_.size())) {
+    return;
+  }
+  DB_ROUTINE(kernel_, "HX_grow");
+  DB_BB(kernel_, "entry");
+  std::vector<std::vector<Entry>> bigger(buckets_.size() * 2);
+  const std::uint64_t mask = bigger.size() - 1;
+  for (auto& bucket : buckets_) {
+    for (Entry& entry : bucket) {
+      DB_BB(kernel_, "rehash");
+      bigger[entry.hash & mask].push_back(std::move(entry));
+    }
+  }
+  DB_BB(kernel_, "swap");
+  buckets_ = std::move(bigger);
+  DB_BB(kernel_, "ret");
+}
+
+void HashIndex::insert(const Value& key, RID rid) {
+  DB_ROUTINE(kernel_, "HX_insert");
+  DB_BB(kernel_, "entry");
+  const std::uint64_t h = hash_key(key);
+  DB_BB(kernel_, "bucket");
+  const std::size_t bucket = h & (buckets_.size() - 1);
+  DB_BB(kernel_, "append");
+  buckets_[bucket].push_back({h, key, rid});
+  ++entries_;
+  DB_BB(kernel_, "grow_check");
+  if (static_cast<double>(entries_) >
+      kMaxLoadFactor * static_cast<double>(buckets_.size())) {
+    DB_BB(kernel_, "grow");
+    maybe_grow();
+  }
+  DB_BB(kernel_, "ret");
+}
+
+std::unique_ptr<IndexCursor> HashIndex::seek_equal(const Value& key) {
+  DB_ROUTINE(kernel_, "HX_seek");
+  DB_BB(kernel_, "entry");
+  const std::uint64_t h = hash_key(key);
+  DB_BB(kernel_, "bucket");
+  const std::vector<Entry>* bucket = &buckets_[h & (buckets_.size() - 1)];
+  auto cursor = std::make_unique<EqualCursor>(kernel_, bucket, h, key);
+  DB_BB(kernel_, "ret");
+  return cursor;
+}
+
+void HashIndex::check_invariants() const {
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    for (const Entry& entry : buckets_[b]) {
+      STC_CHECK_MSG((entry.hash & (buckets_.size() - 1)) == b,
+                    "hash entry in the wrong bucket");
+      ++seen;
+    }
+  }
+  STC_CHECK_MSG(seen == entries_, "hash entry count mismatch");
+}
+
+}  // namespace stc::db

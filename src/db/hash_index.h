@@ -1,0 +1,47 @@
+// Hash index: a directory of buckets with chained entries and load-factor
+// driven directory doubling. Supports equality lookups only (the paper's
+// Hash-indexed database variant).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "db/index.h"
+#include "db/kernel.h"
+
+namespace stc::db {
+
+class HashIndex final : public Index {
+ public:
+  explicit HashIndex(Kernel& kernel, std::size_t initial_buckets = 16);
+
+  IndexKind kind() const override { return IndexKind::kHash; }
+  std::uint64_t entry_count() const override { return entries_; }
+
+  void insert(const Value& key, RID rid) override;
+  std::unique_ptr<IndexCursor> seek_equal(const Value& key) override;
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  // Invariant checker for tests: every entry hashes to its bucket.
+  void check_invariants() const;
+
+ private:
+  struct Entry {
+    std::uint64_t hash;
+    Value key;
+    RID rid;
+  };
+  class EqualCursor;
+
+  static constexpr double kMaxLoadFactor = 1.5;
+
+  std::uint64_t hash_key(const Value& key) const;
+  void maybe_grow();
+
+  Kernel& kernel_;
+  std::vector<std::vector<Entry>> buckets_;
+  std::uint64_t entries_ = 0;
+};
+
+}  // namespace stc::db

@@ -1,0 +1,247 @@
+#include "db/heap.h"
+
+#include <cstring>
+
+#include "db/registration.h"
+#include "support/varint.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kFall = BlockKind::kFallThrough;
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kCall = BlockKind::kCall;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_heap_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  im.add_routine("Tuple_encode", m,
+                 {{"entry", 5, kFall},
+                  {"loop", 4, kBr},       // per value
+                  {"enc_null", 3, kBr},
+                  {"enc_int", 8, kBr},
+                  {"enc_double", 7, kBr},
+                  {"enc_string", 12, kBr},
+                  {"ret", 3, kRet}});
+  im.add_routine("Tuple_decode", m,
+                 {{"entry", 5, kFall},
+                  {"loop", 5, kBr},
+                  {"dec_null", 3, kBr},
+                  {"dec_int", 8, kBr},
+                  {"dec_double", 7, kBr},
+                  {"dec_string", 13, kBr},
+                  {"ret", 3, kRet},
+                  {"err_corrupt", 15, kRet}});
+  im.add_routine("Heap_insert", m,
+                 {{"entry", 6, kCall},      // encode the tuple
+                  {"pick_page", 7, kBr},    // file empty? use the last page
+                  {"extend", 6, kCall},     // allocate a fresh page
+                  {"pin", 5, kCall},
+                  {"fit_check", 4, kBr},    // does the record fit here?
+                  {"unpin_full", 4, kCall}, // release the full page, extend
+                  {"put", 11, kFall},
+                  {"unpin", 4, kCall},
+                  {"ret", 3, kRet}});
+  im.add_routine("Heap_get", m,
+                 {{"entry", 6, kCall},     // pin the page
+                  {"slot", 8, kCall},      // locate + decode the record
+                  {"unpin", 4, kCall},
+                  {"ret", 3, kRet}});
+  im.add_routine("Heap_scan_next", m,
+                 {{"entry", 7, kBr},       // current position past EOF?
+                  {"pin", 5, kCall},
+                  {"slot_check", 6, kBr},  // slots left on this page?
+                  {"advance_page", 7, kCall},  // unpin, move to next page
+                  {"fetch", 9, kCall},     // decode the record
+                  {"unpin", 4, kCall},
+                  {"ret", 3, kRet},
+                  {"eof_ret", 4, kRet}});
+}
+
+void tuple_encode(Kernel& kernel, const Tuple& tuple,
+                  std::vector<std::uint8_t>& out) {
+  DB_ROUTINE(kernel, "Tuple_encode");
+  DB_BB(kernel, "entry");
+  out.clear();
+  put_uvarint(out, tuple.size());
+  for (const Value& v : tuple) {
+    DB_BB(kernel, "loop");
+    out.push_back(static_cast<std::uint8_t>(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull:
+        DB_BB(kernel, "enc_null");
+        break;
+      case ValueType::kInt:
+        DB_BB(kernel, "enc_int");
+        put_svarint(out, v.as_int());
+        break;
+      case ValueType::kDouble: {
+        DB_BB(kernel, "enc_double");
+        const double d = v.as_double();
+        const std::uint8_t* p = reinterpret_cast<const std::uint8_t*>(&d);
+        out.insert(out.end(), p, p + sizeof d);
+        break;
+      }
+      case ValueType::kString: {
+        DB_BB(kernel, "enc_string");
+        const std::string& s = v.as_string();
+        put_uvarint(out, s.size());
+        out.insert(out.end(), s.begin(), s.end());
+        break;
+      }
+    }
+  }
+  DB_BB(kernel, "ret");
+}
+
+void tuple_decode(Kernel& kernel, const std::uint8_t* data,
+                  std::uint16_t length, Tuple& out) {
+  DB_ROUTINE(kernel, "Tuple_decode");
+  DB_BB(kernel, "entry");
+  out.clear();
+  std::size_t pos = 0;
+  const std::uint64_t count = get_uvarint(data, length, pos);
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DB_BB(kernel, "loop");
+    if (pos >= length) {
+      DB_BB(kernel, "err_corrupt");
+      STC_CHECK_MSG(false, "corrupt tuple record");
+    }
+    const auto type = static_cast<ValueType>(data[pos++]);
+    switch (type) {
+      case ValueType::kNull:
+        DB_BB(kernel, "dec_null");
+        out.push_back(Value::null());
+        break;
+      case ValueType::kInt:
+        DB_BB(kernel, "dec_int");
+        out.push_back(Value(get_svarint(data, length, pos)));
+        break;
+      case ValueType::kDouble: {
+        DB_BB(kernel, "dec_double");
+        double d = 0.0;
+        STC_CHECK(pos + sizeof d <= length);
+        std::memcpy(&d, data + pos, sizeof d);
+        pos += sizeof d;
+        out.push_back(Value(d));
+        break;
+      }
+      case ValueType::kString: {
+        DB_BB(kernel, "dec_string");
+        const std::uint64_t n = get_uvarint(data, length, pos);
+        STC_CHECK(pos + n <= length);
+        out.push_back(
+            Value(std::string(reinterpret_cast<const char*>(data + pos),
+                              static_cast<std::size_t>(n))));
+        pos += n;
+        break;
+      }
+    }
+  }
+  DB_BB(kernel, "ret");
+}
+
+HeapFile::HeapFile(Kernel& kernel, BufferManager& buffer,
+                   StorageManager& storage, std::uint32_t file_id)
+    : kernel_(kernel), buffer_(buffer), storage_(storage), file_id_(file_id) {}
+
+std::uint32_t HeapFile::page_count() const {
+  return storage_.file_page_count(file_id_);
+}
+
+RID HeapFile::insert(const Tuple& tuple) {
+  DB_ROUTINE(kernel_, "Heap_insert");
+  DB_BB(kernel_, "entry");
+  tuple_encode(kernel_, tuple, scratch_);
+  STC_REQUIRE_MSG(scratch_.size() < kPageBytes / 2, "tuple too large");
+
+  DB_BB(kernel_, "pick_page");
+  std::uint32_t page_no = storage_.file_page_count(file_id_);
+  bool need_new_page = page_no == 0;
+  if (!need_new_page) {
+    // Cheap fit check against the last page requires pinning it; do the
+    // check after the pin below by re-validating free space.
+    page_no -= 1;
+  }
+  if (need_new_page) {
+    DB_BB(kernel_, "extend");
+    page_no = storage_.allocate_page(file_id_);
+  }
+
+  DB_BB(kernel_, "pin");
+  PageId pid{file_id_, page_no};
+  Page* page = &buffer_.pin(pid);
+  DB_BB(kernel_, "fit_check");
+  if (page->free_space() < scratch_.size()) {
+    DB_BB(kernel_, "unpin_full");
+    buffer_.unpin(pid, false);
+    DB_BB(kernel_, "extend");
+    pid.page = storage_.allocate_page(file_id_);
+    DB_BB(kernel_, "pin");
+    page = &buffer_.pin(pid);
+    DB_BB(kernel_, "fit_check");
+  }
+
+  DB_BB(kernel_, "put");
+  const std::uint16_t slot = page->insert_record(
+      scratch_.data(), static_cast<std::uint16_t>(scratch_.size()));
+  ++tuple_count_;
+
+  DB_BB(kernel_, "unpin");
+  buffer_.unpin(pid, true);
+  DB_BB(kernel_, "ret");
+  return RID{pid.page, slot};
+}
+
+void HeapFile::get(RID rid, Tuple& out) {
+  DB_ROUTINE(kernel_, "Heap_get");
+  DB_BB(kernel_, "entry");
+  const PageId pid{file_id_, rid.page};
+  Page& page = buffer_.pin(pid);
+  DB_BB(kernel_, "slot");
+  std::uint16_t length = 0;
+  const std::uint8_t* data = page.record(rid.slot, length);
+  tuple_decode(kernel_, data, length, out);
+  DB_BB(kernel_, "unpin");
+  buffer_.unpin(pid, false);
+  DB_BB(kernel_, "ret");
+}
+
+HeapFile::Scanner::Scanner(HeapFile& heap) : heap_(heap) {}
+
+bool HeapFile::Scanner::next(Tuple& out, RID& rid) {
+  Kernel& k = heap_.kernel_;
+  DB_ROUTINE(k, "Heap_scan_next");
+  DB_BB(k, "entry");
+  while (true) {
+    if (page_ >= heap_.page_count()) {
+      DB_BB(k, "eof_ret");
+      return false;
+    }
+    DB_BB(k, "pin");
+    const PageId pid{heap_.file_id_, page_};
+    Page& page = heap_.buffer_.pin(pid);
+    DB_BB(k, "slot_check");
+    if (slot_ >= page.slot_count()) {
+      DB_BB(k, "advance_page");
+      heap_.buffer_.unpin(pid, false);
+      ++page_;
+      slot_ = 0;
+      continue;
+    }
+    DB_BB(k, "fetch");
+    std::uint16_t length = 0;
+    const std::uint8_t* data = page.record(slot_, length);
+    tuple_decode(k, data, length, out);
+    rid = RID{page_, slot_};
+    ++slot_;
+    DB_BB(k, "unpin");
+    heap_.buffer_.unpin(pid, false);
+    DB_BB(k, "ret");
+    return true;
+  }
+}
+
+}  // namespace stc::db

@@ -1,0 +1,71 @@
+// Heap files: tuples in slotted pages, accessed through the buffer manager.
+// Part of the Access Methods module (paper Figure 1): provides tuples to the
+// Executor from the blocks managed by the Buffer Manager.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/buffer.h"
+#include "db/kernel.h"
+#include "db/value.h"
+
+namespace stc::db {
+
+// Record identifier: page number within the heap file + slot within page.
+struct RID {
+  std::uint32_t page = 0;
+  std::uint16_t slot = 0;
+
+  bool operator==(const RID& other) const {
+    return page == other.page && slot == other.slot;
+  }
+  bool operator<(const RID& other) const {
+    if (page != other.page) return page < other.page;
+    return slot < other.slot;
+  }
+  std::uint64_t key() const { return (std::uint64_t{page} << 16) | slot; }
+};
+
+// Self-describing tuple serialization (type tag per value). Instrumented:
+// these routines are part of the per-tuple hot path.
+void tuple_encode(Kernel& kernel, const Tuple& tuple,
+                  std::vector<std::uint8_t>& out);
+void tuple_decode(Kernel& kernel, const std::uint8_t* data,
+                  std::uint16_t length, Tuple& out);
+
+class HeapFile {
+ public:
+  HeapFile(Kernel& kernel, BufferManager& buffer, StorageManager& storage,
+           std::uint32_t file_id);
+
+  std::uint32_t file_id() const { return file_id_; }
+  std::uint64_t tuple_count() const { return tuple_count_; }
+  std::uint32_t page_count() const;
+
+  RID insert(const Tuple& tuple);
+  void get(RID rid, Tuple& out);
+
+  // Forward scanner over every tuple in the file.
+  class Scanner {
+   public:
+    explicit Scanner(HeapFile& heap);
+    // Fetches the next tuple; returns false at end of file.
+    bool next(Tuple& out, RID& rid);
+
+   private:
+    HeapFile& heap_;
+    std::uint32_t page_ = 0;
+    std::uint16_t slot_ = 0;
+  };
+
+ private:
+  Kernel& kernel_;
+  BufferManager& buffer_;
+  StorageManager& storage_;
+  std::uint32_t file_id_;
+  std::uint64_t tuple_count_ = 0;
+  std::vector<std::uint8_t> scratch_;  // encode buffer reuse
+};
+
+}  // namespace stc::db

@@ -1,0 +1,39 @@
+// Access-method index interface. The paper's setup (Section 3) builds two
+// databases, one with Btree indices and one with Hash indices; the executor
+// reaches both through this interface.
+#pragma once
+
+#include <memory>
+
+#include "db/heap.h"
+#include "db/value.h"
+
+namespace stc::db {
+
+enum class IndexKind : std::uint8_t { kBTree, kHash };
+
+inline const char* to_string(IndexKind kind) {
+  return kind == IndexKind::kBTree ? "btree" : "hash";
+}
+
+// Pull-style cursor over the RIDs an index lookup produced.
+class IndexCursor {
+ public:
+  virtual ~IndexCursor() = default;
+  virtual bool next(RID& rid) = 0;
+};
+
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  virtual IndexKind kind() const = 0;
+  virtual std::uint64_t entry_count() const = 0;
+
+  virtual void insert(const Value& key, RID rid) = 0;
+
+  // All RIDs whose key equals `key`.
+  virtual std::unique_ptr<IndexCursor> seek_equal(const Value& key) = 0;
+};
+
+}  // namespace stc::db

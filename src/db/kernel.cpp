@@ -1,0 +1,43 @@
+#include "db/kernel.h"
+
+#include "db/registration.h"
+
+namespace stc::db {
+
+const cfg::ProgramImage& kernel_image() {
+  static const cfg::ProgramImage image = [] {
+    cfg::ProgramImage im;
+    // Module order defines the original ("orig") code layout. It follows the
+    // paper's Figure 1 stack: the parsing/optimization kernel first, then the
+    // query-execution kernel (Executor, Access Methods, Buffer Manager,
+    // Storage Manager), then support code.
+    const cfg::ModuleId parser = im.add_module("parser");
+    const cfg::ModuleId planner = im.add_module("planner");
+    const cfg::ModuleId executor = im.add_module("executor");
+    const cfg::ModuleId expr = im.add_module("expr");
+    const cfg::ModuleId access = im.add_module("access");
+    const cfg::ModuleId buffer = im.add_module("buffer");
+    const cfg::ModuleId storage = im.add_module("storage");
+    const cfg::ModuleId catalog = im.add_module("catalog");
+    const cfg::ModuleId util = im.add_module("util");
+
+    register_parser_routines(im, parser);
+    register_planner_routines(im, planner);
+    register_executor_routines(im, executor);
+    register_expr_routines(im, expr);
+    register_typeops_routines(im, access);
+    register_heap_routines(im, access);
+    register_btree_routines(im, access);
+    register_hashindex_routines(im, access);
+    register_buffer_routines(im, buffer);
+    register_storage_routines(im, storage);
+    register_catalog_routines(im, catalog);
+    register_util_routines(im, util);
+
+    im.finalize();
+    return im;
+  }();
+  return image;
+}
+
+}  // namespace stc::db

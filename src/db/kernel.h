@@ -1,0 +1,53 @@
+// Kernel image and execution context of the database engine.
+//
+// The engine plays the role PostgreSQL 6.3.2 played in the paper: a program
+// whose routines and basic blocks are known statically and whose execution
+// emits a dynamic basic-block trace. Every engine routine registers its
+// blocks in the singleton kernel ProgramImage (see kernel.cpp for the module
+// registration order, which defines the "orig" layout), and marks execution
+// with the DB_ROUTINE / DB_BB macros below.
+//
+// A Kernel object is one "backend process": it owns the ExecContext whose
+// sink receives the block stream. Multiple Database instances can run
+// against the same (immutable) kernel image.
+#pragma once
+
+#include "cfg/exec.h"
+#include "cfg/program.h"
+
+namespace stc::db {
+
+// The engine's program image, built on first use from all module
+// registration functions. Immutable afterwards.
+const cfg::ProgramImage& kernel_image();
+
+class Kernel {
+ public:
+  Kernel() : exec_(kernel_image()) {}
+
+  cfg::ExecContext& exec() { return exec_; }
+  const cfg::ProgramImage& image() const { return kernel_image(); }
+
+  void set_sink(cfg::TraceSink* sink) { exec_.set_sink(sink); }
+
+ private:
+  cfg::ExecContext exec_;
+};
+
+}  // namespace stc::db
+
+// Opens the instrumented scope of routine `name` (a string literal matching
+// the registered routine). Place at the top of the function body.
+#define DB_ROUTINE(kernel_ref, name)                                     \
+  static const ::stc::cfg::RoutineId _stc_rt =                           \
+      ::stc::db::kernel_image().routine_id(name);                        \
+  ::stc::cfg::RoutineScope _stc_scope((kernel_ref).exec(), _stc_rt)
+
+// Marks entry into basic block `bname` of the current routine. The lookup is
+// resolved once per call site.
+#define DB_BB(kernel_ref, bname)                                         \
+  do {                                                                   \
+    static const ::stc::cfg::BlockId _stc_bb =                           \
+        ::stc::db::kernel_image().block_id(_stc_rt, bname);              \
+    (kernel_ref).exec().bb(_stc_bb);                                     \
+  } while (0)

@@ -1,0 +1,100 @@
+// Physical query plans. The planner (db/sql/planner) produces a PlanNode
+// tree; make_operator() instantiates the Volcano-style executor for it.
+// Execution is pipelined: every operator passes result tuples to its parent
+// as soon as they are produced (Section 2.2 of the paper explains that this
+// is why DBMS kernels execute few loops and long code sequences).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/catalog.h"
+#include "db/expr.h"
+
+namespace stc::db {
+
+enum class PlanKind : std::uint8_t {
+  kSeqScan,
+  kIndexScan,    // range (btree) or equality (btree/hash) over one index
+  kFilter,
+  kProject,
+  kNLJoin,       // naive nested loops with rewindable inner
+  kIndexNLJoin,  // index nested loops: probe inner index per outer tuple
+  kHashJoin,     // build on right child, probe from left
+  kMergeJoin,    // both inputs sorted on the key columns
+  kSort,
+  kAggregate,    // hash grouping + aggregate functions
+  kLimit,
+  kMaterialize,  // buffers child output; rewindable
+};
+
+const char* to_string(PlanKind kind);
+
+enum class AggOp : std::uint8_t { kSum, kCount, kAvg, kMin, kMax };
+
+const char* to_string(AggOp op);
+
+struct AggSpec {
+  AggOp op = AggOp::kCount;
+  std::unique_ptr<Expr> arg;  // null for COUNT(*)
+  std::string name;           // output column name
+};
+
+struct SortKey {
+  int column = 0;  // position in the input tuple
+  bool descending = false;
+};
+
+struct PlanNode {
+  PlanKind kind = PlanKind::kSeqScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // Output schema of this node (filled by the planner / plan builders).
+  Schema out_schema;
+
+  // --- scans ---
+  TableInfo* table = nullptr;   // kSeqScan, kIndexScan, kIndexNLJoin inner
+  const IndexInfo* index = nullptr;  // kIndexScan, kIndexNLJoin
+  std::optional<Value> lo, hi;  // kIndexScan bounds (equal => equality probe)
+  bool lo_inclusive = true, hi_inclusive = true;
+  std::unique_ptr<Expr> qual;   // kSeqScan/kIndexScan residual, kFilter pred
+
+  // --- project ---
+  std::vector<std::unique_ptr<Expr>> exprs;
+
+  // --- joins ---
+  std::unique_ptr<Expr> left_key;   // over left child tuple
+  std::unique_ptr<Expr> right_key;  // over right child tuple (kHashJoin,
+                                    // kMergeJoin); for kIndexNLJoin the key
+                                    // probes `index` of `table`
+  std::unique_ptr<Expr> residual;   // over the concatenated tuple
+
+  // --- sort ---
+  std::vector<SortKey> sort_keys;
+
+  // --- aggregate ---
+  std::vector<int> group_cols;
+  std::vector<AggSpec> aggs;
+
+  // --- limit ---
+  std::uint64_t limit = 0;
+
+  // EXPLAIN-style rendering (one node per line, indented).
+  std::string explain() const;
+};
+
+// Helper constructors used by tests, examples and the planner.
+std::unique_ptr<PlanNode> make_seq_scan(TableInfo* table,
+                                        std::unique_ptr<Expr> qual = nullptr);
+std::unique_ptr<PlanNode> make_index_scan(TableInfo* table,
+                                          const IndexInfo* index,
+                                          std::optional<Value> lo,
+                                          bool lo_inclusive,
+                                          std::optional<Value> hi,
+                                          bool hi_inclusive,
+                                          std::unique_ptr<Expr> qual = nullptr);
+
+}  // namespace stc::db

@@ -1,0 +1,27 @@
+// Internal: per-module kernel routine registration functions.
+//
+// kernel.cpp calls these in a fixed order; that order (modules, then
+// routines within a module in registration order) defines the original code
+// layout, mimicking object files concatenated by a linker.
+#pragma once
+
+#include "cfg/program.h"
+
+namespace stc::db {
+
+void register_parser_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_planner_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_executor_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_expr_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_typeops_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_heap_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_btree_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_hashindex_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_buffer_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_storage_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_catalog_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_util_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_coldcode_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+void register_dbgen_routines(cfg::ProgramImage& im, cfg::ModuleId m);
+
+}  // namespace stc::db

@@ -1,0 +1,98 @@
+// Abstract syntax tree for the SQL subset.
+//
+// Supported grammar (informally):
+//   SELECT item[, ...] FROM from_item[, ...] [WHERE expr]
+//     [GROUP BY key[, ...]] [HAVING expr]
+//     [ORDER BY key [ASC|DESC][, ...]] [LIMIT n]
+//   from_item := table [alias] | ( query ) alias
+//   item      := expr [AS alias]
+//   expr      := OR/AND/NOT, comparisons, BETWEEN, LIKE, IN (list | query),
+//                + - * /, unary -, YEAR(x), CASEWHEN(c, a, b),
+//                SUM/COUNT/AVG/MIN/MAX aggregates, ( query ) scalar subquery,
+//                DATE 'yyyy-mm-dd', numeric and string literals, col refs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/plan.h"
+#include "db/value.h"
+
+namespace stc::db::sql {
+
+struct AstQuery;
+
+enum class AstExprKind : std::uint8_t {
+  kConst,
+  kColumnRef,   // [qualifier.]name
+  kCompare,
+  kLogic,
+  kArith,
+  kNegate,      // unary minus
+  kYear,
+  kCaseWhen,
+  kLike,
+  kBetween,     // child BETWEEN lo AND hi
+  kInList,      // child IN (v1, v2, ...)
+  kInSubquery,  // child [NOT] IN ( query )
+  kScalarSubquery,
+  kAggregate,   // SUM/COUNT/AVG/MIN/MAX(arg) or COUNT(*)
+};
+
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kConst;
+  std::vector<std::unique_ptr<AstExpr>> children;
+
+  Value constant;                       // kConst
+  std::string qualifier;                // kColumnRef: table/alias or empty
+  std::string name;                     // kColumnRef column name
+  CmpOp cmp = CmpOp::kEq;               // kCompare
+  LogicOp logic = LogicOp::kAnd;        // kLogic
+  ArithOp arith = ArithOp::kAdd;        // kArith
+  std::string pattern;                  // kLike
+  std::vector<Value> in_list;           // kInList
+  bool negated = false;                 // kInList / kInSubquery: NOT IN
+  std::unique_ptr<AstQuery> subquery;   // kInSubquery / kScalarSubquery
+  AggOp agg = AggOp::kCount;            // kAggregate
+  bool agg_star = false;                // COUNT(*)
+
+  ~AstExpr();  // out-of-line: AstQuery is incomplete here
+  AstExpr() = default;
+  AstExpr(AstExpr&&) = default;
+  AstExpr& operator=(AstExpr&&) = default;
+};
+
+struct SelectItem {
+  std::unique_ptr<AstExpr> expr;
+  std::string alias;  // empty = derived from the expression
+};
+
+struct FromItem {
+  std::string table;                   // base table name (upper-cased)
+  std::string alias;                   // binding name (defaults to table)
+  std::unique_ptr<AstQuery> subquery;  // derived table when non-null
+};
+
+struct OrderItem {
+  // Either a 1-based output position (position > 0) or an expression that
+  // must match an output column / alias.
+  int position = 0;
+  std::unique_ptr<AstExpr> expr;
+  bool descending = false;
+};
+
+struct AstQuery {
+  std::vector<SelectItem> select;
+  std::vector<FromItem> from;
+  std::unique_ptr<AstExpr> where;
+  std::vector<std::unique_ptr<AstExpr>> group_by;  // columns, aliases or exprs
+  std::unique_ptr<AstExpr> having;                 // over the aggregate output
+  std::vector<OrderItem> order_by;
+  std::optional<std::uint64_t> limit;
+};
+
+inline AstExpr::~AstExpr() = default;
+
+}  // namespace stc::db::sql

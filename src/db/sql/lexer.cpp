@@ -1,0 +1,108 @@
+#include "db/sql/lexer.h"
+
+#include <cctype>
+
+#include "support/check.h"
+
+namespace stc::db::sql {
+
+std::vector<Token> tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) != 0 ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      token.kind = TokenKind::kIdent;
+      token.text = sql.substr(i, j - i);
+      for (char& ch : token.text) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      bool is_double = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) != 0 ||
+                       sql[j] == '.')) {
+        if (sql[j] == '.') is_double = true;
+        ++j;
+      }
+      const std::string num = sql.substr(i, j - i);
+      if (is_double) {
+        token.kind = TokenKind::kDouble;
+        token.double_value = std::stod(num);
+      } else {
+        token.kind = TokenKind::kInt;
+        token.int_value = std::stoll(num);
+      }
+      i = j;
+    } else if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && sql[j] != '\'') text += sql[j++];
+      STC_REQUIRE_MSG(j < n, "unterminated string literal");
+      token.kind = TokenKind::kString;
+      token.text = std::move(text);
+      i = j + 1;
+    } else {
+      switch (c) {
+        case ',': token.kind = TokenKind::kComma; ++i; break;
+        case '.': token.kind = TokenKind::kDot; ++i; break;
+        case '(': token.kind = TokenKind::kLParen; ++i; break;
+        case ')': token.kind = TokenKind::kRParen; ++i; break;
+        case '*': token.kind = TokenKind::kStar; ++i; break;
+        case '+': token.kind = TokenKind::kPlus; ++i; break;
+        case '-': token.kind = TokenKind::kMinus; ++i; break;
+        case '/': token.kind = TokenKind::kSlash; ++i; break;
+        case '=': token.kind = TokenKind::kEq; ++i; break;
+        case '!':
+          STC_REQUIRE_MSG(i + 1 < n && sql[i + 1] == '=', "lone '!'");
+          token.kind = TokenKind::kNe;
+          i += 2;
+          break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '>') {
+            token.kind = TokenKind::kNe;
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '=') {
+            token.kind = TokenKind::kLe;
+            i += 2;
+          } else {
+            token.kind = TokenKind::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            token.kind = TokenKind::kGe;
+            i += 2;
+          } else {
+            token.kind = TokenKind::kGt;
+            ++i;
+          }
+          break;
+        default:
+          STC_REQUIRE_MSG(false, "unexpected character in SQL input");
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace stc::db::sql

@@ -1,0 +1,44 @@
+// SQL lexer for the engine's query language subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stc::db::sql {
+
+enum class TokenKind : std::uint8_t {
+  kEnd,
+  kIdent,     // bare identifier (keywords are classified by the parser)
+  kInt,
+  kDouble,
+  kString,    // 'quoted'
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,        // =
+  kNe,        // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier (upper-cased) or string literal (raw)
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::size_t offset = 0;  // position in the input, for error messages
+};
+
+// Tokenizes the whole statement. Aborts with a message on malformed input
+// (query texts in this repository are authored, not user-supplied).
+std::vector<Token> tokenize(const std::string& sql);
+
+}  // namespace stc::db::sql

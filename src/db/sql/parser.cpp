@@ -1,0 +1,444 @@
+#include "db/sql/parser.h"
+
+#include "db/registration.h"
+#include "db/sql/lexer.h"
+#include "support/check.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_parser_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  // One routine models the whole descent; per-token and per-node blocks give
+  // the front end a realistic dynamic weight of a few blocks per token.
+  im.add_routine("Sql_parse", m,
+                 {{"entry", 8, kBr},
+                  {"lex", 5, cfg::BlockKind::kCall},  // run the tokenizer
+                  {"token", 6, kBr},      // one token consumed
+                  {"node", 9, kBr},       // one AST node built
+                  {"subquery", 7, kBr},   // descend into a nested query
+                  {"ret", 4, kRet},
+                  {"err_syntax", 22, kRet}});
+  im.add_routine("Sql_tokenize", m,
+                 {{"entry", 7, kBr},
+                  {"scan", 12, kBr},      // one raw token scanned
+                  {"ret", 4, kRet},
+                  {"err_char", 18, kRet}});
+}
+
+namespace sql {
+namespace {
+
+// The parser emits blocks of the Sql_parse routine directly (the whole
+// descent is one dynamic activation; helpers run within its scope).
+class Parser {
+ public:
+  Parser(Kernel& kernel, const std::string& sql)
+      : k_(kernel),
+        sql_(sql),
+        rt_(kernel_image().routine_id("Sql_parse")),
+        bb_token_(kernel_image().block_id(rt_, "token")),
+        bb_node_(kernel_image().block_id(rt_, "node")),
+        bb_subquery_(kernel_image().block_id(rt_, "subquery")) {}
+
+  std::unique_ptr<AstQuery> parse() {
+    cfg::RoutineScope scope(k_.exec(), rt_);
+    k_.exec().bb(kernel_image().block_id(rt_, "entry"));
+    k_.exec().bb(kernel_image().block_id(rt_, "lex"));
+    run_tokenizer();
+    auto query = parse_select();
+    expect(TokenKind::kEnd, "trailing tokens after statement");
+    k_.exec().bb(kernel_image().block_id(rt_, "ret"));
+    return query;
+  }
+
+ private:
+  void run_tokenizer() {
+    static const cfg::RoutineId rt = kernel_image().routine_id("Sql_tokenize");
+    cfg::RoutineScope scope(k_.exec(), rt);
+    static const cfg::BlockId entry = kernel_image().block_id(rt, "entry");
+    static const cfg::BlockId scan = kernel_image().block_id(rt, "scan");
+    static const cfg::BlockId ret = kernel_image().block_id(rt, "ret");
+    k_.exec().bb(entry);
+    tokens_ = tokenize(sql_);
+    for (std::size_t i = 0; i < tokens_.size(); ++i) k_.exec().bb(scan);
+    k_.exec().bb(ret);
+  }
+
+  // ---- token plumbing ----
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() {
+    k_.exec().bb(bb_token_);
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool at_keyword(const char* kw) const {
+    return peek().kind == TokenKind::kIdent && peek().text == kw;
+  }
+  bool accept_keyword(const char* kw) {
+    if (!at_keyword(kw)) return false;
+    advance();
+    return true;
+  }
+  void expect_keyword(const char* kw) {
+    STC_REQUIRE_MSG(accept_keyword(kw), "expected keyword");
+  }
+  bool accept(TokenKind kind) {
+    if (peek().kind != kind) return false;
+    advance();
+    return true;
+  }
+  const Token& expect(TokenKind kind, const char* what) {
+    STC_REQUIRE_MSG(peek().kind == kind, what);
+    return advance();
+  }
+
+  std::unique_ptr<AstExpr> node(AstExprKind kind) {
+    k_.exec().bb(bb_node_);
+    auto e = std::make_unique<AstExpr>();
+    e->kind = kind;
+    return e;
+  }
+
+  // ---- grammar ----
+  std::unique_ptr<AstQuery> parse_select() {
+    expect_keyword("SELECT");
+    auto query = std::make_unique<AstQuery>();
+    do {
+      SelectItem item;
+      item.expr = parse_expr();
+      if (accept_keyword("AS")) {
+        item.alias = expect(TokenKind::kIdent, "alias expected").text;
+      }
+      query->select.push_back(std::move(item));
+    } while (accept(TokenKind::kComma));
+
+    expect_keyword("FROM");
+    do {
+      FromItem item;
+      if (accept(TokenKind::kLParen)) {
+        k_.exec().bb(bb_subquery_);
+        item.subquery = parse_select();
+        expect(TokenKind::kRParen, "')' after derived table");
+        item.alias = expect(TokenKind::kIdent, "derived table alias").text;
+      } else {
+        item.table = expect(TokenKind::kIdent, "table name").text;
+        item.alias = item.table;
+        if (peek().kind == TokenKind::kIdent && !at_clause_boundary()) {
+          item.alias = advance().text;
+        }
+      }
+      query->from.push_back(std::move(item));
+    } while (accept(TokenKind::kComma));
+
+    if (accept_keyword("WHERE")) query->where = parse_expr();
+
+    if (accept_keyword("GROUP")) {
+      expect_keyword("BY");
+      do {
+        query->group_by.push_back(parse_expr());
+      } while (accept(TokenKind::kComma));
+    }
+
+    if (accept_keyword("HAVING")) query->having = parse_expr();
+
+    if (accept_keyword("ORDER")) {
+      expect_keyword("BY");
+      do {
+        OrderItem item;
+        if (peek().kind == TokenKind::kInt) {
+          item.position = static_cast<int>(advance().int_value);
+        } else {
+          item.expr = parse_expr();
+        }
+        if (accept_keyword("DESC")) {
+          item.descending = true;
+        } else {
+          accept_keyword("ASC");
+        }
+        query->order_by.push_back(std::move(item));
+      } while (accept(TokenKind::kComma));
+    }
+
+    if (accept_keyword("LIMIT")) {
+      query->limit = static_cast<std::uint64_t>(
+          expect(TokenKind::kInt, "limit count").int_value);
+    }
+    return query;
+  }
+
+  bool at_clause_boundary() const {
+    if (peek().kind != TokenKind::kIdent) return false;
+    const std::string& t = peek().text;
+    return t == "WHERE" || t == "GROUP" || t == "HAVING" || t == "ORDER" ||
+           t == "LIMIT" || t == "ON" || t == "AS";
+  }
+
+  std::unique_ptr<AstExpr> parse_expr() { return parse_or(); }
+
+  std::unique_ptr<AstExpr> parse_or() {
+    auto lhs = parse_and();
+    while (accept_keyword("OR")) {
+      auto e = node(AstExprKind::kLogic);
+      e->logic = LogicOp::kOr;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_and());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<AstExpr> parse_and() {
+    auto lhs = parse_not();
+    while (accept_keyword("AND")) {
+      auto e = node(AstExprKind::kLogic);
+      e->logic = LogicOp::kAnd;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_not());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<AstExpr> parse_not() {
+    if (at_keyword("NOT") && !(peek(1).kind == TokenKind::kIdent &&
+                               peek(1).text == "IN")) {
+      advance();
+      auto e = node(AstExprKind::kLogic);
+      e->logic = LogicOp::kNot;
+      e->children.push_back(parse_not());
+      return e;
+    }
+    return parse_comparison();
+  }
+
+  std::unique_ptr<AstExpr> parse_comparison() {
+    auto lhs = parse_additive();
+    const TokenKind kind = peek().kind;
+    if (kind == TokenKind::kEq || kind == TokenKind::kNe ||
+        kind == TokenKind::kLt || kind == TokenKind::kLe ||
+        kind == TokenKind::kGt || kind == TokenKind::kGe) {
+      advance();
+      auto e = node(AstExprKind::kCompare);
+      switch (kind) {
+        case TokenKind::kEq: e->cmp = CmpOp::kEq; break;
+        case TokenKind::kNe: e->cmp = CmpOp::kNe; break;
+        case TokenKind::kLt: e->cmp = CmpOp::kLt; break;
+        case TokenKind::kLe: e->cmp = CmpOp::kLe; break;
+        case TokenKind::kGt: e->cmp = CmpOp::kGt; break;
+        default: e->cmp = CmpOp::kGe; break;
+      }
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_additive());
+      return e;
+    }
+    if (at_keyword("BETWEEN")) {
+      advance();
+      auto e = node(AstExprKind::kBetween);
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_additive());
+      expect_keyword("AND");
+      e->children.push_back(parse_additive());
+      return e;
+    }
+    if (at_keyword("LIKE")) {
+      advance();
+      auto e = node(AstExprKind::kLike);
+      e->pattern = expect(TokenKind::kString, "LIKE pattern").text;
+      e->children.push_back(std::move(lhs));
+      return e;
+    }
+    const bool negated = at_keyword("NOT") && peek(1).kind == TokenKind::kIdent &&
+                         peek(1).text == "IN";
+    if (negated) advance();
+    if (at_keyword("IN")) {
+      advance();
+      expect(TokenKind::kLParen, "'(' after IN");
+      if (at_keyword("SELECT")) {
+        k_.exec().bb(bb_subquery_);
+        auto e = node(AstExprKind::kInSubquery);
+        e->negated = negated;
+        e->children.push_back(std::move(lhs));
+        e->subquery = parse_select();
+        expect(TokenKind::kRParen, "')' after IN subquery");
+        return e;
+      }
+      auto e = node(AstExprKind::kInList);
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      do {
+        e->in_list.push_back(parse_literal());
+      } while (accept(TokenKind::kComma));
+      expect(TokenKind::kRParen, "')' after IN list");
+      return e;
+    }
+    STC_REQUIRE_MSG(!negated, "NOT must be followed by IN here");
+    return lhs;
+  }
+
+  std::unique_ptr<AstExpr> parse_additive() {
+    auto lhs = parse_multiplicative();
+    while (peek().kind == TokenKind::kPlus ||
+           peek().kind == TokenKind::kMinus) {
+      const bool plus = peek().kind == TokenKind::kPlus;
+      advance();
+      auto e = node(AstExprKind::kArith);
+      e->arith = plus ? ArithOp::kAdd : ArithOp::kSub;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_multiplicative());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<AstExpr> parse_multiplicative() {
+    auto lhs = parse_unary();
+    while (peek().kind == TokenKind::kStar ||
+           peek().kind == TokenKind::kSlash) {
+      const bool mul = peek().kind == TokenKind::kStar;
+      advance();
+      auto e = node(AstExprKind::kArith);
+      e->arith = mul ? ArithOp::kMul : ArithOp::kDiv;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_unary());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<AstExpr> parse_unary() {
+    if (accept(TokenKind::kMinus)) {
+      auto e = node(AstExprKind::kNegate);
+      e->children.push_back(parse_unary());
+      return e;
+    }
+    return parse_primary();
+  }
+
+  Value parse_literal() {
+    if (at_keyword("DATE")) {
+      advance();
+      const Token& t = expect(TokenKind::kString, "date literal");
+      return Value(parse_date(t.text));
+    }
+    const Token& t = advance();
+    switch (t.kind) {
+      case TokenKind::kInt: return Value(t.int_value);
+      case TokenKind::kDouble: return Value(t.double_value);
+      case TokenKind::kString: return Value(t.text);
+      case TokenKind::kMinus: {
+        const Token& u = advance();
+        if (u.kind == TokenKind::kInt) return Value(-u.int_value);
+        STC_REQUIRE_MSG(u.kind == TokenKind::kDouble, "literal expected");
+        return Value(-u.double_value);
+      }
+      default:
+        STC_REQUIRE_MSG(false, "literal expected");
+        return Value();
+    }
+  }
+
+  static bool is_agg_keyword(const std::string& t, AggOp& op) {
+    if (t == "SUM") { op = AggOp::kSum; return true; }
+    if (t == "COUNT") { op = AggOp::kCount; return true; }
+    if (t == "AVG") { op = AggOp::kAvg; return true; }
+    if (t == "MIN") { op = AggOp::kMin; return true; }
+    if (t == "MAX") { op = AggOp::kMax; return true; }
+    return false;
+  }
+
+  std::unique_ptr<AstExpr> parse_primary() {
+    const Token& t = peek();
+    if (t.kind == TokenKind::kInt || t.kind == TokenKind::kDouble ||
+        t.kind == TokenKind::kString || at_keyword("DATE")) {
+      auto e = node(AstExprKind::kConst);
+      e->constant = parse_literal();
+      return e;
+    }
+    if (accept(TokenKind::kLParen)) {
+      if (at_keyword("SELECT")) {
+        k_.exec().bb(bb_subquery_);
+        auto e = node(AstExprKind::kScalarSubquery);
+        e->subquery = parse_select();
+        expect(TokenKind::kRParen, "')' after scalar subquery");
+        return e;
+      }
+      auto e = parse_expr();
+      expect(TokenKind::kRParen, "')' expected");
+      return e;
+    }
+    STC_REQUIRE_MSG(t.kind == TokenKind::kIdent, "expression expected");
+
+    AggOp agg_op = AggOp::kCount;
+    if (is_agg_keyword(t.text, agg_op) && peek(1).kind == TokenKind::kLParen) {
+      advance();  // aggregate name
+      advance();  // (
+      auto e = node(AstExprKind::kAggregate);
+      e->agg = agg_op;
+      if (accept(TokenKind::kStar)) {
+        STC_REQUIRE_MSG(agg_op == AggOp::kCount, "only COUNT(*) allowed");
+        e->agg_star = true;
+      } else {
+        e->children.push_back(parse_expr());
+      }
+      expect(TokenKind::kRParen, "')' after aggregate");
+      return e;
+    }
+    if (t.text == "YEAR" && peek(1).kind == TokenKind::kLParen) {
+      advance();
+      advance();
+      auto e = node(AstExprKind::kYear);
+      e->children.push_back(parse_expr());
+      expect(TokenKind::kRParen, "')' after YEAR");
+      return e;
+    }
+    if (t.text == "CASEWHEN" && peek(1).kind == TokenKind::kLParen) {
+      advance();
+      advance();
+      auto e = node(AstExprKind::kCaseWhen);
+      e->children.push_back(parse_expr());
+      expect(TokenKind::kComma, "',' in CASEWHEN");
+      e->children.push_back(parse_expr());
+      expect(TokenKind::kComma, "',' in CASEWHEN");
+      e->children.push_back(parse_expr());
+      expect(TokenKind::kRParen, "')' after CASEWHEN");
+      return e;
+    }
+
+    // Column reference: ident or ident.ident.
+    auto e = node(AstExprKind::kColumnRef);
+    e->name = advance().text;
+    if (accept(TokenKind::kDot)) {
+      e->qualifier = std::move(e->name);
+      e->name = expect(TokenKind::kIdent, "column name after '.'").text;
+    }
+    return e;
+  }
+
+  Kernel& k_;
+  const std::string& sql_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  cfg::RoutineId rt_;
+  cfg::BlockId bb_token_;
+  cfg::BlockId bb_node_;
+  cfg::BlockId bb_subquery_;
+};
+
+}  // namespace
+
+std::unique_ptr<AstQuery> parse_query(Kernel& kernel, const std::string& sql) {
+  Parser parser(kernel, sql);
+  return parser.parse();
+}
+
+}  // namespace sql
+}  // namespace stc::db

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the SQL subset (db/sql/ast.h documents the
+// grammar). Parsing is instrumented as part of the Parsing-Optimization
+// kernel (paper Figure 1): it executes once per query and contributes the
+// relatively cold front-end code of the engine.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "db/kernel.h"
+#include "db/sql/ast.h"
+
+namespace stc::db::sql {
+
+// Parses one SELECT statement; aborts with a message on syntax errors.
+std::unique_ptr<AstQuery> parse_query(Kernel& kernel, const std::string& sql);
+
+}  // namespace stc::db::sql

@@ -1,0 +1,975 @@
+#include "db/sql/planner.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "db/exec.h"
+#include "db/registration.h"
+#include "support/check.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kCall = BlockKind::kCall;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_planner_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  im.add_routine("Plan_query", m,
+                 {{"entry", 7, kBr},
+                  {"lookup", 4, kCall},    // catalog table lookup
+                  {"resolve", 6, kBr},     // one column-name resolution
+                  {"pushdown", 8, kBr},    // classify one conjunct
+                  {"scan", 10, kBr},       // build one scan (index selection)
+                  {"join", 12, kBr},       // one greedy join step
+                  {"fold", 4, kCall},      // execute an uncorrelated subquery
+                  {"subplan", 4, kCall},   // recursively plan a nested query
+                  {"build", 9, kBr},       // aggregate/project/sort assembly
+                  {"ret", 4, kRet},
+                  {"err_semantic", 20, kRet}});
+  im.add_routine("Plan_estimate", m,
+                 {{"entry", 5, kBr},
+                  {"selectivity", 7, kBr},  // one predicate estimated
+                  {"ret", 3, kRet}});
+}
+
+namespace sql {
+namespace {
+
+// ---- planner context --------------------------------------------------------
+
+struct Ctx {
+  Kernel& k;
+  Catalog& catalog;
+  const PlannerOptions& options;
+  cfg::RoutineId rt;
+  cfg::BlockId bb_lookup, bb_resolve, bb_pushdown, bb_scan, bb_join, bb_fold,
+      bb_subplan, bb_build;
+
+  Ctx(Kernel& kernel, Catalog& cat, const PlannerOptions& opts)
+      : k(kernel), catalog(cat), options(opts) {
+    const auto& im = kernel_image();
+    rt = im.routine_id("Plan_query");
+    bb_lookup = im.block_id(rt, "lookup");
+    bb_resolve = im.block_id(rt, "resolve");
+    bb_pushdown = im.block_id(rt, "pushdown");
+    bb_scan = im.block_id(rt, "scan");
+    bb_join = im.block_id(rt, "join");
+    bb_fold = im.block_id(rt, "fold");
+    bb_subplan = im.block_id(rt, "subplan");
+    bb_build = im.block_id(rt, "build");
+  }
+
+  void bb(cfg::BlockId b) { k.exec().bb(b); }
+};
+
+std::unique_ptr<PlanNode> plan_impl(Ctx& ctx, const AstQuery& query);
+
+// ---- name binding -----------------------------------------------------------
+
+struct BoundCol {
+  std::string qualifier;  // relation alias (upper-cased)
+  std::string name;       // column name (upper-cased)
+  ValueType type = ValueType::kInt;
+};
+
+struct Binder {
+  std::vector<BoundCol> cols;
+
+  // Resolves [qualifier.]name; aborts on ambiguity, returns -1 when absent.
+  int resolve(Ctx& ctx, const std::string& qualifier,
+              const std::string& name) const {
+    ctx.bb(ctx.bb_resolve);
+    int found = -1;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].name != name) continue;
+      if (!qualifier.empty() && cols[i].qualifier != qualifier) continue;
+      STC_CHECK_MSG(found < 0, "ambiguous column reference");
+      found = static_cast<int>(i);
+    }
+    return found;
+  }
+
+  int resolve_or_die(Ctx& ctx, const std::string& qualifier,
+                     const std::string& name) const {
+    const int pos = resolve(ctx, qualifier, name);
+    STC_CHECK_MSG(pos >= 0, "unknown column reference");
+    return pos;
+  }
+};
+
+// ---- aggregate environment ---------------------------------------------------
+
+struct AggEnv {
+  const Binder* input = nullptr;        // pre-aggregation binder
+  std::vector<int> group_cols;          // positions in the (pre-agg) input
+  std::vector<AggSpec>* specs = nullptr;  // accumulated aggregate functions
+  // Source AST of each group key (for structural matching of computed group
+  // expressions like YEAR(d)) and its alias, when grouped via a select alias.
+  std::vector<const AstExpr*> group_exprs;
+  std::vector<std::string> group_names;
+};
+
+// Structural AST equality (subqueries compare by identity only).
+bool ast_equal(const AstExpr& a, const AstExpr& b) {
+  if (a.kind != b.kind || a.children.size() != b.children.size()) return false;
+  switch (a.kind) {
+    case AstExprKind::kConst:
+      if (a.constant.type() != b.constant.type() ||
+          a.constant.compare(b.constant) != 0) {
+        return false;
+      }
+      break;
+    case AstExprKind::kColumnRef:
+      if (a.qualifier != b.qualifier || a.name != b.name) return false;
+      break;
+    case AstExprKind::kCompare:
+      if (a.cmp != b.cmp) return false;
+      break;
+    case AstExprKind::kLogic:
+      if (a.logic != b.logic) return false;
+      break;
+    case AstExprKind::kArith:
+      if (a.arith != b.arith) return false;
+      break;
+    case AstExprKind::kLike:
+      if (a.pattern != b.pattern) return false;
+      break;
+    case AstExprKind::kInList:
+      if (a.negated != b.negated || a.in_list.size() != b.in_list.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < a.in_list.size(); ++i) {
+        if (a.in_list[i].compare(b.in_list[i]) != 0) return false;
+      }
+      break;
+    case AstExprKind::kInSubquery:
+    case AstExprKind::kScalarSubquery:
+      return &a == &b;
+    case AstExprKind::kAggregate:
+      if (a.agg != b.agg || a.agg_star != b.agg_star) return false;
+      break;
+    default:
+      break;
+  }
+  for (std::size_t i = 0; i < a.children.size(); ++i) {
+    if (!ast_equal(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+// ---- AST -> runtime expression conversion ------------------------------------
+
+std::unique_ptr<Expr> convert(Ctx& ctx, const AstExpr& ast,
+                              const Binder& binder, AggEnv* agg);
+
+Value fold_scalar_subquery(Ctx& ctx, const AstQuery& query) {
+  ctx.bb(ctx.bb_subplan);
+  std::unique_ptr<PlanNode> plan = plan_impl(ctx, query);
+  ctx.bb(ctx.bb_fold);
+  const std::vector<Tuple> rows = run_plan(ctx.k, *plan);
+  if (rows.empty()) return Value::null();
+  STC_CHECK_MSG(!rows[0].empty(), "scalar subquery with no column");
+  return rows[0][0];
+}
+
+std::shared_ptr<ValueSet> fold_in_subquery(Ctx& ctx, const AstQuery& query) {
+  ctx.bb(ctx.bb_subplan);
+  std::unique_ptr<PlanNode> plan = plan_impl(ctx, query);
+  ctx.bb(ctx.bb_fold);
+  const std::vector<Tuple> rows = run_plan(ctx.k, *plan);
+  auto set = std::make_shared<ValueSet>();
+  for (const Tuple& row : rows) {
+    STC_CHECK_MSG(!row.empty(), "IN subquery with no column");
+    if (!row[0].is_null()) set->insert(row[0]);
+  }
+  return set;
+}
+
+std::unique_ptr<Expr> convert(Ctx& ctx, const AstExpr& ast,
+                              const Binder& binder, AggEnv* agg) {
+  if (agg != nullptr && ast.kind != AstExprKind::kAggregate) {
+    // A subtree that IS one of the group keys (structurally, or by select
+    // alias) maps straight to that aggregate-output position.
+    for (std::size_t g = 0; g < agg->group_exprs.size(); ++g) {
+      if (agg->group_exprs[g] != nullptr &&
+          ast_equal(ast, *agg->group_exprs[g])) {
+        return Expr::make_column(static_cast<int>(g));
+      }
+      if (ast.kind == AstExprKind::kColumnRef && ast.qualifier.empty() &&
+          g < agg->group_names.size() && !agg->group_names[g].empty() &&
+          ast.name == agg->group_names[g]) {
+        return Expr::make_column(static_cast<int>(g));
+      }
+    }
+  }
+  switch (ast.kind) {
+    case AstExprKind::kConst:
+      return Expr::make_const(ast.constant);
+    case AstExprKind::kColumnRef: {
+      if (agg != nullptr) {
+        // Inside a grouped query, plain column references must be grouping
+        // columns; they map to the aggregate output positions.
+        const int in_pos =
+            agg->input->resolve_or_die(ctx, ast.qualifier, ast.name);
+        for (std::size_t g = 0; g < agg->group_cols.size(); ++g) {
+          if (agg->group_cols[g] == in_pos) {
+            return Expr::make_column(static_cast<int>(g));
+          }
+        }
+        STC_CHECK_MSG(false, "column referenced outside GROUP BY");
+      }
+      return Expr::make_column(binder.resolve_or_die(ctx, ast.qualifier,
+                                                     ast.name));
+    }
+    case AstExprKind::kCompare:
+      return Expr::make_compare(ast.cmp,
+                                convert(ctx, *ast.children[0], binder, agg),
+                                convert(ctx, *ast.children[1], binder, agg));
+    case AstExprKind::kLogic:
+      if (ast.logic == LogicOp::kNot) {
+        return Expr::make_logic(LogicOp::kNot,
+                                convert(ctx, *ast.children[0], binder, agg));
+      }
+      return Expr::make_logic(ast.logic,
+                              convert(ctx, *ast.children[0], binder, agg),
+                              convert(ctx, *ast.children[1], binder, agg));
+    case AstExprKind::kArith:
+      return Expr::make_arith(ast.arith,
+                              convert(ctx, *ast.children[0], binder, agg),
+                              convert(ctx, *ast.children[1], binder, agg));
+    case AstExprKind::kNegate:
+      return Expr::make_arith(ArithOp::kSub,
+                              Expr::make_const(Value(std::int64_t{0})),
+                              convert(ctx, *ast.children[0], binder, agg));
+    case AstExprKind::kYear:
+      return Expr::make_year(convert(ctx, *ast.children[0], binder, agg));
+    case AstExprKind::kCaseWhen:
+      return Expr::make_case(convert(ctx, *ast.children[0], binder, agg),
+                             convert(ctx, *ast.children[1], binder, agg),
+                             convert(ctx, *ast.children[2], binder, agg));
+    case AstExprKind::kLike:
+      return Expr::make_like(convert(ctx, *ast.children[0], binder, agg),
+                             ast.pattern);
+    case AstExprKind::kBetween: {
+      auto lo = Expr::make_compare(
+          CmpOp::kGe, convert(ctx, *ast.children[0], binder, agg),
+          convert(ctx, *ast.children[1], binder, agg));
+      auto hi = Expr::make_compare(
+          CmpOp::kLe, convert(ctx, *ast.children[0], binder, agg),
+          convert(ctx, *ast.children[2], binder, agg));
+      return Expr::make_logic(LogicOp::kAnd, std::move(lo), std::move(hi));
+    }
+    case AstExprKind::kInList: {
+      auto set = std::make_shared<ValueSet>();
+      for (const Value& v : ast.in_list) set->insert(v);
+      return Expr::make_in_set(convert(ctx, *ast.children[0], binder, agg),
+                               std::move(set), ast.negated);
+    }
+    case AstExprKind::kInSubquery:
+      return Expr::make_in_set(convert(ctx, *ast.children[0], binder, agg),
+                               fold_in_subquery(ctx, *ast.subquery),
+                               ast.negated);
+    case AstExprKind::kScalarSubquery:
+      return Expr::make_const(fold_scalar_subquery(ctx, *ast.subquery));
+    case AstExprKind::kAggregate: {
+      STC_CHECK_MSG(agg != nullptr, "aggregate outside SELECT of a grouped query");
+      AggSpec spec;
+      spec.op = ast.agg;
+      if (!ast.agg_star) {
+        spec.arg = convert(ctx, *ast.children[0], *agg->input, nullptr);
+      }
+      agg->specs->push_back(std::move(spec));
+      return Expr::make_column(static_cast<int>(agg->group_cols.size() +
+                                                agg->specs->size() - 1));
+    }
+  }
+  STC_CHECK_MSG(false, "unhandled AST expression kind");
+  return nullptr;
+}
+
+// ---- relations ----------------------------------------------------------------
+
+struct Rel {
+  std::string alias;
+  TableInfo* table = nullptr;            // base table (null for derived)
+  std::unique_ptr<PlanNode> derived;     // planned derived-table subquery
+  Binder binder;                         // columns this relation produces
+  std::vector<const AstExpr*> local;     // pushed single-relation conjuncts
+  double est = 1.0;
+  bool joined = false;
+};
+
+// Walks an AST expression and records which relations its column references
+// touch (by index into `rels`). Aborts on unresolvable names.
+void collect_rels(Ctx& ctx, const AstExpr& ast, const std::vector<Rel>& rels,
+                  std::vector<bool>& used) {
+  if (ast.kind == AstExprKind::kColumnRef) {
+    int found_rel = -1;
+    for (std::size_t r = 0; r < rels.size(); ++r) {
+      if (!ast.qualifier.empty() && rels[r].alias != ast.qualifier) continue;
+      if (rels[r].binder.resolve(ctx, ast.qualifier.empty() ? "" : ast.qualifier,
+                                 ast.name) >= 0) {
+        STC_CHECK_MSG(found_rel < 0, "ambiguous column across relations");
+        found_rel = static_cast<int>(r);
+      }
+    }
+    STC_CHECK_MSG(found_rel >= 0, "column does not match any relation");
+    used[static_cast<std::size_t>(found_rel)] = true;
+    return;
+  }
+  for (const auto& child : ast.children) {
+    collect_rels(ctx, *child, rels, used);
+  }
+  // Subqueries are uncorrelated by construction: they reference no outer
+  // relations, so there is nothing to collect inside them.
+}
+
+void split_conjuncts(const AstExpr* ast, std::vector<const AstExpr*>& out) {
+  if (ast == nullptr) return;
+  if (ast->kind == AstExprKind::kLogic && ast->logic == LogicOp::kAnd) {
+    split_conjuncts(ast->children[0].get(), out);
+    split_conjuncts(ast->children[1].get(), out);
+    return;
+  }
+  out.push_back(ast);
+}
+
+double conjunct_selectivity(const AstExpr& ast) {
+  switch (ast.kind) {
+    case AstExprKind::kCompare:
+      return ast.cmp == CmpOp::kEq ? 0.05 : 0.33;
+    case AstExprKind::kBetween:
+      return 0.25;
+    case AstExprKind::kLike:
+      return 0.2;
+    case AstExprKind::kInList:
+    case AstExprKind::kInSubquery:
+      return 0.2;
+    default:
+      return 0.5;
+  }
+}
+
+// ---- scan building --------------------------------------------------------------
+
+// Recognizes `col CMP literal` over a base relation; returns the column
+// position, operator and value via out-params.
+bool match_col_const(Ctx& ctx, const AstExpr& ast, const Rel& rel, int& col,
+                     CmpOp& op, Value& value) {
+  if (ast.kind != AstExprKind::kCompare) return false;
+  const AstExpr* lhs = ast.children[0].get();
+  const AstExpr* rhs = ast.children[1].get();
+  CmpOp cmp = ast.cmp;
+  if (lhs->kind != AstExprKind::kColumnRef ||
+      rhs->kind != AstExprKind::kConst) {
+    if (rhs->kind == AstExprKind::kColumnRef &&
+        lhs->kind == AstExprKind::kConst) {
+      std::swap(lhs, rhs);
+      switch (ast.cmp) {  // mirror the comparison
+        case CmpOp::kLt: cmp = CmpOp::kGt; break;
+        case CmpOp::kLe: cmp = CmpOp::kGe; break;
+        case CmpOp::kGt: cmp = CmpOp::kLt; break;
+        case CmpOp::kGe: cmp = CmpOp::kLe; break;
+        default: break;
+      }
+    } else {
+      return false;
+    }
+  }
+  const int pos = rel.binder.resolve(ctx, lhs->qualifier, lhs->name);
+  if (pos < 0) return false;
+  col = pos;
+  op = cmp;
+  value = rhs->constant;
+  return true;
+}
+
+std::unique_ptr<PlanNode> build_scan(Ctx& ctx, Rel& rel) {
+  ctx.bb(ctx.bb_scan);
+  if (rel.table == nullptr) {
+    // Derived table: materialize the subplan, filter by the local conjuncts.
+    auto mat = std::make_unique<PlanNode>();
+    mat->kind = PlanKind::kMaterialize;
+    mat->children.push_back(std::move(rel.derived));
+    std::unique_ptr<PlanNode> plan = std::move(mat);
+    for (const AstExpr* conjunct : rel.local) {
+      auto filter = std::make_unique<PlanNode>();
+      filter->kind = PlanKind::kFilter;
+      filter->qual = convert(ctx, *conjunct, rel.binder, nullptr);
+      filter->children.push_back(std::move(plan));
+      plan = std::move(filter);
+    }
+    return plan;
+  }
+
+  // Base table: look for an index-friendly predicate.
+  struct Bound {
+    std::optional<Value> eq, lo, hi;
+    bool lo_incl = true, hi_incl = true;
+  };
+  std::vector<Bound> bounds(rel.binder.cols.size());
+  std::vector<bool> consumed(rel.local.size(), false);
+
+  if (ctx.options.use_indexes) {
+    for (std::size_t c = 0; c < rel.local.size(); ++c) {
+      int col = 0;
+      CmpOp op = CmpOp::kEq;
+      Value value;
+      if (!match_col_const(ctx, *rel.local[c], rel, col, op, value)) continue;
+      Bound& b = bounds[static_cast<std::size_t>(col)];
+      switch (op) {
+        case CmpOp::kEq:
+          b.eq = value;
+          consumed[c] = true;
+          break;
+        case CmpOp::kLt:
+          if (!b.hi || value.compare(*b.hi) < 0) {
+            b.hi = value;
+            b.hi_incl = false;
+          }
+          consumed[c] = true;
+          break;
+        case CmpOp::kLe:
+          if (!b.hi || value.compare(*b.hi) < 0) {
+            b.hi = value;
+            b.hi_incl = true;
+          }
+          consumed[c] = true;
+          break;
+        case CmpOp::kGt:
+          if (!b.lo || value.compare(*b.lo) > 0) {
+            b.lo = value;
+            b.lo_incl = false;
+          }
+          consumed[c] = true;
+          break;
+        case CmpOp::kGe:
+          if (!b.lo || value.compare(*b.lo) > 0) {
+            b.lo = value;
+            b.lo_incl = true;
+          }
+          consumed[c] = true;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Prefer an equality probe (unique index first), then a btree range.
+  const IndexInfo* chosen = nullptr;
+  int chosen_col = -1;
+  bool equality = false;
+  for (std::size_t col = 0; col < bounds.size(); ++col) {
+    if (!bounds[col].eq.has_value()) continue;
+    const IndexInfo* index = rel.table->index_on(static_cast<int>(col));
+    if (index == nullptr) continue;
+    if (chosen == nullptr || (index->unique && !chosen->unique)) {
+      chosen = index;
+      chosen_col = static_cast<int>(col);
+      equality = true;
+    }
+  }
+  if (chosen == nullptr) {
+    for (std::size_t col = 0; col < bounds.size(); ++col) {
+      const Bound& b = bounds[col];
+      if (!b.lo.has_value() && !b.hi.has_value()) continue;
+      const IndexInfo* index = rel.table->index_on(static_cast<int>(col));
+      if (index == nullptr || index->index->kind() != IndexKind::kBTree) {
+        continue;
+      }
+      chosen = index;
+      chosen_col = static_cast<int>(col);
+      equality = false;
+      break;
+    }
+  }
+
+  // Residual qual: every local conjunct not fully captured by the chosen
+  // index bounds (conjuncts on other columns are always kept).
+  std::unique_ptr<Expr> qual;
+  for (std::size_t c = 0; c < rel.local.size(); ++c) {
+    bool keep = true;
+    if (chosen != nullptr && consumed[c]) {
+      int col = 0;
+      CmpOp op = CmpOp::kEq;
+      Value value;
+      match_col_const(ctx, *rel.local[c], rel, col, op, value);
+      keep = col != chosen_col;
+    }
+    if (!keep) continue;
+    auto e = convert(ctx, *rel.local[c], rel.binder, nullptr);
+    qual = qual == nullptr
+               ? std::move(e)
+               : Expr::make_logic(LogicOp::kAnd, std::move(qual), std::move(e));
+  }
+
+  if (chosen == nullptr) {
+    return make_seq_scan(rel.table, std::move(qual));
+  }
+  const Bound& b = bounds[static_cast<std::size_t>(chosen_col)];
+  if (equality) {
+    return make_index_scan(rel.table, chosen, b.eq, true, b.eq, true,
+                           std::move(qual));
+  }
+  return make_index_scan(rel.table, chosen, b.lo, b.lo_incl, b.hi, b.hi_incl,
+                         std::move(qual));
+}
+
+// ---- the planner ------------------------------------------------------------------
+
+struct JoinEdge {
+  std::size_t a, b;              // relation indices
+  const AstExpr* a_col;          // column ref on relation a
+  const AstExpr* b_col;          // column ref on relation b
+};
+
+std::unique_ptr<PlanNode> plan_impl(Ctx& ctx, const AstQuery& query) {
+  cfg::RoutineScope scope(ctx.k.exec(), ctx.rt);
+  const auto& im = kernel_image();
+  ctx.bb(im.block_id(ctx.rt, "entry"));
+
+  // ---- FROM: bind the relations ----------------------------------------
+  std::vector<Rel> rels;
+  rels.reserve(query.from.size());
+  for (const FromItem& item : query.from) {
+    Rel rel;
+    rel.alias = item.alias;
+    if (item.subquery != nullptr) {
+      ctx.bb(ctx.bb_subplan);
+      rel.derived = plan_impl(ctx, *item.subquery);
+      for (const Column& col : rel.derived->out_schema.columns()) {
+        rel.binder.cols.push_back({rel.alias, col.name, col.type});
+      }
+      rel.est = 1000.0;  // derived-table default estimate
+    } else {
+      ctx.bb(ctx.bb_lookup);
+      rel.table = ctx.catalog.lookup(item.table);
+      STC_CHECK_MSG(rel.table != nullptr, "unknown table in FROM");
+      for (const Column& col : rel.table->schema.columns()) {
+        std::string upper = col.name;
+        for (char& c : upper) {
+          c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        }
+        rel.binder.cols.push_back({rel.alias, upper, col.type});
+      }
+      rel.est = static_cast<double>(rel.table->heap->tuple_count());
+    }
+    rels.push_back(std::move(rel));
+  }
+
+  // ---- WHERE: classify the conjuncts -----------------------------------
+  std::vector<const AstExpr*> conjuncts;
+  split_conjuncts(query.where.get(), conjuncts);
+
+  std::vector<JoinEdge> edges;
+  std::vector<const AstExpr*> residual;
+  for (const AstExpr* conjunct : conjuncts) {
+    ctx.bb(ctx.bb_pushdown);
+    std::vector<bool> used(rels.size(), false);
+    collect_rels(ctx, *conjunct, rels, used);
+    const std::size_t count =
+        static_cast<std::size_t>(std::count(used.begin(), used.end(), true));
+    if (count <= 1) {
+      std::size_t r = 0;
+      while (r < used.size() && !used[r]) ++r;
+      if (r == used.size()) r = 0;  // constant predicate: park it anywhere
+      rels[r].local.push_back(conjunct);
+      rels[r].est = std::max(1.0, rels[r].est * conjunct_selectivity(*conjunct));
+      continue;
+    }
+    if (count == 2 && conjunct->kind == AstExprKind::kCompare &&
+        conjunct->cmp == CmpOp::kEq &&
+        conjunct->children[0]->kind == AstExprKind::kColumnRef &&
+        conjunct->children[1]->kind == AstExprKind::kColumnRef) {
+      std::size_t a = 0;
+      while (!used[a]) ++a;
+      std::size_t b = a + 1;
+      while (!used[b]) ++b;
+      // Assign each side of the equality to its relation.
+      const AstExpr* lhs = conjunct->children[0].get();
+      const AstExpr* rhs = conjunct->children[1].get();
+      std::vector<bool> lhs_used(rels.size(), false);
+      collect_rels(ctx, *lhs, rels, lhs_used);
+      if (!lhs_used[a]) std::swap(lhs, rhs);
+      edges.push_back({a, b, lhs, rhs});
+      continue;
+    }
+    residual.push_back(conjunct);
+  }
+
+  // ---- scans -------------------------------------------------------------
+  std::vector<std::unique_ptr<PlanNode>> scans(rels.size());
+  for (std::size_t r = 0; r < rels.size(); ++r) {
+    scans[r] = build_scan(ctx, rels[r]);
+  }
+
+  // ---- greedy join order --------------------------------------------------
+  // Start from the smallest relation; repeatedly add the smallest relation
+  // connected to the joined set (falling back to a cross product if the
+  // join graph is disconnected).
+  std::size_t first = 0;
+  for (std::size_t r = 1; r < rels.size(); ++r) {
+    if (rels[r].est < rels[first].est) first = r;
+  }
+  rels[first].joined = true;
+
+  std::unique_ptr<PlanNode> plan = std::move(scans[first]);
+  Binder out_binder = rels[first].binder;
+  std::vector<int> rel_offset(rels.size(), -1);
+  rel_offset[first] = 0;
+  double est = rels[first].est;
+  std::size_t joined = 1;
+
+  const auto edge_connects = [&](const JoinEdge& e) -> int {
+    const bool a_in = rels[e.a].joined;
+    const bool b_in = rels[e.b].joined;
+    if (a_in == b_in) return -1;
+    return static_cast<int>(a_in ? e.b : e.a);
+  };
+
+  while (joined < rels.size()) {
+    ctx.bb(ctx.bb_join);
+    // Pick the connected relation with the smallest estimate.
+    int next = -1;
+    for (const JoinEdge& e : edges) {
+      const int cand = edge_connects(e);
+      if (cand < 0) continue;
+      if (next < 0 || rels[static_cast<std::size_t>(cand)].est <
+                          rels[static_cast<std::size_t>(next)].est) {
+        next = cand;
+      }
+    }
+    bool cross = false;
+    if (next < 0) {
+      cross = true;
+      for (std::size_t r = 0; r < rels.size(); ++r) {
+        if (rels[r].joined) continue;
+        if (next < 0 || rels[r].est < rels[static_cast<std::size_t>(next)].est) {
+          next = static_cast<int>(r);
+        }
+      }
+    }
+    Rel& inner = rels[static_cast<std::size_t>(next)];
+
+    // Gather every edge between the joined set and `inner`; the first drives
+    // the join method, the rest become residual equalities.
+    std::vector<const JoinEdge*> my_edges;
+    for (const JoinEdge& e : edges) {
+      if (edge_connects(e) == next) my_edges.push_back(&e);
+    }
+
+    const int outer_width = static_cast<int>(out_binder.cols.size());
+    auto join = std::make_unique<PlanNode>();
+    std::unique_ptr<PlanNode> inner_scan = std::move(scans[static_cast<std::size_t>(next)]);
+
+    // Key expressions over the outer (joined set) and inner tuples.
+    std::unique_ptr<Expr> outer_key, inner_key;
+    if (!cross) {
+      const JoinEdge& e = *my_edges.front();
+      const AstExpr* outer_col = rels[e.a].joined ? e.a_col : e.b_col;
+      const AstExpr* inner_col = rels[e.a].joined ? e.b_col : e.a_col;
+      outer_key = convert(ctx, *outer_col, out_binder, nullptr);
+      inner_key = convert(ctx, *inner_col, inner.binder, nullptr);
+    }
+
+    // Join method selection.
+    const bool inner_indexable =
+        ctx.options.use_indexes && inner.table != nullptr &&
+        inner_key != nullptr && inner_key->kind == ExprKind::kColumn &&
+        inner.table->index_on(inner_key->column) != nullptr;
+    PlannerOptions::JoinStrategy strategy = ctx.options.join_strategy;
+    if (cross) strategy = PlannerOptions::JoinStrategy::kNestedLoop;
+    switch (strategy) {
+      case PlannerOptions::JoinStrategy::kAuto:
+        join->kind = inner_indexable && est <= inner.est * 2.0
+                         ? PlanKind::kIndexNLJoin
+                         : PlanKind::kHashJoin;
+        break;
+      case PlannerOptions::JoinStrategy::kHash:
+        join->kind = PlanKind::kHashJoin;
+        break;
+      case PlannerOptions::JoinStrategy::kMerge:
+        join->kind = cross ? PlanKind::kNLJoin : PlanKind::kMergeJoin;
+        break;
+      case PlannerOptions::JoinStrategy::kNestedLoop:
+        join->kind = PlanKind::kNLJoin;
+        break;
+    }
+
+    // Residual predicate pieces over the concatenated tuple: extra join
+    // edges, plus (for index NL) the inner relation's local conjuncts.
+    Binder concat = out_binder;
+    for (const BoundCol& col : inner.binder.cols) concat.cols.push_back(col);
+    std::unique_ptr<Expr> res;
+    const auto add_residual = [&](std::unique_ptr<Expr> e) {
+      res = res == nullptr ? std::move(e)
+                           : Expr::make_logic(LogicOp::kAnd, std::move(res),
+                                              std::move(e));
+    };
+    for (std::size_t i = cross ? 0 : 1; i < my_edges.size(); ++i) {
+      const JoinEdge& e = *my_edges[i];
+      add_residual(Expr::make_compare(CmpOp::kEq,
+                                      convert(ctx, *e.a_col, concat, nullptr),
+                                      convert(ctx, *e.b_col, concat, nullptr)));
+    }
+
+    if (join->kind == PlanKind::kIndexNLJoin) {
+      // The inner scan is replaced by direct index probes; re-apply its
+      // pushed-down conjuncts over the concatenated tuple.
+      join->table = inner.table;
+      join->index = inner.table->index_on(inner_key->column);
+      join->left_key = std::move(outer_key);
+      for (const AstExpr* conjunct : inner.local) {
+        add_residual(convert(ctx, *conjunct, concat, nullptr));
+      }
+      join->children.push_back(std::move(plan));
+    } else if (join->kind == PlanKind::kHashJoin) {
+      join->left_key = std::move(outer_key);
+      join->right_key = std::move(inner_key);
+      join->children.push_back(std::move(plan));
+      join->children.push_back(std::move(inner_scan));
+    } else if (join->kind == PlanKind::kMergeJoin) {
+      // Sort both inputs on the key columns. Keys must be plain columns.
+      STC_CHECK_MSG(outer_key->kind == ExprKind::kColumn &&
+                        inner_key->kind == ExprKind::kColumn,
+                    "merge join requires column keys");
+      auto sort_left = std::make_unique<PlanNode>();
+      sort_left->kind = PlanKind::kSort;
+      sort_left->sort_keys.push_back({outer_key->column, false});
+      sort_left->children.push_back(std::move(plan));
+      auto sort_right = std::make_unique<PlanNode>();
+      sort_right->kind = PlanKind::kSort;
+      sort_right->sort_keys.push_back({inner_key->column, false});
+      sort_right->children.push_back(std::move(inner_scan));
+      join->left_key = std::move(outer_key);
+      join->right_key = std::move(inner_key);
+      join->children.push_back(std::move(sort_left));
+      join->children.push_back(std::move(sort_right));
+    } else {
+      // Naive nested loops: rewindable inner via materialization.
+      auto mat = std::make_unique<PlanNode>();
+      mat->kind = PlanKind::kMaterialize;
+      mat->children.push_back(std::move(inner_scan));
+      if (!cross) {
+        // The equality itself becomes a residual predicate.
+        std::unique_ptr<Expr> inner_shifted = std::move(inner_key);
+        std::vector<int> mapping(inner.binder.cols.size());
+        for (std::size_t i = 0; i < mapping.size(); ++i) {
+          mapping[i] = outer_width + static_cast<int>(i);
+        }
+        inner_shifted->remap_columns(mapping);
+        add_residual(Expr::make_compare(CmpOp::kEq, std::move(outer_key),
+                                        std::move(inner_shifted)));
+      }
+      join->children.push_back(std::move(plan));
+      join->children.push_back(std::move(mat));
+    }
+
+    join->residual = std::move(res);
+    plan = std::move(join);
+    rel_offset[static_cast<std::size_t>(next)] = outer_width;
+    out_binder = std::move(concat);
+    inner.joined = true;
+    ++joined;
+    est = std::max(1.0, est * std::max(1.0, inner.est) * 0.1);
+  }
+
+  // ---- residual predicates over the full join output ----------------------
+  for (const AstExpr* conjunct : residual) {
+    ctx.bb(ctx.bb_build);
+    auto filter = std::make_unique<PlanNode>();
+    filter->kind = PlanKind::kFilter;
+    filter->qual = convert(ctx, *conjunct, out_binder, nullptr);
+    filter->children.push_back(std::move(plan));
+    plan = std::move(filter);
+  }
+
+  // ---- aggregation + projection -------------------------------------------
+  const auto has_aggregate = [](const AstExpr& e) {
+    struct Walker {
+      static bool walk(const AstExpr& node) {
+        if (node.kind == AstExprKind::kAggregate) return true;
+        for (const auto& child : node.children) {
+          if (walk(*child)) return true;
+        }
+        return false;
+      }
+    };
+    return Walker::walk(e);
+  };
+  bool grouped = !query.group_by.empty() || query.having != nullptr;
+  for (const SelectItem& item : query.select) {
+    if (has_aggregate(*item.expr)) grouped = true;
+  }
+
+  auto project = std::make_unique<PlanNode>();
+  project->kind = PlanKind::kProject;
+
+  if (grouped) {
+    ctx.bb(ctx.bb_build);
+    auto agg_node = std::make_unique<PlanNode>();
+    agg_node->kind = PlanKind::kAggregate;
+    AggEnv env;
+    env.specs = &agg_node->aggs;
+
+    // Classify group keys: plain input columns vs computed expressions
+    // (either written out, or referenced through a select alias).
+    struct GroupKey {
+      const AstExpr* expr = nullptr;
+      std::string name;     // alias, when grouped via one
+      int input_pos = -1;   // >= 0 for plain columns
+    };
+    std::vector<GroupKey> keys;
+    for (const auto& gexpr : query.group_by) {
+      GroupKey key;
+      key.expr = gexpr.get();
+      if (gexpr->kind == AstExprKind::kColumnRef) {
+        key.input_pos = out_binder.resolve(ctx, gexpr->qualifier, gexpr->name);
+        if (key.input_pos < 0) {
+          // GROUP BY <select alias>.
+          for (const SelectItem& item : query.select) {
+            if (!item.alias.empty() && gexpr->qualifier.empty() &&
+                item.alias == gexpr->name) {
+              key.expr = item.expr.get();
+              key.name = item.alias;
+              break;
+            }
+          }
+          STC_CHECK_MSG(key.expr != gexpr.get(),
+                        "GROUP BY column does not resolve");
+        }
+      }
+      keys.push_back(key);
+    }
+
+    const bool any_computed = std::any_of(
+        keys.begin(), keys.end(),
+        [](const GroupKey& key) { return key.input_pos < 0; });
+    Binder extended = out_binder;
+    if (any_computed) {
+      // Pre-projection: pass every input column through and append the
+      // computed group keys, so the Aggregate still groups on positions.
+      auto pre = std::make_unique<PlanNode>();
+      pre->kind = PlanKind::kProject;
+      const int width = static_cast<int>(out_binder.cols.size());
+      for (int i = 0; i < width; ++i) {
+        pre->exprs.push_back(Expr::make_column(i));
+      }
+      int appended = 0;
+      for (GroupKey& key : keys) {
+        if (key.input_pos >= 0) continue;
+        pre->exprs.push_back(convert(ctx, *key.expr, out_binder, nullptr));
+        key.input_pos = width + appended;
+        extended.cols.push_back(
+            {"", key.name.empty() ? "$G" + std::to_string(appended) : key.name,
+             ValueType::kInt});
+        ++appended;
+      }
+      pre->children.push_back(std::move(plan));
+      plan = std::move(pre);
+    }
+
+    env.input = &extended;
+    for (const GroupKey& key : keys) {
+      env.group_cols.push_back(key.input_pos);
+      env.group_exprs.push_back(key.expr);
+      env.group_names.push_back(key.name);
+    }
+    agg_node->group_cols = env.group_cols;
+    // Convert select expressions against the aggregate output; this also
+    // populates agg_node->aggs through the environment.
+    for (const SelectItem& item : query.select) {
+      project->exprs.push_back(convert(ctx, *item.expr, extended, &env));
+    }
+    // HAVING filters the aggregate output (it may introduce further
+    // aggregate functions, which simply extend the spec list).
+    std::unique_ptr<Expr> having;
+    if (query.having != nullptr) {
+      having = convert(ctx, *query.having, extended, &env);
+    }
+    agg_node->children.push_back(std::move(plan));
+    plan = std::move(agg_node);
+    if (having != nullptr) {
+      auto filter = std::make_unique<PlanNode>();
+      filter->kind = PlanKind::kFilter;
+      filter->qual = std::move(having);
+      filter->children.push_back(std::move(plan));
+      plan = std::move(filter);
+    }
+  } else {
+    ctx.bb(ctx.bb_build);
+    for (const SelectItem& item : query.select) {
+      project->exprs.push_back(convert(ctx, *item.expr, out_binder, nullptr));
+    }
+  }
+
+  // Output schema: aliases (or bare column names) of the select items.
+  for (std::size_t i = 0; i < query.select.size(); ++i) {
+    const SelectItem& item = query.select[i];
+    std::string name = item.alias;
+    if (name.empty() && item.expr->kind == AstExprKind::kColumnRef) {
+      name = item.expr->name;
+    }
+    if (name.empty()) name = "COL" + std::to_string(i + 1);
+    project->out_schema.add(std::move(name), ValueType::kInt);
+  }
+  project->children.push_back(std::move(plan));
+  Schema out_schema = project->out_schema;
+  plan = std::move(project);
+
+  // ---- ORDER BY -------------------------------------------------------------
+  if (!query.order_by.empty()) {
+    ctx.bb(ctx.bb_build);
+    auto sort = std::make_unique<PlanNode>();
+    sort->kind = PlanKind::kSort;
+    for (const OrderItem& item : query.order_by) {
+      SortKey key;
+      key.descending = item.descending;
+      if (item.position > 0) {
+        STC_CHECK_MSG(item.position <= static_cast<int>(out_schema.size()),
+                      "ORDER BY position out of range");
+        key.column = item.position - 1;
+      } else {
+        STC_CHECK_MSG(item.expr->kind == AstExprKind::kColumnRef,
+                      "ORDER BY supports output columns and positions");
+        const int pos = out_schema.index_of(item.expr->name);
+        STC_CHECK_MSG(pos >= 0, "ORDER BY column not in the select list");
+        key.column = pos;
+      }
+      sort->sort_keys.push_back(key);
+    }
+    sort->out_schema = out_schema;
+    sort->children.push_back(std::move(plan));
+    plan = std::move(sort);
+  }
+
+  // ---- LIMIT -----------------------------------------------------------------
+  if (query.limit.has_value()) {
+    auto limit = std::make_unique<PlanNode>();
+    limit->kind = PlanKind::kLimit;
+    limit->limit = *query.limit;
+    limit->out_schema = out_schema;
+    limit->children.push_back(std::move(plan));
+    plan = std::move(limit);
+  }
+  plan->out_schema = out_schema;
+
+  ctx.bb(im.block_id(ctx.rt, "ret"));
+  return plan;
+}
+
+}  // namespace
+
+std::unique_ptr<PlanNode> plan_query(Kernel& kernel, Catalog& catalog,
+                                     const AstQuery& query,
+                                     const PlannerOptions& options) {
+  Ctx ctx(kernel, catalog, options);
+  return plan_impl(ctx, query);
+}
+
+}  // namespace sql
+}  // namespace stc::db

@@ -1,0 +1,36 @@
+// Heuristic query planner (the Parsing-Optimization kernel's second half).
+//
+// Produces a physical PlanNode tree from a parsed query:
+//  - predicate pushdown to the scans, with index selection (equality on any
+//    index, ranges on btrees only),
+//  - greedy join ordering over the equi-join graph by estimated cardinality,
+//  - join method selection (index nested loops / hash / merge / naive NL),
+//  - subquery folding: uncorrelated scalar subqueries and IN (SELECT ...)
+//    predicates are executed at plan time and replaced by constants / value
+//    sets; derived tables become materialized subplans,
+//  - aggregation, projection, ordering, limit.
+#pragma once
+
+#include <memory>
+
+#include "db/catalog.h"
+#include "db/kernel.h"
+#include "db/plan.h"
+#include "db/sql/ast.h"
+
+namespace stc::db::sql {
+
+struct PlannerOptions {
+  enum class JoinStrategy : std::uint8_t { kAuto, kHash, kMerge, kNestedLoop };
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+  // Allows disabling index scans / index nested loops (forces the Scan
+  // operation mix toward sequential scans, like the paper's non-indexed
+  // access paths).
+  bool use_indexes = true;
+};
+
+std::unique_ptr<PlanNode> plan_query(Kernel& kernel, Catalog& catalog,
+                                     const AstQuery& query,
+                                     const PlannerOptions& options = {});
+
+}  // namespace stc::db::sql

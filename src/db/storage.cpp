@@ -1,0 +1,162 @@
+#include "db/storage.h"
+
+#include <cstring>
+
+#include "db/registration.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kFall = BlockKind::kFallThrough;
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_storage_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  im.add_routine("SM_create_file", m,
+                 {{"entry", 6, kFall}, {"init", 8, kFall}, {"ret", 3, kRet}});
+  im.add_routine("SM_allocate_page", m,
+                 {{"entry", 7, kBr},
+                  {"grow", 12, kFall},
+                  {"zero", 9, kFall},
+                  {"ret", 3, kRet}});
+  im.add_routine("SM_read_page", m,
+                 {{"entry", 8, kBr},
+                  {"seek", 6, kFall},
+                  {"copy", 18, kFall},
+                  {"ret", 3, kRet},
+                  {"err_bounds", 14, kRet}});
+  im.add_routine("SM_write_page", m,
+                 {{"entry", 8, kBr},
+                  {"seek", 6, kFall},
+                  {"copy", 18, kFall},
+                  {"ret", 3, kRet},
+                  {"err_bounds", 14, kRet}});
+  // Maintenance paths: implemented, exercised by tests, cold in DSS runs.
+  im.add_routine("SM_file_sync", m,
+                 {{"entry", 6, kBr},
+                  {"walk", 9, kBr},
+                  {"flush_one", 16, kBr},
+                  {"ret", 4, kRet}});
+  im.add_routine("SM_truncate_file", m,
+                 {{"entry", 7, kBr},
+                  {"release", 11, kBr},
+                  {"ret", 4, kRet},
+                  {"err_nofile", 12, kRet}});
+}
+
+std::uint32_t Page::free_space() const {
+  const std::uint32_t used_front =
+      kHeaderBytes + std::uint32_t{slot_count()} * kSlotBytes;
+  const std::uint32_t free_off = free_offset();
+  STC_DCHECK(free_off >= used_front);
+  const std::uint32_t gap = free_off - used_front;
+  return gap > kSlotBytes ? gap - kSlotBytes : 0;
+}
+
+std::uint16_t Page::insert_record(const std::uint8_t* data,
+                                  std::uint16_t length) {
+  STC_REQUIRE_MSG(length <= free_space(), "record does not fit in page");
+  const std::uint16_t slot = slot_count();
+  const std::uint16_t new_off =
+      static_cast<std::uint16_t>(free_offset() - length);
+  std::memcpy(bytes_.data() + new_off, data, length);
+  write_u16(kHeaderBytes + std::uint32_t{slot} * kSlotBytes, new_off);
+  write_u16(kHeaderBytes + std::uint32_t{slot} * kSlotBytes + 2, length);
+  set_slot_count(static_cast<std::uint16_t>(slot + 1));
+  set_free_offset(new_off);
+  return slot;
+}
+
+const std::uint8_t* Page::record(std::uint16_t slot,
+                                 std::uint16_t& length) const {
+  STC_REQUIRE_MSG(slot < slot_count(), "slot out of range");
+  const std::uint16_t off =
+      read_u16(kHeaderBytes + std::uint32_t{slot} * kSlotBytes);
+  length = read_u16(kHeaderBytes + std::uint32_t{slot} * kSlotBytes + 2);
+  return bytes_.data() + off;
+}
+
+std::uint32_t StorageManager::create_file() {
+  DB_ROUTINE(kernel_, "SM_create_file");
+  DB_BB(kernel_, "entry");
+  DB_BB(kernel_, "init");
+  files_.emplace_back();
+  DB_BB(kernel_, "ret");
+  return static_cast<std::uint32_t>(files_.size() - 1);
+}
+
+std::uint32_t StorageManager::file_page_count(std::uint32_t file) const {
+  STC_REQUIRE(file < files_.size());
+  return static_cast<std::uint32_t>(files_[file].size());
+}
+
+std::uint32_t StorageManager::allocate_page(std::uint32_t file) {
+  DB_ROUTINE(kernel_, "SM_allocate_page");
+  DB_BB(kernel_, "entry");
+  STC_REQUIRE(file < files_.size());
+  DB_BB(kernel_, "grow");
+  files_[file].emplace_back();
+  DB_BB(kernel_, "zero");
+  ++stats_.pages_allocated;
+  DB_BB(kernel_, "ret");
+  return static_cast<std::uint32_t>(files_[file].size() - 1);
+}
+
+void StorageManager::read_page(PageId id, Page& out) {
+  DB_ROUTINE(kernel_, "SM_read_page");
+  DB_BB(kernel_, "entry");
+  if (id.file >= files_.size() || id.page >= files_[id.file].size()) {
+    DB_BB(kernel_, "err_bounds");
+    STC_CHECK_MSG(false, "page read out of bounds");
+  }
+  DB_BB(kernel_, "seek");
+  ++stats_.page_reads;
+  DB_BB(kernel_, "copy");
+  out = files_[id.file][id.page];
+  DB_BB(kernel_, "ret");
+}
+
+void StorageManager::write_page(PageId id, const Page& page) {
+  DB_ROUTINE(kernel_, "SM_write_page");
+  DB_BB(kernel_, "entry");
+  if (id.file >= files_.size() || id.page >= files_[id.file].size()) {
+    DB_BB(kernel_, "err_bounds");
+    STC_CHECK_MSG(false, "page write out of bounds");
+  }
+  DB_BB(kernel_, "seek");
+  ++stats_.page_writes;
+  DB_BB(kernel_, "copy");
+  files_[id.file][id.page] = page;
+  DB_BB(kernel_, "ret");
+}
+
+void StorageManager::sync_file(std::uint32_t file) {
+  DB_ROUTINE(kernel_, "SM_file_sync");
+  DB_BB(kernel_, "entry");
+  STC_REQUIRE(file < files_.size());
+  for (Page& page : files_[file]) {
+    DB_BB(kernel_, "walk");
+    DB_BB(kernel_, "flush_one");
+    // The simulated disk is memory; the barrier just touches the page header
+    // the way a real checksum-on-write would.
+    (void)page.slot_count();
+    ++stats_.page_writes;
+  }
+  DB_BB(kernel_, "ret");
+}
+
+void StorageManager::truncate_file(std::uint32_t file) {
+  DB_ROUTINE(kernel_, "SM_truncate_file");
+  DB_BB(kernel_, "entry");
+  if (file >= files_.size()) {
+    DB_BB(kernel_, "err_nofile");
+    STC_CHECK_MSG(false, "truncate of unknown file");
+  }
+  DB_BB(kernel_, "release");
+  files_[file].clear();
+  DB_BB(kernel_, "ret");
+}
+
+}  // namespace stc::db

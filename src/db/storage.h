@@ -1,0 +1,108 @@
+// Storage Manager: the lowest module of the engine (paper Figure 1).
+//
+// Tables are stored as files of fixed-size pages following a slotted-page
+// logic structure. The "disk" is simulated: file contents live in memory,
+// and every read/write goes through instrumented kernel routines so the
+// storage manager contributes its real share of the instruction stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "db/kernel.h"
+#include "support/check.h"
+
+namespace stc::db {
+
+inline constexpr std::uint32_t kPageBytes = 8192;
+
+struct PageId {
+  std::uint32_t file = 0;
+  std::uint32_t page = 0;
+
+  std::uint64_t key() const { return (std::uint64_t{file} << 32) | page; }
+  bool operator==(const PageId& other) const {
+    return file == other.file && page == other.page;
+  }
+};
+
+// A raw page with a slotted-record directory:
+//   header: [u16 slot_count][u16 free_offset]
+//   slots:  per record [u16 offset][u16 length], growing from the header
+//   data:   records packed from the end of the page, growing backwards
+class Page {
+ public:
+  Page() : bytes_(kPageBytes, 0) { set_free_offset(kPageBytes); }
+
+  std::uint16_t slot_count() const { return read_u16(0); }
+  std::uint16_t free_offset() const { return read_u16(2); }
+
+  // Free contiguous space available for one more record (+ its slot entry).
+  std::uint32_t free_space() const;
+
+  // Appends a record; returns the slot number. Requires it to fit.
+  std::uint16_t insert_record(const std::uint8_t* data, std::uint16_t length);
+
+  // Record payload for a slot (valid until the page is mutated).
+  const std::uint8_t* record(std::uint16_t slot, std::uint16_t& length) const;
+
+  const std::uint8_t* raw() const { return bytes_.data(); }
+  std::uint8_t* raw() { return bytes_.data(); }
+
+ private:
+  static constexpr std::uint32_t kHeaderBytes = 4;
+  static constexpr std::uint32_t kSlotBytes = 4;
+
+  std::uint16_t read_u16(std::uint32_t offset) const {
+    return static_cast<std::uint16_t>(bytes_[offset] |
+                                      (bytes_[offset + 1] << 8));
+  }
+  void write_u16(std::uint32_t offset, std::uint16_t value) {
+    bytes_[offset] = static_cast<std::uint8_t>(value & 0xff);
+    bytes_[offset + 1] = static_cast<std::uint8_t>(value >> 8);
+  }
+  void set_slot_count(std::uint16_t n) { write_u16(0, n); }
+  void set_free_offset(std::uint16_t off) { write_u16(2, off); }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+struct StorageStats {
+  std::uint64_t page_reads = 0;
+  std::uint64_t page_writes = 0;
+  std::uint64_t pages_allocated = 0;
+};
+
+class StorageManager {
+ public:
+  explicit StorageManager(Kernel& kernel) : kernel_(kernel) {}
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  std::uint32_t create_file();
+  std::uint32_t file_page_count(std::uint32_t file) const;
+
+  // Extends `file` by one zeroed page; returns its page number.
+  std::uint32_t allocate_page(std::uint32_t file);
+
+  // Copies a page from the simulated disk into `out`.
+  void read_page(PageId id, Page& out);
+
+  // Copies `page` back to the simulated disk.
+  void write_page(PageId id, const Page& page);
+
+  // Maintenance operations; cold during DSS query execution.
+  void sync_file(std::uint32_t file);      // simulated durability barrier
+  void truncate_file(std::uint32_t file);  // drops all pages of the file
+
+  const StorageStats& stats() const { return stats_; }
+
+ private:
+  Kernel& kernel_;
+  std::vector<std::vector<Page>> files_;
+  StorageStats stats_;
+};
+
+}  // namespace stc::db

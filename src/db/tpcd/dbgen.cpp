@@ -1,0 +1,349 @@
+#include "db/tpcd/dbgen.h"
+
+#include <array>
+
+#include "db/registration.h"
+#include "db/tpcd/schema.h"
+#include "support/rng.h"
+
+namespace stc::db {
+
+void register_dbgen_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  using cfg::BlockKind;
+  constexpr BlockKind kBr = BlockKind::kBranch;
+  constexpr BlockKind kCall = BlockKind::kCall;
+  constexpr BlockKind kRet = BlockKind::kReturn;
+  // One loader routine per table; "row" is emitted once per generated row and
+  // ends in the Db_insert call.
+  for (const char* name :
+       {"Gen_region", "Gen_nation", "Gen_supplier", "Gen_customer", "Gen_part",
+        "Gen_partsupp", "Gen_orders", "Gen_lineitem"}) {
+    im.add_routine(name, m,
+                   {{"entry", 8, kBr},
+                    {"make_row", 14, kBr},  // synthesize the column values
+                    {"row", 4, kCall},      // insert (maintains indexes)
+                    {"ret", 4, kRet}});
+  }
+}
+
+namespace tpcd {
+namespace {
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+
+constexpr std::array<const char*, 5> kRegions = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+constexpr std::array<NationDef, 25> kNations = {{
+    {"ALGERIA", 0},   {"ARGENTINA", 1}, {"BRAZIL", 1},    {"CANADA", 1},
+    {"EGYPT", 4},     {"ETHIOPIA", 0},  {"FRANCE", 3},    {"GERMANY", 3},
+    {"INDIA", 2},     {"INDONESIA", 2}, {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},     {"JORDAN", 4},    {"KENYA", 0},     {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0},{"PERU", 1},      {"CHINA", 2},     {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+    {"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}};
+
+constexpr std::array<const char*, 6> kTypes1 = {"STANDARD", "SMALL", "MEDIUM",
+                                                "LARGE", "ECONOMY", "PROMO"};
+constexpr std::array<const char*, 5> kTypes2 = {"ANODIZED", "BURNISHED",
+                                                "PLATED", "POLISHED",
+                                                "BRUSHED"};
+constexpr std::array<const char*, 5> kTypes3 = {"TIN", "NICKEL", "BRASS",
+                                                "STEEL", "COPPER"};
+constexpr std::array<const char*, 5> kContainers1 = {"SM", "MED", "LG",
+                                                     "JUMBO", "WRAP"};
+constexpr std::array<const char*, 8> kContainers2 = {
+    "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"};
+constexpr std::array<const char*, 5> kSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+constexpr std::array<const char*, 5> kPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+constexpr std::array<const char*, 7> kShipModes = {
+    "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+constexpr std::array<const char*, 4> kShipInstruct = {
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+constexpr std::array<const char*, 17> kColors = {
+    "almond", "antique", "aquamarine", "azure",  "beige",  "bisque",
+    "black",  "blue",    "blush",      "brown",  "green",  "honeydew",
+    "ivory",  "lemon",   "magenta",    "maroon", "orange"};
+
+const char* pick(Rng& rng, const char* const* data, std::size_t n) {
+  return data[rng.uniform(n)];
+}
+
+std::string part_name(Rng& rng) {
+  std::string name = pick(rng, kColors.data(), kColors.size());
+  name += ' ';
+  name += pick(rng, kColors.data(), kColors.size());
+  return name;
+}
+
+std::string comment(Rng& rng, std::size_t words) {
+  std::string text;
+  for (std::size_t i = 0; i < words; ++i) {
+    if (i != 0) text += ' ';
+    text += rng.random_string(3 + rng.uniform(6));
+  }
+  return text;
+}
+
+std::string phone(Rng& rng, std::int64_t nationkey) {
+  std::string p = std::to_string(10 + nationkey);
+  p += '-';
+  for (int g = 0; g < 3; ++g) {
+    p += std::to_string(100 + rng.uniform(900));
+    if (g != 2) p += '-';
+  }
+  return p;
+}
+
+// Instrumented per-table loaders. Each opens its Gen_* routine, emits one
+// "row" block per inserted tuple, and inserts through Database::insert so
+// that index maintenance executes its real code path.
+class Loader {
+ public:
+  Loader(Database& db, const GenConfig& config)
+      : db_(db), rng_(config.seed), config_(config) {}
+
+  void load_region() {
+    Kernel& k = db_.kernel();
+    TableInfo* t = db_.catalog().lookup("REGION");
+    DB_ROUTINE(k, "Gen_region");
+    DB_BB(k, "entry");
+    for (std::size_t i = 0; i < kRegions.size(); ++i) {
+      DB_BB(k, "make_row");
+      Tuple row{Value(static_cast<std::int64_t>(i)),
+                Value(std::string(kRegions[i])), Value(comment(rng_, 4))};
+      DB_BB(k, "row");
+      db_.insert(*t, row);
+    }
+    DB_BB(k, "ret");
+  }
+
+  void load_nation() {
+    Kernel& k = db_.kernel();
+    TableInfo* t = db_.catalog().lookup("NATION");
+    DB_ROUTINE(k, "Gen_nation");
+    DB_BB(k, "entry");
+    for (std::size_t i = 0; i < kNations.size(); ++i) {
+      DB_BB(k, "make_row");
+      Tuple row{Value(static_cast<std::int64_t>(i)),
+                Value(std::string(kNations[i].name)),
+                Value(static_cast<std::int64_t>(kNations[i].region)),
+                Value(comment(rng_, 5))};
+      DB_BB(k, "row");
+      db_.insert(*t, row);
+    }
+    DB_BB(k, "ret");
+  }
+
+  void load_supplier() {
+    Kernel& k = db_.kernel();
+    TableInfo* t = db_.catalog().lookup("SUPPLIER");
+    DB_ROUTINE(k, "Gen_supplier");
+    DB_BB(k, "entry");
+    for (std::uint64_t i = 1; i <= config_.suppliers(); ++i) {
+      DB_BB(k, "make_row");
+      const std::int64_t nation =
+          static_cast<std::int64_t>(rng_.uniform(kNations.size()));
+      std::string s_comment = comment(rng_, 6);
+      // ~5% of suppliers carry the Q16 complaint marker.
+      if (rng_.chance(0.05)) s_comment = "Customer stuff Complaints " + s_comment;
+      Tuple row{Value(static_cast<std::int64_t>(i)),
+                Value("Supplier#" + std::to_string(i)),
+                Value(rng_.random_string(12)),
+                Value(nation),
+                Value(phone(rng_, nation)),
+                Value(-999.99 + rng_.uniform_double() * 10998.98),
+                Value(std::move(s_comment))};
+      DB_BB(k, "row");
+      db_.insert(*t, row);
+    }
+    DB_BB(k, "ret");
+  }
+
+  void load_customer() {
+    Kernel& k = db_.kernel();
+    TableInfo* t = db_.catalog().lookup("CUSTOMER");
+    DB_ROUTINE(k, "Gen_customer");
+    DB_BB(k, "entry");
+    for (std::uint64_t i = 1; i <= config_.customers(); ++i) {
+      DB_BB(k, "make_row");
+      const std::int64_t nation =
+          static_cast<std::int64_t>(rng_.uniform(kNations.size()));
+      Tuple row{Value(static_cast<std::int64_t>(i)),
+                Value("Customer#" + std::to_string(i)),
+                Value(rng_.random_string(14)),
+                Value(nation),
+                Value(phone(rng_, nation)),
+                Value(-999.99 + rng_.uniform_double() * 10998.98),
+                Value(std::string(pick(rng_, kSegments.data(), kSegments.size()))),
+                Value(comment(rng_, 8))};
+      DB_BB(k, "row");
+      db_.insert(*t, row);
+    }
+    DB_BB(k, "ret");
+  }
+
+  void load_part() {
+    Kernel& k = db_.kernel();
+    TableInfo* t = db_.catalog().lookup("PART");
+    DB_ROUTINE(k, "Gen_part");
+    DB_BB(k, "entry");
+    for (std::uint64_t i = 1; i <= config_.parts(); ++i) {
+      DB_BB(k, "make_row");
+      std::string type = pick(rng_, kTypes1.data(), kTypes1.size());
+      type += ' ';
+      type += pick(rng_, kTypes2.data(), kTypes2.size());
+      type += ' ';
+      type += pick(rng_, kTypes3.data(), kTypes3.size());
+      std::string container = pick(rng_, kContainers1.data(), kContainers1.size());
+      container += ' ';
+      container += pick(rng_, kContainers2.data(), kContainers2.size());
+      const std::int64_t brand_m = 1 + static_cast<std::int64_t>(rng_.uniform(5));
+      const std::int64_t brand_n = 1 + static_cast<std::int64_t>(rng_.uniform(5));
+      Tuple row{Value(static_cast<std::int64_t>(i)),
+                Value(part_name(rng_)),
+                Value("Manufacturer#" + std::to_string(brand_m)),
+                Value("Brand#" + std::to_string(brand_m * 10 + brand_n)),
+                Value(std::move(type)),
+                Value(1 + static_cast<std::int64_t>(rng_.uniform(50))),
+                Value(std::move(container)),
+                Value(900.0 + static_cast<double>(i % 1000) / 10.0),
+                Value(comment(rng_, 3))};
+      DB_BB(k, "row");
+      db_.insert(*t, row);
+    }
+    DB_BB(k, "ret");
+  }
+
+  void load_partsupp() {
+    Kernel& k = db_.kernel();
+    TableInfo* t = db_.catalog().lookup("PARTSUPP");
+    DB_ROUTINE(k, "Gen_partsupp");
+    DB_BB(k, "entry");
+    const std::uint64_t suppliers = config_.suppliers();
+    for (std::uint64_t p = 1; p <= config_.parts(); ++p) {
+      for (int s = 0; s < 4; ++s) {
+        DB_BB(k, "make_row");
+        const std::uint64_t supp = (p + static_cast<std::uint64_t>(s) *
+                                            (suppliers / 4 + 1)) % suppliers + 1;
+        Tuple row{Value(static_cast<std::int64_t>(p)),
+                  Value(static_cast<std::int64_t>(supp)),
+                  Value(1 + static_cast<std::int64_t>(rng_.uniform(9999))),
+                  Value(1.0 + rng_.uniform_double() * 999.0),
+                  Value(comment(rng_, 6))};
+        DB_BB(k, "row");
+        db_.insert(*t, row);
+      }
+    }
+    DB_BB(k, "ret");
+  }
+
+  void load_orders_and_lineitem() {
+    Kernel& k = db_.kernel();
+    TableInfo* orders = db_.catalog().lookup("ORDERS");
+    TableInfo* lineitem = db_.catalog().lookup("LINEITEM");
+    const std::int64_t start = date_from_ymd(1992, 1, 1);
+    const std::int64_t end = date_from_ymd(1998, 8, 2);
+    const std::uint64_t customers = config_.customers();
+    const std::uint64_t parts = config_.parts();
+    const std::uint64_t suppliers = config_.suppliers();
+
+    for (std::uint64_t o = 1; o <= config_.orders(); ++o) {
+      std::int64_t orderdate = 0;
+      int lines = 0;
+      double total = 0.0;
+      {
+        DB_ROUTINE(k, "Gen_orders");
+        DB_BB(k, "entry");
+        DB_BB(k, "make_row");
+        orderdate = start + rng_.uniform_range(0, end - start - 151);
+        lines = 1 + static_cast<int>(rng_.uniform(7));
+        // Zipf-skewed customer popularity, like real order streams.
+        const std::int64_t cust =
+            static_cast<std::int64_t>(rng_.zipf(customers, 0.5));
+        Tuple row{Value(static_cast<std::int64_t>(o)),
+                  Value(cust),
+                  Value(std::string(rng_.chance(0.5) ? "F" : "O")),
+                  Value(0.0),  // filled conceptually by the lines below
+                  Value(orderdate),
+                  Value(std::string(pick(rng_, kPriorities.data(), kPriorities.size()))),
+                  Value("Clerk#" + std::to_string(1 + rng_.uniform(1000))),
+                  Value(std::int64_t{0}),
+                  Value(comment(rng_, 6))};
+        DB_BB(k, "row");
+        db_.insert(*orders, row);
+        DB_BB(k, "ret");
+      }
+      {
+        DB_ROUTINE(k, "Gen_lineitem");
+        DB_BB(k, "entry");
+        for (int l = 1; l <= lines; ++l) {
+          DB_BB(k, "make_row");
+          const double qty = 1.0 + static_cast<double>(rng_.uniform(50));
+          const double price = qty * (900.0 + static_cast<double>(
+                                                  rng_.uniform(10000)) / 10.0);
+          total += price;
+          const std::int64_t ship = orderdate + 1 + rng_.uniform_range(0, 120);
+          const std::int64_t commit = orderdate + 30 + rng_.uniform_range(0, 60);
+          const std::int64_t receipt = ship + 1 + rng_.uniform_range(0, 29);
+          const char* flag = receipt <= date_from_ymd(1995, 6, 17)
+                                 ? (rng_.chance(0.5) ? "R" : "A")
+                                 : "N";
+          Tuple row{Value(static_cast<std::int64_t>(o)),
+                    Value(static_cast<std::int64_t>(rng_.zipf(parts, 0.4))),
+                    Value(static_cast<std::int64_t>(1 + rng_.uniform(suppliers))),
+                    Value(static_cast<std::int64_t>(l)),
+                    Value(qty),
+                    Value(price),
+                    Value(static_cast<double>(rng_.uniform(11)) / 100.0),
+                    Value(static_cast<double>(rng_.uniform(9)) / 100.0),
+                    Value(std::string(flag)),
+                    Value(std::string(ship > date_from_ymd(1995, 6, 17) ? "O" : "F")),
+                    Value(ship),
+                    Value(commit),
+                    Value(receipt),
+                    Value(std::string(pick(rng_, kShipInstruct.data(), kShipInstruct.size()))),
+                    Value(std::string(pick(rng_, kShipModes.data(), kShipModes.size()))),
+                    Value(comment(rng_, 4))};
+          DB_BB(k, "row");
+          db_.insert(*lineitem, row);
+        }
+        DB_BB(k, "ret");
+      }
+      (void)total;
+    }
+  }
+
+ private:
+  Database& db_;
+  Rng rng_;
+  GenConfig config_;
+};
+
+}  // namespace
+
+void populate(Database& db, const GenConfig& config) {
+  Loader loader(db, config);
+  loader.load_region();
+  loader.load_nation();
+  loader.load_supplier();
+  loader.load_customer();
+  loader.load_part();
+  loader.load_partsupp();
+  loader.load_orders_and_lineitem();
+}
+
+void build_database(Database& db, const GenConfig& config, IndexKind kind) {
+  create_tables(db);
+  populate(db, config);
+  create_indexes(db, kind);
+}
+
+}  // namespace tpcd
+}  // namespace stc::db

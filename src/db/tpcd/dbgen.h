@@ -1,0 +1,41 @@
+// Deterministic TPC-D data generator.
+//
+// Produces the 8 tables at a configurable Scale Factor (SF = 1 corresponds to
+// the benchmark's 1GB database; the paper used SF = 0.1). Value domains
+// follow the TPC-D specification closely enough that every predicate in the
+// 17 queries selects a realistic, non-empty subset.
+#pragma once
+
+#include <cstdint>
+
+#include "db/database.h"
+
+namespace stc::db::tpcd {
+
+struct GenConfig {
+  double scale_factor = 0.01;
+  std::uint64_t seed = 19990401;  // ICPP'99
+
+  std::uint64_t suppliers() const { return scaled(10000, 2); }
+  std::uint64_t parts() const { return scaled(200000, 4); }
+  std::uint64_t customers() const { return scaled(150000, 3); }
+  std::uint64_t orders() const { return customers() * 10; }
+  // partsupp = 4 per part; lineitem = 1..7 per order (generated).
+
+ private:
+  std::uint64_t scaled(std::uint64_t base, std::uint64_t min_rows) const {
+    const double n = static_cast<double>(base) * scale_factor;
+    return n < static_cast<double>(min_rows) ? min_rows
+                                             : static_cast<std::uint64_t>(n);
+  }
+};
+
+// Populates the (already created) tables of `db`. Indexes present on the
+// tables are maintained during the load.
+void populate(Database& db, const GenConfig& config);
+
+// Convenience: create tables, load data, then build the index set (loading
+// before indexing is faster and matches a bulk build).
+void build_database(Database& db, const GenConfig& config, IndexKind kind);
+
+}  // namespace stc::db::tpcd

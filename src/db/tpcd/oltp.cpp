@@ -1,0 +1,108 @@
+#include "db/tpcd/oltp.h"
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace stc::db::tpcd {
+namespace {
+
+std::string order_status_sql(std::int64_t custkey) {
+  return "SELECT c_name, c_acctbal, o_orderkey, o_orderdate, o_orderpriority "
+         "FROM customer, orders "
+         "WHERE c_custkey = " + std::to_string(custkey) +
+         " AND o_custkey = c_custkey "
+         "ORDER BY o_orderdate DESC LIMIT 5";
+}
+
+std::string order_lines_sql(std::int64_t orderkey) {
+  return "SELECT l_linenumber, l_quantity, l_extendedprice, l_shipdate "
+         "FROM lineitem WHERE l_orderkey = " + std::to_string(orderkey) +
+         " ORDER BY l_linenumber";
+}
+
+std::string stock_check_sql(std::int64_t partkey) {
+  return "SELECT p_name, ps_suppkey, ps_availqty, ps_supplycost, s_name "
+         "FROM part, partsupp, supplier "
+         "WHERE p_partkey = " + std::to_string(partkey) +
+         " AND ps_partkey = p_partkey AND s_suppkey = ps_suppkey "
+         "ORDER BY ps_supplycost";
+}
+
+}  // namespace
+
+OltpStats run_oltp_workload(Database& db, const OltpConfig& config,
+                            cfg::TraceSink* sink) {
+  TableInfo* orders = db.catalog().lookup("ORDERS");
+  TableInfo* lineitem = db.catalog().lookup("LINEITEM");
+  TableInfo* customer = db.catalog().lookup("CUSTOMER");
+  TableInfo* part = db.catalog().lookup("PART");
+  STC_REQUIRE(orders != nullptr && lineitem != nullptr &&
+              customer != nullptr && part != nullptr);
+  const auto customers = static_cast<std::int64_t>(customer->heap->tuple_count());
+  const auto parts = static_cast<std::int64_t>(part->heap->tuple_count());
+  const auto order_count = static_cast<std::int64_t>(orders->heap->tuple_count());
+  STC_REQUIRE(customers > 0 && parts > 0 && order_count > 0);
+
+  Rng rng(config.seed);
+  OltpStats stats;
+  cfg::TraceSink* previous = db.kernel().exec().sink();
+  db.kernel().set_sink(sink);
+
+  std::int64_t next_orderkey = 1000000000;  // clear of generated keys
+  for (std::uint64_t txn = 0; txn < config.transactions; ++txn) {
+    const double pick = rng.uniform_double();
+    if (pick < config.order_status_fraction) {
+      // Order status: customer header, recent orders, lines of the newest.
+      const auto custkey =
+          static_cast<std::int64_t>(rng.zipf(customers, config.zipf_theta));
+      const QueryResult header = db.run_query(order_status_sql(custkey));
+      stats.rows_read += header.rows.size();
+      if (!header.rows.empty()) {
+        const std::int64_t orderkey = header.rows.front()[2].as_int();
+        const QueryResult lines = db.run_query(order_lines_sql(orderkey));
+        stats.rows_read += lines.rows.size();
+      }
+      ++stats.order_status;
+    } else if (pick < config.order_status_fraction +
+                          config.stock_check_fraction) {
+      const auto partkey =
+          static_cast<std::int64_t>(rng.zipf(parts, config.zipf_theta));
+      const QueryResult result = db.run_query(stock_check_sql(partkey));
+      stats.rows_read += result.rows.size();
+      ++stats.stock_checks;
+    } else {
+      // New order: insert the order row and 1..7 line items through the
+      // full index-maintenance path.
+      const std::int64_t orderkey = next_orderkey++;
+      const auto custkey =
+          static_cast<std::int64_t>(rng.zipf(customers, config.zipf_theta));
+      const std::int64_t today = date_from_ymd(1998, 8, 2);
+      db.insert(*orders,
+                {Value(orderkey), Value(custkey), Value(std::string("O")),
+                 Value(0.0), Value(today),
+                 Value(std::string("1-URGENT")), Value(std::string("Clerk#1")),
+                 Value(std::int64_t{0}), Value(std::string("oltp"))});
+      ++stats.rows_inserted;
+      const int lines = 1 + static_cast<int>(rng.uniform(7));
+      for (int l = 1; l <= lines; ++l) {
+        const double qty = 1.0 + static_cast<double>(rng.uniform(10));
+        db.insert(
+            *lineitem,
+            {Value(orderkey),
+             Value(static_cast<std::int64_t>(rng.zipf(parts, config.zipf_theta))),
+             Value(std::int64_t{1}), Value(static_cast<std::int64_t>(l)),
+             Value(qty), Value(qty * 100.0), Value(0.0), Value(0.0),
+             Value(std::string("N")), Value(std::string("O")), Value(today),
+             Value(today), Value(today),
+             Value(std::string("NONE")), Value(std::string("AIR")),
+             Value(std::string("oltp"))});
+        ++stats.rows_inserted;
+      }
+      ++stats.new_orders;
+    }
+  }
+  db.kernel().set_sink(previous);
+  return stats;
+}
+
+}  // namespace stc::db::tpcd

@@ -1,0 +1,44 @@
+// OLTP-style workload over the TPC-D database — the paper's Section 8
+// future work ("we will examine the effect of our technique ... for a wider
+// range of applications like OLTP workloads").
+//
+// Short index-driven transactions instead of scan-heavy analytics:
+//   - order status:  customer point lookup + their orders + line items,
+//   - stock check:   part point lookup + its partsupp entries + suppliers,
+//   - new order:     insert one order and its line items (index maintenance).
+// The mix is read-mostly (45/45/10), Zipf-skewed over customers and parts.
+#pragma once
+
+#include <cstdint>
+
+#include "cfg/exec.h"
+#include "db/database.h"
+
+namespace stc::db::tpcd {
+
+struct OltpConfig {
+  std::uint64_t transactions = 500;
+  std::uint64_t seed = 7;
+  // Transaction mix (fractions; the remainder becomes new-order inserts).
+  double order_status_fraction = 0.45;
+  double stock_check_fraction = 0.45;
+  // Popularity skew of the customers/parts being probed.
+  double zipf_theta = 0.8;
+};
+
+struct OltpStats {
+  std::uint64_t order_status = 0;
+  std::uint64_t stock_checks = 0;
+  std::uint64_t new_orders = 0;
+  std::uint64_t rows_read = 0;
+  std::uint64_t rows_inserted = 0;
+};
+
+// Runs the transaction mix against `db` with `sink` attached for the
+// duration (restores the previous sink afterwards). The database must be a
+// loaded TPC-D instance. New-order inserts use order keys above 1e9 so they
+// never collide with generated keys.
+OltpStats run_oltp_workload(Database& db, const OltpConfig& config,
+                            cfg::TraceSink* sink);
+
+}  // namespace stc::db::tpcd

@@ -1,0 +1,271 @@
+#include "db/tpcd/queries.h"
+
+#include "support/check.h"
+
+namespace stc::db::tpcd {
+namespace {
+
+// Q1 — Pricing Summary Report.
+constexpr const char* kQ1 = R"(
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY 1, 2)";
+
+// Q2 — Minimum Cost Supplier. Adaptation: the correlated MIN subquery is
+// decorrelated into a grouped derived table (global minimum per part rather
+// than the region-restricted minimum).
+constexpr const char* kQ2 = R"(
+SELECT s.s_acctbal, s.s_name, n.n_name, p.p_partkey, p.p_mfgr, s.s_address,
+       s.s_phone
+FROM part p, supplier s, partsupp ps, nation n, region r,
+     (SELECT ps_partkey AS mpk, MIN(ps_supplycost) AS mincost
+      FROM partsupp GROUP BY ps_partkey) m
+WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+  AND p.p_size = 15 AND p.p_type LIKE '%BRASS'
+  AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+  AND r.r_name = 'EUROPE'
+  AND m.mpk = p.p_partkey AND ps.ps_supplycost = m.mincost
+ORDER BY 1 DESC, 3, 2, 4
+LIMIT 100)";
+
+// Q3 — Shipping Priority.
+constexpr const char* kQ3 = R"(
+SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10)";
+
+// Q4 — Order Priority Checking. Adaptation: EXISTS becomes IN.
+constexpr const char* kQ4 = R"(
+SELECT o_orderpriority, COUNT(*) AS order_count
+FROM orders
+WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01'
+  AND o_orderkey IN (SELECT l_orderkey FROM lineitem
+                     WHERE l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority)";
+
+// Q5 — Local Supplier Volume.
+constexpr const char* kQ5 = R"(
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC)";
+
+// Q6 — Forecasting Revenue Change.
+constexpr const char* kQ6 = R"(
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24)";
+
+// Q7 — Volume Shipping.
+constexpr const char* kQ7 = R"(
+SELECT supp_nation, cust_nation, l_year, SUM(volume) AS revenue
+FROM (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+             YEAR(l_shipdate) AS l_year,
+             l_extendedprice * (1 - l_discount) AS volume
+      FROM supplier, lineitem, orders, customer, nation n1, nation n2
+      WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+        AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey
+        AND c_nationkey = n2.n_nationkey
+        AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+        AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') OR
+             (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))) shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY 1, 2, 3)";
+
+// Q8 — National Market Share.
+constexpr const char* kQ8 = R"(
+SELECT o_year,
+       SUM(CASEWHEN(nation = 'BRAZIL', volume, 0.0)) / SUM(volume) AS mkt_share
+FROM (SELECT YEAR(o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount) AS volume,
+             n2.n_name AS nation
+      FROM part, supplier, lineitem, orders, customer, nation n1, nation n2,
+           region
+      WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+        AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+        AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey
+        AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey
+        AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+        AND p_type = 'ECONOMY ANODIZED STEEL') all_nations
+GROUP BY o_year
+ORDER BY o_year)";
+
+// Q9 — Product Type Profit Measure.
+constexpr const char* kQ9 = R"(
+SELECT nation, o_year, SUM(amount) AS sum_profit
+FROM (SELECT n_name AS nation, YEAR(o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount) -
+             ps_supplycost * l_quantity AS amount
+      FROM part, supplier, lineitem, partsupp, orders, nation
+      WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
+        AND ps_partkey = l_partkey AND p_partkey = l_partkey
+        AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+        AND p_name LIKE '%green%') profit
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC)";
+
+// Q10 — Returned Item Reporting.
+constexpr const char* kQ10 = R"(
+SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+ORDER BY revenue DESC
+LIMIT 20)";
+
+// Q11 — Important Stock Identification, in its native HAVING form (the
+// threshold subquery is uncorrelated and folds at plan time). The official
+// fraction 0.0001 is raised to 0.001 for small scale factors.
+constexpr const char* kQ11 = R"(
+SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS stock_value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+  AND n_name = 'GERMANY'
+GROUP BY ps_partkey
+HAVING SUM(ps_supplycost * ps_availqty) >
+       (SELECT SUM(ps_supplycost * ps_availqty) * 0.001
+        FROM partsupp, supplier, nation
+        WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+          AND n_name = 'GERMANY')
+ORDER BY stock_value DESC)";
+
+// Q12 — Shipping Modes and Order Priority.
+constexpr const char* kQ12 = R"(
+SELECT l_shipmode,
+       SUM(CASEWHEN(o_orderpriority = '1-URGENT' OR
+                    o_orderpriority = '2-HIGH', 1, 0)) AS high_line_count,
+       SUM(CASEWHEN(o_orderpriority <> '1-URGENT' AND
+                    o_orderpriority <> '2-HIGH', 1, 0)) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '1994-01-01' AND l_receiptdate < DATE '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode)";
+
+// Q13 — Customer Distribution. Adaptation: inner join instead of the outer
+// join (customers without orders are not counted).
+constexpr const char* kQ13 = R"(
+SELECT c_count, COUNT(*) AS custdist
+FROM (SELECT o_custkey AS ck, COUNT(*) AS c_count
+      FROM orders GROUP BY o_custkey) c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC)";
+
+// Q14 — Promotion Effect.
+constexpr const char* kQ14 = R"(
+SELECT SUM(CASEWHEN(p_type LIKE 'PROMO%',
+                    l_extendedprice * (1 - l_discount), 0.0)) /
+       SUM(l_extendedprice * (1 - l_discount)) * 100.0 AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01')";
+
+// Q15 — Top Supplier. Decorrelated: the revenue view is a derived table and
+// the MAX comparison an uncorrelated scalar subquery.
+constexpr const char* kQ15 = R"(
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM supplier,
+     (SELECT l_suppkey AS supplier_no,
+             SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+      FROM lineitem
+      WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01'
+      GROUP BY l_suppkey) revenue
+WHERE s_suppkey = supplier_no
+  AND total_revenue = (SELECT MAX(total_revenue)
+                       FROM (SELECT l_suppkey AS sno,
+                                    SUM(l_extendedprice * (1 - l_discount))
+                                      AS total_revenue
+                             FROM lineitem
+                             WHERE l_shipdate >= DATE '1996-01-01'
+                               AND l_shipdate < DATE '1996-04-01'
+                             GROUP BY l_suppkey) r2)
+ORDER BY s_suppkey)";
+
+// Q16 — Parts/Supplier Relationship. Adaptation: COUNT instead of
+// COUNT(DISTINCT ...).
+constexpr const char* kQ16 = R"(
+SELECT p_brand, p_type, p_size, COUNT(ps_suppkey) AS supplier_cnt
+FROM partsupp, part
+WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45'
+  AND NOT p_type LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+  AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+                         WHERE s_comment LIKE '%Customer%Complaints%')
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size)";
+
+// Q17 — Small-Quantity-Order Revenue. Decorrelated: per-part average
+// quantity as a grouped derived table.
+constexpr const char* kQ17 = R"(
+SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem, part,
+     (SELECT l_partkey AS apk, AVG(l_quantity) AS avg_qty
+      FROM lineitem GROUP BY l_partkey) a
+WHERE p_partkey = l_partkey AND p_brand = 'Brand#23'
+  AND p_container = 'MED BOX' AND apk = l_partkey
+  AND l_quantity < 0.2 * avg_qty)";
+
+const std::vector<QueryDef>& all_queries() {
+  static const std::vector<QueryDef> list = {
+      {1, "Pricing Summary Report", kQ1},
+      {2, "Minimum Cost Supplier", kQ2},
+      {3, "Shipping Priority", kQ3},
+      {4, "Order Priority Checking", kQ4},
+      {5, "Local Supplier Volume", kQ5},
+      {6, "Forecasting Revenue Change", kQ6},
+      {7, "Volume Shipping", kQ7},
+      {8, "National Market Share", kQ8},
+      {9, "Product Type Profit Measure", kQ9},
+      {10, "Returned Item Reporting", kQ10},
+      {11, "Important Stock Identification", kQ11},
+      {12, "Shipping Modes and Order Priority", kQ12},
+      {13, "Customer Distribution", kQ13},
+      {14, "Promotion Effect", kQ14},
+      {15, "Top Supplier", kQ15},
+      {16, "Parts/Supplier Relationship", kQ16},
+      {17, "Small-Quantity-Order Revenue", kQ17},
+  };
+  return list;
+}
+
+}  // namespace
+
+const std::vector<QueryDef>& queries() { return all_queries(); }
+
+const QueryDef& query(int id) {
+  STC_REQUIRE(id >= 1 && id <= 17);
+  return all_queries()[static_cast<std::size_t>(id - 1)];
+}
+
+std::vector<int> training_set() { return {3, 4, 5, 6, 9}; }
+
+std::vector<int> test_set() { return {2, 3, 4, 6, 11, 12, 13, 14, 15, 17}; }
+
+}  // namespace stc::db::tpcd

@@ -1,0 +1,35 @@
+// The 17 read-only TPC-D queries, expressed in the engine's SQL subset.
+//
+// Adaptations from the official text (documented per query in queries.cpp):
+//  - correlated subqueries are decorrelated through derived tables (the
+//    rewrite every modern optimizer performs); uncorrelated HAVING/scalar
+//    subqueries run in their native form and fold at plan time,
+//  - EXISTS becomes IN, COUNT(DISTINCT ...) becomes COUNT(...),
+//  - queries needing outer joins are approximated with inner joins.
+// The paper's Training set is {Q3, Q4, Q5, Q6, Q9} on the Btree database;
+// the Test set is {Q2, Q3, Q4, Q6, Q11, Q12, Q13, Q14, Q15, Q17} on both the
+// Btree and the Hash databases (Sections 4 and 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stc::db::tpcd {
+
+struct QueryDef {
+  int id = 0;                // 1..17
+  const char* name = "";     // TPC-D title
+  const char* sql = "";      // text in the engine's SQL subset
+};
+
+// All 17 queries, ordered by id.
+const std::vector<QueryDef>& queries();
+
+// The query with the given id (1-based); aborts if out of range.
+const QueryDef& query(int id);
+
+// The paper's query sets.
+std::vector<int> training_set();  // {3, 4, 5, 6, 9}
+std::vector<int> test_set();      // {2, 3, 4, 6, 11, 12, 13, 14, 15, 17}
+
+}  // namespace stc::db::tpcd

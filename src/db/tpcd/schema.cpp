@@ -1,0 +1,96 @@
+#include "db/tpcd/schema.h"
+
+namespace stc::db::tpcd {
+namespace {
+
+constexpr ValueType kInt = ValueType::kInt;
+constexpr ValueType kDouble = ValueType::kDouble;
+constexpr ValueType kString = ValueType::kString;
+
+}  // namespace
+
+void create_tables(Database& db) {
+  db.create_table("region", Schema({{"r_regionkey", kInt},
+                                    {"r_name", kString},
+                                    {"r_comment", kString}}));
+  db.create_table("nation", Schema({{"n_nationkey", kInt},
+                                    {"n_name", kString},
+                                    {"n_regionkey", kInt},
+                                    {"n_comment", kString}}));
+  db.create_table("supplier", Schema({{"s_suppkey", kInt},
+                                      {"s_name", kString},
+                                      {"s_address", kString},
+                                      {"s_nationkey", kInt},
+                                      {"s_phone", kString},
+                                      {"s_acctbal", kDouble},
+                                      {"s_comment", kString}}));
+  db.create_table("customer", Schema({{"c_custkey", kInt},
+                                      {"c_name", kString},
+                                      {"c_address", kString},
+                                      {"c_nationkey", kInt},
+                                      {"c_phone", kString},
+                                      {"c_acctbal", kDouble},
+                                      {"c_mktsegment", kString},
+                                      {"c_comment", kString}}));
+  db.create_table("part", Schema({{"p_partkey", kInt},
+                                  {"p_name", kString},
+                                  {"p_mfgr", kString},
+                                  {"p_brand", kString},
+                                  {"p_type", kString},
+                                  {"p_size", kInt},
+                                  {"p_container", kString},
+                                  {"p_retailprice", kDouble},
+                                  {"p_comment", kString}}));
+  db.create_table("partsupp", Schema({{"ps_partkey", kInt},
+                                      {"ps_suppkey", kInt},
+                                      {"ps_availqty", kInt},
+                                      {"ps_supplycost", kDouble},
+                                      {"ps_comment", kString}}));
+  db.create_table("orders", Schema({{"o_orderkey", kInt},
+                                    {"o_custkey", kInt},
+                                    {"o_orderstatus", kString},
+                                    {"o_totalprice", kDouble},
+                                    {"o_orderdate", kInt},
+                                    {"o_orderpriority", kString},
+                                    {"o_clerk", kString},
+                                    {"o_shippriority", kInt},
+                                    {"o_comment", kString}}));
+  db.create_table("lineitem", Schema({{"l_orderkey", kInt},
+                                      {"l_partkey", kInt},
+                                      {"l_suppkey", kInt},
+                                      {"l_linenumber", kInt},
+                                      {"l_quantity", kDouble},
+                                      {"l_extendedprice", kDouble},
+                                      {"l_discount", kDouble},
+                                      {"l_tax", kDouble},
+                                      {"l_returnflag", kString},
+                                      {"l_linestatus", kString},
+                                      {"l_shipdate", kInt},
+                                      {"l_commitdate", kInt},
+                                      {"l_receiptdate", kInt},
+                                      {"l_shipinstruct", kString},
+                                      {"l_shipmode", kString},
+                                      {"l_comment", kString}}));
+}
+
+void create_indexes(Database& db, IndexKind kind) {
+  // Unique indices on the primary keys.
+  db.create_index("region", "r_regionkey", kind, /*unique=*/true);
+  db.create_index("nation", "n_nationkey", kind, true);
+  db.create_index("supplier", "s_suppkey", kind, true);
+  db.create_index("customer", "c_custkey", kind, true);
+  db.create_index("part", "p_partkey", kind, true);
+  db.create_index("orders", "o_orderkey", kind, true);
+  // Multiple-entry indices on the foreign keys.
+  db.create_index("nation", "n_regionkey", kind, false);
+  db.create_index("supplier", "s_nationkey", kind, false);
+  db.create_index("customer", "c_nationkey", kind, false);
+  db.create_index("partsupp", "ps_partkey", kind, false);
+  db.create_index("partsupp", "ps_suppkey", kind, false);
+  db.create_index("orders", "o_custkey", kind, false);
+  db.create_index("lineitem", "l_orderkey", kind, false);
+  db.create_index("lineitem", "l_partkey", kind, false);
+  db.create_index("lineitem", "l_suppkey", kind, false);
+}
+
+}  // namespace stc::db::tpcd

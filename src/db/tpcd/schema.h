@@ -1,0 +1,16 @@
+// TPC-D schema: the 8 tables, with the index configuration the paper's
+// Section 3 describes — unique indices on all primary keys and multiple-
+// entry indices on the foreign keys, built either as Btree or Hash variants.
+#pragma once
+
+#include "db/database.h"
+
+namespace stc::db::tpcd {
+
+// Creates the 8 empty tables in `db`.
+void create_tables(Database& db);
+
+// Builds the index set using the given index kind everywhere.
+void create_indexes(Database& db, IndexKind kind);
+
+}  // namespace stc::db::tpcd

@@ -1,0 +1,39 @@
+#include "db/tpcd/workload.h"
+
+#include "support/check.h"
+
+namespace stc::db::tpcd {
+
+std::unique_ptr<Database> make_database(const WorkloadConfig& config,
+                                        IndexKind kind) {
+  auto db = std::make_unique<Database>(config.buffer_frames);
+  GenConfig gen;
+  gen.scale_factor = config.scale_factor;
+  gen.seed = config.seed;
+  build_database(*db, gen, kind);
+  return db;
+}
+
+void run_queries(Database& db, const std::vector<int>& ids,
+                 cfg::TraceSink* sink) {
+  cfg::TraceSink* previous = db.kernel().exec().sink();
+  db.kernel().set_sink(sink);
+  for (int id : ids) {
+    const QueryDef& def = query(id);
+    const QueryResult result = db.run_query(def.sql);
+    STC_CHECK_MSG(!result.schema.columns().empty(), "query produced no schema");
+  }
+  db.kernel().set_sink(previous);
+}
+
+void run_training_workload(Database& btree_db, cfg::TraceSink* sink) {
+  run_queries(btree_db, training_set(), sink);
+}
+
+void run_test_workload(Database& btree_db, Database& hash_db,
+                       cfg::TraceSink* sink) {
+  run_queries(btree_db, test_set(), sink);
+  run_queries(hash_db, test_set(), sink);
+}
+
+}  // namespace stc::db::tpcd

@@ -1,0 +1,39 @@
+// Workload driver: builds the Btree / Hash TPC-D databases and runs query
+// sets while a TraceSink observes the kernel's dynamic basic-block stream.
+// This is the experiment front door used by the benches and examples.
+#pragma once
+
+#include <memory>
+
+#include "cfg/exec.h"
+#include "db/database.h"
+#include "db/tpcd/dbgen.h"
+#include "db/tpcd/queries.h"
+
+namespace stc::db::tpcd {
+
+struct WorkloadConfig {
+  double scale_factor = 0.01;
+  std::uint64_t seed = 19990401;
+  std::size_t buffer_frames = 128;
+};
+
+// Builds a fully loaded and indexed database (tracing disabled during the
+// load, like the paper's profiling of query execution only).
+std::unique_ptr<Database> make_database(const WorkloadConfig& config,
+                                        IndexKind kind);
+
+// Runs the given query ids against `db` with `sink` attached for the
+// duration (previous sink is restored afterwards). Queries run to
+// completion; results are discarded.
+void run_queries(Database& db, const std::vector<int>& ids,
+                 cfg::TraceSink* sink);
+
+// Paper workloads:
+//  - Training: queries 3,4,5,6,9 on the Btree database only (Section 4).
+//  - Test: queries 2,3,4,6,11,12,13,14,15,17 on both databases (Section 7).
+void run_training_workload(Database& btree_db, cfg::TraceSink* sink);
+void run_test_workload(Database& btree_db, Database& hash_db,
+                       cfg::TraceSink* sink);
+
+}  // namespace stc::db::tpcd

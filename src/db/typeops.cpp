@@ -1,0 +1,126 @@
+#include "db/typeops.h"
+
+#include "db/registration.h"
+
+namespace stc::db {
+
+using cfg::BlockKind;
+namespace {
+constexpr BlockKind kBr = BlockKind::kBranch;
+constexpr BlockKind kCall = BlockKind::kCall;
+constexpr BlockKind kRet = BlockKind::kReturn;
+}  // namespace
+
+void register_typeops_routines(cfg::ProgramImage& im, cfg::ModuleId m) {
+  im.add_routine("Cmp_dispatch", m,
+                 {{"entry", 4, kBr},    // type tags -> routine table
+                  {"null_path", 4, kRet},
+                  {"int_call", 3, kCall},
+                  {"double_call", 3, kCall},
+                  {"str_call", 3, kCall},
+                  {"ret", 2, kRet}});
+  im.add_routine("Cmp_int", m,
+                 {{"entry", 5, kBr}, {"ret", 2, kRet}});
+  im.add_routine("Cmp_double", m,
+                 {{"entry", 6, kBr}, {"ret", 2, kRet}});
+  im.add_routine("Cmp_str", m,
+                 {{"entry", 4, kBr},
+                  {"loop", 6, kBr},   // one comparison chunk
+                  {"ret", 2, kRet}});
+  im.add_routine("Hash_dispatch", m,
+                 {{"entry", 4, kBr},
+                  {"int_mix", 8, kBr},
+                  {"double_mix", 8, kBr},
+                  {"str_mix", 6, kBr},   // one FNV chunk
+                  {"finalize", 5, kRet}});
+}
+
+namespace {
+int cmp_int(Kernel& k, const Value& a, const Value& b);
+int cmp_double(Kernel& k, const Value& a, const Value& b);
+int cmp_str(Kernel& k, const Value& a, const Value& b);
+}  // namespace
+
+int cmp_dispatch(Kernel& k, const Value& a, const Value& b) {
+  DB_ROUTINE(k, "Cmp_dispatch");
+  DB_BB(k, "entry");
+  if (a.is_null() || b.is_null()) {
+    DB_BB(k, "null_path");
+    return a.compare(b);
+  }
+  int result = 0;
+  if (a.type() == ValueType::kString || b.type() == ValueType::kString) {
+    DB_BB(k, "str_call");
+    result = cmp_str(k, a, b);
+  } else if (a.type() == ValueType::kDouble ||
+             b.type() == ValueType::kDouble) {
+    DB_BB(k, "double_call");
+    result = cmp_double(k, a, b);
+  } else {
+    DB_BB(k, "int_call");
+    result = cmp_int(k, a, b);
+  }
+  DB_BB(k, "ret");
+  return result;
+}
+
+namespace {
+
+int cmp_int(Kernel& k, const Value& a, const Value& b) {
+  DB_ROUTINE(k, "Cmp_int");
+  DB_BB(k, "entry");
+  const int result = a.compare(b);
+  DB_BB(k, "ret");
+  return result;
+}
+
+int cmp_double(Kernel& k, const Value& a, const Value& b) {
+  DB_ROUTINE(k, "Cmp_double");
+  DB_BB(k, "entry");
+  const int result = a.compare(b);
+  DB_BB(k, "ret");
+  return result;
+}
+
+int cmp_str(Kernel& k, const Value& a, const Value& b) {
+  DB_ROUTINE(k, "Cmp_str");
+  DB_BB(k, "entry");
+  // One block event per 8-byte comparison chunk, modeling the strcmp loop.
+  const std::size_t len =
+      std::min(a.as_string().size(), b.as_string().size());
+  for (std::size_t i = 0; i <= len; i += 8) {
+    DB_BB(k, "loop");
+  }
+  const int result = a.compare(b);
+  DB_BB(k, "ret");
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t hash_dispatch(Kernel& k, const Value& v) {
+  DB_ROUTINE(k, "Hash_dispatch");
+  DB_BB(k, "entry");
+  switch (v.type()) {
+    case ValueType::kInt:
+      DB_BB(k, "int_mix");
+      break;
+    case ValueType::kDouble:
+      DB_BB(k, "double_mix");
+      break;
+    case ValueType::kString: {
+      const std::size_t n = v.as_string().size();
+      for (std::size_t i = 0; i <= n; i += 8) {
+        DB_BB(k, "str_mix");
+      }
+      break;
+    }
+    case ValueType::kNull:
+      break;
+  }
+  const std::uint64_t h = v.hash();
+  DB_BB(k, "finalize");
+  return h;
+}
+
+}  // namespace stc::db

@@ -1,0 +1,22 @@
+// Per-datatype operator dispatch (the engine's fmgr analogue).
+//
+// Real database kernels never compare or hash values inline: every operator
+// invocation dispatches through a function-manager layer to the datatype's
+// routine (int4lt, date_le, bpchareq, ...). These instrumented dispatchers
+// reproduce that call pattern — they are among the hottest routines of the
+// kernel and a large contributor to the call/return traffic the paper
+// profiles.
+#pragma once
+
+#include "db/kernel.h"
+#include "db/value.h"
+
+namespace stc::db {
+
+// Three-way comparison through the per-type dispatch layer.
+int cmp_dispatch(Kernel& kernel, const Value& a, const Value& b);
+
+// Hash through the per-type dispatch layer.
+std::uint64_t hash_dispatch(Kernel& kernel, const Value& v);
+
+}  // namespace stc::db

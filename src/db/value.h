@@ -1,0 +1,83 @@
+// Runtime values and tuples of the database engine.
+//
+// The engine supports the types TPC-D needs: 64-bit integers (also used for
+// keys and identifiers), doubles (prices, discounts), strings, and dates
+// (stored as days since 1970-01-01 in an integer). NULL exists for outer
+// contexts (absent aggregates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace stc::db {
+
+enum class ValueType : std::uint8_t { kNull, kInt, kDouble, kString };
+
+class Value {
+ public:
+  Value() : type_(ValueType::kNull), i_(0) {}
+  explicit Value(std::int64_t v) : type_(ValueType::kInt), i_(v) {}
+  explicit Value(double v) : type_(ValueType::kDouble), d_(v) {}
+  explicit Value(std::string v)
+      : type_(ValueType::kString), i_(0), s_(std::move(v)) {}
+
+  static Value null() { return Value(); }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  std::int64_t as_int() const {
+    STC_DCHECK(type_ == ValueType::kInt);
+    return i_;
+  }
+  double as_double() const {
+    STC_DCHECK(type_ == ValueType::kDouble || type_ == ValueType::kInt);
+    return type_ == ValueType::kInt ? static_cast<double>(i_) : d_;
+  }
+  const std::string& as_string() const {
+    STC_DCHECK(type_ == ValueType::kString);
+    return s_;
+  }
+
+  // Total order across same-type values (ints and doubles compare
+  // numerically with each other; NULL sorts first). Returns <0, 0, >0.
+  int compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return compare(other) == 0; }
+  bool operator<(const Value& other) const { return compare(other) < 0; }
+
+  std::uint64_t hash() const;
+
+  std::string to_string() const;
+
+ private:
+  ValueType type_;
+  union {
+    std::int64_t i_;
+    double d_;
+  };
+  std::string s_;
+};
+
+using Tuple = std::vector<Value>;
+
+// ---- date helpers (dates are Value(int) = days since 1970-01-01) ----------
+
+// Days since epoch for a civil date (proleptic Gregorian).
+std::int64_t date_from_ymd(int year, int month, int day);
+
+// Inverse of date_from_ymd.
+void ymd_from_date(std::int64_t days, int& year, int& month, int& day);
+
+// Parses "YYYY-MM-DD"; aborts on malformed input (caller validates syntax).
+std::int64_t parse_date(const std::string& text);
+
+std::string format_date(std::int64_t days);
+
+// Year of a date value (the SQL subset's YEAR(x) function).
+int year_of(std::int64_t days);
+
+}  // namespace stc::db

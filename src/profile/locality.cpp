@@ -1,0 +1,190 @@
+#include "profile/locality.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace stc::profile {
+namespace {
+
+double safe_div(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+// Block ids sorted by decreasing dynamic count, executed blocks only.
+std::vector<cfg::BlockId> blocks_by_popularity(const Profile& profile) {
+  std::vector<cfg::BlockId> ids;
+  const auto& counts = profile.block_counts();
+  for (cfg::BlockId b = 0; b < counts.size(); ++b) {
+    if (counts[b] > 0) ids.push_back(b);
+  }
+  std::sort(ids.begin(), ids.end(), [&](cfg::BlockId a, cfg::BlockId b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return a < b;
+  });
+  return ids;
+}
+
+}  // namespace
+
+double FootprintStats::routine_fraction() const {
+  return safe_div(executed_routines, total_routines);
+}
+double FootprintStats::block_fraction() const {
+  return safe_div(executed_blocks, total_blocks);
+}
+double FootprintStats::instruction_fraction() const {
+  return safe_div(executed_instructions, total_instructions);
+}
+
+FootprintStats footprint(const Profile& profile) {
+  const cfg::ProgramImage& image = profile.image();
+  FootprintStats stats;
+  stats.total_routines = image.num_routines();
+  stats.total_blocks = image.num_blocks();
+  stats.total_instructions = image.total_instructions();
+
+  std::vector<bool> routine_executed(image.num_routines(), false);
+  for (cfg::BlockId b = 0; b < image.num_blocks(); ++b) {
+    if (profile.block_count(b) == 0) continue;
+    ++stats.executed_blocks;
+    stats.executed_instructions += image.block(b).insns;
+    routine_executed[image.block(b).routine] = true;
+  }
+  for (bool executed : routine_executed) {
+    if (executed) ++stats.executed_routines;
+  }
+  return stats;
+}
+
+std::vector<double> cumulative_reference_curve(const Profile& profile) {
+  const auto ids = blocks_by_popularity(profile);
+  const double total = static_cast<double>(profile.total_block_events());
+  std::vector<double> curve;
+  curve.reserve(ids.size());
+  double acc = 0.0;
+  for (cfg::BlockId b : ids) {
+    acc += static_cast<double>(profile.block_count(b));
+    curve.push_back(total == 0.0 ? 0.0 : acc / total);
+  }
+  return curve;
+}
+
+std::vector<CumulativePoint> sample_curve(
+    const std::vector<double>& curve, const std::vector<std::uint64_t>& xs) {
+  std::vector<CumulativePoint> points;
+  points.reserve(xs.size());
+  for (std::uint64_t x : xs) {
+    if (curve.empty()) {
+      points.push_back({x, 0.0});
+      continue;
+    }
+    const std::size_t idx =
+        std::min<std::size_t>(x == 0 ? 0 : x - 1, curve.size() - 1);
+    points.push_back({x, x == 0 ? 0.0 : curve[idx]});
+  }
+  return points;
+}
+
+std::uint64_t blocks_for_fraction(const std::vector<double>& curve,
+                                  double fraction) {
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i] >= fraction) return i + 1;
+  }
+  return curve.size();
+}
+
+ReuseDistanceStats reuse_distances(const trace::BlockTrace& trace,
+                                   const Profile& profile, double coverage) {
+  STC_REQUIRE(coverage > 0.0 && coverage <= 1.0);
+  const cfg::ProgramImage& image = profile.image();
+
+  // Hot set: most popular blocks jointly covering `coverage` of references.
+  const auto ids = blocks_by_popularity(profile);
+  std::vector<bool> hot(image.num_blocks(), false);
+  const double total = static_cast<double>(profile.total_block_events());
+  double acc = 0.0;
+  std::uint64_t hot_count = 0;
+  for (cfg::BlockId b : ids) {
+    hot[b] = true;
+    ++hot_count;
+    acc += static_cast<double>(profile.block_count(b));
+    if (total > 0.0 && acc / total >= coverage) break;
+  }
+
+  ReuseDistanceStats stats;
+  stats.hot_blocks = hot_count;
+  stats.coverage = total > 0.0 ? acc / total : 0.0;
+  stats.histogram = BoundedHistogram(
+      {25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 100000, 1000000});
+
+  std::vector<std::uint64_t> last_seen(image.num_blocks(),
+                                       ~std::uint64_t{0});
+  std::uint64_t insn_clock = 0;
+  trace.for_each([&](cfg::BlockId b) {
+    if (hot[b]) {
+      if (last_seen[b] != ~std::uint64_t{0}) {
+        stats.histogram.add(insn_clock - last_seen[b]);
+      }
+      last_seen[b] = insn_clock;
+    }
+    insn_clock += image.block(b).insns;
+  });
+  return stats;
+}
+
+BlockTypeStats block_type_stats(const Profile& profile,
+                                double fixed_threshold, bool ras_returns) {
+  const cfg::ProgramImage& image = profile.image();
+  const WeightedCFG wcfg = WeightedCFG::from_profile(profile);
+
+  std::uint64_t static_by_kind[4] = {0, 0, 0, 0};
+  std::uint64_t dynamic_by_kind[4] = {0, 0, 0, 0};
+  std::uint64_t fixed_by_kind[4] = {0, 0, 0, 0};
+  std::uint64_t static_total = 0;
+  std::uint64_t dynamic_total = 0;
+  std::uint64_t fixed_total = 0;
+
+  for (cfg::BlockId b = 0; b < image.num_blocks(); ++b) {
+    const std::uint64_t count = profile.block_count(b);
+    if (count == 0) continue;
+    const auto kind = static_cast<std::size_t>(image.block(b).kind);
+    ++static_by_kind[kind];
+    ++static_total;
+    dynamic_by_kind[kind] += count;
+    dynamic_total += count;
+
+    // Transition determinism, weighted by dynamic execution count. The last
+    // event of a trace has no successor; use the successor total as base.
+    std::uint64_t out_total = 0;
+    std::uint64_t out_best = 0;
+    for (const auto& succ : wcfg.succs[b]) {
+      out_total += succ.count;
+      out_best = std::max(out_best, succ.count);
+    }
+    const bool is_ras_return =
+        ras_returns && image.block(b).kind == cfg::BlockKind::kReturn;
+    const bool fixed =
+        is_ras_return || out_total == 0 ||
+        static_cast<double>(out_best) >=
+            fixed_threshold * static_cast<double>(out_total);
+    if (fixed) {
+      fixed_by_kind[kind] += count;
+      fixed_total += count;
+    }
+  }
+
+  BlockTypeStats stats;
+  for (std::size_t k = 0; k < 4; ++k) {
+    stats.by_kind[k].static_fraction = safe_div(static_by_kind[k], static_total);
+    stats.by_kind[k].dynamic_fraction =
+        safe_div(dynamic_by_kind[k], dynamic_total);
+    stats.by_kind[k].predictable =
+        safe_div(fixed_by_kind[k], dynamic_by_kind[k]);
+  }
+  stats.overall_predictable = safe_div(fixed_total, dynamic_total);
+  return stats;
+}
+
+}  // namespace stc::profile

@@ -1,0 +1,95 @@
+// Locality analyses reproducing Section 4 of the paper.
+//
+//  - FootprintStats          -> Table 1 (static vs executed program elements)
+//  - cumulative_reference_curve -> Figure 2 (refs captured by top-N blocks)
+//  - ReuseDistanceStats      -> Section 4.1 (re-reference distance in insns)
+//  - BlockTypeStats          -> Table 2 (block kinds and determinism)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/program.h"
+#include "profile/profile.h"
+#include "support/stats.h"
+#include "trace/block_trace.h"
+
+namespace stc::profile {
+
+// ---- Table 1 ---------------------------------------------------------------
+struct FootprintStats {
+  std::uint64_t total_routines = 0;
+  std::uint64_t executed_routines = 0;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t executed_blocks = 0;
+  std::uint64_t total_instructions = 0;   // static instruction count
+  std::uint64_t executed_instructions = 0;  // static insns of executed blocks
+
+  double routine_fraction() const;
+  double block_fraction() const;
+  double instruction_fraction() const;
+};
+
+FootprintStats footprint(const Profile& profile);
+
+// ---- Figure 2 --------------------------------------------------------------
+// Point (n, f): the n most popular static blocks capture fraction f of all
+// dynamic block references.
+struct CumulativePoint {
+  std::uint64_t blocks;
+  double fraction;
+};
+
+// Returns the full curve (one point per executed static block, popularity
+// order). Use sample_curve() to extract specific x positions for printing.
+std::vector<double> cumulative_reference_curve(const Profile& profile);
+
+std::vector<CumulativePoint> sample_curve(const std::vector<double>& curve,
+                                          const std::vector<std::uint64_t>& xs);
+
+// Smallest number of top blocks needed to reach `fraction` of references.
+std::uint64_t blocks_for_fraction(const std::vector<double>& curve,
+                                  double fraction);
+
+// ---- Section 4.1 -----------------------------------------------------------
+struct ReuseDistanceStats {
+  // Histogram of instruction distances between consecutive invocations of the
+  // same block, restricted to the most popular blocks that jointly cover
+  // `coverage` of the dynamic references (the paper uses 75%).
+  BoundedHistogram histogram{std::vector<std::uint64_t>{}};
+  std::uint64_t hot_blocks = 0;
+  double coverage = 0.0;
+
+  double fraction_below(std::uint64_t insns) const {
+    return histogram.fraction_below(insns);
+  }
+};
+
+ReuseDistanceStats reuse_distances(const trace::BlockTrace& trace,
+                                   const Profile& profile,
+                                   double coverage = 0.75);
+
+// ---- Table 2 ---------------------------------------------------------------
+struct BlockTypeRow {
+  double static_fraction = 0.0;   // of executed static blocks
+  double dynamic_fraction = 0.0;  // of dynamic block events
+  double predictable = 0.0;       // dynamically-weighted fixed-behaviour share
+};
+
+struct BlockTypeStats {
+  BlockTypeRow by_kind[4];  // indexed by cfg::BlockKind
+  double overall_predictable = 0.0;
+};
+
+// A block "behaves in a fixed way" when its most frequent successor accounts
+// for at least `fixed_threshold` of its dynamic transitions. The paper treats
+// always-taken / always-not-taken branches as fixed; 0.999 captures that while
+// tolerating trace-boundary artifacts. Return blocks are counted predictable
+// unconditionally when `ras_returns` is set: the paper's 100% reflects a
+// return-address stack, which predicts the target regardless of how many
+// call sites exist.
+BlockTypeStats block_type_stats(const Profile& profile,
+                                double fixed_threshold = 0.999,
+                                bool ras_returns = true);
+
+}  // namespace stc::profile

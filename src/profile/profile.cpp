@@ -1,0 +1,59 @@
+#include "profile/profile.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace stc::profile {
+
+Profile::Profile(const cfg::ProgramImage& image)
+    : image_(image), block_count_(image.num_blocks(), 0) {
+  STC_REQUIRE(image.finalized());
+}
+
+void Profile::on_block(cfg::BlockId block) {
+  STC_DCHECK(block < block_count_.size());
+  ++block_count_[block];
+  ++total_events_;
+  total_insns_ += image_.block(block).insns;
+  if (last_ != cfg::kInvalidBlock) ++edge_count_[key(last_, block)];
+  last_ = block;
+}
+
+void Profile::consume(const trace::BlockTrace& trace) {
+  trace.for_each([this](cfg::BlockId block) { on_block(block); });
+}
+
+std::vector<Profile::Edge> Profile::edges() const {
+  std::vector<Edge> result;
+  result.reserve(edge_count_.size());
+  for (const auto& [k, count] : edge_count_) {
+    result.push_back({static_cast<cfg::BlockId>(k >> 32),
+                      static_cast<cfg::BlockId>(k & 0xffffffffu), count});
+  }
+  return result;
+}
+
+std::uint64_t Profile::edge_count(cfg::BlockId from, cfg::BlockId to) const {
+  const auto it = edge_count_.find(key(from, to));
+  return it == edge_count_.end() ? 0 : it->second;
+}
+
+WeightedCFG WeightedCFG::from_profile(const Profile& profile) {
+  WeightedCFG cfg;
+  cfg.image = &profile.image();
+  cfg.block_count = profile.block_counts();
+  cfg.succs.resize(cfg.block_count.size());
+  for (const Profile::Edge& edge : profile.edges()) {
+    cfg.succs[edge.from].push_back({edge.to, edge.count});
+  }
+  for (auto& list : cfg.succs) {
+    std::sort(list.begin(), list.end(), [](const Succ& a, const Succ& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.to < b.to;  // deterministic tie-break
+    });
+  }
+  return cfg;
+}
+
+}  // namespace stc::profile

@@ -1,0 +1,92 @@
+// Profile collection: per-block execution counts and weighted transitions.
+//
+// The paper instruments the database, runs the Training set, and obtains "a
+// directed control flow graph with weighted edges" (Section 5). Profile is
+// that collector; WeightedCFG is the derived adjacency structure the layout
+// algorithms consume.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cfg/exec.h"
+#include "cfg/program.h"
+#include "cfg/types.h"
+#include "trace/block_trace.h"
+
+namespace stc::profile {
+
+class Profile final : public cfg::TraceSink {
+ public:
+  explicit Profile(const cfg::ProgramImage& image);
+
+  // TraceSink: consume one dynamic block event.
+  void on_block(cfg::BlockId block) override;
+
+  // Cuts the transition chain so that the next event does not create an edge
+  // from the previous one (used between independent workload runs).
+  void break_chain() { last_ = cfg::kInvalidBlock; }
+
+  // Convenience: accumulate an already-recorded trace.
+  void consume(const trace::BlockTrace& trace);
+
+  const cfg::ProgramImage& image() const { return image_; }
+
+  std::uint64_t block_count(cfg::BlockId block) const {
+    return block_count_[block];
+  }
+  const std::vector<std::uint64_t>& block_counts() const {
+    return block_count_;
+  }
+
+  std::uint64_t total_block_events() const { return total_events_; }
+  std::uint64_t total_instructions() const { return total_insns_; }
+
+  struct Edge {
+    cfg::BlockId from;
+    cfg::BlockId to;
+    std::uint64_t count;
+  };
+  // All observed transitions (unordered).
+  std::vector<Edge> edges() const;
+
+  std::uint64_t edge_count(cfg::BlockId from, cfg::BlockId to) const;
+
+ private:
+  static std::uint64_t key(cfg::BlockId from, cfg::BlockId to) {
+    return (std::uint64_t{from} << 32) | to;
+  }
+
+  const cfg::ProgramImage& image_;
+  std::vector<std::uint64_t> block_count_;
+  std::unordered_map<std::uint64_t, std::uint64_t> edge_count_;
+  cfg::BlockId last_ = cfg::kInvalidBlock;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t total_insns_ = 0;
+};
+
+// Successor-adjacency view of a Profile, sorted by decreasing edge count.
+// This is the input representation of every layout algorithm.
+struct WeightedCFG {
+  struct Succ {
+    cfg::BlockId to;
+    std::uint64_t count;
+  };
+
+  const cfg::ProgramImage* image = nullptr;
+  std::vector<std::uint64_t> block_count;
+  std::vector<std::vector<Succ>> succs;  // indexed by BlockId, desc by count
+
+  static WeightedCFG from_profile(const Profile& profile);
+
+  // Probability of the transition from -> succ given `from` executed.
+  double transition_prob(cfg::BlockId from, const Succ& succ) const {
+    const std::uint64_t total = block_count[from];
+    return total == 0 ? 0.0
+                      : static_cast<double>(succ.count) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace stc::profile

@@ -1,0 +1,122 @@
+#include "sim/fetch_unit.h"
+
+#include "support/check.h"
+
+namespace stc::sim {
+
+FetchPipe::FetchPipe(const trace::BlockTrace& trace,
+                     const cfg::ProgramImage& image,
+                     const cfg::AddressMap& layout)
+    : stream_(trace, image, layout) {
+  refill(1);
+}
+
+void FetchPipe::refill(std::uint32_t needed_insns) {
+  while (!stream_done_ && buffered_insns_ < needed_insns) {
+    trace::BlockRun run;
+    if (!stream_.next(run)) {
+      stream_done_ = true;
+      break;
+    }
+    buffered_insns_ += run.insns;
+    buffer_.push_back(run);
+  }
+}
+
+std::uint64_t FetchPipe::addr() const {
+  STC_REQUIRE(!buffer_.empty());
+  const trace::BlockRun& front = buffer_.front();
+  return front.addr + std::uint64_t{front_offset_} * cfg::kInsnBytes;
+}
+
+bool FetchPipe::peek(std::uint32_t k, Insn& out) {
+  refill(front_offset_ + k + 1);
+  std::uint64_t index = front_offset_ + k;
+  for (const trace::BlockRun& run : buffer_) {
+    if (index >= run.insns) {
+      index -= run.insns;
+      continue;
+    }
+    out.addr = run.addr + index * cfg::kInsnBytes;
+    out.block_end = index + 1 == run.insns;
+    out.is_branch = out.block_end && run.ends_in_branch;
+    out.taken = out.block_end && run.has_next && run.taken;
+    return true;
+  }
+  return false;
+}
+
+void FetchPipe::consume(std::uint32_t n) {
+  refill(front_offset_ + n);
+  STC_REQUIRE(buffered_insns_ >= front_offset_ + n);
+  front_offset_ += n;
+  while (!buffer_.empty() && front_offset_ >= buffer_.front().insns) {
+    front_offset_ -= buffer_.front().insns;
+    buffered_insns_ -= buffer_.front().insns;
+    buffer_.pop_front();
+  }
+  // Keep at least one unconsumed instruction buffered (when the stream has
+  // more) so done() reflects true exhaustion.
+  refill(front_offset_ + 1);
+}
+
+Seq3Cycle seq3_fetch_cycle(FetchPipe& pipe, const FetchParams& params,
+                           std::uint32_t line_bytes) {
+  Seq3Cycle cycle;
+  const std::uint64_t fetch_addr = pipe.addr();
+  const std::uint64_t line_base = fetch_addr & ~std::uint64_t{line_bytes - 1};
+  const std::uint64_t limit_addr = line_base + 2 * std::uint64_t{line_bytes};
+  cycle.line0 = line_base;
+
+  std::uint32_t branches = 0;
+  std::uint64_t last_addr = fetch_addr;
+  FetchPipe::Insn insn;
+  while (cycle.supplied < params.width) {
+    if (!pipe.peek(cycle.supplied, insn)) break;
+    if (insn.addr >= limit_addr) break;  // beyond the two accessed lines
+    ++cycle.supplied;
+    last_addr = insn.addr;
+    if (insn.is_branch) ++branches;
+    if (insn.taken) break;               // stop at the first taken transfer
+    if (branches >= params.max_branches) break;
+  }
+  STC_DCHECK(cycle.supplied > 0);
+  cycle.touched_line1 = last_addr >= line_base + line_bytes;
+  pipe.consume(cycle.supplied);
+  return cycle;
+}
+
+FetchResult run_seq3(const trace::BlockTrace& trace,
+                     const cfg::ProgramImage& image,
+                     const cfg::AddressMap& layout, const FetchParams& params,
+                     ICache* cache) {
+  STC_REQUIRE(params.perfect_icache || cache != nullptr);
+  if (cache != nullptr) cache->reset();
+  const std::uint32_t line_bytes =
+      cache != nullptr ? cache->geometry().line_bytes : 64;
+
+  FetchResult result;
+  FetchPipe pipe(trace, image, layout);
+  while (!pipe.done()) {
+    const Seq3Cycle cycle = seq3_fetch_cycle(pipe, params, line_bytes);
+    result.instructions += cycle.supplied;
+    ++result.fetch_requests;
+    ++result.cycles;
+    if (!params.perfect_icache) {
+      std::uint32_t missed = cache->access(cycle.line0) ? 0 : 1;
+      if (cycle.touched_line1 && !cache->access(cycle.line0 + line_bytes)) {
+        ++missed;
+      }
+      if (missed > 0) {
+        ++result.miss_requests;
+        result.lines_missed += missed;
+        result.cycles += params.penalty_per_line
+                             ? std::uint64_t{params.miss_penalty} * missed
+                             : params.miss_penalty;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace stc::sim

@@ -1,0 +1,140 @@
+#include "sim/icache.h"
+
+#include "trace/fetch_stream.h"
+
+namespace stc::sim {
+
+ICache::ICache(const CacheGeometry& geometry, std::uint32_t victim_lines)
+    : geometry_(geometry) {
+  STC_REQUIRE(geometry.line_bytes > 0 &&
+              (geometry.line_bytes & (geometry.line_bytes - 1)) == 0);
+  STC_REQUIRE(geometry.assoc > 0);
+  STC_REQUIRE(geometry.size_bytes % (geometry.line_bytes * geometry.assoc) ==
+              0);
+  sets_ = geometry.num_sets();
+  STC_REQUIRE((sets_ & (sets_ - 1)) == 0);
+  tags_.assign(std::size_t{sets_} * geometry.assoc, kInvalidTag);
+  lru_.assign(tags_.size(), 0);
+  victim_tags_.assign(victim_lines, kInvalidTag);
+  victim_lru_.assign(victim_lines, 0);
+}
+
+void ICache::reset() {
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  std::fill(victim_tags_.begin(), victim_tags_.end(), kInvalidTag);
+  std::fill(victim_lru_.begin(), victim_lru_.end(), 0);
+  lru_clock_ = 0;
+  stats_ = CacheStats{};
+}
+
+bool ICache::probe_victim(std::uint64_t line, std::uint64_t* promoted_from) {
+  for (std::size_t i = 0; i < victim_tags_.size(); ++i) {
+    if (victim_tags_[i] == line) {
+      *promoted_from = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ICache::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  ++lru_clock_;
+  const std::uint64_t line = line_of(addr);
+  const std::uint32_t set = static_cast<std::uint32_t>(line & (sets_ - 1));
+  const std::size_t base = std::size_t{set} * geometry_.assoc;
+
+  // Main-cache lookup.
+  for (std::uint32_t way = 0; way < geometry_.assoc; ++way) {
+    if (tags_[base + way] == line) {
+      lru_[base + way] = lru_clock_;
+      return true;
+    }
+  }
+
+  // Choose the LRU way of the set as the fill/eviction slot.
+  std::uint32_t victim_way = 0;
+  for (std::uint32_t way = 1; way < geometry_.assoc; ++way) {
+    if (lru_[base + way] < lru_[base + victim_way]) victim_way = way;
+  }
+  const std::uint64_t evicted = tags_[base + victim_way];
+
+  // Victim-cache rescue: swap the requested line back into the main cache
+  // and demote the evicted line into the victim slot it occupied.
+  if (!victim_tags_.empty()) {
+    std::uint64_t slot = 0;
+    if (probe_victim(line, &slot)) {
+      ++stats_.victim_hits;
+      victim_tags_[slot] = evicted;
+      victim_lru_[slot] = lru_clock_;
+      tags_[base + victim_way] = line;
+      lru_[base + victim_way] = lru_clock_;
+      return true;
+    }
+  }
+
+  ++stats_.misses;
+  tags_[base + victim_way] = line;
+  lru_[base + victim_way] = lru_clock_;
+
+  // Demote the evicted line into the victim cache (LRU replacement there).
+  if (!victim_tags_.empty() && evicted != kInvalidTag) {
+    std::size_t slot = 0;
+    for (std::size_t i = 1; i < victim_tags_.size(); ++i) {
+      if (victim_lru_[i] < victim_lru_[slot]) slot = i;
+    }
+    victim_tags_[slot] = evicted;
+    victim_lru_[slot] = lru_clock_;
+  }
+  return false;
+}
+
+bool ICache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = line_of(addr);
+  const std::uint32_t set = static_cast<std::uint32_t>(line & (sets_ - 1));
+  const std::size_t base = std::size_t{set} * geometry_.assoc;
+  for (std::uint32_t way = 0; way < geometry_.assoc; ++way) {
+    if (tags_[base + way] == line) return true;
+  }
+  for (std::uint64_t tag : victim_tags_) {
+    if (tag == line) return true;
+  }
+  return false;
+}
+
+MissRateResult run_missrate(const trace::BlockTrace& trace,
+                            const cfg::ProgramImage& image,
+                            const cfg::AddressMap& layout, ICache& cache,
+                            std::vector<std::uint64_t>* per_block_misses) {
+  MissRateResult result;
+  if (per_block_misses != nullptr) {
+    per_block_misses->assign(image.num_blocks(), 0);
+  }
+  const std::uint32_t line = cache.geometry().line_bytes;
+  trace::BlockRunStream stream(trace, image, layout);
+  // Track the block id alongside the run for attribution.
+  trace::BlockTrace::Cursor ids(trace);
+  trace::BlockRun run;
+  std::uint64_t prev_line = ~std::uint64_t{0};
+  while (stream.next(run)) {
+    const cfg::BlockId block = ids.next();
+    result.instructions += run.insns;
+    const std::uint64_t first = run.addr / line;
+    const std::uint64_t last = (run.end_addr() - 1) / line;
+    for (std::uint64_t l = first; l <= last; ++l) {
+      // Consecutive instructions on one line probe the cache once; a line
+      // re-entered after leaving (even the same line) probes again.
+      if (l == prev_line) continue;
+      ++result.line_accesses;
+      if (!cache.access(l * line)) {
+        ++result.misses;
+        if (per_block_misses != nullptr) ++(*per_block_misses)[block];
+      }
+      prev_line = l;
+    }
+  }
+  return result;
+}
+
+}  // namespace stc::sim

@@ -1,0 +1,41 @@
+// Contract-checking macros used across the library.
+//
+// STC_CHECK   - always-on invariant check; aborts with a message on failure.
+//               Use for conditions that indicate a programming error whose
+//               continuation would corrupt results (Core Guidelines I.6/E.12).
+// STC_REQUIRE - precondition check on public API entry points; always on.
+// STC_DCHECK  - debug-only check for hot paths (compiled out in NDEBUG).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stc::detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d%s%s\n", kind, expr, file, line,
+               msg && msg[0] ? " -- " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace stc::detail
+
+#define STC_CHECK_IMPL(kind, cond, msg)                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::stc::detail::check_failed(kind, #cond, __FILE__, __LINE__, (msg));  \
+    }                                                                       \
+  } while (0)
+
+#define STC_CHECK(cond) STC_CHECK_IMPL("check", cond, "")
+#define STC_CHECK_MSG(cond, msg) STC_CHECK_IMPL("check", cond, msg)
+#define STC_REQUIRE(cond) STC_CHECK_IMPL("precondition", cond, "")
+#define STC_REQUIRE_MSG(cond, msg) STC_CHECK_IMPL("precondition", cond, msg)
+
+#ifdef NDEBUG
+#define STC_DCHECK(cond) ((void)0)
+#else
+#define STC_DCHECK(cond) STC_CHECK_IMPL("debug check", cond, "")
+#endif

@@ -1,0 +1,102 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace stc {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  zipf_n_ = 0;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  STC_REQUIRE(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  STC_REQUIRE(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double() < p;
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double theta) {
+  STC_REQUIRE(n > 0);
+  if (zipf_n_ != n || zipf_theta_ != theta) {
+    double norm = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(double(i), theta);
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_norm_ = norm;
+  }
+  // Inverse-CDF by sequential accumulation is O(n) worst case; acceptable for
+  // the generator sizes we use (n <= a few thousand distinct hot values).
+  const double u = uniform_double() * zipf_norm_;
+  double acc = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(double(i), theta);
+    if (acc >= u) return i;
+  }
+  return n;
+}
+
+std::string Rng::random_string(std::size_t length) {
+  std::string s(length, 'a');
+  for (auto& c : s) c = static_cast<char>('a' + uniform(26));
+  return s;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace stc

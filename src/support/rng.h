@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the repository flows through Rng so that every workload,
+// data set and test is reproducible from a seed. The generator is
+// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64 so that any
+// 64-bit seed yields a well-mixed state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace stc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed0f5eed0f5eedULL) { reseed(seed); }
+
+  // Re-initializes the state from a 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  // Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  // (Lemire rejection method).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform_double();
+
+  // Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  // Zipf-distributed rank in [1, n] with exponent theta. Used by workload
+  // generators to produce the skewed popularity distributions typical of
+  // database data. O(1) per draw after O(n) one-time setup per (n, theta).
+  std::uint64_t zipf(std::uint64_t n, double theta);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Picks a uniformly random element. Requires non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    STC_REQUIRE(!v.empty());
+    return v[static_cast<std::size_t>(uniform(v.size()))];
+  }
+
+  // Random lowercase ASCII string of the given length.
+  std::string random_string(std::size_t length);
+
+  // Derives an independent child generator; used to give each table /
+  // module its own stream so insertion order changes don't ripple.
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+  // Cached harmonic sums for the Zipf sampler, keyed by (n, theta).
+  std::uint64_t zipf_n_ = 0;
+  double zipf_theta_ = 0.0;
+  double zipf_norm_ = 0.0;
+};
+
+}  // namespace stc

@@ -1,0 +1,62 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace stc {
+
+void RunningStats::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+BoundedHistogram::BoundedHistogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  STC_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void BoundedHistogram::add(std::uint64_t value, std::uint64_t weight) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += weight;
+  total_ += weight;
+}
+
+double BoundedHistogram::fraction_below(std::uint64_t bound) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (bounds_[i] > bound) break;
+    below += counts_[i];
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double percentile(std::vector<double> values, double p) {
+  STC_REQUIRE(!values.empty());
+  STC_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace stc

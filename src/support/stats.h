@@ -1,0 +1,52 @@
+// Streaming and batch statistics helpers shared by the analysis passes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stc {
+
+// Welford-style streaming mean/variance over double observations.
+class RunningStats {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Histogram over fixed bucket boundaries. Bucket i holds values in
+// [bounds[i-1], bounds[i]) with an implicit final overflow bucket.
+class BoundedHistogram {
+ public:
+  explicit BoundedHistogram(std::vector<std::uint64_t> upper_bounds);
+
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  // Fraction of observations strictly below `bound` (bound must be one of the
+  // configured upper bounds).
+  double fraction_below(std::uint64_t bound) const;
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+  std::uint64_t total_ = 0;
+};
+
+// Exact percentile over a materialized sample (sorts a copy).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace stc

@@ -1,0 +1,101 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+
+#include "support/check.h"
+
+namespace stc {
+
+void TextTable::header(std::vector<std::string> cells) {
+  STC_REQUIRE(!cells.empty());
+  columns_ = cells.size();
+  lines_.push_back({false, std::move(cells)});
+  separator();
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  STC_REQUIRE_MSG(cells.size() == columns_, "row/column count mismatch");
+  lines_.push_back({false, std::move(cells)});
+}
+
+void TextTable::separator() { lines_.push_back({true, {}}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(columns_, 0);
+  for (const auto& line : lines_) {
+    if (line.is_separator) continue;
+    for (std::size_t c = 0; c < columns_; ++c) {
+      width[c] = std::max(width[c], line.cells[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& line : lines_) {
+    if (line.is_separator) {
+      for (std::size_t c = 0; c < columns_; ++c) {
+        out.append(width[c] + 2, '-');
+        if (c + 1 < columns_) out += "+";
+      }
+      out += "\n";
+      continue;
+    }
+    for (std::size_t c = 0; c < columns_; ++c) {
+      const std::string& cell = line.cells[c];
+      const std::size_t pad = width[c] - cell.size();
+      out += ' ';
+      if (c == 0) {
+        out += cell;
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += cell;
+      }
+      out += ' ';
+      if (c + 1 < columns_) out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  std::string digits = buf;
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out += ',';
+      since_sep = 0;
+    }
+    out += *it;
+    ++since_sep;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fmt_percent(double fraction) {
+  return fmt_fixed(fraction * 100.0, 2) + "%";
+}
+
+std::string fmt_size(std::uint64_t bytes) {
+  if (bytes % (1024 * 1024) == 0 && bytes > 0) {
+    return fmt_count(bytes / (1024 * 1024)) + "M";
+  }
+  if (bytes % 1024 == 0 && bytes > 0) {
+    return fmt_count(bytes / 1024) + "K";
+  }
+  return fmt_count(bytes) + "B";
+}
+
+}  // namespace stc

@@ -1,0 +1,49 @@
+// Plain-text table formatting for the benchmark harness.
+//
+// Every bench binary reproduces one table or figure of the paper; this class
+// renders aligned, monospace tables so the output can be compared line-by-line
+// with the paper's numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stc {
+
+class TextTable {
+ public:
+  // Sets the header row. Column count is fixed by the header.
+  void header(std::vector<std::string> cells);
+
+  // Appends a data row; must match the header's column count (checked).
+  void row(std::vector<std::string> cells);
+
+  // Appends a horizontal separator line.
+  void separator();
+
+  // Renders with columns padded to the widest cell. First column is
+  // left-aligned, the rest right-aligned (numeric convention).
+  std::string render() const;
+
+ private:
+  struct Line {
+    bool is_separator = false;
+    std::vector<std::string> cells;
+  };
+  std::size_t columns_ = 0;
+  std::vector<Line> lines_;
+};
+
+// Formats a double with the given number of decimals ("%.*f").
+std::string fmt_fixed(double value, int decimals);
+
+// Formats with thousands separators: 1234567 -> "1,234,567".
+std::string fmt_count(std::uint64_t value);
+
+// Formats a percentage with two decimals and a trailing '%'.
+std::string fmt_percent(double fraction);
+
+// "8K", "64K", "1M" style size formatting (value in bytes).
+std::string fmt_size(std::uint64_t bytes);
+
+}  // namespace stc

@@ -1,0 +1,48 @@
+// A small fixed-size worker pool with a parallel_for helper.
+//
+// The evaluation harness replays one recorded trace through many independent
+// (layout x cache configuration) simulations; those replays share no mutable
+// state, so they parallelize trivially. On single-core hosts the pool degrades
+// to sequential execution with no thread spawn overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace stc {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects hardware_concurrency(); a value of 1 (or a
+  // single-core host) runs tasks inline on the submitting thread.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Runs body(i) for i in [0, n), distributing iterations across workers and
+  // blocking until all complete. Exceptions in body() terminate (tasks are
+  // expected to be noexcept in spirit; simulation code reports via results).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace stc

@@ -1,0 +1,37 @@
+#include "support/varint.h"
+
+namespace stc {
+
+void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t value) {
+  put_uvarint(out, zigzag_encode(value));
+}
+
+std::uint64_t get_uvarint(const std::uint8_t* data, std::size_t size,
+                          std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    STC_REQUIRE_MSG(pos < size, "truncated varint");
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    STC_REQUIRE_MSG(shift < 64, "varint too long");
+  }
+  return value;
+}
+
+std::int64_t get_svarint(const std::uint8_t* data, std::size_t size,
+                         std::size_t& pos) {
+  return zigzag_decode(get_uvarint(data, size, pos));
+}
+
+}  // namespace stc

@@ -1,0 +1,38 @@
+// LEB128-style variable-length integer coding.
+//
+// Used by the trace recorder to keep large dynamic basic-block traces compact
+// in memory: consecutive block ids are delta-encoded and most deltas fit in
+// one or two bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace stc {
+
+// Appends an unsigned varint to `out`.
+void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+// Appends a zig-zag encoded signed varint to `out`.
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t value);
+
+// Reads an unsigned varint starting at `pos`; advances `pos`.
+std::uint64_t get_uvarint(const std::uint8_t* data, std::size_t size,
+                          std::size_t& pos);
+
+// Reads a zig-zag encoded signed varint starting at `pos`; advances `pos`.
+std::int64_t get_svarint(const std::uint8_t* data, std::size_t size,
+                         std::size_t& pos);
+
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace stc

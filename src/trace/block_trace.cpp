@@ -1,0 +1,112 @@
+#include "trace/block_trace.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "support/check.h"
+#include "support/varint.h"
+
+namespace stc::trace {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53544331;  // "STC1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_u64(std::FILE* f, std::uint64_t v) {
+  STC_CHECK(std::fwrite(&v, sizeof v, 1, f) == 1);
+}
+
+std::uint64_t read_u64(std::FILE* f) {
+  std::uint64_t v = 0;
+  STC_CHECK_MSG(std::fread(&v, sizeof v, 1, f) == 1, "truncated trace file");
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t BlockTrace::byte_size() const {
+  std::uint64_t total = 0;
+  for (const auto& chunk : chunks_) total += chunk.size();
+  return total;
+}
+
+void BlockTrace::append(cfg::BlockId block) {
+  if (chunks_.empty() || chunks_.back().size() >= kChunkTargetBytes) {
+    chunks_.emplace_back();
+    chunks_.back().reserve(kChunkTargetBytes + 8);
+    last_id_ = 0;  // each chunk restarts the delta base for seekability
+  }
+  put_svarint(chunks_.back(), static_cast<std::int64_t>(block) - last_id_);
+  last_id_ = static_cast<std::int64_t>(block);
+  ++num_events_;
+}
+
+void BlockTrace::clear() {
+  chunks_.clear();
+  num_events_ = 0;
+  last_id_ = 0;
+}
+
+void BlockTrace::for_each(const std::function<void(cfg::BlockId)>& fn) const {
+  Cursor cursor(*this);
+  while (!cursor.done()) fn(cursor.next());
+}
+
+cfg::BlockId BlockTrace::Cursor::next() {
+  STC_REQUIRE(!done());
+  while (byte_pos_ >= trace_->chunks_[chunk_index_].size()) {
+    ++chunk_index_;
+    byte_pos_ = 0;
+    last_id_ = 0;
+    STC_CHECK(chunk_index_ < trace_->chunks_.size());
+  }
+  const auto& chunk = trace_->chunks_[chunk_index_];
+  const std::int64_t delta =
+      get_svarint(chunk.data(), chunk.size(), byte_pos_);
+  last_id_ += delta;
+  --remaining_;
+  STC_DCHECK(last_id_ >= 0);
+  return static_cast<cfg::BlockId>(last_id_);
+}
+
+void BlockTrace::save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  STC_REQUIRE_MSG(f != nullptr, "cannot open trace file for writing");
+  write_u64(f.get(), kMagic);
+  write_u64(f.get(), num_events_);
+  write_u64(f.get(), chunks_.size());
+  for (const auto& chunk : chunks_) {
+    write_u64(f.get(), chunk.size());
+    if (!chunk.empty()) {
+      STC_CHECK(std::fwrite(chunk.data(), 1, chunk.size(), f.get()) ==
+                chunk.size());
+    }
+  }
+}
+
+BlockTrace BlockTrace::load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  STC_REQUIRE_MSG(f != nullptr, "cannot open trace file for reading");
+  STC_REQUIRE_MSG(read_u64(f.get()) == kMagic, "bad trace file magic");
+  BlockTrace trace;
+  trace.num_events_ = read_u64(f.get());
+  const std::uint64_t num_chunks = read_u64(f.get());
+  trace.chunks_.resize(num_chunks);
+  for (auto& chunk : trace.chunks_) {
+    chunk.resize(read_u64(f.get()));
+    if (!chunk.empty()) {
+      STC_CHECK_MSG(std::fread(chunk.data(), 1, chunk.size(), f.get()) ==
+                        chunk.size(),
+                    "truncated trace file");
+    }
+  }
+  return trace;
+}
+
+}  // namespace stc::trace

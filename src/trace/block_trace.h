@@ -1,0 +1,76 @@
+// Recording and replay of dynamic basic-block traces.
+//
+// A workload is executed once per (query set, database) pair while a
+// TraceRecorder captures the block stream. Every (layout x cache/fetch
+// configuration) evaluation then *replays* the recorded trace, which is how
+// the paper evaluates layouts without relinking the binary (Section 7.1).
+//
+// Storage is chunked, delta-varint coded: consecutive block ids are close
+// together (execution is highly sequential), so most events cost 1-2 bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cfg/exec.h"
+#include "cfg/types.h"
+
+namespace stc::trace {
+
+class BlockTrace {
+ public:
+  std::uint64_t num_events() const { return num_events_; }
+  std::uint64_t byte_size() const;
+  bool empty() const { return num_events_ == 0; }
+
+  void append(cfg::BlockId block);
+  void clear();
+
+  // Invokes fn(block) for every recorded event, in order.
+  void for_each(const std::function<void(cfg::BlockId)>& fn) const;
+
+  // Binary (de)serialization, for caching workload runs on disk.
+  // Format: magic, version, event count, chunk payloads.
+  void save(const std::string& path) const;
+  static BlockTrace load(const std::string& path);
+
+  // Forward cursor for pull-style consumers (the simulators).
+  class Cursor {
+   public:
+    explicit Cursor(const BlockTrace& trace)
+        : trace_(&trace), remaining_(trace.num_events_) {}
+
+    bool done() const { return remaining_ == 0; }
+    // Returns the next block id; requires !done().
+    cfg::BlockId next();
+
+   private:
+    const BlockTrace* trace_;
+    std::uint64_t remaining_;
+    std::size_t chunk_index_ = 0;
+    std::size_t byte_pos_ = 0;
+    std::int64_t last_id_ = 0;
+  };
+
+ private:
+  friend class Cursor;
+  static constexpr std::size_t kChunkTargetBytes = 1 << 16;
+
+  std::vector<std::vector<std::uint8_t>> chunks_;
+  std::uint64_t num_events_ = 0;
+  std::int64_t last_id_ = 0;  // encoder state (delta base)
+};
+
+// TraceSink adapter that appends every event to a BlockTrace.
+class TraceRecorder final : public cfg::TraceSink {
+ public:
+  explicit TraceRecorder(BlockTrace& trace) : trace_(trace) {}
+  void on_block(cfg::BlockId block) override { trace_.append(block); }
+
+ private:
+  BlockTrace& trace_;
+};
+
+}  // namespace stc::trace

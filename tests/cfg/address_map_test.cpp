@@ -1,0 +1,70 @@
+#include "cfg/address_map.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+
+namespace stc::cfg {
+namespace {
+
+std::unique_ptr<ProgramImage> two_block_image() {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  b.routine("f", m,
+            {{"a", 4, BlockKind::kBranch}, {"b", 2, BlockKind::kReturn}});
+  return b.build();
+}
+
+TEST(AddressMapTest, OriginalMatchesImageAddresses) {
+  auto image = two_block_image();
+  const AddressMap map = AddressMap::original(*image);
+  EXPECT_EQ(map.name(), "orig");
+  for (BlockId b = 0; b < image->num_blocks(); ++b) {
+    EXPECT_EQ(map.addr(b), image->block(b).orig_addr);
+  }
+  map.validate(*image);
+}
+
+TEST(AddressMapTest, EndAddrAddsBlockBytes) {
+  auto image = two_block_image();
+  AddressMap map("test", image->num_blocks());
+  map.set(0, 100);
+  map.set(1, 200);
+  EXPECT_EQ(map.end_addr(*image, 0), 100 + 16u);
+  EXPECT_EQ(map.extent(*image), 200 + 8u);
+}
+
+TEST(AddressMapTest, AssignedTracksCoverage) {
+  auto image = two_block_image();
+  AddressMap map("test", image->num_blocks());
+  EXPECT_FALSE(map.assigned(0));
+  map.set(0, 0);
+  EXPECT_TRUE(map.assigned(0));
+  EXPECT_FALSE(map.assigned(1));
+}
+
+TEST(AddressMapDeathTest, ValidateRejectsUnassigned) {
+  auto image = two_block_image();
+  AddressMap map("test", image->num_blocks());
+  map.set(0, 0);
+  EXPECT_DEATH(map.validate(*image), "unassigned");
+}
+
+TEST(AddressMapDeathTest, ValidateRejectsOverlap) {
+  auto image = two_block_image();
+  AddressMap map("test", image->num_blocks());
+  map.set(0, 0);    // 16 bytes: [0, 16)
+  map.set(1, 8);    // overlaps
+  EXPECT_DEATH(map.validate(*image), "overlap");
+}
+
+TEST(AddressMapTest, TouchingRangesAreLegal) {
+  auto image = two_block_image();
+  AddressMap map("test", image->num_blocks());
+  map.set(0, 0);
+  map.set(1, 16);  // starts exactly at end of block 0
+  map.validate(*image);
+}
+
+}  // namespace
+}  // namespace stc::cfg

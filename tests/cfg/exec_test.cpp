@@ -1,0 +1,169 @@
+#include "cfg/exec.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cfg/builder.h"
+
+namespace stc::cfg {
+namespace {
+
+class RecordingSink : public TraceSink {
+ public:
+  void on_block(BlockId block) override { events.push_back(block); }
+  std::vector<BlockId> events;
+};
+
+struct Fixture {
+  Fixture() {
+    ProgramBuilder b;
+    const ModuleId m = b.module("mod");
+    caller = b.routine("caller", m,
+                       {{"entry", 2, BlockKind::kFallThrough},
+                        {"call", 2, BlockKind::kCall},
+                        {"after", 2, BlockKind::kBranch},
+                        {"ret", 1, BlockKind::kReturn}});
+    callee = b.routine("callee", m,
+                       {{"entry", 2, BlockKind::kBranch},
+                        {"ret", 1, BlockKind::kReturn}});
+    image = b.build();
+  }
+  std::unique_ptr<ProgramImage> image;
+  RoutineId caller = 0;
+  RoutineId callee = 0;
+};
+
+TEST(ExecContextTest, EmitsBlocksToSink) {
+  Fixture f;
+  RecordingSink sink;
+  ExecContext ctx(*f.image, &sink, /*validate=*/true);
+  {
+    RoutineScope scope(ctx, f.caller);
+    ctx.bb(f.image->block_id(f.caller, "entry"));
+    ctx.bb(f.image->block_id(f.caller, "call"));
+    {
+      RoutineScope inner(ctx, f.callee);
+      ctx.bb(f.image->block_id(f.callee, "entry"));
+      ctx.bb(f.image->block_id(f.callee, "ret"));
+    }
+    ctx.bb(f.image->block_id(f.caller, "after"));
+    ctx.bb(f.image->block_id(f.caller, "ret"));
+  }
+  EXPECT_EQ(sink.events.size(), 6u);
+  EXPECT_EQ(ctx.blocks_emitted(), 6u);
+  EXPECT_EQ(ctx.call_depth(), 0u);
+}
+
+TEST(ExecContextTest, NullSinkStillCounts) {
+  Fixture f;
+  ExecContext ctx(*f.image, nullptr, true);
+  RoutineScope scope(ctx, f.callee);
+  ctx.bb(f.image->block_id(f.callee, "entry"));
+  ctx.bb(f.image->block_id(f.callee, "ret"));
+  EXPECT_EQ(ctx.blocks_emitted(), 2u);
+}
+
+TEST(ExecContextTest, TeeFansOutToAllSinks) {
+  Fixture f;
+  RecordingSink a;
+  RecordingSink b;
+  TeeSink tee;
+  tee.add(&a);
+  tee.add(&b);
+  ExecContext ctx(*f.image, &tee, true);
+  RoutineScope scope(ctx, f.callee);
+  ctx.bb(f.image->block_id(f.callee, "entry"));
+  ctx.bb(f.image->block_id(f.callee, "ret"));
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.events.size(), 2u);
+}
+
+TEST(ExecContextTest, CallDepthTracksScopes) {
+  Fixture f;
+  ExecContext ctx(*f.image, nullptr, true);
+  EXPECT_EQ(ctx.call_depth(), 0u);
+  RoutineScope s1(ctx, f.caller);
+  ctx.bb(f.image->block_id(f.caller, "entry"));
+  ctx.bb(f.image->block_id(f.caller, "call"));
+  EXPECT_EQ(ctx.call_depth(), 1u);
+  {
+    RoutineScope s2(ctx, f.callee);
+    EXPECT_EQ(ctx.call_depth(), 2u);
+    ctx.bb(f.image->block_id(f.callee, "entry"));
+    ctx.bb(f.image->block_id(f.callee, "ret"));
+  }
+  EXPECT_EQ(ctx.call_depth(), 1u);
+  ctx.bb(f.image->block_id(f.caller, "ret"));
+}
+
+TEST(ExecContextDeathTest, BlockOutsideScopeAborts) {
+  Fixture f;
+  ExecContext ctx(*f.image, nullptr, true);
+  EXPECT_DEATH(ctx.bb(0), "outside any RoutineScope");
+}
+
+TEST(ExecContextDeathTest, WrongEntryBlockAborts) {
+  Fixture f;
+  ExecContext ctx(*f.image, nullptr, true);
+  RoutineScope scope(ctx, f.caller);
+  EXPECT_DEATH(ctx.bb(f.image->block_id(f.caller, "after")),
+               "routine entry");
+}
+
+TEST(ExecContextDeathTest, ForeignBlockAborts) {
+  Fixture f;
+  ExecContext ctx(*f.image, nullptr, true);
+  RoutineScope scope(ctx, f.caller);
+  EXPECT_DEATH(ctx.bb(f.image->block_id(f.callee, "entry")),
+               "different routine");
+}
+
+TEST(ExecContextDeathTest, EnterFromNonCallBlockAborts) {
+  Fixture f;
+  ExecContext ctx(*f.image, nullptr, true);
+  EXPECT_DEATH(
+      {
+        RoutineScope scope(ctx, f.caller);
+        ctx.bb(f.image->block_id(f.caller, "entry"));
+        // "entry" is fall-through, not a call block.
+        RoutineScope inner(ctx, f.callee);
+      },
+      "non-call block");
+}
+
+TEST(ExecContextDeathTest, FallThroughMustReachStaticSuccessor) {
+  Fixture f;
+  ExecContext ctx(*f.image, nullptr, true);
+  EXPECT_DEATH(
+      {
+        RoutineScope scope(ctx, f.caller);
+        ctx.bb(f.image->block_id(f.caller, "entry"));
+        // Skipping "call" after a fall-through block is an error.
+        ctx.bb(f.image->block_id(f.caller, "after"));
+      },
+      "fall-through");
+}
+
+TEST(ExecContextDeathTest, LeaveFromNonReturnBlockAborts) {
+  Fixture f;
+  ExecContext ctx(*f.image, nullptr, true);
+  EXPECT_DEATH(
+      {
+        RoutineScope scope(ctx, f.callee);
+        ctx.bb(f.image->block_id(f.callee, "entry"));
+        // Scope ends here without reaching the return block.
+      },
+      "non-return block");
+}
+
+TEST(ExecContextTest, ValidationOffAcceptsAnything) {
+  Fixture f;
+  RecordingSink sink;
+  ExecContext ctx(*f.image, &sink, /*validate=*/false);
+  ctx.bb(f.image->block_id(f.caller, "after"));  // no scope, no checks
+  EXPECT_EQ(sink.events.size(), 1u);
+}
+
+}  // namespace
+}  // namespace stc::cfg

@@ -1,0 +1,148 @@
+#include "cfg/program.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+
+namespace stc::cfg {
+namespace {
+
+TEST(ProgramImageTest, RegistersRoutinesAndBlocks) {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  const RoutineId r = b.routine(
+      "f", m,
+      {{"entry", 4, BlockKind::kFallThrough}, {"ret", 2, BlockKind::kReturn}});
+  auto image = b.build();
+  EXPECT_EQ(image->num_modules(), 1u);
+  EXPECT_EQ(image->num_routines(), 1u);
+  EXPECT_EQ(image->num_blocks(), 2u);
+  EXPECT_EQ(image->total_instructions(), 6u);
+  EXPECT_EQ(image->routine(r).name, "f");
+  EXPECT_EQ(image->routine(r).num_blocks, 2u);
+  EXPECT_EQ(image->module_name(m), "mod");
+}
+
+TEST(ProgramImageTest, OriginalAddressesAreContiguousWithinRoutine) {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  const RoutineId r = b.routine("f", m,
+                                {{"a", 4, BlockKind::kFallThrough},
+                                 {"b", 3, BlockKind::kBranch},
+                                 {"c", 2, BlockKind::kReturn}});
+  auto image = b.build();
+  const BlockId a = image->block_id(r, "a");
+  const BlockId bb = image->block_id(r, "b");
+  const BlockId c = image->block_id(r, "c");
+  EXPECT_EQ(image->block(bb).orig_addr,
+            image->block(a).orig_addr + image->block(a).bytes());
+  EXPECT_EQ(image->block(c).orig_addr,
+            image->block(bb).orig_addr + image->block(bb).bytes());
+}
+
+TEST(ProgramImageTest, RoutinesAlignedLikeCompilerOutput) {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  b.routine("f", m, {{"a", 1, BlockKind::kReturn}});  // 4 bytes
+  const RoutineId g = b.routine("g", m, {{"a", 1, BlockKind::kReturn}});
+  auto image = b.build();
+  EXPECT_EQ(image->routine(g).orig_addr % 16, 0u);
+  EXPECT_EQ(image->routine(g).orig_addr, 16u);
+}
+
+TEST(ProgramImageTest, ModuleOrderDefinesLayoutOrder) {
+  ProgramBuilder b;
+  const ModuleId m1 = b.module("first");
+  const ModuleId m2 = b.module("second");
+  // Register in the opposite order of modules.
+  const RoutineId late = b.routine("late", m2, {{"a", 1, BlockKind::kReturn}});
+  const RoutineId early = b.routine("early", m1, {{"a", 1, BlockKind::kReturn}});
+  auto image = b.build();
+  EXPECT_LT(image->routine(early).orig_addr, image->routine(late).orig_addr);
+}
+
+TEST(ProgramImageTest, LookupsByName) {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  const RoutineId r =
+      b.routine("lookup_me", m, {{"x", 1, BlockKind::kReturn}});
+  auto image = b.build();
+  EXPECT_EQ(image->routine_id("lookup_me"), r);
+  EXPECT_EQ(image->block_id(r, "x"), image->routine(r).entry);
+}
+
+TEST(ProgramImageTest, SameBlockNameAllowedInDifferentRoutines) {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  const RoutineId r1 = b.routine("f", m, {{"entry", 1, BlockKind::kReturn}});
+  const RoutineId r2 = b.routine("g", m, {{"entry", 1, BlockKind::kReturn}});
+  auto image = b.build();
+  EXPECT_NE(image->block_id(r1, "entry"), image->block_id(r2, "entry"));
+}
+
+TEST(ProgramImageTest, ExecutorOpFlagIsStored) {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  const RoutineId op =
+      b.routine("op", m, {{"x", 1, BlockKind::kReturn}}, true);
+  const RoutineId plain = b.routine("plain", m, {{"x", 1, BlockKind::kReturn}});
+  auto image = b.build();
+  EXPECT_TRUE(image->routine(op).executor_op);
+  EXPECT_FALSE(image->routine(plain).executor_op);
+}
+
+TEST(ProgramImageTest, RoutinesInOrderSortsByAddress) {
+  ProgramBuilder b;
+  const ModuleId m1 = b.module("m1");
+  const ModuleId m2 = b.module("m2");
+  b.routine("z", m2, {{"a", 1, BlockKind::kReturn}});
+  b.routine("a", m1, {{"a", 1, BlockKind::kReturn}});
+  auto image = b.build();
+  const auto order = image->routines_in_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(image->routine(order[0]).name, "a");
+  EXPECT_EQ(image->routine(order[1]).name, "z");
+}
+
+TEST(ProgramImageTest, ImageBytesCoversAllCode) {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  b.routine("f", m, {{"a", 10, BlockKind::kReturn}});  // 40 bytes
+  b.routine("g", m, {{"a", 5, BlockKind::kReturn}});   // 20 bytes @48
+  auto image = b.build();
+  EXPECT_EQ(image->image_bytes(), 48u + 20u);
+}
+
+TEST(ProgramImageDeathTest, DuplicateRoutineNameAborts) {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  b.routine("dup", m, {{"a", 1, BlockKind::kReturn}});
+  EXPECT_DEATH(b.routine("dup", m, {{"a", 1, BlockKind::kReturn}}),
+               "duplicate routine");
+}
+
+TEST(ProgramImageDeathTest, DuplicateBlockNameAborts) {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  EXPECT_DEATH(b.routine("f", m,
+                         {{"same", 1, BlockKind::kBranch},
+                          {"same", 1, BlockKind::kReturn}}),
+               "duplicate block");
+}
+
+TEST(ProgramImageDeathTest, UnknownLookupAborts) {
+  ProgramBuilder b;
+  b.module("mod");
+  auto image = b.build();
+  EXPECT_DEATH((void)image->routine_id("missing"), "unknown routine");
+}
+
+TEST(ProgramImageDeathTest, ZeroSizeBlockAborts) {
+  ProgramBuilder b;
+  const ModuleId m = b.module("mod");
+  EXPECT_DEATH(b.routine("f", m, {{"a", 0, BlockKind::kReturn}}),
+               "at least one instruction");
+}
+
+}  // namespace
+}  // namespace stc::cfg

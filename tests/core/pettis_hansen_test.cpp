@@ -1,0 +1,120 @@
+#include "core/pettis_hansen.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+#include "support/rng.h"
+#include "testing/synthetic.h"
+
+namespace stc::core {
+namespace {
+
+using cfg::BlockId;
+using cfg::BlockKind;
+
+TEST(PettisHansenTest, FluffMovesToEndOfProgram) {
+  cfg::ProgramBuilder b;
+  const cfg::ModuleId m = b.module("mod");
+  const cfg::RoutineId r = b.routine("f", m,
+                                     {{"hot1", 4, BlockKind::kBranch},
+                                      {"cold", 4, BlockKind::kBranch},
+                                      {"hot2", 4, BlockKind::kReturn}});
+  auto image = b.build();
+  profile::WeightedCFG cfg;
+  cfg.image = image.get();
+  cfg.block_count = {100, 0, 100};
+  cfg.succs.resize(3);
+  cfg.succs[0].push_back({2, 100});  // hot1 -> hot2
+
+  const auto map = pettis_hansen_layout(cfg);
+  map.validate(*image);
+  const BlockId hot1 = image->block_id(r, "hot1");
+  const BlockId hot2 = image->block_id(r, "hot2");
+  const BlockId cold = image->block_id(r, "cold");
+  // Never-executed block is split out past all executed code.
+  EXPECT_GT(map.addr(cold), map.addr(hot1));
+  EXPECT_GT(map.addr(cold), map.addr(hot2));
+  // Chaining places hot2 right after hot1 despite the cold block between.
+  EXPECT_EQ(map.addr(hot2), map.addr(hot1) + image->block(hot1).bytes());
+}
+
+TEST(PettisHansenTest, EntryChainComesFirstInRoutine) {
+  cfg::ProgramBuilder b;
+  const cfg::ModuleId m = b.module("mod");
+  const cfg::RoutineId r = b.routine("f", m,
+                                     {{"entry", 4, BlockKind::kBranch},
+                                      {"side", 4, BlockKind::kBranch},
+                                      {"main", 4, BlockKind::kReturn}});
+  auto image = b.build();
+  profile::WeightedCFG cfg;
+  cfg.image = image.get();
+  cfg.block_count = {10, 1000, 1000};
+  cfg.succs.resize(3);
+  // side <-> main is the heaviest chain, but the entry block must still
+  // start the routine's layout.
+  cfg.succs[1].push_back({2, 1000});
+  cfg.succs[0].push_back({1, 10});
+  const auto map = pettis_hansen_layout(cfg);
+  const BlockId entry = image->block_id(r, "entry");
+  EXPECT_LT(map.addr(entry), map.addr(image->block_id(r, "side")));
+  EXPECT_LT(map.addr(entry), map.addr(image->block_id(r, "main")));
+}
+
+TEST(PettisHansenTest, AffineProceduresPlacedAdjacent) {
+  cfg::ProgramBuilder b;
+  const cfg::ModuleId m = b.module("mod");
+  const cfg::RoutineId f = b.routine(
+      "f", m, {{"c", 2, BlockKind::kCall}, {"r", 2, BlockKind::kReturn}});
+  const cfg::RoutineId g =
+      b.routine("g", m, {{"r", 2, BlockKind::kReturn}});
+  const cfg::RoutineId unrelated =
+      b.routine("unrelated", m, {{"r", 2, BlockKind::kReturn}});
+  auto image = b.build();
+  profile::WeightedCFG cfg;
+  cfg.image = image.get();
+  cfg.block_count.assign(image->num_blocks(), 10);
+  cfg.succs.resize(image->num_blocks());
+  // Heavy call edge f.c -> g.r.
+  cfg.succs[image->block_id(f, "c")].push_back(
+      {image->block_id(g, "r"), 100000});
+
+  const auto map = pettis_hansen_layout(cfg);
+  const std::uint64_t f_addr = map.addr(image->entry_of(f));
+  const std::uint64_t g_addr = map.addr(image->entry_of(g));
+  const std::uint64_t u_addr = map.addr(image->entry_of(unrelated));
+  // g ends up adjacent to f; the unrelated routine does not sit between.
+  const auto dist = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a - b : b - a;
+  };
+  EXPECT_LT(dist(f_addr, g_addr), dist(f_addr, u_addr));
+}
+
+TEST(PettisHansenTest, LayoutIsValidOnRandomInputs) {
+  Rng rng(500);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto image = testing::random_image(rng, 30 + iter * 10);
+    const auto cfg = testing::random_wcfg(*image, rng);
+    const auto map = pettis_hansen_layout(cfg);
+    map.validate(*image);
+  }
+}
+
+TEST(PettisHansenTest, AllColdBlocksAfterAllHotBlocks) {
+  Rng rng(501);
+  auto image = testing::random_image(rng, 50);
+  const auto cfg = testing::random_wcfg(*image, rng, 0.4);
+  const auto map = pettis_hansen_layout(cfg);
+  std::uint64_t max_hot = 0;
+  std::uint64_t min_cold = ~std::uint64_t{0};
+  for (cfg::BlockId b = 0; b < image->num_blocks(); ++b) {
+    if (cfg.block_count[b] > 0) {
+      max_hot = std::max(max_hot, map.addr(b));
+    } else {
+      min_cold = std::min(min_cold, map.addr(b));
+    }
+  }
+  EXPECT_LT(max_hot, min_cold);
+}
+
+}  // namespace
+}  // namespace stc::core

@@ -1,0 +1,85 @@
+// Parameterized property sweep: every layout algorithm, over a family of
+// random programs and cache geometries, must produce a valid permutation of
+// the program (every block placed exactly once, no overlaps) and must be
+// deterministic.
+#include <gtest/gtest.h>
+
+#include "core/layouts.h"
+#include "support/rng.h"
+#include "testing/synthetic.h"
+
+namespace stc::core {
+namespace {
+
+struct PropertyParams {
+  LayoutKind kind;
+  std::uint64_t seed;
+  int routines;
+  std::uint64_t cache_bytes;
+  std::uint64_t cfa_bytes;
+};
+
+class LayoutPropertyTest : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(LayoutPropertyTest, IsValidPermutation) {
+  const PropertyParams& p = GetParam();
+  Rng rng(p.seed);
+  auto image = testing::random_image(rng, p.routines);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  const auto map = make_layout(p.kind, cfg, p.cache_bytes, p.cfa_bytes);
+  map.validate(*image);
+}
+
+TEST_P(LayoutPropertyTest, IsDeterministic) {
+  const PropertyParams& p = GetParam();
+  Rng rng(p.seed);
+  auto image = testing::random_image(rng, p.routines);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  const auto a = make_layout(p.kind, cfg, p.cache_bytes, p.cfa_bytes);
+  const auto b = make_layout(p.kind, cfg, p.cache_bytes, p.cfa_bytes);
+  for (cfg::BlockId blk = 0; blk < image->num_blocks(); ++blk) {
+    ASSERT_EQ(a.addr(blk), b.addr(blk));
+  }
+}
+
+TEST_P(LayoutPropertyTest, FootprintIsBoundedByImagePlusHoles) {
+  const PropertyParams& p = GetParam();
+  Rng rng(p.seed);
+  auto image = testing::random_image(rng, p.routines);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  const auto map = make_layout(p.kind, cfg, p.cache_bytes, p.cfa_bytes);
+  // Reserved CFA windows can at most double the packed size (cfa < cache),
+  // plus one extra region of slack.
+  EXPECT_LE(map.extent(*image), 2 * image->image_bytes() + 2 * p.cache_bytes);
+}
+
+std::vector<PropertyParams> make_params() {
+  std::vector<PropertyParams> out;
+  std::uint64_t seed = 1000;
+  for (LayoutKind kind :
+       {LayoutKind::kOrig, LayoutKind::kPettisHansen, LayoutKind::kTorrellas,
+        LayoutKind::kStcAuto, LayoutKind::kStcOps}) {
+    for (int routines : {5, 40, 120}) {
+      for (std::uint64_t cache : {1024u, 8192u}) {
+        out.push_back({kind, seed++, routines, cache, cache / 4});
+      }
+    }
+  }
+  return out;
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<PropertyParams>& info) {
+  std::string name = to_string(info.param.kind);
+  for (char& c : name) {
+    if (c == '&') c = 'n';
+  }
+  return name + "_r" + std::to_string(info.param.routines) + "_c" +
+         std::to_string(info.param.cache_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, LayoutPropertyTest,
+                         ::testing::ValuesIn(make_params()), param_name);
+
+}  // namespace
+}  // namespace stc::core

@@ -1,0 +1,67 @@
+#include "core/seeds.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+
+namespace stc::core {
+namespace {
+
+using cfg::BlockKind;
+
+struct Fixture {
+  Fixture() {
+    cfg::ProgramBuilder b;
+    const cfg::ModuleId m = b.module("mod");
+    plain_hot = b.routine("plain_hot", m, {{"e", 2, BlockKind::kReturn}});
+    op_warm = b.routine("op_warm", m, {{"e", 2, BlockKind::kReturn}}, true);
+    op_cold = b.routine("op_cold", m, {{"e", 2, BlockKind::kReturn}}, true);
+    plain_dead = b.routine("plain_dead", m, {{"e", 2, BlockKind::kReturn}});
+    image = b.build();
+    cfg.image = image.get();
+    cfg.block_count.assign(image->num_blocks(), 0);
+    cfg.succs.resize(image->num_blocks());
+    cfg.block_count[image->entry_of(plain_hot)] = 1000;
+    cfg.block_count[image->entry_of(op_warm)] = 100;
+    cfg.block_count[image->entry_of(op_cold)] = 10;
+    // plain_dead never executes.
+  }
+  std::unique_ptr<cfg::ProgramImage> image;
+  cfg::RoutineId plain_hot = 0, op_warm = 0, op_cold = 0, plain_dead = 0;
+  profile::WeightedCFG cfg;
+};
+
+TEST(SeedsTest, AutoSelectsAllExecutedEntriesByPopularity) {
+  Fixture f;
+  const auto seeds = select_seeds(f.cfg, SeedKind::kAuto);
+  ASSERT_EQ(seeds.size(), 3u);  // plain_dead excluded
+  EXPECT_EQ(seeds[0], f.image->entry_of(f.plain_hot));
+  EXPECT_EQ(seeds[1], f.image->entry_of(f.op_warm));
+  EXPECT_EQ(seeds[2], f.image->entry_of(f.op_cold));
+}
+
+TEST(SeedsTest, OpsSelectsExecutorOperationsOnly) {
+  Fixture f;
+  const auto seeds = select_seeds(f.cfg, SeedKind::kOps);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], f.image->entry_of(f.op_warm));
+  EXPECT_EQ(seeds[1], f.image->entry_of(f.op_cold));
+}
+
+TEST(SeedsTest, UnexecutedEntriesExcluded) {
+  Fixture f;
+  for (const SeedKind kind : {SeedKind::kAuto, SeedKind::kOps}) {
+    for (cfg::BlockId seed : select_seeds(f.cfg, kind)) {
+      EXPECT_GT(f.cfg.block_count[seed], 0u);
+    }
+  }
+}
+
+TEST(SeedsTest, EmptyProfileYieldsNoSeeds) {
+  Fixture f;
+  std::fill(f.cfg.block_count.begin(), f.cfg.block_count.end(), 0);
+  EXPECT_TRUE(select_seeds(f.cfg, SeedKind::kAuto).empty());
+}
+
+}  // namespace
+}  // namespace stc::core

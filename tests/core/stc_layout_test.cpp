@@ -1,0 +1,136 @@
+#include "core/stc_layout.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "testing/synthetic.h"
+
+namespace stc::core {
+namespace {
+
+TEST(FitExecThresholdTest, FittedPassRespectsBudget) {
+  Rng rng(404);
+  auto image = testing::random_image(rng, 60);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  const auto seeds = select_seeds(cfg, SeedKind::kAuto);
+  for (std::uint64_t cfa : {256u, 1024u, 4096u}) {
+    const std::uint64_t t = fit_exec_threshold(cfg, seeds, 0.4, cfa);
+    std::vector<bool> visited(cfg.block_count.size(), false);
+    const auto seqs =
+        build_traces_complete(cfg, seeds, TraceBuildParams{t, 0.4}, &visited);
+    EXPECT_LE(sequences_bytes(*image, seqs), cfa) << "cfa=" << cfa;
+  }
+}
+
+TEST(FitExecThresholdTest, LargerBudgetAdmitsMoreCode) {
+  Rng rng(405);
+  auto image = testing::random_image(rng, 60);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  const auto seeds = select_seeds(cfg, SeedKind::kAuto);
+  const std::uint64_t t_small = fit_exec_threshold(cfg, seeds, 0.4, 256);
+  const std::uint64_t t_large = fit_exec_threshold(cfg, seeds, 0.4, 8192);
+  EXPECT_GE(t_small, t_large);
+}
+
+TEST(FitExecThresholdTest, ZeroCfaReturnsSentinel) {
+  Rng rng(406);
+  auto image = testing::random_image(rng, 10);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  EXPECT_EQ(fit_exec_threshold(cfg, select_seeds(cfg, SeedKind::kAuto), 0.4, 0),
+            ~std::uint64_t{0});
+}
+
+TEST(StcLayoutTest, ProducesValidLayout) {
+  Rng rng(407);
+  auto image = testing::random_image(rng, 80);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  StcParams params;
+  params.cache_bytes = 2048;
+  params.cfa_bytes = 512;
+  const StcResult result = stc_layout(cfg, SeedKind::kAuto, params);
+  result.layout.validate(*image);  // all blocks placed, no overlap
+  EXPECT_LE(result.pass1_bytes, params.cfa_bytes);
+  EXPECT_GE(result.num_passes, 2u);
+}
+
+TEST(StcLayoutTest, Pass1BlocksLiveInsideCfaWindowZero) {
+  Rng rng(408);
+  auto image = testing::random_image(rng, 80);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  StcParams params;
+  params.cache_bytes = 2048;
+  params.cfa_bytes = 512;
+  const StcResult result = stc_layout(cfg, SeedKind::kAuto, params);
+  // Every non-CFA *sequence* block avoids CFA offsets; only the cold tail
+  // may use them. Equivalent check: any block below pass1_bytes is in the
+  // first region; blocks mapped at CFA offsets of later regions must be
+  // unexecuted (cold).
+  for (cfg::BlockId b = 0; b < image->num_blocks(); ++b) {
+    const std::uint64_t addr = result.layout.addr(b);
+    if (addr >= params.cache_bytes && addr % params.cache_bytes < params.cfa_bytes) {
+      EXPECT_EQ(cfg.block_count[b], 0u)
+          << "executed block in a reserved CFA window";
+    }
+  }
+}
+
+TEST(StcLayoutTest, ExecutedCodePrecedesColdCode) {
+  Rng rng(409);
+  auto image = testing::random_image(rng, 60);
+  const auto cfg = testing::random_wcfg(*image, rng, 0.3);
+  StcParams params;
+  params.cache_bytes = 4096;
+  params.cfa_bytes = 1024;
+  const StcResult result = stc_layout(cfg, SeedKind::kAuto, params);
+  std::uint64_t max_hot = 0;
+  std::uint64_t min_cold = ~std::uint64_t{0};
+  for (cfg::BlockId b = 0; b < image->num_blocks(); ++b) {
+    if (cfg.block_count[b] > 0) {
+      max_hot = std::max(max_hot, result.layout.addr(b));
+    } else {
+      min_cold = std::min(min_cold, result.layout.addr(b));
+    }
+  }
+  EXPECT_LT(max_hot, min_cold);
+}
+
+TEST(StcLayoutTest, ExplicitThresholdHonored) {
+  Rng rng(410);
+  auto image = testing::random_image(rng, 40);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  StcParams params;
+  params.cache_bytes = 4096;
+  params.cfa_bytes = 1024;
+  params.exec_threshold_pass1 = 12345;
+  const StcResult result = stc_layout(cfg, SeedKind::kAuto, params);
+  EXPECT_EQ(result.exec_threshold_pass1, 12345u);
+}
+
+TEST(StcLayoutTest, OpsSeedsProduceValidLayoutToo) {
+  Rng rng(411);
+  auto image = testing::random_image(rng, 80);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  StcParams params;
+  params.cache_bytes = 2048;
+  params.cfa_bytes = 512;
+  const StcResult result = stc_layout(cfg, SeedKind::kOps, params);
+  result.layout.validate(*image);
+  EXPECT_EQ(result.layout.name(), "stc-ops");
+}
+
+TEST(StcLayoutTest, DeterministicAcrossRuns) {
+  Rng rng(412);
+  auto image = testing::random_image(rng, 50);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  StcParams params;
+  params.cache_bytes = 1024;
+  params.cfa_bytes = 256;
+  const StcResult a = stc_layout(cfg, SeedKind::kAuto, params);
+  const StcResult b = stc_layout(cfg, SeedKind::kAuto, params);
+  for (cfg::BlockId blk = 0; blk < image->num_blocks(); ++blk) {
+    ASSERT_EQ(a.layout.addr(blk), b.layout.addr(blk));
+  }
+}
+
+}  // namespace
+}  // namespace stc::core

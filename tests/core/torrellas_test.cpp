@@ -1,0 +1,84 @@
+#include "core/torrellas.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.h"
+#include "testing/synthetic.h"
+
+namespace stc::core {
+namespace {
+
+TEST(TorrellasTest, MostPopularBlocksOccupyTheCfa) {
+  Rng rng(600);
+  auto image = testing::random_image(rng, 60);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  TorrParams params;
+  params.cache_bytes = 2048;
+  params.cfa_bytes = 512;
+  const auto map = torrellas_layout(cfg, params);
+  map.validate(*image);
+
+  // Determine the CFA content cutoff: the most popular blocks, by bytes.
+  std::vector<cfg::BlockId> pop;
+  for (cfg::BlockId b = 0; b < image->num_blocks(); ++b) {
+    if (cfg.block_count[b] > 0) pop.push_back(b);
+  }
+  std::sort(pop.begin(), pop.end(), [&](cfg::BlockId a, cfg::BlockId b) {
+    if (cfg.block_count[a] != cfg.block_count[b]) {
+      return cfg.block_count[a] > cfg.block_count[b];
+    }
+    return a < b;
+  });
+  std::uint64_t used = 0;
+  for (cfg::BlockId b : pop) {
+    if (used + image->block(b).bytes() > params.cfa_bytes) break;
+    used += image->block(b).bytes();
+    EXPECT_LT(map.addr(b), params.cfa_bytes)
+        << "popular block " << b << " outside the CFA";
+  }
+}
+
+TEST(TorrellasTest, NonCfaExecutedBlocksAvoidReservedWindows) {
+  Rng rng(601);
+  auto image = testing::random_image(rng, 60);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  TorrParams params;
+  params.cache_bytes = 1024;
+  params.cfa_bytes = 256;
+  const auto map = torrellas_layout(cfg, params);
+  for (cfg::BlockId b = 0; b < image->num_blocks(); ++b) {
+    if (cfg.block_count[b] == 0) continue;
+    const std::uint64_t addr = map.addr(b);
+    if (addr >= params.cache_bytes) {
+      EXPECT_GE(addr % params.cache_bytes, params.cfa_bytes)
+          << "executed block " << b << " in a reserved window";
+    }
+  }
+}
+
+TEST(TorrellasTest, ValidOnRandomInputs) {
+  Rng rng(602);
+  for (int iter = 0; iter < 8; ++iter) {
+    auto image = testing::random_image(rng, 40);
+    const auto cfg = testing::random_wcfg(*image, rng);
+    TorrParams params;
+    params.cache_bytes = 4096;
+    params.cfa_bytes = 1024;
+    torrellas_layout(cfg, params).validate(*image);
+  }
+}
+
+TEST(TorrellasTest, ZeroCfaStillValid) {
+  Rng rng(603);
+  auto image = testing::random_image(rng, 30);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  TorrParams params;
+  params.cache_bytes = 1024;
+  params.cfa_bytes = 0;
+  torrellas_layout(cfg, params).validate(*image);
+}
+
+}  // namespace
+}  // namespace stc::core

@@ -1,0 +1,252 @@
+// Tests of the greedy sequence builder, including a reconstruction of the
+// paper's Figure 3 worked example (ExecThresh = 4, BranchThresh = 0.4):
+// starting from seed A1 the main trace runs A1 -> ... -> A8; the transitions
+// to B1 and C5 are discarded by the Branch Threshold; the A3 -> A5 transition
+// is noted and grows a secondary trace containing only A5 (its successors
+// are visited); no secondary trace starts from A6 because its weight is
+// below the Exec Threshold.
+#include "core/trace_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+
+namespace stc::core {
+namespace {
+
+using cfg::BlockId;
+using cfg::BlockKind;
+
+// The Figure-3 weighted graph, with weights scaled by 10 so they are
+// integral (ExecThresh 4 -> 40).
+struct Figure3 {
+  Figure3() {
+    cfg::ProgramBuilder b;
+    const cfg::ModuleId m = b.module("mod");
+    // One routine per "function" of the example.
+    a = b.routine("A", m,
+                  {{"A1", 2, BlockKind::kBranch},
+                   {"A2", 2, BlockKind::kBranch},
+                   {"A3", 2, BlockKind::kBranch},
+                   {"A4", 2, BlockKind::kBranch},
+                   {"A5", 2, BlockKind::kBranch},
+                   {"A6", 2, BlockKind::kBranch},
+                   {"A7", 2, BlockKind::kBranch},
+                   {"A8", 2, BlockKind::kReturn}});
+    bb = b.routine("B", m, {{"B1", 2, BlockKind::kReturn}});
+    c = b.routine("C", m,
+                  {{"C1", 2, BlockKind::kBranch},
+                   {"C2", 2, BlockKind::kBranch},
+                   {"C3", 2, BlockKind::kBranch},
+                   {"C4", 2, BlockKind::kBranch},
+                   {"C5", 2, BlockKind::kReturn}});
+    image = b.build();
+
+    cfg.image = image.get();
+    cfg.block_count.assign(image->num_blocks(), 0);
+    cfg.succs.resize(image->num_blocks());
+    count("A1", 100);
+    count("A2", 100);
+    count("A3", 100);
+    count("A4", 60);
+    count("A5", 40);
+    count("A6", 24);
+    count("A7", 76);
+    count("A8", 100);
+    count("B1", 10);
+    count("C1", 300);
+    count("C2", 300);
+    count("C3", 150);
+    count("C4", 150);
+    count("C5", 1);
+    edge("A1", "A2", 100);  // prob 1.0
+    edge("A2", "A3", 90);   // prob 0.9
+    edge("A2", "B1", 10);   // prob 0.1 -> discarded
+    edge("A3", "A4", 60);   // prob 0.6 -> followed
+    edge("A3", "A5", 40);   // prob 0.4 -> noted
+    edge("A4", "A7", 60);   // prob 1.0
+    edge("A5", "A6", 24);   // A6 below ExecThresh
+    edge("A5", "A7", 16);
+    edge("A7", "A8", 75);   // ~0.99
+    edge("A7", "C5", 1);    // prob ~0.01 -> discarded
+    edge("C1", "C2", 300);
+    edge("C2", "C3", 150);
+    edge("C2", "C4", 150);
+    edge("C3", "C4", 0);
+  }
+
+  BlockId id(const std::string& name) const {
+    for (BlockId b = 0; b < image->num_blocks(); ++b) {
+      if (image->block(b).name == name) return b;
+    }
+    ADD_FAILURE() << "unknown block " << name;
+    return 0;
+  }
+  void count(const std::string& name, std::uint64_t n) {
+    cfg.block_count[id(name)] = n;
+  }
+  void edge(const std::string& from, const std::string& to, std::uint64_t n) {
+    if (n == 0) return;
+    cfg.succs[id(from)].push_back({id(to), n});
+    std::sort(cfg.succs[id(from)].begin(), cfg.succs[id(from)].end(),
+              [](const auto& x, const auto& y) {
+                if (x.count != y.count) return x.count > y.count;
+                return x.to < y.to;
+              });
+  }
+  std::vector<std::string> names(const Sequence& seq) const {
+    std::vector<std::string> out;
+    for (BlockId b : seq.blocks) out.push_back(image->block(b).name);
+    return out;
+  }
+
+  std::unique_ptr<cfg::ProgramImage> image;
+  cfg::RoutineId a = 0, bb = 0, c = 0;
+  profile::WeightedCFG cfg;
+};
+
+TEST(TraceBuilderFigure3Test, MainTraceRunsA1ToA8) {
+  Figure3 f;
+  const auto seqs =
+      build_traces(f.cfg, {f.id("A1")}, TraceBuildParams{40, 0.4});
+  ASSERT_GE(seqs.size(), 1u);
+  EXPECT_TRUE(seqs[0].main_trace);
+  EXPECT_EQ(f.names(seqs[0]),
+            (std::vector<std::string>{"A1", "A2", "A3", "A4", "A7", "A8"}));
+}
+
+TEST(TraceBuilderFigure3Test, SecondaryTraceIsA5Alone) {
+  Figure3 f;
+  const auto seqs =
+      build_traces(f.cfg, {f.id("A1")}, TraceBuildParams{40, 0.4});
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_FALSE(seqs[1].main_trace);
+  EXPECT_EQ(f.names(seqs[1]), (std::vector<std::string>{"A5"}));
+}
+
+TEST(TraceBuilderFigure3Test, DiscardedBlocksStayOut) {
+  Figure3 f;
+  const auto seqs =
+      build_traces(f.cfg, {f.id("A1")}, TraceBuildParams{40, 0.4});
+  for (const Sequence& seq : seqs) {
+    for (BlockId b : seq.blocks) {
+      const std::string& name = f.image->block(b).name;
+      EXPECT_NE(name, "B1");  // branch threshold
+      EXPECT_NE(name, "C5");  // branch threshold
+      EXPECT_NE(name, "A6");  // exec threshold
+    }
+  }
+}
+
+TEST(TraceBuilderTest, SeedBelowExecThresholdSkipped) {
+  Figure3 f;
+  const auto seqs =
+      build_traces(f.cfg, {f.id("A6")}, TraceBuildParams{40, 0.4});
+  EXPECT_TRUE(seqs.empty());
+}
+
+TEST(TraceBuilderTest, VisitedSeedSkipped) {
+  Figure3 f;
+  std::vector<bool> visited(f.image->num_blocks(), false);
+  visited[f.id("A1")] = true;
+  const auto seqs =
+      build_traces(f.cfg, {f.id("A1")}, TraceBuildParams{40, 0.4}, &visited);
+  EXPECT_TRUE(seqs.empty());
+}
+
+TEST(TraceBuilderTest, SecondSeedStartsAfterFirstCompletes) {
+  Figure3 f;
+  const auto seqs = build_traces(f.cfg, {f.id("A1"), f.id("C1")},
+                                 TraceBuildParams{40, 0.4});
+  // A's main + A5 secondary, then C's main (+ C4 secondary from C2).
+  ASSERT_GE(seqs.size(), 3u);
+  EXPECT_EQ(f.names(seqs[2])[0], "C1");
+  EXPECT_EQ(seqs[2].seed_index, 1u);
+  EXPECT_TRUE(seqs[2].main_trace);
+}
+
+TEST(TraceBuilderTest, CSeedBuildsMainAndSecondary) {
+  Figure3 f;
+  const auto seqs =
+      build_traces(f.cfg, {f.id("C1")}, TraceBuildParams{40, 0.4});
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(f.names(seqs[0]), (std::vector<std::string>{"C1", "C2", "C3"}));
+  EXPECT_EQ(f.names(seqs[1]), (std::vector<std::string>{"C4"}));
+}
+
+TEST(TraceBuilderTest, ZeroThresholdsCoverEverythingReachable) {
+  Figure3 f;
+  const auto seqs =
+      build_traces(f.cfg, {f.id("A1")}, TraceBuildParams{1, 0.0});
+  std::size_t placed = 0;
+  for (const auto& seq : seqs) placed += seq.blocks.size();
+  // Everything reachable from A1 (all A blocks + B1 + C5).
+  EXPECT_EQ(placed, 10u);
+}
+
+TEST(TraceBuilderTest, NoBlockAppearsTwice) {
+  Figure3 f;
+  const auto seqs = build_traces(f.cfg, {f.id("A1"), f.id("C1"), f.id("B1")},
+                                 TraceBuildParams{1, 0.0});
+  std::vector<int> seen(f.image->num_blocks(), 0);
+  for (const auto& seq : seqs) {
+    for (BlockId b : seq.blocks) ++seen[b];
+  }
+  for (int count : seen) EXPECT_LE(count, 1);
+}
+
+TEST(TraceBuilderTest, SequenceWeightIsFirstBlockCount) {
+  Figure3 f;
+  const auto seqs =
+      build_traces(f.cfg, {f.id("C1")}, TraceBuildParams{40, 0.4});
+  ASSERT_FALSE(seqs.empty());
+  EXPECT_EQ(seqs[0].weight, 300u);
+}
+
+TEST(TraceBuilderCompleteTest, SweepsOrphanedHotBlocks) {
+  Figure3 f;
+  std::vector<bool> visited(f.image->num_blocks(), false);
+  // Pretend an earlier pass consumed the whole A main trace.
+  for (const char* name : {"A1", "A2", "A3", "A4", "A7", "A8"}) {
+    visited[f.id(name)] = true;
+  }
+  // A5 (weight 40) is now unreachable through unvisited paths, but the
+  // complete builder must still place it.
+  const auto seqs = build_traces_complete(f.cfg, {f.id("A1")},
+                                          TraceBuildParams{40, 0.4}, &visited);
+  bool found_a5 = false;
+  for (const auto& seq : seqs) {
+    for (BlockId b : seq.blocks) {
+      if (f.image->block(b).name == "A5") found_a5 = true;
+    }
+  }
+  EXPECT_TRUE(found_a5);
+  EXPECT_TRUE(visited[f.id("A5")]);
+}
+
+TEST(TraceBuilderCompleteTest, SweepRespectsExecThreshold) {
+  Figure3 f;
+  std::vector<bool> visited(f.image->num_blocks(), false);
+  const auto seqs = build_traces_complete(f.cfg, {}, TraceBuildParams{40, 0.4},
+                                          &visited);
+  // All blocks with weight >= 40 are placed, none below.
+  for (BlockId b = 0; b < f.image->num_blocks(); ++b) {
+    if (f.cfg.block_count[b] >= 40) {
+      EXPECT_TRUE(visited[b]) << f.image->block(b).name;
+    } else {
+      EXPECT_FALSE(visited[b]) << f.image->block(b).name;
+    }
+  }
+  (void)seqs;
+}
+
+TEST(TraceBuilderTest, SequencesBytesSumsBlockSizes) {
+  Figure3 f;
+  const auto seqs =
+      build_traces(f.cfg, {f.id("A1")}, TraceBuildParams{40, 0.4});
+  // 6-block main + 1-block secondary, 2 insns (8 bytes) each.
+  EXPECT_EQ(sequences_bytes(*f.image, seqs), 7u * 8u);
+}
+
+}  // namespace
+}  // namespace stc::core

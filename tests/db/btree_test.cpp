@@ -1,0 +1,178 @@
+#include "db/btree.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace stc::db {
+namespace {
+
+RID rid_of(std::uint32_t n) { return RID{n, static_cast<std::uint16_t>(n % 7)}; }
+
+std::vector<RID> drain(IndexCursor& cursor) {
+  std::vector<RID> out;
+  RID rid;
+  while (cursor.next(rid)) out.push_back(rid);
+  return out;
+}
+
+TEST(BTreeTest, EmptyLookup) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  auto cursor = index.seek_equal(Value(std::int64_t{5}));
+  EXPECT_TRUE(drain(*cursor).empty());
+  index.check_invariants();
+}
+
+TEST(BTreeTest, SingleInsertLookup) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  index.insert(Value(std::int64_t{5}), rid_of(1));
+  const auto hits = drain(*index.seek_equal(Value(std::int64_t{5})));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], rid_of(1));
+  EXPECT_TRUE(drain(*index.seek_equal(Value(std::int64_t{6}))).empty());
+}
+
+TEST(BTreeTest, SequentialInsertsCauseSplits) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    index.insert(Value(static_cast<std::int64_t>(i)), rid_of(i));
+  }
+  EXPECT_EQ(index.entry_count(), static_cast<std::uint64_t>(n));
+  EXPECT_GT(index.height(), 2u);
+  index.check_invariants();
+  for (int i : {0, 1, 2499, 4999}) {
+    const auto hits = drain(*index.seek_equal(Value(static_cast<std::int64_t>(i))));
+    ASSERT_EQ(hits.size(), 1u) << i;
+    EXPECT_EQ(hits[0], rid_of(i));
+  }
+}
+
+TEST(BTreeTest, RandomInsertOrder) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  Rng rng(123);
+  std::vector<int> keys;
+  for (int i = 0; i < 3000; ++i) keys.push_back(i);
+  rng.shuffle(keys);
+  for (int k : keys) index.insert(Value(static_cast<std::int64_t>(k)), rid_of(k));
+  index.check_invariants();
+  for (int probe : {0, 1500, 2999}) {
+    const auto hits =
+        drain(*index.seek_equal(Value(static_cast<std::int64_t>(probe))));
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0], rid_of(probe));
+  }
+}
+
+TEST(BTreeTest, DuplicatesAllReturned) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    index.insert(Value(std::int64_t{42}), rid_of(i));
+    index.insert(Value(std::int64_t{7}), rid_of(1000 + i));
+  }
+  index.check_invariants();
+  EXPECT_EQ(drain(*index.seek_equal(Value(std::int64_t{42}))).size(), 100u);
+  EXPECT_EQ(drain(*index.seek_equal(Value(std::int64_t{7}))).size(), 100u);
+  EXPECT_TRUE(drain(*index.seek_equal(Value(std::int64_t{8}))).empty());
+}
+
+TEST(BTreeTest, RangeScanInclusiveBounds) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  for (int i = 0; i < 100; ++i) {
+    index.insert(Value(static_cast<std::int64_t>(i)), rid_of(i));
+  }
+  const auto hits = drain(*index.seek_range(Value(std::int64_t{10}), true,
+                                            Value(std::int64_t{20}), true));
+  EXPECT_EQ(hits.size(), 11u);
+  EXPECT_EQ(hits.front(), rid_of(10));
+  EXPECT_EQ(hits.back(), rid_of(20));
+}
+
+TEST(BTreeTest, RangeScanExclusiveBounds) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  for (int i = 0; i < 100; ++i) {
+    index.insert(Value(static_cast<std::int64_t>(i)), rid_of(i));
+  }
+  const auto hits = drain(*index.seek_range(Value(std::int64_t{10}), false,
+                                            Value(std::int64_t{20}), false));
+  EXPECT_EQ(hits.size(), 9u);
+  EXPECT_EQ(hits.front(), rid_of(11));
+  EXPECT_EQ(hits.back(), rid_of(19));
+}
+
+TEST(BTreeTest, UnboundedScansCoverEverything) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  for (int i = 0; i < 500; ++i) {
+    index.insert(Value(static_cast<std::int64_t>(i)), rid_of(i));
+  }
+  EXPECT_EQ(drain(*index.seek_range(std::nullopt, true, std::nullopt, true))
+                .size(),
+            500u);
+  EXPECT_EQ(drain(*index.seek_range(Value(std::int64_t{490}), true,
+                                    std::nullopt, true))
+                .size(),
+            10u);
+  EXPECT_EQ(drain(*index.seek_range(std::nullopt, true,
+                                    Value(std::int64_t{9}), true))
+                .size(),
+            10u);
+}
+
+TEST(BTreeTest, RangeScanReturnsSortedKeys) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  Rng rng(321);
+  for (int i = 0; i < 1000; ++i) {
+    index.insert(Value(static_cast<std::int64_t>(rng.uniform(200))),
+                 rid_of(static_cast<std::uint32_t>(i)));
+  }
+  // Full scan yields 1000 entries.
+  const auto all = drain(*index.seek_range(std::nullopt, true, std::nullopt, true));
+  EXPECT_EQ(all.size(), 1000u);
+  index.check_invariants();
+}
+
+TEST(BTreeTest, StringKeys) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  index.insert(Value(std::string("FRANCE")), rid_of(1));
+  index.insert(Value(std::string("GERMANY")), rid_of(2));
+  index.insert(Value(std::string("BRAZIL")), rid_of(3));
+  const auto hits = drain(*index.seek_equal(Value(std::string("GERMANY"))));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], rid_of(2));
+  // Range [BRAZIL, FRANCE] inclusive = 2 entries.
+  EXPECT_EQ(drain(*index.seek_range(Value(std::string("BRAZIL")), true,
+                                    Value(std::string("FRANCE")), true))
+                .size(),
+            2u);
+}
+
+TEST(BTreeTest, RangeBetweenDuplicateRuns) {
+  Kernel kernel;
+  BTreeIndex index(kernel);
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    index.insert(Value(std::int64_t{1}), rid_of(i));
+    index.insert(Value(std::int64_t{3}), rid_of(100 + i));
+  }
+  // Exclusive range (1, 3) is empty.
+  EXPECT_TRUE(drain(*index.seek_range(Value(std::int64_t{1}), false,
+                                      Value(std::int64_t{3}), false))
+                  .empty());
+  // Inclusive on the right only.
+  EXPECT_EQ(drain(*index.seek_range(Value(std::int64_t{1}), false,
+                                    Value(std::int64_t{3}), true))
+                .size(),
+            60u);
+}
+
+}  // namespace
+}  // namespace stc::db

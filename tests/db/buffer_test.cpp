@@ -1,0 +1,137 @@
+#include "db/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace stc::db {
+namespace {
+
+struct Fixture {
+  Fixture() : storage(kernel), buffer(kernel, storage, 4) {
+    file = storage.create_file();
+    for (int i = 0; i < 8; ++i) storage.allocate_page(file);
+  }
+  Kernel kernel;
+  StorageManager storage;
+  BufferManager buffer;
+  std::uint32_t file = 0;
+};
+
+TEST(BufferManagerTest, PinFetchesFromStorage) {
+  Fixture f;
+  const std::uint64_t reads_before = f.storage.stats().page_reads;
+  f.buffer.pin({f.file, 0});
+  EXPECT_EQ(f.storage.stats().page_reads, reads_before + 1);
+  f.buffer.unpin({f.file, 0}, false);
+}
+
+TEST(BufferManagerTest, SecondPinHits) {
+  Fixture f;
+  f.buffer.pin({f.file, 0});
+  f.buffer.unpin({f.file, 0}, false);
+  f.buffer.pin({f.file, 0});
+  f.buffer.unpin({f.file, 0}, false);
+  EXPECT_EQ(f.buffer.stats().hits, 1u);
+  EXPECT_EQ(f.buffer.stats().lookups, 2u);
+  EXPECT_EQ(f.storage.stats().page_reads, 1u);
+}
+
+TEST(BufferManagerTest, EvictsLruWhenFull) {
+  Fixture f;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    f.buffer.pin({f.file, p});
+    f.buffer.unpin({f.file, p}, false);
+  }
+  // Touch page 0 so page 1 becomes LRU, then bring in page 4.
+  f.buffer.pin({f.file, 0});
+  f.buffer.unpin({f.file, 0}, false);
+  f.buffer.pin({f.file, 4});
+  f.buffer.unpin({f.file, 4}, false);
+  EXPECT_EQ(f.buffer.stats().evictions, 1u);
+  // Page 1 must now miss; page 0 must hit.
+  const std::uint64_t hits = f.buffer.stats().hits;
+  f.buffer.pin({f.file, 0});
+  f.buffer.unpin({f.file, 0}, false);
+  EXPECT_EQ(f.buffer.stats().hits, hits + 1);
+  const std::uint64_t reads = f.storage.stats().page_reads;
+  f.buffer.pin({f.file, 1});
+  f.buffer.unpin({f.file, 1}, false);
+  EXPECT_EQ(f.storage.stats().page_reads, reads + 1);
+}
+
+TEST(BufferManagerTest, DirtyPageWrittenBackOnEviction) {
+  Fixture f;
+  Page& page = f.buffer.pin({f.file, 0});
+  const std::uint8_t data[] = {42};
+  page.insert_record(data, 1);
+  f.buffer.unpin({f.file, 0}, /*dirty=*/true);
+  // Force page 0 out.
+  for (std::uint32_t p = 1; p <= 4; ++p) {
+    f.buffer.pin({f.file, p});
+    f.buffer.unpin({f.file, p}, false);
+  }
+  EXPECT_EQ(f.buffer.stats().dirty_writebacks, 1u);
+  // The mutation must be durable in storage.
+  Page read;
+  f.storage.read_page({f.file, 0}, read);
+  EXPECT_EQ(read.slot_count(), 1u);
+}
+
+TEST(BufferManagerTest, PinnedPagesAreNotEvicted) {
+  Fixture f;
+  f.buffer.pin({f.file, 0});  // stays pinned
+  for (std::uint32_t p = 1; p < 6; ++p) {
+    f.buffer.pin({f.file, p});
+    f.buffer.unpin({f.file, p}, false);
+  }
+  // Page 0 must still hit without a storage read.
+  const std::uint64_t reads = f.storage.stats().page_reads;
+  f.buffer.pin({f.file, 0});
+  EXPECT_EQ(f.storage.stats().page_reads, reads);
+  f.buffer.unpin({f.file, 0}, false);
+  f.buffer.unpin({f.file, 0}, false);
+}
+
+TEST(BufferManagerTest, FlushAllWritesDirtyFrames) {
+  Fixture f;
+  Page& page = f.buffer.pin({f.file, 2});
+  const std::uint8_t data[] = {7};
+  page.insert_record(data, 1);
+  f.buffer.unpin({f.file, 2}, true);
+  const std::uint64_t writes = f.storage.stats().page_writes;
+  f.buffer.flush_all();
+  EXPECT_EQ(f.storage.stats().page_writes, writes + 1);
+  // A second flush has nothing to do.
+  f.buffer.flush_all();
+  EXPECT_EQ(f.storage.stats().page_writes, writes + 1);
+}
+
+TEST(BufferManagerDeathTest, UnpinWithoutPinAborts) {
+  Fixture f;
+  EXPECT_DEATH(f.buffer.unpin({f.file, 0}, false), "not pinned");
+}
+
+TEST(BufferManagerDeathTest, AllFramesPinnedAborts) {
+  Fixture f;
+  for (std::uint32_t p = 0; p < 4; ++p) f.buffer.pin({f.file, p});
+  EXPECT_DEATH(f.buffer.pin({f.file, 4}), "exhausted");
+}
+
+TEST(BufferManagerTest, MultiplePinsRequireMultipleUnpins) {
+  Fixture f;
+  f.buffer.pin({f.file, 0});
+  f.buffer.pin({f.file, 0});
+  f.buffer.unpin({f.file, 0}, false);
+  // Still pinned once: must survive heavy traffic.
+  for (std::uint32_t p = 1; p < 6; ++p) {
+    f.buffer.pin({f.file, p});
+    f.buffer.unpin({f.file, p}, false);
+  }
+  const std::uint64_t reads = f.storage.stats().page_reads;
+  f.buffer.pin({f.file, 0});
+  EXPECT_EQ(f.storage.stats().page_reads, reads);
+  f.buffer.unpin({f.file, 0}, false);
+  f.buffer.unpin({f.file, 0}, false);
+}
+
+}  // namespace
+}  // namespace stc::db

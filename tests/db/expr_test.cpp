@@ -1,0 +1,212 @@
+#include "db/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace stc::db {
+namespace {
+
+Value eval(Kernel& k, const Expr& e) { return eval_expr(k, e, {}); }
+
+std::unique_ptr<Expr> num(std::int64_t v) {
+  return Expr::make_const(Value(v));
+}
+std::unique_ptr<Expr> dbl(double v) { return Expr::make_const(Value(v)); }
+std::unique_ptr<Expr> str(const char* v) {
+  return Expr::make_const(Value(std::string(v)));
+}
+
+TEST(ExprTest, ConstAndColumn) {
+  Kernel k;
+  EXPECT_EQ(eval(k, *num(7)).as_int(), 7);
+  const Tuple row = {Value(std::int64_t{1}), Value(std::string("x"))};
+  EXPECT_EQ(eval_expr(k, *Expr::make_column(1), row).as_string(), "x");
+}
+
+TEST(ExprTest, AllComparisonOperators) {
+  Kernel k;
+  const struct {
+    CmpOp op;
+    std::int64_t l, r;
+    bool expected;
+  } cases[] = {
+      {CmpOp::kEq, 2, 2, true},  {CmpOp::kEq, 2, 3, false},
+      {CmpOp::kNe, 2, 3, true},  {CmpOp::kNe, 2, 2, false},
+      {CmpOp::kLt, 1, 2, true},  {CmpOp::kLt, 2, 2, false},
+      {CmpOp::kLe, 2, 2, true},  {CmpOp::kLe, 3, 2, false},
+      {CmpOp::kGt, 3, 2, true},  {CmpOp::kGt, 2, 2, false},
+      {CmpOp::kGe, 2, 2, true},  {CmpOp::kGe, 1, 2, false},
+  };
+  for (const auto& c : cases) {
+    const auto e = Expr::make_compare(c.op, num(c.l), num(c.r));
+    EXPECT_EQ(eval(k, *e).as_int(), c.expected ? 1 : 0);
+  }
+}
+
+TEST(ExprTest, ComparisonWithNullIsFalse) {
+  Kernel k;
+  const auto e =
+      Expr::make_compare(CmpOp::kEq, Expr::make_const(Value::null()), num(1));
+  EXPECT_EQ(eval(k, *e).as_int(), 0);
+}
+
+TEST(ExprTest, LogicAndOrNot) {
+  Kernel k;
+  const auto t = [&] { return num(1); };
+  const auto f = [&] { return num(0); };
+  EXPECT_EQ(eval(k, *Expr::make_logic(LogicOp::kAnd, t(), t())).as_int(), 1);
+  EXPECT_EQ(eval(k, *Expr::make_logic(LogicOp::kAnd, t(), f())).as_int(), 0);
+  EXPECT_EQ(eval(k, *Expr::make_logic(LogicOp::kOr, f(), t())).as_int(), 1);
+  EXPECT_EQ(eval(k, *Expr::make_logic(LogicOp::kOr, f(), f())).as_int(), 0);
+  EXPECT_EQ(eval(k, *Expr::make_logic(LogicOp::kNot, f())).as_int(), 1);
+  EXPECT_EQ(eval(k, *Expr::make_logic(LogicOp::kNot, t())).as_int(), 0);
+}
+
+TEST(ExprTest, ShortCircuitSkipsRhs) {
+  Kernel k;
+  // RHS would divide by zero; AND false must not evaluate it.
+  auto rhs = Expr::make_arith(ArithOp::kDiv, num(1), num(0));
+  auto e = Expr::make_logic(LogicOp::kAnd, num(0), std::move(rhs));
+  EXPECT_EQ(eval(k, *e).as_int(), 0);
+  auto rhs2 = Expr::make_arith(ArithOp::kDiv, num(1), num(0));
+  auto e2 = Expr::make_logic(LogicOp::kOr, num(1), std::move(rhs2));
+  EXPECT_EQ(eval(k, *e2).as_int(), 1);
+}
+
+TEST(ExprTest, IntegerArithmetic) {
+  Kernel k;
+  EXPECT_EQ(eval(k, *Expr::make_arith(ArithOp::kAdd, num(2), num(3))).as_int(), 5);
+  EXPECT_EQ(eval(k, *Expr::make_arith(ArithOp::kSub, num(2), num(3))).as_int(), -1);
+  EXPECT_EQ(eval(k, *Expr::make_arith(ArithOp::kMul, num(4), num(3))).as_int(), 12);
+}
+
+TEST(ExprTest, DivisionAlwaysDouble) {
+  Kernel k;
+  const Value v = eval(k, *Expr::make_arith(ArithOp::kDiv, num(7), num(2)));
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.as_double(), 3.5);
+}
+
+TEST(ExprTest, MixedArithmeticPromotesToDouble) {
+  Kernel k;
+  const Value v = eval(k, *Expr::make_arith(ArithOp::kMul, num(3), dbl(0.5)));
+  EXPECT_DOUBLE_EQ(v.as_double(), 1.5);
+}
+
+TEST(ExprTest, NullPropagatesThroughArithmetic) {
+  Kernel k;
+  const auto e = Expr::make_arith(ArithOp::kAdd,
+                                  Expr::make_const(Value::null()), num(1));
+  EXPECT_TRUE(eval(k, *e).is_null());
+}
+
+TEST(ExprDeathTest, DivisionByZeroAborts) {
+  Kernel k;
+  const auto e = Expr::make_arith(ArithOp::kDiv, num(1), num(0));
+  EXPECT_DEATH((void)eval(k, *e), "division by zero");
+}
+
+TEST(ExprTest, YearExtractsFromDate) {
+  Kernel k;
+  const auto e = Expr::make_year(num(parse_date("1995-06-17")));
+  EXPECT_EQ(eval(k, *e).as_int(), 1995);
+}
+
+TEST(ExprTest, LikeFastPaths) {
+  Kernel k;
+  const auto check = [&](const char* text, const char* pattern) {
+    const auto e = Expr::make_like(str(text), pattern);
+    return eval(k, *e).as_int() == 1;
+  };
+  EXPECT_TRUE(check("PROMO BRUSHED TIN", "PROMO%"));
+  EXPECT_FALSE(check("STANDARD TIN", "PROMO%"));
+  EXPECT_TRUE(check("LARGE POLISHED BRASS", "%BRASS"));
+  EXPECT_FALSE(check("LARGE POLISHED STEEL", "%BRASS"));
+  EXPECT_TRUE(check("dark green ivory", "%green%"));
+  EXPECT_FALSE(check("dark red ivory", "%green%"));
+}
+
+TEST(ExprTest, LikeGeneralPatterns) {
+  Kernel k;
+  const auto check = [&](const char* text, const char* pattern) {
+    const auto e = Expr::make_like(str(text), pattern);
+    return eval(k, *e).as_int() == 1;
+  };
+  EXPECT_TRUE(check("Customer stuff Complaints here", "%Customer%Complaints%"));
+  EXPECT_FALSE(check("Customer praise only", "%Customer%Complaints%"));
+  EXPECT_TRUE(check("MEDIUM POLISHED TIN", "MEDIUM POLISHED%"));
+  EXPECT_TRUE(check("abc", "a_c"));
+  EXPECT_FALSE(check("abbc", "a_c"));
+  EXPECT_TRUE(check("anything", "%"));
+  EXPECT_TRUE(check("", "%"));
+  EXPECT_FALSE(check("", "a%"));
+}
+
+TEST(LikeMatchReferenceTest, AgreesWithInstrumentedEvaluator) {
+  Kernel k;
+  const char* texts[] = {"", "a", "ab", "hello world", "aaab", "xyzzy"};
+  const char* patterns[] = {"%", "a%", "%b", "%o w%", "a_a%", "xyz__", "_"};
+  for (const char* text : texts) {
+    for (const char* pattern : patterns) {
+      const auto e = Expr::make_like(str(text), pattern);
+      EXPECT_EQ(eval(k, *e).as_int() == 1, like_match(text, pattern))
+          << "'" << text << "' LIKE '" << pattern << "'";
+    }
+  }
+}
+
+TEST(ExprTest, InSetAndNegation) {
+  Kernel k;
+  auto set = std::make_shared<ValueSet>();
+  set->insert(Value(std::int64_t{1}));
+  set->insert(Value(std::int64_t{3}));
+  EXPECT_EQ(eval(k, *Expr::make_in_set(num(1), set, false)).as_int(), 1);
+  EXPECT_EQ(eval(k, *Expr::make_in_set(num(2), set, false)).as_int(), 0);
+  EXPECT_EQ(eval(k, *Expr::make_in_set(num(2), set, true)).as_int(), 1);
+  EXPECT_EQ(eval(k, *Expr::make_in_set(num(3), set, true)).as_int(), 0);
+}
+
+TEST(ExprTest, CaseWhenPicksArm) {
+  Kernel k;
+  auto e = Expr::make_case(num(1), str("then"), str("else"));
+  EXPECT_EQ(eval(k, *e).as_string(), "then");
+  auto e2 = Expr::make_case(num(0), str("then"), str("else"));
+  EXPECT_EQ(eval(k, *e2).as_string(), "else");
+}
+
+TEST(ExprTest, CloneIsDeepAndEquivalent) {
+  Kernel k;
+  auto original = Expr::make_logic(
+      LogicOp::kAnd, Expr::make_compare(CmpOp::kGt, Expr::make_column(0), num(5)),
+      Expr::make_like(Expr::make_column(1), "PROMO%"));
+  auto copy = original->clone();
+  const Tuple row = {Value(std::int64_t{6}), Value(std::string("PROMO X"))};
+  EXPECT_EQ(eval_expr(k, *original, row).as_int(), 1);
+  EXPECT_EQ(eval_expr(k, *copy, row).as_int(), 1);
+  // Mutating the copy must not affect the original.
+  copy->children[0]->children[1]->constant = Value(std::int64_t{100});
+  EXPECT_EQ(eval_expr(k, *original, row).as_int(), 1);
+  EXPECT_EQ(eval_expr(k, *copy, row).as_int(), 0);
+}
+
+TEST(ExprTest, RemapColumns) {
+  Kernel k;
+  auto e = Expr::make_compare(CmpOp::kEq, Expr::make_column(0),
+                              Expr::make_column(1));
+  e->remap_columns({3, 2});
+  const Tuple row = {Value(std::int64_t{9}), Value(std::int64_t{9}),
+                     Value(std::int64_t{5}), Value(std::int64_t{5})};
+  EXPECT_EQ(eval_expr(k, *e, row).as_int(), 1);
+  EXPECT_EQ(e->max_column(), 3);
+}
+
+TEST(ExprTest, EvalPredicateTruthiness) {
+  Kernel k;
+  EXPECT_TRUE(eval_predicate(k, *num(1), {}));
+  EXPECT_FALSE(eval_predicate(k, *num(0), {}));
+  EXPECT_FALSE(eval_predicate(k, *Expr::make_const(Value::null()), {}));
+  EXPECT_FALSE(eval_predicate(k, *dbl(0.0), {}));
+  EXPECT_TRUE(eval_predicate(k, *dbl(0.5), {}));
+}
+
+}  // namespace
+}  // namespace stc::db

@@ -1,0 +1,104 @@
+#include "db/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace stc::db {
+namespace {
+
+RID rid_of(std::uint32_t n) { return RID{n, 0}; }
+
+std::vector<RID> drain(IndexCursor& cursor) {
+  std::vector<RID> out;
+  RID rid;
+  while (cursor.next(rid)) out.push_back(rid);
+  return out;
+}
+
+TEST(HashIndexTest, EmptyLookup) {
+  Kernel kernel;
+  HashIndex index(kernel);
+  EXPECT_TRUE(drain(*index.seek_equal(Value(std::int64_t{1}))).empty());
+}
+
+TEST(HashIndexTest, InsertAndProbe) {
+  Kernel kernel;
+  HashIndex index(kernel);
+  index.insert(Value(std::int64_t{10}), rid_of(1));
+  const auto hits = drain(*index.seek_equal(Value(std::int64_t{10})));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], rid_of(1));
+  EXPECT_TRUE(drain(*index.seek_equal(Value(std::int64_t{11}))).empty());
+}
+
+TEST(HashIndexTest, GrowsUnderLoad) {
+  Kernel kernel;
+  HashIndex index(kernel, 16);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    index.insert(Value(static_cast<std::int64_t>(i)), rid_of(i));
+  }
+  EXPECT_GT(index.bucket_count(), 16u);
+  index.check_invariants();
+  for (std::uint32_t i : {0u, 500u, 999u}) {
+    const auto hits =
+        drain(*index.seek_equal(Value(static_cast<std::int64_t>(i))));
+    ASSERT_EQ(hits.size(), 1u) << i;
+    EXPECT_EQ(hits[0], rid_of(i));
+  }
+}
+
+TEST(HashIndexTest, DuplicateKeys) {
+  Kernel kernel;
+  HashIndex index(kernel);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    index.insert(Value(std::int64_t{9}), rid_of(i));
+  }
+  EXPECT_EQ(drain(*index.seek_equal(Value(std::int64_t{9}))).size(), 50u);
+}
+
+TEST(HashIndexTest, StringKeys) {
+  Kernel kernel;
+  HashIndex index(kernel);
+  index.insert(Value(std::string("MAIL")), rid_of(1));
+  index.insert(Value(std::string("SHIP")), rid_of(2));
+  const auto hits = drain(*index.seek_equal(Value(std::string("SHIP"))));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], rid_of(2));
+}
+
+TEST(HashIndexTest, RandomizedAgainstReferenceMap) {
+  Kernel kernel;
+  HashIndex index(kernel, 16);
+  Rng rng(55);
+  std::vector<std::vector<std::uint32_t>> reference(64);
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(rng.uniform(64));
+    index.insert(Value(key), rid_of(i));
+    reference[static_cast<std::size_t>(key)].push_back(i);
+  }
+  index.check_invariants();
+  for (std::int64_t key = 0; key < 64; ++key) {
+    const auto hits = drain(*index.seek_equal(Value(key)));
+    EXPECT_EQ(hits.size(), reference[static_cast<std::size_t>(key)].size())
+        << "key " << key;
+  }
+}
+
+TEST(HashIndexTest, EntryCountTracksInserts) {
+  Kernel kernel;
+  HashIndex index(kernel);
+  EXPECT_EQ(index.entry_count(), 0u);
+  index.insert(Value(std::int64_t{1}), rid_of(1));
+  index.insert(Value(std::int64_t{2}), rid_of(2));
+  EXPECT_EQ(index.entry_count(), 2u);
+}
+
+TEST(HashIndexTest, KindReportsHash) {
+  Kernel kernel;
+  HashIndex index(kernel);
+  EXPECT_EQ(index.kind(), IndexKind::kHash);
+}
+
+}  // namespace
+}  // namespace stc::db

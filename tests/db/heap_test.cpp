@@ -1,0 +1,126 @@
+#include "db/heap.h"
+
+#include <gtest/gtest.h>
+
+namespace stc::db {
+namespace {
+
+struct Fixture {
+  Fixture() : storage(kernel), buffer(kernel, storage, 16) {
+    file = storage.create_file();
+    heap = std::make_unique<HeapFile>(kernel, buffer, storage, file);
+  }
+  Tuple sample(std::int64_t i) const {
+    return {Value(i), Value(static_cast<double>(i) * 1.5),
+            Value("row-" + std::to_string(i)), Value::null()};
+  }
+  Kernel kernel;
+  StorageManager storage;
+  BufferManager buffer;
+  std::uint32_t file = 0;
+  std::unique_ptr<HeapFile> heap;
+};
+
+TEST(TupleCodecTest, RoundTripAllTypes) {
+  Kernel kernel;
+  const Tuple original = {Value(std::int64_t{-42}), Value(3.25),
+                          Value(std::string("hello")), Value::null(),
+                          Value(std::int64_t{1} << 40)};
+  std::vector<std::uint8_t> bytes;
+  tuple_encode(kernel, original, bytes);
+  Tuple decoded;
+  tuple_decode(kernel, bytes.data(), static_cast<std::uint16_t>(bytes.size()),
+               decoded);
+  ASSERT_EQ(decoded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded[i].compare(original[i]), 0) << "column " << i;
+    EXPECT_EQ(decoded[i].type(), original[i].type()) << "column " << i;
+  }
+}
+
+TEST(TupleCodecTest, EmptyTuple) {
+  Kernel kernel;
+  std::vector<std::uint8_t> bytes;
+  tuple_encode(kernel, {}, bytes);
+  Tuple decoded;
+  tuple_decode(kernel, bytes.data(), static_cast<std::uint16_t>(bytes.size()),
+               decoded);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(HeapFileTest, InsertThenGet) {
+  Fixture f;
+  const RID rid = f.heap->insert(f.sample(7));
+  Tuple out;
+  f.heap->get(rid, out);
+  EXPECT_EQ(out[0].as_int(), 7);
+  EXPECT_EQ(out[2].as_string(), "row-7");
+  EXPECT_EQ(f.heap->tuple_count(), 1u);
+}
+
+TEST(HeapFileTest, ManyInsertsSpanPages) {
+  Fixture f;
+  std::vector<RID> rids;
+  for (std::int64_t i = 0; i < 2000; ++i) rids.push_back(f.heap->insert(f.sample(i)));
+  EXPECT_GT(f.heap->page_count(), 1u);
+  // Spot-check a few RIDs.
+  for (std::int64_t i : {0, 999, 1999}) {
+    Tuple out;
+    f.heap->get(rids[static_cast<std::size_t>(i)], out);
+    EXPECT_EQ(out[0].as_int(), i);
+  }
+}
+
+TEST(HeapFileTest, ScannerVisitsEveryTupleInOrder) {
+  Fixture f;
+  const int n = 500;
+  for (std::int64_t i = 0; i < n; ++i) f.heap->insert(f.sample(i));
+  HeapFile::Scanner scanner(*f.heap);
+  Tuple out;
+  RID rid;
+  std::int64_t expected = 0;
+  while (scanner.next(out, rid)) {
+    EXPECT_EQ(out[0].as_int(), expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, n);
+}
+
+TEST(HeapFileTest, ScannerOnEmptyHeap) {
+  Fixture f;
+  HeapFile::Scanner scanner(*f.heap);
+  Tuple out;
+  RID rid;
+  EXPECT_FALSE(scanner.next(out, rid));
+}
+
+TEST(HeapFileTest, ScanRidsMatchGet) {
+  Fixture f;
+  for (std::int64_t i = 0; i < 100; ++i) f.heap->insert(f.sample(i));
+  HeapFile::Scanner scanner(*f.heap);
+  Tuple scanned;
+  RID rid;
+  while (scanner.next(scanned, rid)) {
+    Tuple fetched;
+    f.heap->get(rid, fetched);
+    ASSERT_EQ(fetched.size(), scanned.size());
+    for (std::size_t c = 0; c < fetched.size(); ++c) {
+      EXPECT_EQ(fetched[c].compare(scanned[c]), 0);
+    }
+  }
+}
+
+TEST(HeapFileTest, TracesThroughBufferManager) {
+  Fixture f;
+  for (std::int64_t i = 0; i < 50; ++i) f.heap->insert(f.sample(i));
+  const std::uint64_t lookups_before = f.buffer.stats().lookups;
+  HeapFile::Scanner scanner(*f.heap);
+  Tuple out;
+  RID rid;
+  while (scanner.next(out, rid)) {
+  }
+  EXPECT_GT(f.buffer.stats().lookups, lookups_before);
+}
+
+}  // namespace
+}  // namespace stc::db

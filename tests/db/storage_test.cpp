@@ -1,0 +1,137 @@
+#include "db/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace stc::db {
+namespace {
+
+TEST(PageTest, StartsEmpty) {
+  Page page;
+  EXPECT_EQ(page.slot_count(), 0u);
+  EXPECT_EQ(page.free_offset(), kPageBytes);
+  EXPECT_GT(page.free_space(), kPageBytes - 16);
+}
+
+TEST(PageTest, InsertAndReadBack) {
+  Page page;
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  const std::uint16_t slot = page.insert_record(data, sizeof data);
+  EXPECT_EQ(slot, 0u);
+  EXPECT_EQ(page.slot_count(), 1u);
+  std::uint16_t length = 0;
+  const std::uint8_t* read = page.record(slot, length);
+  ASSERT_EQ(length, sizeof data);
+  EXPECT_EQ(0, std::memcmp(read, data, sizeof data));
+}
+
+TEST(PageTest, MultipleRecordsKeepTheirContents) {
+  Page page;
+  std::vector<std::vector<std::uint8_t>> records;
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    records.push_back(std::vector<std::uint8_t>(i + 1, i));
+    page.insert_record(records.back().data(),
+                       static_cast<std::uint16_t>(records.back().size()));
+  }
+  for (std::uint16_t s = 0; s < 50; ++s) {
+    std::uint16_t length = 0;
+    const std::uint8_t* data = page.record(s, length);
+    ASSERT_EQ(length, records[s].size());
+    EXPECT_EQ(0, std::memcmp(data, records[s].data(), length));
+  }
+}
+
+TEST(PageTest, FreeSpaceDecreasesWithInserts) {
+  Page page;
+  const std::uint32_t before = page.free_space();
+  const std::uint8_t data[100] = {};
+  page.insert_record(data, 100);
+  EXPECT_EQ(page.free_space(), before - 100 - 4);  // record + slot entry
+}
+
+TEST(PageDeathTest, OverfullInsertAborts) {
+  Page page;
+  std::vector<std::uint8_t> big(kPageBytes, 0);
+  // Fill the page almost completely, then overflow it.
+  page.insert_record(big.data(), static_cast<std::uint16_t>(page.free_space()));
+  EXPECT_DEATH(page.insert_record(big.data(), 64), "does not fit");
+}
+
+TEST(PageDeathTest, BadSlotAborts) {
+  Page page;
+  std::uint16_t length = 0;
+  EXPECT_DEATH(page.record(0, length), "slot out of range");
+}
+
+TEST(StorageManagerTest, CreateFilesAndAllocatePages) {
+  Kernel kernel;
+  StorageManager sm(kernel);
+  const std::uint32_t f1 = sm.create_file();
+  const std::uint32_t f2 = sm.create_file();
+  EXPECT_NE(f1, f2);
+  EXPECT_EQ(sm.file_page_count(f1), 0u);
+  EXPECT_EQ(sm.allocate_page(f1), 0u);
+  EXPECT_EQ(sm.allocate_page(f1), 1u);
+  EXPECT_EQ(sm.file_page_count(f1), 2u);
+  EXPECT_EQ(sm.file_page_count(f2), 0u);
+  EXPECT_EQ(sm.stats().pages_allocated, 2u);
+}
+
+TEST(StorageManagerTest, WriteThenReadRoundTrip) {
+  Kernel kernel;
+  StorageManager sm(kernel);
+  const std::uint32_t f = sm.create_file();
+  sm.allocate_page(f);
+  Page page;
+  const std::uint8_t data[] = {9, 8, 7};
+  page.insert_record(data, 3);
+  sm.write_page({f, 0}, page);
+  Page read;
+  sm.read_page({f, 0}, read);
+  EXPECT_EQ(read.slot_count(), 1u);
+  std::uint16_t length = 0;
+  EXPECT_EQ(0, std::memcmp(read.record(0, length), data, 3));
+  EXPECT_EQ(sm.stats().page_reads, 1u);
+  EXPECT_EQ(sm.stats().page_writes, 1u);
+}
+
+TEST(StorageManagerTest, TruncateDropsPages) {
+  Kernel kernel;
+  StorageManager sm(kernel);
+  const std::uint32_t f = sm.create_file();
+  sm.allocate_page(f);
+  sm.allocate_page(f);
+  sm.truncate_file(f);
+  EXPECT_EQ(sm.file_page_count(f), 0u);
+}
+
+TEST(StorageManagerTest, SyncVisitsEveryPage) {
+  Kernel kernel;
+  StorageManager sm(kernel);
+  const std::uint32_t f = sm.create_file();
+  sm.allocate_page(f);
+  sm.allocate_page(f);
+  const std::uint64_t writes_before = sm.stats().page_writes;
+  sm.sync_file(f);
+  EXPECT_EQ(sm.stats().page_writes, writes_before + 2);
+}
+
+TEST(StorageManagerDeathTest, OutOfBoundsReadAborts) {
+  Kernel kernel;
+  StorageManager sm(kernel);
+  const std::uint32_t f = sm.create_file();
+  Page page;
+  EXPECT_DEATH(sm.read_page({f, 0}, page), "out of bounds");
+}
+
+TEST(StorageManagerTest, EmitsKernelBlocks) {
+  Kernel kernel;
+  StorageManager sm(kernel);
+  const std::uint64_t before = kernel.exec().blocks_emitted();
+  sm.create_file();
+  EXPECT_GT(kernel.exec().blocks_emitted(), before);
+}
+
+}  // namespace
+}  // namespace stc::db

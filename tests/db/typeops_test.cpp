@@ -1,0 +1,60 @@
+#include "db/typeops.h"
+
+#include <gtest/gtest.h>
+
+namespace stc::db {
+namespace {
+
+TEST(CmpDispatchTest, AgreesWithValueCompare) {
+  Kernel k;
+  const Value values[] = {Value(std::int64_t{-5}), Value(std::int64_t{0}),
+                          Value(std::int64_t{7}),  Value(1.5),
+                          Value(7.0),              Value(std::string("abc")),
+                          Value(std::string("abd"))};
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      // Strings only compare with strings (as in the engine's type system).
+      const bool a_str = a.type() == ValueType::kString;
+      const bool b_str = b.type() == ValueType::kString;
+      if (a_str != b_str) continue;
+      EXPECT_EQ(cmp_dispatch(k, a, b), a.compare(b))
+          << a.to_string() << " vs " << b.to_string();
+    }
+  }
+}
+
+TEST(CmpDispatchTest, NullsHandledOnTheNullPath) {
+  Kernel k;
+  EXPECT_EQ(cmp_dispatch(k, Value::null(), Value::null()), 0);
+  EXPECT_LT(cmp_dispatch(k, Value::null(), Value(std::int64_t{1})), 0);
+  EXPECT_GT(cmp_dispatch(k, Value(std::int64_t{1}), Value::null()), 0);
+}
+
+TEST(CmpDispatchTest, EmitsKernelBlocks) {
+  Kernel k;
+  const std::uint64_t before = k.exec().blocks_emitted();
+  cmp_dispatch(k, Value(std::int64_t{1}), Value(std::int64_t{2}));
+  EXPECT_GT(k.exec().blocks_emitted(), before + 2);
+}
+
+TEST(HashDispatchTest, AgreesWithValueHash) {
+  Kernel k;
+  for (const Value& v : {Value(std::int64_t{42}), Value(2.5),
+                         Value(std::string("lineitem")), Value::null()}) {
+    EXPECT_EQ(hash_dispatch(k, v), v.hash());
+  }
+}
+
+TEST(HashDispatchTest, LongStringsEmitPerChunkBlocks) {
+  Kernel k;
+  const std::uint64_t before = k.exec().blocks_emitted();
+  hash_dispatch(k, Value(std::string(64, 'x')));
+  const std::uint64_t long_cost = k.exec().blocks_emitted() - before;
+  const std::uint64_t before2 = k.exec().blocks_emitted();
+  hash_dispatch(k, Value(std::string(1, 'x')));
+  const std::uint64_t short_cost = k.exec().blocks_emitted() - before2;
+  EXPECT_GT(long_cost, short_cost);
+}
+
+}  // namespace
+}  // namespace stc::db

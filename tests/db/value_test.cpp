@@ -1,0 +1,97 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace stc::db {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::null().is_null());
+  EXPECT_EQ(Value(std::int64_t{42}).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value(std::string("abc")).as_string(), "abc");
+}
+
+TEST(ValueTest, IntComparesNumerically) {
+  EXPECT_LT(Value(std::int64_t{1}).compare(Value(std::int64_t{2})), 0);
+  EXPECT_EQ(Value(std::int64_t{5}).compare(Value(std::int64_t{5})), 0);
+  EXPECT_GT(Value(std::int64_t{9}).compare(Value(std::int64_t{2})), 0);
+}
+
+TEST(ValueTest, MixedIntDoubleComparison) {
+  EXPECT_EQ(Value(std::int64_t{2}).compare(Value(2.0)), 0);
+  EXPECT_LT(Value(std::int64_t{2}).compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.5).compare(Value(std::int64_t{3})), 0);
+}
+
+TEST(ValueTest, StringsCompareLexicographically) {
+  EXPECT_LT(Value(std::string("abc")).compare(Value(std::string("abd"))), 0);
+  EXPECT_EQ(Value(std::string("x")).compare(Value(std::string("x"))), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::null().compare(Value(std::int64_t{0})), 0);
+  EXPECT_GT(Value(std::string("")).compare(Value::null()), 0);
+  EXPECT_EQ(Value::null().compare(Value::null()), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(std::int64_t{7}).hash(), Value(std::int64_t{7}).hash());
+  EXPECT_EQ(Value(std::string("key")).hash(), Value(std::string("key")).hash());
+  EXPECT_NE(Value(std::int64_t{7}).hash(), Value(std::int64_t{8}).hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::null().to_string(), "NULL");
+  EXPECT_EQ(Value(std::int64_t{-3}).to_string(), "-3");
+  EXPECT_EQ(Value(std::string("hi")).to_string(), "hi");
+  EXPECT_EQ(Value(1.5).to_string(), "1.5000");
+}
+
+TEST(DateTest, EpochAndKnownDates) {
+  EXPECT_EQ(date_from_ymd(1970, 1, 1), 0);
+  EXPECT_EQ(date_from_ymd(1970, 1, 2), 1);
+  EXPECT_EQ(date_from_ymd(1969, 12, 31), -1);
+  EXPECT_EQ(date_from_ymd(2000, 3, 1), 11017);
+}
+
+TEST(DateTest, RoundTripAcrossYears) {
+  for (int year = 1990; year <= 2000; ++year) {
+    for (int month = 1; month <= 12; ++month) {
+      const std::int64_t days = date_from_ymd(year, month, 15);
+      int y = 0;
+      int m = 0;
+      int d = 0;
+      ymd_from_date(days, y, m, d);
+      EXPECT_EQ(y, year);
+      EXPECT_EQ(m, month);
+      EXPECT_EQ(d, 15);
+    }
+  }
+}
+
+TEST(DateTest, LeapYearHandling) {
+  const std::int64_t feb29 = date_from_ymd(1996, 2, 29);
+  const std::int64_t mar1 = date_from_ymd(1996, 3, 1);
+  EXPECT_EQ(mar1 - feb29, 1);
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  ymd_from_date(feb29, y, m, d);
+  EXPECT_EQ(m, 2);
+  EXPECT_EQ(d, 29);
+}
+
+TEST(DateTest, ParseAndFormat) {
+  const std::int64_t days = parse_date("1994-06-17");
+  EXPECT_EQ(format_date(days), "1994-06-17");
+  EXPECT_EQ(year_of(days), 1994);
+}
+
+TEST(DateTest, OrderingMatchesCalendar) {
+  EXPECT_LT(parse_date("1992-01-01"), parse_date("1998-08-02"));
+  EXPECT_LT(parse_date("1995-03-14"), parse_date("1995-03-15"));
+}
+
+}  // namespace
+}  // namespace stc::db

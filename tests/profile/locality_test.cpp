@@ -1,0 +1,165 @@
+#include "profile/locality.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+
+namespace stc::profile {
+namespace {
+
+using cfg::BlockKind;
+
+// Image with two routines: f = {A(4,branch), B(2,fall), C(3,return)},
+// g = {D(5,call), E(1,return)}.
+std::unique_ptr<cfg::ProgramImage> image_two_routines() {
+  cfg::ProgramBuilder b;
+  const cfg::ModuleId m = b.module("mod");
+  b.routine("f", m,
+            {{"A", 4, BlockKind::kBranch},
+             {"B", 2, BlockKind::kFallThrough},
+             {"C", 3, BlockKind::kReturn}});
+  b.routine("g", m,
+            {{"D", 5, BlockKind::kCall}, {"E", 1, BlockKind::kReturn}});
+  return b.build();
+}
+
+TEST(FootprintTest, CountsExecutedElements) {
+  auto image = image_two_routines();
+  Profile p(*image);
+  p.on_block(0);  // A
+  p.on_block(1);  // B
+  const FootprintStats fp = footprint(p);
+  EXPECT_EQ(fp.total_routines, 2u);
+  EXPECT_EQ(fp.executed_routines, 1u);
+  EXPECT_EQ(fp.total_blocks, 5u);
+  EXPECT_EQ(fp.executed_blocks, 2u);
+  EXPECT_EQ(fp.total_instructions, 15u);
+  EXPECT_EQ(fp.executed_instructions, 6u);
+  EXPECT_DOUBLE_EQ(fp.routine_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(fp.instruction_fraction(), 6.0 / 15.0);
+}
+
+TEST(FootprintTest, EmptyProfile) {
+  auto image = image_two_routines();
+  Profile p(*image);
+  const FootprintStats fp = footprint(p);
+  EXPECT_EQ(fp.executed_blocks, 0u);
+  EXPECT_DOUBLE_EQ(fp.block_fraction(), 0.0);
+}
+
+TEST(CumulativeCurveTest, MonotoneAndEndsAtOne) {
+  auto image = image_two_routines();
+  Profile p(*image);
+  for (int i = 0; i < 90; ++i) p.on_block(0);
+  for (int i = 0; i < 9; ++i) p.on_block(1);
+  p.on_block(2);
+  const auto curve = cumulative_reference_curve(p);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.90);
+  EXPECT_DOUBLE_EQ(curve[1], 0.99);
+  EXPECT_DOUBLE_EQ(curve[2], 1.0);
+  EXPECT_EQ(blocks_for_fraction(curve, 0.9), 1u);
+  EXPECT_EQ(blocks_for_fraction(curve, 0.95), 2u);
+  EXPECT_EQ(blocks_for_fraction(curve, 1.0), 3u);
+}
+
+TEST(CumulativeCurveTest, SampleClampsPastEnd) {
+  auto image = image_two_routines();
+  Profile p(*image);
+  p.on_block(0);
+  const auto curve = cumulative_reference_curve(p);
+  const auto points = sample_curve(curve, {0, 1, 100});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].fraction, 0.0);
+  EXPECT_DOUBLE_EQ(points[1].fraction, 1.0);
+  EXPECT_DOUBLE_EQ(points[2].fraction, 1.0);
+}
+
+TEST(ReuseDistanceTest, MeasuresInstructionGaps) {
+  auto image = image_two_routines();
+  // Trace: A B A  -> A re-referenced after A(4)+B(2) = 6 instructions.
+  trace::BlockTrace t;
+  t.append(0);
+  t.append(1);
+  t.append(0);
+  Profile p(*image);
+  p.consume(t);
+  const ReuseDistanceStats stats = reuse_distances(t, p, 1.0);
+  EXPECT_EQ(stats.histogram.total(), 1u);  // one reuse of A
+  EXPECT_DOUBLE_EQ(stats.fraction_below(25), 1.0);
+}
+
+TEST(ReuseDistanceTest, HotSetRespectsCoverage) {
+  auto image = image_two_routines();
+  trace::BlockTrace t;
+  for (int i = 0; i < 99; ++i) t.append(0);
+  t.append(1);
+  Profile p(*image);
+  p.consume(t);
+  const ReuseDistanceStats stats = reuse_distances(t, p, 0.9);
+  // Only block A is needed to reach 90% coverage.
+  EXPECT_EQ(stats.hot_blocks, 1u);
+  EXPECT_GE(stats.coverage, 0.9);
+  EXPECT_EQ(stats.histogram.total(), 98u);  // A reused 98 times
+}
+
+TEST(BlockTypeTest, StaticAndDynamicFractions) {
+  auto image = image_two_routines();
+  Profile p(*image);
+  // Execute A(branch) twice, B(fall) once, D(call) once.
+  p.on_block(0);
+  p.on_block(0);
+  p.on_block(1);
+  p.on_block(3);
+  const BlockTypeStats stats = block_type_stats(p);
+  const auto& fall = stats.by_kind[static_cast<int>(BlockKind::kFallThrough)];
+  const auto& branch = stats.by_kind[static_cast<int>(BlockKind::kBranch)];
+  const auto& call = stats.by_kind[static_cast<int>(BlockKind::kCall)];
+  const auto& ret = stats.by_kind[static_cast<int>(BlockKind::kReturn)];
+  // 3 executed static blocks: 1 fall, 1 branch, 1 call.
+  EXPECT_DOUBLE_EQ(fall.static_fraction, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(branch.static_fraction, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(call.static_fraction, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ret.static_fraction, 0.0);
+  // 5 dynamic events: 2 branch, 1 fall, 1 call.
+  EXPECT_DOUBLE_EQ(branch.dynamic_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(fall.dynamic_fraction, 0.25);
+}
+
+TEST(BlockTypeTest, FixedBehaviourDetection) {
+  auto image = image_two_routines();
+  Profile p(*image);
+  // A alternates successors: not fixed. B always goes to C: fixed.
+  for (int i = 0; i < 10; ++i) {
+    p.on_block(0);
+    p.on_block(i % 2 == 0 ? 1u : 2u);
+    p.break_chain();
+  }
+  for (int i = 0; i < 10; ++i) {
+    p.on_block(1);
+    p.on_block(2);
+    p.break_chain();
+  }
+  const BlockTypeStats stats = block_type_stats(p);
+  const auto& branch = stats.by_kind[static_cast<int>(BlockKind::kBranch)];
+  EXPECT_DOUBLE_EQ(branch.predictable, 0.0);  // A (the only branch) alternates
+  const auto& fall = stats.by_kind[static_cast<int>(BlockKind::kFallThrough)];
+  EXPECT_DOUBLE_EQ(fall.predictable, 1.0);  // B is deterministic
+}
+
+TEST(BlockTypeTest, OverallWeightedByDynamicCounts) {
+  auto image = image_two_routines();
+  Profile p(*image);
+  // 9 deterministic B->C events, 1 alternating-free A event (no successor).
+  for (int i = 0; i < 9; ++i) {
+    p.on_block(1);
+    p.on_block(2);
+    p.break_chain();
+  }
+  const BlockTypeStats stats = block_type_stats(p);
+  // All observed blocks behave fixedly here.
+  EXPECT_DOUBLE_EQ(stats.overall_predictable, 1.0);
+}
+
+}  // namespace
+}  // namespace stc::profile

@@ -1,0 +1,133 @@
+#include "profile/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+
+namespace stc::profile {
+namespace {
+
+using cfg::BlockKind;
+
+std::unique_ptr<cfg::ProgramImage> small_image() {
+  cfg::ProgramBuilder b;
+  const cfg::ModuleId m = b.module("mod");
+  b.routine("f", m,
+            {{"A", 4, BlockKind::kBranch},
+             {"B", 2, BlockKind::kBranch},
+             {"C", 3, BlockKind::kReturn}});
+  return b.build();
+}
+
+TEST(ProfileTest, CountsBlocksAndInstructions) {
+  auto image = small_image();
+  Profile p(*image);
+  p.on_block(0);
+  p.on_block(1);
+  p.on_block(0);
+  EXPECT_EQ(p.block_count(0), 2u);
+  EXPECT_EQ(p.block_count(1), 1u);
+  EXPECT_EQ(p.block_count(2), 0u);
+  EXPECT_EQ(p.total_block_events(), 3u);
+  EXPECT_EQ(p.total_instructions(), 4u + 2u + 4u);
+}
+
+TEST(ProfileTest, EdgesFromConsecutiveEvents) {
+  auto image = small_image();
+  Profile p(*image);
+  p.on_block(0);
+  p.on_block(1);
+  p.on_block(0);
+  p.on_block(1);
+  EXPECT_EQ(p.edge_count(0, 1), 2u);
+  EXPECT_EQ(p.edge_count(1, 0), 1u);
+  EXPECT_EQ(p.edge_count(0, 0), 0u);
+}
+
+TEST(ProfileTest, BreakChainSuppressesEdge) {
+  auto image = small_image();
+  Profile p(*image);
+  p.on_block(0);
+  p.break_chain();
+  p.on_block(1);
+  EXPECT_EQ(p.edge_count(0, 1), 0u);
+  EXPECT_EQ(p.block_count(1), 1u);
+}
+
+TEST(ProfileTest, ConsumeTraceMatchesDirectEvents) {
+  auto image = small_image();
+  trace::BlockTrace t;
+  t.append(0);
+  t.append(2);
+  t.append(2);
+  Profile direct(*image);
+  direct.on_block(0);
+  direct.on_block(2);
+  direct.on_block(2);
+  Profile via_trace(*image);
+  via_trace.consume(t);
+  EXPECT_EQ(direct.block_count(2), via_trace.block_count(2));
+  EXPECT_EQ(direct.edge_count(2, 2), via_trace.edge_count(2, 2));
+}
+
+TEST(ProfileTest, EdgesListMatchesLookups) {
+  auto image = small_image();
+  Profile p(*image);
+  p.on_block(0);
+  p.on_block(1);
+  p.on_block(2);
+  const auto edges = p.edges();
+  EXPECT_EQ(edges.size(), 2u);
+  for (const auto& e : edges) {
+    EXPECT_EQ(p.edge_count(e.from, e.to), e.count);
+  }
+}
+
+TEST(WeightedCFGTest, SuccessorsSortedByCount) {
+  auto image = small_image();
+  Profile p(*image);
+  // 0 -> 1 three times, 0 -> 2 once.
+  for (int i = 0; i < 3; ++i) {
+    p.on_block(0);
+    p.on_block(1);
+    p.break_chain();
+  }
+  p.on_block(0);
+  p.on_block(2);
+  const WeightedCFG cfg = WeightedCFG::from_profile(p);
+  ASSERT_EQ(cfg.succs[0].size(), 2u);
+  EXPECT_EQ(cfg.succs[0][0].to, 1u);
+  EXPECT_EQ(cfg.succs[0][0].count, 3u);
+  EXPECT_EQ(cfg.succs[0][1].to, 2u);
+}
+
+TEST(WeightedCFGTest, TransitionProbability) {
+  auto image = small_image();
+  Profile p(*image);
+  for (int i = 0; i < 4; ++i) {
+    p.on_block(0);
+    p.on_block(i % 4 == 0 ? 2u : 1u);
+    p.break_chain();
+  }
+  const WeightedCFG cfg = WeightedCFG::from_profile(p);
+  // block 0 executed 4 times; 0->1 has count 3.
+  EXPECT_DOUBLE_EQ(cfg.transition_prob(0, cfg.succs[0][0]), 0.75);
+  EXPECT_DOUBLE_EQ(cfg.transition_prob(0, cfg.succs[0][1]), 0.25);
+}
+
+TEST(WeightedCFGTest, DeterministicTieBreakByBlockId) {
+  auto image = small_image();
+  Profile p(*image);
+  p.on_block(0);
+  p.on_block(2);
+  p.break_chain();
+  p.on_block(0);
+  p.on_block(1);
+  const WeightedCFG cfg = WeightedCFG::from_profile(p);
+  // Equal counts: lower block id first.
+  ASSERT_EQ(cfg.succs[0].size(), 2u);
+  EXPECT_EQ(cfg.succs[0][0].to, 1u);
+}
+
+}  // namespace
+}  // namespace stc::profile

@@ -1,0 +1,75 @@
+#include "db/sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace stc::db::sql {
+namespace {
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersUpperCased) {
+  const auto tokens = tokenize("select L_shipdate FROM lineitem");
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "L_SHIPDATE");
+  EXPECT_EQ(tokens[2].text, "FROM");
+  EXPECT_EQ(tokens[3].text, "LINEITEM");
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  const auto tokens = tokenize("42 3.14 0.05");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.14);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 0.05);
+}
+
+TEST(LexerTest, StringLiteralsPreserveCase) {
+  const auto tokens = tokenize("'Brand#23' 'MED BOX'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "Brand#23");
+  EXPECT_EQ(tokens[1].text, "MED BOX");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  const auto tokens = tokenize("( ) , . * + - / = <> != < <= > >=");
+  const TokenKind expected[] = {
+      TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+      TokenKind::kDot,    TokenKind::kStar,   TokenKind::kPlus,
+      TokenKind::kMinus,  TokenKind::kSlash,  TokenKind::kEq,
+      TokenKind::kNe,     TokenKind::kNe,     TokenKind::kLt,
+      TokenKind::kLe,     TokenKind::kGt,     TokenKind::kGe,
+      TokenKind::kEnd};
+  ASSERT_EQ(tokens.size(), std::size(expected));
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, QualifiedColumnSplitsOnDot) {
+  const auto tokens = tokenize("n1.n_name");
+  EXPECT_EQ(tokens[0].text, "N1");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[2].text, "N_NAME");
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  const auto tokens = tokenize("a  bb");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+TEST(LexerDeathTest, UnterminatedStringAborts) {
+  EXPECT_DEATH(tokenize("'oops"), "unterminated");
+}
+
+TEST(LexerDeathTest, StrayCharacterAborts) {
+  EXPECT_DEATH(tokenize("a ; b"), "unexpected character");
+}
+
+}  // namespace
+}  // namespace stc::db::sql

@@ -1,0 +1,171 @@
+#include "db/sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace stc::db::sql {
+namespace {
+
+struct ParserTest : ::testing::Test {
+  Kernel kernel;
+  std::unique_ptr<AstQuery> parse(const std::string& sql) {
+    return parse_query(kernel, sql);
+  }
+};
+
+TEST_F(ParserTest, MinimalSelect) {
+  const auto q = parse("SELECT a FROM t");
+  ASSERT_EQ(q->select.size(), 1u);
+  EXPECT_EQ(q->select[0].expr->kind, AstExprKind::kColumnRef);
+  EXPECT_EQ(q->select[0].expr->name, "A");
+  ASSERT_EQ(q->from.size(), 1u);
+  EXPECT_EQ(q->from[0].table, "T");
+  EXPECT_EQ(q->from[0].alias, "T");
+  EXPECT_EQ(q->where, nullptr);
+}
+
+TEST_F(ParserTest, AliasesAndQualifiedColumns) {
+  const auto q = parse("SELECT p.x AS out1, q.y FROM t1 p, t2 q");
+  EXPECT_EQ(q->select[0].alias, "OUT1");
+  EXPECT_EQ(q->select[0].expr->qualifier, "P");
+  EXPECT_EQ(q->select[1].expr->qualifier, "Q");
+  EXPECT_EQ(q->from[0].alias, "P");
+  EXPECT_EQ(q->from[1].alias, "Q");
+}
+
+TEST_F(ParserTest, WhereWithPrecedence) {
+  const auto q = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  // OR at the top, AND below it on the right.
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->kind, AstExprKind::kLogic);
+  EXPECT_EQ(q->where->logic, LogicOp::kOr);
+  EXPECT_EQ(q->where->children[1]->logic, LogicOp::kAnd);
+}
+
+TEST_F(ParserTest, ArithmeticPrecedence) {
+  const auto q = parse("SELECT a + b * c FROM t");
+  const AstExpr& e = *q->select[0].expr;
+  EXPECT_EQ(e.kind, AstExprKind::kArith);
+  EXPECT_EQ(e.arith, ArithOp::kAdd);
+  EXPECT_EQ(e.children[1]->arith, ArithOp::kMul);
+}
+
+TEST_F(ParserTest, ParenthesesOverridePrecedence) {
+  const auto q = parse("SELECT (a + b) * c FROM t");
+  const AstExpr& e = *q->select[0].expr;
+  EXPECT_EQ(e.arith, ArithOp::kMul);
+  EXPECT_EQ(e.children[0]->arith, ArithOp::kAdd);
+}
+
+TEST_F(ParserTest, DateLiteral) {
+  const auto q = parse("SELECT a FROM t WHERE d >= DATE '1994-01-01'");
+  const AstExpr& cmp = *q->where;
+  EXPECT_EQ(cmp.kind, AstExprKind::kCompare);
+  EXPECT_EQ(cmp.cmp, CmpOp::kGe);
+  EXPECT_EQ(cmp.children[1]->constant.as_int(), parse_date("1994-01-01"));
+}
+
+TEST_F(ParserTest, BetweenExpands) {
+  const auto q = parse("SELECT a FROM t WHERE d BETWEEN 1 AND 5");
+  EXPECT_EQ(q->where->kind, AstExprKind::kBetween);
+  EXPECT_EQ(q->where->children.size(), 3u);
+}
+
+TEST_F(ParserTest, LikePattern) {
+  const auto q = parse("SELECT a FROM t WHERE name LIKE 'PROMO%'");
+  EXPECT_EQ(q->where->kind, AstExprKind::kLike);
+  EXPECT_EQ(q->where->pattern, "PROMO%");
+}
+
+TEST_F(ParserTest, NotLike) {
+  const auto q = parse("SELECT a FROM t WHERE NOT name LIKE 'X%'");
+  EXPECT_EQ(q->where->kind, AstExprKind::kLogic);
+  EXPECT_EQ(q->where->logic, LogicOp::kNot);
+  EXPECT_EQ(q->where->children[0]->kind, AstExprKind::kLike);
+}
+
+TEST_F(ParserTest, InListWithValues) {
+  const auto q = parse("SELECT a FROM t WHERE x IN (1, 2, 3)");
+  EXPECT_EQ(q->where->kind, AstExprKind::kInList);
+  EXPECT_EQ(q->where->in_list.size(), 3u);
+  EXPECT_FALSE(q->where->negated);
+}
+
+TEST_F(ParserTest, NotInSubquery) {
+  const auto q =
+      parse("SELECT a FROM t WHERE x NOT IN (SELECT y FROM u)");
+  EXPECT_EQ(q->where->kind, AstExprKind::kInSubquery);
+  EXPECT_TRUE(q->where->negated);
+  ASSERT_NE(q->where->subquery, nullptr);
+  EXPECT_EQ(q->where->subquery->from[0].table, "U");
+}
+
+TEST_F(ParserTest, ScalarSubqueryInComparison) {
+  const auto q =
+      parse("SELECT a FROM t WHERE v > (SELECT MAX(v) FROM t)");
+  EXPECT_EQ(q->where->children[1]->kind, AstExprKind::kScalarSubquery);
+}
+
+TEST_F(ParserTest, DerivedTable) {
+  const auto q =
+      parse("SELECT mpk FROM (SELECT k AS mpk FROM u GROUP BY k) m");
+  ASSERT_EQ(q->from.size(), 1u);
+  EXPECT_EQ(q->from[0].alias, "M");
+  ASSERT_NE(q->from[0].subquery, nullptr);
+  EXPECT_EQ(q->from[0].subquery->group_by.size(), 1u);
+}
+
+TEST_F(ParserTest, Aggregates) {
+  const auto q = parse(
+      "SELECT SUM(a), COUNT(*), AVG(b), MIN(c), MAX(d) FROM t GROUP BY g");
+  EXPECT_EQ(q->select[0].expr->agg, AggOp::kSum);
+  EXPECT_TRUE(q->select[1].expr->agg_star);
+  EXPECT_EQ(q->select[2].expr->agg, AggOp::kAvg);
+  EXPECT_EQ(q->select[3].expr->agg, AggOp::kMin);
+  EXPECT_EQ(q->select[4].expr->agg, AggOp::kMax);
+}
+
+TEST_F(ParserTest, YearAndCasewhenFunctions) {
+  const auto q = parse(
+      "SELECT YEAR(d), CASEWHEN(a = 1, x, y) FROM t");
+  EXPECT_EQ(q->select[0].expr->kind, AstExprKind::kYear);
+  EXPECT_EQ(q->select[1].expr->kind, AstExprKind::kCaseWhen);
+  EXPECT_EQ(q->select[1].expr->children.size(), 3u);
+}
+
+TEST_F(ParserTest, OrderByPositionsAndNames) {
+  const auto q = parse(
+      "SELECT a, b FROM t ORDER BY 1 DESC, b ASC, a");
+  ASSERT_EQ(q->order_by.size(), 3u);
+  EXPECT_EQ(q->order_by[0].position, 1);
+  EXPECT_TRUE(q->order_by[0].descending);
+  EXPECT_EQ(q->order_by[1].expr->name, "B");
+  EXPECT_FALSE(q->order_by[1].descending);
+  EXPECT_FALSE(q->order_by[2].descending);
+}
+
+TEST_F(ParserTest, GroupByAndLimit) {
+  const auto q = parse("SELECT g, COUNT(*) FROM t GROUP BY g LIMIT 10");
+  EXPECT_EQ(q->group_by.size(), 1u);
+  ASSERT_TRUE(q->limit.has_value());
+  EXPECT_EQ(*q->limit, 10u);
+}
+
+TEST_F(ParserTest, UnaryMinus) {
+  const auto q = parse("SELECT -a FROM t");
+  EXPECT_EQ(q->select[0].expr->kind, AstExprKind::kNegate);
+}
+
+TEST_F(ParserTest, EmitsParserKernelBlocks) {
+  const std::uint64_t before = kernel.exec().blocks_emitted();
+  parse("SELECT a FROM t WHERE b = 1");
+  EXPECT_GT(kernel.exec().blocks_emitted(), before + 10);
+}
+
+TEST_F(ParserTest, SyntaxErrorAborts) {
+  EXPECT_DEATH(parse("SELECT FROM"), "");
+  EXPECT_DEATH(parse("SELECT a"), "expected keyword");
+  EXPECT_DEATH(parse("SELECT a FROM t WHERE"), "");
+}
+
+}  // namespace
+}  // namespace stc::db::sql

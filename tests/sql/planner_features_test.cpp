@@ -1,0 +1,203 @@
+// End-to-end SQL feature tests against hand-computed answers: expression
+// functions, IN lists, OR predicates, derived tables, subquery edge cases.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace stc::db {
+namespace {
+
+class SqlFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db = std::make_unique<Database>(64);
+    TableInfo& t = db->create_table(
+        "sales", Schema({{"id", ValueType::kInt},
+                         {"region", ValueType::kString},
+                         {"amount", ValueType::kDouble},
+                         {"day", ValueType::kInt},
+                         {"tag", ValueType::kString}}));
+    // 24 rows: regions cycle N/S/E/W, days span 1995-1996, amounts = 10*id.
+    const char* regions[] = {"NORTH", "SOUTH", "EAST", "WEST"};
+    for (std::int64_t i = 0; i < 24; ++i) {
+      const int year = i < 12 ? 1995 : 1996;
+      db->insert(t, {Value(i), Value(std::string(regions[i % 4])),
+                     Value(10.0 * static_cast<double>(i)),
+                     Value(date_from_ymd(year, 1 + static_cast<int>(i % 12), 15)),
+                     Value(std::string(i % 3 == 0 ? "PROMO sale" : "plain"))});
+    }
+    db->create_index("sales", "id", IndexKind::kBTree, true);
+  }
+  QueryResult run(const std::string& sql) { return db->run_query(sql); }
+  std::unique_ptr<Database> db;
+};
+
+TEST_F(SqlFeaturesTest, YearFunctionGroups) {
+  const auto r = run(
+      "SELECT YEAR(day) AS y, COUNT(*) AS n FROM sales GROUP BY y ORDER BY y");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 1995);
+  EXPECT_EQ(r.rows[0][1].as_int(), 12);
+  EXPECT_EQ(r.rows[1][0].as_int(), 1996);
+}
+
+TEST_F(SqlFeaturesTest, CaseWhenInsideAggregate) {
+  const auto r = run(
+      "SELECT SUM(CASEWHEN(region = 'NORTH', amount, 0.0)) AS north, "
+      "SUM(amount) AS total FROM sales");
+  ASSERT_EQ(r.rows.size(), 1u);
+  // NORTH rows: ids 0,4,8,12,16,20 -> amounts 0+40+80+120+160+200 = 600.
+  EXPECT_DOUBLE_EQ(r.rows[0][0].as_double(), 600.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].as_double(), 2760.0);  // 10 * (0+..+23)
+}
+
+TEST_F(SqlFeaturesTest, LikePrefixFilter) {
+  const auto r = run("SELECT id FROM sales WHERE tag LIKE 'PROMO%'");
+  EXPECT_EQ(r.rows.size(), 8u);  // ids divisible by 3
+}
+
+TEST_F(SqlFeaturesTest, InListFilter) {
+  const auto r = run(
+      "SELECT id FROM sales WHERE region IN ('EAST', 'WEST') AND id < 8 "
+      "ORDER BY id");
+  // ids 2,3,6,7.
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 2);
+  EXPECT_EQ(r.rows[3][0].as_int(), 7);
+}
+
+TEST_F(SqlFeaturesTest, NotInListFilter) {
+  const auto r = run(
+      "SELECT COUNT(*) AS n FROM sales WHERE region NOT IN ('NORTH')");
+  EXPECT_EQ(r.rows[0][0].as_int(), 18);
+}
+
+TEST_F(SqlFeaturesTest, OrPredicateNotPushedAsIndexBound) {
+  const auto r = run(
+      "SELECT id FROM sales WHERE id = 3 OR id = 17 ORDER BY id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 3);
+  EXPECT_EQ(r.rows[1][0].as_int(), 17);
+}
+
+TEST_F(SqlFeaturesTest, BetweenOnDates) {
+  const auto r = run(
+      "SELECT COUNT(*) AS n FROM sales WHERE day BETWEEN DATE '1995-01-01' "
+      "AND DATE '1995-12-31'");
+  EXPECT_EQ(r.rows[0][0].as_int(), 12);
+}
+
+TEST_F(SqlFeaturesTest, DerivedTableAggregatedTwice) {
+  const auto r = run(
+      "SELECT COUNT(*) AS regions, SUM(total) AS grand FROM "
+      "(SELECT region AS rg, SUM(amount) AS total FROM sales GROUP BY region) "
+      "x");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 4);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].as_double(), 2760.0);
+}
+
+TEST_F(SqlFeaturesTest, ScalarSubqueryOverEmptyInputIsNull) {
+  // MAX over an empty set folds to NULL; comparisons with NULL are false.
+  const auto r = run(
+      "SELECT COUNT(*) AS n FROM sales WHERE amount > "
+      "(SELECT MAX(amount) FROM sales WHERE id > 1000)");
+  EXPECT_EQ(r.rows[0][0].as_int(), 0);
+}
+
+TEST_F(SqlFeaturesTest, NotInEmptySubqueryKeepsEverything) {
+  const auto r = run(
+      "SELECT COUNT(*) AS n FROM sales WHERE id NOT IN "
+      "(SELECT id FROM sales WHERE id > 1000)");
+  EXPECT_EQ(r.rows[0][0].as_int(), 24);
+}
+
+TEST_F(SqlFeaturesTest, ArithmeticInProjectionAndOrdering) {
+  const auto r = run(
+      "SELECT id, amount * 2 - 5 AS adjusted FROM sales "
+      "WHERE id >= 20 ORDER BY adjusted DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 23);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].as_double(), 455.0);
+}
+
+TEST_F(SqlFeaturesTest, NegativeLiteralsAndUnaryMinus) {
+  const auto r = run("SELECT -amount AS neg FROM sales WHERE id = 5");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].as_double(), -50.0);
+}
+
+TEST_F(SqlFeaturesTest, MultipleGroupingColumns) {
+  const auto r = run(
+      "SELECT YEAR(day) AS y, region, COUNT(*) AS n FROM sales "
+      "GROUP BY y, region ORDER BY y, region");
+  EXPECT_EQ(r.rows.size(), 8u);  // 2 years x 4 regions
+  for (const Tuple& row : r.rows) EXPECT_EQ(row[2].as_int(), 3);
+}
+
+TEST_F(SqlFeaturesTest, GroupByQualifiedColumnInJoin) {
+  TableInfo& meta = db->create_table(
+      "region_meta",
+      Schema({{"rname", ValueType::kString}, {"zone", ValueType::kInt}}));
+  db->insert(meta, {Value(std::string("NORTH")), Value(std::int64_t{1})});
+  db->insert(meta, {Value(std::string("SOUTH")), Value(std::int64_t{1})});
+  db->insert(meta, {Value(std::string("EAST")), Value(std::int64_t{2})});
+  db->insert(meta, {Value(std::string("WEST")), Value(std::int64_t{2})});
+  const auto r = run(
+      "SELECT zone, SUM(amount) AS total FROM sales, region_meta "
+      "WHERE region = rname GROUP BY zone ORDER BY zone");
+  ASSERT_EQ(r.rows.size(), 2u);
+  // Zone 1 = NORTH+SOUTH ids {0,1,4,5,...}: amounts sum.
+  const double total = r.rows[0][1].as_double() + r.rows[1][1].as_double();
+  EXPECT_DOUBLE_EQ(total, 2760.0);
+}
+
+TEST_F(SqlFeaturesTest, HavingFiltersGroups) {
+  const auto r = run(
+      "SELECT region, SUM(amount) AS total FROM sales "
+      "GROUP BY region HAVING SUM(amount) > 690.0 ORDER BY region");
+  // Totals: NORTH 600, SOUTH 660, EAST 720, WEST 780.
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].as_string(), "EAST");
+  EXPECT_EQ(r.rows[1][0].as_string(), "WEST");
+}
+
+TEST_F(SqlFeaturesTest, HavingOnGroupKeyAndAlias) {
+  const auto r = run(
+      "SELECT YEAR(day) AS y, COUNT(*) AS n FROM sales "
+      "GROUP BY y HAVING y = 1996");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 1996);
+  EXPECT_EQ(r.rows[0][1].as_int(), 12);
+}
+
+TEST_F(SqlFeaturesTest, HavingWithScalarSubqueryThreshold) {
+  // Q11's natural form: HAVING SUM(...) > (scalar subquery).
+  const auto r = run(
+      "SELECT region, SUM(amount) AS total FROM sales GROUP BY region "
+      "HAVING SUM(amount) > (SELECT SUM(amount) * 0.26 FROM sales) "
+      "ORDER BY total DESC");
+  // Threshold = 2760 * 0.26 = 717.6 -> WEST (780), EAST (720).
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].as_string(), "WEST");
+}
+
+TEST_F(SqlFeaturesTest, HavingAggregateNotInSelect) {
+  const auto r = run(
+      "SELECT region FROM sales GROUP BY region HAVING MIN(id) >= 2");
+  // MIN ids: NORTH 0, SOUTH 1, EAST 2, WEST 3.
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SqlFeaturesTest, GroupByComputedExpressionDirectly) {
+  const auto r = run(
+      "SELECT YEAR(day) AS y, SUM(amount) AS total FROM sales "
+      "GROUP BY YEAR(day) ORDER BY y");
+  ASSERT_EQ(r.rows.size(), 2u);
+  // 1995: ids 0..11 -> 10*(0+..+11) = 660; 1996: 2100.
+  EXPECT_DOUBLE_EQ(r.rows[0][1].as_double(), 660.0);
+  EXPECT_DOUBLE_EQ(r.rows[1][1].as_double(), 2100.0);
+}
+
+}  // namespace
+}  // namespace stc::db

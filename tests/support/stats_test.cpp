@@ -1,0 +1,77 @@
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace stc {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(BoundedHistogramTest, BucketsAndOverflow) {
+  BoundedHistogram h({10, 100, 1000});
+  h.add(5);      // < 10
+  h.add(10);     // < 100 (upper bounds are exclusive below)
+  h.add(99);     // < 100
+  h.add(500);    // < 1000
+  h.add(5000);   // overflow
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction_below(10), 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(100), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(1000), 4.0 / 5.0);
+}
+
+TEST(BoundedHistogramTest, WeightedAdds) {
+  BoundedHistogram h({10, 100});
+  h.add(1, 9);
+  h.add(50, 1);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_DOUBLE_EQ(h.fraction_below(10), 0.9);
+}
+
+TEST(BoundedHistogramTest, EmptyFractionIsZero) {
+  BoundedHistogram h({10});
+  EXPECT_DOUBLE_EQ(h.fraction_below(10), 0.0);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+}  // namespace
+}  // namespace stc

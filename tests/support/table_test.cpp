@@ -1,0 +1,64 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+namespace stc {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"long-name", "12345"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Every line has the same width.
+  std::size_t width = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (width == std::string::npos) width = len;
+    EXPECT_EQ(len, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTableTest, NumericColumnsRightAligned) {
+  TextTable t;
+  t.header({"k", "v"});
+  t.row({"x", "7"});
+  t.row({"y", "123"});
+  const std::string out = t.render();
+  // "7" must be indented to align with "123"'s last digit.
+  EXPECT_NE(out.find("  7"), std::string::npos);
+}
+
+TEST(FmtTest, Fixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+  EXPECT_EQ(fmt_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(FmtTest, CountWithThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+TEST(FmtTest, Percent) {
+  EXPECT_EQ(fmt_percent(0.5), "50.00%");
+  EXPECT_EQ(fmt_percent(0.1234), "12.34%");
+}
+
+TEST(FmtTest, Sizes) {
+  EXPECT_EQ(fmt_size(512), "512B");
+  EXPECT_EQ(fmt_size(2048), "2K");
+  EXPECT_EQ(fmt_size(64 * 1024), "64K");
+  EXPECT_EQ(fmt_size(3u * 1024 * 1024), "3M");
+}
+
+}  // namespace
+}  // namespace stc

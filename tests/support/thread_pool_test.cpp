@@ -1,0 +1,54 @@
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace stc {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, InlineModeWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 0u);  // inline mode spawns no workers
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(50, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> out(256, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  std::uint64_t sum = std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) expected += i * i;
+  EXPECT_EQ(sum, expected);
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,85 @@
+#include "support/varint.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace stc {
+namespace {
+
+TEST(VarintTest, SmallValuesUseOneByte) {
+  std::vector<std::uint8_t> buf;
+  put_uvarint(buf, 0);
+  put_uvarint(buf, 1);
+  put_uvarint(buf, 127);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(VarintTest, BoundaryAt128) {
+  std::vector<std::uint8_t> buf;
+  put_uvarint(buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(VarintTest, RoundTripUnsignedCorpus) {
+  const std::uint64_t corpus[] = {0,    1,    127,  128,   255,   16383,
+                                  16384, 1u << 20, ~std::uint64_t{0} >> 1,
+                                  ~std::uint64_t{0}};
+  for (std::uint64_t value : corpus) {
+    std::vector<std::uint8_t> buf;
+    put_uvarint(buf, value);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_uvarint(buf.data(), buf.size(), pos), value);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, RoundTripSignedCorpus) {
+  const std::int64_t corpus[] = {0, 1, -1, 63, -64, 64, -65, 1 << 20,
+                                 -(1 << 20), INT64_MAX, INT64_MIN};
+  for (std::int64_t value : corpus) {
+    std::vector<std::uint8_t> buf;
+    put_svarint(buf, value);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_svarint(buf.data(), buf.size(), pos), value);
+  }
+}
+
+TEST(VarintTest, ZigZagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  for (std::int64_t v = -1000; v <= 1000; ++v) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(VarintTest, SequencesDecodeInOrder) {
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t v = 0; v < 1000; v += 7) put_uvarint(buf, v);
+  std::size_t pos = 0;
+  for (std::uint64_t v = 0; v < 1000; v += 7) {
+    EXPECT_EQ(get_uvarint(buf.data(), buf.size(), pos), v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, RandomizedRoundTrip) {
+  Rng rng(99);
+  std::vector<std::uint8_t> buf;
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v =
+        static_cast<std::int64_t>(rng.next_u64()) >> (rng.uniform(64));
+    values.push_back(v);
+    put_svarint(buf, v);
+  }
+  std::size_t pos = 0;
+  for (std::int64_t v : values) {
+    ASSERT_EQ(get_svarint(buf.data(), buf.size(), pos), v);
+  }
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,94 @@
+// Shared helpers for tests: synthetic programs, weighted CFGs and traces.
+#pragma once
+
+#include <memory>
+
+#include "cfg/builder.h"
+#include "cfg/program.h"
+#include "profile/profile.h"
+#include "support/rng.h"
+#include "trace/block_trace.h"
+
+namespace stc::testing {
+
+// Random program: `routines` routines of 1..8 blocks with plausible kinds
+// (entry anything, last block a return for multi-block routines).
+inline std::unique_ptr<cfg::ProgramImage> random_image(Rng& rng,
+                                                       int routines) {
+  cfg::ProgramBuilder builder;
+  const cfg::ModuleId mod = builder.module("synthetic");
+  for (int r = 0; r < routines; ++r) {
+    const int nblocks = 1 + static_cast<int>(rng.uniform(8));
+    std::vector<cfg::BlockDef> blocks;
+    for (int b = 0; b < nblocks; ++b) {
+      cfg::BlockKind kind;
+      if (b + 1 == nblocks) {
+        kind = cfg::BlockKind::kReturn;
+      } else {
+        const std::uint64_t pick = rng.uniform(10);
+        kind = pick < 3   ? cfg::BlockKind::kFallThrough
+               : pick < 8 ? cfg::BlockKind::kBranch
+                          : cfg::BlockKind::kCall;
+      }
+      blocks.push_back({"b" + std::to_string(b),
+                        static_cast<std::uint16_t>(1 + rng.uniform(12)),
+                        kind});
+    }
+    builder.routine("r" + std::to_string(r), mod, std::move(blocks),
+                    /*executor_op=*/rng.chance(0.1));
+  }
+  return builder.build();
+}
+
+// Random weighted CFG over an image: a random subset of blocks receives
+// positive execution counts (skewed), and each executed block gets 0..4
+// outgoing edges toward other executed blocks with weights that sum to at
+// most its own count (so transition probabilities stay <= 1).
+inline profile::WeightedCFG random_wcfg(const cfg::ProgramImage& image,
+                                        Rng& rng,
+                                        double executed_fraction = 0.5) {
+  profile::WeightedCFG cfg;
+  cfg.image = &image;
+  cfg.block_count.assign(image.num_blocks(), 0);
+  cfg.succs.resize(image.num_blocks());
+
+  std::vector<cfg::BlockId> executed;
+  for (cfg::BlockId b = 0; b < image.num_blocks(); ++b) {
+    if (rng.chance(executed_fraction)) {
+      cfg.block_count[b] = 1 + rng.zipf(10000, 1.1);
+      executed.push_back(b);
+    }
+  }
+  if (executed.empty() && image.num_blocks() > 0) {
+    cfg.block_count[0] = 100;
+    executed.push_back(0);
+  }
+  for (cfg::BlockId b : executed) {
+    const int nedges = static_cast<int>(rng.uniform(5));
+    std::uint64_t budget = cfg.block_count[b];
+    for (int e = 0; e < nedges && budget > 0; ++e) {
+      const cfg::BlockId to = rng.pick(executed);
+      const std::uint64_t w = 1 + rng.uniform(budget);
+      budget -= w;
+      cfg.succs[b].push_back({to, w});
+    }
+    std::sort(cfg.succs[b].begin(), cfg.succs[b].end(),
+              [](const auto& x, const auto& y) {
+                if (x.count != y.count) return x.count > y.count;
+                return x.to < y.to;
+              });
+  }
+  return cfg;
+}
+
+// Arbitrary block-id trace over an image (simulators accept any sequence).
+inline trace::BlockTrace random_trace(const cfg::ProgramImage& image, Rng& rng,
+                                      std::size_t events) {
+  trace::BlockTrace trace;
+  for (std::size_t i = 0; i < events; ++i) {
+    trace.append(static_cast<cfg::BlockId>(rng.uniform(image.num_blocks())));
+  }
+  return trace;
+}
+
+}  // namespace stc::testing

@@ -1,0 +1,192 @@
+// TPC-D generator tests: cardinalities, referential integrity, determinism
+// and value-domain coverage (every query predicate must select something).
+#include "db/tpcd/dbgen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/tpcd/schema.h"
+
+namespace stc::db::tpcd {
+namespace {
+
+class DbgenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(128);
+    GenConfig config;
+    config.scale_factor = 0.001;
+    build_database(*db_, config, IndexKind::kBTree);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static std::vector<Tuple> all_rows(const char* table) {
+    TableInfo* t = db_->catalog().lookup(table);
+    EXPECT_NE(t, nullptr);
+    std::vector<Tuple> rows;
+    HeapFile::Scanner scanner(*t->heap);
+    Tuple tuple;
+    RID rid;
+    while (scanner.next(tuple, rid)) rows.push_back(tuple);
+    return rows;
+  }
+
+  static Database* db_;
+};
+
+Database* DbgenTest::db_ = nullptr;
+
+TEST_F(DbgenTest, FixedTablesHaveSpecCardinalities) {
+  EXPECT_EQ(all_rows("REGION").size(), 5u);
+  EXPECT_EQ(all_rows("NATION").size(), 25u);
+}
+
+TEST_F(DbgenTest, ScaledTablesHaveExpectedSizes) {
+  const GenConfig config{0.001, 19990401};
+  EXPECT_EQ(all_rows("SUPPLIER").size(), config.suppliers());
+  EXPECT_EQ(all_rows("CUSTOMER").size(), config.customers());
+  EXPECT_EQ(all_rows("PART").size(), config.parts());
+  EXPECT_EQ(all_rows("PARTSUPP").size(), config.parts() * 4);
+  EXPECT_EQ(all_rows("ORDERS").size(), config.orders());
+  // Lineitem: 1..7 lines per order.
+  const auto lineitems = all_rows("LINEITEM").size();
+  EXPECT_GE(lineitems, config.orders());
+  EXPECT_LE(lineitems, config.orders() * 7);
+}
+
+TEST_F(DbgenTest, ReferentialIntegrityHolds) {
+  std::set<std::int64_t> nations, suppliers, customers, parts, orders;
+  for (const auto& r : all_rows("NATION")) nations.insert(r[0].as_int());
+  for (const auto& r : all_rows("SUPPLIER")) suppliers.insert(r[0].as_int());
+  for (const auto& r : all_rows("CUSTOMER")) customers.insert(r[0].as_int());
+  for (const auto& r : all_rows("PART")) parts.insert(r[0].as_int());
+  for (const auto& r : all_rows("ORDERS")) orders.insert(r[0].as_int());
+
+  for (const auto& r : all_rows("SUPPLIER")) {
+    EXPECT_TRUE(nations.count(r[3].as_int())) << "s_nationkey dangling";
+  }
+  for (const auto& r : all_rows("CUSTOMER")) {
+    EXPECT_TRUE(nations.count(r[3].as_int()));
+  }
+  for (const auto& r : all_rows("PARTSUPP")) {
+    EXPECT_TRUE(parts.count(r[0].as_int()));
+    EXPECT_TRUE(suppliers.count(r[1].as_int()));
+  }
+  for (const auto& r : all_rows("ORDERS")) {
+    EXPECT_TRUE(customers.count(r[1].as_int()));
+  }
+  for (const auto& r : all_rows("LINEITEM")) {
+    EXPECT_TRUE(orders.count(r[0].as_int()));
+    EXPECT_TRUE(parts.count(r[1].as_int()));
+    EXPECT_TRUE(suppliers.count(r[2].as_int()));
+  }
+}
+
+TEST_F(DbgenTest, NationRegionMappingMatchesSpec) {
+  const auto nations = all_rows("NATION");
+  for (const auto& r : nations) {
+    if (r[1].as_string() == "GERMANY" || r[1].as_string() == "FRANCE") {
+      EXPECT_EQ(r[2].as_int(), 3);  // EUROPE
+    }
+    if (r[1].as_string() == "BRAZIL") {
+      EXPECT_EQ(r[2].as_int(), 1);  // AMERICA
+    }
+  }
+}
+
+TEST_F(DbgenTest, DateDomainsRespectSpec) {
+  const std::int64_t start = date_from_ymd(1992, 1, 1);
+  const std::int64_t end = date_from_ymd(1998, 8, 2);
+  for (const auto& r : all_rows("ORDERS")) {
+    EXPECT_GE(r[4].as_int(), start);
+    EXPECT_LE(r[4].as_int(), end);
+  }
+  for (const auto& r : all_rows("LINEITEM")) {
+    EXPECT_GT(r[10].as_int(), r[0].as_int() >= 0 ? start : 0);  // shipdate
+    EXPECT_GT(r[12].as_int(), r[10].as_int());                  // receipt > ship
+  }
+}
+
+TEST_F(DbgenTest, ValueDomainsCoverQueryPredicates) {
+  // Q3/Q5/Q8/Q14/Q16 predicates need these values to exist.
+  bool has_building = false;
+  for (const auto& r : all_rows("CUSTOMER")) {
+    if (r[6].as_string() == "BUILDING") has_building = true;
+  }
+  EXPECT_TRUE(has_building);
+
+  bool has_promo = false;
+  bool has_brass = false;
+  for (const auto& r : all_rows("PART")) {
+    const std::string& type = r[4].as_string();
+    if (type.rfind("PROMO", 0) == 0) has_promo = true;
+    if (type.size() >= 5 && type.substr(type.size() - 5) == "BRASS") {
+      has_brass = true;
+    }
+    EXPECT_GE(r[5].as_int(), 1);
+    EXPECT_LE(r[5].as_int(), 50);
+  }
+  EXPECT_TRUE(has_promo);
+  EXPECT_TRUE(has_brass);
+
+  bool has_mail_or_ship = false;
+  bool has_return_r = false;
+  for (const auto& r : all_rows("LINEITEM")) {
+    const std::string& mode = r[14].as_string();
+    if (mode == "MAIL" || mode == "SHIP") has_mail_or_ship = true;
+    if (r[8].as_string() == "R") has_return_r = true;
+  }
+  EXPECT_TRUE(has_mail_or_ship);
+  EXPECT_TRUE(has_return_r);
+}
+
+TEST_F(DbgenTest, DiscountAndQuantityRanges) {
+  for (const auto& r : all_rows("LINEITEM")) {
+    EXPECT_GE(r[4].as_double(), 1.0);    // quantity
+    EXPECT_LE(r[4].as_double(), 50.0);
+    EXPECT_GE(r[6].as_double(), 0.0);    // discount
+    EXPECT_LE(r[6].as_double(), 0.10);
+    EXPECT_GE(r[7].as_double(), 0.0);    // tax
+    EXPECT_LE(r[7].as_double(), 0.08);
+  }
+}
+
+TEST_F(DbgenTest, IndexesCoverAllTables) {
+  const char* indexed[] = {"REGION", "NATION", "SUPPLIER", "CUSTOMER",
+                           "PART", "PARTSUPP", "ORDERS", "LINEITEM"};
+  for (const char* name : indexed) {
+    EXPECT_FALSE(db_->catalog().lookup(name)->indexes.empty()) << name;
+  }
+  // Lineitem carries the three foreign-key indexes.
+  EXPECT_EQ(db_->catalog().lookup("LINEITEM")->indexes.size(), 3u);
+}
+
+TEST(DbgenDeterminismTest, SameSeedSameData) {
+  GenConfig config;
+  config.scale_factor = 0.0005;
+  Database a(64);
+  build_database(a, config, IndexKind::kBTree);
+  Database b(64);
+  build_database(b, config, IndexKind::kBTree);
+  TableInfo* ta = a.catalog().lookup("ORDERS");
+  TableInfo* tb = b.catalog().lookup("ORDERS");
+  ASSERT_EQ(ta->heap->tuple_count(), tb->heap->tuple_count());
+  HeapFile::Scanner sa(*ta->heap);
+  HeapFile::Scanner sb(*tb->heap);
+  Tuple ra, rb;
+  RID rida, ridb;
+  while (sa.next(ra, rida)) {
+    ASSERT_TRUE(sb.next(rb, ridb));
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t c = 0; c < ra.size(); ++c) {
+      ASSERT_EQ(ra[c].compare(rb[c]), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stc::db::tpcd

