@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_replication.dir/ablate_replication.cpp.o"
+  "CMakeFiles/ablate_replication.dir/ablate_replication.cpp.o.d"
+  "ablate_replication"
+  "ablate_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tracecache.dir/ablate_tracecache.cpp.o"
+  "CMakeFiles/ablate_tracecache.dir/ablate_tracecache.cpp.o.d"
+  "ablate_tracecache"
+  "ablate_tracecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tracecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

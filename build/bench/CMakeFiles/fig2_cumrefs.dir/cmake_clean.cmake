@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cumrefs.dir/fig2_cumrefs.cpp.o"
+  "CMakeFiles/fig2_cumrefs.dir/fig2_cumrefs.cpp.o.d"
+  "fig2_cumrefs"
+  "fig2_cumrefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cumrefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_compare.dir/oltp_compare.cpp.o"
+  "CMakeFiles/oltp_compare.dir/oltp_compare.cpp.o.d"
+  "oltp_compare"
+  "oltp_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec41_reuse.dir/sec41_reuse.cpp.o"
+  "CMakeFiles/sec41_reuse.dir/sec41_reuse.cpp.o.d"
+  "sec41_reuse"
+  "sec41_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec41_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_bench_common.dir/common.cpp.o"
+  "CMakeFiles/stc_bench_common.dir/common.cpp.o.d"
+  "libstc_bench_common.a"
+  "libstc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bbtypes.dir/table2_bbtypes.cpp.o"
+  "CMakeFiles/table2_bbtypes.dir/table2_bbtypes.cpp.o.d"
+  "table2_bbtypes"
+  "table2_bbtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bbtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

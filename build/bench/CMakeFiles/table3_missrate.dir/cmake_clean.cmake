@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_missrate.dir/table3_missrate.cpp.o"
+  "CMakeFiles/table3_missrate.dir/table3_missrate.cpp.o.d"
+  "table3_missrate"
+  "table3_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_fetchbw.cpp" "bench/CMakeFiles/table4_fetchbw.dir/table4_fetchbw.cpp.o" "gcc" "bench/CMakeFiles/table4_fetchbw.dir/table4_fetchbw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/stc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/stc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/stc_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/stc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/stc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

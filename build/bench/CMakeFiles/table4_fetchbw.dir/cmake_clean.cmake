@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fetchbw.dir/table4_fetchbw.cpp.o"
+  "CMakeFiles/table4_fetchbw.dir/table4_fetchbw.cpp.o.d"
+  "table4_fetchbw"
+  "table4_fetchbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fetchbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_report.dir/dss_report.cpp.o"
+  "CMakeFiles/dss_report.dir/dss_report.cpp.o.d"
+  "dss_report"
+  "dss_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

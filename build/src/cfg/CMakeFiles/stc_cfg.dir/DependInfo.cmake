@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/address_map.cpp" "src/cfg/CMakeFiles/stc_cfg.dir/address_map.cpp.o" "gcc" "src/cfg/CMakeFiles/stc_cfg.dir/address_map.cpp.o.d"
+  "/root/repo/src/cfg/exec.cpp" "src/cfg/CMakeFiles/stc_cfg.dir/exec.cpp.o" "gcc" "src/cfg/CMakeFiles/stc_cfg.dir/exec.cpp.o.d"
+  "/root/repo/src/cfg/program.cpp" "src/cfg/CMakeFiles/stc_cfg.dir/program.cpp.o" "gcc" "src/cfg/CMakeFiles/stc_cfg.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/stc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_cfg.dir/address_map.cpp.o"
+  "CMakeFiles/stc_cfg.dir/address_map.cpp.o.d"
+  "CMakeFiles/stc_cfg.dir/exec.cpp.o"
+  "CMakeFiles/stc_cfg.dir/exec.cpp.o.d"
+  "CMakeFiles/stc_cfg.dir/program.cpp.o"
+  "CMakeFiles/stc_cfg.dir/program.cpp.o.d"
+  "libstc_cfg.a"
+  "libstc_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

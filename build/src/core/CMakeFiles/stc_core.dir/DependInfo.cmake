@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/layouts.cpp" "src/core/CMakeFiles/stc_core.dir/layouts.cpp.o" "gcc" "src/core/CMakeFiles/stc_core.dir/layouts.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/stc_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/stc_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/pettis_hansen.cpp" "src/core/CMakeFiles/stc_core.dir/pettis_hansen.cpp.o" "gcc" "src/core/CMakeFiles/stc_core.dir/pettis_hansen.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/stc_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/stc_core.dir/replication.cpp.o.d"
+  "/root/repo/src/core/seeds.cpp" "src/core/CMakeFiles/stc_core.dir/seeds.cpp.o" "gcc" "src/core/CMakeFiles/stc_core.dir/seeds.cpp.o.d"
+  "/root/repo/src/core/stc_layout.cpp" "src/core/CMakeFiles/stc_core.dir/stc_layout.cpp.o" "gcc" "src/core/CMakeFiles/stc_core.dir/stc_layout.cpp.o.d"
+  "/root/repo/src/core/torrellas.cpp" "src/core/CMakeFiles/stc_core.dir/torrellas.cpp.o" "gcc" "src/core/CMakeFiles/stc_core.dir/torrellas.cpp.o.d"
+  "/root/repo/src/core/trace_builder.cpp" "src/core/CMakeFiles/stc_core.dir/trace_builder.cpp.o" "gcc" "src/core/CMakeFiles/stc_core.dir/trace_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/stc_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/stc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/stc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_core.dir/layouts.cpp.o"
+  "CMakeFiles/stc_core.dir/layouts.cpp.o.d"
+  "CMakeFiles/stc_core.dir/mapping.cpp.o"
+  "CMakeFiles/stc_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/stc_core.dir/pettis_hansen.cpp.o"
+  "CMakeFiles/stc_core.dir/pettis_hansen.cpp.o.d"
+  "CMakeFiles/stc_core.dir/replication.cpp.o"
+  "CMakeFiles/stc_core.dir/replication.cpp.o.d"
+  "CMakeFiles/stc_core.dir/seeds.cpp.o"
+  "CMakeFiles/stc_core.dir/seeds.cpp.o.d"
+  "CMakeFiles/stc_core.dir/stc_layout.cpp.o"
+  "CMakeFiles/stc_core.dir/stc_layout.cpp.o.d"
+  "CMakeFiles/stc_core.dir/torrellas.cpp.o"
+  "CMakeFiles/stc_core.dir/torrellas.cpp.o.d"
+  "CMakeFiles/stc_core.dir/trace_builder.cpp.o"
+  "CMakeFiles/stc_core.dir/trace_builder.cpp.o.d"
+  "libstc_core.a"
+  "libstc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

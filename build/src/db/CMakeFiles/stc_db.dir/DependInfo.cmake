@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/btree.cpp" "src/db/CMakeFiles/stc_db.dir/btree.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/btree.cpp.o.d"
+  "/root/repo/src/db/buffer.cpp" "src/db/CMakeFiles/stc_db.dir/buffer.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/buffer.cpp.o.d"
+  "/root/repo/src/db/catalog.cpp" "src/db/CMakeFiles/stc_db.dir/catalog.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/catalog.cpp.o.d"
+  "/root/repo/src/db/coldcode.cpp" "src/db/CMakeFiles/stc_db.dir/coldcode.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/coldcode.cpp.o.d"
+  "/root/repo/src/db/database.cpp" "src/db/CMakeFiles/stc_db.dir/database.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/database.cpp.o.d"
+  "/root/repo/src/db/exec.cpp" "src/db/CMakeFiles/stc_db.dir/exec.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/exec.cpp.o.d"
+  "/root/repo/src/db/exec_agg.cpp" "src/db/CMakeFiles/stc_db.dir/exec_agg.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/exec_agg.cpp.o.d"
+  "/root/repo/src/db/exec_join.cpp" "src/db/CMakeFiles/stc_db.dir/exec_join.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/exec_join.cpp.o.d"
+  "/root/repo/src/db/exec_register.cpp" "src/db/CMakeFiles/stc_db.dir/exec_register.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/exec_register.cpp.o.d"
+  "/root/repo/src/db/expr.cpp" "src/db/CMakeFiles/stc_db.dir/expr.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/expr.cpp.o.d"
+  "/root/repo/src/db/hash_index.cpp" "src/db/CMakeFiles/stc_db.dir/hash_index.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/hash_index.cpp.o.d"
+  "/root/repo/src/db/heap.cpp" "src/db/CMakeFiles/stc_db.dir/heap.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/heap.cpp.o.d"
+  "/root/repo/src/db/kernel.cpp" "src/db/CMakeFiles/stc_db.dir/kernel.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/kernel.cpp.o.d"
+  "/root/repo/src/db/plan.cpp" "src/db/CMakeFiles/stc_db.dir/plan.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/plan.cpp.o.d"
+  "/root/repo/src/db/sql/lexer.cpp" "src/db/CMakeFiles/stc_db.dir/sql/lexer.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/sql/lexer.cpp.o.d"
+  "/root/repo/src/db/sql/parser.cpp" "src/db/CMakeFiles/stc_db.dir/sql/parser.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/sql/parser.cpp.o.d"
+  "/root/repo/src/db/sql/planner.cpp" "src/db/CMakeFiles/stc_db.dir/sql/planner.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/sql/planner.cpp.o.d"
+  "/root/repo/src/db/storage.cpp" "src/db/CMakeFiles/stc_db.dir/storage.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/storage.cpp.o.d"
+  "/root/repo/src/db/tpcd/dbgen.cpp" "src/db/CMakeFiles/stc_db.dir/tpcd/dbgen.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/tpcd/dbgen.cpp.o.d"
+  "/root/repo/src/db/tpcd/oltp.cpp" "src/db/CMakeFiles/stc_db.dir/tpcd/oltp.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/tpcd/oltp.cpp.o.d"
+  "/root/repo/src/db/tpcd/queries.cpp" "src/db/CMakeFiles/stc_db.dir/tpcd/queries.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/tpcd/queries.cpp.o.d"
+  "/root/repo/src/db/tpcd/schema.cpp" "src/db/CMakeFiles/stc_db.dir/tpcd/schema.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/tpcd/schema.cpp.o.d"
+  "/root/repo/src/db/tpcd/workload.cpp" "src/db/CMakeFiles/stc_db.dir/tpcd/workload.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/tpcd/workload.cpp.o.d"
+  "/root/repo/src/db/typeops.cpp" "src/db/CMakeFiles/stc_db.dir/typeops.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/typeops.cpp.o.d"
+  "/root/repo/src/db/value.cpp" "src/db/CMakeFiles/stc_db.dir/value.cpp.o" "gcc" "src/db/CMakeFiles/stc_db.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/stc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/locality.cpp" "src/profile/CMakeFiles/stc_profile.dir/locality.cpp.o" "gcc" "src/profile/CMakeFiles/stc_profile.dir/locality.cpp.o.d"
+  "/root/repo/src/profile/profile.cpp" "src/profile/CMakeFiles/stc_profile.dir/profile.cpp.o" "gcc" "src/profile/CMakeFiles/stc_profile.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/stc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/stc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_profile.dir/locality.cpp.o"
+  "CMakeFiles/stc_profile.dir/locality.cpp.o.d"
+  "CMakeFiles/stc_profile.dir/profile.cpp.o"
+  "CMakeFiles/stc_profile.dir/profile.cpp.o.d"
+  "libstc_profile.a"
+  "libstc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

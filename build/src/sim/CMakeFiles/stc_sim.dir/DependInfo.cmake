@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fetch_unit.cpp" "src/sim/CMakeFiles/stc_sim.dir/fetch_unit.cpp.o" "gcc" "src/sim/CMakeFiles/stc_sim.dir/fetch_unit.cpp.o.d"
+  "/root/repo/src/sim/icache.cpp" "src/sim/CMakeFiles/stc_sim.dir/icache.cpp.o" "gcc" "src/sim/CMakeFiles/stc_sim.dir/icache.cpp.o.d"
+  "/root/repo/src/sim/trace_cache.cpp" "src/sim/CMakeFiles/stc_sim.dir/trace_cache.cpp.o" "gcc" "src/sim/CMakeFiles/stc_sim.dir/trace_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/stc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/stc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_sim.dir/fetch_unit.cpp.o"
+  "CMakeFiles/stc_sim.dir/fetch_unit.cpp.o.d"
+  "CMakeFiles/stc_sim.dir/icache.cpp.o"
+  "CMakeFiles/stc_sim.dir/icache.cpp.o.d"
+  "CMakeFiles/stc_sim.dir/trace_cache.cpp.o"
+  "CMakeFiles/stc_sim.dir/trace_cache.cpp.o.d"
+  "libstc_sim.a"
+  "libstc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

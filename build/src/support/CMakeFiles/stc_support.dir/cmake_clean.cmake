@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_support.dir/rng.cpp.o"
+  "CMakeFiles/stc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/stc_support.dir/stats.cpp.o"
+  "CMakeFiles/stc_support.dir/stats.cpp.o.d"
+  "CMakeFiles/stc_support.dir/table.cpp.o"
+  "CMakeFiles/stc_support.dir/table.cpp.o.d"
+  "CMakeFiles/stc_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/stc_support.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/stc_support.dir/varint.cpp.o"
+  "CMakeFiles/stc_support.dir/varint.cpp.o.d"
+  "libstc_support.a"
+  "libstc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_trace.dir/block_trace.cpp.o"
+  "CMakeFiles/stc_trace.dir/block_trace.cpp.o.d"
+  "CMakeFiles/stc_trace.dir/fetch_stream.cpp.o"
+  "CMakeFiles/stc_trace.dir/fetch_stream.cpp.o.d"
+  "libstc_trace.a"
+  "libstc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstc_trace.a"
+)

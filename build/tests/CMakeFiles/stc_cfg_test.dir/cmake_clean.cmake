@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_cfg_test.dir/cfg/address_map_test.cpp.o"
+  "CMakeFiles/stc_cfg_test.dir/cfg/address_map_test.cpp.o.d"
+  "CMakeFiles/stc_cfg_test.dir/cfg/exec_test.cpp.o"
+  "CMakeFiles/stc_cfg_test.dir/cfg/exec_test.cpp.o.d"
+  "CMakeFiles/stc_cfg_test.dir/cfg/program_test.cpp.o"
+  "CMakeFiles/stc_cfg_test.dir/cfg/program_test.cpp.o.d"
+  "stc_cfg_test"
+  "stc_cfg_test.pdb"
+  "stc_cfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_core_test.dir/core/mapping_test.cpp.o"
+  "CMakeFiles/stc_core_test.dir/core/mapping_test.cpp.o.d"
+  "CMakeFiles/stc_core_test.dir/core/pettis_hansen_test.cpp.o"
+  "CMakeFiles/stc_core_test.dir/core/pettis_hansen_test.cpp.o.d"
+  "CMakeFiles/stc_core_test.dir/core/property_test.cpp.o"
+  "CMakeFiles/stc_core_test.dir/core/property_test.cpp.o.d"
+  "CMakeFiles/stc_core_test.dir/core/replication_test.cpp.o"
+  "CMakeFiles/stc_core_test.dir/core/replication_test.cpp.o.d"
+  "CMakeFiles/stc_core_test.dir/core/seeds_test.cpp.o"
+  "CMakeFiles/stc_core_test.dir/core/seeds_test.cpp.o.d"
+  "CMakeFiles/stc_core_test.dir/core/stc_layout_test.cpp.o"
+  "CMakeFiles/stc_core_test.dir/core/stc_layout_test.cpp.o.d"
+  "CMakeFiles/stc_core_test.dir/core/torrellas_test.cpp.o"
+  "CMakeFiles/stc_core_test.dir/core/torrellas_test.cpp.o.d"
+  "CMakeFiles/stc_core_test.dir/core/trace_builder_test.cpp.o"
+  "CMakeFiles/stc_core_test.dir/core/trace_builder_test.cpp.o.d"
+  "stc_core_test"
+  "stc_core_test.pdb"
+  "stc_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_db_test.dir/db/btree_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/btree_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/buffer_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/buffer_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/coldcode_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/coldcode_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/database_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/database_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/exec_rewind_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/exec_rewind_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/exec_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/exec_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/expr_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/expr_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/hash_index_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/hash_index_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/heap_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/heap_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/storage_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/storage_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/typeops_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/typeops_test.cpp.o.d"
+  "CMakeFiles/stc_db_test.dir/db/value_test.cpp.o"
+  "CMakeFiles/stc_db_test.dir/db/value_test.cpp.o.d"
+  "stc_db_test"
+  "stc_db_test.pdb"
+  "stc_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

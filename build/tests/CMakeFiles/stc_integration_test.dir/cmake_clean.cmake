@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_integration_test.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/stc_integration_test.dir/integration/pipeline_test.cpp.o.d"
+  "stc_integration_test"
+  "stc_integration_test.pdb"
+  "stc_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_profile_test.dir/profile/locality_test.cpp.o"
+  "CMakeFiles/stc_profile_test.dir/profile/locality_test.cpp.o.d"
+  "CMakeFiles/stc_profile_test.dir/profile/profile_test.cpp.o"
+  "CMakeFiles/stc_profile_test.dir/profile/profile_test.cpp.o.d"
+  "stc_profile_test"
+  "stc_profile_test.pdb"
+  "stc_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

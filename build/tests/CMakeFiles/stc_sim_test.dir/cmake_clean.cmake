@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_sim_test.dir/sim/fetch_unit_test.cpp.o"
+  "CMakeFiles/stc_sim_test.dir/sim/fetch_unit_test.cpp.o.d"
+  "CMakeFiles/stc_sim_test.dir/sim/icache_test.cpp.o"
+  "CMakeFiles/stc_sim_test.dir/sim/icache_test.cpp.o.d"
+  "CMakeFiles/stc_sim_test.dir/sim/sim_property_test.cpp.o"
+  "CMakeFiles/stc_sim_test.dir/sim/sim_property_test.cpp.o.d"
+  "CMakeFiles/stc_sim_test.dir/sim/trace_cache_test.cpp.o"
+  "CMakeFiles/stc_sim_test.dir/sim/trace_cache_test.cpp.o.d"
+  "stc_sim_test"
+  "stc_sim_test.pdb"
+  "stc_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_sql_test.dir/sql/lexer_test.cpp.o"
+  "CMakeFiles/stc_sql_test.dir/sql/lexer_test.cpp.o.d"
+  "CMakeFiles/stc_sql_test.dir/sql/parser_test.cpp.o"
+  "CMakeFiles/stc_sql_test.dir/sql/parser_test.cpp.o.d"
+  "CMakeFiles/stc_sql_test.dir/sql/planner_features_test.cpp.o"
+  "CMakeFiles/stc_sql_test.dir/sql/planner_features_test.cpp.o.d"
+  "CMakeFiles/stc_sql_test.dir/sql/planner_test.cpp.o"
+  "CMakeFiles/stc_sql_test.dir/sql/planner_test.cpp.o.d"
+  "stc_sql_test"
+  "stc_sql_test.pdb"
+  "stc_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

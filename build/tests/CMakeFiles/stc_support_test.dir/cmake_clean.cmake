@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_support_test.dir/support/rng_test.cpp.o"
+  "CMakeFiles/stc_support_test.dir/support/rng_test.cpp.o.d"
+  "CMakeFiles/stc_support_test.dir/support/stats_test.cpp.o"
+  "CMakeFiles/stc_support_test.dir/support/stats_test.cpp.o.d"
+  "CMakeFiles/stc_support_test.dir/support/table_test.cpp.o"
+  "CMakeFiles/stc_support_test.dir/support/table_test.cpp.o.d"
+  "CMakeFiles/stc_support_test.dir/support/thread_pool_test.cpp.o"
+  "CMakeFiles/stc_support_test.dir/support/thread_pool_test.cpp.o.d"
+  "CMakeFiles/stc_support_test.dir/support/varint_test.cpp.o"
+  "CMakeFiles/stc_support_test.dir/support/varint_test.cpp.o.d"
+  "stc_support_test"
+  "stc_support_test.pdb"
+  "stc_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

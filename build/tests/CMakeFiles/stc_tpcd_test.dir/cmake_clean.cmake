@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_tpcd_test.dir/tpcd/dbgen_test.cpp.o"
+  "CMakeFiles/stc_tpcd_test.dir/tpcd/dbgen_test.cpp.o.d"
+  "CMakeFiles/stc_tpcd_test.dir/tpcd/oltp_test.cpp.o"
+  "CMakeFiles/stc_tpcd_test.dir/tpcd/oltp_test.cpp.o.d"
+  "CMakeFiles/stc_tpcd_test.dir/tpcd/queries_test.cpp.o"
+  "CMakeFiles/stc_tpcd_test.dir/tpcd/queries_test.cpp.o.d"
+  "stc_tpcd_test"
+  "stc_tpcd_test.pdb"
+  "stc_tpcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_tpcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_trace_test.dir/trace/block_trace_test.cpp.o"
+  "CMakeFiles/stc_trace_test.dir/trace/block_trace_test.cpp.o.d"
+  "CMakeFiles/stc_trace_test.dir/trace/fetch_stream_test.cpp.o"
+  "CMakeFiles/stc_trace_test.dir/trace/fetch_stream_test.cpp.o.d"
+  "stc_trace_test"
+  "stc_trace_test.pdb"
+  "stc_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stc_support_test[1]_include.cmake")
+include("/root/repo/build/tests/stc_cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/stc_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/stc_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/stc_core_test[1]_include.cmake")
+include("/root/repo/build/tests/stc_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/stc_db_test[1]_include.cmake")
+include("/root/repo/build/tests/stc_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/stc_tpcd_test[1]_include.cmake")
+include("/root/repo/build/tests/stc_integration_test[1]_include.cmake")
