@@ -17,20 +17,61 @@ int main() {
   const std::uint32_t cache = 2048;
   const std::uint32_t cfa = 512;
 
-  TextTable table;
-  table.header({"line", "orig miss%", "ops miss%", "orig IPC", "ops IPC"});
-  for (std::uint32_t line : {16u, 32u, 64u, 128u}) {
+  auto runner = bench::make_runner("ablate_linesize", env, setup);
+  runner.meta("cache_bytes", std::uint64_t{cache});
+  runner.meta("cfa_bytes", std::uint64_t{cfa});
+  runner.time_phase("layouts", [&] {
+    setup.layout(LayoutKind::kOrig, 0, 0);
+    setup.layout(LayoutKind::kStcOps, cache, cfa);
+  });
+
+  const std::uint32_t lines[] = {16, 32, 64, 128};
+  struct Row {
+    std::size_t orig_job;
+    std::size_t ops_job;
+  };
+  std::vector<Row> rows;
+  for (const std::uint32_t line : lines) {
     const sim::CacheGeometry dm{cache, line, 1};
     const auto& orig = setup.layout(LayoutKind::kOrig, 0, 0);
     const auto& ops = setup.layout(LayoutKind::kStcOps, cache, cfa);
-    table.row({fmt_size(line), fmt_fixed(bench::miss_pct(setup, orig, dm), 2),
-               fmt_fixed(bench::miss_pct(setup, ops, dm), 2),
-               fmt_fixed(bench::seq3_ipc(setup, orig, dm), 2),
-               fmt_fixed(bench::seq3_ipc(setup, ops, dm), 2)});
+    Row row;
+    // One job per (line, layout) measuring both the miss rate and the SEQ.3
+    // bandwidth under that geometry.
+    const auto both = [&setup, dm](const cfg::AddressMap& layout) {
+      ExperimentResult result = bench::measure_miss(setup, layout, dm);
+      const ExperimentResult fetch = bench::measure_seq3(setup, layout, dm);
+      result.metric("ipc", fetch.metric("ipc"));
+      result.counters().merge(fetch.counters());
+      return result;
+    };
+    row.orig_job = runner.add(
+        fmt_size(line) + " orig",
+        {{"line_bytes", std::to_string(line)}, {"layout", "orig"}},
+        [both, &orig] { return both(orig); });
+    row.ops_job = runner.add(
+        fmt_size(line) + " ops",
+        {{"line_bytes", std::to_string(line)}, {"layout", "ops"}},
+        [both, &ops] { return both(ops); });
+    rows.push_back(row);
+  }
+  runner.run();
+
+  TextTable table;
+  table.header({"line", "orig miss%", "ops miss%", "orig IPC", "ops IPC"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& orig = runner.result(rows[i].orig_job);
+    const auto& ops = runner.result(rows[i].ops_job);
+    table.row({fmt_size(lines[i]), fmt_fixed(orig.metric("miss_pct"), 2),
+               fmt_fixed(ops.metric("miss_pct"), 2),
+               fmt_fixed(orig.metric("ipc"), 2),
+               fmt_fixed(ops.metric("ipc"), 2)});
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nLarger lines prefetch more of a sequential layout (ops gains), but\n"
       "amplify conflict misses for the scattered original layout.\n");
+
+  bench::write_report(runner);
   return 0;
 }

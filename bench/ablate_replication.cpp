@@ -23,20 +23,27 @@ int main() {
   const std::uint32_t cfa = 1024;
   const sim::CacheGeometry dm{cache, env.line_bytes, 1};
 
-  TextTable table;
-  table.header({"growth cap", "clones", "code", "miss%", "IPC",
-                "insn/taken"});
+  auto runner = bench::make_runner("ablate_replication", env, setup);
+  runner.meta("cache_bytes", std::uint64_t{cache});
+  runner.meta("cfa_bytes", std::uint64_t{cfa});
+  runner.time_phase("layouts", [&] {
+    setup.layout(core::LayoutKind::kStcOps, cache, cfa);
+  });
 
   // Baseline: no replication.
-  {
-    const auto& ops = setup.layout(core::LayoutKind::kStcOps, cache, cfa);
-    const auto seq =
-        trace::measure_sequentiality(setup.test_trace(), setup.image(), ops);
-    table.row({"1.0x (off)", "0", fmt_size(setup.image().image_bytes()),
-               fmt_fixed(bench::miss_pct(setup, ops, dm), 2),
-               fmt_fixed(bench::seq3_ipc(setup, ops, dm), 2),
-               fmt_fixed(seq.insns_between_taken_branches(), 1)});
-  }
+  const std::size_t baseline_job = runner.add(
+      "1.0x (off)", {{"config", "off"}}, [&setup, &dm, cache, cfa] {
+        const auto& ops = setup.layout(core::LayoutKind::kStcOps, cache, cfa);
+        ExperimentResult result = bench::measure_miss(setup, ops, dm);
+        const auto fetch = bench::measure_seq3(setup, ops, dm);
+        result.metric("ipc", fetch.metric("ipc"));
+        result.counters().merge(fetch.counters());
+        const auto seq = bench::measure_seq(setup, ops);
+        result.metric("insn_per_taken", seq.metric("insn_per_taken"));
+        result.counters().add("clones", 0);
+        result.counters().add("code_bytes", setup.image().image_bytes());
+        return result;
+      });
 
   struct Config {
     const char* label;
@@ -50,44 +57,66 @@ int main() {
       {"cover 99%", 1.50, 0.99, 0.002},
       {"cover 99%, warm", 2.00, 0.99, 0.0002},
   };
+  std::vector<std::size_t> jobs{baseline_job};
   for (const Config& config : configs) {
-    core::ReplicationParams params;
-    params.max_code_growth = config.growth;
-    params.site_coverage = config.coverage;
-    params.min_routine_weight = config.min_weight;
-    params.max_clones_per_routine = 32;
-    params.max_routine_bytes = 1024;
-    const core::Replicator repl(setup.image(), setup.training_profile(),
-                                params);
+    jobs.push_back(runner.add(
+        config.label,
+        {{"config", config.label},
+         {"growth", fmt_fixed(config.growth, 2)},
+         {"coverage", fmt_fixed(config.coverage, 2)}},
+        [&setup, dm, cache, cfa, config] {
+          core::ReplicationParams params;
+          params.max_code_growth = config.growth;
+          params.site_coverage = config.coverage;
+          params.min_routine_weight = config.min_weight;
+          params.max_clones_per_routine = 32;
+          params.max_routine_bytes = 1024;
+          const core::Replicator repl(setup.image(),
+                                      setup.training_profile(), params);
 
-    // Re-profile the transformed training trace, rebuild the ops layout on
-    // the replicated program, and replay the transformed test trace.
-    const trace::BlockTrace training =
-        repl.transform(setup.training_trace());
-    const trace::BlockTrace test = repl.transform(setup.test_trace());
-    profile::Profile prof(repl.image());
-    prof.consume(training);
-    const auto wcfg = profile::WeightedCFG::from_profile(prof);
+          // Re-profile the transformed training trace, rebuild the ops
+          // layout on the replicated program, and replay the transformed
+          // test trace.
+          const trace::BlockTrace training =
+              repl.transform(setup.training_trace());
+          const trace::BlockTrace test = repl.transform(setup.test_trace());
+          profile::Profile prof(repl.image());
+          prof.consume(training);
+          const auto wcfg = profile::WeightedCFG::from_profile(prof);
 
-    core::StcParams stc;
-    stc.cache_bytes = cache;
-    stc.cfa_bytes = cfa;
-    const auto layout =
-        core::stc_layout(wcfg, core::SeedKind::kOps, stc).layout;
+          core::StcParams stc;
+          stc.cache_bytes = cache;
+          stc.cfa_bytes = cfa;
+          const auto layout =
+              core::stc_layout(wcfg, core::SeedKind::kOps, stc).layout;
 
-    sim::ICache cache_model(dm);
-    const auto miss = sim::run_missrate(test, repl.image(), layout, cache_model);
-    sim::FetchParams fetch_params;
-    sim::ICache cache_model2(dm);
-    const auto fetch =
-        sim::run_seq3(test, repl.image(), layout, fetch_params, &cache_model2);
-    const auto seq = trace::measure_sequentiality(test, repl.image(), layout);
+          ExperimentResult result =
+              bench::measure_miss(test, repl.image(), layout, dm);
+          const auto fetch =
+              bench::measure_seq3(test, repl.image(), layout, dm);
+          result.metric("ipc", fetch.metric("ipc"));
+          result.counters().merge(fetch.counters());
+          const auto seq = bench::measure_seq(test, repl.image(), layout);
+          result.metric("insn_per_taken", seq.metric("insn_per_taken"));
+          result.counters().add("clones", repl.num_clones());
+          result.counters().add("code_bytes", repl.image().image_bytes());
+          return result;
+        }));
+  }
+  runner.run();
 
-    table.row({config.label, fmt_count(repl.num_clones()),
-               fmt_size(repl.image().image_bytes()),
-               fmt_fixed(miss.misses_per_100_insns(), 2),
-               fmt_fixed(fetch.ipc(), 2),
-               fmt_fixed(seq.insns_between_taken_branches(), 1)});
+  TextTable table;
+  table.header({"growth cap", "clones", "code", "miss%", "IPC",
+                "insn/taken"});
+  const char* labels[] = {"1.0x (off)", "cover 80%", "cover 95%", "cover 99%",
+                          "cover 99%, warm"};
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& r = runner.result(jobs[i]);
+    table.row({labels[i], fmt_count(r.counters().get("clones")),
+               fmt_size(r.counters().get("code_bytes")),
+               fmt_fixed(r.metric("miss_pct"), 2),
+               fmt_fixed(r.metric("ipc"), 2),
+               fmt_fixed(r.metric("insn_per_taken"), 1)});
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf(
@@ -97,5 +126,7 @@ int main() {
       "fetch bandwidth than the sequentiality buys - evidence for the\n"
       "paper's caution that code expansion must keep \"the miss rate under\n"
       "control\" (Section 8).\n");
+
+  bench::write_report(runner);
   return 0;
 }

@@ -33,41 +33,81 @@ int main() {
                 static_cast<unsigned long long>(result.pass1_bytes), cfa);
   }
 
-  TextTable table;
-  table.header({"ExecThresh", "BranchThresh", "pass1 bytes", "seqs",
-                "miss%", "IPC", "insn/taken"});
+  auto runner = bench::make_runner("ablate_thresholds", env, setup);
+  runner.meta("cache_bytes", std::uint64_t{cache});
+  runner.meta("cfa_bytes", std::uint64_t{cfa});
+
   const std::uint64_t max_count = [&] {
     std::uint64_t m = 0;
     for (std::uint64_t c : setup.wcfg().block_count) m = std::max(m, c);
     return m;
   }();
-  for (double exec_frac : {0.0001, 0.001, 0.01, 0.1}) {
-    for (double branch : {0.2, 0.4, 0.6, 0.8}) {
-      core::StcParams params;
-      params.cache_bytes = cache;
-      params.cfa_bytes = cfa;
-      params.branch_threshold = branch;
-      params.exec_threshold_pass1 =
-          std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
-                                         exec_frac * double(max_count)));
-      const auto result =
-          core::stc_layout(setup.wcfg(), core::SeedKind::kAuto, params);
-      // Overfull pass-1 spills are handled by the pipeline; report results.
-      const auto seq = trace::measure_sequentiality(setup.test_trace(),
-                                                    setup.image(), result.layout);
-      table.row({fmt_count(*params.exec_threshold_pass1), fmt_fixed(branch, 1),
-                 fmt_count(result.pass1_bytes),
-                 fmt_count(result.num_sequences),
-                 fmt_fixed(bench::miss_pct(setup, result.layout, dm), 2),
-                 fmt_fixed(bench::seq3_ipc(setup, result.layout, dm), 2),
-                 fmt_fixed(seq.insns_between_taken_branches(), 1)});
+
+  // Each job builds a layout under its thresholds and replays the Test trace;
+  // jobs only read the shared Setup.
+  struct Cell {
+    std::size_t job;
+    std::uint64_t exec_threshold;
+    double branch;
+  };
+  std::vector<Cell> cells;
+  const double exec_fracs[] = {0.0001, 0.001, 0.01, 0.1};
+  const double branches[] = {0.2, 0.4, 0.6, 0.8};
+  for (const double exec_frac : exec_fracs) {
+    for (const double branch : branches) {
+      const std::uint64_t exec_threshold = std::max<std::uint64_t>(
+          1,
+          static_cast<std::uint64_t>(exec_frac * double(max_count)));
+      const std::size_t job = runner.add(
+          fmt_count(exec_threshold) + " x " + fmt_fixed(branch, 1),
+          {{"exec_threshold", std::to_string(exec_threshold)},
+           {"branch_threshold", fmt_fixed(branch, 1)}},
+          [&setup, dm, cache, cfa, exec_threshold, branch] {
+            core::StcParams params;
+            params.cache_bytes = cache;
+            params.cfa_bytes = cfa;
+            params.branch_threshold = branch;
+            params.exec_threshold_pass1 = exec_threshold;
+            const auto built =
+                core::stc_layout(setup.wcfg(), core::SeedKind::kAuto, params);
+            // Overfull pass-1 spills are handled by the pipeline; report
+            // the resulting occupancy alongside the simulation metrics.
+            ExperimentResult result =
+                bench::measure_miss(setup, built.layout, dm);
+            const auto fetch = bench::measure_seq3(setup, built.layout, dm);
+            result.metric("ipc", fetch.metric("ipc"));
+            result.counters().merge(fetch.counters());
+            const auto seq = bench::measure_seq(setup, built.layout);
+            result.metric("insn_per_taken", seq.metric("insn_per_taken"));
+            result.counters().add("pass1_bytes", built.pass1_bytes);
+            result.counters().add("sequences", built.num_sequences);
+            return result;
+          });
+      cells.push_back({job, exec_threshold, branch});
     }
-    table.separator();
+  }
+  runner.run();
+
+  TextTable table;
+  table.header({"ExecThresh", "BranchThresh", "pass1 bytes", "seqs",
+                "miss%", "IPC", "insn/taken"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& r = runner.result(cells[i].job);
+    table.row({fmt_count(cells[i].exec_threshold),
+               fmt_fixed(cells[i].branch, 1),
+               fmt_count(r.counters().get("pass1_bytes")),
+               fmt_count(r.counters().get("sequences")),
+               fmt_fixed(r.metric("miss_pct"), 2),
+               fmt_fixed(r.metric("ipc"), 2),
+               fmt_fixed(r.metric("insn_per_taken"), 1)});
+    if (i % 4 == 3) table.separator();
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nLow exec thresholds overfill pass 1 (spilling sequences); high\n"
       "branch thresholds keep sequences short but pure. The auto-fitted\n"
       "threshold balances CFA occupancy against dilution.\n");
+
+  bench::write_report(runner);
   return 0;
 }

@@ -17,36 +17,67 @@ int main() {
 
   const std::uint32_t cache = 4096;
   const sim::CacheGeometry dm{cache, env.line_bytes, 1};
+
+  auto runner = bench::make_runner("ablate_tracecache", env, setup);
+  runner.meta("cache_bytes", std::uint64_t{cache});
+  runner.time_phase("layouts", [&] {
+    setup.layout(LayoutKind::kOrig, 0, 0);
+    setup.layout(LayoutKind::kStcOps, cache, cache / 4);
+  });
   const auto& orig = setup.layout(LayoutKind::kOrig, 0, 0);
   const auto& ops = setup.layout(LayoutKind::kStcOps, cache, cache / 4);
+
+  const std::uint32_t entry_sweep[] = {16, 64, 256, 1024};
+  struct Row {
+    std::size_t orig_job;
+    std::size_t ops_job;
+    std::uint64_t tc_bytes;
+  };
+  std::vector<Row> rows;
+  for (const std::uint32_t entries : entry_sweep) {
+    sim::TraceCacheParams tc;
+    tc.entries = entries;
+    Row row;
+    row.tc_bytes = tc.capacity_bytes();
+    row.orig_job = runner.add(
+        fmt_count(entries) + " orig",
+        {{"tc_entries", std::to_string(entries)}, {"layout", "orig"}},
+        [&setup, &orig, dm, tc] {
+          return bench::measure_tc(setup, orig, dm, tc);
+        });
+    row.ops_job = runner.add(
+        fmt_count(entries) + " ops",
+        {{"tc_entries", std::to_string(entries)}, {"layout", "ops"}},
+        [&setup, &ops, dm, tc] {
+          return bench::measure_tc(setup, ops, dm, tc);
+        });
+    rows.push_back(row);
+  }
+  const std::size_t seq_job =
+      runner.add("seq3 ops", {{"layout", "ops"}}, [&setup, &ops, dm] {
+        return bench::measure_seq3(setup, ops, dm);
+      });
+  runner.run();
 
   TextTable table;
   table.header({"TC entries", "TC bytes", "orig IPC", "orig TC hit%",
                 "ops IPC", "ops TC hit%"});
-  for (std::uint32_t entries : {16u, 64u, 256u, 1024u}) {
-    sim::TraceCacheParams tc;
-    tc.entries = entries;
-    sim::FetchParams params;
-    sim::ICache c1(dm);
-    const auto r_orig = sim::run_trace_cache(setup.test_trace(), setup.image(),
-                                             orig, params, tc, &c1);
-    sim::ICache c2(dm);
-    const auto r_ops = sim::run_trace_cache(setup.test_trace(), setup.image(),
-                                            ops, params, tc, &c2);
-    table.row({fmt_count(entries), fmt_size(tc.capacity_bytes()),
-               fmt_fixed(r_orig.ipc(), 2),
-               fmt_percent(r_orig.tc_hit_ratio()),
-               fmt_fixed(r_ops.ipc(), 2), fmt_percent(r_ops.tc_hit_ratio())});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r_orig = runner.result(rows[i].orig_job);
+    const auto& r_ops = runner.result(rows[i].ops_job);
+    table.row({fmt_count(entry_sweep[i]), fmt_size(rows[i].tc_bytes),
+               fmt_fixed(r_orig.metric("ipc"), 2),
+               fmt_percent(r_orig.metric("tc_hit_pct") / 100.0),
+               fmt_fixed(r_ops.metric("ipc"), 2),
+               fmt_percent(r_ops.metric("tc_hit_pct") / 100.0)});
   }
   std::fputs(table.render().c_str(), stdout);
 
-  sim::FetchParams params;
-  sim::ICache c(dm);
-  const double seq_ops =
-      sim::run_seq3(setup.test_trace(), setup.image(), ops, params, &c).ipc();
   std::printf(
       "\nSEQ.3 alone on the ops layout: %.2f IPC - the software trace cache\n"
       "provides a strong back-up on trace-cache misses (Section 6).\n",
-      seq_ops);
+      runner.result(seq_job).metric("ipc"));
+
+  bench::write_report(runner);
   return 0;
 }

@@ -1,11 +1,19 @@
 #include "bench/common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
-#include "support/thread_pool.h"
-
 namespace stc::bench {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 std::vector<CfaPoint> Env::cfa_sweep() const {
   // Structured like the paper's Table 3 rows (cache / CFA):
@@ -32,12 +40,15 @@ Env Env::from_environment() {
 }
 
 Setup::Setup(const Env& env) : env_(env) {
+  const auto setup_start = std::chrono::steady_clock::now();
   db::tpcd::WorkloadConfig config;
   config.scale_factor = env.scale_factor;
   config.seed = env.seed;
   btree_ = db::tpcd::make_database(config, db::IndexKind::kBTree);
   hash_ = db::tpcd::make_database(config, db::IndexKind::kHash);
+  setup_seconds_ = seconds_since(setup_start);
 
+  const auto workload_start = std::chrono::steady_clock::now();
   profile_ = std::make_unique<profile::Profile>(db::kernel_image());
   {
     trace::TraceRecorder recorder(training_);
@@ -52,6 +63,7 @@ Setup::Setup(const Env& env) : env_(env) {
   }
   wcfg_ = std::make_unique<profile::WeightedCFG>(
       profile::WeightedCFG::from_profile(*profile_));
+  workload_seconds_ = seconds_since(workload_start);
 }
 
 const cfg::ProgramImage& Setup::image() const { return db::kernel_image(); }
@@ -78,46 +90,109 @@ const cfg::AddressMap& Setup::layout(core::LayoutKind kind,
   return layouts_.back()->map;
 }
 
+ExperimentResult measure_miss(const trace::BlockTrace& trace,
+                              const cfg::ProgramImage& image,
+                              const cfg::AddressMap& layout,
+                              const sim::CacheGeometry& geometry,
+                              std::uint32_t victim_lines) {
+  sim::ICache cache(geometry, victim_lines);
+  const auto sim = sim::run_missrate(trace, image, layout, cache);
+  ExperimentResult result;
+  result.metric("miss_pct", sim.misses_per_100_insns());
+  sim.export_counters(result.counters());
+  cache.stats().export_counters(result.counters());
+  result.counters().add("blocks", trace.num_events());
+  return result;
+}
+
+ExperimentResult measure_seq3(const trace::BlockTrace& trace,
+                              const cfg::ProgramImage& image,
+                              const cfg::AddressMap& layout,
+                              const sim::CacheGeometry& geometry,
+                              bool perfect) {
+  sim::FetchParams params;
+  params.perfect_icache = perfect;
+  sim::ICache cache(geometry);
+  const auto sim = sim::run_seq3(trace, image, layout, params,
+                                 perfect ? nullptr : &cache);
+  ExperimentResult result;
+  result.metric("ipc", sim.ipc());
+  sim.export_counters(result.counters());
+  if (!perfect) cache.stats().export_counters(result.counters());
+  result.counters().add("blocks", trace.num_events());
+  return result;
+}
+
+ExperimentResult measure_tc(const trace::BlockTrace& trace,
+                            const cfg::ProgramImage& image,
+                            const cfg::AddressMap& layout,
+                            const sim::CacheGeometry& geometry,
+                            const sim::TraceCacheParams& tc, bool perfect) {
+  sim::FetchParams params;
+  params.perfect_icache = perfect;
+  sim::ICache cache(geometry);
+  const auto sim = sim::run_trace_cache(trace, image, layout, params, tc,
+                                        perfect ? nullptr : &cache);
+  ExperimentResult result;
+  result.metric("ipc", sim.ipc());
+  result.metric("tc_hit_pct", 100.0 * sim.tc_hit_ratio());
+  sim.export_counters(result.counters());
+  if (!perfect) cache.stats().export_counters(result.counters());
+  result.counters().add("blocks", trace.num_events());
+  return result;
+}
+
+ExperimentResult measure_seq(const trace::BlockTrace& trace,
+                             const cfg::ProgramImage& image,
+                             const cfg::AddressMap& layout) {
+  const auto seq = trace::measure_sequentiality(trace, image, layout);
+  ExperimentResult result;
+  result.metric("insn_per_taken", seq.insns_between_taken_branches());
+  seq.export_counters(result.counters());
+  return result;
+}
+
+ExperimentResult measure_miss(Setup& setup, const cfg::AddressMap& layout,
+                              const sim::CacheGeometry& geometry,
+                              std::uint32_t victim_lines) {
+  return measure_miss(setup.test_trace(), setup.image(), layout, geometry,
+                      victim_lines);
+}
+
+ExperimentResult measure_seq3(Setup& setup, const cfg::AddressMap& layout,
+                              const sim::CacheGeometry& geometry,
+                              bool perfect) {
+  return measure_seq3(setup.test_trace(), setup.image(), layout, geometry,
+                      perfect);
+}
+
+ExperimentResult measure_tc(Setup& setup, const cfg::AddressMap& layout,
+                            const sim::CacheGeometry& geometry,
+                            const sim::TraceCacheParams& tc, bool perfect) {
+  return measure_tc(setup.test_trace(), setup.image(), layout, geometry, tc,
+                    perfect);
+}
+
+ExperimentResult measure_seq(Setup& setup, const cfg::AddressMap& layout) {
+  return measure_seq(setup.test_trace(), setup.image(), layout);
+}
+
 double miss_pct(Setup& setup, const cfg::AddressMap& layout,
                 const sim::CacheGeometry& geometry,
                 std::uint32_t victim_lines) {
-  sim::ICache cache(geometry, victim_lines);
-  return sim::run_missrate(setup.test_trace(), setup.image(), layout, cache)
-      .misses_per_100_insns();
+  return measure_miss(setup, layout, geometry, victim_lines)
+      .metric("miss_pct");
 }
 
 double seq3_ipc(Setup& setup, const cfg::AddressMap& layout,
                 const sim::CacheGeometry& geometry, bool perfect) {
-  sim::FetchParams params;
-  params.perfect_icache = perfect;
-  sim::ICache cache(geometry);
-  return sim::run_seq3(setup.test_trace(), setup.image(), layout, params,
-                       perfect ? nullptr : &cache)
-      .ipc();
+  return measure_seq3(setup, layout, geometry, perfect).metric("ipc");
 }
 
 double tc_ipc(Setup& setup, const cfg::AddressMap& layout,
               const sim::CacheGeometry& geometry,
               const sim::TraceCacheParams& tc, bool perfect) {
-  sim::FetchParams params;
-  params.perfect_icache = perfect;
-  sim::ICache cache(geometry);
-  return sim::run_trace_cache(setup.test_trace(), setup.image(), layout, params,
-                              tc, perfect ? nullptr : &cache)
-      .ipc();
-}
-
-std::vector<double> parallel_cells(
-    const std::vector<std::function<double()>>& jobs) {
-  std::size_t threads = 0;  // hardware concurrency
-  if (const char* env = std::getenv("STC_THREADS")) {
-    threads = static_cast<std::size_t>(std::atoi(env));
-  }
-  ThreadPool pool(threads);
-  std::vector<double> results(jobs.size(), 0.0);
-  pool.parallel_for(jobs.size(),
-                    [&](std::size_t i) { results[i] = jobs[i](); });
-  return results;
+  return measure_tc(setup, layout, geometry, tc, perfect).metric("ipc");
 }
 
 void print_banner(const char* title, const Env& env, const Setup& setup) {
@@ -131,6 +206,30 @@ void print_banner(const char* title, const Env& env, const Setup& setup) {
       static_cast<unsigned long long>(setup.test_trace().num_events()),
       setup.image().num_routines(), setup.image().num_blocks(),
       static_cast<unsigned long long>(setup.image().total_instructions()));
+}
+
+ExperimentRunner make_runner(const char* name, const Env& env,
+                             const Setup& setup) {
+  ExperimentRunner runner(name);
+  runner.meta("scale_factor", env.scale_factor);
+  runner.meta("seed", env.seed);
+  runner.meta("line_bytes", std::uint64_t{env.line_bytes});
+  runner.meta("training_events", setup.training_trace().num_events());
+  runner.meta("test_events", setup.test_trace().num_events());
+  runner.meta("kernel_routines",
+              static_cast<std::uint64_t>(setup.image().num_routines()));
+  runner.meta("kernel_blocks",
+              static_cast<std::uint64_t>(setup.image().num_blocks()));
+  runner.meta("kernel_instructions", setup.image().total_instructions());
+  runner.record_phase("setup", setup.setup_seconds());
+  runner.record_phase("workload", setup.workload_seconds());
+  return runner;
+}
+
+void write_report(const ExperimentRunner& runner) {
+  const std::string path = runner.write_report();
+  std::printf("\n[%s] wrote %s (%zu jobs)\n", runner.name().c_str(),
+              path.c_str(), runner.num_jobs());
 }
 
 }  // namespace stc::bench

@@ -4,12 +4,18 @@
 // Hash TPC-D databases, the Training-set profile (queries 3,4,5,6,9 on the
 // Btree database) and the Test-set trace (queries 2,3,4,6,11,12,13,14,15,17
 // on both databases). Environment knobs:
-//   STC_SF    - TPC-D scale factor               (default 0.002)
-//   STC_SEED  - generator seed                   (default 19990401)
-//   STC_LINE  - cache line bytes                 (default 32)
+//   STC_SF        - TPC-D scale factor             (default 0.002)
+//   STC_SEED      - generator seed                 (default 19990401)
+//   STC_LINE      - cache line bytes               (default 32)
+//   STC_THREADS   - experiment grid workers        (default hardware)
+//   STC_BENCH_DIR - directory for BENCH_*.json     (default cwd)
 // The paper's absolute cache sizes (8-64KB) are scaled to this kernel's
 // executed footprint: the sweep uses 1-8KB caches, spanning the same ratio
 // of hot-code size to cache size as the original (see EXPERIMENTS.md).
+//
+// Benches declare their measurement grid on an ExperimentRunner (built by
+// make_runner), run it, render their ASCII table from the aggregated
+// results, and emit the full grid as BENCH_<name>.json via write_report.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +31,7 @@
 #include "sim/fetch_unit.h"
 #include "sim/icache.h"
 #include "sim/trace_cache.h"
+#include "support/experiment.h"
 #include "support/table.h"
 
 namespace stc::bench {
@@ -60,6 +67,11 @@ class Setup {
   const trace::BlockTrace& test_trace() const { return test_; }
   const profile::WeightedCFG& wcfg() const { return *wcfg_; }
 
+  // Wall-clock spent building the databases ("setup" phase) and recording
+  // the training/test workload traces ("workload" phase).
+  double setup_seconds() const { return setup_seconds_; }
+  double workload_seconds() const { return workload_seconds_; }
+
   // Builds (and caches) a layout for the given kind and geometry.
   const cfg::AddressMap& layout(core::LayoutKind kind,
                                 std::uint32_t cache_bytes,
@@ -73,6 +85,8 @@ class Setup {
   trace::BlockTrace training_;
   trace::BlockTrace test_;
   std::unique_ptr<profile::WeightedCFG> wcfg_;
+  double setup_seconds_ = 0.0;
+  double workload_seconds_ = 0.0;
   struct CachedLayout {
     core::LayoutKind kind;
     std::uint32_t cache_bytes;
@@ -83,7 +97,50 @@ class Setup {
   std::vector<std::unique_ptr<CachedLayout>> layouts_;
 };
 
-// Convenience wrappers over the simulators using the Test trace.
+// ---- Measurement cells -----------------------------------------------------
+//
+// Each returns the cell's headline metric(s) plus the simulator's raw
+// counters, ready to hand to ExperimentRunner jobs. Metric names:
+//   measure_miss  -> "miss_pct"                  (Table 3 metric)
+//   measure_seq3  -> "ipc"                       (Table 4 metric)
+//   measure_tc    -> "ipc", "tc_hit_pct"
+//   measure_seq   -> "insn_per_taken"            (sequentiality headline)
+// The generic overloads take any (trace, image, layout); the Setup overloads
+// use the Test trace and kernel image.
+
+ExperimentResult measure_miss(const trace::BlockTrace& trace,
+                              const cfg::ProgramImage& image,
+                              const cfg::AddressMap& layout,
+                              const sim::CacheGeometry& geometry,
+                              std::uint32_t victim_lines = 0);
+ExperimentResult measure_seq3(const trace::BlockTrace& trace,
+                              const cfg::ProgramImage& image,
+                              const cfg::AddressMap& layout,
+                              const sim::CacheGeometry& geometry,
+                              bool perfect = false);
+ExperimentResult measure_tc(const trace::BlockTrace& trace,
+                            const cfg::ProgramImage& image,
+                            const cfg::AddressMap& layout,
+                            const sim::CacheGeometry& geometry,
+                            const sim::TraceCacheParams& tc,
+                            bool perfect = false);
+ExperimentResult measure_seq(const trace::BlockTrace& trace,
+                             const cfg::ProgramImage& image,
+                             const cfg::AddressMap& layout);
+
+ExperimentResult measure_miss(Setup& setup, const cfg::AddressMap& layout,
+                              const sim::CacheGeometry& geometry,
+                              std::uint32_t victim_lines = 0);
+ExperimentResult measure_seq3(Setup& setup, const cfg::AddressMap& layout,
+                              const sim::CacheGeometry& geometry,
+                              bool perfect = false);
+ExperimentResult measure_tc(Setup& setup, const cfg::AddressMap& layout,
+                            const sim::CacheGeometry& geometry,
+                            const sim::TraceCacheParams& tc,
+                            bool perfect = false);
+ExperimentResult measure_seq(Setup& setup, const cfg::AddressMap& layout);
+
+// Convenience wrappers extracting the single headline metric.
 double miss_pct(Setup& setup, const cfg::AddressMap& layout,
                 const sim::CacheGeometry& geometry,
                 std::uint32_t victim_lines = 0);
@@ -93,13 +150,17 @@ double tc_ipc(Setup& setup, const cfg::AddressMap& layout,
               const sim::CacheGeometry& geometry,
               const sim::TraceCacheParams& tc, bool perfect = false);
 
+// ---- Reporting -------------------------------------------------------------
+
 // Header banner shared by all benches.
 void print_banner(const char* title, const Env& env, const Setup& setup);
 
-// Evaluates independent measurement cells concurrently (STC_THREADS workers,
-// default = hardware concurrency). Each job must only read shared state:
-// prebuild every layout via Setup::layout() before fanning out.
-std::vector<double> parallel_cells(
-    const std::vector<std::function<double()>>& jobs);
+// An ExperimentRunner named `name`, pre-populated with the environment
+// metadata and the Setup's setup/workload phase timings.
+ExperimentRunner make_runner(const char* name, const Env& env,
+                             const Setup& setup);
+
+// Writes BENCH_<name>.json and prints a one-line confirmation footer.
+void write_report(const ExperimentRunner& runner);
 
 }  // namespace stc::bench

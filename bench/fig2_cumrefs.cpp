@@ -15,22 +15,50 @@ int main() {
 
   const auto& prof = setup.training_profile();
   const auto curve = profile::cumulative_reference_curve(prof);
+  const std::uint64_t total_static = setup.image().num_blocks();
 
-  // Print the curve at exponentially spaced N (ASCII series of the figure).
+  auto runner = bench::make_runner("fig2_cumrefs", env, setup);
+  const std::uint64_t sample_points[] = {1, 2, 5, 10, 20, 40, 80, 160, 320,
+                                         640};
+  std::vector<std::size_t> sample_jobs;
+  for (const std::uint64_t n : sample_points) {
+    if (n > curve.size()) break;
+    sample_jobs.push_back(runner.add(
+        "top-" + std::to_string(n), {{"top_n", std::to_string(n)}},
+        [&curve, n, total_static] {
+          ExperimentResult result;
+          result.metric("static_pct", 100.0 * static_cast<double>(n) /
+                                          static_cast<double>(total_static));
+          result.metric("dynamic_refs_pct", 100.0 * curve[n - 1]);
+          result.counters().add("blocks", n);
+          return result;
+        }));
+  }
+  const std::size_t headline_job = runner.add("coverage thresholds", [&] {
+    ExperimentResult result;
+    result.counters().add("blocks_for_90pct",
+                          profile::blocks_for_fraction(curve, 0.90));
+    result.counters().add("blocks_for_99pct",
+                          profile::blocks_for_fraction(curve, 0.99));
+    result.counters().add("executed_blocks", curve.size());
+    result.counters().add("static_blocks", total_static);
+    return result;
+  });
+  runner.run();
+
   TextTable table;
   table.header({"Top-N blocks", "% of static blocks", "% dynamic refs"});
-  const std::uint64_t total_static = setup.image().num_blocks();
-  for (std::uint64_t n : {1u, 2u, 5u, 10u, 20u, 40u, 80u, 160u, 320u, 640u}) {
-    if (n > curve.size()) break;
-    table.row({fmt_count(n),
-               fmt_percent(static_cast<double>(n) /
-                           static_cast<double>(total_static)),
-               fmt_percent(curve[n - 1])});
+  for (const std::size_t job : sample_jobs) {
+    const auto& r = runner.result(job);
+    table.row({fmt_count(r.counters().get("blocks")),
+               fmt_percent(r.metric("static_pct") / 100.0),
+               fmt_percent(r.metric("dynamic_refs_pct") / 100.0)});
   }
   std::fputs(table.render().c_str(), stdout);
 
-  const std::uint64_t n90 = profile::blocks_for_fraction(curve, 0.90);
-  const std::uint64_t n99 = profile::blocks_for_fraction(curve, 0.99);
+  const auto& headline = runner.result(headline_job);
+  const std::uint64_t n90 = headline.counters().get("blocks_for_90pct");
+  const std::uint64_t n99 = headline.counters().get("blocks_for_99pct");
   std::printf(
       "\n90%% of references: %llu blocks (%.2f%% of static; paper: 1000 "
       "blocks = 0.7%%)\n"
@@ -56,5 +84,7 @@ int main() {
     std::printf("%s\n", line.c_str());
   }
   std::printf("     +%s\n", std::string(width, '-').c_str());
+
+  bench::write_report(runner);
   return 0;
 }

@@ -23,10 +23,14 @@ int main() {
   const sim::CacheGeometry dm{cache, env.line_bytes, 1};
   const auto& image = setup.image();
 
+  auto runner = bench::make_runner("oltp_compare", env, setup);
+  runner.meta("cache_bytes", std::uint64_t{cache});
+  runner.meta("cfa_bytes", std::uint64_t{cfa});
+
   // ---- record the OLTP trace (btree database, index-driven mix) ----------
   trace::BlockTrace oltp_trace;
   profile::Profile oltp_profile(image);
-  {
+  runner.time_phase("oltp_record", [&] {
     trace::TraceRecorder recorder(oltp_trace);
     cfg::TeeSink tee;
     tee.add(&recorder);
@@ -44,33 +48,27 @@ int main() {
                 static_cast<unsigned long long>(stats.rows_read),
                 static_cast<unsigned long long>(stats.rows_inserted),
                 static_cast<unsigned long long>(oltp_trace.num_events()));
-  }
+  });
+  runner.meta("oltp_events", oltp_trace.num_events());
 
   // ---- layouts --------------------------------------------------------------
+  cfg::AddressMap ops_oltp;
+  runner.time_phase("layouts", [&] {
+    setup.layout(core::LayoutKind::kOrig, 0, 0);
+    setup.layout(core::LayoutKind::kStcOps, cache, cfa);
+    core::StcParams params;
+    params.cache_bytes = cache;
+    params.cfa_bytes = cfa;
+    ops_oltp =
+        core::stc_layout(profile::WeightedCFG::from_profile(oltp_profile),
+                         core::SeedKind::kOps, params)
+            .layout;
+  });
   const auto& orig = setup.layout(core::LayoutKind::kOrig, 0, 0);
   const auto& ops_dss = setup.layout(core::LayoutKind::kStcOps, cache, cfa);
-  core::StcParams params;
-  params.cache_bytes = cache;
-  params.cfa_bytes = cfa;
-  const auto ops_oltp =
-      core::stc_layout(profile::WeightedCFG::from_profile(oltp_profile),
-                       core::SeedKind::kOps, params)
-          .layout;
 
-  const auto measure = [&](const trace::BlockTrace& trace,
-                           const cfg::AddressMap& layout, double& miss,
-                           double& ipc, double& ibt) {
-    sim::ICache c1(dm);
-    miss = sim::run_missrate(trace, image, layout, c1).misses_per_100_insns();
-    sim::FetchParams fp;
-    sim::ICache c2(dm);
-    ipc = sim::run_seq3(trace, image, layout, fp, &c2).ipc();
-    ibt = trace::measure_sequentiality(trace, image, layout)
-              .insns_between_taken_branches();
-  };
-
-  TextTable table;
-  table.header({"workload", "layout", "miss%", "IPC", "insn/taken"});
+  // One job per (workload, layout): miss rate, SEQ.3 bandwidth and
+  // sequentiality over the same trace/layout pair.
   struct Row {
     const char* workload;
     const trace::BlockTrace* trace;
@@ -85,18 +83,39 @@ int main() {
       {"OLTP", &oltp_trace, "ops (DSS-trained)", &ops_dss},
       {"OLTP", &oltp_trace, "ops (OLTP-trained)", &ops_oltp},
   };
+  std::vector<std::size_t> jobs;
   for (const Row& row : rows) {
-    double miss = 0;
-    double ipc = 0;
-    double ibt = 0;
-    measure(*row.trace, *row.layout, miss, ipc, ibt);
-    table.row({row.workload, row.layout_name, fmt_fixed(miss, 2),
-               fmt_fixed(ipc, 2), fmt_fixed(ibt, 1)});
+    jobs.push_back(runner.add(
+        std::string(row.workload) + " / " + row.layout_name,
+        {{"workload", row.workload}, {"layout", row.layout_name}},
+        [&image, dm, trace = row.trace, layout = row.layout] {
+          ExperimentResult result =
+              bench::measure_miss(*trace, image, *layout, dm);
+          const auto fetch = bench::measure_seq3(*trace, image, *layout, dm);
+          result.metric("ipc", fetch.metric("ipc"));
+          result.counters().merge(fetch.counters());
+          const auto seq = bench::measure_seq(*trace, image, *layout);
+          result.metric("insn_per_taken", seq.metric("insn_per_taken"));
+          return result;
+        }));
+  }
+  runner.run();
+
+  TextTable table;
+  table.header({"workload", "layout", "miss%", "IPC", "insn/taken"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& r = runner.result(jobs[i]);
+    table.row({rows[i].workload, rows[i].layout_name,
+               fmt_fixed(r.metric("miss_pct"), 2),
+               fmt_fixed(r.metric("ipc"), 2),
+               fmt_fixed(r.metric("insn_per_taken"), 1)});
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nThe DSS-trained layout carries most of its benefit over to OLTP\n"
       "(the hot kernel below the Executor is shared); training on the\n"
       "matching workload closes the remaining gap.\n");
+
+  bench::write_report(runner);
   return 0;
 }

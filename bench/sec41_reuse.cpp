@@ -19,23 +19,41 @@ int main() {
               static_cast<unsigned long long>(reuse.hot_blocks),
               100.0 * reuse.coverage);
 
+  auto runner = bench::make_runner("sec41_reuse", env, setup);
+  runner.meta("hot_blocks", reuse.hot_blocks);
+  runner.meta("coverage", reuse.coverage);
+
+  struct Bound {
+    std::uint64_t insns;
+    const char* paper;
+  };
+  const Bound bounds[] = {{25, ""},    {50, ""},    {100, "19%"}, {250, "33%"},
+                          {500, ""},   {1000, ""},  {10000, ""}};
+  std::vector<std::size_t> jobs;
+  for (const Bound& bound : bounds) {
+    jobs.push_back(runner.add(
+        "within-" + std::to_string(bound.insns),
+        {{"insns", std::to_string(bound.insns)}}, [&reuse, bound] {
+          ExperimentResult result;
+          result.metric("reuse_fraction", reuse.fraction_below(bound.insns));
+          return result;
+        }));
+  }
+  runner.run();
+
   TextTable table;
   table.header({"Re-referenced within", "Fraction of re-references", "(paper)"});
-  const auto row = [&](std::uint64_t insns, const char* paper) {
-    table.row({fmt_count(insns) + " insns",
-               fmt_percent(reuse.fraction_below(insns)), paper});
-  };
-  row(25, "");
-  row(50, "");
-  row(100, "19%");
-  row(250, "33%");
-  row(500, "");
-  row(1000, "");
-  row(10000, "");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    table.row({fmt_count(bounds[i].insns) + " insns",
+               fmt_percent(runner.result(jobs[i]).metric("reuse_fraction")),
+               bounds[i].paper});
+  }
   std::fputs(table.render().c_str(), stdout);
 
   std::printf(
       "\nThe most popular blocks are re-executed every few instructions:\n"
       "substantial temporal locality for a Conflict-Free Area to exploit.\n");
+
+  bench::write_report(runner);
   return 0;
 }

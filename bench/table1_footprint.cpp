@@ -13,24 +13,46 @@ int main() {
   bench::print_banner("Table 1: static vs executed footprint (Training set)",
                       env, setup);
 
-  const auto fp = profile::footprint(setup.training_profile());
+  auto runner = bench::make_runner("table1_footprint", env, setup);
+  const std::size_t job = runner.add("footprint", [&] {
+    const auto fp = profile::footprint(setup.training_profile());
+    ExperimentResult result;
+    result.metric("routine_fraction", fp.routine_fraction());
+    result.metric("block_fraction", fp.block_fraction());
+    result.metric("instruction_fraction", fp.instruction_fraction());
+    result.counters().add("total_routines", fp.total_routines);
+    result.counters().add("executed_routines", fp.executed_routines);
+    result.counters().add("total_blocks", fp.total_blocks);
+    result.counters().add("executed_blocks", fp.executed_blocks);
+    result.counters().add("total_instructions", fp.total_instructions);
+    result.counters().add("executed_instructions", fp.executed_instructions);
+    result.counters().add("blocks", setup.training_trace().num_events());
+    return result;
+  });
+  runner.run();
+
+  const auto& r = runner.result(job);
+  const auto count = [&](const char* name) {
+    return fmt_count(r.counters().get(name));
+  };
   TextTable table;
   table.header({"", "Total", "Executed", "Percent", "(paper)"});
-  table.row({"Procedures", fmt_count(fp.total_routines),
-             fmt_count(fp.executed_routines), fmt_percent(fp.routine_fraction()),
-             "19.7%"});
-  table.row({"Basic blocks", fmt_count(fp.total_blocks),
-             fmt_count(fp.executed_blocks), fmt_percent(fp.block_fraction()),
-             "12.1%"});
-  table.row({"Instructions", fmt_count(fp.total_instructions),
-             fmt_count(fp.executed_instructions),
-             fmt_percent(fp.instruction_fraction()), "12.7%"});
+  table.row({"Procedures", count("total_routines"),
+             count("executed_routines"),
+             fmt_percent(r.metric("routine_fraction")), "19.7%"});
+  table.row({"Basic blocks", count("total_blocks"), count("executed_blocks"),
+             fmt_percent(r.metric("block_fraction")), "12.1%"});
+  table.row({"Instructions", count("total_instructions"),
+             count("executed_instructions"),
+             fmt_percent(r.metric("instruction_fraction")), "12.7%"});
   std::fputs(table.render().c_str(), stdout);
 
   std::printf(
       "\nExecuted code: %s of %s static code; the database kernel contains\n"
       "large sections of code which are rarely accessed (Section 4.1).\n",
-      fmt_size(fp.executed_instructions * 4).c_str(),
-      fmt_size(fp.total_instructions * 4).c_str());
+      fmt_size(r.counters().get("executed_instructions") * 4).c_str(),
+      fmt_size(r.counters().get("total_instructions") * 4).c_str());
+
+  bench::write_report(runner);
   return 0;
 }

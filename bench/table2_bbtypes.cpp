@@ -14,24 +14,56 @@ int main() {
                       setup);
 
   const auto stats = profile::block_type_stats(setup.training_profile());
+
+  auto runner = bench::make_runner("table2_bbtypes", env, setup);
+  struct KindRow {
+    cfg::BlockKind kind;
+    const char* paper;
+  };
+  const KindRow kinds[] = {
+      {cfg::BlockKind::kFallThrough, "24.4 / 22.4 / 100%"},
+      {cfg::BlockKind::kBranch, "42.4 / 50.2 /  59%"},
+      {cfg::BlockKind::kCall, " 8.0 / 13.7 / 100%"},
+      {cfg::BlockKind::kReturn, "25.2 / 13.7 / 100%"},
+  };
+  std::vector<std::size_t> jobs;
+  for (const KindRow& row : kinds) {
+    jobs.push_back(runner.add(
+        cfg::to_string(row.kind), {{"kind", cfg::to_string(row.kind)}},
+        [&stats, row] {
+          const auto& r = stats.by_kind[static_cast<int>(row.kind)];
+          ExperimentResult result;
+          result.metric("static_pct", 100.0 * r.static_fraction);
+          result.metric("dynamic_pct", 100.0 * r.dynamic_fraction);
+          result.metric("predictable_pct", 100.0 * r.predictable);
+          return result;
+        }));
+  }
+  const std::size_t overall_job = runner.add("overall", [&stats] {
+    ExperimentResult result;
+    result.metric("predictable_pct", 100.0 * stats.overall_predictable);
+    return result;
+  });
+  runner.run();
+
   TextTable table;
   table.header({"BB Type", "Static", "Dynamic", "Predictable", "(paper)"});
-  const auto row = [&](cfg::BlockKind kind, const char* paper) {
-    const auto& r = stats.by_kind[static_cast<int>(kind)];
-    table.row({cfg::to_string(kind), fmt_percent(r.static_fraction),
-               fmt_percent(r.dynamic_fraction), fmt_percent(r.predictable),
-               paper});
-  };
-  row(cfg::BlockKind::kFallThrough, "24.4 / 22.4 / 100%");
-  row(cfg::BlockKind::kBranch, "42.4 / 50.2 /  59%");
-  row(cfg::BlockKind::kCall, " 8.0 / 13.7 / 100%");
-  row(cfg::BlockKind::kReturn, "25.2 / 13.7 / 100%");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& r = runner.result(jobs[i]);
+    table.row({cfg::to_string(kinds[i].kind),
+               fmt_percent(r.metric("static_pct") / 100.0),
+               fmt_percent(r.metric("dynamic_pct") / 100.0),
+               fmt_percent(r.metric("predictable_pct") / 100.0),
+               kinds[i].paper});
+  }
   std::fputs(table.render().c_str(), stdout);
 
   std::printf(
       "\nOverall, %.1f%% of the dynamic block transitions are predictable\n"
       "(paper: ~80%%): executed sequences are deterministic enough to build\n"
       "basic-block traces at compile time (Section 4.2).\n",
-      100.0 * stats.overall_predictable);
+      runner.result(overall_job).metric("predictable_pct"));
+
+  bench::write_report(runner);
   return 0;
 }

@@ -7,9 +7,9 @@
 // The paper's absolute cache sizes (8-64KB) are scaled 8x down to match this
 // kernel's executed footprint; the row structure (three to four CFA choices
 // per cache size) mirrors the paper exactly. Independent (layout, cache)
-// cells are simulated concurrently after the layouts are prebuilt.
+// cells run as one ExperimentRunner grid after the layouts are prebuilt.
+#include <array>
 #include <cstdio>
-#include <functional>
 
 #include "bench/common.h"
 
@@ -21,27 +21,44 @@ int main() {
   bench::print_banner("Table 3: i-cache miss rate per layout (Test set)", env,
                       setup);
 
+  auto runner = bench::make_runner("table3_missrate", env, setup);
+
   // Prebuild every layout so the parallel phase is read-only.
-  for (const bench::CfaPoint& point : env.cfa_sweep()) {
-    for (LayoutKind kind :
-         {LayoutKind::kTorrellas, LayoutKind::kStcAuto, LayoutKind::kStcOps}) {
-      setup.layout(kind, point.cache_bytes, point.cfa_bytes);
+  runner.time_phase("layouts", [&] {
+    for (const bench::CfaPoint& point : env.cfa_sweep()) {
+      for (LayoutKind kind : {LayoutKind::kTorrellas, LayoutKind::kStcAuto,
+                              LayoutKind::kStcOps}) {
+        setup.layout(kind, point.cache_bytes, point.cfa_bytes);
+      }
     }
-  }
-  setup.layout(LayoutKind::kOrig, 0, 0);
-  setup.layout(LayoutKind::kPettisHansen, 0, 0);
+    setup.layout(LayoutKind::kOrig, 0, 0);
+    setup.layout(LayoutKind::kPettisHansen, 0, 0);
+  });
 
   // Enumerate the measurement cells.
   struct CellRef {
+    std::size_t job;
     std::size_t row;
     std::size_t column;
   };
-  std::vector<std::function<double()>> jobs;
   std::vector<CellRef> refs;
   const auto sweep = env.cfa_sweep();
   // values[row][col], col 0..6 = orig P&H Torr auto ops 2way victim.
   std::vector<std::array<double, 7>> values(sweep.size());
   std::vector<bool> leads_cache(sweep.size(), false);
+
+  const auto add = [&](std::size_t row, std::size_t column,
+                       const std::string& cell, const bench::CfaPoint& point,
+                       const char* layout,
+                       std::function<ExperimentResult()> fn) {
+    const std::size_t job = runner.add(
+        cell + " " + layout,
+        {{"cache_bytes", std::to_string(point.cache_bytes)},
+         {"cfa_bytes", std::to_string(point.cfa_bytes)},
+         {"layout", layout}},
+        std::move(fn));
+    refs.push_back({job, row, column});
+  };
 
   std::uint32_t last_cache = 0;
   for (std::size_t r = 0; r < sweep.size(); ++r) {
@@ -49,43 +66,45 @@ int main() {
     const sim::CacheGeometry dm{point.cache_bytes, env.line_bytes, 1};
     leads_cache[r] = point.cache_bytes != last_cache;
     last_cache = point.cache_bytes;
+    const std::string cell =
+        fmt_size(point.cache_bytes) + "/" + fmt_size(point.cfa_bytes);
     if (leads_cache[r]) {
-      jobs.push_back([&setup, dm] {
-        return bench::miss_pct(setup, setup.layout(LayoutKind::kOrig, 0, 0), dm);
+      add(r, 0, cell, point, "orig", [&setup, dm] {
+        return bench::measure_miss(setup, setup.layout(LayoutKind::kOrig, 0, 0),
+                                   dm);
       });
-      refs.push_back({r, 0});
-      jobs.push_back([&setup, dm] {
-        return bench::miss_pct(
+      add(r, 1, cell, point, "ph", [&setup, dm] {
+        return bench::measure_miss(
             setup, setup.layout(LayoutKind::kPettisHansen, 0, 0), dm);
       });
-      refs.push_back({r, 1});
       const sim::CacheGeometry two_way{point.cache_bytes, env.line_bytes, 2};
-      jobs.push_back([&setup, two_way] {
-        return bench::miss_pct(setup, setup.layout(LayoutKind::kOrig, 0, 0),
-                               two_way);
+      add(r, 5, cell, point, "orig-2way", [&setup, two_way] {
+        return bench::measure_miss(
+            setup, setup.layout(LayoutKind::kOrig, 0, 0), two_way);
       });
-      refs.push_back({r, 5});
-      jobs.push_back([&setup, dm] {
-        return bench::miss_pct(setup, setup.layout(LayoutKind::kOrig, 0, 0),
-                               dm, /*victim_lines=*/4);
+      add(r, 6, cell, point, "orig-victim", [&setup, dm] {
+        return bench::measure_miss(setup, setup.layout(LayoutKind::kOrig, 0, 0),
+                                   dm, /*victim_lines=*/4);
       });
-      refs.push_back({r, 6});
     }
-    const LayoutKind kinds[] = {LayoutKind::kTorrellas, LayoutKind::kStcAuto,
-                                LayoutKind::kStcOps};
+    const struct {
+      LayoutKind kind;
+      const char* label;
+    } kinds[] = {{LayoutKind::kTorrellas, "torr"},
+                 {LayoutKind::kStcAuto, "auto"},
+                 {LayoutKind::kStcOps, "ops"}};
     for (std::size_t k = 0; k < 3; ++k) {
-      const LayoutKind kind = kinds[k];
-      jobs.push_back([&setup, kind, point, dm] {
-        return bench::miss_pct(
+      const LayoutKind kind = kinds[k].kind;
+      add(r, 2 + k, cell, point, kinds[k].label, [&setup, kind, point, dm] {
+        return bench::measure_miss(
             setup, setup.layout(kind, point.cache_bytes, point.cfa_bytes), dm);
       });
-      refs.push_back({r, 2 + k});
     }
   }
 
-  const std::vector<double> results = bench::parallel_cells(jobs);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    values[refs[i].row][refs[i].column] = results[i];
+  runner.run();
+  for (const CellRef& ref : refs) {
+    values[ref.row][ref.column] = runner.result(ref.job).metric("miss_pct");
   }
 
   // Render.
@@ -112,7 +131,6 @@ int main() {
   // Headline: miss reduction band across the sweep (paper: 60-98%).
   double best_reduction = 0.0;
   double worst_reduction = 1.0;
-  last_cache = 0;
   for (std::size_t r = 0; r < sweep.size(); ++r) {
     if (!leads_cache[r]) continue;
     const double orig = values[r][0];
@@ -130,5 +148,7 @@ int main() {
       "\nops-layout miss reduction across cache sizes: %.0f%% .. %.0f%% "
       "(paper: 60-98%%)\n",
       100.0 * worst_reduction, 100.0 * best_reduction);
+
+  bench::write_report(runner);
   return 0;
 }

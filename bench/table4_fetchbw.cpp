@@ -6,9 +6,9 @@
 //
 // Headline paper numbers: orig 5.8 -> ops 10.6 at the largest cache;
 // Trace Cache alone 8.6 -> 12.1 combined; instructions between taken
-// branches 8.9 -> 22.4. Independent cells run concurrently.
+// branches 8.9 -> 22.4. Cells run as one ExperimentRunner grid.
+#include <array>
 #include <cstdio>
-#include <functional>
 
 #include "bench/common.h"
 
@@ -22,22 +22,26 @@ int main() {
   sim::TraceCacheParams tc;
   tc.entries = 64;  // 64 x 16 insns x 4B = 4KB, scaled like the cache axis
 
+  auto runner = bench::make_runner("table4_fetchbw", env, setup);
+
   // Prebuild layouts (the parallel phase must be read-only).
   const auto sweep = env.cfa_sweep();
-  for (const bench::CfaPoint& point : sweep) {
-    for (LayoutKind kind :
-         {LayoutKind::kTorrellas, LayoutKind::kStcAuto, LayoutKind::kStcOps}) {
-      setup.layout(kind, point.cache_bytes, point.cfa_bytes);
+  runner.time_phase("layouts", [&] {
+    for (const bench::CfaPoint& point : sweep) {
+      for (LayoutKind kind : {LayoutKind::kTorrellas, LayoutKind::kStcAuto,
+                              LayoutKind::kStcOps}) {
+        setup.layout(kind, point.cache_bytes, point.cfa_bytes);
+      }
     }
-  }
-  setup.layout(LayoutKind::kOrig, 0, 0);
-  setup.layout(LayoutKind::kPettisHansen, 0, 0);
-  setup.layout(LayoutKind::kStcAuto, 4096, 1024);
-  setup.layout(LayoutKind::kStcOps, 4096, 1024);
+    setup.layout(LayoutKind::kOrig, 0, 0);
+    setup.layout(LayoutKind::kPettisHansen, 0, 0);
+    setup.layout(LayoutKind::kStcAuto, 4096, 1024);
+    setup.layout(LayoutKind::kStcOps, 4096, 1024);
+  });
 
   // Columns: orig P&H Torr auto ops TC TC+ops.
-  std::vector<std::function<double()>> jobs;
   struct CellRef {
+    std::size_t job;
     std::size_t row;  // 0 = Ideal, 1.. = sweep rows
     std::size_t column;
   };
@@ -45,32 +49,43 @@ int main() {
   std::vector<std::array<double, 7>> values(sweep.size() + 1);
   std::vector<bool> leads_cache(sweep.size() + 1, true);
 
-  const auto add = [&](std::size_t row, std::size_t column,
-                       std::function<double()> job) {
-    jobs.push_back(std::move(job));
-    refs.push_back({row, column});
+  const auto add = [&](std::size_t row, std::size_t column, std::string name,
+                       std::vector<std::pair<std::string, std::string>> params,
+                       std::function<ExperimentResult()> job) {
+    const std::size_t index =
+        runner.add(std::move(name), std::move(params), std::move(job));
+    refs.push_back({index, row, column});
   };
 
   // ---- Ideal row (perfect i-cache) ---------------------------------------
   {
     const sim::CacheGeometry any{8192, env.line_bytes, 1};
-    const LayoutKind kinds[] = {LayoutKind::kOrig, LayoutKind::kPettisHansen,
-                                LayoutKind::kTorrellas, LayoutKind::kStcAuto,
-                                LayoutKind::kStcOps};
+    const struct {
+      LayoutKind kind;
+      const char* label;
+    } kinds[] = {{LayoutKind::kOrig, "orig"},
+                 {LayoutKind::kPettisHansen, "ph"},
+                 {LayoutKind::kTorrellas, "torr"},
+                 {LayoutKind::kStcAuto, "auto"},
+                 {LayoutKind::kStcOps, "ops"}};
     for (std::size_t k = 0; k < 5; ++k) {
-      const auto& layout = setup.layout(kinds[k], 4096, 1024);
-      add(0, k, [&setup, &layout, any] {
-        return bench::seq3_ipc(setup, layout, any, true);
-      });
+      const auto& layout = setup.layout(kinds[k].kind, 4096, 1024);
+      add(0, k, std::string("Ideal ") + kinds[k].label,
+          {{"row", "ideal"}, {"layout", kinds[k].label}},
+          [&setup, &layout, any] {
+            return bench::measure_seq3(setup, layout, any, true);
+          });
     }
     const auto& orig = setup.layout(LayoutKind::kOrig, 0, 0);
-    add(0, 5, [&setup, &orig, any, tc] {
-      return bench::tc_ipc(setup, orig, any, tc, true);
-    });
+    add(0, 5, "Ideal tc", {{"row", "ideal"}, {"layout", "tc"}},
+        [&setup, &orig, any, tc] {
+          return bench::measure_tc(setup, orig, any, tc, true);
+        });
     const auto& ops = setup.layout(LayoutKind::kStcOps, 4096, 1024);
-    add(0, 6, [&setup, &ops, any, tc] {
-      return bench::tc_ipc(setup, ops, any, tc, true);
-    });
+    add(0, 6, "Ideal tc+ops", {{"row", "ideal"}, {"layout", "tc+ops"}},
+        [&setup, &ops, any, tc] {
+          return bench::measure_tc(setup, ops, any, tc, true);
+        });
   }
 
   // ---- realistic rows ------------------------------------------------------
@@ -80,35 +95,76 @@ int main() {
     const sim::CacheGeometry dm{point.cache_bytes, env.line_bytes, 1};
     leads_cache[r + 1] = point.cache_bytes != last_cache;
     last_cache = point.cache_bytes;
+    const std::string cell =
+        fmt_size(point.cache_bytes) + "/" + fmt_size(point.cfa_bytes);
+    const auto params = [&point](const char* layout) {
+      return std::vector<std::pair<std::string, std::string>>{
+          {"cache_bytes", std::to_string(point.cache_bytes)},
+          {"cfa_bytes", std::to_string(point.cfa_bytes)},
+          {"layout", layout}};
+    };
     if (leads_cache[r + 1]) {
       const auto& orig = setup.layout(LayoutKind::kOrig, 0, 0);
-      add(r + 1, 0,
-          [&setup, &orig, dm] { return bench::seq3_ipc(setup, orig, dm); });
+      add(r + 1, 0, cell + " orig", params("orig"), [&setup, &orig, dm] {
+        return bench::measure_seq3(setup, orig, dm);
+      });
       const auto& ph = setup.layout(LayoutKind::kPettisHansen, 0, 0);
-      add(r + 1, 1,
-          [&setup, &ph, dm] { return bench::seq3_ipc(setup, ph, dm); });
-      add(r + 1, 5, [&setup, &orig, dm, tc] {
-        return bench::tc_ipc(setup, orig, dm, tc);
+      add(r + 1, 1, cell + " ph", params("ph"), [&setup, &ph, dm] {
+        return bench::measure_seq3(setup, ph, dm);
+      });
+      add(r + 1, 5, cell + " tc", params("tc"), [&setup, &orig, dm, tc] {
+        return bench::measure_tc(setup, orig, dm, tc);
       });
     }
-    const LayoutKind kinds[] = {LayoutKind::kTorrellas, LayoutKind::kStcAuto,
-                                LayoutKind::kStcOps};
+    const struct {
+      LayoutKind kind;
+      const char* label;
+    } kinds[] = {{LayoutKind::kTorrellas, "torr"},
+                 {LayoutKind::kStcAuto, "auto"},
+                 {LayoutKind::kStcOps, "ops"}};
     for (std::size_t k = 0; k < 3; ++k) {
       const auto& layout =
-          setup.layout(kinds[k], point.cache_bytes, point.cfa_bytes);
-      add(r + 1, 2 + k,
-          [&setup, &layout, dm] { return bench::seq3_ipc(setup, layout, dm); });
+          setup.layout(kinds[k].kind, point.cache_bytes, point.cfa_bytes);
+      add(r + 1, 2 + k, cell + " " + kinds[k].label, params(kinds[k].label),
+          [&setup, &layout, dm] {
+            return bench::measure_seq3(setup, layout, dm);
+          });
     }
     const auto& ops =
         setup.layout(LayoutKind::kStcOps, point.cache_bytes, point.cfa_bytes);
-    add(r + 1, 6, [&setup, &ops, dm, tc] {
-      return bench::tc_ipc(setup, ops, dm, tc);
+    add(r + 1, 6, cell + " tc+ops", params("tc+ops"), [&setup, &ops, dm, tc] {
+      return bench::measure_tc(setup, ops, dm, tc);
     });
   }
 
-  const std::vector<double> results = bench::parallel_cells(jobs);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    values[refs[i].row][refs[i].column] = results[i];
+  // ---- headline cells ------------------------------------------------------
+  const std::uint32_t big = env.cache_sizes().back();
+  const sim::CacheGeometry big_dm{big, env.line_bytes, 1};
+  const auto& orig = setup.layout(LayoutKind::kOrig, 0, 0);
+  const auto& big_ops = setup.layout(LayoutKind::kStcOps, big, big / 4);
+  const std::size_t seq_orig_job =
+      runner.add("headline seq orig", {{"layout", "orig"}},
+                 [&] { return bench::measure_seq(setup, orig); });
+  const std::size_t seq_ops_job =
+      runner.add("headline seq ops", {{"layout", "ops"}},
+                 [&] { return bench::measure_seq(setup, big_ops); });
+  const std::size_t bw_orig_job =
+      runner.add("headline seq3 orig", {{"layout", "orig"}},
+                 [&] { return bench::measure_seq3(setup, orig, big_dm); });
+  const std::size_t bw_ops_job =
+      runner.add("headline seq3 ops", {{"layout", "ops"}},
+                 [&] { return bench::measure_seq3(setup, big_ops, big_dm); });
+  const std::size_t tc_orig_job =
+      runner.add("headline tc orig", {{"layout", "orig"}},
+                 [&] { return bench::measure_tc(setup, orig, big_dm, tc); });
+  const std::size_t tc_ops_job =
+      runner.add("headline tc ops", {{"layout", "ops"}}, [&] {
+        return bench::measure_tc(setup, big_ops, big_dm, tc);
+      });
+
+  runner.run();
+  for (const CellRef& ref : refs) {
+    values[ref.row][ref.column] = runner.result(ref.job).metric("ipc");
   }
 
   // ---- render ----------------------------------------------------------------
@@ -139,26 +195,20 @@ int main() {
   std::fputs(table.render().c_str(), stdout);
 
   // ---- headline metrics --------------------------------------------------------
-  const std::uint32_t big = env.cache_sizes().back();
-  const auto& orig = setup.layout(LayoutKind::kOrig, 0, 0);
-  const auto& ops = setup.layout(LayoutKind::kStcOps, big, big / 4);
-  const auto seq_orig =
-      trace::measure_sequentiality(setup.test_trace(), setup.image(), orig);
-  const auto seq_ops =
-      trace::measure_sequentiality(setup.test_trace(), setup.image(), ops);
-  const sim::CacheGeometry dm{big, env.line_bytes, 1};
   std::printf(
       "\ninstructions between taken branches: %.1f -> %.1f  (paper: 8.9 -> "
       "22.4)\n",
-      seq_orig.insns_between_taken_branches(),
-      seq_ops.insns_between_taken_branches());
+      runner.result(seq_orig_job).metric("insn_per_taken"),
+      runner.result(seq_ops_job).metric("insn_per_taken"));
   std::printf("SEQ.3 fetch bandwidth at %s:      %.1f -> %.1f  (paper: 5.8 -> "
               "10.6)\n",
-              fmt_size(big).c_str(), bench::seq3_ipc(setup, orig, dm),
-              bench::seq3_ipc(setup, ops, dm));
+              fmt_size(big).c_str(), runner.result(bw_orig_job).metric("ipc"),
+              runner.result(bw_ops_job).metric("ipc"));
   std::printf("Trace Cache alone vs TC + ops:      %.1f -> %.1f  (paper: 8.6 "
               "-> 12.1)\n",
-              bench::tc_ipc(setup, orig, dm, tc),
-              bench::tc_ipc(setup, ops, dm, tc));
+              runner.result(tc_orig_job).metric("ipc"),
+              runner.result(tc_ops_job).metric("ipc"));
+
+  bench::write_report(runner);
   return 0;
 }

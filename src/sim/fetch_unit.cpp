@@ -4,6 +4,17 @@
 
 namespace stc::sim {
 
+void FetchResult::export_counters(CounterSet& out) const {
+  out.add("instructions", instructions);
+  out.add("cycles", cycles);
+  out.add("fetch_requests", fetch_requests);
+  out.add("miss_requests", miss_requests);
+  out.add("lines_missed", lines_missed);
+  out.add("tc_hits", tc_hits);
+  out.add("tc_misses", tc_misses);
+  out.add("tc_fills", tc_fills);
+}
+
 FetchPipe::FetchPipe(const trace::BlockTrace& trace,
                      const cfg::ProgramImage& image,
                      const cfg::AddressMap& layout)

@@ -72,6 +72,7 @@ struct FetchResult {
   std::uint64_t lines_missed = 0;
   std::uint64_t tc_hits = 0;         // trace-cache runs only
   std::uint64_t tc_misses = 0;
+  std::uint64_t tc_fills = 0;        // traces committed by the fill buffer
 
   double ipc() const {
     return cycles == 0 ? 0.0
@@ -84,6 +85,9 @@ struct FetchResult {
                       : static_cast<double>(tc_hits) /
                             static_cast<double>(total);
   }
+
+  // Registers the raw event counts for machine-readable reporting.
+  void export_counters(CounterSet& out) const;
 };
 
 // One SEQ.3 fetch cycle against `pipe`: decides how many instructions the

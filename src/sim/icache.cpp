@@ -4,6 +4,18 @@
 
 namespace stc::sim {
 
+void CacheStats::export_counters(CounterSet& out) const {
+  out.add("cache_probes", accesses);
+  out.add("cache_misses", misses);
+  out.add("victim_hits", victim_hits);
+}
+
+void MissRateResult::export_counters(CounterSet& out) const {
+  out.add("instructions", instructions);
+  out.add("line_probes", line_accesses);
+  out.add("cache_misses", misses);
+}
+
 ICache::ICache(const CacheGeometry& geometry, std::uint32_t victim_lines)
     : geometry_(geometry) {
   STC_REQUIRE(geometry.line_bytes > 0 &&

@@ -12,6 +12,7 @@
 #include "cfg/address_map.h"
 #include "cfg/program.h"
 #include "support/check.h"
+#include "support/stats.h"
 #include "trace/block_trace.h"
 
 namespace stc::sim {
@@ -34,6 +35,9 @@ struct CacheStats {
                          : static_cast<double>(misses) /
                                static_cast<double>(accesses);
   }
+
+  // Registers the raw event counts for machine-readable reporting.
+  void export_counters(CounterSet& out) const;
 };
 
 class ICache {
@@ -92,6 +96,9 @@ struct MissRateResult {
                              : 100.0 * static_cast<double>(misses) /
                                    static_cast<double>(instructions);
   }
+
+  // Registers the raw event counts for machine-readable reporting.
+  void export_counters(CounterSet& out) const;
 };
 
 // Streams every executed instruction of the trace (under `layout`) through

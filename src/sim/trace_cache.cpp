@@ -118,6 +118,7 @@ FetchResult run_trace_cache(const trace::BlockTrace& trace,
       tc.fill_push(supplied_insns[k]);
     }
   }
+  result.tc_fills = tc.stored_traces();
   return result;
 }
 

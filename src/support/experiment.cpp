@@ -1,0 +1,240 @@
+#include "support/experiment.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/check.h"
+#include "support/json.h"
+#include "support/thread_pool.h"
+
+namespace stc {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+void ExperimentResult::metric(std::string_view name, double value) {
+  for (auto& m : metrics_) {
+    if (m.first == name) {
+      m.second = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(std::string(name), value);
+}
+
+double ExperimentResult::metric(std::string_view name) const {
+  for (const auto& m : metrics_) {
+    if (m.first == name) return m.second;
+  }
+  STC_REQUIRE(false && "unknown metric");
+  return 0.0;
+}
+
+bool ExperimentResult::has_metric(std::string_view name) const {
+  for (const auto& m : metrics_) {
+    if (m.first == name) return true;
+  }
+  return false;
+}
+
+ExperimentRunner::ExperimentRunner(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void ExperimentRunner::meta(std::string_view key, std::string_view value) {
+  meta_.push_back({std::string(key), MetaEntry::Kind::kString,
+                   std::string(value), 0.0, 0});
+}
+
+void ExperimentRunner::meta(std::string_view key, double value) {
+  meta_.push_back({std::string(key), MetaEntry::Kind::kDouble, {}, value, 0});
+}
+
+void ExperimentRunner::meta(std::string_view key, std::uint64_t value) {
+  meta_.push_back({std::string(key), MetaEntry::Kind::kUint, {}, 0.0, value});
+}
+
+void ExperimentRunner::record_phase(std::string_view phase, double seconds) {
+  for (auto& p : phases_) {
+    if (p.first == phase) {
+      p.second += seconds;
+      return;
+    }
+  }
+  phases_.emplace_back(std::string(phase), seconds);
+}
+
+void ExperimentRunner::time_phase(std::string_view phase,
+                                  const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  record_phase(phase, seconds_since(start));
+}
+
+std::size_t ExperimentRunner::add(
+    std::string job_name,
+    std::vector<std::pair<std::string, std::string>> params,
+    std::function<ExperimentResult()> fn) {
+  STC_REQUIRE(!ran_);
+  jobs_.push_back({std::move(job_name), std::move(params), std::move(fn)});
+  return jobs_.size() - 1;
+}
+
+std::size_t ExperimentRunner::threads_from_env() {
+  if (const char* env = std::getenv("STC_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 0;  // ThreadPool picks hardware concurrency
+}
+
+void ExperimentRunner::run(std::size_t threads) {
+  STC_REQUIRE(!ran_);
+  ran_ = true;
+  if (threads == 0) threads = threads_from_env();
+  results_.assign(jobs_.size(), ExperimentResult{});
+
+  const auto start = std::chrono::steady_clock::now();
+  ThreadPool pool(threads);
+  threads_used_ = pool.thread_count() == 0 ? 1 : pool.thread_count();
+  pool.parallel_for(jobs_.size(),
+                    [this](std::size_t i) { results_[i] = jobs_[i].fn(); });
+  record_phase("replay", seconds_since(start));
+}
+
+const ExperimentResult& ExperimentRunner::result(std::size_t index) const {
+  STC_REQUIRE(ran_ && index < results_.size());
+  return results_[index];
+}
+
+namespace {
+
+void write_results(JsonWriter& w,
+                   const std::vector<ExperimentResult>& results,
+                   const std::vector<std::string>& names,
+                   const std::vector<std::vector<std::pair<std::string,
+                                                           std::string>>>&
+                       params) {
+  w.begin_array();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    w.begin_object();
+    w.key("name").value(names[i]);
+    if (!params[i].empty()) {
+      w.key("params").begin_object();
+      for (const auto& p : params[i]) w.key(p.first).value(p.second);
+      w.end_object();
+    }
+    w.key("metrics").begin_object();
+    for (const auto& m : results[i].metrics()) w.key(m.first).value(m.second);
+    w.end_object();
+    w.key("counters").begin_object();
+    for (const auto& c : results[i].counters().items()) {
+      w.key(c.first).value(c.second);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::string ExperimentRunner::results_json() const {
+  STC_REQUIRE(ran_);
+  std::vector<std::string> names;
+  std::vector<std::vector<std::pair<std::string, std::string>>> params;
+  for (const Job& job : jobs_) {
+    names.push_back(job.name);
+    params.push_back(job.params);
+  }
+  JsonWriter w;
+  write_results(w, results_, names, params);
+  return w.str();
+}
+
+std::string ExperimentRunner::report_json() const {
+  STC_REQUIRE(ran_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(bench_name_);
+  w.key("schema_version").value(std::uint64_t{1});
+  w.key("threads").value(static_cast<std::uint64_t>(threads_used_));
+
+  w.key("env").begin_object();
+  for (const MetaEntry& m : meta_) {
+    w.key(m.key);
+    switch (m.kind) {
+      case MetaEntry::Kind::kString:
+        w.value(m.s);
+        break;
+      case MetaEntry::Kind::kDouble:
+        w.value(m.d);
+        break;
+      case MetaEntry::Kind::kUint:
+        w.value(m.u);
+        break;
+    }
+  }
+  w.end_object();
+
+  w.key("phases").begin_object();
+  for (const auto& p : phases_) w.key(p.first).value(p.second);
+  w.end_object();
+
+  // Replay throughput from the jobs' standard counters.
+  CounterSet totals;
+  for (const ExperimentResult& r : results_) totals.merge(r.counters());
+  double replay_seconds = 0.0;
+  for (const auto& p : phases_) {
+    if (p.first == "replay") replay_seconds = p.second;
+  }
+  w.key("throughput").begin_object();
+  if (replay_seconds > 0.0) {
+    w.key("blocks_per_second")
+        .value(static_cast<double>(totals.get("blocks")) / replay_seconds);
+    w.key("instructions_per_second")
+        .value(static_cast<double>(totals.get("instructions")) /
+               replay_seconds);
+  }
+  w.end_object();
+
+  w.key("totals").begin_object();
+  for (const auto& c : totals.items()) w.key(c.first).value(c.second);
+  w.end_object();
+
+  std::vector<std::string> names;
+  std::vector<std::vector<std::pair<std::string, std::string>>> params;
+  for (const Job& job : jobs_) {
+    names.push_back(job.name);
+    params.push_back(job.params);
+  }
+  w.key("results");
+  write_results(w, results_, names, params);
+  w.end_object();
+  return w.str();
+}
+
+std::string ExperimentRunner::write_report() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("STC_BENCH_DIR")) dir = env;
+  const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+  const std::string doc = report_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open bench report %s for writing\n",
+                 path.c_str());
+    STC_REQUIRE(f != nullptr && "cannot open bench report for writing");
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace stc

@@ -1,0 +1,124 @@
+// Declarative experiment grids with parallel execution and JSON reporting.
+//
+// Every bench expresses its table/ablation as a grid of named jobs; the
+// runner fans the grid across a ThreadPool and aggregates results into a
+// vector indexed by declaration order, so parallel execution is bit-identical
+// to serial execution (DESIGN.md's "one execution, many simulations" rule
+// makes the jobs read-only over shared state). Alongside whatever ASCII table
+// the bench prints, the runner emits the full grid as BENCH_<name>.json:
+// per-job metrics and simulator counters, per-phase wall-clock timings
+// (setup / workload / replay) and replay throughput.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace stc {
+
+// One measured cell: named scalar metrics (the numbers a table prints) plus
+// raw simulator counters. Both keep insertion order for stable serialization.
+class ExperimentResult {
+ public:
+  void metric(std::string_view name, double value);
+  double metric(std::string_view name) const;  // requires the metric to exist
+  bool has_metric(std::string_view name) const;
+
+  CounterSet& counters() { return counters_; }
+  const CounterSet& counters() const { return counters_; }
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+  CounterSet counters_;
+};
+
+class ExperimentRunner {
+ public:
+  // `bench_name` names the report file: BENCH_<bench_name>.json.
+  explicit ExperimentRunner(std::string bench_name);
+
+  const std::string& name() const { return bench_name_; }
+
+  // Report metadata (environment knobs, configuration), emitted under "env"
+  // in insertion order.
+  void meta(std::string_view key, std::string_view value);
+  void meta(std::string_view key, double value);
+  void meta(std::string_view key, std::uint64_t value);
+
+  // Wall-clock phase accounting. record_phase stores externally measured
+  // seconds; time_phase measures `fn`. Repeated names accumulate.
+  void record_phase(std::string_view phase, double seconds);
+  void time_phase(std::string_view phase, const std::function<void()>& fn);
+
+  // Declares a job and returns its index. `params` are the cell's grid
+  // coordinates (e.g. {"layout","ops"},{"cache","2048"}); they are emitted
+  // with the result. Jobs must be pure functions of shared read-only state.
+  std::size_t add(std::string job_name,
+                  std::vector<std::pair<std::string, std::string>> params,
+                  std::function<ExperimentResult()> fn);
+  std::size_t add(std::string job_name, std::function<ExperimentResult()> fn) {
+    return add(std::move(job_name), {}, std::move(fn));
+  }
+
+  // Executes all jobs across `threads` workers (0 = STC_THREADS, falling back
+  // to hardware concurrency) and records the "replay" phase time plus
+  // blocks/s and instructions/s throughput from the jobs' "blocks" /
+  // "instructions" counters. May be called once per runner.
+  void run(std::size_t threads = 0);
+
+  // Thread count requested via STC_THREADS (0 when unset = hardware pick).
+  static std::size_t threads_from_env();
+
+  std::size_t num_jobs() const { return jobs_.size(); }
+  const std::string& job_name(std::size_t index) const {
+    return jobs_.at(index).name;
+  }
+  const ExperimentResult& result(std::size_t index) const;
+  const std::vector<ExperimentResult>& results() const { return results_; }
+
+  // The grid results alone — deterministic, byte-identical across thread
+  // counts and runs (no timings).
+  std::string results_json() const;
+
+  // The full report: bench name, schema version, env, phase seconds,
+  // throughput, and the results grid.
+  std::string report_json() const;
+
+  // Writes report_json() to <dir>/BENCH_<name>.json where <dir> is
+  // STC_BENCH_DIR or the working directory; returns the path written.
+  std::string write_report() const;
+
+ private:
+  struct Job {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> params;
+    std::function<ExperimentResult()> fn;
+  };
+
+  struct MetaEntry {
+    enum class Kind { kString, kDouble, kUint };
+    std::string key;
+    Kind kind;
+    std::string s;
+    double d = 0.0;
+    std::uint64_t u = 0;
+  };
+
+  std::string bench_name_;
+  std::vector<MetaEntry> meta_;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<Job> jobs_;
+  std::vector<ExperimentResult> results_;
+  std::size_t threads_used_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace stc

@@ -1,0 +1,181 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/check.h"
+
+namespace stc {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values within the exactly-representable range print without a
+  // fractional part; everything else uses the shortest round-tripping %.*g.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  scope_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  STC_REQUIRE(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  STC_REQUIRE(!key_pending_);
+  const bool had_items = scope_has_items_.back();
+  scopes_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  scope_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  STC_REQUIRE(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  const bool had_items = scope_has_items_.back();
+  scopes_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  STC_REQUIRE(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  STC_REQUIRE(!key_pending_);
+  if (scope_has_items_.back()) out_ += ',';
+  scope_has_items_.back() = true;
+  newline_indent();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  STC_REQUIRE(scopes_.empty());
+  return out_;
+}
+
+void JsonWriter::before_value() {
+  if (scopes_.empty()) {
+    STC_REQUIRE(out_.empty());  // exactly one top-level value
+    return;
+  }
+  if (scopes_.back() == Scope::kObject) {
+    STC_REQUIRE(key_pending_);  // object members need a key
+    key_pending_ = false;
+    return;
+  }
+  if (scope_has_items_.back()) out_ += ',';
+  scope_has_items_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(2 * scopes_.size(), ' ');
+}
+
+}  // namespace stc

@@ -1,0 +1,65 @@
+// Minimal JSON writer for the machine-readable bench reports.
+//
+// Produces deterministic output: keys are emitted in insertion order, numbers
+// use the shortest decimal representation that round-trips through strtod, and
+// indentation is fixed. Two runs that record the same values therefore emit
+// byte-identical documents — the property the parallel-vs-serial experiment
+// tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stc {
+
+// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+// quotes). Control characters become \uXXXX; UTF-8 bytes pass through.
+std::string json_escape(std::string_view s);
+
+// Shortest decimal representation of `v` that parses back to exactly `v`.
+// Non-finite values (which JSON cannot represent) render as "null".
+std::string json_number(double v);
+
+// Streaming writer with begin/end nesting. Usage:
+//   JsonWriter w;
+//   w.begin_object().key("x").value(1.5).key("xs").begin_array()
+//    .value(std::uint64_t{1}).end_array().end_object();
+//   w.str();
+// Structural errors (value without key inside an object, unbalanced ends)
+// trip STC_REQUIRE.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Names the next value; only valid directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // The finished document; requires all scopes closed.
+  const std::string& str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> scope_has_items_;
+  bool key_pending_ = false;
+};
+
+}  // namespace stc

@@ -7,6 +7,27 @@
 
 namespace stc {
 
+void CounterSet::add(std::string_view name, std::uint64_t delta) {
+  for (auto& item : items_) {
+    if (item.first == name) {
+      item.second += delta;
+      return;
+    }
+  }
+  items_.emplace_back(std::string(name), delta);
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& item : other.items_) add(item.first, item.second);
+}
+
+std::uint64_t CounterSet::get(std::string_view name) const {
+  for (const auto& item : items_) {
+    if (item.first == name) return item.second;
+  }
+  return 0;
+}
+
 void RunningStats::add(double x) {
   ++n_;
   if (n_ == 1) {

@@ -2,9 +2,37 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace stc {
+
+// Insertion-ordered named-counter registry. The simulators export their raw
+// event counts (probes, misses, trace-cache fills, ...) through this type so
+// the experiment runner can aggregate them and emit them in bench reports
+// without knowing each result struct. Counter sets are small (tens of
+// entries); lookup is a linear scan.
+class CounterSet {
+ public:
+  // Adds `delta` to `name`, creating the counter at the end on first use.
+  void add(std::string_view name, std::uint64_t delta);
+
+  // Adds every counter of `other` into this set.
+  void merge(const CounterSet& other);
+
+  // Current value, or 0 for a counter never added.
+  std::uint64_t get(std::string_view name) const;
+
+  bool empty() const { return items_.empty(); }
+  const std::vector<std::pair<std::string, std::uint64_t>>& items() const {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> items_;
+};
 
 // Welford-style streaming mean/variance over double observations.
 class RunningStats {

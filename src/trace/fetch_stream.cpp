@@ -2,6 +2,12 @@
 
 namespace stc::trace {
 
+void SequentialityStats::export_counters(CounterSet& out) const {
+  out.add("instructions", instructions);
+  out.add("blocks", dynamic_blocks);
+  out.add("taken_transitions", taken_transitions);
+}
+
 BlockRunStream::BlockRunStream(const BlockTrace& trace,
                                const cfg::ProgramImage& image,
                                const cfg::AddressMap& layout)

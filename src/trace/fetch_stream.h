@@ -13,6 +13,7 @@
 
 #include "cfg/address_map.h"
 #include "cfg/program.h"
+#include "support/stats.h"
 #include "trace/block_trace.h"
 
 namespace stc::trace {
@@ -61,6 +62,9 @@ struct SequentialityStats {
                : static_cast<double>(instructions) /
                      static_cast<double>(taken_transitions);
   }
+
+  // Registers the raw event counts for machine-readable reporting.
+  void export_counters(CounterSet& out) const;
 };
 
 SequentialityStats measure_sequentiality(const BlockTrace& trace,

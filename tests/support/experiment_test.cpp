@@ -1,0 +1,137 @@
+#include "support/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace stc {
+namespace {
+
+ExperimentResult make_cell(std::size_t i) {
+  ExperimentResult r;
+  r.metric("value", double(i) * 1.25);
+  r.metric("inverse", i ? 1.0 / double(i) : 0.0);
+  r.counters().add("instructions", 100 * i);
+  r.counters().add("blocks", 10 * i);
+  return r;
+}
+
+// Builds the same 64-job grid on a fresh runner and executes it with the
+// given thread count. Jobs deliberately take different amounts of time so a
+// parallel pool completes them out of submission order.
+ExperimentRunner run_grid(std::size_t threads) {
+  ExperimentRunner runner("grid");
+  runner.meta("k", std::uint64_t{64});
+  for (std::size_t i = 0; i < 64; ++i) {
+    runner.add("cell " + std::to_string(i),
+               {{"index", std::to_string(i)}}, [i] {
+                 if (i % 7 == 0) {
+                   std::this_thread::sleep_for(std::chrono::microseconds(300));
+                 }
+                 return make_cell(i);
+               });
+  }
+  runner.run(threads);
+  return runner;
+}
+
+TEST(ExperimentResultTest, MetricsKeepInsertionOrderAndValues) {
+  ExperimentResult r;
+  r.metric("b", 2.0);
+  r.metric("a", 1.0);
+  EXPECT_TRUE(r.has_metric("b"));
+  EXPECT_FALSE(r.has_metric("c"));
+  EXPECT_DOUBLE_EQ(r.metric("a"), 1.0);
+  ASSERT_EQ(r.metrics().size(), 2u);
+  EXPECT_EQ(r.metrics()[0].first, "b");
+  EXPECT_EQ(r.metrics()[1].first, "a");
+}
+
+TEST(ExperimentResultTest, SettingAMetricTwiceOverwrites) {
+  ExperimentResult r;
+  r.metric("x", 1.0);
+  r.metric("x", 2.0);
+  EXPECT_DOUBLE_EQ(r.metric("x"), 2.0);
+  EXPECT_EQ(r.metrics().size(), 1u);
+}
+
+TEST(CounterSetTest, AddAccumulatesAndGetDefaultsToZero) {
+  CounterSet c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.get("misses"), 0u);
+  c.add("misses", 3);
+  c.add("misses", 4);
+  EXPECT_EQ(c.get("misses"), 7u);
+  EXPECT_FALSE(c.empty());
+}
+
+TEST(CounterSetTest, MergeAddsByNameKeepingFirstSeenOrder) {
+  CounterSet a;
+  a.add("x", 1);
+  a.add("y", 2);
+  CounterSet b;
+  b.add("y", 10);
+  b.add("z", 20);
+  a.merge(b);
+  ASSERT_EQ(a.items().size(), 3u);
+  EXPECT_EQ(a.items()[0].first, "x");
+  EXPECT_EQ(a.items()[1].first, "y");
+  EXPECT_EQ(a.items()[2].first, "z");
+  EXPECT_EQ(a.get("y"), 12u);
+  EXPECT_EQ(a.get("z"), 20u);
+}
+
+TEST(ExperimentRunnerTest, ResultsIndexedByDeclarationOrder) {
+  const auto runner = run_grid(1);
+  ASSERT_EQ(runner.num_jobs(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(runner.result(i).metric("value"), double(i) * 1.25);
+    EXPECT_EQ(runner.result(i).counters().get("blocks"), 10 * i);
+  }
+}
+
+// The tentpole guarantee: a parallel run must serialize to exactly the same
+// bytes as a serial run — thread count may not leak into results.
+TEST(ExperimentRunnerTest, ParallelResultsBitIdenticalToSerial) {
+  const std::string serial = run_grid(1).results_json();
+  for (const std::size_t threads : {2, 4, 8}) {
+    EXPECT_EQ(run_grid(threads).results_json(), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ExperimentRunnerTest, RepeatedRunsAreByteIdentical) {
+  EXPECT_EQ(run_grid(4).results_json(), run_grid(4).results_json());
+}
+
+TEST(ExperimentRunnerTest, PhasesAccumulateRepeatedNames) {
+  ExperimentRunner runner("phases");
+  runner.record_phase("setup", 1.5);
+  runner.record_phase("setup", 0.5);
+  runner.add("noop", [] { return ExperimentResult(); });
+  runner.run(1);
+  const std::string report = runner.report_json();
+  EXPECT_NE(report.find("\"setup\": 2"), std::string::npos) << report;
+  // The runner times the replay phase itself.
+  EXPECT_NE(report.find("\"replay\""), std::string::npos);
+}
+
+TEST(ExperimentRunnerTest, ReportCarriesSchemaVersionAndMeta) {
+  ExperimentRunner runner("report");
+  runner.meta("scale_factor", 0.01);
+  runner.meta("mode", "test");
+  runner.add("one", {{"p", "q"}}, [] { return make_cell(3); });
+  runner.run(1);
+  const std::string report = runner.report_json();
+  EXPECT_NE(report.find("\"bench\": \"report\""), std::string::npos);
+  EXPECT_NE(report.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(report.find("\"scale_factor\": 0.01"), std::string::npos);
+  EXPECT_NE(report.find("\"mode\": \"test\""), std::string::npos);
+  EXPECT_NE(report.find("\"p\": \"q\""), std::string::npos);
+  EXPECT_NE(report.find("\"instructions\": 300"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,155 @@
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace stc {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("4K/256B ops"), "4K/256B ops");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(json_escape(std::string("\x00", 1)), "\\u0000");
+}
+
+TEST(JsonEscapeTest, PassesUtf8BytesThrough) {
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonNumberTest, IntegralValuesHaveNoFraction) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-7.0), "-7");
+  EXPECT_EQ(json_number(1e9), "1000000000");
+}
+
+TEST(JsonNumberTest, RoundTripsThroughStrtod) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           3.141592653589793,
+                           2.5066282746310002,
+                           1e-300,
+                           -123.456e77,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max()};
+  for (const double v : values) {
+    const std::string s = json_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  {
+    JsonWriter w;
+    w.begin_object().end_object();
+    EXPECT_EQ(w.str(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.begin_array().end_array();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, FlatObjectKeepsInsertionOrder) {
+  JsonWriter w;
+  w.begin_object()
+      .key("b")
+      .value("two")
+      .key("a")
+      .value(1)
+      .key("ok")
+      .value(true)
+      .key("miss")
+      .null()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\n  \"b\": \"two\",\n  \"a\": 1,\n  \"ok\": true,\n"
+            "  \"miss\": null\n}");
+}
+
+TEST(JsonWriterTest, NestedStructuresIndentPerDepth) {
+  JsonWriter w;
+  w.begin_object()
+      .key("results")
+      .begin_array()
+      .begin_object()
+      .key("name")
+      .value("cell")
+      .key("values")
+      .begin_array()
+      .value(1)
+      .value(2.5)
+      .end_array()
+      .end_object()
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"results\": [\n"
+            "    {\n"
+            "      \"name\": \"cell\",\n"
+            "      \"values\": [\n"
+            "        1,\n"
+            "        2.5\n"
+            "      ]\n"
+            "    }\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndValues) {
+  JsonWriter w;
+  w.begin_object().key("a\"b").value("c\nd").end_object();
+  EXPECT_EQ(w.str(), "{\n  \"a\\\"b\": \"c\\nd\"\n}");
+}
+
+TEST(JsonWriterTest, LargeUnsignedValuesSurviveExactly) {
+  JsonWriter w;
+  const std::uint64_t big = 18446744073709551615ull;
+  w.begin_object().key("n").value(big).end_object();
+  EXPECT_EQ(w.str(), "{\n  \"n\": 18446744073709551615\n}");
+}
+
+TEST(JsonWriterTest, IdenticalInputsGiveIdenticalBytes) {
+  const auto build = [] {
+    JsonWriter w;
+    w.begin_object()
+        .key("pi")
+        .value(3.141592653589793)
+        .key("xs")
+        .begin_array()
+        .value(std::uint64_t{7})
+        .value(false)
+        .end_array()
+        .end_object();
+    return w.str();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace stc

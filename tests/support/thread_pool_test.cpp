@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace stc {
@@ -48,6 +50,65 @@ TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
   std::uint64_t expected = 0;
   for (std::uint64_t i = 0; i < 256; ++i) expected += i * i;
   EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPoolTest, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  // On a single-core host the pool runs inline (no workers); otherwise it
+  // spawns one worker per hardware thread. Either way every index runs.
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 1) {
+    EXPECT_EQ(pool.thread_count(), hw);
+  } else {
+    EXPECT_EQ(pool.thread_count(), 0u);
+  }
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  constexpr std::size_t kTasks = 10000;
+  std::vector<std::atomic<std::uint8_t>> hits(kTasks);
+  pool.parallel_for(kTasks, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1)
+      << "index " << i;
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfExecutionOrder) {
+  // Workers may pick up indices in any order; writing into index-addressed
+  // slots must still produce the same vector as a serial loop.
+  std::vector<std::uint64_t> serial(512);
+  for (std::size_t i = 0; i < serial.size(); ++i) serial[i] = i * 2654435761u;
+
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(serial.size(), 0);
+    pool.parallel_for(out.size(),
+                      [&](std::size_t i) { out[i] = i * 2654435761u; });
+    EXPECT_EQ(out, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, MixedDurationStress) {
+  // Tasks with wildly different runtimes must all complete exactly once and
+  // the pool must stay usable for further batches.
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (int round = 0; round < 3; ++round) {
+    pool.parallel_for(kTasks, [&](std::size_t i) {
+      if (i % 17 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      } else if (i % 5 == 0) {
+        volatile std::uint64_t spin = 0;
+        for (int k = 0; k < 1000; ++k) spin += k;
+      }
+      ++hits[i];
+    });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 3);
 }
 
 }  // namespace
