@@ -3,6 +3,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <tuple>
+
+#include "support/check.h"
+#include "verify/oracle.h"
 
 namespace stc::bench {
 
@@ -11,6 +17,62 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
+}
+
+// ---- STC_VERIFY --------------------------------------------------------
+// With STC_VERIFY=1 every measurement cell runs under the layout-equivalence
+// oracle (src/verify): each distinct (trace, image, layout) triple gets one
+// full structure + replay verification, and every simulator result is
+// counter-checked. A violation aborts the bench — corrupted layouts must
+// never produce numbers.
+
+bool verify_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("STC_VERIFY");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
+
+void require_clean(const verify::Report& report, const char* what) {
+  if (report.ok()) return;
+  std::fprintf(stderr, "STC_VERIFY: %s failed verification:\n%s", what,
+               report.summary().c_str());
+  STC_CHECK_MSG(false, "STC_VERIFY violation (see report above)");
+}
+
+// Full oracle runs are memoized by identity so a grid sweeping many cells
+// over few layouts verifies each layout once. The instruction-by-instruction
+// replay walk is additionally bounded to a trace prefix: structure and the
+// per-cell counter checks cover the whole trace, and a remapping bug corrupts
+// the stream within the first events it touches, so the prefix keeps the
+// whole-grid overhead under 2x wall-clock without losing detection power.
+constexpr std::uint64_t kReplayPrefixEvents = 250000;
+
+void verify_triple(const trace::BlockTrace& trace,
+                   const cfg::ProgramImage& image,
+                   const cfg::AddressMap& layout) {
+  static std::mutex mu;
+  static std::set<std::tuple<const void*, const void*, const void*>> seen;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (!seen.insert({&trace, &image, &layout}).second) return;
+  }
+  verify::OracleOptions options;
+  options.simulators = false;  // per-cell counter checks cover the sims
+  if (trace.num_events() <= kReplayPrefixEvents) {
+    require_clean(
+        verify::verify_layout(trace, image, layout, nullptr, options),
+        layout.name().c_str());
+    return;
+  }
+  trace::BlockTrace prefix;
+  std::uint64_t taken = 0;
+  trace.for_each([&](cfg::BlockId b) {
+    if (taken++ < kReplayPrefixEvents) prefix.append(b);
+  });
+  require_clean(verify::verify_layout(prefix, image, layout, nullptr, options),
+                layout.name().c_str());
 }
 
 }  // namespace
@@ -95,8 +157,15 @@ ExperimentResult measure_miss(const trace::BlockTrace& trace,
                               const cfg::AddressMap& layout,
                               const sim::CacheGeometry& geometry,
                               std::uint32_t victim_lines) {
+  if (verify_enabled()) verify_triple(trace, image, layout);
   sim::ICache cache(geometry, victim_lines);
   const auto sim = sim::run_missrate(trace, image, layout, cache);
+  if (verify_enabled()) {
+    require_clean(verify::check_missrate_result(
+                      sim, cache.stats(),
+                      verify::trace_instructions(trace, image)),
+                  "missrate counters");
+  }
   ExperimentResult result;
   result.metric("miss_pct", sim.misses_per_100_insns());
   sim.export_counters(result.counters());
@@ -110,11 +179,18 @@ ExperimentResult measure_seq3(const trace::BlockTrace& trace,
                               const cfg::AddressMap& layout,
                               const sim::CacheGeometry& geometry,
                               bool perfect) {
+  if (verify_enabled()) verify_triple(trace, image, layout);
   sim::FetchParams params;
   params.perfect_icache = perfect;
   sim::ICache cache(geometry);
   const auto sim = sim::run_seq3(trace, image, layout, params,
                                  perfect ? nullptr : &cache);
+  if (verify_enabled()) {
+    require_clean(verify::check_fetch_result(
+                      sim, params, verify::trace_instructions(trace, image),
+                      /*with_trace_cache=*/false),
+                  "seq3 counters");
+  }
   ExperimentResult result;
   result.metric("ipc", sim.ipc());
   sim.export_counters(result.counters());
@@ -128,11 +204,18 @@ ExperimentResult measure_tc(const trace::BlockTrace& trace,
                             const cfg::AddressMap& layout,
                             const sim::CacheGeometry& geometry,
                             const sim::TraceCacheParams& tc, bool perfect) {
+  if (verify_enabled()) verify_triple(trace, image, layout);
   sim::FetchParams params;
   params.perfect_icache = perfect;
   sim::ICache cache(geometry);
   const auto sim = sim::run_trace_cache(trace, image, layout, params, tc,
                                         perfect ? nullptr : &cache);
+  if (verify_enabled()) {
+    require_clean(verify::check_fetch_result(
+                      sim, params, verify::trace_instructions(trace, image),
+                      /*with_trace_cache=*/true),
+                  "trace-cache counters");
+  }
   ExperimentResult result;
   result.metric("ipc", sim.ipc());
   result.metric("tc_hit_pct", 100.0 * sim.tc_hit_ratio());
@@ -145,6 +228,7 @@ ExperimentResult measure_tc(const trace::BlockTrace& trace,
 ExperimentResult measure_seq(const trace::BlockTrace& trace,
                              const cfg::ProgramImage& image,
                              const cfg::AddressMap& layout) {
+  if (verify_enabled()) verify_triple(trace, image, layout);
   const auto seq = trace::measure_sequentiality(trace, image, layout);
   ExperimentResult result;
   result.metric("insn_per_taken", seq.insns_between_taken_branches());

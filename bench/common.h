@@ -9,6 +9,8 @@
 //   STC_LINE      - cache line bytes               (default 32)
 //   STC_THREADS   - experiment grid workers        (default hardware)
 //   STC_BENCH_DIR - directory for BENCH_*.json     (default cwd)
+//   STC_VERIFY    - 1 runs every cell under the layout-equivalence oracle
+//                   (src/verify; see VERIFY.md) and aborts on any violation
 // The paper's absolute cache sizes (8-64KB) are scaled to this kernel's
 // executed footprint: the sweep uses 1-8KB caches, spanning the same ratio
 // of hot-code size to cache size as the original (see EXPERIMENTS.md).

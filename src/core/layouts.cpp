@@ -5,9 +5,10 @@
 namespace stc::core {
 
 cfg::AddressMap make_layout(LayoutKind kind, const profile::WeightedCFG& cfg,
-                            std::uint64_t cache_bytes,
-                            std::uint64_t cfa_bytes) {
+                            std::uint64_t cache_bytes, std::uint64_t cfa_bytes,
+                            MappingProvenance* provenance) {
   STC_REQUIRE(cfg.image != nullptr);
+  if (provenance != nullptr) *provenance = MappingProvenance{};
   switch (kind) {
     case LayoutKind::kOrig:
       return cfg::AddressMap::original(*cfg.image);
@@ -17,7 +18,7 @@ cfg::AddressMap make_layout(LayoutKind kind, const profile::WeightedCFG& cfg,
       TorrParams params;
       params.cache_bytes = cache_bytes;
       params.cfa_bytes = cfa_bytes;
-      return torrellas_layout(cfg, params);
+      return torrellas_layout(cfg, params, provenance);
     }
     case LayoutKind::kStcAuto:
     case LayoutKind::kStcOps: {
@@ -26,7 +27,7 @@ cfg::AddressMap make_layout(LayoutKind kind, const profile::WeightedCFG& cfg,
       params.cfa_bytes = cfa_bytes;
       const SeedKind seeds = kind == LayoutKind::kStcAuto ? SeedKind::kAuto
                                                           : SeedKind::kOps;
-      return stc_layout(cfg, seeds, params).layout;
+      return stc_layout(cfg, seeds, params, provenance).layout;
     }
   }
   STC_CHECK_MSG(false, "unknown layout kind");

@@ -25,8 +25,11 @@ inline const char* to_string(LayoutKind kind) {
 }
 
 // Builds the requested layout. cache_bytes/cfa_bytes are ignored by layouts
-// that do not use the cache geometry (orig, P&H).
+// that do not use the cache geometry (orig, P&H). When `provenance` is
+// non-null it receives the mapping-pass record for CFA-aware layouts and is
+// cleared (no CFA contract) for the others.
 cfg::AddressMap make_layout(LayoutKind kind, const profile::WeightedCFG& cfg,
-                            std::uint64_t cache_bytes, std::uint64_t cfa_bytes);
+                            std::uint64_t cache_bytes, std::uint64_t cfa_bytes,
+                            MappingProvenance* provenance = nullptr);
 
 }  // namespace stc::core

@@ -50,10 +50,19 @@ cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
                               std::string layout_name,
                               const std::vector<std::vector<Sequence>>& passes,
                               const std::vector<cfg::BlockId>& cold_blocks,
-                              const MappingParams& params) {
+                              const MappingParams& params,
+                              MappingProvenance* provenance) {
   STC_REQUIRE(params.cache_bytes > 0);
   STC_REQUIRE(params.cfa_bytes < params.cache_bytes);
   cfg::AddressMap map(std::move(layout_name), image.num_blocks());
+  if (provenance != nullptr) {
+    provenance->cache_bytes = params.cache_bytes;
+    provenance->cfa_bytes = params.cfa_bytes;
+    provenance->pass_of.assign(image.num_blocks(), MappingProvenance::kColdPass);
+  }
+  const auto note_pass = [&](cfg::BlockId b, std::uint32_t pass) {
+    if (provenance != nullptr) provenance->pass_of[b] = pass;
+  };
 
   // Pass 1: the Conflict-Free Area, from address 0.
   Cursor cursor(params.cache_bytes, params.cfa_bytes);
@@ -61,6 +70,7 @@ cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
     for (const Sequence& seq : passes.front()) {
       for (cfg::BlockId b : seq.blocks) {
         map.set(b, cursor.place(image.block(b).bytes()));
+        note_pass(b, 0);
       }
     }
     STC_CHECK_MSG(params.cfa_bytes == 0 || cursor.pos() <= params.cfa_bytes,
@@ -86,7 +96,19 @@ cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
       }
       for (cfg::BlockId b : seq.blocks) {
         cursor.skip_reserved();
-        map.set(b, cursor.place(image.block(b).bytes()));
+        const std::uint64_t bytes = image.block(b).bytes();
+        // A block is atomic: if it cannot finish before the next region's
+        // reserved window it starts at the next inter-CFA window instead of
+        // straddling into the CFA. Blocks larger than a whole window still
+        // cover later windows, but at least begin at a window boundary.
+        const std::uint64_t window = params.cache_bytes - params.cfa_bytes;
+        if (bytes > cursor.window_remaining() &&
+            cursor.window_remaining() < window) {
+          cursor.place(cursor.window_remaining());
+          cursor.skip_reserved();
+        }
+        map.set(b, cursor.place(bytes));
+        note_pass(b, static_cast<std::uint32_t>(p));
       }
     }
   }
@@ -97,6 +119,7 @@ cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
     STC_CHECK_MSG(!map.assigned(b),
                   "cold block already placed by a sequence pass");
     map.set(b, cursor.place(image.block(b).bytes()));
+    note_pass(b, MappingProvenance::kColdPass);
   }
 
   map.validate(image);

@@ -27,13 +27,30 @@ struct MappingParams {
   bool avoid_splitting_sequences = false;
 };
 
+// Records, per block, which mapping pass placed it — enough for an
+// independent checker to re-derive the Figure 4 occupancy rules (pass-0 code
+// lives in [0, cfa); later passes stay out of every region's CFA window).
+// An empty pass_of means the layout was not produced by map_sequences and
+// carries no CFA contract.
+struct MappingProvenance {
+  static constexpr std::uint32_t kColdPass = ~std::uint32_t{0};
+
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t cfa_bytes = 0;
+  std::vector<std::uint32_t> pass_of;  // indexed by BlockId; kColdPass = cold
+
+  bool empty() const { return pass_of.empty(); }
+};
+
 // passes[0] feeds the CFA; its total size must not exceed cfa_bytes
 // (checked). `cold_blocks` are appended last in the order given and must
-// contain exactly the blocks that appear in no sequence.
+// contain exactly the blocks that appear in no sequence. When `provenance`
+// is non-null it is overwritten with the per-block pass assignment.
 cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
                               std::string layout_name,
                               const std::vector<std::vector<Sequence>>& passes,
                               const std::vector<cfg::BlockId>& cold_blocks,
-                              const MappingParams& params);
+                              const MappingParams& params,
+                              MappingProvenance* provenance = nullptr);
 
 }  // namespace stc::core

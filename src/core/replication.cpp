@@ -136,6 +136,18 @@ Replicator::Replicator(const cfg::ProgramImage& original,
   }
   image_->finalize();
   STC_CHECK(image_->num_blocks() >= original.num_blocks());
+
+  // Provenance: identity for originals, then each clone's origin blocks in
+  // plan order (add_routine appends blocks contiguously, so ids line up).
+  origin_blocks_.reserve(image_->num_blocks());
+  for (BlockId b = 0; b < original.num_blocks(); ++b) origin_blocks_.push_back(b);
+  for (const PlannedClone& c : plan) {
+    const cfg::RoutineInfo& info = original.routine(c.routine);
+    for (std::uint32_t i = 0; i < info.num_blocks; ++i) {
+      origin_blocks_.push_back(info.entry + i);
+    }
+  }
+  STC_CHECK(origin_blocks_.size() == image_->num_blocks());
 }
 
 double Replicator::code_growth() const {

@@ -61,6 +61,14 @@ class Replicator {
   // activation entered from a cloned call site references its clone.
   trace::BlockTrace transform(const trace::BlockTrace& original) const;
 
+  // Replica provenance: origin_blocks()[b] is the original-image block that
+  // block b of the extended image replicates — the identity for
+  // b < original.num_blocks(), the cloned routine's corresponding block for
+  // clone blocks. Lets an independent checker verify clones are byte-exact.
+  const std::vector<cfg::BlockId>& origin_blocks() const {
+    return origin_blocks_;
+  }
+
   // Statistics.
   std::size_t num_cloned_routines() const { return cloned_routines_; }
   std::size_t num_clones() const { return clone_of_.size(); }
@@ -77,6 +85,7 @@ class Replicator {
   std::unique_ptr<cfg::ProgramImage> image_;
   // Call site -> entry block id of the clone (in the extended image).
   std::unordered_map<std::uint64_t, cfg::BlockId> clone_of_;
+  std::vector<cfg::BlockId> origin_blocks_;
   std::size_t cloned_routines_ = 0;
   std::uint64_t replicated_bytes_ = 0;
 };

@@ -72,7 +72,7 @@ std::uint64_t fit_exec_threshold(const profile::WeightedCFG& cfg,
 }
 
 StcResult stc_layout(const profile::WeightedCFG& cfg, SeedKind seed_kind,
-                     const StcParams& params) {
+                     const StcParams& params, MappingProvenance* provenance) {
   STC_REQUIRE(cfg.image != nullptr);
   STC_REQUIRE(params.pass_decay > 1.0);
   const cfg::ProgramImage& image = *cfg.image;
@@ -153,7 +153,8 @@ StcResult stc_layout(const profile::WeightedCFG& cfg, SeedKind seed_kind,
   result.num_passes = passes.size();
   for (const auto& pass : passes) result.num_sequences += pass.size();
   std::string name = std::string("stc-") + to_string(seed_kind);
-  result.layout = map_sequences(image, std::move(name), passes, cold, mapping);
+  result.layout =
+      map_sequences(image, std::move(name), passes, cold, mapping, provenance);
   return result;
 }
 

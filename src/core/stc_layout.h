@@ -44,9 +44,12 @@ struct StcResult {
   std::size_t num_sequences = 0;           // across all passes
 };
 
-// Builds the STC layout for the given seed-selection policy.
+// Builds the STC layout for the given seed-selection policy. When
+// `provenance` is non-null it receives the per-block mapping-pass record
+// (see MappingProvenance) for independent verification.
 StcResult stc_layout(const profile::WeightedCFG& cfg, SeedKind seed_kind,
-                     const StcParams& params);
+                     const StcParams& params,
+                     MappingProvenance* provenance = nullptr);
 
 // Fits the largest first-pass Exec Threshold... precisely: the smallest
 // threshold whose first-pass sequences still fit within `cfa_bytes`

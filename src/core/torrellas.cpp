@@ -10,7 +10,8 @@
 namespace stc::core {
 
 cfg::AddressMap torrellas_layout(const profile::WeightedCFG& cfg,
-                                 const TorrParams& params) {
+                                 const TorrParams& params,
+                                 MappingProvenance* provenance) {
   STC_REQUIRE(cfg.image != nullptr);
   const cfg::ProgramImage& image = *cfg.image;
 
@@ -69,8 +70,9 @@ cfg::AddressMap torrellas_layout(const profile::WeightedCFG& cfg,
   MappingParams mapping;
   mapping.cache_bytes = params.cache_bytes;
   mapping.cfa_bytes = params.cfa_bytes;
-  return map_sequences(image, "torr", {std::move(cfa_pass), std::move(sequences)},
-                       cold, mapping);
+  return map_sequences(image, "torr",
+                       {std::move(cfa_pass), std::move(sequences)}, cold,
+                       mapping, provenance);
 }
 
 }  // namespace stc::core

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "cfg/address_map.h"
+#include "core/mapping.h"
 #include "profile/profile.h"
 
 namespace stc::core {
@@ -25,6 +26,7 @@ struct TorrParams {
 };
 
 cfg::AddressMap torrellas_layout(const profile::WeightedCFG& cfg,
-                                 const TorrParams& params);
+                                 const TorrParams& params,
+                                 MappingProvenance* provenance = nullptr);
 
 }  // namespace stc::core

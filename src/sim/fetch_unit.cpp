@@ -13,6 +13,7 @@ void FetchResult::export_counters(CounterSet& out) const {
   out.add("tc_hits", tc_hits);
   out.add("tc_misses", tc_misses);
   out.add("tc_fills", tc_fills);
+  out.add("tc_probes", tc_probes);
 }
 
 FetchPipe::FetchPipe(const trace::BlockTrace& trace,

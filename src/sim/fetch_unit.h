@@ -73,6 +73,7 @@ struct FetchResult {
   std::uint64_t tc_hits = 0;         // trace-cache runs only
   std::uint64_t tc_misses = 0;
   std::uint64_t tc_fills = 0;        // traces committed by the fill buffer
+  std::uint64_t tc_probes = 0;       // trace-cache lookups (hits + misses)
 
   double ipc() const {
     return cycles == 0 ? 0.0

@@ -56,12 +56,16 @@ bool ICache::access(std::uint64_t addr) {
   const std::uint64_t line = line_of(addr);
   const std::uint32_t set = static_cast<std::uint32_t>(line & (sets_ - 1));
   const std::size_t base = std::size_t{set} * geometry_.assoc;
+  const auto notify = [&](bool hit) {
+    if (observer_) observer_(line * geometry_.line_bytes, hit);
+    return hit;
+  };
 
   // Main-cache lookup.
   for (std::uint32_t way = 0; way < geometry_.assoc; ++way) {
     if (tags_[base + way] == line) {
       lru_[base + way] = lru_clock_;
-      return true;
+      return notify(true);
     }
   }
 
@@ -82,7 +86,7 @@ bool ICache::access(std::uint64_t addr) {
       victim_lru_[slot] = lru_clock_;
       tags_[base + victim_way] = line;
       lru_[base + victim_way] = lru_clock_;
-      return true;
+      return notify(true);
     }
   }
 
@@ -99,7 +103,7 @@ bool ICache::access(std::uint64_t addr) {
     victim_tags_[slot] = evicted;
     victim_lru_[slot] = lru_clock_;
   }
-  return false;
+  return notify(false);
 }
 
 bool ICache::contains(std::uint64_t addr) const {

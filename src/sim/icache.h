@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "cfg/address_map.h"
@@ -56,6 +58,15 @@ class ICache {
   // Probes without side effects (used by tests).
   bool contains(std::uint64_t addr) const;
 
+  // Verification hook: called once per access() with the line-aligned
+  // address and the outcome (true = hit, including victim-cache rescues),
+  // after the stats counters have been updated. Lets an external checker
+  // recount probes/misses independently of CacheStats.
+  using AccessObserver = std::function<void(std::uint64_t line_addr, bool hit)>;
+  void set_observer(AccessObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   void reset();
   const CacheStats& stats() const { return stats_; }
 
@@ -79,6 +90,7 @@ class ICache {
   std::vector<std::uint64_t> victim_tags_;
   std::vector<std::uint64_t> victim_lru_;
 
+  AccessObserver observer_;
   CacheStats stats_;
 };
 

@@ -12,6 +12,7 @@ TraceCache::TraceCache(const TraceCacheParams& params) : params_(params) {
 }
 
 std::uint32_t TraceCache::probe(std::uint64_t addr, FetchPipe& pipe) const {
+  ++probes_;
   const Entry& entry = entries_[index_of(addr)];
   if (!entry.valid || entry.start != addr) return 0;
   // Perfect multiple-branch prediction: the hit is valid only if the stored
@@ -119,6 +120,7 @@ FetchResult run_trace_cache(const trace::BlockTrace& trace,
     }
   }
   result.tc_fills = tc.stored_traces();
+  result.tc_probes = tc.probes();
   return result;
 }
 

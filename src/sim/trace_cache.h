@@ -38,6 +38,11 @@ class TraceCache {
   // hit supplies (0 on miss). Does not consume from the pipe.
   std::uint32_t probe(std::uint64_t addr, FetchPipe& pipe) const;
 
+  // Verification counter: total probe() calls since construction. Every
+  // fetch request probes exactly once, and commits can only follow probes,
+  // so stored_traces() <= probes() must always hold.
+  std::uint64_t probes() const { return probes_; }
+
   // Fill-buffer interface: feed the instructions the core fetch supplied this
   // cycle (in order). A fill begins at a miss address via begin_fill().
   bool fill_active() const { return fill_active_; }
@@ -60,6 +65,7 @@ class TraceCache {
 
   TraceCacheParams params_;
   std::vector<Entry> entries_;
+  mutable std::uint64_t probes_ = 0;  // probe() is logically const
 
   bool fill_active_ = false;
   std::uint64_t fill_start_ = 0;

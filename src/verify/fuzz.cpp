@@ -1,0 +1,522 @@
+#include "verify/fuzz.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "cfg/address_map.h"
+#include "cfg/builder.h"
+#include "core/layouts.h"
+#include "core/mapping.h"
+#include "core/replication.h"
+#include "support/check.h"
+
+namespace stc::verify {
+namespace {
+
+using cfg::BlockId;
+using cfg::BlockKind;
+
+constexpr core::LayoutKind kAllKinds[] = {
+    core::LayoutKind::kOrig, core::LayoutKind::kPettisHansen,
+    core::LayoutKind::kTorrellas, core::LayoutKind::kStcAuto,
+    core::LayoutKind::kStcOps};
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Moves the address-adjacent successor of some block 4 bytes backwards —
+// the overlap an off-by-one (one instruction short) block size in the
+// mapping cursor would produce. Returns false when the layout has no two
+// adjacent blocks to corrupt.
+bool apply_injection(cfg::AddressMap& layout, const cfg::ProgramImage& image,
+                     Injection injection) {
+  if (injection != Injection::kShortBlock) return false;
+  struct Placed {
+    std::uint64_t begin;
+    std::uint64_t end;
+    BlockId block;
+  };
+  std::vector<Placed> placed;
+  for (BlockId b = 0; b < image.num_blocks(); ++b) {
+    if (!layout.assigned(b)) continue;
+    const std::uint64_t begin = layout.addr(b);
+    placed.push_back({begin, begin + image.block(b).bytes(), b});
+  }
+  std::sort(placed.begin(), placed.end(),
+            [](const Placed& a, const Placed& b) { return a.begin < b.begin; });
+  for (std::size_t i = 1; i < placed.size(); ++i) {
+    if (placed[i - 1].end == placed[i].begin) {
+      layout.set(placed[i].block, placed[i].begin - cfg::kInsnBytes);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* kind_name(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kFallThrough: return "stc::cfg::BlockKind::kFallThrough";
+    case BlockKind::kBranch: return "stc::cfg::BlockKind::kBranch";
+    case BlockKind::kCall: return "stc::cfg::BlockKind::kCall";
+    case BlockKind::kReturn: return "stc::cfg::BlockKind::kReturn";
+  }
+  return "stc::cfg::BlockKind::kFallThrough";
+}
+
+}  // namespace
+
+std::size_t FuzzCase::num_blocks() const {
+  std::size_t n = 0;
+  for (const FuzzRoutine& r : routines) n += r.blocks.size();
+  return n;
+}
+
+bool check_case(const FuzzCase& c, std::string* why) {
+  const auto reject = [&](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (c.cache_bytes == 0 || !is_pow2(c.cache_bytes) ||
+      c.cache_bytes > (std::uint64_t{1} << 20)) {
+    return reject("cache_bytes must be a power of two <= 1 MiB");
+  }
+  if (c.cfa_bytes >= c.cache_bytes) return reject("cfa_bytes >= cache_bytes");
+  if (!is_pow2(c.line_bytes) || c.line_bytes > c.cache_bytes) {
+    return reject("line_bytes must be a power of two <= cache_bytes");
+  }
+  for (const FuzzRoutine& r : c.routines) {
+    if (r.blocks.empty()) return reject("empty routine");
+    for (const FuzzBlock& b : r.blocks) {
+      if (b.insns == 0) return reject("zero-size block");
+    }
+  }
+  const std::size_t blocks = c.num_blocks();
+  for (const FuzzEdge& e : c.edges) {
+    if (e.from >= blocks || e.to >= blocks) {
+      return reject("edge references out-of-range block");
+    }
+  }
+  for (std::uint32_t ev : c.trace) {
+    if (ev >= blocks) return reject("trace references out-of-range block");
+  }
+  for (std::uint32_t s : c.seeds) {
+    if (s >= blocks) return reject("seed references out-of-range block");
+  }
+  return true;
+}
+
+BuiltCase build_case(const FuzzCase& c) {
+  std::string why;
+  STC_CHECK_MSG(check_case(c, &why), "build_case on invalid case");
+
+  BuiltCase built;
+  cfg::ProgramBuilder builder;
+  const cfg::ModuleId mod = builder.module("fuzz");
+  for (std::size_t r = 0; r < c.routines.size(); ++r) {
+    std::vector<cfg::BlockDef> blocks;
+    blocks.reserve(c.routines[r].blocks.size());
+    for (std::size_t b = 0; b < c.routines[r].blocks.size(); ++b) {
+      blocks.push_back({"r" + std::to_string(r) + "_b" + std::to_string(b),
+                        c.routines[r].blocks[b].insns,
+                        c.routines[r].blocks[b].kind});
+    }
+    builder.routine("r" + std::to_string(r), mod, std::move(blocks),
+                    c.routines[r].executor_op);
+  }
+  built.image = builder.build();
+
+  for (std::uint32_t ev : c.trace) built.trace.append(ev);
+
+  built.wcfg.image = built.image.get();
+  built.wcfg.block_count.assign(built.image->num_blocks(), 0);
+  built.wcfg.succs.resize(built.image->num_blocks());
+  for (std::uint32_t ev : c.trace) ++built.wcfg.block_count[ev];
+  for (const FuzzEdge& e : c.edges) {
+    built.wcfg.succs[e.from].push_back({e.to, e.count});
+  }
+  for (auto& succs : built.wcfg.succs) {
+    std::sort(succs.begin(), succs.end(),
+              [](const profile::WeightedCFG::Succ& x,
+                 const profile::WeightedCFG::Succ& y) {
+                if (x.count != y.count) return x.count > y.count;
+                return x.to < y.to;
+              });
+  }
+  return built;
+}
+
+Report run_case(const FuzzCase& c, Injection injection) {
+  Report all;
+  std::string why;
+  if (!check_case(c, &why)) {
+    all.fail("invalid fuzz case: " + why);
+    return all;
+  }
+  const BuiltCase built = build_case(c);
+  const cfg::ProgramImage& image = *built.image;
+
+  OracleOptions options;
+  options.geometry =
+      sim::CacheGeometry{static_cast<std::uint32_t>(c.cache_bytes),
+                         c.line_bytes, 1};
+
+  // Every layout kind through the full oracle.
+  for (core::LayoutKind kind : kAllKinds) {
+    core::MappingProvenance provenance;
+    cfg::AddressMap layout = core::make_layout(kind, built.wcfg, c.cache_bytes,
+                                               c.cfa_bytes, &provenance);
+    apply_injection(layout, image, injection);
+    all.merge(verify_layout(built.trace, image, layout, &provenance, options));
+  }
+
+  // Direct map_sequences over the raw seed list (duplicates and repeated
+  // blocks across sequences are legal; the oracle must still hold).
+  if (!c.seeds.empty()) {
+    std::vector<core::Sequence> sequences;
+    std::unordered_set<std::uint32_t> seeded(c.seeds.begin(), c.seeds.end());
+    for (std::uint32_t s : c.seeds) {
+      core::Sequence seq;
+      seq.blocks = {s};
+      seq.weight = 1;
+      sequences.push_back(std::move(seq));
+    }
+    std::vector<BlockId> cold;
+    for (BlockId b = 0; b < image.num_blocks(); ++b) {
+      if (seeded.count(b) == 0) cold.push_back(b);
+    }
+    core::MappingParams params;
+    params.cache_bytes = c.cache_bytes;
+    params.cfa_bytes = c.cfa_bytes;
+    core::MappingProvenance provenance;
+    cfg::AddressMap layout = core::map_sequences(
+        image, "fuzz-seeds", {{}, std::move(sequences)}, cold, params,
+        &provenance);
+    apply_injection(layout, image, injection);
+    all.merge(verify_layout(built.trace, image, layout, &provenance, options));
+  }
+
+  // Replication round trip: the transformed trace projected back through the
+  // replica provenance must be the original execution.
+  {
+    profile::Profile prof(image);
+    prof.consume(built.trace);
+    const core::Replicator replicator(image, prof);
+    all.merge(check_replication_structure(image, replicator.image(),
+                                          replicator.origin_blocks()),
+              "replicate");
+    const trace::BlockTrace transformed = replicator.transform(built.trace);
+    all.merge(
+        check_replicated_replay(built.trace, transformed, image,
+                                replicator.image(),
+                                replicator.origin_blocks()),
+        "replicate");
+    all.merge(check_replay(transformed, replicator.image(),
+                           cfg::AddressMap::original(replicator.image())),
+              "replicate/orig");
+  }
+  return all;
+}
+
+FuzzCase random_case(Rng& rng) {
+  FuzzCase c;
+  c.cache_bytes = std::uint64_t{512} << rng.uniform(4);  // 512 .. 4096
+  c.line_bytes = std::uint32_t{16} << rng.uniform(3);    // 16, 32, 64
+  // CFA menu, including the extremes: none, and all-but-one-instruction.
+  switch (rng.uniform(5)) {
+    case 0: c.cfa_bytes = 0; break;
+    case 1: c.cfa_bytes = c.cache_bytes - cfg::kInsnBytes; break;
+    default: c.cfa_bytes = rng.uniform(c.cache_bytes / 2 + 1); break;
+  }
+
+  // Routines, occasionally none at all.
+  const std::size_t nroutines =
+      rng.chance(0.05) ? 0 : 1 + rng.uniform(6);
+  for (std::size_t r = 0; r < nroutines; ++r) {
+    FuzzRoutine routine;
+    routine.executor_op = rng.chance(0.15);
+    const std::size_t nblocks = rng.chance(0.2) ? 1 : 1 + rng.uniform(6);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      FuzzBlock block;
+      if (rng.chance(0.1)) {
+        // Bigger than a cache line — and sometimes than a whole inter-CFA
+        // window — so mapping must handle blocks that dwarf the geometry.
+        block.insns = static_cast<std::uint16_t>(
+            c.line_bytes / cfg::kInsnBytes + 1 + rng.uniform(96));
+      } else {
+        block.insns = static_cast<std::uint16_t>(1 + rng.uniform(12));
+      }
+      if (b + 1 == nblocks && !rng.chance(0.1)) {
+        block.kind = BlockKind::kReturn;
+      } else {
+        const std::uint64_t pick = rng.uniform(10);
+        block.kind = pick < 3   ? BlockKind::kFallThrough
+                     : pick < 8 ? BlockKind::kBranch
+                                : BlockKind::kCall;
+      }
+      routine.blocks.push_back(block);
+    }
+    c.routines.push_back(std::move(routine));
+  }
+  const std::size_t blocks = c.num_blocks();
+  if (blocks == 0) return c;  // empty program: empty trace/edges/seeds
+
+  // Trace: a partially edge-following walk (empty ~10% of the time).
+  const std::size_t events = rng.chance(0.1) ? 0 : 1 + rng.uniform(160);
+  std::uint32_t cur = static_cast<std::uint32_t>(rng.uniform(blocks));
+  for (std::size_t i = 0; i < events; ++i) {
+    c.trace.push_back(cur);
+    cur = static_cast<std::uint32_t>(rng.uniform(blocks));
+  }
+
+  // Edge counts budgeted by the trace-derived block counts (like a real
+  // profile), plus explicit self-loops and zero-weight edges.
+  std::vector<std::uint64_t> count(blocks, 0);
+  for (std::uint32_t ev : c.trace) ++count[ev];
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    if (count[b] == 0 && !rng.chance(0.1)) continue;
+    std::uint64_t budget = count[b];
+    const std::size_t nedges = rng.uniform(4);
+    for (std::size_t e = 0; e < nedges; ++e) {
+      FuzzEdge edge;
+      edge.from = b;
+      edge.to = rng.chance(0.15)
+                    ? b  // self-loop
+                    : static_cast<std::uint32_t>(rng.uniform(blocks));
+      if (rng.chance(0.2) || budget == 0) {
+        edge.count = 0;  // zero-weight edge
+      } else {
+        edge.count = 1 + rng.uniform(budget);
+        budget -= edge.count;
+      }
+      c.edges.push_back(edge);
+    }
+  }
+
+  // Seed list with duplicates.
+  const std::size_t nseeds = rng.uniform(5);
+  for (std::size_t s = 0; s < nseeds; ++s) {
+    if (!c.seeds.empty() && rng.chance(0.3)) {
+      c.seeds.push_back(c.seeds[rng.uniform(c.seeds.size())]);  // duplicate
+    } else {
+      c.seeds.push_back(static_cast<std::uint32_t>(rng.uniform(blocks)));
+    }
+  }
+  return c;
+}
+
+namespace {
+
+// Removes global block indices [start, start+count); drops trace events,
+// seeds and edges that referenced them and shifts higher indices down.
+void remap_after_removal(FuzzCase& c, std::size_t start, std::size_t count) {
+  const auto keep = [&](std::uint32_t idx) {
+    return idx < start || idx >= start + count;
+  };
+  const auto remap = [&](std::uint32_t idx) {
+    return idx < start ? idx : static_cast<std::uint32_t>(idx - count);
+  };
+  std::vector<std::uint32_t> trace;
+  for (std::uint32_t ev : c.trace) {
+    if (keep(ev)) trace.push_back(remap(ev));
+  }
+  c.trace = std::move(trace);
+  std::vector<std::uint32_t> seeds;
+  for (std::uint32_t s : c.seeds) {
+    if (keep(s)) seeds.push_back(remap(s));
+  }
+  c.seeds = std::move(seeds);
+  std::vector<FuzzEdge> edges;
+  for (FuzzEdge e : c.edges) {
+    if (!keep(e.from) || !keep(e.to)) continue;
+    e.from = remap(e.from);
+    e.to = remap(e.to);
+    edges.push_back(e);
+  }
+  c.edges = std::move(edges);
+}
+
+std::size_t routine_start(const FuzzCase& c, std::size_t r) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < r; ++i) start += c.routines[i].blocks.size();
+  return start;
+}
+
+FuzzCase without_routine(const FuzzCase& c, std::size_t r) {
+  FuzzCase out = c;
+  const std::size_t start = routine_start(c, r);
+  const std::size_t count = c.routines[r].blocks.size();
+  out.routines.erase(out.routines.begin() + static_cast<std::ptrdiff_t>(r));
+  remap_after_removal(out, start, count);
+  return out;
+}
+
+FuzzCase without_block(const FuzzCase& c, std::size_t r, std::size_t b) {
+  FuzzCase out = c;
+  out.routines[r].blocks.erase(out.routines[r].blocks.begin() +
+                               static_cast<std::ptrdiff_t>(b));
+  remap_after_removal(out, routine_start(c, r) + b, 1);
+  return out;
+}
+
+}  // namespace
+
+FuzzCase shrink_case(const FuzzCase& c, Injection injection) {
+  const auto fails = [&](const FuzzCase& candidate) {
+    return !run_case(candidate, injection).ok();
+  };
+  if (!fails(c)) return c;  // nothing to shrink
+
+  FuzzCase cur = c;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Trace spans, largest chunks first (delta-debugging style).
+    for (std::size_t chunk = std::max<std::size_t>(cur.trace.size(), 1);
+         chunk >= 1; chunk /= 2) {
+      for (std::size_t i = 0; i + chunk <= cur.trace.size();) {
+        FuzzCase candidate = cur;
+        candidate.trace.erase(
+            candidate.trace.begin() + static_cast<std::ptrdiff_t>(i),
+            candidate.trace.begin() + static_cast<std::ptrdiff_t>(i + chunk));
+        if (fails(candidate)) {
+          cur = std::move(candidate);
+          changed = true;
+        } else {
+          i += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // Whole routines.
+    for (std::size_t r = 0; r < cur.routines.size();) {
+      FuzzCase candidate = without_routine(cur, r);
+      if (fails(candidate)) {
+        cur = std::move(candidate);
+        changed = true;
+      } else {
+        ++r;
+      }
+    }
+
+    // Individual blocks (keeping routines non-empty).
+    for (std::size_t r = 0; r < cur.routines.size(); ++r) {
+      for (std::size_t b = 0; b < cur.routines[r].blocks.size();) {
+        if (cur.routines[r].blocks.size() == 1) break;
+        FuzzCase candidate = without_block(cur, r, b);
+        if (fails(candidate)) {
+          cur = std::move(candidate);
+          changed = true;
+        } else {
+          ++b;
+        }
+      }
+    }
+
+    // Edges and seeds, one at a time.
+    for (std::size_t e = 0; e < cur.edges.size();) {
+      FuzzCase candidate = cur;
+      candidate.edges.erase(candidate.edges.begin() +
+                            static_cast<std::ptrdiff_t>(e));
+      if (fails(candidate)) {
+        cur = std::move(candidate);
+        changed = true;
+      } else {
+        ++e;
+      }
+    }
+    for (std::size_t s = 0; s < cur.seeds.size();) {
+      FuzzCase candidate = cur;
+      candidate.seeds.erase(candidate.seeds.begin() +
+                            static_cast<std::ptrdiff_t>(s));
+      if (fails(candidate)) {
+        cur = std::move(candidate);
+        changed = true;
+      } else {
+        ++s;
+      }
+    }
+
+    // Simplify surviving blocks: one instruction, plainest kind, no flags.
+    for (std::size_t r = 0; r < cur.routines.size(); ++r) {
+      for (std::size_t b = 0; b < cur.routines[r].blocks.size(); ++b) {
+        FuzzBlock& block = cur.routines[r].blocks[b];
+        if (block.insns > 1) {
+          FuzzCase candidate = cur;
+          candidate.routines[r].blocks[b].insns = 1;
+          if (fails(candidate)) {
+            cur = std::move(candidate);
+            changed = true;
+          }
+        }
+        if (block.kind != BlockKind::kFallThrough) {
+          FuzzCase candidate = cur;
+          candidate.routines[r].blocks[b].kind = BlockKind::kFallThrough;
+          if (fails(candidate)) {
+            cur = std::move(candidate);
+            changed = true;
+          }
+        }
+      }
+      if (cur.routines[r].executor_op) {
+        FuzzCase candidate = cur;
+        candidate.routines[r].executor_op = false;
+        if (fails(candidate)) {
+          cur = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+  return cur;
+}
+
+std::string emit_cpp(const FuzzCase& c, std::string_view test_name) {
+  std::string out;
+  out += "TEST(FuzzRegression, " + std::string(test_name) + ") {\n";
+  out += "  stc::verify::FuzzCase c;\n";
+  out += "  c.cache_bytes = " + std::to_string(c.cache_bytes) + ";\n";
+  out += "  c.cfa_bytes = " + std::to_string(c.cfa_bytes) + ";\n";
+  out += "  c.line_bytes = " + std::to_string(c.line_bytes) + ";\n";
+  if (!c.routines.empty()) {
+    out += "  c.routines = {\n";
+    for (const FuzzRoutine& r : c.routines) {
+      out += "      {{";
+      for (std::size_t b = 0; b < r.blocks.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += "{" + std::to_string(r.blocks[b].insns) + ", " +
+               kind_name(r.blocks[b].kind) + "}";
+      }
+      out += std::string("}, ") + (r.executor_op ? "true" : "false") + "},\n";
+    }
+    out += "  };\n";
+  }
+  const auto emit_u32_list = [&](const char* field,
+                                 const std::vector<std::uint32_t>& values) {
+    if (values.empty()) return;
+    out += std::string("  c.") + field + " = {";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(values[i]);
+    }
+    out += "};\n";
+  };
+  if (!c.edges.empty()) {
+    out += "  c.edges = {";
+    for (std::size_t i = 0; i < c.edges.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{" + std::to_string(c.edges[i].from) + ", " +
+             std::to_string(c.edges[i].to) + ", " +
+             std::to_string(c.edges[i].count) + "}";
+    }
+    out += "};\n";
+  }
+  emit_u32_list("trace", c.trace);
+  emit_u32_list("seeds", c.seeds);
+  out += "  const stc::verify::Report report = stc::verify::run_case(c);\n";
+  out += "  EXPECT_TRUE(report.ok()) << report.summary();\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace stc::verify

@@ -1,0 +1,597 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <string>
+
+#include "cfg/types.h"
+#include "sim/trace_cache.h"
+#include "trace/fetch_stream.h"
+
+namespace stc::verify {
+namespace {
+
+using cfg::BlockId;
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+// "block #12 'name'" — identifies a block in error messages.
+std::string block_ref(const cfg::ProgramImage& image, BlockId b) {
+  std::string out = "block #" + u64(b);
+  if (b < image.num_blocks()) {
+    out += " '" + image.block(b).name + "'";
+  }
+  return out;
+}
+
+// Reports stop accumulating detail past this; walks can stop early.
+constexpr std::uint64_t kGiveUpAfter = 64;
+
+}  // namespace
+
+void Report::fail(std::string message) {
+  ++total_;
+  if (errors_.size() < kMaxErrors) errors_.push_back(std::move(message));
+}
+
+void Report::merge(const Report& other, std::string_view context) {
+  total_ += other.total_;
+  for (const std::string& msg : other.errors_) {
+    if (errors_.size() >= kMaxErrors) break;
+    if (context.empty()) {
+      errors_.push_back(msg);
+    } else {
+      errors_.push_back(std::string(context) + ": " + msg);
+    }
+  }
+}
+
+std::string Report::summary() const {
+  if (ok()) return "OK";
+  std::string out = u64(total_) + " violation(s):\n";
+  for (const std::string& msg : errors_) {
+    out += "  - " + msg + "\n";
+  }
+  if (total_ > errors_.size()) {
+    out += "  ... and " + u64(total_ - errors_.size()) + " more\n";
+  }
+  return out;
+}
+
+std::uint64_t trace_instructions(const trace::BlockTrace& trace,
+                                 const cfg::ProgramImage& image) {
+  std::uint64_t insns = 0;
+  trace.for_each([&](BlockId b) {
+    if (b < image.num_blocks()) insns += image.block(b).insns;
+  });
+  return insns;
+}
+
+// ---- Invariant class 1: structure ----------------------------------------
+
+Report check_structure(const cfg::ProgramImage& image,
+                       const cfg::AddressMap& layout) {
+  Report report;
+  if (layout.size() != image.num_blocks()) {
+    report.fail("layout '" + layout.name() + "' covers " + u64(layout.size()) +
+                " blocks, image has " + u64(image.num_blocks()));
+    return report;
+  }
+
+  struct Placed {
+    std::uint64_t begin;
+    std::uint64_t end;
+    BlockId block;
+  };
+  std::vector<Placed> placed;
+  placed.reserve(layout.size());
+  for (BlockId b = 0; b < image.num_blocks(); ++b) {
+    if (!layout.assigned(b)) {
+      report.fail(block_ref(image, b) + " is unassigned (lost by the layout)");
+      continue;
+    }
+    const std::uint64_t begin = layout.addr(b);
+    const std::uint64_t bytes = image.block(b).bytes();
+    if (begin > ~std::uint64_t{0} - bytes) {
+      report.fail(block_ref(image, b) + " wraps the address space (addr " +
+                  u64(begin) + " + " + u64(bytes) + " bytes)");
+      continue;
+    }
+    placed.push_back({begin, begin + bytes, b});
+  }
+
+  std::sort(placed.begin(), placed.end(),
+            [](const Placed& a, const Placed& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end < b.end;
+            });
+  for (std::size_t i = 1; i < placed.size(); ++i) {
+    if (placed[i].begin < placed[i - 1].end) {
+      report.fail(block_ref(image, placed[i - 1].block) + " [" +
+                  u64(placed[i - 1].begin) + ", " + u64(placed[i - 1].end) +
+                  ") overlaps " + block_ref(image, placed[i].block) + " [" +
+                  u64(placed[i].begin) + ", " + u64(placed[i].end) + ")");
+      if (report.total_found() >= kGiveUpAfter) break;
+    }
+  }
+  return report;
+}
+
+Report check_replication_structure(
+    const cfg::ProgramImage& original, const cfg::ProgramImage& extended,
+    const std::vector<BlockId>& origin_blocks) {
+  Report report;
+  if (origin_blocks.size() != extended.num_blocks()) {
+    report.fail("origin map covers " + u64(origin_blocks.size()) +
+                " blocks, extended image has " + u64(extended.num_blocks()));
+    return report;
+  }
+  if (extended.num_blocks() < original.num_blocks()) {
+    report.fail("extended image (" + u64(extended.num_blocks()) +
+                " blocks) lost blocks of the original (" +
+                u64(original.num_blocks()) + ")");
+    return report;
+  }
+  for (BlockId b = 0; b < extended.num_blocks(); ++b) {
+    const BlockId origin = origin_blocks[b];
+    if (b < original.num_blocks() && origin != b) {
+      report.fail("original " + block_ref(original, b) +
+                  " remapped to origin #" + u64(origin) +
+                  " (original ids must be unchanged)");
+      continue;
+    }
+    if (origin >= original.num_blocks()) {
+      report.fail("clone " + block_ref(extended, b) +
+                  " claims out-of-range origin #" + u64(origin));
+      continue;
+    }
+    const cfg::BlockInfo& clone = extended.block(b);
+    const cfg::BlockInfo& orig = original.block(origin);
+    if (clone.insns != orig.insns) {
+      report.fail("clone " + block_ref(extended, b) + " has " +
+                  u64(clone.insns) + " insns, origin " +
+                  block_ref(original, origin) + " has " + u64(orig.insns));
+    }
+    if (clone.kind != orig.kind) {
+      report.fail("clone " + block_ref(extended, b) +
+                  " changed block kind vs origin " +
+                  block_ref(original, origin));
+    }
+    if (clone.index_in_routine != orig.index_in_routine) {
+      report.fail("clone " + block_ref(extended, b) +
+                  " sits at routine offset " + u64(clone.index_in_routine) +
+                  ", origin at " + u64(orig.index_in_routine) +
+                  " (clones must mirror whole routines)");
+    }
+    if (report.total_found() >= kGiveUpAfter) break;
+  }
+  return report;
+}
+
+// ---- Invariant class 2: replay equivalence -------------------------------
+
+Report check_replay(const trace::BlockTrace& trace,
+                    const cfg::ProgramImage& image,
+                    const cfg::AddressMap& layout) {
+  Report report;
+  if (layout.size() != image.num_blocks()) {
+    report.fail("layout does not cover the image; structure check applies");
+    return report;
+  }
+
+  // Ground truth: the trace events themselves, sized by the image and
+  // addressed by the map. The production adapters must reproduce them.
+  trace::BlockTrace::Cursor truth(trace);
+  trace::BlockRunStream stream(trace, image, layout);
+  sim::FetchPipe pipe(trace, image, layout);
+
+  std::uint64_t event = 0;
+  std::uint64_t insns_seen = 0;
+  BlockId cur = truth.done() ? cfg::kInvalidBlock : truth.next();
+  while (cur != cfg::kInvalidBlock) {
+    if (cur >= image.num_blocks()) {
+      report.fail("event " + u64(event) + " names out-of-range block #" +
+                  u64(cur));
+      return report;
+    }
+    if (!layout.assigned(cur)) {
+      report.fail("event " + u64(event) + ": " + block_ref(image, cur) +
+                  " has no address");
+      return report;
+    }
+    const cfg::BlockInfo& info = image.block(cur);
+    const std::uint64_t addr = layout.addr(cur);
+    const BlockId next = truth.done() ? cfg::kInvalidBlock : truth.next();
+    const bool has_next = next != cfg::kInvalidBlock;
+    const bool valid_next = has_next && next < image.num_blocks() &&
+                            layout.assigned(next);
+    const std::uint64_t seq_end = addr + std::uint64_t{info.insns} *
+                                             cfg::kInsnBytes;
+    const bool taken = valid_next && layout.addr(next) != seq_end;
+
+    // BlockRunStream must agree field for field.
+    trace::BlockRun run;
+    if (!stream.next(run)) {
+      report.fail("stream ended at event " + u64(event) + " of " +
+                  u64(trace.num_events()));
+      return report;
+    }
+    if (run.addr != addr || run.insns != info.insns) {
+      report.fail("event " + u64(event) + " (" + block_ref(image, cur) +
+                  "): stream run at addr " + u64(run.addr) + "/" +
+                  u64(run.insns) + " insns, expected " + u64(addr) + "/" +
+                  u64(info.insns));
+    }
+    if (run.ends_in_branch != cfg::ends_in_branch(info.kind)) {
+      report.fail("event " + u64(event) + " (" + block_ref(image, cur) +
+                  "): stream branch flag disagrees with block kind");
+    }
+    if (run.has_next != has_next ||
+        (valid_next && run.next_addr != layout.addr(next))) {
+      report.fail("event " + u64(event) + " (" + block_ref(image, cur) +
+                  "): stream lookahead disagrees with the trace");
+    }
+    if (valid_next && run.taken != taken) {
+      report.fail("event " + u64(event) + " (" + block_ref(image, cur) +
+                  "): stream taken=" + (run.taken ? "1" : "0") +
+                  ", first-principles taken=" + (taken ? "1" : "0"));
+    }
+
+    // FetchPipe must deliver the same block as individual instructions at
+    // consecutive addresses.
+    for (std::uint32_t k = 0; k < info.insns; ++k) {
+      sim::FetchPipe::Insn insn;
+      if (!pipe.peek(0, insn)) {
+        report.fail("pipe ended inside event " + u64(event) + " (" +
+                    block_ref(image, cur) + ") at instruction " + u64(k));
+        return report;
+      }
+      const bool last = k + 1 == info.insns;
+      const std::uint64_t want = addr + std::uint64_t{k} * cfg::kInsnBytes;
+      if (insn.addr != want || insn.block_end != last ||
+          insn.is_branch != (last && cfg::ends_in_branch(info.kind)) ||
+          insn.taken != (last && taken)) {
+        report.fail("event " + u64(event) + " (" + block_ref(image, cur) +
+                    ") instruction " + u64(k) + ": pipe yields addr " +
+                    u64(insn.addr) + ", expected " + u64(want) +
+                    " (or flag mismatch)");
+      }
+      pipe.consume(1);
+      ++insns_seen;
+      if (report.total_found() >= kGiveUpAfter) return report;
+    }
+
+    ++event;
+    cur = next;
+  }
+
+  trace::BlockRun extra;
+  if (stream.next(extra)) {
+    report.fail("stream yields runs past the " + u64(trace.num_events()) +
+                " trace events");
+  }
+  if (!pipe.done()) {
+    report.fail("pipe still has instructions after the trace ended");
+  }
+  if (event != trace.num_events()) {
+    report.fail("replayed " + u64(event) + " events, trace records " +
+                u64(trace.num_events()));
+  }
+  if (insns_seen != trace_instructions(trace, image)) {
+    report.fail("replayed " + u64(insns_seen) + " instructions, trace holds " +
+                u64(trace_instructions(trace, image)));
+  }
+  return report;
+}
+
+Report check_replicated_replay(const trace::BlockTrace& original_trace,
+                               const trace::BlockTrace& transformed,
+                               const cfg::ProgramImage& original,
+                               const cfg::ProgramImage& extended,
+                               const std::vector<BlockId>& origin_blocks) {
+  Report report;
+  if (origin_blocks.size() != extended.num_blocks()) {
+    report.fail("origin map does not cover the extended image");
+    return report;
+  }
+  if (original_trace.num_events() != transformed.num_events()) {
+    report.fail("transform changed the event count: " +
+                u64(original_trace.num_events()) + " -> " +
+                u64(transformed.num_events()));
+    return report;
+  }
+  trace::BlockTrace::Cursor orig(original_trace);
+  trace::BlockTrace::Cursor repl(transformed);
+  std::uint64_t event = 0;
+  while (!orig.done()) {
+    const BlockId o = orig.next();
+    const BlockId t = repl.next();
+    if (t >= extended.num_blocks()) {
+      report.fail("event " + u64(event) +
+                  ": transformed trace names out-of-range block #" + u64(t));
+      return report;
+    }
+    if (origin_blocks[t] != o) {
+      report.fail("event " + u64(event) + ": transformed " +
+                  block_ref(extended, t) + " projects to origin #" +
+                  u64(origin_blocks[t]) + ", original trace executed " +
+                  block_ref(original, o));
+      if (report.total_found() >= kGiveUpAfter) return report;
+    }
+    ++event;
+  }
+  return report;
+}
+
+// ---- Invariant class 3: simulator + occupancy invariants -----------------
+
+Report check_cfa_occupancy(const cfg::ProgramImage& image,
+                           const cfg::AddressMap& layout,
+                           const core::MappingProvenance& provenance) {
+  Report report;
+  if (provenance.empty()) return report;  // no CFA contract
+  if (provenance.pass_of.size() != image.num_blocks() ||
+      layout.size() != image.num_blocks()) {
+    report.fail("provenance/layout do not cover the image");
+    return report;
+  }
+  const std::uint64_t cache = provenance.cache_bytes;
+  const std::uint64_t cfa = provenance.cfa_bytes;
+  if (cache == 0) {
+    report.fail("provenance has cache_bytes == 0");
+    return report;
+  }
+  if (cfa == 0) return report;  // no reservation: occupancy is trivial
+
+  for (BlockId b = 0; b < image.num_blocks(); ++b) {
+    if (!layout.assigned(b)) continue;  // structure check reports this
+    const std::uint32_t pass = provenance.pass_of[b];
+    const std::uint64_t addr = layout.addr(b);
+    const std::uint64_t bytes = image.block(b).bytes();
+    if (pass == 0) {
+      // Figure 4: first-pass sequences own [0, cfa) of region 0.
+      if (addr + bytes > cfa) {
+        report.fail("pass-0 " + block_ref(image, b) + " [" + u64(addr) + ", " +
+                    u64(addr + bytes) + ") leaves the CFA budget [0, " +
+                    u64(cfa) + ")");
+      }
+    } else if (pass != core::MappingProvenance::kColdPass) {
+      // Later passes must keep every region's CFA window free.
+      const std::uint64_t offset = addr % cache;
+      if (offset < cfa) {
+        report.fail("pass-" + u64(pass) + " " + block_ref(image, b) +
+                    " starts at region offset " + u64(offset) +
+                    ", inside the reserved CFA window [0, " + u64(cfa) + ")");
+      } else if (bytes > cache - offset) {
+        // Straddles into the next region's reserved window.
+        if (bytes <= cache - cfa) {
+          report.fail("pass-" + u64(pass) + " " + block_ref(image, b) +
+                      " (" + u64(bytes) + " bytes at region offset " +
+                      u64(offset) + ") straddles into the next CFA window");
+        } else if (offset != cfa) {
+          report.fail("oversized pass-" + u64(pass) + " " +
+                      block_ref(image, b) + " (" + u64(bytes) +
+                      " bytes) does not start at a window boundary");
+        }
+      }
+    }
+    if (report.total_found() >= kGiveUpAfter) break;
+  }
+  return report;
+}
+
+Report check_missrate_result(const sim::MissRateResult& result,
+                             const sim::CacheStats& stats,
+                             std::uint64_t expected_instructions) {
+  Report report;
+  if (result.instructions != expected_instructions) {
+    report.fail("miss-rate run executed " + u64(result.instructions) +
+                " instructions, trace holds " + u64(expected_instructions));
+  }
+  if (result.line_accesses != stats.accesses) {
+    report.fail("driver counted " + u64(result.line_accesses) +
+                " line accesses, cache counted " + u64(stats.accesses));
+  }
+  if (result.misses != stats.misses) {
+    report.fail("driver counted " + u64(result.misses) +
+                " misses, cache counted " + u64(stats.misses));
+  }
+  if (stats.misses + stats.victim_hits > stats.accesses) {
+    report.fail("cache counters inconsistent: misses " + u64(stats.misses) +
+                " + victim hits " + u64(stats.victim_hits) + " > accesses " +
+                u64(stats.accesses));
+  }
+  return report;
+}
+
+Report check_fetch_result(const sim::FetchResult& result,
+                          const sim::FetchParams& params,
+                          std::uint64_t expected_instructions,
+                          bool with_trace_cache) {
+  Report report;
+  if (result.instructions != expected_instructions) {
+    report.fail("fetch run supplied " + u64(result.instructions) +
+                " instructions, trace holds " + u64(expected_instructions));
+  }
+  if (result.instructions >
+      std::uint64_t{params.width} * result.fetch_requests) {
+    report.fail("supplied " + u64(result.instructions) +
+                " instructions in " + u64(result.fetch_requests) +
+                " requests of width " + u64(params.width));
+  }
+  const std::uint64_t penalty_units =
+      params.penalty_per_line ? result.lines_missed : result.miss_requests;
+  const std::uint64_t expect_cycles =
+      result.fetch_requests +
+      std::uint64_t{params.miss_penalty} * penalty_units;
+  if (result.cycles != expect_cycles) {
+    report.fail("cycle identity broken: " + u64(result.cycles) +
+                " cycles, expected requests " + u64(result.fetch_requests) +
+                " + penalty " + u64(params.miss_penalty) + " x " +
+                u64(penalty_units));
+  }
+  if (result.miss_requests > result.fetch_requests) {
+    report.fail("more missing requests (" + u64(result.miss_requests) +
+                ") than requests (" + u64(result.fetch_requests) + ")");
+  }
+  if (result.lines_missed < result.miss_requests ||
+      result.lines_missed > 2 * result.miss_requests) {
+    report.fail("lines_missed " + u64(result.lines_missed) +
+                " outside [miss_requests, 2 x miss_requests] = [" +
+                u64(result.miss_requests) + ", " +
+                u64(2 * result.miss_requests) + "]");
+  }
+  if (params.perfect_icache &&
+      (result.miss_requests != 0 || result.lines_missed != 0)) {
+    report.fail("perfect i-cache run reports misses");
+  }
+  if (with_trace_cache) {
+    if (result.tc_hits + result.tc_misses != result.fetch_requests) {
+      report.fail("tc_hits " + u64(result.tc_hits) + " + tc_misses " +
+                  u64(result.tc_misses) + " != fetch_requests " +
+                  u64(result.fetch_requests));
+    }
+    if (result.tc_probes != result.tc_hits + result.tc_misses) {
+      report.fail("trace cache probed " + u64(result.tc_probes) +
+                  " times for " + u64(result.tc_hits + result.tc_misses) +
+                  " recorded outcomes");
+    }
+    if (result.tc_fills > result.tc_probes) {
+      report.fail("trace cache filled " + u64(result.tc_fills) +
+                  " entries on only " + u64(result.tc_probes) + " probes");
+    }
+    if (result.tc_fills > result.tc_misses) {
+      report.fail("trace cache filled " + u64(result.tc_fills) +
+                  " entries from only " + u64(result.tc_misses) + " misses");
+    }
+  } else if (result.tc_hits != 0 || result.tc_misses != 0 ||
+             result.tc_fills != 0 || result.tc_probes != 0) {
+    report.fail("SEQ.3-only run reports trace-cache activity");
+  }
+  return report;
+}
+
+Report check_simulators(const trace::BlockTrace& trace,
+                        const cfg::ProgramImage& image,
+                        const cfg::AddressMap& layout,
+                        const sim::CacheGeometry& geometry) {
+  Report report;
+  const std::uint64_t expected = trace_instructions(trace, image);
+
+  // Independent recount of line probes: consecutive instructions on one line
+  // probe once; a re-entered line probes again (the Section 7.1 semantics).
+  std::uint64_t expect_line_accesses = 0;
+  {
+    const std::uint32_t line = geometry.line_bytes;
+    std::uint64_t prev_line = ~std::uint64_t{0};
+    trace::BlockTrace::Cursor cursor(trace);
+    while (!cursor.done()) {
+      const BlockId b = cursor.next();
+      if (b >= image.num_blocks() || !layout.assigned(b)) continue;
+      const std::uint64_t addr = layout.addr(b);
+      const std::uint64_t first = addr / line;
+      const std::uint64_t last =
+          (addr + image.block(b).bytes() - 1) / line;
+      for (std::uint64_t l = first; l <= last; ++l) {
+        if (l == prev_line) continue;
+        ++expect_line_accesses;
+        prev_line = l;
+      }
+    }
+  }
+
+  // Miss-rate simulator, recounted through the observer hook.
+  {
+    sim::ICache cache(geometry);
+    std::uint64_t obs_accesses = 0;
+    std::uint64_t obs_misses = 0;
+    std::uint64_t obs_misaligned = 0;
+    cache.set_observer([&](std::uint64_t line_addr, bool hit) {
+      ++obs_accesses;
+      if (!hit) ++obs_misses;
+      if (line_addr % geometry.line_bytes != 0) ++obs_misaligned;
+    });
+    const sim::MissRateResult result =
+        sim::run_missrate(trace, image, layout, cache);
+    report.merge(check_missrate_result(result, cache.stats(), expected),
+                 "missrate");
+    if (result.line_accesses != expect_line_accesses) {
+      report.fail("missrate: driver probed " + u64(result.line_accesses) +
+                  " lines, independent recount expects " +
+                  u64(expect_line_accesses));
+    }
+    if (obs_accesses != cache.stats().accesses ||
+        obs_misses != cache.stats().misses) {
+      report.fail("missrate: observer saw " + u64(obs_accesses) +
+                  " accesses / " + u64(obs_misses) +
+                  " misses, stats record " + u64(cache.stats().accesses) +
+                  " / " + u64(cache.stats().misses));
+    }
+    if (obs_misaligned != 0) {
+      report.fail("missrate: " + u64(obs_misaligned) +
+                  " observed probe addresses were not line-aligned");
+    }
+  }
+
+  // SEQ.3 fetch unit; its lines_missed must equal the cache's miss count.
+  {
+    sim::ICache cache(geometry);
+    const sim::FetchParams params;
+    const sim::FetchResult result =
+        sim::run_seq3(trace, image, layout, params, &cache);
+    report.merge(check_fetch_result(result, params, expected, false), "seq3");
+    if (result.lines_missed != cache.stats().misses) {
+      report.fail("seq3: driver counted " + u64(result.lines_missed) +
+                  " missed lines, cache counted " +
+                  u64(cache.stats().misses));
+    }
+    if (cache.stats().accesses < result.fetch_requests ||
+        cache.stats().accesses > 2 * result.fetch_requests) {
+      report.fail("seq3: " + u64(cache.stats().accesses) +
+                  " cache probes for " + u64(result.fetch_requests) +
+                  " fetch requests (must be 1-2 per request)");
+    }
+  }
+
+  // Trace cache in front of SEQ.3.
+  {
+    sim::ICache cache(geometry);
+    const sim::FetchParams params;
+    const sim::TraceCacheParams tc_params;
+    const sim::FetchResult result = sim::run_trace_cache(
+        trace, image, layout, params, tc_params, &cache);
+    report.merge(check_fetch_result(result, params, expected, true), "tc");
+  }
+  return report;
+}
+
+// ---- Umbrella ------------------------------------------------------------
+
+Report verify_layout(const trace::BlockTrace& trace,
+                     const cfg::ProgramImage& image,
+                     const cfg::AddressMap& layout,
+                     const core::MappingProvenance* provenance,
+                     const OracleOptions& options) {
+  Report report;
+  if (options.structure) {
+    report.merge(check_structure(image, layout), layout.name());
+  }
+  if (!report.ok()) {
+    // Replay and simulation assume a structurally sound map; running them on
+    // a broken one would only add noise after the real finding.
+    return report;
+  }
+  if (provenance != nullptr) {
+    report.merge(check_cfa_occupancy(image, layout, *provenance),
+                 layout.name());
+  }
+  if (options.replay) {
+    report.merge(check_replay(trace, image, layout), layout.name());
+  }
+  if (options.simulators) {
+    report.merge(check_simulators(trace, image, layout, options.geometry),
+                 layout.name());
+  }
+  return report;
+}
+
+}  // namespace stc::verify

@@ -1,0 +1,141 @@
+// Layout-equivalence oracle.
+//
+// Every number the benches report assumes the layouts are *semantically
+// transparent*: a layout may permute and replicate basic blocks, but the
+// dynamic instruction stream replayed through the simulators must be the
+// original program's. This module checks that independently of the code that
+// produced the layout, across three invariant classes:
+//
+//  1. Structure — the layout is a valid permutation-plus-replication of the
+//     original blocks: every block assigned, no two blocks overlap, replicas
+//     byte-identical to their origin in size and kind.
+//  2. Replay equivalence — replaying the block trace through the remapped
+//     address map yields the exact original dynamic instruction sequence
+//     (same blocks, same per-block instruction counts, instruction addresses
+//     consistent with the map, taken flags re-derived from first principles).
+//  3. Simulator invariants — icache probes and misses consistent with an
+//     independent recount, fetch-unit cycle identities, trace-cache fills
+//     bounded by probes, and the Figure 4 CFA occupancy rules.
+//
+// Unlike STC_CHECK, the oracle never aborts: violations are collected in a
+// Report so fuzzers and tests can observe, shrink, and print them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cfg/address_map.h"
+#include "cfg/program.h"
+#include "core/mapping.h"
+#include "sim/fetch_unit.h"
+#include "sim/icache.h"
+#include "trace/block_trace.h"
+
+namespace stc::verify {
+
+// Accumulates violations. Keeps the first kMaxErrors messages (plus a total
+// count) so a badly broken layout does not produce gigabytes of text.
+class Report {
+ public:
+  bool ok() const { return total_ == 0; }
+  void fail(std::string message);
+  // Appends another report's findings, prefixing each with `context`.
+  void merge(const Report& other, std::string_view context = {});
+
+  const std::vector<std::string>& errors() const { return errors_; }
+  std::uint64_t total_found() const { return total_; }
+  // Human-readable multi-line summary ("OK" when clean).
+  std::string summary() const;
+
+ private:
+  static constexpr std::size_t kMaxErrors = 16;
+  std::vector<std::string> errors_;
+  std::uint64_t total_ = 0;
+};
+
+// Total instructions the trace executes (sum of per-event block sizes).
+// Events naming out-of-range blocks count zero.
+std::uint64_t trace_instructions(const trace::BlockTrace& trace,
+                                 const cfg::ProgramImage& image);
+
+// ---- Invariant class 1: structure ----------------------------------------
+
+// The layout covers exactly the image's blocks: all assigned, none
+// truncated (sizes are the image's, by construction of AddressMap), and no
+// two blocks overlap in the address space.
+Report check_structure(const cfg::ProgramImage& image,
+                       const cfg::AddressMap& layout);
+
+// The extended (replicated) image is the original plus byte-identical
+// clones: original block ids unchanged, every clone's size and kind equal to
+// its origin block's, and clone routines mirror whole origin routines.
+// `origin_blocks` comes from core::Replicator::origin_blocks().
+Report check_replication_structure(
+    const cfg::ProgramImage& original, const cfg::ProgramImage& extended,
+    const std::vector<cfg::BlockId>& origin_blocks);
+
+// ---- Invariant class 2: replay equivalence -------------------------------
+
+// Replays `trace` under `layout` with an independent walk and cross-checks
+// the production stream adapters (BlockRunStream, FetchPipe) instruction by
+// instruction against ground truth derived only from the image and the map.
+Report check_replay(const trace::BlockTrace& trace,
+                    const cfg::ProgramImage& image,
+                    const cfg::AddressMap& layout);
+
+// The replicated trace projected through `origin_blocks` must equal the
+// original trace event for event (replication may rename blocks to clones
+// but never change what executes).
+Report check_replicated_replay(const trace::BlockTrace& original_trace,
+                               const trace::BlockTrace& transformed,
+                               const cfg::ProgramImage& original,
+                               const cfg::ProgramImage& extended,
+                               const std::vector<cfg::BlockId>& origin_blocks);
+
+// ---- Invariant class 3: simulator + occupancy invariants -----------------
+
+// Figure 4 occupancy: pass-0 code lives entirely in [0, cfa); later-pass
+// code never intersects any region's [0, cfa) window (a block larger than a
+// whole inter-CFA window must at least start at a window boundary). A
+// provenance with empty() == true carries no contract and passes trivially.
+Report check_cfa_occupancy(const cfg::ProgramImage& image,
+                           const cfg::AddressMap& layout,
+                           const core::MappingProvenance& provenance);
+
+// Runs all three simulators (miss-rate, SEQ.3, trace cache) over the trace
+// and checks their counters against independent recounts and each other.
+Report check_simulators(const trace::BlockTrace& trace,
+                        const cfg::ProgramImage& image,
+                        const cfg::AddressMap& layout,
+                        const sim::CacheGeometry& geometry);
+
+// Cheap per-result checks, usable on every bench cell without re-running
+// the simulation. `expected_instructions` from trace_instructions().
+Report check_missrate_result(const sim::MissRateResult& result,
+                             const sim::CacheStats& stats,
+                             std::uint64_t expected_instructions);
+Report check_fetch_result(const sim::FetchResult& result,
+                          const sim::FetchParams& params,
+                          std::uint64_t expected_instructions,
+                          bool with_trace_cache);
+
+// ---- Umbrella ------------------------------------------------------------
+
+struct OracleOptions {
+  bool structure = true;
+  bool replay = true;
+  bool simulators = true;
+  sim::CacheGeometry geometry{1024, 32, 1};
+};
+
+// Runs every applicable check for one (trace, image, layout) triple.
+// `provenance` may be null (skips the CFA occupancy check).
+Report verify_layout(const trace::BlockTrace& trace,
+                     const cfg::ProgramImage& image,
+                     const cfg::AddressMap& layout,
+                     const core::MappingProvenance* provenance = nullptr,
+                     const OracleOptions& options = {});
+
+}  // namespace stc::verify

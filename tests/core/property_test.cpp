@@ -1,12 +1,14 @@
 // Parameterized property sweep: every layout algorithm, over a family of
 // random programs and cache geometries, must produce a valid permutation of
-// the program (every block placed exactly once, no overlaps) and must be
-// deterministic.
+// the program (every block placed exactly once, no overlaps), must be
+// deterministic, and must satisfy the full layout-equivalence oracle
+// (structure, replay equivalence, Figure 4 CFA occupancy) on a random trace.
 #include <gtest/gtest.h>
 
 #include "core/layouts.h"
 #include "support/rng.h"
 #include "testing/synthetic.h"
+#include "verify/oracle.h"
 
 namespace stc::core {
 namespace {
@@ -48,9 +50,32 @@ TEST_P(LayoutPropertyTest, FootprintIsBoundedByImagePlusHoles) {
   auto image = testing::random_image(rng, p.routines);
   const auto cfg = testing::random_wcfg(*image, rng);
   const auto map = make_layout(p.kind, cfg, p.cache_bytes, p.cfa_bytes);
-  // Reserved CFA windows can at most double the packed size (cfa < cache),
-  // plus one extra region of slack.
-  EXPECT_LE(map.extent(*image), 2 * image->image_bytes() + 2 * p.cache_bytes);
+  // Each cache-sized region offers (cache - cfa) usable bytes outside the
+  // reserved window, so the footprint can expand by cache/(cache - cfa);
+  // allow 2x that for fragmentation plus two regions of slack.
+  const std::uint64_t window = p.cache_bytes - p.cfa_bytes;
+  const std::uint64_t regions = 2 * image->image_bytes() / window + 2;
+  EXPECT_LE(map.extent(*image),
+            regions * p.cache_bytes + 2 * p.cache_bytes);
+}
+
+// The oracle subsumes validate(): structure, replay equivalence over a
+// random trace, and — for the CFA-aware layouts — the Figure 4 occupancy
+// contract checked against the mapping's own provenance record.
+TEST_P(LayoutPropertyTest, SatisfiesEquivalenceOracle) {
+  const PropertyParams& p = GetParam();
+  Rng rng(p.seed);
+  auto image = testing::random_image(rng, p.routines);
+  const auto cfg = testing::random_wcfg(*image, rng);
+  const auto trace = testing::random_trace(*image, rng, 5000);
+  MappingProvenance provenance;
+  const auto map =
+      make_layout(p.kind, cfg, p.cache_bytes, p.cfa_bytes, &provenance);
+  verify::OracleOptions options;
+  options.simulators = false;  // sim invariants live in sim_property_test
+  const auto report =
+      verify::verify_layout(trace, *image, map, &provenance, options);
+  EXPECT_TRUE(report.ok()) << report.summary();
 }
 
 std::vector<PropertyParams> make_params() {
@@ -61,7 +86,10 @@ std::vector<PropertyParams> make_params() {
         LayoutKind::kStcAuto, LayoutKind::kStcOps}) {
     for (int routines : {5, 40, 120}) {
       for (std::uint64_t cache : {1024u, 8192u}) {
+        // Two seeds per (kind, routines, cache) point, and both a moderate
+        // and an extreme CFA budget.
         out.push_back({kind, seed++, routines, cache, cache / 4});
+        out.push_back({kind, seed++, routines, cache, cache - 4});
       }
     }
   }
@@ -75,11 +103,75 @@ std::string param_name(
     if (c == '&') c = 'n';
   }
   return name + "_r" + std::to_string(info.param.routines) + "_c" +
-         std::to_string(info.param.cache_bytes);
+         std::to_string(info.param.cache_bytes) + "_f" +
+         std::to_string(info.param.cfa_bytes);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllLayouts, LayoutPropertyTest,
                          ::testing::ValuesIn(make_params()), param_name);
+
+// ---- Degenerate families ---------------------------------------------------
+//
+// Every layout kind must also satisfy the oracle on the edge-case program
+// shapes: empty programs, single-block programs, all-single-block routines,
+// blocks larger than a cache line, and non-return routine tails — driven by
+// profiles containing self-loops and zero-weight edges.
+
+struct DegenerateParams {
+  LayoutKind kind;
+  int family;
+  std::uint64_t seed;
+};
+
+class DegenerateLayoutTest : public ::testing::TestWithParam<DegenerateParams> {
+};
+
+TEST_P(DegenerateLayoutTest, SatisfiesEquivalenceOracle) {
+  const DegenerateParams& p = GetParam();
+  Rng rng(p.seed);
+  auto image = testing::degenerate_image(rng, p.family);
+  const auto cfg = testing::degenerate_wcfg(*image, rng);
+  const auto trace =
+      image->num_blocks() == 0
+          ? trace::BlockTrace{}
+          : testing::random_trace(*image, rng, 2000);
+  MappingProvenance provenance;
+  const auto map = make_layout(p.kind, cfg, 1024, 256, &provenance);
+  map.validate(*image);
+  verify::OracleOptions options;
+  options.simulators = false;
+  const auto report =
+      verify::verify_layout(trace, *image, map, &provenance, options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+std::vector<DegenerateParams> degenerate_params() {
+  std::vector<DegenerateParams> out;
+  std::uint64_t seed = 77000;
+  for (LayoutKind kind :
+       {LayoutKind::kOrig, LayoutKind::kPettisHansen, LayoutKind::kTorrellas,
+        LayoutKind::kStcAuto, LayoutKind::kStcOps}) {
+    for (int family = 0; family < testing::kNumDegenerateFamilies; ++family) {
+      out.push_back({kind, family, seed++});
+      out.push_back({kind, family, seed++});
+    }
+  }
+  return out;
+}
+
+std::string degenerate_name(
+    const ::testing::TestParamInfo<DegenerateParams>& info) {
+  std::string kind = to_string(info.param.kind);
+  for (char& c : kind) {
+    if (c == '&') c = 'n';
+  }
+  return kind + "_" + testing::degenerate_family_name(info.param.family) +
+         "_s" + std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(DegenerateFamilies, DegenerateLayoutTest,
+                         ::testing::ValuesIn(degenerate_params()),
+                         degenerate_name);
 
 }  // namespace
 }  // namespace stc::core

@@ -10,6 +10,7 @@
 #include "sim/fetch_unit.h"
 #include "sim/icache.h"
 #include "sim/trace_cache.h"
+#include "verify/oracle.h"
 
 namespace stc {
 namespace {
@@ -82,6 +83,31 @@ profile::Profile* PipelineTest::profile_ = nullptr;
 trace::BlockTrace* PipelineTest::training_ = nullptr;
 trace::BlockTrace* PipelineTest::test_ = nullptr;
 profile::WeightedCFG* PipelineTest::wcfg_ = nullptr;
+
+// ---- Layout-equivalence oracle ---------------------------------------------
+//
+// Before trusting any number below: every layout built from the real TPC-D
+// kernel must be semantically transparent on the real Test trace — valid
+// permutation-plus-replication, exact replay equivalence, CFA occupancy per
+// its own provenance, and simulator counters that survive an independent
+// recount.
+
+TEST_F(PipelineTest, EveryLayoutSatisfiesTheEquivalenceOracle) {
+  for (const auto kind :
+       {core::LayoutKind::kOrig, core::LayoutKind::kPettisHansen,
+        core::LayoutKind::kTorrellas, core::LayoutKind::kStcAuto,
+        core::LayoutKind::kStcOps}) {
+    core::MappingProvenance provenance;
+    const auto map =
+        core::make_layout(kind, *wcfg_, 2048, 512, &provenance);
+    verify::OracleOptions options;
+    options.geometry = {2048, 32, 1};
+    const auto report = verify::verify_layout(*test_, db::kernel_image(), map,
+                                              &provenance, options);
+    EXPECT_TRUE(report.ok()) << core::to_string(kind) << "\n"
+                             << report.summary();
+  }
+}
 
 // ---- Section 4 characterization -------------------------------------------
 

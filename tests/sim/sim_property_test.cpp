@@ -1,7 +1,9 @@
 // Parameterized simulator invariants over random programs, traces and
 // layouts: conservation of instruction counts, bandwidth bounds, cache
 // accounting identities. These hold for ANY input, so they run across a
-// family of random seeds.
+// family of random seeds. The oracle test at the end runs the full
+// src/verify suite — independent line-probe recounts, observer-based cache
+// cross-checks and counter identities — over every input.
 #include <gtest/gtest.h>
 
 #include "core/layouts.h"
@@ -10,6 +12,7 @@
 #include "sim/trace_cache.h"
 #include "support/rng.h"
 #include "testing/synthetic.h"
+#include "verify/oracle.h"
 
 namespace stc::sim {
 namespace {
@@ -19,6 +22,7 @@ struct PropertyInput {
   core::LayoutKind layout;
   std::uint32_t cache_bytes;
   std::uint32_t line_bytes;
+  bool degenerate;  // use the degenerate program/profile families
 };
 
 class SimPropertyTest : public ::testing::TestWithParam<PropertyInput> {
@@ -26,8 +30,15 @@ class SimPropertyTest : public ::testing::TestWithParam<PropertyInput> {
   void SetUp() override {
     const PropertyInput& p = GetParam();
     Rng rng(p.seed);
-    image = testing::random_image(rng, 60);
-    wcfg = testing::random_wcfg(*image, rng);
+    if (p.degenerate) {
+      const int family =
+          1 + static_cast<int>(rng.uniform(testing::kNumDegenerateFamilies - 1));
+      image = testing::degenerate_image(rng, family);
+      wcfg = testing::degenerate_wcfg(*image, rng);
+    } else {
+      image = testing::random_image(rng, 60);
+      wcfg = testing::random_wcfg(*image, rng);
+    }
     trace = testing::random_trace(*image, rng, 20000);
     layout = std::make_unique<cfg::AddressMap>(core::make_layout(
         p.layout, wcfg, p.cache_bytes, p.cache_bytes / 4));
@@ -51,6 +62,9 @@ TEST_P(SimPropertyTest, MissRateConservesInstructions) {
   EXPECT_LE(result.misses, result.line_accesses);
   EXPECT_EQ(result.line_accesses, cache.stats().accesses);
   EXPECT_EQ(result.misses, cache.stats().misses);
+  const auto report =
+      verify::check_missrate_result(result, cache.stats(), expected_insns);
+  EXPECT_TRUE(report.ok()) << report.summary();
 }
 
 TEST_P(SimPropertyTest, Seq3ConservesInstructionsAndBoundsIpc) {
@@ -61,10 +75,13 @@ TEST_P(SimPropertyTest, Seq3ConservesInstructionsAndBoundsIpc) {
   EXPECT_EQ(result.instructions, expected_insns);
   EXPECT_GE(result.cycles, result.fetch_requests);
   EXPECT_LE(result.ipc(), static_cast<double>(params.width));
-  EXPECT_GT(result.ipc(), 0.0);
+  if (expected_insns > 0) EXPECT_GT(result.ipc(), 0.0);
   // Stall accounting: cycles = requests + penalty * missed requests.
   EXPECT_EQ(result.cycles,
             result.fetch_requests + params.miss_penalty * result.miss_requests);
+  const auto report = verify::check_fetch_result(
+      result, params, expected_insns, /*with_trace_cache=*/false);
+  EXPECT_TRUE(report.ok()) << report.summary();
 }
 
 TEST_P(SimPropertyTest, PerfectCacheIsAnUpperBound) {
@@ -89,6 +106,11 @@ TEST_P(SimPropertyTest, TraceCacheConservesInstructions) {
       run_trace_cache(trace, *image, *layout, params, tc, &cache);
   EXPECT_EQ(result.instructions, expected_insns);
   EXPECT_EQ(result.tc_hits + result.tc_misses, result.fetch_requests);
+  EXPECT_EQ(result.tc_probes, result.tc_hits + result.tc_misses);
+  EXPECT_LE(result.tc_fills, result.tc_probes);
+  const auto report = verify::check_fetch_result(
+      result, params, expected_insns, /*with_trace_cache=*/true);
+  EXPECT_TRUE(report.ok()) << report.summary();
 }
 
 TEST_P(SimPropertyTest, AssociativityNeverIncreasesMisses) {
@@ -108,6 +130,17 @@ TEST_P(SimPropertyTest, AssociativityNeverIncreasesMisses) {
   EXPECT_LE(big_result.misses, small_result.misses);
 }
 
+// The full oracle: structure + replay + all three simulators cross-checked
+// against independent recounts, at this input's geometry.
+TEST_P(SimPropertyTest, FullOracleIsClean) {
+  const PropertyInput& p = GetParam();
+  verify::OracleOptions options;
+  options.geometry = {p.cache_bytes, p.line_bytes, 1};
+  const auto report =
+      verify::verify_layout(trace, *image, *layout, nullptr, options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
 std::vector<PropertyInput> inputs() {
   std::vector<PropertyInput> out;
   std::uint64_t seed = 9000;
@@ -116,7 +149,11 @@ std::vector<PropertyInput> inputs() {
         core::LayoutKind::kPettisHansen}) {
     for (std::uint32_t cache : {512u, 2048u}) {
       for (std::uint32_t line : {16u, 64u}) {
-        out.push_back({seed++, kind, cache, line});
+        // Two random-program seeds plus one degenerate-family seed per
+        // geometry point.
+        out.push_back({seed++, kind, cache, line, false});
+        out.push_back({seed++, kind, cache, line, false});
+        out.push_back({seed++, kind, cache, line, true});
       }
     }
   }
@@ -129,7 +166,9 @@ std::string name(const ::testing::TestParamInfo<PropertyInput>& info) {
     if (c == '&') c = 'n';
   }
   return kind + "_c" + std::to_string(info.param.cache_bytes) + "_l" +
-         std::to_string(info.param.line_bytes);
+         std::to_string(info.param.line_bytes) + "_s" +
+         std::to_string(info.param.seed) +
+         (info.param.degenerate ? "_degen" : "");
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInputs, SimPropertyTest,

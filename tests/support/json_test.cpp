@@ -61,6 +61,39 @@ TEST(JsonNumberTest, NonFiniteBecomesNull) {
   EXPECT_EQ(json_number(std::nan("")), "null");
 }
 
+TEST(JsonNumberTest, NegativeZeroKeepsItsSign) {
+  EXPECT_EQ(json_number(-0.0), "-0");
+  EXPECT_EQ(json_number(0.0), "0");
+}
+
+TEST(JsonNumberTest, SeventeenDigitValuesRoundTrip) {
+  // Doubles that need the full 17 significant digits to distinguish from
+  // their neighbors (precision 15 and 16 fail for these).
+  const double values[] = {0.1 + 0.2,                 // 0.30000000000000004
+                           1.0 + 1e-15,
+                           9007199254740993.1,        // above 2^53
+                           5e-324,                    // min subnormal
+                           1.7976931348623157e308};   // max double
+  for (const double v : values) {
+    const std::string s = json_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(JsonWriterTest, NonFiniteValuesSerializeAsNull) {
+  JsonWriter w;
+  w.begin_object()
+      .key("nan")
+      .value(std::nan(""))
+      .key("inf")
+      .value(std::numeric_limits<double>::infinity())
+      .key("ninf")
+      .value(-std::numeric_limits<double>::infinity())
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\n  \"nan\": null,\n  \"inf\": null,\n  \"ninf\": null\n}");
+}
+
 TEST(JsonWriterTest, EmptyContainers) {
   {
     JsonWriter w;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -145,6 +146,81 @@ TEST(RngTest, ReseedRestartsStream) {
   for (int i = 0; i < 10; ++i) first.push_back(rng.next_u64());
   rng.reseed(43);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_u64(), first[i]);
+}
+
+// ---- Distribution shape ----------------------------------------------------
+
+TEST(RngTest, UniformSmallBoundWithinSamplingError) {
+  // bound 3 does not divide 2^64, the classic modulo-bias trigger. Lemire
+  // rejection must keep each bucket within ~5 sigma of n/3.
+  Rng rng(47);
+  const int n = 300000;
+  int buckets[3] = {0, 0, 0};
+  for (int i = 0; i < n; ++i) ++buckets[rng.uniform(3)];
+  const double expected = n / 3.0;
+  const double sigma = std::sqrt(n * (1.0 / 3.0) * (2.0 / 3.0));  // ~258
+  for (int count : buckets) {
+    EXPECT_NEAR(static_cast<double>(count), expected, 5.0 * sigma);
+  }
+}
+
+TEST(RngTest, UniformHugeBoundHasNoModuloBias) {
+  // bound = 2^63 + 2^62: plain next_u64() % bound would hit [0, 2^62) twice
+  // as often, putting HALF the mass below 2^62. Unbiased sampling puts only
+  // a third there. The gap (0.5 vs 0.333) is enormous compared to sampling
+  // noise, so this detects any modulo shortcut.
+  Rng rng(53);
+  const std::uint64_t bound = (1ull << 63) + (1ull << 62);
+  const std::uint64_t cut = 1ull << 62;
+  const int n = 100000;
+  int below = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.uniform(bound) < cut) ++below;
+  }
+  const double fraction = static_cast<double>(below) / n;
+  EXPECT_NEAR(fraction, 1.0 / 3.0, 0.01);
+}
+
+TEST(RngTest, ZipfHeadFollowsPowerLaw) {
+  // With theta = 1, P(rank = k) ~ 1/k: rank 1 should draw about twice as
+  // often as rank 2 and about ten times as often as rank 10.
+  Rng rng(59);
+  std::vector<int> counts(1001, 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[rng.zipf(1000, 1.0)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.35);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[10], 10.0, 2.5);
+  EXPECT_GT(counts[1], counts[100]);
+  EXPECT_GT(counts[100], counts[1000]);
+}
+
+TEST(RngTest, ZipfTailMassMatchesHarmonicSum) {
+  // For theta = 1 the tail mass P(rank > n/2) is
+  // (H(n) - H(n/2)) / H(n) = ln 2 / H(n) -- about 9.3% for n = 1000. A
+  // sampler that truncates or misweights the tail misses this band.
+  Rng rng(61);
+  const int n = 200000;
+  int tail = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.zipf(1000, 1.0) > 500) ++tail;
+  }
+  const double fraction = static_cast<double>(tail) / n;
+  EXPECT_GT(fraction, 0.06);
+  EXPECT_LT(fraction, 0.13);
+}
+
+TEST(RngTest, ZipfHigherThetaConcentratesMoreMass) {
+  Rng rng(67);
+  const int n = 50000;
+  int top10_flat = 0;
+  int top10_steep = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.zipf(1000, 0.8) <= 10) ++top10_flat;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (rng.zipf(1000, 1.4) <= 10) ++top10_steep;
+  }
+  EXPECT_GT(top10_steep, top10_flat);
 }
 
 }  // namespace

@@ -65,6 +65,74 @@ TEST(VarintTest, SequencesDecodeInOrder) {
   EXPECT_EQ(pos, buf.size());
 }
 
+TEST(VarintTest, EncodedLengthAtEverySevenBitBoundary) {
+  // 2^(7k) - 1 is the largest k-byte value; 2^(7k) needs k+1 bytes.
+  for (int k = 1; k <= 9; ++k) {
+    const std::uint64_t largest_k_bytes = (std::uint64_t{1} << (7 * k)) - 1;
+    std::vector<std::uint8_t> buf;
+    put_uvarint(buf, largest_k_bytes);
+    EXPECT_EQ(buf.size(), static_cast<std::size_t>(k)) << "k=" << k;
+    std::size_t pos = 0;
+    EXPECT_EQ(get_uvarint(buf.data(), buf.size(), pos), largest_k_bytes);
+
+    if (k < 9) {
+      const std::uint64_t smallest_k1_bytes = std::uint64_t{1} << (7 * k);
+      buf.clear();
+      put_uvarint(buf, smallest_k1_bytes);
+      EXPECT_EQ(buf.size(), static_cast<std::size_t>(k) + 1) << "k=" << k;
+      pos = 0;
+      EXPECT_EQ(get_uvarint(buf.data(), buf.size(), pos), smallest_k1_bytes);
+    }
+  }
+}
+
+TEST(VarintTest, MaxU64TakesTenBytes) {
+  std::vector<std::uint8_t> buf;
+  put_uvarint(buf, ~std::uint64_t{0});
+  EXPECT_EQ(buf.size(), 10u);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_uvarint(buf.data(), buf.size(), pos), ~std::uint64_t{0});
+  EXPECT_EQ(pos, 10u);
+}
+
+TEST(VarintTest, ZeroTakesOneZeroByte) {
+  std::vector<std::uint8_t> buf;
+  put_uvarint(buf, 0);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0u);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_uvarint(buf.data(), buf.size(), pos), 0u);
+}
+
+TEST(VarintTest, ContinuationBitsAreWellFormed) {
+  // Every byte except the last carries the continuation bit; the last does
+  // not — the framing property the delta-decoder relies on.
+  for (std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{127}, std::uint64_t{128},
+        std::uint64_t{16384}, std::uint64_t{1} << 42, ~std::uint64_t{0}}) {
+    std::vector<std::uint8_t> buf;
+    put_uvarint(buf, value);
+    for (std::size_t i = 0; i + 1 < buf.size(); ++i) {
+      EXPECT_NE(buf[i] & 0x80, 0) << "value " << value << " byte " << i;
+    }
+    EXPECT_EQ(buf.back() & 0x80, 0) << "value " << value;
+  }
+}
+
+TEST(VarintTest, SignedExtremesUseTenBytes) {
+  // INT64_MIN zig-zags to the all-ones code, the widest possible encoding.
+  std::vector<std::uint8_t> buf;
+  put_svarint(buf, INT64_MIN);
+  EXPECT_EQ(buf.size(), 10u);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_svarint(buf.data(), buf.size(), pos), INT64_MIN);
+  buf.clear();
+  put_svarint(buf, INT64_MAX);
+  EXPECT_EQ(buf.size(), 10u);
+  pos = 0;
+  EXPECT_EQ(get_svarint(buf.data(), buf.size(), pos), INT64_MAX);
+}
+
 TEST(VarintTest, RandomizedRoundTrip) {
   Rng rng(99);
   std::vector<std::uint8_t> buf;

@@ -1,0 +1,191 @@
+// Locks the BENCH_*.json report schema against a checked-in golden file.
+//
+// A deterministic ExperimentRunner grid is serialized and compared to
+// tests/verify/golden/BENCH_golden.json: structure (key set, key order,
+// value kinds, array lengths) must match exactly; numbers must match within
+// tolerance; wall-clock-derived fields (the replay phase and throughput
+// rates) need only be present, numeric and sane. Regenerate the golden with
+//   STC_UPDATE_GOLDEN=1 ./build/tests/stc_verify_test \
+//       --gtest_filter=GoldenSchemaTest.*
+// and review the diff — any change here is a report-consumer-visible change.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/experiment.h"
+#include "testing/json_parse.h"
+
+#ifndef STC_VERIFY_TEST_DIR
+#define STC_VERIFY_TEST_DIR "."
+#endif
+
+namespace stc {
+namespace {
+
+using testing::JsonValue;
+
+std::string golden_path() {
+  return std::string(STC_VERIFY_TEST_DIR) + "/golden/BENCH_golden.json";
+}
+
+// The fixed grid: two cells with metrics and counters, deterministic
+// metadata, explicitly recorded setup/workload phases, one worker thread.
+std::string build_report() {
+  ExperimentRunner runner("golden");
+  runner.meta("config", "schema-lock");
+  runner.meta("scale_factor", 0.002);
+  runner.meta("seed", std::uint64_t{19990401});
+  runner.record_phase("setup", 1.5);
+  runner.record_phase("workload", 0.25);
+  runner.add("orig_c2048", {{"layout", "orig"}, {"cache", "2048"}}, [] {
+    ExperimentResult r;
+    r.metric("miss_pct", 6.5);
+    r.metric("ipc", 1.25);
+    r.counters().add("instructions", 100000);
+    r.counters().add("blocks", 25000);
+    r.counters().add("tc_probes", 5000);
+    return r;
+  });
+  runner.add("ops_c2048", {{"layout", "ops"}, {"cache", "2048"}}, [] {
+    ExperimentResult r;
+    r.metric("miss_pct", 0.56);
+    r.metric("ipc", 2.5);
+    r.counters().add("instructions", 100000);
+    r.counters().add("blocks", 25000);
+    r.counters().add("tc_probes", 5000);
+    return r;
+  });
+  runner.run(1);
+  return runner.report_json();
+}
+
+// Paths whose VALUES are wall-clock dependent (structure still locked).
+bool is_volatile(const std::string& path) {
+  return path == "phases.replay" || path == "throughput.blocks_per_second" ||
+         path == "throughput.instructions_per_second";
+}
+
+void compare(const JsonValue& golden, const JsonValue& actual,
+             const std::string& path) {
+  ASSERT_EQ(static_cast<int>(golden.kind), static_cast<int>(actual.kind))
+      << "value kind changed at " << path;
+  switch (golden.kind) {
+    case JsonValue::Kind::kObject: {
+      ASSERT_EQ(golden.members.size(), actual.members.size())
+          << "key set changed at " << path;
+      for (std::size_t i = 0; i < golden.members.size(); ++i) {
+        // Key ORDER is part of the schema: the writer guarantees insertion
+        // order, and consumers (CI validators, plotting scripts) rely on it.
+        ASSERT_EQ(golden.members[i].first, actual.members[i].first)
+            << "key #" << i << " changed at " << path;
+        compare(golden.members[i].second, actual.members[i].second,
+                path.empty() ? golden.members[i].first
+                             : path + "." + golden.members[i].first);
+      }
+      break;
+    }
+    case JsonValue::Kind::kArray: {
+      ASSERT_EQ(golden.items.size(), actual.items.size())
+          << "array length changed at " << path;
+      for (std::size_t i = 0; i < golden.items.size(); ++i) {
+        compare(golden.items[i], actual.items[i],
+                path + "[" + std::to_string(i) + "]");
+      }
+      break;
+    }
+    case JsonValue::Kind::kNumber: {
+      if (is_volatile(path)) {
+        EXPECT_TRUE(std::isfinite(actual.number)) << path;
+        EXPECT_GE(actual.number, 0.0) << path;
+        break;
+      }
+      const double tol =
+          1e-9 * std::max(1.0, std::fabs(golden.number));
+      EXPECT_NEAR(actual.number, golden.number, tol) << path;
+      break;
+    }
+    case JsonValue::Kind::kString:
+      EXPECT_EQ(golden.text, actual.text) << path;
+      break;
+    case JsonValue::Kind::kBool:
+      EXPECT_EQ(golden.boolean, actual.boolean) << path;
+      break;
+    case JsonValue::Kind::kNull:
+      break;
+  }
+}
+
+TEST(GoldenSchemaTest, ReportMatchesGoldenFile) {
+  const std::string report = build_report();
+  if (std::getenv("STC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << report << "\n";
+    GTEST_SKIP() << "golden regenerated at " << golden_path();
+  }
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path();
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string golden_err;
+  std::string actual_err;
+  const JsonValue golden = testing::parse_json(buf.str(), &golden_err);
+  const JsonValue actual = testing::parse_json(report, &actual_err);
+  ASSERT_EQ(golden_err, "") << "golden file does not parse";
+  ASSERT_EQ(actual_err, "") << "report does not parse";
+  compare(golden, actual, "");
+}
+
+// Structural facts every consumer depends on, independent of the golden
+// file's bytes: top-level key order and the per-cell shape.
+TEST(GoldenSchemaTest, TopLevelShapeIsStable) {
+  std::string err;
+  const JsonValue report = testing::parse_json(build_report(), &err);
+  ASSERT_EQ(err, "");
+  ASSERT_TRUE(report.is_object());
+  const char* expected[] = {"bench",      "schema_version", "threads",
+                            "env",        "phases",         "throughput",
+                            "totals",     "results"};
+  ASSERT_EQ(report.members.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(report.members[i].first, expected[i]) << "key #" << i;
+  }
+  EXPECT_EQ(report.find("schema_version")->number, 1.0);
+  EXPECT_EQ(report.find("bench")->text, "golden");
+
+  const JsonValue* results = report.find("results");
+  ASSERT_TRUE(results != nullptr && results->is_array());
+  for (const JsonValue& cell : results->items) {
+    ASSERT_TRUE(cell.is_object());
+    ASSERT_GE(cell.members.size(), 3u);
+    EXPECT_EQ(cell.members[0].first, "name");
+    EXPECT_TRUE(cell.find("metrics") != nullptr);
+    EXPECT_TRUE(cell.find("counters") != nullptr);
+  }
+}
+
+TEST(GoldenSchemaTest, ResultsJsonIsDeterministic) {
+  // results_json() (grid only, no timings) must be byte-identical across
+  // runs — the property the parallel-vs-serial determinism test builds on.
+  const auto build = [] {
+    ExperimentRunner runner("det");
+    runner.add("cell", [] {
+      ExperimentResult r;
+      r.metric("x", 1.5);
+      r.counters().add("instructions", 10);
+      return r;
+    });
+    runner.run(1);
+    return runner.results_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace stc

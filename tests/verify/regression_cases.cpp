@@ -1,0 +1,181 @@
+// Seed corpus for the layout-equivalence fuzzer.
+//
+// Every test is a minimized FuzzCase in the exact format tools/stc_fuzz's
+// shrinker prints, so new failures can be pasted here verbatim. The cases
+// pin the degenerate shapes the pipeline must stay transparent on: empty
+// programs, single-block programs, self-loops, zero-weight edges, blocks
+// larger than a cache line (and than a whole inter-CFA window), duplicate
+// seed lists, and extreme CFA budgets.
+#include <gtest/gtest.h>
+
+#include "verify/fuzz.h"
+
+// Shrunk from stc_fuzz --inject short-block --seed 1 (iteration 2): the
+// smallest shape on which an off-by-one block size produces an overlap —
+// two one-instruction blocks in one routine, CFA budget not line-aligned.
+TEST(FuzzRegression, InjectedShortBlock) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 4096;
+  c.cfa_bytes = 905;
+  c.line_bytes = 64;
+  c.routines = {
+      {{{1, stc::cfg::BlockKind::kFallThrough},
+        {1, stc::cfg::BlockKind::kFallThrough}},
+       false},
+  };
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzRegression, EmptyProgram) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 1024;
+  c.cfa_bytes = 256;
+  c.line_bytes = 32;
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzRegression, SingleBlockProgram) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 512;
+  c.cfa_bytes = 128;
+  c.line_bytes = 16;
+  c.routines = {
+      {{{1, stc::cfg::BlockKind::kReturn}}, false},
+  };
+  c.trace = {0, 0, 0};
+  c.seeds = {0};
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzRegression, SelfLoopDominatesProfile) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 1024;
+  c.cfa_bytes = 256;
+  c.line_bytes = 32;
+  c.routines = {
+      {{{4, stc::cfg::BlockKind::kBranch}, {1, stc::cfg::BlockKind::kReturn}},
+       false},
+  };
+  c.edges = {
+      {0, 0, 1000},  // self-loop carries almost all weight
+      {0, 1, 1},
+  };
+  c.trace = {0, 0, 0, 0, 0, 1};
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzRegression, ZeroWeightEdges) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 1024;
+  c.cfa_bytes = 256;
+  c.line_bytes = 32;
+  c.routines = {
+      {{{2, stc::cfg::BlockKind::kBranch}, {3, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{5, stc::cfg::BlockKind::kReturn}}, true},
+  };
+  c.edges = {
+      {0, 1, 0},  // zero-weight edges are legal profile output
+      {0, 2, 0},
+      {1, 0, 0},
+  };
+  c.trace = {0, 1, 2};
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// A block far larger than a cache line, and larger than the whole window
+// between CFA reservations (cache - cfa = 256 bytes < 100 insns * 4).
+TEST(FuzzRegression, BlockLargerThanInterCfaWindow) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 512;
+  c.cfa_bytes = 256;
+  c.line_bytes = 32;
+  c.routines = {
+      {{{100, stc::cfg::BlockKind::kBranch},
+        {1, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{2, stc::cfg::BlockKind::kReturn}}, false},
+  };
+  c.edges = {
+      {0, 0, 50},
+      {0, 1, 10},
+  };
+  c.trace = {0, 0, 1, 2, 0};
+  c.seeds = {0};
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzRegression, DuplicateSeedList) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 1024;
+  c.cfa_bytes = 512;
+  c.line_bytes = 32;
+  c.routines = {
+      {{{3, stc::cfg::BlockKind::kCall}, {2, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{4, stc::cfg::BlockKind::kReturn}}, false},
+  };
+  c.edges = {
+      {0, 2, 40},
+      {2, 1, 40},
+  };
+  c.trace = {0, 2, 1, 0, 2, 1};
+  c.seeds = {0, 0, 2, 2, 0};  // duplicates must not double-place blocks
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzRegression, ZeroCfaBudget) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 1024;
+  c.cfa_bytes = 0;  // no reserved window at all
+  c.line_bytes = 32;
+  c.routines = {
+      {{{6, stc::cfg::BlockKind::kBranch}, {2, stc::cfg::BlockKind::kReturn}},
+       false},
+  };
+  c.edges = {{0, 1, 10}};
+  c.trace = {0, 1, 0, 1};
+  c.seeds = {0, 1};
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzRegression, NearTotalCfaBudget) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 1024;
+  c.cfa_bytes = 1020;  // one instruction of non-reserved space per region
+  c.line_bytes = 32;
+  c.routines = {
+      {{{2, stc::cfg::BlockKind::kFallThrough},
+        {5, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{7, stc::cfg::BlockKind::kReturn}}, false},
+  };
+  c.edges = {{0, 1, 3}};
+  c.trace = {0, 1, 2, 0, 1};
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzRegression, TraceVisitsColdUnprofiledBlocks) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 2048;
+  c.cfa_bytes = 512;
+  c.line_bytes = 64;
+  c.routines = {
+      {{{1, stc::cfg::BlockKind::kBranch}, {1, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{9, stc::cfg::BlockKind::kReturn}}, false},
+  };
+  c.edges = {{0, 1, 5}};      // block 2 has no edges: it is layout-cold
+  c.trace = {2, 2, 0, 1, 2};  // but the trace executes it most
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
