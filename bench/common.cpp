@@ -174,11 +174,16 @@ ExperimentResult measure_miss(const trace::BlockTrace& trace,
   return result;
 }
 
-ExperimentResult measure_seq3(const trace::BlockTrace& trace,
-                              const cfg::ProgramImage& image,
-                              const cfg::AddressMap& layout,
-                              const sim::CacheGeometry& geometry,
-                              bool perfect) {
+namespace {
+
+// Baseline (perfect-prediction) cells: the exact code paths the paper's
+// tables are measured with. measure_seq3/measure_tc dispatch here unless
+// STC_BPRED selects a realistic predictor.
+ExperimentResult measure_seq3_plain(const trace::BlockTrace& trace,
+                                    const cfg::ProgramImage& image,
+                                    const cfg::AddressMap& layout,
+                                    const sim::CacheGeometry& geometry,
+                                    bool perfect) {
   if (verify_enabled()) verify_triple(trace, image, layout);
   sim::FetchParams params;
   params.perfect_icache = perfect;
@@ -199,11 +204,12 @@ ExperimentResult measure_seq3(const trace::BlockTrace& trace,
   return result;
 }
 
-ExperimentResult measure_tc(const trace::BlockTrace& trace,
-                            const cfg::ProgramImage& image,
-                            const cfg::AddressMap& layout,
-                            const sim::CacheGeometry& geometry,
-                            const sim::TraceCacheParams& tc, bool perfect) {
+ExperimentResult measure_tc_plain(const trace::BlockTrace& trace,
+                                  const cfg::ProgramImage& image,
+                                  const cfg::AddressMap& layout,
+                                  const sim::CacheGeometry& geometry,
+                                  const sim::TraceCacheParams& tc,
+                                  bool perfect) {
   if (verify_enabled()) verify_triple(trace, image, layout);
   sim::FetchParams params;
   params.perfect_icache = perfect;
@@ -220,6 +226,104 @@ ExperimentResult measure_tc(const trace::BlockTrace& trace,
   result.metric("ipc", sim.ipc());
   result.metric("tc_hit_pct", 100.0 * sim.tc_hit_ratio());
   sim.export_counters(result.counters());
+  if (!perfect) cache.stats().export_counters(result.counters());
+  result.counters().add("blocks", trace.num_events());
+  return result;
+}
+
+}  // namespace
+
+const frontend::FrontEndParams& frontend_params() {
+  static const frontend::FrontEndParams params =
+      frontend::FrontEndParams::from_environment();
+  return params;
+}
+
+ExperimentResult measure_seq3(const trace::BlockTrace& trace,
+                              const cfg::ProgramImage& image,
+                              const cfg::AddressMap& layout,
+                              const sim::CacheGeometry& geometry,
+                              bool perfect) {
+  const frontend::FrontEndParams& fe = frontend_params();
+  if (fe.transparent()) {
+    return measure_seq3_plain(trace, image, layout, geometry, perfect);
+  }
+  return measure_seq3_bpred(trace, image, layout, geometry, fe, perfect);
+}
+
+ExperimentResult measure_tc(const trace::BlockTrace& trace,
+                            const cfg::ProgramImage& image,
+                            const cfg::AddressMap& layout,
+                            const sim::CacheGeometry& geometry,
+                            const sim::TraceCacheParams& tc, bool perfect) {
+  const frontend::FrontEndParams& fe = frontend_params();
+  if (fe.transparent()) {
+    return measure_tc_plain(trace, image, layout, geometry, tc, perfect);
+  }
+  return measure_tc_bpred(trace, image, layout, geometry, tc, fe, perfect);
+}
+
+ExperimentResult measure_seq3_bpred(const trace::BlockTrace& trace,
+                                    const cfg::ProgramImage& image,
+                                    const cfg::AddressMap& layout,
+                                    const sim::CacheGeometry& geometry,
+                                    const frontend::FrontEndParams& fe,
+                                    bool perfect) {
+  if (fe.transparent()) {
+    return measure_seq3_plain(trace, image, layout, geometry, perfect);
+  }
+  if (verify_enabled()) verify_triple(trace, image, layout);
+  sim::FetchParams params;
+  params.perfect_icache = perfect;
+  sim::ICache cache(geometry);
+  const auto sim = frontend::run_seq3_frontend(trace, image, layout, params,
+                                               fe, perfect ? nullptr : &cache);
+  if (verify_enabled()) {
+    require_clean(verify::check_frontend_result(
+                      sim, params, fe,
+                      verify::trace_instructions(trace, image),
+                      /*with_trace_cache=*/false),
+                  "front-end seq3 counters");
+  }
+  ExperimentResult result;
+  result.metric("ipc", sim.fetch.ipc());
+  result.metric("mpki", sim.frontend.mispredicts_per_ki(sim.fetch.instructions));
+  sim.fetch.export_counters(result.counters());
+  sim.frontend.export_counters(result.counters());
+  if (!perfect) cache.stats().export_counters(result.counters());
+  result.counters().add("blocks", trace.num_events());
+  return result;
+}
+
+ExperimentResult measure_tc_bpred(const trace::BlockTrace& trace,
+                                  const cfg::ProgramImage& image,
+                                  const cfg::AddressMap& layout,
+                                  const sim::CacheGeometry& geometry,
+                                  const sim::TraceCacheParams& tc,
+                                  const frontend::FrontEndParams& fe,
+                                  bool perfect) {
+  if (fe.transparent()) {
+    return measure_tc_plain(trace, image, layout, geometry, tc, perfect);
+  }
+  if (verify_enabled()) verify_triple(trace, image, layout);
+  sim::FetchParams params;
+  params.perfect_icache = perfect;
+  sim::ICache cache(geometry);
+  const auto sim = frontend::run_trace_cache_frontend(
+      trace, image, layout, params, tc, fe, perfect ? nullptr : &cache);
+  if (verify_enabled()) {
+    require_clean(verify::check_frontend_result(
+                      sim, params, fe,
+                      verify::trace_instructions(trace, image),
+                      /*with_trace_cache=*/true),
+                  "front-end trace-cache counters");
+  }
+  ExperimentResult result;
+  result.metric("ipc", sim.fetch.ipc());
+  result.metric("tc_hit_pct", 100.0 * sim.fetch.tc_hit_ratio());
+  result.metric("mpki", sim.frontend.mispredicts_per_ki(sim.fetch.instructions));
+  sim.fetch.export_counters(result.counters());
+  sim.frontend.export_counters(result.counters());
   if (!perfect) cache.stats().export_counters(result.counters());
   result.counters().add("blocks", trace.num_events());
   return result;
@@ -259,6 +363,23 @@ ExperimentResult measure_tc(Setup& setup, const cfg::AddressMap& layout,
 
 ExperimentResult measure_seq(Setup& setup, const cfg::AddressMap& layout) {
   return measure_seq(setup.test_trace(), setup.image(), layout);
+}
+
+ExperimentResult measure_seq3_bpred(Setup& setup, const cfg::AddressMap& layout,
+                                    const sim::CacheGeometry& geometry,
+                                    const frontend::FrontEndParams& fe,
+                                    bool perfect) {
+  return measure_seq3_bpred(setup.test_trace(), setup.image(), layout,
+                            geometry, fe, perfect);
+}
+
+ExperimentResult measure_tc_bpred(Setup& setup, const cfg::AddressMap& layout,
+                                  const sim::CacheGeometry& geometry,
+                                  const sim::TraceCacheParams& tc,
+                                  const frontend::FrontEndParams& fe,
+                                  bool perfect) {
+  return measure_tc_bpred(setup.test_trace(), setup.image(), layout, geometry,
+                          tc, fe, perfect);
 }
 
 double miss_pct(Setup& setup, const cfg::AddressMap& layout,
@@ -307,6 +428,11 @@ ExperimentRunner make_runner(const char* name, const Env& env,
   runner.meta("kernel_instructions", setup.image().total_instructions());
   runner.record_phase("setup", setup.setup_seconds());
   runner.record_phase("workload", setup.workload_seconds());
+  // Every report carries the full phase set. Benches that build layouts up
+  // front accumulate real seconds onto this entry via time_phase("layouts");
+  // for the rest (layouts built inside jobs, or none at all) the phase is
+  // present and zero, so consumers can rely on a uniform schema.
+  runner.record_phase("layouts", 0.0);
   return runner;
 }
 

@@ -11,6 +11,12 @@
 //   STC_BENCH_DIR - directory for BENCH_*.json     (default cwd)
 //   STC_VERIFY    - 1 runs every cell under the layout-equivalence oracle
 //                   (src/verify; see VERIFY.md) and aborts on any violation
+//   STC_BPRED     - front-end predictor (perfect|always|bimodal|gshare|
+//                   local; default perfect). A realistic kind routes every
+//                   SEQ.3/trace-cache cell through the speculative front end
+//                   (src/frontend) with FDIP prefetching enabled
+//   STC_FTQ_DEPTH - fetch-target queue depth in lines (default 8);
+//                   0 disables prefetching
 // The paper's absolute cache sizes (8-64KB) are scaled to this kernel's
 // executed footprint: the sweep uses 1-8KB caches, spanning the same ratio
 // of hot-code size to cache size as the original (see EXPERIMENTS.md).
@@ -28,6 +34,7 @@
 
 #include "core/layouts.h"
 #include "db/tpcd/workload.h"
+#include "frontend/front_end.h"
 #include "profile/locality.h"
 #include "profile/profile.h"
 #include "sim/fetch_unit.h"
@@ -103,12 +110,21 @@ class Setup {
 //
 // Each returns the cell's headline metric(s) plus the simulator's raw
 // counters, ready to hand to ExperimentRunner jobs. Metric names:
-//   measure_miss  -> "miss_pct"                  (Table 3 metric)
-//   measure_seq3  -> "ipc"                       (Table 4 metric)
-//   measure_tc    -> "ipc", "tc_hit_pct"
-//   measure_seq   -> "insn_per_taken"            (sequentiality headline)
+//   measure_miss        -> "miss_pct"            (Table 3 metric)
+//   measure_seq3        -> "ipc"                 (Table 4 metric)
+//   measure_tc          -> "ipc", "tc_hit_pct"
+//   measure_seq         -> "insn_per_taken"      (sequentiality headline)
+//   measure_seq3_bpred  -> "ipc", "mpki"         (speculative front end)
+//   measure_tc_bpred    -> "ipc", "tc_hit_pct", "mpki"
 // The generic overloads take any (trace, image, layout); the Setup overloads
 // use the Test trace and kernel image.
+//
+// measure_seq3/measure_tc honor STC_BPRED (see frontend_params): a realistic
+// predictor routes them through the speculative front end; the default
+// (perfect) takes the exact baseline code path, keeping Table 3/4 outputs
+// byte-identical. A *transparent* FrontEndParams handed to the _bpred cells
+// likewise delegates to the baseline simulators, so their fetch counters
+// equal the plain cells' and the front-end counters are all zero.
 
 ExperimentResult measure_miss(const trace::BlockTrace& trace,
                               const cfg::ProgramImage& image,
@@ -129,6 +145,19 @@ ExperimentResult measure_tc(const trace::BlockTrace& trace,
 ExperimentResult measure_seq(const trace::BlockTrace& trace,
                              const cfg::ProgramImage& image,
                              const cfg::AddressMap& layout);
+ExperimentResult measure_seq3_bpred(const trace::BlockTrace& trace,
+                                    const cfg::ProgramImage& image,
+                                    const cfg::AddressMap& layout,
+                                    const sim::CacheGeometry& geometry,
+                                    const frontend::FrontEndParams& fe,
+                                    bool perfect = false);
+ExperimentResult measure_tc_bpred(const trace::BlockTrace& trace,
+                                  const cfg::ProgramImage& image,
+                                  const cfg::AddressMap& layout,
+                                  const sim::CacheGeometry& geometry,
+                                  const sim::TraceCacheParams& tc,
+                                  const frontend::FrontEndParams& fe,
+                                  bool perfect = false);
 
 ExperimentResult measure_miss(Setup& setup, const cfg::AddressMap& layout,
                               const sim::CacheGeometry& geometry,
@@ -141,6 +170,19 @@ ExperimentResult measure_tc(Setup& setup, const cfg::AddressMap& layout,
                             const sim::TraceCacheParams& tc,
                             bool perfect = false);
 ExperimentResult measure_seq(Setup& setup, const cfg::AddressMap& layout);
+ExperimentResult measure_seq3_bpred(Setup& setup, const cfg::AddressMap& layout,
+                                    const sim::CacheGeometry& geometry,
+                                    const frontend::FrontEndParams& fe,
+                                    bool perfect = false);
+ExperimentResult measure_tc_bpred(Setup& setup, const cfg::AddressMap& layout,
+                                  const sim::CacheGeometry& geometry,
+                                  const sim::TraceCacheParams& tc,
+                                  const frontend::FrontEndParams& fe,
+                                  bool perfect = false);
+
+// The process-wide front-end configuration from STC_BPRED/STC_FTQ_DEPTH
+// (read once). transparent() for the default environment.
+const frontend::FrontEndParams& frontend_params();
 
 // Convenience wrappers extracting the single headline metric.
 double miss_pct(Setup& setup, const cfg::AddressMap& layout,

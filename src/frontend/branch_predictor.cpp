@@ -1,0 +1,149 @@
+#include "frontend/branch_predictor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "cfg/types.h"
+#include "support/check.h"
+
+namespace stc::frontend {
+
+namespace {
+
+// Two-bit saturating counter helpers: 0,1 predict not-taken; 2,3 taken.
+// Counters start at weakly-taken (2) — DSS branch mixes are taken-biased.
+constexpr std::uint8_t kWeaklyTaken = 2;
+
+bool counter_taken(std::uint8_t c) { return c >= 2; }
+
+std::uint8_t counter_update(std::uint8_t c, bool taken) {
+  if (taken) return c == 3 ? 3 : c + 1;
+  return c == 0 ? 0 : c - 1;
+}
+
+std::uint64_t pc_index(std::uint64_t addr) { return addr / cfg::kInsnBytes; }
+
+class AlwaysTaken final : public BranchPredictor {
+ public:
+  bool predict(std::uint64_t) const override { return true; }
+  void update(std::uint64_t, bool) override {}
+  void reset() override {}
+};
+
+class Bimodal final : public BranchPredictor {
+ public:
+  explicit Bimodal(std::uint32_t table_bits)
+      : mask_((std::uint64_t{1} << table_bits) - 1),
+        counters_(std::size_t{1} << table_bits, kWeaklyTaken) {}
+
+  bool predict(std::uint64_t addr) const override {
+    return counter_taken(counters_[pc_index(addr) & mask_]);
+  }
+  void update(std::uint64_t addr, bool taken) override {
+    std::uint8_t& c = counters_[pc_index(addr) & mask_];
+    c = counter_update(c, taken);
+  }
+  void reset() override {
+    std::fill(counters_.begin(), counters_.end(), kWeaklyTaken);
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<std::uint8_t> counters_;
+};
+
+class Gshare final : public BranchPredictor {
+ public:
+  explicit Gshare(std::uint32_t table_bits)
+      : mask_((std::uint64_t{1} << table_bits) - 1),
+        counters_(std::size_t{1} << table_bits, kWeaklyTaken) {}
+
+  bool predict(std::uint64_t addr) const override {
+    return counter_taken(counters_[(pc_index(addr) ^ history_) & mask_]);
+  }
+  void update(std::uint64_t addr, bool taken) override {
+    std::uint8_t& c = counters_[(pc_index(addr) ^ history_) & mask_];
+    c = counter_update(c, taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+  }
+  void reset() override {
+    std::fill(counters_.begin(), counters_.end(), kWeaklyTaken);
+    history_ = 0;
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<std::uint8_t> counters_;
+  std::uint64_t history_ = 0;
+};
+
+// Two-level local predictor: per-PC history registers select a shared
+// pattern table of 2-bit counters (Yeh & Patt PAg organization).
+class TwoLevelLocal final : public BranchPredictor {
+ public:
+  static constexpr std::uint32_t kHistoryEntries = 1024;
+
+  explicit TwoLevelLocal(std::uint32_t table_bits)
+      : mask_((std::uint64_t{1} << table_bits) - 1),
+        histories_(kHistoryEntries, 0),
+        counters_(std::size_t{1} << table_bits, kWeaklyTaken) {}
+
+  bool predict(std::uint64_t addr) const override {
+    const std::uint64_t hist = histories_[pc_index(addr) % kHistoryEntries];
+    return counter_taken(counters_[hist & mask_]);
+  }
+  void update(std::uint64_t addr, bool taken) override {
+    std::uint64_t& hist = histories_[pc_index(addr) % kHistoryEntries];
+    std::uint8_t& c = counters_[hist & mask_];
+    c = counter_update(c, taken);
+    hist = ((hist << 1) | (taken ? 1 : 0)) & mask_;
+  }
+  void reset() override {
+    std::fill(histories_.begin(), histories_.end(), 0);
+    std::fill(counters_.begin(), counters_.end(), kWeaklyTaken);
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> histories_;
+  std::vector<std::uint8_t> counters_;
+};
+
+}  // namespace
+
+const char* to_string(BpredKind kind) {
+  switch (kind) {
+    case BpredKind::kPerfect: return "perfect";
+    case BpredKind::kAlwaysTaken: return "always";
+    case BpredKind::kBimodal: return "bimodal";
+    case BpredKind::kGshare: return "gshare";
+    case BpredKind::kLocal: return "local";
+  }
+  return "?";
+}
+
+bool parse_bpred(std::string_view name, BpredKind* out) {
+  if (name == "perfect") *out = BpredKind::kPerfect;
+  else if (name == "always") *out = BpredKind::kAlwaysTaken;
+  else if (name == "bimodal") *out = BpredKind::kBimodal;
+  else if (name == "gshare") *out = BpredKind::kGshare;
+  else if (name == "local") *out = BpredKind::kLocal;
+  else return false;
+  return true;
+}
+
+std::unique_ptr<BranchPredictor> make_predictor(BpredKind kind,
+                                                std::uint32_t table_bits) {
+  STC_REQUIRE(table_bits >= 1 && table_bits <= 24);
+  switch (kind) {
+    case BpredKind::kPerfect: return nullptr;
+    case BpredKind::kAlwaysTaken: return std::make_unique<AlwaysTaken>();
+    case BpredKind::kBimodal: return std::make_unique<Bimodal>(table_bits);
+    case BpredKind::kGshare: return std::make_unique<Gshare>(table_bits);
+    case BpredKind::kLocal:
+      return std::make_unique<TwoLevelLocal>(table_bits);
+  }
+  return nullptr;
+}
+
+}  // namespace stc::frontend

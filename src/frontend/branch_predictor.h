@@ -1,0 +1,53 @@
+// Pluggable branch direction predictors for the speculative front end.
+//
+// The paper's fetch simulators (Table 4) assume perfect branch prediction;
+// this module supplies the realistic alternatives so layout quality can be
+// measured under real misprediction behaviour (see bench/ablate_bpred):
+//   always  - static always-taken
+//   bimodal - per-PC 2-bit saturating counters
+//   gshare  - global history XOR PC into a shared 2-bit counter table
+//   local   - 2-level: per-PC history registers indexing a pattern table
+// "Direction" here follows the trace-replay convention (trace/fetch_stream):
+// a branch is *taken* iff its dynamic successor is not address-adjacent
+// under the active layout, so the same trace trains differently under
+// different layouts — exactly the interaction this subsystem measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+namespace stc::frontend {
+
+enum class BpredKind : std::uint8_t {
+  kPerfect,      // oracle: never consulted, never wrong (Table 4 baseline)
+  kAlwaysTaken,
+  kBimodal,
+  kGshare,
+  kLocal,
+};
+
+const char* to_string(BpredKind kind);
+
+// Parses "perfect" | "always" | "bimodal" | "gshare" | "local".
+// Returns false (and leaves *out untouched) on any other string.
+bool parse_bpred(std::string_view name, BpredKind* out);
+
+// Direction predictor interface. predict() must not change any state (the
+// front end consults it both at resolution and during speculative run-ahead
+// scans); update() trains on one resolved branch.
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+  virtual bool predict(std::uint64_t addr) const = 0;
+  virtual void update(std::uint64_t addr, bool taken) = 0;
+  virtual void reset() = 0;
+};
+
+// Builds a predictor with 2^table_bits pattern counters (ignored by
+// kAlwaysTaken). kPerfect has no predictor object and returns nullptr: the
+// front end special-cases it and never consults the interface.
+std::unique_ptr<BranchPredictor> make_predictor(BpredKind kind,
+                                                std::uint32_t table_bits);
+
+}  // namespace stc::frontend

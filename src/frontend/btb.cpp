@@ -1,0 +1,57 @@
+#include "frontend/btb.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace stc::frontend {
+
+Btb::Btb(std::uint32_t entries) {
+  STC_REQUIRE(entries > 0 && (entries & (entries - 1)) == 0);
+  entries_.resize(entries);
+}
+
+bool Btb::lookup(std::uint64_t addr, std::uint64_t* target) const {
+  const Entry& entry = entries_[index_of(addr)];
+  if (entry.tag != addr) return false;
+  *target = entry.target;
+  return true;
+}
+
+void Btb::update(std::uint64_t addr, std::uint64_t target) {
+  Entry& entry = entries_[index_of(addr)];
+  entry.tag = addr;
+  entry.target = target;
+}
+
+void Btb::reset() {
+  std::fill(entries_.begin(), entries_.end(), Entry{});
+}
+
+ReturnAddressStack::ReturnAddressStack(std::uint32_t depth) {
+  STC_REQUIRE(depth > 0);
+  slots_.assign(depth, 0);
+}
+
+void ReturnAddressStack::push(std::uint64_t addr) {
+  top_ = (top_ + 1) % slots_.size();
+  slots_[top_] = addr;
+  if (size_ < slots_.size()) ++size_;
+}
+
+std::uint64_t ReturnAddressStack::pop() {
+  if (size_ == 0) return 0;
+  const std::uint64_t addr = slots_[top_];
+  top_ = (top_ + static_cast<std::uint32_t>(slots_.size()) - 1) %
+         static_cast<std::uint32_t>(slots_.size());
+  --size_;
+  return addr;
+}
+
+void ReturnAddressStack::reset() {
+  std::fill(slots_.begin(), slots_.end(), 0);
+  top_ = 0;
+  size_ = 0;
+}
+
+}  // namespace stc::frontend

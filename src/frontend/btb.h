@@ -1,0 +1,61 @@
+// Branch target buffer and return-address stack for the speculative front
+// end. Both are deliberately simple hardware models: the BTB is direct-
+// mapped with full-address tags (no aliasing false hits, only capacity and
+// conflict misses), the RAS is a fixed-depth circular stack whose overflow
+// silently overwrites the oldest entry — the classic source of deep-call
+// return mispredictions the fuzzer's call-chain shapes exercise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stc::frontend {
+
+class Btb {
+ public:
+  // `entries` must be a power of two.
+  explicit Btb(std::uint32_t entries);
+
+  // True when `addr` has a stored target (written to *target).
+  bool lookup(std::uint64_t addr, std::uint64_t* target) const;
+  // Records the resolved target of a taken branch at `addr`.
+  void update(std::uint64_t addr, std::uint64_t target);
+  void reset();
+
+ private:
+  static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+  struct Entry {
+    std::uint64_t tag = kInvalidTag;
+    std::uint64_t target = 0;
+  };
+
+  std::size_t index_of(std::uint64_t addr) const {
+    return static_cast<std::size_t>((addr / 4) & (entries_.size() - 1));
+  }
+
+  std::vector<Entry> entries_;
+};
+
+// Bounded circular return-address stack. Copyable by value so run-ahead
+// scans can speculate on a private copy without disturbing committed state.
+class ReturnAddressStack {
+ public:
+  explicit ReturnAddressStack(std::uint32_t depth);
+
+  // Pushes a return address; beyond `depth` the oldest entry is overwritten.
+  void push(std::uint64_t addr);
+  // Pops the youngest entry; returns 0 when the stack is empty (the front
+  // end falls back to the fall-through address).
+  std::uint64_t pop();
+  void reset();
+
+  std::uint32_t size() const { return size_; }
+  std::uint32_t depth() const { return static_cast<std::uint32_t>(slots_.size()); }
+
+ private:
+  std::vector<std::uint64_t> slots_;
+  std::uint32_t top_ = 0;   // index of the youngest valid entry
+  std::uint32_t size_ = 0;  // valid entries, saturates at depth
+};
+
+}  // namespace stc::frontend

@@ -53,6 +53,7 @@ bool FetchPipe::peek(std::uint32_t k, Insn& out) {
     out.block_end = index + 1 == run.insns;
     out.is_branch = out.block_end && run.ends_in_branch;
     out.taken = out.block_end && run.has_next && run.taken;
+    out.kind = run.kind;
     return true;
   }
   return false;
@@ -73,7 +74,7 @@ void FetchPipe::consume(std::uint32_t n) {
 }
 
 Seq3Cycle seq3_fetch_cycle(FetchPipe& pipe, const FetchParams& params,
-                           std::uint32_t line_bytes) {
+                           std::uint32_t line_bytes, Seq3Group* group) {
   Seq3Cycle cycle;
   const std::uint64_t fetch_addr = pipe.addr();
   const std::uint64_t line_base = fetch_addr & ~std::uint64_t{line_bytes - 1};
@@ -88,11 +89,17 @@ Seq3Cycle seq3_fetch_cycle(FetchPipe& pipe, const FetchParams& params,
     if (insn.addr >= limit_addr) break;  // beyond the two accessed lines
     ++cycle.supplied;
     last_addr = insn.addr;
+    if (group != nullptr) group->insns.push_back(insn);
     if (insn.is_branch) ++branches;
     if (insn.taken) break;               // stop at the first taken transfer
     if (branches >= params.max_branches) break;
   }
   STC_DCHECK(cycle.supplied > 0);
+  if (group != nullptr) {
+    FetchPipe::Insn next;
+    group->has_next = pipe.peek(cycle.supplied, next);
+    group->next_addr = group->has_next ? next.addr : 0;
+  }
   cycle.touched_line1 = last_addr >= line_base + line_bytes;
   pipe.consume(cycle.supplied);
   return cycle;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "cfg/address_map.h"
 #include "cfg/program.h"
@@ -29,6 +30,7 @@ class FetchPipe {
     bool block_end = false;  // last instruction of its basic block
     bool is_branch = false;  // block_end of a branch/call/return block
     bool taken = false;      // block_end whose transition is non-sequential
+    cfg::BlockKind kind = cfg::BlockKind::kFallThrough;  // its block's kind
   };
 
   FetchPipe(const trace::BlockTrace& trace, const cfg::ProgramImage& image,
@@ -99,8 +101,20 @@ struct Seq3Cycle {
   std::uint64_t line0 = 0;       // first accessed line address
   bool touched_line1 = false;    // fetch extended into the second line
 };
+
+// Optional capture of the instructions a fetch cycle supplied, plus the
+// address of the instruction that follows the group (the fetch redirect
+// target). Consumed by the speculative front end (src/frontend), which must
+// resolve the group's branches after the cycle has advanced the pipe.
+struct Seq3Group {
+  std::vector<FetchPipe::Insn> insns;
+  bool has_next = false;        // an instruction follows the group
+  std::uint64_t next_addr = 0;  // its address (valid only when has_next)
+};
+
 Seq3Cycle seq3_fetch_cycle(FetchPipe& pipe, const FetchParams& params,
-                           std::uint32_t line_bytes);
+                           std::uint32_t line_bytes,
+                           Seq3Group* group = nullptr);
 
 // Runs the full trace through SEQ.3 backed by `cache` (reset first).
 // `cache` may be null only with params.perfect_icache.

@@ -106,6 +106,48 @@ bool ICache::access(std::uint64_t addr) {
   return notify(false);
 }
 
+bool ICache::prefetch_fill(std::uint64_t addr) {
+  const std::uint64_t line = line_of(addr);
+  const std::uint32_t set = static_cast<std::uint32_t>(line & (sets_ - 1));
+  const std::size_t base = std::size_t{set} * geometry_.assoc;
+
+  // Already resident in the main cache: leave the LRU order alone (a
+  // prefetch of a cached line is a no-op, not a demand reference).
+  for (std::uint32_t way = 0; way < geometry_.assoc; ++way) {
+    if (tags_[base + way] == line) return true;
+  }
+
+  ++lru_clock_;
+  std::uint32_t victim_way = 0;
+  for (std::uint32_t way = 1; way < geometry_.assoc; ++way) {
+    if (lru_[base + way] < lru_[base + victim_way]) victim_way = way;
+  }
+  const std::uint64_t evicted = tags_[base + victim_way];
+
+  if (!victim_tags_.empty()) {
+    std::uint64_t slot = 0;
+    if (probe_victim(line, &slot)) {
+      victim_tags_[slot] = evicted;
+      victim_lru_[slot] = lru_clock_;
+      tags_[base + victim_way] = line;
+      lru_[base + victim_way] = lru_clock_;
+      return true;
+    }
+  }
+
+  tags_[base + victim_way] = line;
+  lru_[base + victim_way] = lru_clock_;
+  if (!victim_tags_.empty() && evicted != kInvalidTag) {
+    std::size_t slot = 0;
+    for (std::size_t i = 1; i < victim_tags_.size(); ++i) {
+      if (victim_lru_[i] < victim_lru_[slot]) slot = i;
+    }
+    victim_tags_[slot] = evicted;
+    victim_lru_[slot] = lru_clock_;
+  }
+  return false;
+}
+
 bool ICache::contains(std::uint64_t addr) const {
   const std::uint64_t line = line_of(addr);
   const std::uint32_t set = static_cast<std::uint32_t>(line & (sets_ - 1));

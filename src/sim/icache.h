@@ -58,6 +58,14 @@ class ICache {
   // Probes without side effects (used by tests).
   bool contains(std::uint64_t addr) const;
 
+  // Installs the line containing `addr` without touching the access stats or
+  // the observer: prefetches are not demand probes, so the Table 3/4 counter
+  // contracts are unaffected. Returns true when the line was already present
+  // (main or victim cache; a victim copy is promoted back, as in access());
+  // on false the line has been filled, evicting per the normal LRU/victim
+  // policy — prefetch pollution is modeled, prefetch hits are not counted.
+  bool prefetch_fill(std::uint64_t addr);
+
   // Verification hook: called once per access() with the line-aligned
   // address and the outcome (true = hit, including victim-cache rescues),
   // after the stats counters have been updated. Lets an external checker

@@ -24,6 +24,7 @@ bool BlockRunStream::next(BlockRun& out) {
   out.addr = layout_.addr(pending_);
   out.insns = info.insns;
   out.ends_in_branch = cfg::ends_in_branch(info.kind);
+  out.kind = info.kind;
   if (cursor_.done()) {
     have_pending_ = false;
     out.has_next = false;

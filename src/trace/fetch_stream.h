@@ -23,6 +23,7 @@ struct BlockRun {
   std::uint64_t addr = 0;       // start address under the layout
   std::uint32_t insns = 0;      // block size in instructions
   bool ends_in_branch = false;  // last instruction is a control transfer
+  cfg::BlockKind kind = cfg::BlockKind::kFallThrough;  // static block kind
   bool has_next = false;        // false only for the final run of the trace
   bool taken = false;           // transition to next run is non-sequential
   std::uint64_t next_addr = 0;  // address of the next run (if has_next)

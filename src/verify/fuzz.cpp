@@ -8,6 +8,10 @@
 #include "core/layouts.h"
 #include "core/mapping.h"
 #include "core/replication.h"
+#include "frontend/front_end.h"
+#include "sim/fetch_unit.h"
+#include "sim/icache.h"
+#include "sim/trace_cache.h"
 #include "support/check.h"
 
 namespace stc::verify {
@@ -144,6 +148,88 @@ BuiltCase build_case(const FuzzCase& c) {
   return built;
 }
 
+namespace {
+
+// Front-end checks over one layout: the transparent configuration must match
+// the baseline simulators field for field, and a deliberately undersized
+// realistic configuration (tiny tables, RAS shallower than the deep-call
+// shapes) must satisfy the front-end counter identities.
+Report check_frontend(const trace::BlockTrace& trace,
+                      const cfg::ProgramImage& image,
+                      const cfg::AddressMap& layout,
+                      const sim::CacheGeometry& geometry) {
+  Report report;
+  const std::uint64_t expected = trace_instructions(trace, image);
+  const sim::FetchParams params;
+  const sim::TraceCacheParams tc_params;
+
+  const auto same = [&report](const sim::FetchResult& a,
+                              const sim::FetchResult& b, const char* what) {
+    const auto eq = [&](std::uint64_t x, std::uint64_t y, const char* field) {
+      if (x != y) {
+        report.fail(std::string(what) + ": transparent front end diverges on " +
+                    field + " (" + std::to_string(x) + " vs " +
+                    std::to_string(y) + ")");
+      }
+    };
+    eq(a.instructions, b.instructions, "instructions");
+    eq(a.cycles, b.cycles, "cycles");
+    eq(a.fetch_requests, b.fetch_requests, "fetch_requests");
+    eq(a.miss_requests, b.miss_requests, "miss_requests");
+    eq(a.lines_missed, b.lines_missed, "lines_missed");
+    eq(a.tc_hits, b.tc_hits, "tc_hits");
+    eq(a.tc_misses, b.tc_misses, "tc_misses");
+    eq(a.tc_fills, b.tc_fills, "tc_fills");
+    eq(a.tc_probes, b.tc_probes, "tc_probes");
+  };
+
+  const frontend::FrontEndParams transparent;
+  {
+    sim::ICache base_cache(geometry);
+    const sim::FetchResult base =
+        sim::run_seq3(trace, image, layout, params, &base_cache);
+    sim::ICache fe_cache(geometry);
+    const frontend::FrontEndResult spec = frontend::run_seq3_frontend(
+        trace, image, layout, params, transparent, &fe_cache);
+    same(spec.fetch, base, "seq3");
+  }
+  {
+    sim::ICache base_cache(geometry);
+    const sim::FetchResult base = sim::run_trace_cache(
+        trace, image, layout, params, tc_params, &base_cache);
+    sim::ICache fe_cache(geometry);
+    const frontend::FrontEndResult spec = frontend::run_trace_cache_frontend(
+        trace, image, layout, params, tc_params, transparent, &fe_cache);
+    same(spec.fetch, base, "tc");
+  }
+
+  frontend::FrontEndParams realistic;
+  realistic.kind = frontend::BpredKind::kGshare;
+  realistic.table_bits = 6;   // tiny tables force aliasing
+  realistic.btb_entries = 16;
+  realistic.ras_depth = 4;
+  realistic.prefetch = true;
+  {
+    sim::ICache cache(geometry);
+    const frontend::FrontEndResult result = frontend::run_seq3_frontend(
+        trace, image, layout, params, realistic, &cache);
+    report.merge(check_frontend_result(result, params, realistic, expected,
+                                       /*with_trace_cache=*/false),
+                 "seq3");
+  }
+  {
+    sim::ICache cache(geometry);
+    const frontend::FrontEndResult result = frontend::run_trace_cache_frontend(
+        trace, image, layout, params, tc_params, realistic, &cache);
+    report.merge(check_frontend_result(result, params, realistic, expected,
+                                       /*with_trace_cache=*/true),
+                 "tc");
+  }
+  return report;
+}
+
+}  // namespace
+
 Report run_case(const FuzzCase& c, Injection injection) {
   Report all;
   std::string why;
@@ -166,6 +252,10 @@ Report run_case(const FuzzCase& c, Injection injection) {
                                                c.cfa_bytes, &provenance);
     apply_injection(layout, image, injection);
     all.merge(verify_layout(built.trace, image, layout, &provenance, options));
+    if (injection == Injection::kNone) {
+      all.merge(check_frontend(built.trace, image, layout, options.geometry),
+                "frontend");
+    }
   }
 
   // Direct map_sequences over the raw seed list (duplicates and repeated
@@ -298,6 +388,49 @@ FuzzCase random_case(Rng& rng) {
       c.seeds.push_back(c.seeds[rng.uniform(c.seeds.size())]);  // duplicate
     } else {
       c.seeds.push_back(static_cast<std::uint32_t>(rng.uniform(blocks)));
+    }
+  }
+
+  // Front-end stress shapes. A deep call/return chain (deeper than any
+  // bounded return-address stack) appended as call-all-the-way-down then
+  // return-all-the-way-up:
+  if (rng.chance(0.25)) {
+    const std::uint32_t base = static_cast<std::uint32_t>(c.num_blocks());
+    const std::size_t depth = 2 + rng.uniform(12);
+    for (std::size_t d = 0; d < depth; ++d) {
+      FuzzRoutine frame;
+      FuzzBlock body;
+      body.insns = static_cast<std::uint16_t>(1 + rng.uniform(4));
+      body.kind = BlockKind::kCall;
+      FuzzBlock tail;
+      tail.insns = static_cast<std::uint16_t>(1 + rng.uniform(2));
+      tail.kind = BlockKind::kReturn;
+      frame.blocks = {body, tail};
+      c.routines.push_back(std::move(frame));
+    }
+    for (std::size_t d = 0; d < depth; ++d) {
+      c.trace.push_back(base + static_cast<std::uint32_t>(2 * d));
+    }
+    for (std::size_t d = depth; d-- > 0;) {
+      c.trace.push_back(base + static_cast<std::uint32_t>(2 * d) + 1);
+    }
+  }
+  // And an indirect-branch-heavy dispatcher: one megamorphic call site
+  // whose dynamic successor changes nearly every visit (BTB-hostile).
+  if (rng.chance(0.25)) {
+    const std::uint32_t dispatcher =
+        static_cast<std::uint32_t>(c.num_blocks());
+    FuzzRoutine dispatch;
+    FuzzBlock site;
+    site.insns = static_cast<std::uint16_t>(1 + rng.uniform(3));
+    site.kind = BlockKind::kCall;
+    dispatch.blocks = {site};
+    c.routines.push_back(std::move(dispatch));
+    const std::uint32_t total = static_cast<std::uint32_t>(c.num_blocks());
+    const std::size_t calls = 8 + rng.uniform(24);
+    for (std::size_t i = 0; i < calls; ++i) {
+      c.trace.push_back(dispatcher);
+      c.trace.push_back(static_cast<std::uint32_t>(rng.uniform(total)));
     }
   }
   return c;

@@ -5,11 +5,17 @@
 // the generators in tests/testing/synthetic.h avoid: zero-routine programs,
 // single-block routines, self-loops, zero-weight edges, blocks larger than
 // a cache line (or than a whole inter-CFA window), empty traces, duplicate
-// seed lists, and extreme CFA budgets (0 and cache - 4).
+// seed lists, and extreme CFA budgets (0 and cache - 4). Two shapes target
+// the speculative front end (src/frontend): call/return chains deeper than
+// any bounded return-address stack, and a megamorphic call site whose
+// dynamic successor changes nearly every visit (BTB-hostile).
 //
 // run_case() builds the case, produces every layout kind, and runs the full
-// oracle over each; shrink_case() greedily minimizes a failing case while it
-// keeps failing; emit_cpp() prints a paste-ready regression test.
+// oracle over each — including the front-end checks: a transparent
+// configuration must reproduce the baseline simulators field for field, and
+// an undersized realistic one must satisfy the counter identities.
+// shrink_case() greedily minimizes a failing case while it keeps failing;
+// emit_cpp() prints a paste-ready regression test.
 #pragma once
 
 #include <cstdint>

@@ -470,6 +470,87 @@ Report check_fetch_result(const sim::FetchResult& result,
   return report;
 }
 
+Report check_frontend_result(const frontend::FrontEndResult& result,
+                             const sim::FetchParams& params,
+                             const frontend::FrontEndParams& fe_params,
+                             std::uint64_t expected_instructions,
+                             bool with_trace_cache) {
+  Report report;
+  const sim::FetchResult& fetch = result.fetch;
+  const frontend::FrontEndStats& fe = result.frontend;
+
+  // Baseline cycle identity plus the two front-end stall terms. (The
+  // instruction-count, width, miss-bound and trace-cache identities are
+  // checked by the check_fetch_result merge below.)
+  const std::uint64_t penalty_units =
+      params.penalty_per_line ? fetch.lines_missed : fetch.miss_requests;
+  const std::uint64_t expect_cycles =
+      fetch.fetch_requests +
+      std::uint64_t{params.miss_penalty} * penalty_units +
+      fe.bp_bubble_cycles + fe.prefetch_late_cycles;
+  if (fetch.cycles != expect_cycles) {
+    report.fail("front-end cycle identity broken: " + u64(fetch.cycles) +
+                " cycles, expected requests " + u64(fetch.fetch_requests) +
+                " + penalty " + u64(params.miss_penalty) + " x " +
+                u64(penalty_units) + " + bubbles " +
+                u64(fe.bp_bubble_cycles) + " + late " +
+                u64(fe.prefetch_late_cycles));
+  }
+  if (fe.bp_bubble_cycles !=
+      fe.bp_mispredicts * std::uint64_t{fe_params.mispredict_penalty}) {
+    report.fail("bubble cycles " + u64(fe.bp_bubble_cycles) + " != " +
+                u64(fe.bp_mispredicts) + " mispredicts x penalty " +
+                u64(fe_params.mispredict_penalty));
+  }
+  if (fe.bp_mispredicts > fe.bp_lookups) {
+    report.fail("more mispredicts (" + u64(fe.bp_mispredicts) +
+                ") than lookups (" + u64(fe.bp_lookups) + ")");
+  }
+  if (fe.btb_lookups > fe.bp_lookups) {
+    report.fail("more BTB lookups (" + u64(fe.btb_lookups) +
+                ") than resolved transfers (" + u64(fe.bp_lookups) + ")");
+  }
+  if (fe.btb_misses > fe.btb_lookups) {
+    report.fail("more BTB misses (" + u64(fe.btb_misses) +
+                ") than BTB lookups (" + u64(fe.btb_lookups) + ")");
+  }
+  if (fe.ras_pops > fe.bp_lookups) {
+    report.fail("more RAS pops (" + u64(fe.ras_pops) +
+                ") than resolved transfers (" + u64(fe.bp_lookups) + ")");
+  }
+  if (fe.prefetch_useful + fe.prefetch_late + fe.prefetch_evicted >
+      fe.prefetch_issued) {
+    report.fail("prefetch outcomes useful " + u64(fe.prefetch_useful) +
+                " + late " + u64(fe.prefetch_late) + " + evicted " +
+                u64(fe.prefetch_evicted) + " exceed issued " +
+                u64(fe.prefetch_issued));
+  }
+  if (fe.prefetch_late == 0 && fe.prefetch_late_cycles != 0) {
+    report.fail("late-prefetch stall cycles without late prefetches");
+  }
+  if (fe_params.kind == frontend::BpredKind::kPerfect &&
+      (fe.bp_lookups != 0 || fe.bp_mispredicts != 0 ||
+       fe.bp_bubble_cycles != 0)) {
+    report.fail("perfect predictor reports prediction activity");
+  }
+  if ((!fe_params.prefetch || params.perfect_icache) &&
+      (fe.prefetch_issued != 0 || fe.prefetch_useful != 0 ||
+       fe.prefetch_late != 0 || fe.prefetch_evicted != 0 ||
+       fe.prefetch_late_cycles != 0)) {
+    report.fail("prefetch counters nonzero with prefetching disabled");
+  }
+
+  // The baseline per-request miss bounds and trace-cache identities carry
+  // over unchanged; reuse them on a copy whose stall cycles are deducted so
+  // the baseline cycle identity applies.
+  sim::FetchResult base = fetch;
+  base.cycles -= fe.bp_bubble_cycles + fe.prefetch_late_cycles;
+  report.merge(check_fetch_result(base, params, expected_instructions,
+                                  with_trace_cache),
+               "frontend/base");
+  return report;
+}
+
 Report check_simulators(const trace::BlockTrace& trace,
                         const cfg::ProgramImage& image,
                         const cfg::AddressMap& layout,

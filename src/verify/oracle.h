@@ -29,6 +29,7 @@
 #include "cfg/address_map.h"
 #include "cfg/program.h"
 #include "core/mapping.h"
+#include "frontend/front_end.h"
 #include "sim/fetch_unit.h"
 #include "sim/icache.h"
 #include "trace/block_trace.h"
@@ -120,6 +121,20 @@ Report check_fetch_result(const sim::FetchResult& result,
                           const sim::FetchParams& params,
                           std::uint64_t expected_instructions,
                           bool with_trace_cache);
+
+// Counter identities for a speculative front-end run (src/frontend). The
+// baseline cycle identity gains the two front-end stall terms:
+//   cycles == fetch_requests + miss_penalty x penalty_units
+//             + bp_bubble_cycles + prefetch_late_cycles
+// with bp_bubble_cycles == bp_mispredicts x mispredict_penalty, prediction
+// counters bounded by lookups, every issued prefetch reaching at most one
+// outcome (useful/late/evicted), and all front-end counters zero for a
+// transparent (perfect, no-prefetch) configuration.
+Report check_frontend_result(const frontend::FrontEndResult& result,
+                             const sim::FetchParams& params,
+                             const frontend::FrontEndParams& fe_params,
+                             std::uint64_t expected_instructions,
+                             bool with_trace_cache);
 
 // ---- Umbrella ------------------------------------------------------------
 

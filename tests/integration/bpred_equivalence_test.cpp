@@ -1,0 +1,77 @@
+// Property: with the perfect predictor (the default STC_BPRED) the bench
+// measurement cells are byte-identical to the Table 3/4 baseline cells —
+// the speculative front end cannot perturb the paper's reproduced numbers.
+// Compares serialized results_json, so metrics, counters, key order and
+// formatting are all covered.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "cfg/address_map.h"
+#include "support/experiment.h"
+#include "support/rng.h"
+#include "testing/synthetic.h"
+
+namespace stc {
+namespace {
+
+template <typename Measure>
+std::string grid_json(Measure&& measure) {
+  Rng rng(20260806);
+  std::vector<std::unique_ptr<cfg::ProgramImage>> images;
+  std::vector<trace::BlockTrace> traces;
+  std::vector<cfg::AddressMap> layouts;
+  for (int trial = 0; trial < 4; ++trial) {
+    images.push_back(testing::random_image(rng, 5));
+    traces.push_back(testing::random_trace(*images.back(), rng, 600));
+    layouts.push_back(cfg::AddressMap::original(*images.back()));
+  }
+  ExperimentRunner runner("equiv");
+  for (int trial = 0; trial < 4; ++trial) {
+    runner.add("cell" + std::to_string(trial), [&, trial] {
+      return measure(traces[trial], *images[trial], layouts[trial]);
+    });
+  }
+  runner.run(1);
+  return runner.results_json();
+}
+
+TEST(BpredEquivalenceTest, TransparentFrontEndLeavesSeq3CellsByteIdentical) {
+  const sim::CacheGeometry geometry{1024, 32, 1};
+  const frontend::FrontEndParams transparent;
+  ASSERT_TRUE(transparent.transparent());
+  const std::string baseline = grid_json(
+      [&](const trace::BlockTrace& t, const cfg::ProgramImage& i,
+          const cfg::AddressMap& l) {
+        return bench::measure_seq3(t, i, l, geometry);
+      });
+  const std::string frontend = grid_json(
+      [&](const trace::BlockTrace& t, const cfg::ProgramImage& i,
+          const cfg::AddressMap& l) {
+        return bench::measure_seq3_bpred(t, i, l, geometry, transparent);
+      });
+  EXPECT_EQ(baseline, frontend);
+}
+
+TEST(BpredEquivalenceTest, TransparentFrontEndLeavesTraceCacheCellsByteIdentical) {
+  const sim::CacheGeometry geometry{1024, 32, 1};
+  const sim::TraceCacheParams tc;
+  const frontend::FrontEndParams transparent;
+  const std::string baseline = grid_json(
+      [&](const trace::BlockTrace& t, const cfg::ProgramImage& i,
+          const cfg::AddressMap& l) {
+        return bench::measure_tc(t, i, l, geometry, tc);
+      });
+  const std::string frontend = grid_json(
+      [&](const trace::BlockTrace& t, const cfg::ProgramImage& i,
+          const cfg::AddressMap& l) {
+        return bench::measure_tc_bpred(t, i, l, geometry, tc, transparent);
+      });
+  EXPECT_EQ(baseline, frontend);
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,23 +1,19 @@
 // Locks the BENCH_*.json report schema against a checked-in golden file.
 //
 // A deterministic ExperimentRunner grid is serialized and compared to
-// tests/verify/golden/BENCH_golden.json: structure (key set, key order,
-// value kinds, array lengths) must match exactly; numbers must match within
-// tolerance; wall-clock-derived fields (the replay phase and throughput
-// rates) need only be present, numeric and sane. Regenerate the golden with
+// tests/verify/golden/BENCH_golden.json with the shared golden comparer
+// (tests/testing/golden_compare.h); wall-clock-derived fields (the replay
+// phase and throughput rates) need only be present, numeric and sane.
+// Regenerate the golden with
 //   STC_UPDATE_GOLDEN=1 ./build/tests/stc_verify_test \
 //       --gtest_filter=GoldenSchemaTest.*
 // and review the diff — any change here is a report-consumer-visible change.
 #include <gtest/gtest.h>
 
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "support/experiment.h"
+#include "testing/golden_compare.h"
 #include "testing/json_parse.h"
 
 #ifndef STC_VERIFY_TEST_DIR
@@ -70,76 +66,8 @@ bool is_volatile(const std::string& path) {
          path == "throughput.instructions_per_second";
 }
 
-void compare(const JsonValue& golden, const JsonValue& actual,
-             const std::string& path) {
-  ASSERT_EQ(static_cast<int>(golden.kind), static_cast<int>(actual.kind))
-      << "value kind changed at " << path;
-  switch (golden.kind) {
-    case JsonValue::Kind::kObject: {
-      ASSERT_EQ(golden.members.size(), actual.members.size())
-          << "key set changed at " << path;
-      for (std::size_t i = 0; i < golden.members.size(); ++i) {
-        // Key ORDER is part of the schema: the writer guarantees insertion
-        // order, and consumers (CI validators, plotting scripts) rely on it.
-        ASSERT_EQ(golden.members[i].first, actual.members[i].first)
-            << "key #" << i << " changed at " << path;
-        compare(golden.members[i].second, actual.members[i].second,
-                path.empty() ? golden.members[i].first
-                             : path + "." + golden.members[i].first);
-      }
-      break;
-    }
-    case JsonValue::Kind::kArray: {
-      ASSERT_EQ(golden.items.size(), actual.items.size())
-          << "array length changed at " << path;
-      for (std::size_t i = 0; i < golden.items.size(); ++i) {
-        compare(golden.items[i], actual.items[i],
-                path + "[" + std::to_string(i) + "]");
-      }
-      break;
-    }
-    case JsonValue::Kind::kNumber: {
-      if (is_volatile(path)) {
-        EXPECT_TRUE(std::isfinite(actual.number)) << path;
-        EXPECT_GE(actual.number, 0.0) << path;
-        break;
-      }
-      const double tol =
-          1e-9 * std::max(1.0, std::fabs(golden.number));
-      EXPECT_NEAR(actual.number, golden.number, tol) << path;
-      break;
-    }
-    case JsonValue::Kind::kString:
-      EXPECT_EQ(golden.text, actual.text) << path;
-      break;
-    case JsonValue::Kind::kBool:
-      EXPECT_EQ(golden.boolean, actual.boolean) << path;
-      break;
-    case JsonValue::Kind::kNull:
-      break;
-  }
-}
-
 TEST(GoldenSchemaTest, ReportMatchesGoldenFile) {
-  const std::string report = build_report();
-  if (std::getenv("STC_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(golden_path());
-    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
-    out << report << "\n";
-    GTEST_SKIP() << "golden regenerated at " << golden_path();
-  }
-  std::ifstream in(golden_path());
-  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path();
-  std::stringstream buf;
-  buf << in.rdbuf();
-
-  std::string golden_err;
-  std::string actual_err;
-  const JsonValue golden = testing::parse_json(buf.str(), &golden_err);
-  const JsonValue actual = testing::parse_json(report, &actual_err);
-  ASSERT_EQ(golden_err, "") << "golden file does not parse";
-  ASSERT_EQ(actual_err, "") << "report does not parse";
-  compare(golden, actual, "");
+  testing::check_against_golden(build_report(), golden_path(), is_volatile);
 }
 
 // Structural facts every consumer depends on, independent of the golden

@@ -164,6 +164,46 @@ TEST(FuzzRegression, NearTotalCfaBudget) {
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 
+// Front-end seed corpus: a call chain four frames deeper than the realistic
+// oracle configuration's return-address stack (ras_depth 4), followed by a
+// megamorphic dispatcher whose call target cycles through every routine.
+// Exercises RAS overflow/underflow and BTB target churn under all layouts.
+TEST(FuzzRegression, DeepCallReturnAndIndirectDispatcher) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 1024;
+  c.cfa_bytes = 256;
+  c.line_bytes = 32;
+  c.routines = {
+      // Eight call frames: {kCall body, kReturn tail} each.
+      {{{2, stc::cfg::BlockKind::kCall}, {1, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{1, stc::cfg::BlockKind::kCall}, {1, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{3, stc::cfg::BlockKind::kCall}, {2, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{1, stc::cfg::BlockKind::kCall}, {1, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{2, stc::cfg::BlockKind::kCall}, {1, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{4, stc::cfg::BlockKind::kCall}, {1, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{1, stc::cfg::BlockKind::kCall}, {2, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{2, stc::cfg::BlockKind::kCall}, {1, stc::cfg::BlockKind::kReturn}},
+       false},
+      // The dispatcher: one megamorphic call site.
+      {{{2, stc::cfg::BlockKind::kCall}}, false},
+  };
+  // Call all the way down (bodies 0,2,..,14), return all the way up
+  // (tails 15,13,..,1), then the dispatcher (16) targets a different
+  // routine entry on every visit.
+  c.trace = {0, 2,  4,  6, 8, 10, 12, 14, 15, 13, 11, 9, 7, 5,  3, 1,
+             16, 0, 16, 4, 16, 8,  16, 12, 16, 2,  16, 6, 16, 10, 16, 14};
+  c.edges = {{0, 2, 4}, {2, 4, 4}, {16, 0, 2}, {16, 4, 2}};
+  const stc::verify::Report report = stc::verify::run_case(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
 TEST(FuzzRegression, TraceVisitsColdUnprofiledBlocks) {
   stc::verify::FuzzCase c;
   c.cache_bytes = 2048;
