@@ -93,10 +93,10 @@ int main() {
     for (std::size_t k = 0; k < std::size(kinds); ++k) {
       std::vector<std::string> row{frontend::to_string(kinds[k])};
       for (std::size_t l = 0; l < std::size(layouts); ++l) {
-        const auto& r = runner.result(jobs[c][l][k]);
-        std::string cell = fmt_fixed(r.metric("ipc"), 2);
+        const std::size_t job = jobs[c][l][k];
+        std::string cell = fmt_fixed(runner.metric_or(job, "ipc"), 2);
         if (kinds[k] != BpredKind::kPerfect) {
-          cell += " (" + fmt_fixed(r.metric("mpki"), 1) + ")";
+          cell += " (" + fmt_fixed(runner.metric_or(job, "mpki"), 1) + ")";
         }
         row.push_back(cell);
       }
@@ -107,20 +107,20 @@ int main() {
   }
 
   // Headline: how much of the layout win survives a realistic front end.
-  const auto& g_orig = runner.result(jobs[1][0][3]);   // gshare orig 8K
-  const auto& g_ops = runner.result(jobs[1][4][3]);    // gshare ops 8K
-  const auto& p_orig = runner.result(jobs[1][0][0]);   // perfect orig 8K
-  const auto& p_ops = runner.result(jobs[1][4][0]);    // perfect ops 8K
+  const std::size_t g_orig_job = jobs[1][0][3];        // gshare orig 8K
+  const std::size_t g_ops_job = jobs[1][4][3];         // gshare ops 8K
+  const auto& g_ops = runner.result(g_ops_job);
   std::printf(
       "ops/orig fetch-bandwidth ratio at 8K: %.2fx perfect -> %.2fx gshare\n"
       "(gshare ops: %.1f mispredicts/1000 insns, %llu prefetches issued,\n"
       " %llu useful, %llu late)\n",
-      p_ops.metric("ipc") / p_orig.metric("ipc"),
-      g_ops.metric("ipc") / g_orig.metric("ipc"), g_ops.metric("mpki"),
+      runner.metric_or(jobs[1][4][0], "ipc") /
+          runner.metric_or(jobs[1][0][0], "ipc"),
+      runner.metric_or(g_ops_job, "ipc") / runner.metric_or(g_orig_job, "ipc"),
+      runner.metric_or(g_ops_job, "mpki"),
       static_cast<unsigned long long>(g_ops.counters().get("prefetch_issued")),
       static_cast<unsigned long long>(g_ops.counters().get("prefetch_useful")),
       static_cast<unsigned long long>(g_ops.counters().get("prefetch_late")));
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

@@ -60,18 +60,18 @@ int main() {
   TextTable table;
   table.header({"line", "orig miss%", "ops miss%", "orig IPC", "ops IPC"});
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& orig = runner.result(rows[i].orig_job);
-    const auto& ops = runner.result(rows[i].ops_job);
-    table.row({fmt_size(lines[i]), fmt_fixed(orig.metric("miss_pct"), 2),
-               fmt_fixed(ops.metric("miss_pct"), 2),
-               fmt_fixed(orig.metric("ipc"), 2),
-               fmt_fixed(ops.metric("ipc"), 2)});
+    const std::size_t orig = rows[i].orig_job;
+    const std::size_t ops = rows[i].ops_job;
+    table.row({fmt_size(lines[i]),
+               fmt_fixed(runner.metric_or(orig, "miss_pct"), 2),
+               fmt_fixed(runner.metric_or(ops, "miss_pct"), 2),
+               fmt_fixed(runner.metric_or(orig, "ipc"), 2),
+               fmt_fixed(runner.metric_or(ops, "ipc"), 2)});
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nLarger lines prefetch more of a sequential layout (ops gains), but\n"
       "amplify conflict misses for the scattered original layout.\n");
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

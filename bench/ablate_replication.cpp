@@ -114,9 +114,9 @@ int main() {
     const auto& r = runner.result(jobs[i]);
     table.row({labels[i], fmt_count(r.counters().get("clones")),
                fmt_size(r.counters().get("code_bytes")),
-               fmt_fixed(r.metric("miss_pct"), 2),
-               fmt_fixed(r.metric("ipc"), 2),
-               fmt_fixed(r.metric("insn_per_taken"), 1)});
+               fmt_fixed(runner.metric_or(jobs[i], "miss_pct"), 2),
+               fmt_fixed(runner.metric_or(jobs[i], "ipc"), 2),
+               fmt_fixed(runner.metric_or(jobs[i], "insn_per_taken"), 1)});
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf(
@@ -127,6 +127,5 @@ int main() {
       "paper's caution that code expansion must keep \"the miss rate under\n"
       "control\" (Section 8).\n");
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

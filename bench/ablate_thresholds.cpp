@@ -97,9 +97,9 @@ int main() {
                fmt_fixed(cells[i].branch, 1),
                fmt_count(r.counters().get("pass1_bytes")),
                fmt_count(r.counters().get("sequences")),
-               fmt_fixed(r.metric("miss_pct"), 2),
-               fmt_fixed(r.metric("ipc"), 2),
-               fmt_fixed(r.metric("insn_per_taken"), 1)});
+               fmt_fixed(runner.metric_or(cells[i].job, "miss_pct"), 2),
+               fmt_fixed(runner.metric_or(cells[i].job, "ipc"), 2),
+               fmt_fixed(runner.metric_or(cells[i].job, "insn_per_taken"), 1)});
     if (i % 4 == 3) table.separator();
   }
   std::fputs(table.render().c_str(), stdout);
@@ -108,6 +108,5 @@ int main() {
       "branch thresholds keep sequences short but pure. The auto-fitted\n"
       "threshold balances CFA occupancy against dilution.\n");
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

@@ -63,21 +63,20 @@ int main() {
   table.header({"TC entries", "TC bytes", "orig IPC", "orig TC hit%",
                 "ops IPC", "ops TC hit%"});
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r_orig = runner.result(rows[i].orig_job);
-    const auto& r_ops = runner.result(rows[i].ops_job);
+    const std::size_t orig = rows[i].orig_job;
+    const std::size_t ops = rows[i].ops_job;
     table.row({fmt_count(entry_sweep[i]), fmt_size(rows[i].tc_bytes),
-               fmt_fixed(r_orig.metric("ipc"), 2),
-               fmt_percent(r_orig.metric("tc_hit_pct") / 100.0),
-               fmt_fixed(r_ops.metric("ipc"), 2),
-               fmt_percent(r_ops.metric("tc_hit_pct") / 100.0)});
+               fmt_fixed(runner.metric_or(orig, "ipc"), 2),
+               fmt_percent(runner.metric_or(orig, "tc_hit_pct") / 100.0),
+               fmt_fixed(runner.metric_or(ops, "ipc"), 2),
+               fmt_percent(runner.metric_or(ops, "tc_hit_pct") / 100.0)});
   }
   std::fputs(table.render().c_str(), stdout);
 
   std::printf(
       "\nSEQ.3 alone on the ops layout: %.2f IPC - the software trace cache\n"
       "provides a strong back-up on trace-cache misses (Section 6).\n",
-      runner.result(seq_job).metric("ipc"));
+      runner.metric_or(seq_job, "ipc"));
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

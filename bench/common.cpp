@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "support/check.h"
+#include "support/env.h"
 #include "verify/oracle.h"
 
 namespace stc::bench {
@@ -27,10 +28,9 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 // never produce numbers.
 
 bool verify_enabled() {
-  static const bool enabled = [] {
-    const char* v = std::getenv("STC_VERIFY");
-    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
-  }();
+  // Validated centrally (env::verify aborts the bench at startup on garbage
+  // values); by this point the knob is a clean boolean.
+  static const bool enabled = env::verify().value_or(false);
   return enabled;
 }
 
@@ -90,14 +90,14 @@ std::vector<CfaPoint> Env::cfa_sweep() const {
 }
 
 Env Env::from_environment() {
+  // Fail fast on any malformed knob — including ones this struct does not
+  // carry (STC_THREADS, STC_BENCH_DIR, STC_FAULT, ...) — so a typo kills the
+  // bench in milliseconds with a message instead of mid-sweep or silently.
+  env::validate_all_or_exit();
   Env env;
-  if (const char* sf = std::getenv("STC_SF")) env.scale_factor = std::atof(sf);
-  if (const char* seed = std::getenv("STC_SEED")) {
-    env.seed = static_cast<std::uint64_t>(std::atoll(seed));
-  }
-  if (const char* line = std::getenv("STC_LINE")) {
-    env.line_bytes = static_cast<std::uint32_t>(std::atoi(line));
-  }
+  env.scale_factor = env::scale_factor().value();
+  env.seed = env::seed().value();
+  env.line_bytes = env::line_bytes().value();
   return env;
 }
 
@@ -436,10 +436,22 @@ ExperimentRunner make_runner(const char* name, const Env& env,
   return runner;
 }
 
-void write_report(const ExperimentRunner& runner) {
-  const std::string path = runner.write_report();
-  std::printf("\n[%s] wrote %s (%zu jobs)\n", runner.name().c_str(),
-              path.c_str(), runner.num_jobs());
+int write_report(const ExperimentRunner& runner) {
+  const Result<std::string> path = runner.write_report();
+  if (!path.is_ok()) {
+    std::fprintf(stderr, "[%s] %s\n", runner.name().c_str(),
+                 path.status().to_string().c_str());
+    return 1;
+  }
+  if (runner.all_ok()) {
+    std::printf("\n[%s] wrote %s (%zu jobs)\n", runner.name().c_str(),
+                path.value().c_str(), runner.num_jobs());
+    return 0;
+  }
+  std::printf("\n[%s] wrote %s (%zu jobs, %zu FAILED — see report)\n",
+              runner.name().c_str(), path.value().c_str(), runner.num_jobs(),
+              runner.failures().size());
+  return runner.exit_code();
 }
 
 }  // namespace stc::bench

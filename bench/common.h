@@ -17,6 +17,12 @@
 //                   (src/frontend) with FDIP prefetching enabled
 //   STC_FTQ_DEPTH - fetch-target queue depth in lines (default 8);
 //                   0 disables prefetching
+//   STC_JOB_TIMEOUT - per-job deadline in seconds (default 0 = off); an
+//                   overrunning job is recorded as timed_out, not aborted
+//   STC_JOB_RETRIES - extra attempts per failed job (default 1)
+//   STC_FAULT     - fault-injection spec, e.g. trace.load.chunk:3 (VERIFY.md)
+// Every knob is validated up front (support/env): a malformed value exits 2
+// with a structured error instead of silently defaulting.
 // The paper's absolute cache sizes (8-64KB) are scaled to this kernel's
 // executed footprint: the sweep uses 1-8KB caches, spanning the same ratio
 // of hot-code size to cache size as the original (see EXPERIMENTS.md).
@@ -59,6 +65,8 @@ struct Env {
   std::vector<CfaPoint> cfa_sweep() const;
   std::vector<std::uint32_t> cache_sizes() const { return {1024, 2048, 4096, 8192}; }
 
+  // Validates every STC_* knob up front (support/env): a malformed value
+  // prints a structured error naming the knob and exits 2 before any work.
   static Env from_environment();
 };
 
@@ -204,7 +212,11 @@ void print_banner(const char* title, const Env& env, const Setup& setup);
 ExperimentRunner make_runner(const char* name, const Env& env,
                              const Setup& setup);
 
-// Writes BENCH_<name>.json and prints a one-line confirmation footer.
-void write_report(const ExperimentRunner& runner);
+// Writes BENCH_<name>.json atomically and prints a one-line confirmation
+// footer (plus a failure summary when the grid degraded). Returns the bench
+// process exit code: 0 clean, 3 when any job failed (the report records the
+// failures), 1 when the report itself could not be written. Bench mains
+// `return bench::write_report(runner);`.
+int write_report(const ExperimentRunner& runner);
 
 }  // namespace stc::bench

@@ -51,8 +51,8 @@ int main() {
   for (const std::size_t job : sample_jobs) {
     const auto& r = runner.result(job);
     table.row({fmt_count(r.counters().get("blocks")),
-               fmt_percent(r.metric("static_pct") / 100.0),
-               fmt_percent(r.metric("dynamic_refs_pct") / 100.0)});
+               fmt_percent(runner.metric_or(job, "static_pct") / 100.0),
+               fmt_percent(runner.metric_or(job, "dynamic_refs_pct") / 100.0)});
   }
   std::fputs(table.render().c_str(), stdout);
 
@@ -85,6 +85,5 @@ int main() {
   }
   std::printf("     +%s\n", std::string(width, '-').c_str());
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

@@ -182,18 +182,14 @@ int main() {
   TextTable table;
   table.header({"benchmark", "ns/op", "items/s"});
   for (const std::size_t job : jobs) {
-    const auto& r = runner.result(job);
     char ns[32];
-    std::snprintf(ns, sizeof ns, "%.1f", r.metric("ns_per_op"));
+    std::snprintf(ns, sizeof ns, "%.1f", runner.metric_or(job, "ns_per_op"));
     char ips[32];
     std::snprintf(ips, sizeof ips, "%.3g",
-                  r.has_metric("items_per_second")
-                      ? r.metric("items_per_second")
-                      : 0.0);
+                  runner.metric_or(job, "items_per_second", 0.0));
     table.row({runner.job_name(job), ns, ips});
   }
   std::fputs(table.render().c_str(), stdout);
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

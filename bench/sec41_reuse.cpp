@@ -45,7 +45,7 @@ int main() {
   table.header({"Re-referenced within", "Fraction of re-references", "(paper)"});
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     table.row({fmt_count(bounds[i].insns) + " insns",
-               fmt_percent(runner.result(jobs[i]).metric("reuse_fraction")),
+               fmt_percent(runner.metric_or(jobs[i], "reuse_fraction")),
                bounds[i].paper});
   }
   std::fputs(table.render().c_str(), stdout);
@@ -54,6 +54,5 @@ int main() {
       "\nThe most popular blocks are re-executed every few instructions:\n"
       "substantial temporal locality for a Conflict-Free Area to exploit.\n");
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

@@ -39,12 +39,12 @@ int main() {
   table.header({"", "Total", "Executed", "Percent", "(paper)"});
   table.row({"Procedures", count("total_routines"),
              count("executed_routines"),
-             fmt_percent(r.metric("routine_fraction")), "19.7%"});
+             fmt_percent(runner.metric_or(job, "routine_fraction")), "19.7%"});
   table.row({"Basic blocks", count("total_blocks"), count("executed_blocks"),
-             fmt_percent(r.metric("block_fraction")), "12.1%"});
+             fmt_percent(runner.metric_or(job, "block_fraction")), "12.1%"});
   table.row({"Instructions", count("total_instructions"),
              count("executed_instructions"),
-             fmt_percent(r.metric("instruction_fraction")), "12.7%"});
+             fmt_percent(runner.metric_or(job, "instruction_fraction")), "12.7%"});
   std::fputs(table.render().c_str(), stdout);
 
   std::printf(
@@ -53,6 +53,5 @@ int main() {
       fmt_size(r.counters().get("executed_instructions") * 4).c_str(),
       fmt_size(r.counters().get("total_instructions") * 4).c_str());
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

@@ -49,11 +49,11 @@ int main() {
   TextTable table;
   table.header({"BB Type", "Static", "Dynamic", "Predictable", "(paper)"});
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const auto& r = runner.result(jobs[i]);
     table.row({cfg::to_string(kinds[i].kind),
-               fmt_percent(r.metric("static_pct") / 100.0),
-               fmt_percent(r.metric("dynamic_pct") / 100.0),
-               fmt_percent(r.metric("predictable_pct") / 100.0),
+               fmt_percent(runner.metric_or(jobs[i], "static_pct") / 100.0),
+               fmt_percent(runner.metric_or(jobs[i], "dynamic_pct") / 100.0),
+               fmt_percent(runner.metric_or(jobs[i], "predictable_pct") /
+                           100.0),
                kinds[i].paper});
   }
   std::fputs(table.render().c_str(), stdout);
@@ -62,8 +62,7 @@ int main() {
       "\nOverall, %.1f%% of the dynamic block transitions are predictable\n"
       "(paper: ~80%%): executed sequences are deterministic enough to build\n"
       "basic-block traces at compile time (Section 4.2).\n",
-      runner.result(overall_job).metric("predictable_pct"));
+      runner.metric_or(overall_job, "predictable_pct"));
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

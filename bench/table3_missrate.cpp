@@ -104,7 +104,7 @@ int main() {
 
   runner.run();
   for (const CellRef& ref : refs) {
-    values[ref.row][ref.column] = runner.result(ref.job).metric("miss_pct");
+    values[ref.row][ref.column] = runner.metric_or(ref.job, "miss_pct");
   }
 
   // Render.
@@ -149,6 +149,5 @@ int main() {
       "(paper: 60-98%%)\n",
       100.0 * worst_reduction, 100.0 * best_reduction);
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

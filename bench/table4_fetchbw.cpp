@@ -164,7 +164,7 @@ int main() {
 
   runner.run();
   for (const CellRef& ref : refs) {
-    values[ref.row][ref.column] = runner.result(ref.job).metric("ipc");
+    values[ref.row][ref.column] = runner.metric_or(ref.job, "ipc");
   }
 
   // ---- render ----------------------------------------------------------------
@@ -198,17 +198,16 @@ int main() {
   std::printf(
       "\ninstructions between taken branches: %.1f -> %.1f  (paper: 8.9 -> "
       "22.4)\n",
-      runner.result(seq_orig_job).metric("insn_per_taken"),
-      runner.result(seq_ops_job).metric("insn_per_taken"));
+      runner.metric_or(seq_orig_job, "insn_per_taken"),
+      runner.metric_or(seq_ops_job, "insn_per_taken"));
   std::printf("SEQ.3 fetch bandwidth at %s:      %.1f -> %.1f  (paper: 5.8 -> "
               "10.6)\n",
-              fmt_size(big).c_str(), runner.result(bw_orig_job).metric("ipc"),
-              runner.result(bw_ops_job).metric("ipc"));
+              fmt_size(big).c_str(), runner.metric_or(bw_orig_job, "ipc"),
+              runner.metric_or(bw_ops_job, "ipc"));
   std::printf("Trace Cache alone vs TC + ops:      %.1f -> %.1f  (paper: 8.6 "
               "-> 12.1)\n",
-              runner.result(tc_orig_job).metric("ipc"),
-              runner.result(tc_ops_job).metric("ipc"));
+              runner.metric_or(tc_orig_job, "ipc"),
+              runner.metric_or(tc_ops_job, "ipc"));
 
-  bench::write_report(runner);
-  return 0;
+  return bench::write_report(runner);
 }

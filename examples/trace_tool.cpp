@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 #include "core/layouts.h"
 #include "db/tpcd/oltp.h"
@@ -45,6 +46,18 @@ core::LayoutKind parse_layout(const char* name) {
   std::exit(1);
 }
 
+// Loads a trace file, turning a structured load error (missing file,
+// corruption) into a diagnostic + exit 1 instead of a crash.
+trace::BlockTrace load_or_die(const std::string& path) {
+  auto loaded = trace::BlockTrace::load(path);
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "trace_tool: %s\n",
+                 loaded.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(loaded).take();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,7 +83,10 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
-    trace.save(path);
+    if (const Status saved = trace.save(path); !saved.is_ok()) {
+      std::fprintf(stderr, "trace_tool: %s\n", saved.to_string().c_str());
+      return 1;
+    }
     std::printf("recorded %llu block events (%llu bytes on disk) to %s\n",
                 static_cast<unsigned long long>(trace.num_events()),
                 static_cast<unsigned long long>(trace.byte_size()),
@@ -79,7 +95,7 @@ int main(int argc, char** argv) {
   }
 
   if (command == "info") {
-    const trace::BlockTrace trace = trace::BlockTrace::load(path);
+    const trace::BlockTrace trace = load_or_die(path);
     const auto& image = db::kernel_image();
     profile::Profile prof(image);
     prof.consume(trace);
@@ -108,7 +124,7 @@ int main(int argc, char** argv) {
     db::tpcd::WorkloadConfig config;
     if (argc > 6) config.scale_factor = std::atof(argv[6]);
 
-    const trace::BlockTrace trace = trace::BlockTrace::load(path);
+    const trace::BlockTrace trace = load_or_die(path);
     const auto& image = db::kernel_image();
 
     // Rebuild the Training profile to drive the layout algorithms.

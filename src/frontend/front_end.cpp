@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "support/check.h"
+#include "support/env.h"
 
 namespace stc::frontend {
 
@@ -319,23 +320,28 @@ void snapshot_group(FetchPipe& pipe, std::uint32_t len,
 
 }  // namespace
 
-FrontEndParams FrontEndParams::from_environment() {
+Result<FrontEndParams> FrontEndParams::try_from_environment() {
   FrontEndParams params;
-  if (const char* bpred = std::getenv("STC_BPRED")) {
-    if (!parse_bpred(bpred, &params.kind)) {
-      std::fprintf(stderr,
-                   "STC_BPRED=%s is not a predictor "
-                   "(perfect|always|bimodal|gshare|local)\n",
-                   bpred);
-      STC_CHECK_MSG(false, "unknown STC_BPRED value");
-    }
-    params.prefetch = params.kind != BpredKind::kPerfect;
-  }
-  if (const char* depth = std::getenv("STC_FTQ_DEPTH")) {
-    params.ftq_depth = static_cast<std::uint32_t>(std::atoi(depth));
-    if (params.ftq_depth == 0) params.prefetch = false;
-  }
+  Result<std::string> bpred = env::bpred();
+  if (!bpred.is_ok()) return bpred.status();
+  const bool ok = parse_bpred(bpred.value().c_str(), &params.kind);
+  STC_CHECK_MSG(ok, "env::bpred() returned an unknown predictor name");
+  params.prefetch = params.kind != BpredKind::kPerfect;
+  Result<std::uint32_t> depth = env::ftq_depth();
+  if (!depth.is_ok()) return depth.status();
+  params.ftq_depth = depth.value();
+  if (params.ftq_depth == 0) params.prefetch = false;
   return params;
+}
+
+FrontEndParams FrontEndParams::from_environment() {
+  Result<FrontEndParams> params = try_from_environment();
+  if (!params.is_ok()) {
+    std::fprintf(stderr, "environment: %s\n",
+                 params.status().to_string().c_str());
+    std::exit(2);
+  }
+  return params.value();
 }
 
 void FrontEndStats::export_counters(CounterSet& out) const {

@@ -59,13 +59,14 @@ struct FrontEndParams {
     return kind == BpredKind::kPerfect && !prefetch;
   }
 
-  // Reads the bench knobs:
+  // Reads the bench knobs (validated by support/env):
   //   STC_BPRED     - perfect|always|bimodal|gshare|local (default perfect).
   //                   Realistic kinds enable FDIP prefetching.
   //   STC_FTQ_DEPTH - fetch-target queue depth in lines (default 8);
   //                   0 disables prefetching.
-  // Unknown STC_BPRED values abort (a typo must not silently measure the
-  // baseline).
+  // A malformed knob is a structured error (a typo must not silently
+  // measure the baseline); from_environment() prints it and exits 2.
+  static Result<FrontEndParams> try_from_environment();
   static FrontEndParams from_environment();
 };
 

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used as the per-chunk checksum in serialized BlockTrace files: any
+// single-byte corruption of a chunk payload is guaranteed to be detected,
+// which is the property the trace byte-flip fuzz mode relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stc {
+
+// CRC of `size` bytes at `data`, continuing from `seed` (pass the previous
+// call's return value to checksum discontiguous pieces; 0 to start).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace stc

@@ -1,0 +1,54 @@
+#include "support/error.h"
+
+namespace stc {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kCorruptData:
+      return "corrupt-data";
+    case ErrorCode::kIoError:
+      return "io-error";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kFaultInjected:
+      return "fault-injected";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  return std::string(stc::to_string(code_)) + ": " + message_;
+}
+
+Status invalid_argument_error(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status corrupt_data_error(std::string message) {
+  return Status(ErrorCode::kCorruptData, std::move(message));
+}
+Status io_error(std::string message) {
+  return Status(ErrorCode::kIoError, std::move(message));
+}
+Status not_found_error(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status timeout_error(std::string message) {
+  return Status(ErrorCode::kTimeout, std::move(message));
+}
+Status fault_injected_error(std::string message) {
+  return Status(ErrorCode::kFaultInjected, std::move(message));
+}
+Status internal_error(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+
+}  // namespace stc

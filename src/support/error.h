@@ -1,0 +1,131 @@
+// Structured, recoverable errors for data-dependent failure paths.
+//
+// The contract (see VERIFY.md "Error handling"): STC_CHECK/STC_REQUIRE stay
+// reserved for programmer errors — conditions that can only arise from a bug
+// inside this codebase. Anything the *data* can cause — a corrupt trace file,
+// a malformed environment knob, a failed write — returns a Status/Result<T>
+// instead, so callers can degrade gracefully (skip a cell, report a failure,
+// exit with a message) rather than abort the whole run.
+//
+// Context chains build outside-in: the site that detects the failure states
+// the fact ("crc mismatch"), each caller on the way out prepends what it was
+// doing ("chunk 3", "trace 'runs/test.trc'"), giving
+//   corrupt-data: trace 'runs/test.trc': chunk 3: crc mismatch
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "support/check.h"
+
+namespace stc {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,  // malformed input the caller supplied (env knobs, CLI)
+  kCorruptData,      // well-formed request, rotten bytes (trace files)
+  kIoError,          // the OS said no (open/write/rename)
+  kNotFound,         // a named thing that should exist does not
+  kTimeout,          // a deadline elapsed
+  kFaultInjected,    // a faultpoint fired (tests / STC_FAULT)
+  kInternal,         // escaped exception or other unclassified failure
+};
+
+const char* to_string(ErrorCode code);
+
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    STC_REQUIRE(code != ErrorCode::kOk);
+  }
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  // The context-chained message (no code prefix); empty for ok.
+  const std::string& message() const { return message_; }
+
+  // Prepends one hop of context: status.with_context("chunk 3").
+  Status with_context(std::string_view context) const {
+    if (is_ok()) return *this;
+    return Status(code_, std::string(context) + ": " + message_);
+  }
+
+  // "<code>: <message>", e.g. "corrupt-data: chunk 3: crc mismatch".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Exception wrapper for crossing layers that cannot return Result (job
+// lambdas inside the experiment runner, deep call chains). The runner
+// catches it and records the Status in the failure report.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+// A value or a Status — the return type of fallible data-path functions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    STC_REQUIRE_MSG(!status_.is_ok(), "Result built from an ok Status");
+  }
+
+  bool is_ok() const { return status_.is_ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    require_ok();
+    return value_;
+  }
+  T& value() & {
+    require_ok();
+    return value_;
+  }
+  T&& take() && {
+    require_ok();
+    return std::move(value_);
+  }
+
+  T value_or(T fallback) const& { return is_ok() ? value_ : fallback; }
+
+  Result<T> with_context(std::string_view context) && {
+    if (is_ok()) return std::move(*this);
+    return Result<T>(status_.with_context(context));
+  }
+
+ private:
+  void require_ok() const {
+    if (!status_.is_ok()) throw StatusError(status_);
+  }
+
+  T value_{};
+  Status status_;
+};
+
+// Convenience constructors mirroring absl: invalid_argument_error("...").
+Status invalid_argument_error(std::string message);
+Status corrupt_data_error(std::string message);
+Status io_error(std::string message);
+Status not_found_error(std::string message);
+Status timeout_error(std::string message);
+Status fault_injected_error(std::string message);
+Status internal_error(std::string message);
+
+}  // namespace stc

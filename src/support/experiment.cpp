@@ -1,10 +1,17 @@
 #include "support/experiment.h"
 
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
-#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 #include "support/check.h"
+#include "support/env.h"
+#include "support/faultpoint.h"
+#include "support/io.h"
 #include "support/json.h"
 #include "support/thread_pool.h"
 
@@ -12,10 +19,74 @@ namespace stc {
 
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+// Warns (once per job) on stderr when a running job overruns its deadline.
+// Jobs are cooperative — the watchdog cannot kill a stuck simulation, but it
+// makes a wedged sweep diagnosable instead of silent; the overrun is then
+// recorded as timed_out when the attempt finally returns.
+class DeadlineWatchdog {
+ public:
+  DeadlineWatchdog(double timeout_seconds, const std::vector<std::string>& names)
+      : timeout_(timeout_seconds),
+        names_(names),
+        start_(names.size(), Clock::time_point::min()),
+        warned_(names.size(), false),
+        thread_([this] { loop(); }) {}
+
+  ~DeadlineWatchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void begin(std::size_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    start_[index] = Clock::now();
+    warned_[index] = false;
+  }
+
+  void end(std::size_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    start_[index] = Clock::time_point::min();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!done_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(100));
+      const Clock::time_point now = Clock::now();
+      for (std::size_t i = 0; i < start_.size(); ++i) {
+        if (start_[i] == Clock::time_point::min() || warned_[i]) continue;
+        const double elapsed =
+            std::chrono::duration<double>(now - start_[i]).count();
+        if (elapsed > timeout_) {
+          warned_[i] = true;
+          std::fprintf(stderr,
+                       "watchdog: job '%s' is %.1fs past its %.3gs deadline\n",
+                       names_[i].c_str(), elapsed - timeout_, timeout_);
+        }
+      }
+    }
+  }
+
+  const double timeout_;
+  const std::vector<std::string>& names_;
+  std::vector<Clock::time_point> start_;
+  std::vector<bool> warned_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -29,12 +100,21 @@ void ExperimentResult::metric(std::string_view name, double value) {
   metrics_.emplace_back(std::string(name), value);
 }
 
-double ExperimentResult::metric(std::string_view name) const {
+Result<double> ExperimentResult::try_metric(std::string_view name) const {
   for (const auto& m : metrics_) {
     if (m.first == name) return m.second;
   }
-  STC_REQUIRE(false && "unknown metric");
-  return 0.0;
+  std::string have;
+  for (const auto& m : metrics_) {
+    if (!have.empty()) have += ", ";
+    have += m.first;
+  }
+  return not_found_error("metric '" + std::string(name) + "' not recorded (" +
+                         (have.empty() ? "no metrics" : "have: " + have) + ")");
+}
+
+double ExperimentResult::metric(std::string_view name) const {
+  return try_metric(name).value();  // throws StatusError when absent
 }
 
 bool ExperimentResult::has_metric(std::string_view name) const {
@@ -42,6 +122,18 @@ bool ExperimentResult::has_metric(std::string_view name) const {
     if (m.first == name) return true;
   }
   return false;
+}
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "unknown";
 }
 
 ExperimentRunner::ExperimentRunner(std::string bench_name)
@@ -72,7 +164,7 @@ void ExperimentRunner::record_phase(std::string_view phase, double seconds) {
 
 void ExperimentRunner::time_phase(std::string_view phase,
                                   const std::function<void()>& fn) {
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = Clock::now();
   fn();
   record_phase(phase, seconds_since(start));
 }
@@ -86,26 +178,105 @@ std::size_t ExperimentRunner::add(
   return jobs_.size() - 1;
 }
 
-std::size_t ExperimentRunner::threads_from_env() {
-  if (const char* env = std::getenv("STC_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
-  }
-  return 0;  // ThreadPool picks hardware concurrency
+void ExperimentRunner::set_max_retries(std::uint32_t retries) {
+  max_retries_ = retries;
+  retries_set_ = true;
+}
+
+void ExperimentRunner::set_job_timeout(double seconds) {
+  STC_REQUIRE(seconds >= 0.0);
+  job_timeout_ = seconds;
+  timeout_set_ = true;
+}
+
+Result<std::size_t> ExperimentRunner::threads_from_env() {
+  return env::threads();
 }
 
 void ExperimentRunner::run(std::size_t threads) {
   STC_REQUIRE(!ran_);
   ran_ = true;
-  if (threads == 0) threads = threads_from_env();
+  if (threads == 0) threads = threads_from_env().value();
+  if (!retries_set_) max_retries_ = env::job_retries().value();
+  if (!timeout_set_) job_timeout_ = env::job_timeout().value();
   results_.assign(jobs_.size(), ExperimentResult{});
+  outcomes_.assign(jobs_.size(), JobFailure{});
+  failures_.clear();
 
-  const auto start = std::chrono::steady_clock::now();
-  ThreadPool pool(threads);
-  threads_used_ = pool.thread_count() == 0 ? 1 : pool.thread_count();
-  pool.parallel_for(jobs_.size(),
-                    [this](std::size_t i) { results_[i] = jobs_[i].fn(); });
+  std::vector<std::string> job_names;
+  job_names.reserve(jobs_.size());
+  for (const Job& job : jobs_) job_names.push_back(job.name);
+  std::unique_ptr<DeadlineWatchdog> watchdog;
+  if (job_timeout_ > 0.0) {
+    watchdog = std::make_unique<DeadlineWatchdog>(job_timeout_, job_names);
+  }
+
+  // One grid cell: run the job, capturing any thrown error into the
+  // outcome instead of letting it reach the pool. Failed attempts retry up
+  // to max_retries_ times (transient faults); deadline overruns do not — a
+  // deterministic simulation that overran once will overrun again.
+  const auto run_job = [this, &watchdog](std::size_t i) {
+    JobFailure& outcome = outcomes_[i];
+    outcome.index = i;
+    outcome.name = jobs_[i].name;
+    const std::uint32_t max_attempts = 1 + max_retries_;
+    for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      outcome.attempts = attempt;
+      if (watchdog) watchdog->begin(i);
+      const auto start = Clock::now();
+      Status error;
+      ExperimentResult result;
+      try {
+        if (Status s = fault::fail_if("job.exec", "executing job"); !s.is_ok()) {
+          throw StatusError(s);
+        }
+        result = jobs_[i].fn();
+      } catch (const StatusError& e) {
+        error = e.status();
+      } catch (const std::exception& e) {
+        error = internal_error(std::string("unhandled exception: ") + e.what());
+      } catch (...) {
+        error = internal_error("unhandled non-exception throw");
+      }
+      const double elapsed = seconds_since(start);
+      if (watchdog) watchdog->end(i);
+      if (error.is_ok() && job_timeout_ > 0.0 && elapsed > job_timeout_) {
+        outcome.status = JobStatus::kTimedOut;
+        outcome.error =
+            timeout_error("ran past the " + json_number(job_timeout_) +
+                          "s deadline")
+                .with_context("job '" + jobs_[i].name + "'");
+        return;  // deadline overruns are not transient: no retry
+      }
+      if (error.is_ok()) {
+        results_[i] = std::move(result);
+        outcome.status = JobStatus::kOk;
+        outcome.error = Status::ok();
+        return;
+      }
+      outcome.status = JobStatus::kFailed;
+      outcome.error = error.with_context("job '" + jobs_[i].name + "'");
+    }
+  };
+
+  const auto start = Clock::now();
+  {
+    ThreadPool pool(threads);
+    threads_used_ = pool.thread_count() == 0 ? 1 : pool.thread_count();
+    pool.parallel_for(jobs_.size(), run_job);
+  }
+  watchdog.reset();
   record_phase("replay", seconds_since(start));
+
+  for (const JobFailure& outcome : outcomes_) {
+    if (outcome.status != JobStatus::kOk) failures_.push_back(outcome);
+  }
+  for (const JobFailure& failure : failures_) {
+    std::fprintf(stderr, "[%s] job '%s' %s after %u attempt(s): %s\n",
+                 bench_name_.c_str(), failure.name.c_str(),
+                 to_string(failure.status), failure.attempts,
+                 failure.error.to_string().c_str());
+  }
 }
 
 const ExperimentResult& ExperimentRunner::result(std::size_t index) const {
@@ -113,10 +284,41 @@ const ExperimentResult& ExperimentRunner::result(std::size_t index) const {
   return results_[index];
 }
 
+JobStatus ExperimentRunner::job_status(std::size_t index) const {
+  STC_REQUIRE(ran_ && index < outcomes_.size());
+  return outcomes_[index].status;
+}
+
+const std::vector<JobFailure>& ExperimentRunner::failures() const {
+  STC_REQUIRE(ran_);
+  return failures_;
+}
+
+bool ExperimentRunner::all_ok() const {
+  STC_REQUIRE(ran_);
+  return failures_.empty();
+}
+
+int ExperimentRunner::exit_code() const { return all_ok() ? 0 : 3; }
+
+double ExperimentRunner::metric_or(std::size_t index, std::string_view name,
+                                   double fallback) const {
+  STC_REQUIRE(ran_ && index < results_.size());
+  if (outcomes_[index].status != JobStatus::kOk) return fallback;
+  const Result<double> value = results_[index].try_metric(name);
+  return value.is_ok() ? value.value() : fallback;
+}
+
+double ExperimentRunner::metric_or(std::size_t index,
+                                   std::string_view name) const {
+  return metric_or(index, name, std::nan(""));
+}
+
 namespace {
 
 void write_results(JsonWriter& w,
                    const std::vector<ExperimentResult>& results,
+                   const std::vector<JobFailure>& outcomes,
                    const std::vector<std::string>& names,
                    const std::vector<std::vector<std::pair<std::string,
                                                            std::string>>>&
@@ -129,6 +331,12 @@ void write_results(JsonWriter& w,
       w.key("params").begin_object();
       for (const auto& p : params[i]) w.key(p.first).value(p.second);
       w.end_object();
+    }
+    // Successful cells keep the clean-run shape (no "status" key), so a
+    // degraded sweep's good cells stay byte-identical to a clean sweep's.
+    if (outcomes[i].status != JobStatus::kOk) {
+      w.key("status").value(to_string(outcomes[i].status));
+      w.key("error").value(outcomes[i].error.to_string());
     }
     w.key("metrics").begin_object();
     for (const auto& m : results[i].metrics()) w.key(m.first).value(m.second);
@@ -154,7 +362,7 @@ std::string ExperimentRunner::results_json() const {
     params.push_back(job.params);
   }
   JsonWriter w;
-  write_results(w, results_, names, params);
+  write_results(w, results_, outcomes_, names, params);
   return w.str();
 }
 
@@ -163,7 +371,7 @@ std::string ExperimentRunner::report_json() const {
   JsonWriter w;
   w.begin_object();
   w.key("bench").value(bench_name_);
-  w.key("schema_version").value(std::uint64_t{1});
+  w.key("schema_version").value(std::uint64_t{2});
   w.key("threads").value(static_cast<std::uint64_t>(threads_used_));
 
   w.key("env").begin_object();
@@ -208,6 +416,18 @@ std::string ExperimentRunner::report_json() const {
   for (const auto& c : totals.items()) w.key(c.first).value(c.second);
   w.end_object();
 
+  w.key("failures").begin_array();
+  for (const JobFailure& f : failures_) {
+    w.begin_object();
+    w.key("job").value(f.name);
+    w.key("index").value(static_cast<std::uint64_t>(f.index));
+    w.key("status").value(to_string(f.status));
+    w.key("attempts").value(std::uint64_t{f.attempts});
+    w.key("error").value(f.error.to_string());
+    w.end_object();
+  }
+  w.end_array();
+
   std::vector<std::string> names;
   std::vector<std::vector<std::pair<std::string, std::string>>> params;
   for (const Job& job : jobs_) {
@@ -215,25 +435,21 @@ std::string ExperimentRunner::report_json() const {
     params.push_back(job.params);
   }
   w.key("results");
-  write_results(w, results_, names, params);
+  write_results(w, results_, outcomes_, names, params);
   w.end_object();
   return w.str();
 }
 
-std::string ExperimentRunner::write_report() const {
-  std::string dir = ".";
-  if (const char* env = std::getenv("STC_BENCH_DIR")) dir = env;
-  const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
-  const std::string doc = report_json();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open bench report %s for writing\n",
-                 path.c_str());
-    STC_REQUIRE(f != nullptr && "cannot open bench report for writing");
+Result<std::string> ExperimentRunner::write_report() const {
+  Result<std::string> dir = env::bench_dir();
+  if (!dir.is_ok()) return dir.status().with_context("bench report");
+  const std::string path = dir.value() + "/BENCH_" + bench_name_ + ".json";
+  const std::string doc = report_json() + "\n";
+  if (Status s =
+          write_file_atomic(path, doc.data(), doc.size(), "report.write");
+      !s.is_ok()) {
+    return s.with_context("bench report '" + path + "'");
   }
-  std::fwrite(doc.data(), 1, doc.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
   return path;
 }
 

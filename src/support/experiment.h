@@ -8,6 +8,13 @@
 // the bench prints, the runner emits the full grid as BENCH_<name>.json:
 // per-job metrics and simulator counters, per-phase wall-clock timings
 // (setup / workload / replay) and replay throughput.
+//
+// Execution is fault-tolerant: a job that throws (StatusError or any
+// exception) or overruns its deadline does not abort the grid. The job is
+// retried up to STC_JOB_RETRIES times, then recorded as failed/timed_out in
+// the report's "failures" section; every other cell still runs and
+// serializes byte-identically to a clean run. The process exit code (via
+// exit_code()) reflects partial success.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/error.h"
 #include "support/stats.h"
 
 namespace stc {
@@ -26,7 +34,10 @@ namespace stc {
 class ExperimentResult {
  public:
   void metric(std::string_view name, double value);
-  double metric(std::string_view name) const;  // requires the metric to exist
+  // Throws StatusError (kNotFound, naming the metric) when absent — inside a
+  // runner job the error lands in the failure report instead of aborting.
+  double metric(std::string_view name) const;
+  Result<double> try_metric(std::string_view name) const;
   bool has_metric(std::string_view name) const;
 
   CounterSet& counters() { return counters_; }
@@ -38,6 +49,20 @@ class ExperimentResult {
  private:
   std::vector<std::pair<std::string, double>> metrics_;
   CounterSet counters_;
+};
+
+enum class JobStatus { kOk, kFailed, kTimedOut };
+const char* to_string(JobStatus status);
+
+// One entry of the report's "failures" section. Error messages are
+// deterministic (no wall-clock content), so a run with the same injected
+// faults serializes byte-identically.
+struct JobFailure {
+  std::size_t index = 0;       // declaration-order job index
+  std::string name;            // job name
+  JobStatus status = JobStatus::kFailed;
+  std::uint32_t attempts = 0;  // total attempts made (1 + retries used)
+  Status error;                // last attempt's error, job context included
 };
 
 class ExperimentRunner {
@@ -68,14 +93,23 @@ class ExperimentRunner {
     return add(std::move(job_name), {}, std::move(fn));
   }
 
+  // Fault-tolerance knobs, defaulting from STC_JOB_RETRIES/STC_JOB_TIMEOUT
+  // at run() time; setters override (tests, embedding tools).
+  void set_max_retries(std::uint32_t retries);
+  void set_job_timeout(double seconds);  // 0 disables the deadline
+
   // Executes all jobs across `threads` workers (0 = STC_THREADS, falling back
   // to hardware concurrency) and records the "replay" phase time plus
   // blocks/s and instructions/s throughput from the jobs' "blocks" /
-  // "instructions" counters. May be called once per runner.
+  // "instructions" counters. May be called once per runner. Per-job faults
+  // are captured (see failures()); a malformed environment knob throws
+  // StatusError (benches validate knobs at startup, so this is for library
+  // misuse).
   void run(std::size_t threads = 0);
 
-  // Thread count requested via STC_THREADS (0 when unset = hardware pick).
-  static std::size_t threads_from_env();
+  // Thread count requested via STC_THREADS (0 when unset = hardware pick);
+  // structured error on a malformed value.
+  static Result<std::size_t> threads_from_env();
 
   std::size_t num_jobs() const { return jobs_.size(); }
   const std::string& job_name(std::size_t index) const {
@@ -84,17 +118,35 @@ class ExperimentRunner {
   const ExperimentResult& result(std::size_t index) const;
   const std::vector<ExperimentResult>& results() const { return results_; }
 
+  // Job outcomes. failures() is ordered by job index; empty after a clean
+  // run. exit_code() is 0 when clean, 3 when any job failed — bench mains
+  // return it so sweeps distinguish "numbers are partial" from success.
+  JobStatus job_status(std::size_t index) const;
+  const std::vector<JobFailure>& failures() const;
+  bool all_ok() const;
+  int exit_code() const;
+
+  // result(index).metric(name) for render paths that must survive failed
+  // cells: the fallback (default quiet NaN) is returned for a failed job or
+  // a missing metric instead of throwing.
+  double metric_or(std::size_t index, std::string_view name) const;
+  double metric_or(std::size_t index, std::string_view name,
+                   double fallback) const;
+
   // The grid results alone — deterministic, byte-identical across thread
-  // counts and runs (no timings).
+  // counts and runs (no timings). Failed cells carry status/error instead of
+  // metrics; successful cells serialize exactly as in a clean run.
   std::string results_json() const;
 
   // The full report: bench name, schema version, env, phase seconds,
-  // throughput, and the results grid.
+  // throughput, totals, failures, and the results grid.
   std::string report_json() const;
 
-  // Writes report_json() to <dir>/BENCH_<name>.json where <dir> is
-  // STC_BENCH_DIR or the working directory; returns the path written.
-  std::string write_report() const;
+  // Writes report_json() atomically to <dir>/BENCH_<name>.json where <dir>
+  // is STC_BENCH_DIR or the working directory; returns the path written or
+  // a structured error (bad dir, failed write, injected "report.write.*"
+  // fault) — never a torn file.
+  Result<std::string> write_report() const;
 
  private:
   struct Job {
@@ -117,6 +169,12 @@ class ExperimentRunner {
   std::vector<std::pair<std::string, double>> phases_;
   std::vector<Job> jobs_;
   std::vector<ExperimentResult> results_;
+  std::vector<JobFailure> outcomes_;  // per job; status kOk when clean
+  std::vector<JobFailure> failures_;  // the non-ok subset, index order
+  std::uint32_t max_retries_ = 0;
+  bool retries_set_ = false;
+  double job_timeout_ = 0.0;
+  bool timeout_set_ = false;
   std::size_t threads_used_ = 0;
   bool ran_ = false;
 };

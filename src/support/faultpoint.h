@@ -1,0 +1,59 @@
+// Deterministic fault injection, always compiled in.
+//
+// Code on fallible paths declares named fault points:
+//
+//   if (Status s = fault::fail_if("trace.load.chunk", "reading chunk"); !s.is_ok())
+//     return s;
+//
+// In normal runs every point is a counter bump and a branch — no allocation,
+// no syscalls. Faults are armed either
+//   - explicitly:    STC_FAULT=trace.load.chunk:3   (fire on the 3rd hit;
+//                    comma-separate multiple specs; ":1" may be omitted), or
+//   - statistically: STC_FAULT_RATE=0.01 STC_FAULT_SEED=7, where each hit
+//     fires iff hash(seed, point, hit#) < rate — fully deterministic, so a
+//     failing run replays exactly.
+//
+// Point names are dotted lowercase paths, site-first: trace.load.chunk,
+// trace.save.rename, report.write.open, job.exec. Tests arm points
+// programmatically with arm()/reset() (see tests/support/faultpoint_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace stc::fault {
+
+// True when this hit of `point` should fail. Counts hits per point name
+// (1-based) whether or not any fault is armed. Thread-safe.
+bool fire(std::string_view point);
+
+// fire() wrapped into the common pattern: ok() normally, a kFaultInjected
+// Status mentioning `point` and `what` when the point fires.
+Status fail_if(std::string_view point, std::string_view what);
+
+// Arms `point` to fire on its `nth` hit from now (1 = next hit). Counts and
+// arms are process-global; tests should reset() around use.
+void arm(std::string_view point, std::uint64_t nth = 1);
+
+// Arms every point to fire with probability `rate` per hit, keyed by `seed`.
+void arm_probabilistic(double rate, std::uint64_t seed);
+
+// Parses a STC_FAULT spec ("a.b:2,c.d") and arms it. Structured error on
+// malformed specs (bad count, empty point name).
+Status arm_from_spec(std::string_view spec);
+
+// Syntax-checks a spec without arming anything (env validation).
+Status validate_spec(std::string_view spec);
+
+// Clears all armed faults and hit counters. Does NOT re-read the
+// environment; env arming happens once at first fire() unless reset.
+void reset();
+
+// Hits recorded for `point` so far (after reset: 0).
+std::uint64_t hits(std::string_view point);
+
+}  // namespace stc::fault

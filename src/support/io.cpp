@@ -1,0 +1,57 @@
+#include "support/io.h"
+
+#include <cstdio>
+
+#include "support/faultpoint.h"
+
+namespace stc {
+
+Status write_file_atomic(const std::string& path, const void* data,
+                         std::size_t size, std::string_view fault_prefix) {
+  const std::string prefix(fault_prefix);
+  const std::string tmp = path + ".tmp";
+  Status status = fault::fail_if(prefix + ".open", "opening " + tmp);
+  std::FILE* f = nullptr;
+  if (status.is_ok()) {
+    f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) status = io_error("cannot open '" + tmp + "' for writing");
+  }
+  if (status.is_ok()) {
+    status = fault::fail_if(prefix + ".write", "writing " + tmp);
+    if (status.is_ok() && size > 0 &&
+        std::fwrite(data, 1, size, f) != size) {
+      status = io_error("short write to '" + tmp + "'");
+    }
+  }
+  if (f != nullptr) {
+    // fclose flushes; a full disk surfaces here as a failed close.
+    if (std::fclose(f) != 0 && status.is_ok()) {
+      status = io_error("cannot flush '" + tmp + "'");
+    }
+  }
+  if (status.is_ok()) {
+    status = fault::fail_if(prefix + ".rename", "renaming " + tmp);
+    if (status.is_ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+      status = io_error("cannot rename '" + tmp + "' to '" + path + "'");
+    }
+  }
+  if (!status.is_ok()) std::remove(tmp.c_str());
+  return status;
+}
+
+Result<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return not_found_error("cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return io_error("read failed on '" + path + "'");
+  return bytes;
+}
+
+}  // namespace stc

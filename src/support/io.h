@@ -1,0 +1,28 @@
+// Crash-safe file I/O for reports and trace caches.
+//
+// write_file_atomic writes to <path>.tmp and renames over <path>, so readers
+// never observe a torn file: either the old content survives or the new
+// content is complete. Each step is a fault point (<prefix>.open,
+// <prefix>.write, <prefix>.rename) so tests and STC_FAULT can prove the
+// no-torn-file property; on any failure the temp file is removed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace stc {
+
+// Atomically replaces `path` with `size` bytes at `data`. `fault_prefix`
+// names the injection points (e.g. "report.write" -> report.write.open ...).
+Status write_file_atomic(const std::string& path, const void* data,
+                         std::size_t size, std::string_view fault_prefix);
+
+// Reads the whole file; kNotFound when it cannot be opened, kIoError on a
+// short or failed read.
+Result<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+}  // namespace stc

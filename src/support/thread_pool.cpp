@@ -34,9 +34,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !batch_error_) batch_error_ = error;
       --in_flight_;
       if (in_flight_ == 0 && tasks_.empty()) batch_done_.notify_all();
     }
@@ -60,6 +66,12 @@ void ThreadPool::parallel_for(std::size_t n,
   work_available_.notify_all();
   std::unique_lock<std::mutex> lock(mutex_);
   batch_done_.wait(lock, [this] { return in_flight_ == 0 && tasks_.empty(); });
+  if (batch_error_) {
+    std::exception_ptr error = batch_error_;
+    batch_error_ = nullptr;  // the pool stays usable for the next batch
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace stc

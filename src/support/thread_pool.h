@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -29,8 +30,12 @@ class ThreadPool {
   std::size_t thread_count() const { return workers_.size(); }
 
   // Runs body(i) for i in [0, n), distributing iterations across workers and
-  // blocking until all complete. Exceptions in body() terminate (tasks are
-  // expected to be noexcept in spirit; simulation code reports via results).
+  // blocking until all complete. A throwing iteration does not wedge the
+  // batch: every remaining task still runs (the ExperimentRunner relies on
+  // sibling jobs completing), workers survive for the next batch, and the
+  // first exception (in completion order) is rethrown on the calling thread
+  // after the batch drains. Inline mode (no workers) lets the exception
+  // propagate immediately instead, preserving plain-loop semantics.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
@@ -43,6 +48,7 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr batch_error_;  // first failure of the current batch
 };
 
 }  // namespace stc

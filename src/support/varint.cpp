@@ -34,4 +34,29 @@ std::int64_t get_svarint(const std::uint8_t* data, std::size_t size,
   return zigzag_decode(get_uvarint(data, size, pos));
 }
 
+bool try_get_uvarint(const std::uint8_t* data, std::size_t size,
+                     std::size_t& pos, std::uint64_t& out) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= size) return false;  // truncated
+    const std::uint8_t byte = data[pos++];
+    if (shift == 63 && (byte & 0xfe) != 0) return false;  // > 64 bits
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) return false;  // continuation past 10 bytes
+  }
+  out = value;
+  return true;
+}
+
+bool try_get_svarint(const std::uint8_t* data, std::size_t size,
+                     std::size_t& pos, std::int64_t& out) {
+  std::uint64_t raw = 0;
+  if (!try_get_uvarint(data, size, pos, raw)) return false;
+  out = zigzag_decode(raw);
+  return true;
+}
+
 }  // namespace stc

@@ -19,12 +19,22 @@ void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t value);
 void put_svarint(std::vector<std::uint8_t>& out, std::int64_t value);
 
 // Reads an unsigned varint starting at `pos`; advances `pos`.
+// Truncation/overflow is a precondition violation (aborts) — use only on
+// buffers this process encoded. For untrusted bytes use try_get_uvarint.
 std::uint64_t get_uvarint(const std::uint8_t* data, std::size_t size,
                           std::size_t& pos);
 
 // Reads a zig-zag encoded signed varint starting at `pos`; advances `pos`.
 std::int64_t get_svarint(const std::uint8_t* data, std::size_t size,
                          std::size_t& pos);
+
+// Non-aborting decode for untrusted input (trace files). Returns false —
+// leaving `pos` and `out` unspecified — on a varint that is truncated, runs
+// past 10 bytes, or carries bits beyond the 64th.
+bool try_get_uvarint(const std::uint8_t* data, std::size_t size,
+                     std::size_t& pos, std::uint64_t& out);
+bool try_get_svarint(const std::uint8_t* data, std::size_t size,
+                     std::size_t& pos, std::int64_t& out);
 
 inline std::uint64_t zigzag_encode(std::int64_t v) {
   return (static_cast<std::uint64_t>(v) << 1) ^

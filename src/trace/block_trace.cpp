@@ -1,31 +1,57 @@
 #include "trace/block_trace.h"
 
-#include <cstdio>
-#include <memory>
+#include <string>
 
 #include "support/check.h"
+#include "support/crc32.h"
+#include "support/faultpoint.h"
+#include "support/io.h"
 #include "support/varint.h"
 
 namespace stc::trace {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x53544331;  // "STC1"
+constexpr std::uint64_t kMagic = 0x53544331;  // "STC1"
+constexpr std::uint64_t kVersion = 2;
+constexpr std::size_t kHeaderBytes = 4 * 8;      // magic, version, events, chunks
+constexpr std::size_t kChunkHeaderBytes = 3 * 8;  // size, events, crc32
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-void write_u64(std::FILE* f, std::uint64_t v) {
-  STC_CHECK(std::fwrite(&v, sizeof v, 1, f) == 1);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-std::uint64_t read_u64(std::FILE* f) {
+std::uint64_t get_u64(const std::uint8_t* data) {
   std::uint64_t v = 0;
-  STC_CHECK_MSG(std::fread(&v, sizeof v, 1, f) == 1, "truncated trace file");
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[i]) << (8 * i);
   return v;
+}
+
+// Decodes one chunk's delta stream, validating every varint and the running
+// block id; returns the number of events or a corrupt-data error. On success
+// *final_id is the chunk's last decoded block id (the encoder delta base a
+// later append must continue from).
+Result<std::uint64_t> validate_chunk(const std::vector<std::uint8_t>& chunk,
+                                     std::int64_t* final_id) {
+  std::size_t pos = 0;
+  std::int64_t last_id = 0;
+  std::uint64_t events = 0;
+  while (pos < chunk.size()) {
+    std::int64_t delta = 0;
+    if (!try_get_svarint(chunk.data(), chunk.size(), pos, delta)) {
+      return corrupt_data_error("malformed varint at chunk offset " +
+                                std::to_string(pos));
+    }
+    last_id += delta;
+    if (last_id < 0 ||
+        last_id >= static_cast<std::int64_t>(cfg::kInvalidBlock)) {
+      return corrupt_data_error("block id " + std::to_string(last_id) +
+                                " out of range at chunk offset " +
+                                std::to_string(pos));
+    }
+    ++events;
+  }
+  *final_id = last_id;
+  return events;
 }
 
 }  // namespace
@@ -75,38 +101,132 @@ cfg::BlockId BlockTrace::Cursor::next() {
   return static_cast<cfg::BlockId>(last_id_);
 }
 
-void BlockTrace::save(const std::string& path) const {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  STC_REQUIRE_MSG(f != nullptr, "cannot open trace file for writing");
-  write_u64(f.get(), kMagic);
-  write_u64(f.get(), num_events_);
-  write_u64(f.get(), chunks_.size());
+std::vector<std::uint8_t> BlockTrace::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + chunks_.size() * kChunkHeaderBytes + byte_size());
+  put_u64(out, kMagic);
+  put_u64(out, kVersion);
+  put_u64(out, num_events_);
+  put_u64(out, chunks_.size());
+  // Chunk event counts are recomputed from the payload: each chunk restarts
+  // its delta base, so the count is the number of varints it holds.
   for (const auto& chunk : chunks_) {
-    write_u64(f.get(), chunk.size());
-    if (!chunk.empty()) {
-      STC_CHECK(std::fwrite(chunk.data(), 1, chunk.size(), f.get()) ==
-                chunk.size());
+    std::size_t pos = 0;
+    std::uint64_t events = 0;
+    std::int64_t delta = 0;
+    while (pos < chunk.size()) {
+      const bool ok = try_get_svarint(chunk.data(), chunk.size(), pos, delta);
+      STC_CHECK_MSG(ok, "in-memory trace chunk is malformed");
+      ++events;
     }
+    put_u64(out, chunk.size());
+    put_u64(out, events);
+    put_u64(out, crc32(chunk.data(), chunk.size()));
+    out.insert(out.end(), chunk.begin(), chunk.end());
   }
+  return out;
 }
 
-BlockTrace BlockTrace::load(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  STC_REQUIRE_MSG(f != nullptr, "cannot open trace file for reading");
-  STC_REQUIRE_MSG(read_u64(f.get()) == kMagic, "bad trace file magic");
+Result<BlockTrace> BlockTrace::deserialize(const std::uint8_t* data,
+                                           std::size_t size) {
+  if (Status s = fault::fail_if("trace.load.header", "reading header");
+      !s.is_ok()) {
+    return s;
+  }
+  if (size < kHeaderBytes) {
+    return corrupt_data_error("file too small (" + std::to_string(size) +
+                              " bytes) for a trace header");
+  }
+  if (get_u64(data) != kMagic) {
+    return corrupt_data_error("bad magic (not a trace file)");
+  }
+  const std::uint64_t version = get_u64(data + 8);
+  if (version != kVersion) {
+    return corrupt_data_error("unsupported trace version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(kVersion) + ")");
+  }
   BlockTrace trace;
-  trace.num_events_ = read_u64(f.get());
-  const std::uint64_t num_chunks = read_u64(f.get());
-  trace.chunks_.resize(num_chunks);
-  for (auto& chunk : trace.chunks_) {
-    chunk.resize(read_u64(f.get()));
-    if (!chunk.empty()) {
-      STC_CHECK_MSG(std::fread(chunk.data(), 1, chunk.size(), f.get()) ==
-                        chunk.size(),
-                    "truncated trace file");
+  trace.num_events_ = get_u64(data + 16);
+  const std::uint64_t num_chunks = get_u64(data + 24);
+  if (num_chunks > (size - kHeaderBytes) / kChunkHeaderBytes) {
+    return corrupt_data_error("chunk count " + std::to_string(num_chunks) +
+                              " exceeds file size");
+  }
+  std::size_t pos = kHeaderBytes;
+  std::uint64_t total_events = 0;
+  trace.chunks_.reserve(num_chunks);
+  for (std::uint64_t i = 0; i < num_chunks; ++i) {
+    const std::string where = "chunk " + std::to_string(i);
+    if (Status s = fault::fail_if("trace.load.chunk", "reading " + where);
+        !s.is_ok()) {
+      return s;
     }
+    if (size - pos < kChunkHeaderBytes) {
+      return corrupt_data_error(where + ": truncated chunk header");
+    }
+    const std::uint64_t payload_size = get_u64(data + pos);
+    const std::uint64_t stated_events = get_u64(data + pos + 8);
+    const std::uint64_t stated_crc = get_u64(data + pos + 16);
+    pos += kChunkHeaderBytes;
+    if (payload_size > size - pos) {
+      return corrupt_data_error(where + ": payload of " +
+                                std::to_string(payload_size) +
+                                " bytes runs past end of file");
+    }
+    if (stated_crc > 0xFFFFFFFFull) {
+      return corrupt_data_error(where + ": crc field out of range");
+    }
+    std::vector<std::uint8_t> chunk(data + pos, data + pos + payload_size);
+    pos += payload_size;
+    const std::uint32_t actual_crc = crc32(chunk.data(), chunk.size());
+    if (actual_crc != static_cast<std::uint32_t>(stated_crc)) {
+      return corrupt_data_error(where + ": crc mismatch (stored " +
+                                std::to_string(stated_crc) + ", computed " +
+                                std::to_string(actual_crc) + ")");
+    }
+    std::int64_t final_id = 0;
+    Result<std::uint64_t> decoded = validate_chunk(chunk, &final_id);
+    if (!decoded.is_ok()) {
+      return decoded.status().with_context(where);
+    }
+    trace.last_id_ = final_id;  // appends continue the last chunk's base
+    if (decoded.value() != stated_events) {
+      return corrupt_data_error(
+          where + ": decodes to " + std::to_string(decoded.value()) +
+          " events but header says " + std::to_string(stated_events));
+    }
+    total_events += decoded.value();
+    trace.chunks_.push_back(std::move(chunk));
+  }
+  if (pos != size) {
+    return corrupt_data_error(std::to_string(size - pos) +
+                              " trailing bytes after last chunk");
+  }
+  if (total_events != trace.num_events_) {
+    return corrupt_data_error("chunks hold " + std::to_string(total_events) +
+                              " events but header says " +
+                              std::to_string(trace.num_events_));
   }
   return trace;
+}
+
+Status BlockTrace::save(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = serialize();
+  Status s = write_file_atomic(path, bytes.data(), bytes.size(), "trace.save");
+  return s.is_ok() ? s : s.with_context("trace '" + path + "'");
+}
+
+Result<BlockTrace> BlockTrace::load(const std::string& path) {
+  const std::string context = "trace '" + path + "'";
+  if (Status s = fault::fail_if("trace.load.open", "opening " + path);
+      !s.is_ok()) {
+    return s.with_context(context);
+  }
+  Result<std::vector<std::uint8_t>> bytes = read_file(path);
+  if (!bytes.is_ok()) return bytes.status().with_context(context);
+  return deserialize(bytes.value().data(), bytes.value().size())
+      .with_context(context);
 }
 
 }  // namespace stc::trace

@@ -7,6 +7,14 @@
 //
 // Storage is chunked, delta-varint coded: consecutive block ids are close
 // together (execution is highly sequential), so most events cost 1-2 bytes.
+//
+// The on-disk format (version 2) is hardened against corruption: every
+// header field is bounds-checked against the file size, each chunk carries a
+// CRC32 and its event count, and every varint is decoded with overflow and
+// truncation checks before the trace is accepted. load()/deserialize()
+// return a structured error for any malformed input — a corrupt cache file
+// can never abort the process or replay a silently wrong stream (the
+// `stc_fuzz --trace-bytes` mode flips every byte to prove it).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +24,7 @@
 
 #include "cfg/exec.h"
 #include "cfg/types.h"
+#include "support/error.h"
 
 namespace stc::trace {
 
@@ -32,9 +41,16 @@ class BlockTrace {
   void for_each(const std::function<void(cfg::BlockId)>& fn) const;
 
   // Binary (de)serialization, for caching workload runs on disk.
-  // Format: magic, version, event count, chunk payloads.
-  void save(const std::string& path) const;
-  static BlockTrace load(const std::string& path);
+  // Format: magic, version, event count, then per chunk
+  // {payload size, event count, crc32, payload}; all integers little-endian
+  // u64. serialize/deserialize work on in-memory buffers (the fuzz harness);
+  // save writes atomically (temp file + rename, fault prefix "trace.save"),
+  // load reads and validates end to end (fault prefix "trace.load").
+  std::vector<std::uint8_t> serialize() const;
+  static Result<BlockTrace> deserialize(const std::uint8_t* data,
+                                        std::size_t size);
+  Status save(const std::string& path) const;
+  static Result<BlockTrace> load(const std::string& path);
 
   // Forward cursor for pull-style consumers (the simulators).
   class Cursor {

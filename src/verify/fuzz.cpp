@@ -573,8 +573,9 @@ FuzzCase shrink_case(const FuzzCase& c, Injection injection) {
     // Simplify surviving blocks: one instruction, plainest kind, no flags.
     for (std::size_t r = 0; r < cur.routines.size(); ++r) {
       for (std::size_t b = 0; b < cur.routines[r].blocks.size(); ++b) {
-        FuzzBlock& block = cur.routines[r].blocks[b];
-        if (block.insns > 1) {
+        // No reference into cur here: accepting a candidate reassigns cur
+        // and would leave it dangling.
+        if (cur.routines[r].blocks[b].insns > 1) {
           FuzzCase candidate = cur;
           candidate.routines[r].blocks[b].insns = 1;
           if (fails(candidate)) {
@@ -582,7 +583,7 @@ FuzzCase shrink_case(const FuzzCase& c, Injection injection) {
             changed = true;
           }
         }
-        if (block.kind != BlockKind::kFallThrough) {
+        if (cur.routines[r].blocks[b].kind != BlockKind::kFallThrough) {
           FuzzCase candidate = cur;
           candidate.routines[r].blocks[b].kind = BlockKind::kFallThrough;
           if (fails(candidate)) {

@@ -1,0 +1,196 @@
+#include "support/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "support/error.h"
+
+namespace stc::env {
+namespace {
+
+// Sets one environment variable for the test's scope, restoring the previous
+// value (or unsetting) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// Asserts the Result is an invalid-argument error naming knob and value.
+template <typename T>
+void expect_knob_error(const Result<T>& r, const char* knob,
+                       const char* value) {
+  ASSERT_FALSE(r.is_ok()) << knob << "='" << value << "' accepted";
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find(knob), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find(value), std::string::npos)
+      << r.status().message();
+}
+
+TEST(EnvTest, ThreadsDefaultsToZeroMeaningHardware) {
+  ScopedEnv guard("STC_THREADS", nullptr);
+  EXPECT_EQ(threads().value(), 0u);
+}
+
+TEST(EnvTest, ThreadsParsesAndBounds) {
+  {
+    ScopedEnv guard("STC_THREADS", "16");
+    EXPECT_EQ(threads().value(), 16u);
+  }
+  for (const char* bad : {"all", "0", "4097", "-2", "3x", ""}) {
+    ScopedEnv guard("STC_THREADS", bad);
+    expect_knob_error(threads(), "STC_THREADS", bad);
+  }
+}
+
+TEST(EnvTest, ScaleFactorStrictlyPositiveFinite) {
+  {
+    ScopedEnv guard("STC_SF", nullptr);
+    EXPECT_DOUBLE_EQ(scale_factor().value(), 0.002);
+  }
+  {
+    ScopedEnv guard("STC_SF", "0.01");
+    EXPECT_DOUBLE_EQ(scale_factor().value(), 0.01);
+  }
+  // The historic failure mode: garbage parsed as 0 and silently ran a
+  // degenerate experiment. Now a structured error.
+  for (const char* bad : {"garbage", "0", "-1", "inf", "nan", ""}) {
+    ScopedEnv guard("STC_SF", bad);
+    expect_knob_error(scale_factor(), "STC_SF", bad);
+  }
+}
+
+TEST(EnvTest, LineBytesPowerOfTwoInRange) {
+  {
+    ScopedEnv guard("STC_LINE", "64");
+    EXPECT_EQ(line_bytes().value(), 64u);
+  }
+  for (const char* bad : {"48", "4", "2048", "0", "words"}) {
+    ScopedEnv guard("STC_LINE", bad);
+    expect_knob_error(line_bytes(), "STC_LINE", bad);
+  }
+}
+
+TEST(EnvTest, BenchDirMustExist) {
+  {
+    ScopedEnv guard("STC_BENCH_DIR", nullptr);
+    EXPECT_EQ(bench_dir().value(), ".");
+  }
+  {
+    ScopedEnv guard("STC_BENCH_DIR", ::testing::TempDir().c_str());
+    EXPECT_TRUE(bench_dir().is_ok());
+  }
+  {
+    ScopedEnv guard("STC_BENCH_DIR", "/nonexistent/bench/dir");
+    expect_knob_error(bench_dir(), "STC_BENCH_DIR", "/nonexistent/bench/dir");
+  }
+}
+
+TEST(EnvTest, VerifyIsStrictlyBoolean) {
+  {
+    ScopedEnv guard("STC_VERIFY", nullptr);
+    EXPECT_FALSE(verify().value());
+  }
+  {
+    ScopedEnv guard("STC_VERIFY", "1");
+    EXPECT_TRUE(verify().value());
+  }
+  {
+    ScopedEnv guard("STC_VERIFY", "0");
+    EXPECT_FALSE(verify().value());
+  }
+  // "yes" used to be treated as truthy; now it is a refusal to guess.
+  for (const char* bad : {"yes", "true", "2"}) {
+    ScopedEnv guard("STC_VERIFY", bad);
+    expect_knob_error(verify(), "STC_VERIFY", bad);
+  }
+}
+
+TEST(EnvTest, BpredNamesTheAcceptedSet) {
+  {
+    ScopedEnv guard("STC_BPRED", "gshare");
+    EXPECT_EQ(bpred().value(), "gshare");
+  }
+  ScopedEnv guard("STC_BPRED", "tage");
+  const auto r = bpred();
+  expect_knob_error(r, "STC_BPRED", "tage");
+  EXPECT_NE(r.status().message().find("perfect|always|bimodal|gshare|local"),
+            std::string::npos);
+}
+
+TEST(EnvTest, FtqDepthBounded) {
+  {
+    ScopedEnv guard("STC_FTQ_DEPTH", "0");
+    EXPECT_EQ(ftq_depth().value(), 0u);
+  }
+  ScopedEnv guard("STC_FTQ_DEPTH", "1025");
+  expect_knob_error(ftq_depth(), "STC_FTQ_DEPTH", "1025");
+}
+
+TEST(EnvTest, JobTimeoutNonNegativeSeconds) {
+  {
+    ScopedEnv guard("STC_JOB_TIMEOUT", "2.5");
+    EXPECT_DOUBLE_EQ(job_timeout().value(), 2.5);
+  }
+  for (const char* bad : {"-1", "soon"}) {
+    ScopedEnv guard("STC_JOB_TIMEOUT", bad);
+    expect_knob_error(job_timeout(), "STC_JOB_TIMEOUT", bad);
+  }
+}
+
+TEST(EnvTest, JobRetriesBounded) {
+  {
+    ScopedEnv guard("STC_JOB_RETRIES", "0");
+    EXPECT_EQ(job_retries().value(), 0u);
+  }
+  ScopedEnv guard("STC_JOB_RETRIES", "17");
+  expect_knob_error(job_retries(), "STC_JOB_RETRIES", "17");
+}
+
+TEST(EnvTest, ValidateAllReportsFirstBadKnob) {
+  ScopedEnv guard("STC_THREADS", "many");
+  const Status s = validate_all();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("STC_THREADS"), std::string::npos);
+}
+
+TEST(EnvTest, ValidateAllChecksFaultSpecSyntax) {
+  ScopedEnv guard("STC_FAULT", "bad.spec:");
+  const Status s = validate_all();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("STC_FAULT"), std::string::npos);
+}
+
+TEST(EnvTest, ValidateAllCleanEnvironmentIsOk) {
+  ScopedEnv t("STC_THREADS", nullptr);
+  ScopedEnv sf("STC_SF", nullptr);
+  ScopedEnv fault("STC_FAULT", nullptr);
+  EXPECT_TRUE(validate_all().is_ok());
+}
+
+}  // namespace
+}  // namespace stc::env

@@ -1,0 +1,115 @@
+#include "support/error.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_TRUE(Status::ok().is_ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(invalid_argument_error("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_data_error("x").code(), ErrorCode::kCorruptData);
+  EXPECT_EQ(io_error("x").code(), ErrorCode::kIoError);
+  EXPECT_EQ(not_found_error("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(timeout_error("x").code(), ErrorCode::kTimeout);
+  EXPECT_EQ(fault_injected_error("x").code(), ErrorCode::kFaultInjected);
+  EXPECT_EQ(internal_error("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(io_error("disk on fire").message(), "disk on fire");
+}
+
+TEST(StatusTest, ContextChainsOutsideIn) {
+  const Status s = corrupt_data_error("crc mismatch")
+                       .with_context("chunk 3")
+                       .with_context("trace 'runs/test.trc'");
+  EXPECT_EQ(s.message(), "trace 'runs/test.trc': chunk 3: crc mismatch");
+  EXPECT_EQ(s.to_string(),
+            "corrupt-data: trace 'runs/test.trc': chunk 3: crc mismatch");
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+}
+
+TEST(StatusTest, ContextOnOkIsIdentity) {
+  EXPECT_TRUE(Status::ok().with_context("ignored").is_ok());
+  EXPECT_EQ(Status::ok().with_context("ignored").message(), "");
+}
+
+TEST(StatusErrorTest, CarriesStatusAndWhat) {
+  const Status s = timeout_error("ran past the 2s deadline");
+  try {
+    throw StatusError(s);
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), ErrorCode::kTimeout);
+    EXPECT_EQ(std::string(e.what()), s.to_string());
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(not_found_error("no such metric"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, ValueOnErrorThrowsStatusError) {
+  Result<int> r(io_error("boom"));
+  EXPECT_THROW(r.value(), StatusError);
+  try {
+    (void)r.value();
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), ErrorCode::kIoError);
+  }
+}
+
+TEST(ResultTest, TakeMovesTheValueOut) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  const std::vector<int> v = std::move(r).take();
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ResultTest, WithContextWrapsError) {
+  Result<int> r = Result<int>(corrupt_data_error("bad varint"))
+                      .with_context("chunk 0");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().message(), "chunk 0: bad varint");
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  // Result must hold move-only payloads (BlockTrace, file buffers).
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*std::move(r).take(), 9);
+}
+
+TEST(ErrorCodeTest, ToStringIsStable) {
+  // These strings appear in BENCH_*.json failure entries — they are schema.
+  EXPECT_STREQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(to_string(ErrorCode::kInvalidArgument), "invalid-argument");
+  EXPECT_STREQ(to_string(ErrorCode::kCorruptData), "corrupt-data");
+  EXPECT_STREQ(to_string(ErrorCode::kIoError), "io-error");
+  EXPECT_STREQ(to_string(ErrorCode::kNotFound), "not-found");
+  EXPECT_STREQ(to_string(ErrorCode::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(ErrorCode::kFaultInjected), "fault-injected");
+  EXPECT_STREQ(to_string(ErrorCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,114 @@
+#include "support/faultpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.h"
+
+namespace stc::fault {
+namespace {
+
+// Every test owns the process-global registry for its duration.
+class FaultPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(FaultPointTest, UnarmedNeverFires) {
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(fire("test.unarmed"));
+  EXPECT_EQ(hits("test.unarmed"), 100u);
+}
+
+TEST_F(FaultPointTest, ArmFiresOnNextHitOnly) {
+  arm("test.point");
+  EXPECT_FALSE(fire("test.other"));  // different point untouched
+  EXPECT_TRUE(fire("test.point"));
+  // One-shot: the armed entry is consumed, so a retry succeeds.
+  EXPECT_FALSE(fire("test.point"));
+  EXPECT_FALSE(fire("test.point"));
+}
+
+TEST_F(FaultPointTest, ArmNthCountsFromNow) {
+  EXPECT_FALSE(fire("test.nth"));  // hit 1, before arming
+  arm("test.nth", 3);
+  EXPECT_FALSE(fire("test.nth"));  // 1st hit after arming
+  EXPECT_FALSE(fire("test.nth"));  // 2nd
+  EXPECT_TRUE(fire("test.nth"));   // 3rd fires
+  EXPECT_FALSE(fire("test.nth"));
+}
+
+TEST_F(FaultPointTest, FailIfBuildsStatusNamingThePoint) {
+  arm("test.fail");
+  const Status s = fail_if("test.fail", "writing the report");
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kFaultInjected);
+  EXPECT_NE(s.message().find("test.fail"), std::string::npos);
+  EXPECT_NE(s.message().find("writing the report"), std::string::npos);
+  EXPECT_TRUE(fail_if("test.fail", "retry").is_ok());
+}
+
+TEST_F(FaultPointTest, SpecParsesPointAndCount) {
+  ASSERT_TRUE(arm_from_spec("test.spec:2").is_ok());
+  EXPECT_FALSE(fire("test.spec"));
+  EXPECT_TRUE(fire("test.spec"));
+}
+
+TEST_F(FaultPointTest, SpecCountDefaultsToOne) {
+  ASSERT_TRUE(arm_from_spec("test.first").is_ok());
+  EXPECT_TRUE(fire("test.first"));
+}
+
+TEST_F(FaultPointTest, SpecArmsMultiplePoints) {
+  ASSERT_TRUE(arm_from_spec("test.a,test.b:2").is_ok());
+  EXPECT_TRUE(fire("test.a"));
+  EXPECT_FALSE(fire("test.b"));
+  EXPECT_TRUE(fire("test.b"));
+}
+
+TEST_F(FaultPointTest, MalformedSpecsAreStructuredErrors) {
+  for (const char* bad : {":", "a.b:", "a.b:zero", "a.b:1x", ":3", ",",
+                          "a.b:0", "a.b:18446744073709551616"}) {
+    const Status s = validate_spec(bad);
+    EXPECT_FALSE(s.is_ok()) << "spec '" << bad << "' accepted";
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument) << bad;
+  }
+  EXPECT_TRUE(validate_spec("").is_ok());  // unset knob
+  EXPECT_TRUE(validate_spec("a.b:2,c.d").is_ok());
+}
+
+TEST_F(FaultPointTest, ValidateDoesNotArm) {
+  ASSERT_TRUE(validate_spec("test.validated:1").is_ok());
+  EXPECT_FALSE(fire("test.validated"));
+}
+
+TEST_F(FaultPointTest, ProbabilisticIsDeterministicPerSeed) {
+  arm_probabilistic(0.5, 1234);
+  std::string pattern_a;
+  for (int i = 0; i < 64; ++i) pattern_a += fire("test.prob") ? '1' : '0';
+  reset();
+  arm_probabilistic(0.5, 1234);
+  std::string pattern_b;
+  for (int i = 0; i < 64; ++i) pattern_b += fire("test.prob") ? '1' : '0';
+  EXPECT_EQ(pattern_a, pattern_b);
+  EXPECT_NE(pattern_a.find('1'), std::string::npos);  // rate 0.5 fires some
+  EXPECT_NE(pattern_a.find('0'), std::string::npos);  // ... and spares some
+}
+
+TEST_F(FaultPointTest, ProbabilisticRateZeroNeverFires) {
+  arm_probabilistic(0.0, 7);
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(fire("test.zero"));
+}
+
+TEST_F(FaultPointTest, ResetClearsArmsAndCounts) {
+  arm("test.reset", 5);
+  fire("test.reset");
+  reset();
+  EXPECT_EQ(hits("test.reset"), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(fire("test.reset"));
+}
+
+}  // namespace
+}  // namespace stc::fault

@@ -91,6 +91,41 @@ TEST(ThreadPoolTest, ResultsIndependentOfExecutionOrder) {
   }
 }
 
+TEST(ThreadPoolTest, WorkerExceptionPropagatesWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   ++ran;
+                                   if (i == 37) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  // The batch drains fully (no wedged workers) and the pool stays usable.
+  EXPECT_EQ(ran.load(), 100);
+  std::atomic<int> again{0};
+  pool.parallel_for(50, [&](std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 50);
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsAndLaterBatchesAreClean) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallel_for(
+                     10, [&](std::size_t) { throw std::runtime_error("boom"); }),
+                 std::runtime_error);
+  }
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPoolTest, InlineModeExceptionPropagates) {
+  ThreadPool pool(1);  // no workers: tasks run on the caller
+  EXPECT_THROW(
+      pool.parallel_for(5, [&](std::size_t) { throw std::logic_error("inl"); }),
+      std::logic_error);
+}
+
 TEST(ThreadPoolTest, MixedDurationStress) {
   // Tasks with wildly different runtimes must all complete exactly once and
   // the pool must stay usable for further batches.

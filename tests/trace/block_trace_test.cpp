@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "support/crc32.h"
+#include "support/error.h"
 #include "support/rng.h"
 
 namespace stc::trace {
@@ -93,15 +97,28 @@ TEST(BlockTraceTest, SaveAndLoadRoundTrip) {
     t.append(ids.back());
   }
   const std::string path = ::testing::TempDir() + "/stc_trace_roundtrip.bin";
-  t.save(path);
-  const BlockTrace loaded = BlockTrace::load(path);
-  EXPECT_EQ(loaded.num_events(), t.num_events());
+  ASSERT_TRUE(t.save(path).is_ok());
+  auto loaded = BlockTrace::load(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().num_events(), t.num_events());
   std::size_t i = 0;
-  loaded.for_each([&](cfg::BlockId b) {
+  loaded.value().for_each([&](cfg::BlockId b) {
     ASSERT_LT(i, ids.size());
     EXPECT_EQ(b, ids[i++]);
   });
   std::remove(path.c_str());
+}
+
+TEST(BlockTraceTest, AppendAfterLoadContinuesStream) {
+  BlockTrace t;
+  for (cfg::BlockId id = 100; id < 160; ++id) t.append(id);
+  const auto bytes = t.serialize();
+  auto loaded = BlockTrace::deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  BlockTrace resumed = std::move(loaded).take();
+  resumed.append(161);
+  t.append(161);
+  EXPECT_EQ(resumed.serialize(), t.serialize());
 }
 
 TEST(BlockTraceTest, RecorderSinkAppends) {
@@ -112,8 +129,135 @@ TEST(BlockTraceTest, RecorderSinkAppends) {
   EXPECT_EQ(t.num_events(), 2u);
 }
 
-TEST(BlockTraceDeathTest, LoadMissingFileAborts) {
-  EXPECT_DEATH(BlockTrace::load("/nonexistent/path/trace.bin"), "cannot open");
+TEST(BlockTraceTest, LoadMissingFileIsStructuredError) {
+  auto loaded = BlockTrace::load("/nonexistent/path/trace.bin");
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kNotFound);
+  EXPECT_NE(loaded.status().message().find("/nonexistent/path/trace.bin"),
+            std::string::npos);
+}
+
+// ---- corruption corpus -----------------------------------------------------
+//
+// Every entry mutates a valid serialized trace one way and asserts the
+// deserializer rejects it with a structured kCorruptData error (never an
+// abort, never a silently different trace).
+
+class BlockTraceCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(123);
+    for (int i = 0; i < 2000; ++i) {
+      trace_.append(static_cast<cfg::BlockId>(rng.uniform(1 << 22)));
+    }
+    bytes_ = trace_.serialize();
+  }
+
+  static void put_u64_at(std::vector<std::uint8_t>& b, std::size_t pos,
+                         std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      b[pos + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+  static Status expect_rejected(const std::vector<std::uint8_t>& bytes) {
+    auto r = BlockTrace::deserialize(bytes.empty() ? nullptr : bytes.data(),
+                                     bytes.size());
+    EXPECT_FALSE(r.is_ok()) << "corrupt input was accepted";
+    return r.is_ok() ? Status() : r.status();
+  }
+
+  BlockTrace trace_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(BlockTraceCorruptionTest, BadMagic) {
+  bytes_[0] ^= 0xff;
+  const Status s = expect_rejected(bytes_);
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+  EXPECT_NE(s.message().find("magic"), std::string::npos);
+}
+
+TEST_F(BlockTraceCorruptionTest, FutureVersion) {
+  put_u64_at(bytes_, 8, 99);  // version field
+  const Status s = expect_rejected(bytes_);
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+}
+
+TEST_F(BlockTraceCorruptionTest, HeaderEventCountMismatch) {
+  put_u64_at(bytes_, 16, trace_.num_events() + 1);
+  EXPECT_EQ(expect_rejected(bytes_).code(), ErrorCode::kCorruptData);
+}
+
+TEST_F(BlockTraceCorruptionTest, AbsurdChunkCount) {
+  put_u64_at(bytes_, 24, ~0ull);  // num_chunks
+  EXPECT_EQ(expect_rejected(bytes_).code(), ErrorCode::kCorruptData);
+}
+
+TEST_F(BlockTraceCorruptionTest, TruncatedAtEveryStructuralBoundary) {
+  // Empty file, partial header, header only, partial chunk header, chunk
+  // header only, partial payload, and one-byte-short.
+  const std::size_t boundaries[] = {0u,  1u,  31u, 32u, 40u,
+                                    56u, 57u, bytes_.size() - 1};
+  for (const std::size_t len : boundaries) {
+    ASSERT_LE(len, bytes_.size());
+    std::vector<std::uint8_t> prefix(bytes_.begin(),
+                                     bytes_.begin() + static_cast<long>(len));
+    EXPECT_EQ(expect_rejected(prefix).code(), ErrorCode::kCorruptData)
+        << "prefix length " << len;
+  }
+}
+
+TEST_F(BlockTraceCorruptionTest, PayloadCrcMismatch) {
+  bytes_.back() ^= 0x01;  // last payload byte
+  const Status s = expect_rejected(bytes_);
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+  EXPECT_NE(s.message().find("crc"), std::string::npos);
+}
+
+TEST_F(BlockTraceCorruptionTest, ChunkPayloadSizeRunsPastEnd) {
+  put_u64_at(bytes_, 32, bytes_.size());  // chunk 0 payload_size
+  EXPECT_EQ(expect_rejected(bytes_).code(), ErrorCode::kCorruptData);
+}
+
+TEST_F(BlockTraceCorruptionTest, TrailingGarbage) {
+  bytes_.push_back(0x00);
+  EXPECT_EQ(expect_rejected(bytes_).code(), ErrorCode::kCorruptData);
+}
+
+TEST_F(BlockTraceCorruptionTest, VarintOverflowInPayload) {
+  // A hand-built file whose single chunk holds one 11-byte varint with every
+  // continuation bit set: the decoder must flag the varint, not run away.
+  std::vector<std::uint8_t> payload(11, 0xff);
+  std::vector<std::uint8_t> file(32 + 24, 0);
+  put_u64_at(file, 0, 0x53544331);  // magic
+  put_u64_at(file, 8, 2);           // version
+  put_u64_at(file, 16, 1);          // num_events
+  put_u64_at(file, 24, 1);          // num_chunks
+  put_u64_at(file, 32, payload.size());
+  put_u64_at(file, 40, 1);          // chunk event count
+  put_u64_at(file, 48, crc32(payload.data(), payload.size()));
+  file.insert(file.end(), payload.begin(), payload.end());
+  const Status s = expect_rejected(file);
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+  EXPECT_NE(s.message().find("varint"), std::string::npos);
+}
+
+TEST_F(BlockTraceCorruptionTest, CorruptFileOnDiskLoadsAsError) {
+  bytes_[bytes_.size() / 2] ^= 0x40;
+  const std::string path = ::testing::TempDir() + "/stc_trace_corrupt.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes_.data(), 1, bytes_.size(), f), bytes_.size());
+  std::fclose(f);
+  auto loaded = BlockTrace::load(path);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorruptData);
+  // The error names the file so a failing bench run is actionable.
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

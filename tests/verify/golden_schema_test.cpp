@@ -79,12 +79,15 @@ TEST(GoldenSchemaTest, TopLevelShapeIsStable) {
   ASSERT_TRUE(report.is_object());
   const char* expected[] = {"bench",      "schema_version", "threads",
                             "env",        "phases",         "throughput",
-                            "totals",     "results"};
-  ASSERT_EQ(report.members.size(), 8u);
-  for (std::size_t i = 0; i < 8; ++i) {
+                            "totals",     "failures",       "results"};
+  ASSERT_EQ(report.members.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
     EXPECT_EQ(report.members[i].first, expected[i]) << "key #" << i;
   }
-  EXPECT_EQ(report.find("schema_version")->number, 1.0);
+  EXPECT_EQ(report.find("schema_version")->number, 2.0);
+  const JsonValue* failures = report.find("failures");
+  ASSERT_TRUE(failures != nullptr && failures->is_array());
+  EXPECT_TRUE(failures->items.empty());  // clean run
   EXPECT_EQ(report.find("bench")->text, "golden");
 
   const JsonValue* results = report.find("results");
