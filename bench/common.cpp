@@ -75,6 +75,17 @@ void verify_triple(const trace::BlockTrace& trace,
                 layout.name().c_str());
 }
 
+// STC_VERIFY cross-check for a plan-backed cell: `fill_interp` re-runs the
+// cell through the interpreter into a fresh counter set, which must match
+// the replay engine's counters bit for bit.
+void cross_check_replay(const char* what, const CounterSet& actual,
+                        const std::function<void(CounterSet&)>& fill_interp) {
+  CounterSet expected;
+  fill_interp(expected);
+  require_clean(verify::check_counters_equal(expected, actual, what),
+                "replay-mode cross-check");
+}
+
 }  // namespace
 
 std::vector<CfaPoint> Env::cfa_sweep() const {
@@ -158,8 +169,12 @@ ExperimentResult measure_miss(const trace::BlockTrace& trace,
                               const sim::CacheGeometry& geometry,
                               std::uint32_t victim_lines) {
   if (verify_enabled()) verify_triple(trace, image, layout);
+  const sim::ReplayPlan* plan =
+      plan_for(trace, image, layout, geometry.line_bytes);
   sim::ICache cache(geometry, victim_lines);
-  const auto sim = sim::run_missrate(trace, image, layout, cache);
+  const auto sim = plan != nullptr
+                       ? sim::replay_missrate(*plan, cache)
+                       : sim::run_missrate(trace, image, layout, cache);
   if (verify_enabled()) {
     require_clean(verify::check_missrate_result(
                       sim, cache.stats(),
@@ -171,6 +186,15 @@ ExperimentResult measure_miss(const trace::BlockTrace& trace,
   sim.export_counters(result.counters());
   cache.stats().export_counters(result.counters());
   result.counters().add("blocks", trace.num_events());
+  if (verify_enabled() && plan != nullptr) {
+    cross_check_replay("missrate", result.counters(), [&](CounterSet& out) {
+      sim::ICache ref(geometry, victim_lines);
+      const auto r = sim::run_missrate(trace, image, layout, ref);
+      r.export_counters(out);
+      ref.stats().export_counters(out);
+      out.add("blocks", trace.num_events());
+    });
+  }
   return result;
 }
 
@@ -185,11 +209,16 @@ ExperimentResult measure_seq3_plain(const trace::BlockTrace& trace,
                                     const sim::CacheGeometry& geometry,
                                     bool perfect) {
   if (verify_enabled()) verify_triple(trace, image, layout);
+  const sim::ReplayPlan* plan =
+      plan_for(trace, image, layout, geometry.line_bytes);
   sim::FetchParams params;
   params.perfect_icache = perfect;
   sim::ICache cache(geometry);
-  const auto sim = sim::run_seq3(trace, image, layout, params,
-                                 perfect ? nullptr : &cache);
+  const auto sim =
+      plan != nullptr
+          ? sim::run_seq3(*plan, params, perfect ? nullptr : &cache)
+          : sim::run_seq3(trace, image, layout, params,
+                          perfect ? nullptr : &cache);
   if (verify_enabled()) {
     require_clean(verify::check_fetch_result(
                       sim, params, verify::trace_instructions(trace, image),
@@ -201,6 +230,16 @@ ExperimentResult measure_seq3_plain(const trace::BlockTrace& trace,
   sim.export_counters(result.counters());
   if (!perfect) cache.stats().export_counters(result.counters());
   result.counters().add("blocks", trace.num_events());
+  if (verify_enabled() && plan != nullptr) {
+    cross_check_replay("seq3", result.counters(), [&](CounterSet& out) {
+      sim::ICache ref(geometry);
+      const auto r = sim::run_seq3(trace, image, layout, params,
+                                   perfect ? nullptr : &ref);
+      r.export_counters(out);
+      if (!perfect) ref.stats().export_counters(out);
+      out.add("blocks", trace.num_events());
+    });
+  }
   return result;
 }
 
@@ -211,11 +250,16 @@ ExperimentResult measure_tc_plain(const trace::BlockTrace& trace,
                                   const sim::TraceCacheParams& tc,
                                   bool perfect) {
   if (verify_enabled()) verify_triple(trace, image, layout);
+  const sim::ReplayPlan* plan =
+      plan_for(trace, image, layout, geometry.line_bytes);
   sim::FetchParams params;
   params.perfect_icache = perfect;
   sim::ICache cache(geometry);
-  const auto sim = sim::run_trace_cache(trace, image, layout, params, tc,
-                                        perfect ? nullptr : &cache);
+  const auto sim =
+      plan != nullptr
+          ? sim::run_trace_cache(*plan, params, tc, perfect ? nullptr : &cache)
+          : sim::run_trace_cache(trace, image, layout, params, tc,
+                                 perfect ? nullptr : &cache);
   if (verify_enabled()) {
     require_clean(verify::check_fetch_result(
                       sim, params, verify::trace_instructions(trace, image),
@@ -228,6 +272,16 @@ ExperimentResult measure_tc_plain(const trace::BlockTrace& trace,
   sim.export_counters(result.counters());
   if (!perfect) cache.stats().export_counters(result.counters());
   result.counters().add("blocks", trace.num_events());
+  if (verify_enabled() && plan != nullptr) {
+    cross_check_replay("trace_cache", result.counters(), [&](CounterSet& out) {
+      sim::ICache ref(geometry);
+      const auto r = sim::run_trace_cache(trace, image, layout, params, tc,
+                                          perfect ? nullptr : &ref);
+      r.export_counters(out);
+      if (!perfect) ref.stats().export_counters(out);
+      out.add("blocks", trace.num_events());
+    });
+  }
   return result;
 }
 
@@ -237,6 +291,139 @@ const frontend::FrontEndParams& frontend_params() {
   static const frontend::FrontEndParams params =
       frontend::FrontEndParams::from_environment();
   return params;
+}
+
+sim::ReplayMode replay_mode() {
+  static const sim::ReplayMode mode = sim::replay_mode_from_env();
+  return mode;
+}
+
+const sim::ReplayPlan* plan_for(const trace::BlockTrace& trace,
+                                const cfg::ProgramImage& image,
+                                const cfg::AddressMap& layout,
+                                std::uint32_t line_bytes) {
+  const sim::ReplayMode mode = replay_mode();
+  if (mode == sim::ReplayMode::kInterp) return nullptr;
+  static sim::ReplayPlanCache cache;
+  return cache.get(mode, trace, image, layout, line_bytes);
+}
+
+const char* to_string(ReplaySimKind kind) {
+  switch (kind) {
+    case ReplaySimKind::kMissRate: return "missrate";
+    case ReplaySimKind::kSequentiality: return "sequentiality";
+    case ReplaySimKind::kSeq3: return "seq3";
+    case ReplaySimKind::kTraceCache: return "trace_cache";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Runs one simulator kind through either backend (interp when `plan` is
+// null) and exports its counters in the cell's canonical order.
+void run_replay_sim(ReplaySimKind kind, const trace::BlockTrace& trace,
+                    const cfg::ProgramImage& image,
+                    const cfg::AddressMap& layout,
+                    const sim::CacheGeometry& geometry,
+                    const sim::ReplayPlan* plan, CounterSet& out) {
+  switch (kind) {
+    case ReplaySimKind::kMissRate: {
+      sim::ICache cache(geometry);
+      const auto r = plan != nullptr
+                         ? sim::replay_missrate(*plan, cache)
+                         : sim::run_missrate(trace, image, layout, cache);
+      r.export_counters(out);
+      cache.stats().export_counters(out);
+      return;
+    }
+    case ReplaySimKind::kSequentiality: {
+      const auto r = plan != nullptr
+                         ? sim::replay_sequentiality(*plan)
+                         : trace::measure_sequentiality(trace, image, layout);
+      r.export_counters(out);
+      return;
+    }
+    case ReplaySimKind::kSeq3: {
+      const sim::FetchParams params;
+      sim::ICache cache(geometry);
+      const auto r =
+          plan != nullptr
+              ? sim::run_seq3(*plan, params, &cache)
+              : sim::run_seq3(trace, image, layout, params, &cache);
+      r.export_counters(out);
+      cache.stats().export_counters(out);
+      return;
+    }
+    case ReplaySimKind::kTraceCache: {
+      const sim::FetchParams params;
+      const sim::TraceCacheParams tc;
+      sim::ICache cache(geometry);
+      const auto r = plan != nullptr
+                         ? sim::run_trace_cache(*plan, params, tc, &cache)
+                         : sim::run_trace_cache(trace, image, layout, params,
+                                                tc, &cache);
+      r.export_counters(out);
+      cache.stats().export_counters(out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentResult measure_replay_cell(const trace::BlockTrace& trace,
+                                     const cfg::ProgramImage& image,
+                                     const cfg::AddressMap& layout,
+                                     const sim::CacheGeometry& geometry,
+                                     ReplaySimKind sim_kind,
+                                     sim::ReplayMode mode) {
+  const std::uint32_t line_bytes =
+      sim_kind == ReplaySimKind::kSequentiality ? 0 : geometry.line_bytes;
+
+  // Plan build (timed separately: it amortizes over a whole grid in real
+  // benches but must still be visible in the throughput report).
+  double plan_seconds = 0.0;
+  std::unique_ptr<sim::ReplayPlan> plan;
+  if (mode != sim::ReplayMode::kInterp) {
+    const auto plan_start = std::chrono::steady_clock::now();
+    Result<sim::ReplayPlan> built =
+        sim::build_replay_plan(mode, trace, image, layout, line_bytes);
+    plan_seconds = seconds_since(plan_start);
+    if (!built.is_ok()) {
+      throw StatusError(built.status().with_context("replay cell plan"));
+    }
+    plan = std::make_unique<sim::ReplayPlan>(std::move(built).take());
+  }
+
+  ExperimentResult result;
+  const auto replay_start = std::chrono::steady_clock::now();
+  run_replay_sim(sim_kind, trace, image, layout, geometry, plan.get(),
+                 result.counters());
+  const double seconds = seconds_since(replay_start);
+
+  // Correctness gate: the timed run must reproduce the interpreter bit for
+  // bit, whichever engine produced it.
+  CounterSet expected;
+  run_replay_sim(sim_kind, trace, image, layout, geometry, nullptr, expected);
+  const verify::Report diff =
+      verify::check_counters_equal(expected, result.counters(),
+                                   to_string(sim_kind));
+  if (!diff.ok()) {
+    throw StatusError(internal_error("replay mode " +
+                                     std::string(sim::to_string(mode)) +
+                                     " diverged from interp: " +
+                                     diff.summary()));
+  }
+
+  const double events = static_cast<double>(trace.num_events());
+  result.metric("events_per_sec", seconds > 0.0 ? events / seconds : 0.0);
+  result.metric("seconds", seconds);
+  if (mode != sim::ReplayMode::kInterp) {
+    result.metric("plan_seconds", plan_seconds);
+  }
+  result.counters().add("blocks", trace.num_events());
+  return result;
 }
 
 ExperimentResult measure_seq3(const trace::BlockTrace& trace,
@@ -273,11 +460,17 @@ ExperimentResult measure_seq3_bpred(const trace::BlockTrace& trace,
     return measure_seq3_plain(trace, image, layout, geometry, perfect);
   }
   if (verify_enabled()) verify_triple(trace, image, layout);
+  const sim::ReplayPlan* plan =
+      plan_for(trace, image, layout, geometry.line_bytes);
   sim::FetchParams params;
   params.perfect_icache = perfect;
   sim::ICache cache(geometry);
-  const auto sim = frontend::run_seq3_frontend(trace, image, layout, params,
-                                               fe, perfect ? nullptr : &cache);
+  const auto sim =
+      plan != nullptr
+          ? frontend::run_seq3_frontend(*plan, params, fe,
+                                        perfect ? nullptr : &cache)
+          : frontend::run_seq3_frontend(trace, image, layout, params, fe,
+                                        perfect ? nullptr : &cache);
   if (verify_enabled()) {
     require_clean(verify::check_frontend_result(
                       sim, params, fe,
@@ -292,6 +485,19 @@ ExperimentResult measure_seq3_bpred(const trace::BlockTrace& trace,
   sim.frontend.export_counters(result.counters());
   if (!perfect) cache.stats().export_counters(result.counters());
   result.counters().add("blocks", trace.num_events());
+  if (verify_enabled() && plan != nullptr) {
+    cross_check_replay("seq3+frontend", result.counters(),
+                       [&](CounterSet& out) {
+                         sim::ICache ref(geometry);
+                         const auto r = frontend::run_seq3_frontend(
+                             trace, image, layout, params, fe,
+                             perfect ? nullptr : &ref);
+                         r.fetch.export_counters(out);
+                         r.frontend.export_counters(out);
+                         if (!perfect) ref.stats().export_counters(out);
+                         out.add("blocks", trace.num_events());
+                       });
+  }
   return result;
 }
 
@@ -306,11 +512,18 @@ ExperimentResult measure_tc_bpred(const trace::BlockTrace& trace,
     return measure_tc_plain(trace, image, layout, geometry, tc, perfect);
   }
   if (verify_enabled()) verify_triple(trace, image, layout);
+  const sim::ReplayPlan* plan =
+      plan_for(trace, image, layout, geometry.line_bytes);
   sim::FetchParams params;
   params.perfect_icache = perfect;
   sim::ICache cache(geometry);
-  const auto sim = frontend::run_trace_cache_frontend(
-      trace, image, layout, params, tc, fe, perfect ? nullptr : &cache);
+  const auto sim =
+      plan != nullptr
+          ? frontend::run_trace_cache_frontend(*plan, params, tc, fe,
+                                               perfect ? nullptr : &cache)
+          : frontend::run_trace_cache_frontend(trace, image, layout, params,
+                                               tc, fe,
+                                               perfect ? nullptr : &cache);
   if (verify_enabled()) {
     require_clean(verify::check_frontend_result(
                       sim, params, fe,
@@ -326,6 +539,19 @@ ExperimentResult measure_tc_bpred(const trace::BlockTrace& trace,
   sim.frontend.export_counters(result.counters());
   if (!perfect) cache.stats().export_counters(result.counters());
   result.counters().add("blocks", trace.num_events());
+  if (verify_enabled() && plan != nullptr) {
+    cross_check_replay("trace_cache+frontend", result.counters(),
+                       [&](CounterSet& out) {
+                         sim::ICache ref(geometry);
+                         const auto r = frontend::run_trace_cache_frontend(
+                             trace, image, layout, params, tc, fe,
+                             perfect ? nullptr : &ref);
+                         r.fetch.export_counters(out);
+                         r.frontend.export_counters(out);
+                         if (!perfect) ref.stats().export_counters(out);
+                         out.add("blocks", trace.num_events());
+                       });
+  }
   return result;
 }
 
@@ -333,10 +559,21 @@ ExperimentResult measure_seq(const trace::BlockTrace& trace,
                              const cfg::ProgramImage& image,
                              const cfg::AddressMap& layout) {
   if (verify_enabled()) verify_triple(trace, image, layout);
-  const auto seq = trace::measure_sequentiality(trace, image, layout);
+  // Sequentiality needs no cache-line tables: a layout-only plan suffices.
+  const sim::ReplayPlan* plan = plan_for(trace, image, layout, 0);
+  const auto seq = plan != nullptr
+                       ? sim::replay_sequentiality(*plan)
+                       : trace::measure_sequentiality(trace, image, layout);
   ExperimentResult result;
   result.metric("insn_per_taken", seq.insns_between_taken_branches());
   seq.export_counters(result.counters());
+  if (verify_enabled() && plan != nullptr) {
+    cross_check_replay("sequentiality", result.counters(),
+                       [&](CounterSet& out) {
+                         trace::measure_sequentiality(trace, image, layout)
+                             .export_counters(out);
+                       });
+  }
   return result;
 }
 
@@ -419,6 +656,7 @@ ExperimentRunner make_runner(const char* name, const Env& env,
   runner.meta("scale_factor", env.scale_factor);
   runner.meta("seed", env.seed);
   runner.meta("line_bytes", std::uint64_t{env.line_bytes});
+  runner.meta("replay_mode", sim::to_string(replay_mode()));
   runner.meta("training_events", setup.training_trace().num_events());
   runner.meta("test_events", setup.test_trace().num_events());
   runner.meta("kernel_routines",

@@ -20,6 +20,12 @@
 //   STC_JOB_TIMEOUT - per-job deadline in seconds (default 0 = off); an
 //                   overrunning job is recorded as timed_out, not aborted
 //   STC_JOB_RETRIES - extra attempts per failed job (default 1)
+//   STC_REPLAY    - trace replay engine: interp|batched|compiled|auto
+//                   (default auto = compiled). Non-interp modes route every
+//                   cell through a pre-built replay plan (src/sim/replay.h);
+//                   counters stay bit-identical to the interpreter (the
+//                   oracle's check_replay_modes proves it, and STC_VERIFY=1
+//                   re-checks every planned cell in-process)
 //   STC_FAULT     - fault-injection spec, e.g. trace.load.chunk:3 (VERIFY.md)
 // Every knob is validated up front (support/env): a malformed value exits 2
 // with a structured error instead of silently defaulting.
@@ -45,6 +51,7 @@
 #include "profile/profile.h"
 #include "sim/fetch_unit.h"
 #include "sim/icache.h"
+#include "sim/replay.h"
 #include "sim/trace_cache.h"
 #include "support/experiment.h"
 #include "support/table.h"
@@ -191,6 +198,36 @@ ExperimentResult measure_tc_bpred(Setup& setup, const cfg::AddressMap& layout,
 // The process-wide front-end configuration from STC_BPRED/STC_FTQ_DEPTH
 // (read once). transparent() for the default environment.
 const frontend::FrontEndParams& frontend_params();
+
+// ---- Replay engine ---------------------------------------------------------
+
+// The process-wide replay mode from STC_REPLAY (read once; "auto" resolves
+// to the fastest oracle-identical engine, currently compiled).
+sim::ReplayMode replay_mode();
+
+// A memoized replay plan for the triple under replay_mode(), or nullptr when
+// the mode is interp or the plan build failed (faultpoint replay.compile) —
+// the cell then takes the interpreter path. `line_bytes` selects the
+// compiled line tables; 0 builds a layout-only plan (sequentiality).
+const sim::ReplayPlan* plan_for(const trace::BlockTrace& trace,
+                                const cfg::ProgramImage& image,
+                                const cfg::AddressMap& layout,
+                                std::uint32_t line_bytes);
+
+// One timed replay-throughput cell (bench/replay_throughput.cpp and the
+// schema-lock test). Runs the selected simulator over the triple in the
+// requested mode, timing the replay loop ("seconds", "events_per_sec") and —
+// for plan-backed modes — the plan build ("plan_seconds"). The counters are
+// always cross-checked against an untimed interpreter run; a divergence
+// throws StatusError so the runner records the cell as failed.
+enum class ReplaySimKind { kMissRate, kSequentiality, kSeq3, kTraceCache };
+const char* to_string(ReplaySimKind kind);
+ExperimentResult measure_replay_cell(const trace::BlockTrace& trace,
+                                     const cfg::ProgramImage& image,
+                                     const cfg::AddressMap& layout,
+                                     const sim::CacheGeometry& geometry,
+                                     ReplaySimKind sim_kind,
+                                     sim::ReplayMode mode);
 
 // Convenience wrappers extracting the single headline metric.
 double miss_pct(Setup& setup, const cfg::AddressMap& layout,

@@ -1,0 +1,80 @@
+// Replay-engine throughput: events/second for every simulator under the
+// interp, batched and compiled replay engines over the pinned Test trace.
+//
+// Every cell times its own replay loop (and, for plan-backed modes, the
+// plan build) and then re-runs the interpreter untimed to prove the
+// counters are bit-identical — a cell that diverges is recorded as a failed
+// job, never as a throughput number. The grid runs on a single worker so
+// the timings are not distorted by sibling cells.
+//
+// tools/perf_gate.py consumes this bench's BENCH_replay_throughput.json:
+// it checks the batched/compiled speedup ratios over interp against
+// bench/perf_baseline.json with a tolerance band, failing CI on a >15%
+// throughput regression.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace stc;
+  using core::LayoutKind;
+  const auto env = bench::Env::from_environment();
+  bench::Setup setup(env);
+  bench::print_banner("Replay-engine throughput (orig layout, 4K cache)", env,
+                      setup);
+
+  const std::uint32_t cache = 4096;
+  const sim::CacheGeometry geometry{cache, env.line_bytes, 1};
+
+  auto runner = bench::make_runner("replay_throughput", env, setup);
+  runner.meta("cache_bytes", std::uint64_t{cache});
+  runner.time_phase("layouts", [&] { setup.layout(LayoutKind::kOrig, 0, 0); });
+  const cfg::AddressMap& layout = setup.layout(LayoutKind::kOrig, 0, 0);
+
+  const sim::ReplayMode modes[] = {sim::ReplayMode::kInterp,
+                                   sim::ReplayMode::kBatched,
+                                   sim::ReplayMode::kCompiled};
+  const bench::ReplaySimKind kinds[] = {bench::ReplaySimKind::kMissRate,
+                                        bench::ReplaySimKind::kSequentiality,
+                                        bench::ReplaySimKind::kSeq3,
+                                        bench::ReplaySimKind::kTraceCache};
+
+  // jobs[kind][mode]
+  std::size_t jobs[4][3];
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      const bench::ReplaySimKind kind = kinds[k];
+      const sim::ReplayMode mode = modes[m];
+      jobs[k][m] = runner.add(
+          std::string(bench::to_string(kind)) + " " + sim::to_string(mode),
+          {{"sim", bench::to_string(kind)}, {"mode", sim::to_string(mode)}},
+          [&setup, &layout, geometry, kind, mode] {
+            return bench::measure_replay_cell(setup.test_trace(),
+                                              setup.image(), layout, geometry,
+                                              kind, mode);
+          });
+    }
+  }
+  // Single worker: the cells time themselves, so they must not compete for
+  // cores with sibling jobs.
+  runner.run(1);
+
+  TextTable table;
+  table.header({"simulator", "interp ev/s", "batched ev/s", "compiled ev/s",
+                "batched x", "compiled x"});
+  for (std::size_t k = 0; k < 4; ++k) {
+    const double interp = runner.metric_or(jobs[k][0], "events_per_sec");
+    const double batched = runner.metric_or(jobs[k][1], "events_per_sec");
+    const double compiled = runner.metric_or(jobs[k][2], "events_per_sec");
+    table.row({bench::to_string(kinds[k]), fmt_fixed(interp, 0),
+               fmt_fixed(batched, 0), fmt_fixed(compiled, 0),
+               fmt_fixed(interp > 0 ? batched / interp : 0.0, 2),
+               fmt_fixed(interp > 0 ? compiled / interp : 0.0, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nBatched replay decodes the trace once into a contiguous slab;\n"
+      "compiled replay additionally pre-resolves per-block line indices.\n");
+
+  return bench::write_report(runner);
+}

@@ -109,6 +109,13 @@ FrontEndResult run_seq3_frontend(const trace::BlockTrace& trace,
                                  const FrontEndParams& fe_params,
                                  sim::ICache* cache);
 
+// Batched/compiled replay from a pre-built plan (sim/replay.h); counters are
+// bit-identical to the interpreter overload.
+FrontEndResult run_seq3_frontend(const sim::ReplayPlan& plan,
+                                 const sim::FetchParams& fetch_params,
+                                 const FrontEndParams& fe_params,
+                                 sim::ICache* cache);
+
 // Trace cache + SEQ.3 behind the speculative front end. Next-trace
 // selection is keyed by predicted branch outcomes: a stored trace whose
 // path diverges from the current predictions is rejected (counted as a
@@ -117,6 +124,14 @@ FrontEndResult run_seq3_frontend(const trace::BlockTrace& trace,
 FrontEndResult run_trace_cache_frontend(const trace::BlockTrace& trace,
                                         const cfg::ProgramImage& image,
                                         const cfg::AddressMap& layout,
+                                        const sim::FetchParams& fetch_params,
+                                        const sim::TraceCacheParams& tc_params,
+                                        const FrontEndParams& fe_params,
+                                        sim::ICache* cache);
+
+// Batched/compiled replay from a pre-built plan (sim/replay.h); counters are
+// bit-identical to the interpreter overload.
+FrontEndResult run_trace_cache_frontend(const sim::ReplayPlan& plan,
                                         const sim::FetchParams& fetch_params,
                                         const sim::TraceCacheParams& tc_params,
                                         const FrontEndParams& fe_params,

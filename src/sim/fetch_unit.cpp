@@ -1,5 +1,6 @@
 #include "sim/fetch_unit.h"
 
+#include "sim/replay.h"
 #include "support/check.h"
 
 namespace stc::sim {
@@ -18,15 +19,25 @@ void FetchResult::export_counters(CounterSet& out) const {
 
 FetchPipe::FetchPipe(const trace::BlockTrace& trace,
                      const cfg::ProgramImage& image,
-                     const cfg::AddressMap& layout)
-    : stream_(trace, image, layout) {
+                     const cfg::AddressMap& layout) {
+  stream_.emplace(trace, image, layout);
+  refill(1);
+}
+
+FetchPipe::FetchPipe(const ReplayPlan& plan) : plan_(&plan) {
   refill(1);
 }
 
 void FetchPipe::refill(std::uint32_t needed_insns) {
   while (!stream_done_ && buffered_insns_ < needed_insns) {
     trace::BlockRun run;
-    if (!stream_.next(run)) {
+    if (plan_ != nullptr) {
+      if (next_event_ >= plan_->num_events()) {
+        stream_done_ = true;
+        break;
+      }
+      plan_->make_run(next_event_++, run);
+    } else if (!stream_->next(run)) {
       stream_done_ = true;
       break;
     }
@@ -105,17 +116,18 @@ Seq3Cycle seq3_fetch_cycle(FetchPipe& pipe, const FetchParams& params,
   return cycle;
 }
 
-FetchResult run_seq3(const trace::BlockTrace& trace,
-                     const cfg::ProgramImage& image,
-                     const cfg::AddressMap& layout, const FetchParams& params,
-                     ICache* cache) {
+namespace {
+
+// The simulation proper, backend-agnostic: both run_seq3 overloads feed it
+// a FetchPipe and get bit-identical counters.
+FetchResult run_seq3_pipe(FetchPipe& pipe, const FetchParams& params,
+                          ICache* cache) {
   STC_REQUIRE(params.perfect_icache || cache != nullptr);
   if (cache != nullptr) cache->reset();
   const std::uint32_t line_bytes =
       cache != nullptr ? cache->geometry().line_bytes : 64;
 
   FetchResult result;
-  FetchPipe pipe(trace, image, layout);
   while (!pipe.done()) {
     const Seq3Cycle cycle = seq3_fetch_cycle(pipe, params, line_bytes);
     result.instructions += cycle.supplied;
@@ -136,6 +148,22 @@ FetchResult run_seq3(const trace::BlockTrace& trace,
     }
   }
   return result;
+}
+
+}  // namespace
+
+FetchResult run_seq3(const trace::BlockTrace& trace,
+                     const cfg::ProgramImage& image,
+                     const cfg::AddressMap& layout, const FetchParams& params,
+                     ICache* cache) {
+  FetchPipe pipe(trace, image, layout);
+  return run_seq3_pipe(pipe, params, cache);
+}
+
+FetchResult run_seq3(const ReplayPlan& plan, const FetchParams& params,
+                     ICache* cache) {
+  FetchPipe pipe(plan);
+  return run_seq3_pipe(pipe, params, cache);
 }
 
 }  // namespace stc::sim

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "cfg/address_map.h"
@@ -21,8 +22,16 @@
 
 namespace stc::sim {
 
+class ReplayPlan;  // sim/replay.h
+
 // Instruction-granular cursor over the dynamic path with bounded lookahead.
 // Shared by the sequential fetch unit and the trace cache simulator.
+//
+// Two interchangeable backends feed it: the interpreter's BlockRunStream, or
+// a pre-built ReplayPlan whose make_run() materializes the identical
+// BlockRun values from flat tables. Everything downstream of refill() is the
+// same code either way, which is what makes the batched/compiled modes
+// bit-identical to the interpreter by construction.
 class FetchPipe {
  public:
   struct Insn {
@@ -35,6 +44,7 @@ class FetchPipe {
 
   FetchPipe(const trace::BlockTrace& trace, const cfg::ProgramImage& image,
             const cfg::AddressMap& layout);
+  explicit FetchPipe(const ReplayPlan& plan);
 
   bool done() const { return buffer_.empty(); }
   std::uint64_t addr() const;  // current instruction address; requires !done()
@@ -49,7 +59,9 @@ class FetchPipe {
  private:
   void refill(std::uint32_t needed_insns);
 
-  trace::BlockRunStream stream_;
+  std::optional<trace::BlockRunStream> stream_;  // interpreter backend
+  const ReplayPlan* plan_ = nullptr;             // batched/compiled backend
+  std::uint64_t next_event_ = 0;                 // plan cursor
   std::deque<trace::BlockRun> buffer_;
   std::uint32_t front_offset_ = 0;  // instructions consumed of buffer_.front()
   std::uint64_t buffered_insns_ = 0;
@@ -121,6 +133,11 @@ Seq3Cycle seq3_fetch_cycle(FetchPipe& pipe, const FetchParams& params,
 FetchResult run_seq3(const trace::BlockTrace& trace,
                      const cfg::ProgramImage& image,
                      const cfg::AddressMap& layout, const FetchParams& params,
+                     ICache* cache);
+
+// Batched/compiled replay of the same simulation from a pre-built plan
+// (sim/replay.h); counters are bit-identical to the interpreter overload.
+FetchResult run_seq3(const ReplayPlan& plan, const FetchParams& params,
                      ICache* cache);
 
 }  // namespace stc::sim

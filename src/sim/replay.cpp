@@ -1,0 +1,274 @@
+#include "sim/replay.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/env.h"
+#include "support/faultpoint.h"
+
+namespace stc::sim {
+
+const char* to_string(ReplayMode mode) {
+  switch (mode) {
+    case ReplayMode::kInterp: return "interp";
+    case ReplayMode::kBatched: return "batched";
+    case ReplayMode::kCompiled: return "compiled";
+  }
+  return "?";
+}
+
+Result<ReplayMode> parse_replay_mode(const std::string& name) {
+  if (name == "interp") return ReplayMode::kInterp;
+  if (name == "batched") return ReplayMode::kBatched;
+  if (name == "compiled" || name == "auto") return ReplayMode::kCompiled;
+  return invalid_argument_error(
+      "STC_REPLAY='" + name +
+      "': expected one of interp|batched|compiled|auto");
+}
+
+ReplayMode replay_mode_from_env() {
+  Result<std::string> name = env::replay();
+  STC_CHECK_MSG(name.is_ok(), "STC_REPLAY not validated before use");
+  return parse_replay_mode(name.value()).value();
+}
+
+void* ReplayArena::raw_alloc(std::size_t bytes, std::size_t align) {
+  STC_DCHECK(align > 0 && (align & (align - 1)) == 0);
+  for (;;) {
+    if (!slabs_.empty()) {
+      Slab& slab = slabs_.back();
+      const std::size_t aligned = (slab.used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= slab.size) {
+        slab.used = aligned + bytes;
+        bytes_allocated_ += bytes;
+        return slab.data.get() + aligned;
+      }
+    }
+    // Geometric growth; a fresh slab never moves earlier allocations.
+    const std::size_t prev = slabs_.empty() ? 0 : slabs_.back().size;
+    const std::size_t size =
+        std::max({bytes + align, prev * 2, kMinSlabBytes});
+    Slab slab;
+    slab.data = std::make_unique<unsigned char[]>(size);
+    slab.size = size;
+    slabs_.push_back(std::move(slab));
+  }
+}
+
+void ReplayArena::reset() {
+  for (Slab& slab : slabs_) slab.used = 0;
+  bytes_allocated_ = 0;
+}
+
+void BlockMetaTable::build(const cfg::ProgramImage& image,
+                           const cfg::AddressMap& layout, ReplayArena& arena) {
+  size_ = image.num_blocks();
+  std::uint64_t* addr = arena.alloc<std::uint64_t>(size_);
+  std::uint64_t* end_addr = arena.alloc<std::uint64_t>(size_);
+  std::uint32_t* insns = arena.alloc<std::uint32_t>(size_);
+  std::uint8_t* branch = arena.alloc<std::uint8_t>(size_);
+  std::uint8_t* kind = arena.alloc<std::uint8_t>(size_);
+  for (cfg::BlockId b = 0; b < size_; ++b) {
+    const cfg::BlockInfo& info = image.block(b);
+    addr[b] = layout.addr(b);
+    end_addr[b] = addr[b] + std::uint64_t{info.insns} * cfg::kInsnBytes;
+    insns[b] = info.insns;
+    branch[b] = cfg::ends_in_branch(info.kind) ? 1 : 0;
+    kind[b] = static_cast<std::uint8_t>(info.kind);
+  }
+  addr_ = addr;
+  end_addr_ = end_addr;
+  insns_ = insns;
+  branch_ = branch;
+  kind_ = kind;
+}
+
+void EventSlab::build(const trace::BlockTrace& trace) {
+  events_.clear();
+  events_.reserve(static_cast<std::size_t>(trace.num_events()));
+  for (std::size_t c = 0; c < trace.num_chunks(); ++c) {
+    trace.decode_chunk(c, events_);
+  }
+  STC_CHECK(events_.size() == trace.num_events());
+  max_id_ = 0;
+  for (const cfg::BlockId id : events_) max_id_ = std::max(max_id_, id);
+}
+
+Status CompiledTable::build(const BlockMetaTable& meta,
+                            std::uint32_t line_bytes, ReplayArena& arena) {
+  if (Status s = fault::fail_if("replay.compile",
+                                "building compiled replay tables");
+      !s.is_ok()) {
+    return s;
+  }
+  if (line_bytes == 0) return Status::ok();  // layout-only plan
+  STC_REQUIRE((line_bytes & (line_bytes - 1)) == 0);
+  const std::size_t n = meta.size();
+  std::uint64_t* first = arena.alloc<std::uint64_t>(n);
+  std::uint64_t* last = arena.alloc<std::uint64_t>(n);
+  std::uint64_t* word = arena.alloc<std::uint64_t>(n);
+  for (cfg::BlockId b = 0; b < n; ++b) {
+    first[b] = meta.addr(b) / line_bytes;
+    // Mirrors run_missrate: the last line is the one holding the block's
+    // final instruction byte (end_addr - 1), even for zero-length blocks.
+    last[b] = (meta.end_addr(b) - 1) / line_bytes;
+    word[b] = meta.addr(b) / cfg::kInsnBytes;
+  }
+  first_line_ = first;
+  last_line_ = last;
+  word_index_ = word;
+  line_bytes_ = line_bytes;
+  return Status::ok();
+}
+
+Result<ReplayPlan> build_replay_plan(ReplayMode mode,
+                                     std::shared_ptr<const EventSlab> slab,
+                                     const cfg::ProgramImage& image,
+                                     const cfg::AddressMap& layout,
+                                     std::uint32_t line_bytes) {
+  STC_REQUIRE(mode != ReplayMode::kInterp);
+  STC_REQUIRE(slab != nullptr);
+  ReplayPlan plan;
+  plan.mode_ = mode;
+  plan.slab_ = std::move(slab);
+  plan.arena_ = std::make_unique<ReplayArena>();
+  plan.meta_.build(image, layout, *plan.arena_);
+  // One range check here buys unchecked indexing in every hot loop; the
+  // interpreter would abort on the same out-of-range id mid-replay.
+  STC_CHECK_MSG(plan.slab_->size() == 0 ||
+                    plan.slab_->max_id() < plan.meta_.size(),
+                "trace names blocks outside the program image");
+  if (mode == ReplayMode::kCompiled) {
+    if (Status s = plan.compiled_.build(plan.meta_, line_bytes, *plan.arena_);
+        !s.is_ok()) {
+      return s.with_context("compiled replay");
+    }
+  }
+  return plan;
+}
+
+Result<ReplayPlan> build_replay_plan(ReplayMode mode,
+                                     const trace::BlockTrace& trace,
+                                     const cfg::ProgramImage& image,
+                                     const cfg::AddressMap& layout,
+                                     std::uint32_t line_bytes) {
+  auto slab = std::make_shared<EventSlab>();
+  slab->build(trace);
+  return build_replay_plan(mode, std::move(slab), image, layout, line_bytes);
+}
+
+const ReplayPlan* ReplayPlanCache::get(ReplayMode mode,
+                                       const trace::BlockTrace& trace,
+                                       const cfg::ProgramImage& image,
+                                       const cfg::AddressMap& layout,
+                                       std::uint32_t line_bytes) {
+  if (mode == ReplayMode::kInterp) return nullptr;
+
+  // Content fingerprints (see the class comment): FNV-1a over what each
+  // object *says*, so a rebuilt layout at a recycled address never hits a
+  // stale entry.
+  const auto fnv = [](std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  constexpr std::uint64_t kBasis = 14695981039346656037ull;
+  std::uint64_t image_fp = fnv(kBasis, image.num_blocks());
+  for (cfg::BlockId b = 0; b < image.num_blocks(); ++b) {
+    const cfg::BlockInfo& info = image.block(b);
+    image_fp = fnv(image_fp, info.insns);
+    image_fp = fnv(image_fp, static_cast<std::uint64_t>(info.kind));
+    image_fp = fnv(image_fp, info.orig_addr);
+  }
+  std::uint64_t layout_fp = fnv(kBasis, layout.size());
+  for (cfg::BlockId b = 0; b < layout.size(); ++b) {
+    layout_fp = fnv(layout_fp, layout.addr(b));
+  }
+  const std::uint64_t trace_fp = trace.content_hash();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{static_cast<int>(mode), trace_fp, image_fp, layout_fp,
+                line_bytes};
+  auto it = plans_.find(key);
+  if (it != plans_.end()) return it->second.get();
+
+  std::shared_ptr<const EventSlab>& slab = slabs_[trace_fp];
+  if (slab == nullptr) {
+    auto built = std::make_shared<EventSlab>();
+    built->build(trace);
+    slab = std::move(built);
+  }
+  Result<ReplayPlan> plan =
+      build_replay_plan(mode, slab, image, layout, line_bytes);
+  if (!plan.is_ok()) {
+    if (!logged_fallback_) {
+      logged_fallback_ = true;
+      std::fprintf(stderr, "replay: %s; falling back to interp\n",
+                   plan.status().to_string().c_str());
+    }
+    it = plans_.emplace(key, nullptr).first;
+    return it->second.get();
+  }
+  it = plans_
+           .emplace(key, std::make_unique<const ReplayPlan>(
+                             std::move(plan).take()))
+           .first;
+  return it->second.get();
+}
+
+MissRateResult replay_missrate(const ReplayPlan& plan, ICache& cache,
+                               std::vector<std::uint64_t>* per_block_misses) {
+  MissRateResult result;
+  const BlockMetaTable& meta = plan.meta();
+  if (per_block_misses != nullptr) {
+    per_block_misses->assign(meta.size(), 0);
+  }
+  const std::uint32_t line = cache.geometry().line_bytes;
+  const EventSlab& slab = plan.slab();
+  const std::size_t n = slab.size();
+  std::uint64_t prev_line = ~std::uint64_t{0};
+  const CompiledTable& compiled = plan.compiled();
+  const bool use_tables = plan.mode() == ReplayMode::kCompiled &&
+                          compiled.valid() && compiled.line_bytes() == line;
+  for (std::size_t i = 0; i < n; ++i) {
+    const cfg::BlockId block = slab[i];
+    result.instructions += meta.insns(block);
+    const std::uint64_t first =
+        use_tables ? compiled.first_line(block) : meta.addr(block) / line;
+    const std::uint64_t last = use_tables
+                                   ? compiled.last_line(block)
+                                   : (meta.end_addr(block) - 1) / line;
+    for (std::uint64_t l = first; l <= last; ++l) {
+      // Same contract as the interpreter loop: consecutive instructions on
+      // one line probe once; a line re-entered after leaving probes again.
+      if (l == prev_line) continue;
+      ++result.line_accesses;
+      if (!cache.access(l * line)) {
+        ++result.misses;
+        if (per_block_misses != nullptr) ++(*per_block_misses)[block];
+      }
+      prev_line = l;
+    }
+  }
+  return result;
+}
+
+trace::SequentialityStats replay_sequentiality(const ReplayPlan& plan) {
+  trace::SequentialityStats stats;
+  const BlockMetaTable& meta = plan.meta();
+  const EventSlab& slab = plan.slab();
+  const std::size_t n = slab.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const cfg::BlockId block = slab[i];
+    stats.instructions += meta.insns(block);
+    ++stats.dynamic_blocks;
+    if (i + 1 < n && meta.addr(slab[i + 1]) != meta.end_addr(block)) {
+      ++stats.taken_transitions;
+    }
+  }
+  return stats;
+}
+
+}  // namespace stc::sim

@@ -1,0 +1,256 @@
+// Batched and compiled trace replay.
+//
+// The interpreter path (trace::BlockRunStream and the per-event Cursor) pays
+// a varint decode, two map lookups and a virtual-free-but-branchy state
+// machine for every dynamic block. This module trades that for a one-time
+// build: the whole BlockTrace is decoded chunk-by-chunk into one contiguous
+// event slab, and the static per-block facts every simulator asks for
+// (address, size, branch-ness, kind, end address) are resolved once into
+// structure-of-arrays tables allocated from a bump arena. The replay inner
+// loops then index flat arrays instead of re-deriving the same answers per
+// event.
+//
+// Three modes, selected with STC_REPLAY (validated in src/support/env):
+//   interp   - the original per-event streams; the reference semantics.
+//   batched  - slab + SoA metadata; simulators consume the same BlockRun
+//              values the interpreter would produce, via shared code paths.
+//   compiled - batched, plus per-block cache-line membership (first/last
+//              line index under a fixed line size) and the trace-cache word
+//              index pre-resolved into flat tables keyed by block id, so the
+//              Table 3 inner loop is table lookups plus counter updates.
+//   auto     - the fastest mode (currently compiled).
+//
+// Every mode is required to produce counters bit-identical to the
+// interpreter; verify::check_replay_modes and the STC_VERIFY=1 bench path
+// prove it on every run, and tools/stc_fuzz --replay-diff hunts for
+// divergences. The compiled-table build runs through faultpoint
+// "replay.compile" so fault-injection tests can force the clean fallback to
+// the interpreter.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "cfg/address_map.h"
+#include "cfg/program.h"
+#include "sim/icache.h"
+#include "support/check.h"
+#include "support/error.h"
+#include "trace/block_trace.h"
+#include "trace/fetch_stream.h"
+
+namespace stc::sim {
+
+enum class ReplayMode { kInterp, kBatched, kCompiled };
+
+const char* to_string(ReplayMode mode);
+
+// Maps a validated STC_REPLAY value to a mode ("auto" resolves to the
+// fastest mode). Rejects anything env::replay() would reject.
+Result<ReplayMode> parse_replay_mode(const std::string& name);
+
+// The process-wide mode from STC_REPLAY; requires a valid environment
+// (bench binaries validate first, so a bad value exits 2 before this runs).
+ReplayMode replay_mode_from_env();
+
+// Bump allocator backing the replay tables. Allocations live until reset();
+// growing never moves earlier allocations (each growth is a fresh slab).
+// Only trivial types: nothing is destroyed, memory is simply dropped.
+class ReplayArena {
+ public:
+  template <typename T>
+  T* alloc(std::size_t count) {
+    static_assert(std::is_trivial_v<T>);
+    if (count == 0) return nullptr;
+    void* p = raw_alloc(count * sizeof(T), alignof(T));
+    std::memset(p, 0, count * sizeof(T));
+    return static_cast<T*>(p);
+  }
+
+  // Discards all allocations but keeps the slabs for reuse.
+  void reset();
+
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t num_slabs() const { return slabs_.size(); }
+
+ private:
+  static constexpr std::size_t kMinSlabBytes = 1 << 16;
+
+  void* raw_alloc(std::size_t bytes, std::size_t align);
+
+  struct Slab {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  std::vector<Slab> slabs_;
+  std::size_t bytes_allocated_ = 0;
+};
+
+// Structure-of-arrays static-block metadata: everything BlockRunStream
+// derives per event, resolved once per (image, layout).
+class BlockMetaTable {
+ public:
+  void build(const cfg::ProgramImage& image, const cfg::AddressMap& layout,
+             ReplayArena& arena);
+
+  std::size_t size() const { return size_; }
+  std::uint64_t addr(cfg::BlockId b) const { return addr_[b]; }
+  std::uint64_t end_addr(cfg::BlockId b) const { return end_addr_[b]; }
+  std::uint32_t insns(cfg::BlockId b) const { return insns_[b]; }
+  bool ends_in_branch(cfg::BlockId b) const { return branch_[b] != 0; }
+  cfg::BlockKind kind(cfg::BlockId b) const {
+    return static_cast<cfg::BlockKind>(kind_[b]);
+  }
+
+ private:
+  std::size_t size_ = 0;
+  const std::uint64_t* addr_ = nullptr;
+  const std::uint64_t* end_addr_ = nullptr;
+  const std::uint32_t* insns_ = nullptr;
+  const std::uint8_t* branch_ = nullptr;
+  const std::uint8_t* kind_ = nullptr;
+};
+
+// The whole trace decoded into one contiguous block-id slab, chunk by chunk
+// (each BlockTrace chunk restarts its delta base, so chunks decode
+// independently — no per-event stream state survives the build).
+class EventSlab {
+ public:
+  void build(const trace::BlockTrace& trace);
+
+  std::size_t size() const { return events_.size(); }
+  cfg::BlockId operator[](std::size_t i) const { return events_[i]; }
+  const cfg::BlockId* data() const { return events_.data(); }
+  // Largest id in the slab (0 for an empty slab): plans check it against the
+  // metadata table once, so the hot loops can index unchecked.
+  cfg::BlockId max_id() const { return max_id_; }
+
+ private:
+  std::vector<cfg::BlockId> events_;
+  cfg::BlockId max_id_ = 0;
+};
+
+// Compiled-mode flat tables keyed by block id: cache-line membership under
+// one fixed line size (the grid's geometry) and the trace-cache word index.
+class CompiledTable {
+ public:
+  // Fires faultpoint "replay.compile"; on a fault the table stays invalid
+  // and the caller falls back to the interpreter.
+  Status build(const BlockMetaTable& meta, std::uint32_t line_bytes,
+               ReplayArena& arena);
+
+  bool valid() const { return line_bytes_ != 0; }
+  std::uint32_t line_bytes() const { return line_bytes_; }
+  std::uint64_t first_line(cfg::BlockId b) const { return first_line_[b]; }
+  std::uint64_t last_line(cfg::BlockId b) const { return last_line_[b]; }
+  // addr / kInsnBytes: what TraceCache::index_of reduces modulo its entry
+  // count. Pre-resolved so set selection is one AND at simulation time.
+  std::uint64_t word_index(cfg::BlockId b) const { return word_index_[b]; }
+
+ private:
+  std::uint32_t line_bytes_ = 0;
+  const std::uint64_t* first_line_ = nullptr;
+  const std::uint64_t* last_line_ = nullptr;
+  const std::uint64_t* word_index_ = nullptr;
+};
+
+// One built replay: a mode, the shared event slab, and the tables for a
+// specific (image, layout, line size). Immutable once built; safe to share
+// across threads.
+class ReplayPlan {
+ public:
+  ReplayMode mode() const { return mode_; }
+  std::uint64_t num_events() const { return slab_->size(); }
+  const EventSlab& slab() const { return *slab_; }
+  const BlockMetaTable& meta() const { return meta_; }
+  const CompiledTable& compiled() const { return compiled_; }
+
+  // Materializes event `i` as exactly the BlockRun the interpreter's
+  // BlockRunStream would produce — the contract the shared FetchPipe and
+  // every differential oracle rest on.
+  void make_run(std::uint64_t i, trace::BlockRun& out) const {
+    const cfg::BlockId b = (*slab_)[static_cast<std::size_t>(i)];
+    out.addr = meta_.addr(b);
+    out.insns = meta_.insns(b);
+    out.ends_in_branch = meta_.ends_in_branch(b);
+    out.kind = meta_.kind(b);
+    if (i + 1 < slab_->size()) {
+      out.has_next = true;
+      out.next_addr = meta_.addr((*slab_)[static_cast<std::size_t>(i + 1)]);
+      out.taken = out.next_addr != meta_.end_addr(b);
+    } else {
+      out.has_next = false;
+      out.taken = false;
+      out.next_addr = 0;
+    }
+  }
+
+ private:
+  friend Result<ReplayPlan> build_replay_plan(
+      ReplayMode mode, std::shared_ptr<const EventSlab> slab,
+      const cfg::ProgramImage& image, const cfg::AddressMap& layout,
+      std::uint32_t line_bytes);
+
+  ReplayMode mode_ = ReplayMode::kBatched;
+  std::shared_ptr<const EventSlab> slab_;
+  std::unique_ptr<ReplayArena> arena_;  // stable storage behind the tables
+  BlockMetaTable meta_;
+  CompiledTable compiled_;
+};
+
+// Builds a plan for `mode` (kBatched or kCompiled). `line_bytes` is the
+// cache-line size the compiled tables specialize for; 0 skips the line
+// tables (layout-only plans, e.g. sequentiality). The slab may be shared
+// between plans over the same trace.
+Result<ReplayPlan> build_replay_plan(ReplayMode mode,
+                                     std::shared_ptr<const EventSlab> slab,
+                                     const cfg::ProgramImage& image,
+                                     const cfg::AddressMap& layout,
+                                     std::uint32_t line_bytes);
+Result<ReplayPlan> build_replay_plan(ReplayMode mode,
+                                     const trace::BlockTrace& trace,
+                                     const cfg::ProgramImage& image,
+                                     const cfg::AddressMap& layout,
+                                     std::uint32_t line_bytes);
+
+// Memoizes slabs per trace and plans per (mode, trace, image, layout, line
+// size) — the bench grids evaluate many cells over few distinct layouts.
+// Keys are CONTENT fingerprints, not object addresses: benches rebuild
+// traces, images and layouts per cell, and the allocator happily recycles a
+// dead layout's address for the next one — a pointer key would then serve a
+// plan built for different code. Returns nullptr for kInterp and for a
+// failed compiled build (fault injection); callers then take the
+// interpreter path. Thread-safe.
+class ReplayPlanCache {
+ public:
+  const ReplayPlan* get(ReplayMode mode, const trace::BlockTrace& trace,
+                        const cfg::ProgramImage& image,
+                        const cfg::AddressMap& layout,
+                        std::uint32_t line_bytes);
+
+ private:
+  using Key = std::tuple<int, std::uint64_t, std::uint64_t, std::uint64_t,
+                         std::uint32_t>;
+  std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<const EventSlab>> slabs_;
+  std::map<Key, std::unique_ptr<const ReplayPlan>> plans_;  // null = fallback
+  bool logged_fallback_ = false;
+};
+
+// Batched/compiled equivalents of run_missrate and measure_sequentiality
+// (the fetch-unit and trace-cache plan overloads live next to their
+// interpreter versions in fetch_unit.h / trace_cache.h / front_end.h).
+MissRateResult replay_missrate(const ReplayPlan& plan, ICache& cache,
+                               std::vector<std::uint64_t>* per_block_misses =
+                                   nullptr);
+trace::SequentialityStats replay_sequentiality(const ReplayPlan& plan);
+
+}  // namespace stc::sim

@@ -1,5 +1,6 @@
 #include "sim/trace_cache.h"
 
+#include "sim/replay.h"
 #include "support/check.h"
 
 namespace stc::sim {
@@ -52,11 +53,13 @@ void TraceCache::commit_fill() {
   ++stored_;
 }
 
-FetchResult run_trace_cache(const trace::BlockTrace& trace,
-                            const cfg::ProgramImage& image,
-                            const cfg::AddressMap& layout,
-                            const FetchParams& params,
-                            const TraceCacheParams& tc_params, ICache* cache) {
+namespace {
+
+// The simulation proper, backend-agnostic: both run_trace_cache overloads
+// feed it a FetchPipe and get bit-identical counters.
+FetchResult run_trace_cache_pipe(FetchPipe& pipe, const FetchParams& params,
+                                 const TraceCacheParams& tc_params,
+                                 ICache* cache) {
   STC_REQUIRE(params.perfect_icache || cache != nullptr);
   if (cache != nullptr) cache->reset();
   const std::uint32_t line_bytes =
@@ -64,7 +67,6 @@ FetchResult run_trace_cache(const trace::BlockTrace& trace,
 
   TraceCache tc(tc_params);
   FetchResult result;
-  FetchPipe pipe(trace, image, layout);
   while (!pipe.done()) {
     const std::uint64_t fetch_addr = pipe.addr();
     if (const std::uint32_t hit_len = tc.probe(fetch_addr, pipe)) {
@@ -122,6 +124,23 @@ FetchResult run_trace_cache(const trace::BlockTrace& trace,
   result.tc_fills = tc.stored_traces();
   result.tc_probes = tc.probes();
   return result;
+}
+
+}  // namespace
+
+FetchResult run_trace_cache(const trace::BlockTrace& trace,
+                            const cfg::ProgramImage& image,
+                            const cfg::AddressMap& layout,
+                            const FetchParams& params,
+                            const TraceCacheParams& tc_params, ICache* cache) {
+  FetchPipe pipe(trace, image, layout);
+  return run_trace_cache_pipe(pipe, params, tc_params, cache);
+}
+
+FetchResult run_trace_cache(const ReplayPlan& plan, const FetchParams& params,
+                            const TraceCacheParams& tc_params, ICache* cache) {
+  FetchPipe pipe(plan);
+  return run_trace_cache_pipe(pipe, params, tc_params, cache);
 }
 
 }  // namespace stc::sim

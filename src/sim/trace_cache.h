@@ -82,4 +82,9 @@ FetchResult run_trace_cache(const trace::BlockTrace& trace,
                             const FetchParams& params,
                             const TraceCacheParams& tc_params, ICache* cache);
 
+// Batched/compiled replay from a pre-built plan (sim/replay.h); counters are
+// bit-identical to the interpreter overload.
+FetchResult run_trace_cache(const ReplayPlan& plan, const FetchParams& params,
+                            const TraceCacheParams& tc_params, ICache* cache);
+
 }  // namespace stc::sim

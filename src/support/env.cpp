@@ -129,6 +129,17 @@ Result<std::uint32_t> ftq_depth() {
   return static_cast<std::uint32_t>(parsed.value());
 }
 
+Result<std::string> replay() {
+  const char* value = std::getenv("STC_REPLAY");
+  if (value == nullptr) return std::string("auto");
+  const std::string v(value);
+  for (const char* name : {"interp", "batched", "compiled", "auto"}) {
+    if (v == name) return v;
+  }
+  return invalid_argument_error(
+      "STC_REPLAY='" + v + "': expected one of interp|batched|compiled|auto");
+}
+
 Result<double> job_timeout() {
   const char* value = std::getenv("STC_JOB_TIMEOUT");
   if (value == nullptr) return 0.0;
@@ -162,6 +173,7 @@ Status validate_all() {
   if (Status s = verify().status(); !s.is_ok()) return s;
   if (Status s = bpred().status(); !s.is_ok()) return s;
   if (Status s = ftq_depth().status(); !s.is_ok()) return s;
+  if (Status s = replay().status(); !s.is_ok()) return s;
   if (Status s = job_timeout().status(); !s.is_ok()) return s;
   if (Status s = job_retries().status(); !s.is_ok()) return s;
   if (const char* spec = std::getenv("STC_FAULT")) {

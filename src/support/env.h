@@ -46,6 +46,11 @@ Result<std::string> bpred();
 // (0 disables prefetching). Default 8.
 Result<std::uint32_t> ftq_depth();
 
+// STC_REPLAY: trace replay engine; one of interp|batched|compiled|auto.
+// Default "auto" (the fastest mode whose output is oracle-identical to the
+// interpreter — currently compiled). See src/sim/replay.h.
+Result<std::string> replay();
+
 // STC_JOB_TIMEOUT: per-job deadline in seconds; finite double >= 0
 // (0 disables the watchdog). Default 0.
 Result<double> job_timeout();

@@ -371,7 +371,7 @@ std::string ExperimentRunner::report_json() const {
   JsonWriter w;
   w.begin_object();
   w.key("bench").value(bench_name_);
-  w.key("schema_version").value(std::uint64_t{2});
+  w.key("schema_version").value(std::uint64_t{3});
   w.key("threads").value(static_cast<std::uint64_t>(threads_used_));
 
   w.key("env").begin_object();
@@ -402,14 +402,17 @@ std::string ExperimentRunner::report_json() const {
   for (const auto& p : phases_) {
     if (p.first == "replay") replay_seconds = p.second;
   }
+  // Schema v3: the throughput block is mandatory and always carries
+  // events_per_sec (trace events — the "blocks" counter — replayed per
+  // second of the replay phase; 0.0 when the phase was not timed).
+  const auto rate = [&](std::uint64_t total) {
+    return replay_seconds > 0.0 ? static_cast<double>(total) / replay_seconds
+                                : 0.0;
+  };
   w.key("throughput").begin_object();
-  if (replay_seconds > 0.0) {
-    w.key("blocks_per_second")
-        .value(static_cast<double>(totals.get("blocks")) / replay_seconds);
-    w.key("instructions_per_second")
-        .value(static_cast<double>(totals.get("instructions")) /
-               replay_seconds);
-  }
+  w.key("events_per_sec").value(rate(totals.get("blocks")));
+  w.key("blocks_per_second").value(rate(totals.get("blocks")));
+  w.key("instructions_per_second").value(rate(totals.get("instructions")));
   w.end_object();
 
   w.key("totals").begin_object();

@@ -71,17 +71,56 @@ void BlockTrace::append(cfg::BlockId block) {
   put_svarint(chunks_.back(), static_cast<std::int64_t>(block) - last_id_);
   last_id_ = static_cast<std::int64_t>(block);
   ++num_events_;
+  content_hash_ = 0;  // memoized hash is stale
 }
 
 void BlockTrace::clear() {
   chunks_.clear();
   num_events_ = 0;
   last_id_ = 0;
+  content_hash_ = 0;
+}
+
+std::uint64_t BlockTrace::content_hash() const {
+  if (content_hash_ != 0) return content_hash_;
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(num_events_);
+  for (const std::vector<std::uint8_t>& chunk : chunks_) {
+    mix(chunk.size());
+    for (const std::uint8_t byte : chunk) {
+      h ^= byte;
+      h *= 1099511628211ull;
+    }
+  }
+  content_hash_ = (h == 0) ? 1 : h;  // reserve 0 for "not computed"
+  return content_hash_;
 }
 
 void BlockTrace::for_each(const std::function<void(cfg::BlockId)>& fn) const {
   Cursor cursor(*this);
   while (!cursor.done()) fn(cursor.next());
+}
+
+std::size_t BlockTrace::decode_chunk(std::size_t index,
+                                     std::vector<cfg::BlockId>& out) const {
+  STC_REQUIRE(index < chunks_.size());
+  const auto& chunk = chunks_[index];
+  std::size_t pos = 0;
+  std::int64_t last_id = 0;  // every chunk restarts the delta base
+  std::size_t events = 0;
+  while (pos < chunk.size()) {
+    last_id += get_svarint(chunk.data(), chunk.size(), pos);
+    STC_DCHECK(last_id >= 0);
+    out.push_back(static_cast<cfg::BlockId>(last_id));
+    ++events;
+  }
+  return events;
 }
 
 cfg::BlockId BlockTrace::Cursor::next() {

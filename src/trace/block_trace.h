@@ -37,8 +37,21 @@ class BlockTrace {
   void append(cfg::BlockId block);
   void clear();
 
+  // FNV-1a over the encoded chunks (content identity, not object identity).
+  // Memoized; appending invalidates. Used by ReplayPlanCache to key plans by
+  // what a trace says rather than where it lives — bench grids rebuild
+  // traces at recycled heap addresses.
+  std::uint64_t content_hash() const;
+
   // Invokes fn(block) for every recorded event, in order.
   void for_each(const std::function<void(cfg::BlockId)>& fn) const;
+
+  // Chunk-granular access for slab decoders (src/sim/replay.h). Each chunk
+  // restarts its delta base, so chunks decode independently of one another.
+  std::size_t num_chunks() const { return chunks_.size(); }
+  // Appends chunk `index`'s block ids to `out`; returns the event count.
+  std::size_t decode_chunk(std::size_t index,
+                           std::vector<cfg::BlockId>& out) const;
 
   // Binary (de)serialization, for caching workload runs on disk.
   // Format: magic, version, event count, then per chunk
@@ -77,6 +90,7 @@ class BlockTrace {
   std::vector<std::vector<std::uint8_t>> chunks_;
   std::uint64_t num_events_ = 0;
   std::int64_t last_id_ = 0;  // encoder state (delta base)
+  mutable std::uint64_t content_hash_ = 0;  // 0 = not yet computed
 };
 
 // TraceSink adapter that appends every event to a BlockTrace.

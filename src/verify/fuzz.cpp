@@ -306,6 +306,26 @@ Report run_case(const FuzzCase& c, Injection injection) {
   return all;
 }
 
+Report run_replay_diff(const FuzzCase& c) {
+  Report all;
+  std::string why;
+  if (!check_case(c, &why)) {
+    all.fail("invalid fuzz case: " + why);
+    return all;
+  }
+  const BuiltCase built = build_case(c);
+  const sim::CacheGeometry geometry{
+      static_cast<std::uint32_t>(c.cache_bytes), c.line_bytes, 1};
+  for (core::LayoutKind kind : kAllKinds) {
+    cfg::AddressMap layout =
+        core::make_layout(kind, built.wcfg, c.cache_bytes, c.cfa_bytes);
+    all.merge(
+        check_replay_modes(built.trace, *built.image, layout, geometry),
+        core::to_string(kind));
+  }
+  return all;
+}
+
 FuzzCase random_case(Rng& rng) {
   FuzzCase c;
   c.cache_bytes = std::uint64_t{512} << rng.uniform(4);  // 512 .. 4096
@@ -493,9 +513,13 @@ FuzzCase without_block(const FuzzCase& c, std::size_t r, std::size_t b) {
 }  // namespace
 
 FuzzCase shrink_case(const FuzzCase& c, Injection injection) {
-  const auto fails = [&](const FuzzCase& candidate) {
+  return shrink_case_with(c, [injection](const FuzzCase& candidate) {
     return !run_case(candidate, injection).ok();
-  };
+  });
+}
+
+FuzzCase shrink_case_with(
+    const FuzzCase& c, const std::function<bool(const FuzzCase&)>& fails) {
   if (!fails(c)) return c;  // nothing to shrink
 
   FuzzCase cur = c;
@@ -605,7 +629,8 @@ FuzzCase shrink_case(const FuzzCase& c, Injection injection) {
   return cur;
 }
 
-std::string emit_cpp(const FuzzCase& c, std::string_view test_name) {
+std::string emit_cpp(const FuzzCase& c, std::string_view test_name,
+                     std::string_view check_fn) {
   std::string out;
   out += "TEST(FuzzRegression, " + std::string(test_name) + ") {\n";
   out += "  stc::verify::FuzzCase c;\n";
@@ -647,7 +672,8 @@ std::string emit_cpp(const FuzzCase& c, std::string_view test_name) {
   }
   emit_u32_list("trace", c.trace);
   emit_u32_list("seeds", c.seeds);
-  out += "  const stc::verify::Report report = stc::verify::run_case(c);\n";
+  out += "  const stc::verify::Report report = stc::verify::" +
+         std::string(check_fn) + "(c);\n";
   out += "  EXPECT_TRUE(report.ok()) << report.summary();\n";
   out += "}\n";
   return out;

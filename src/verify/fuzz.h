@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -88,6 +89,12 @@ enum class Injection { kNone, kShortBlock };
 // the Replicator. Returns the merged report.
 Report run_case(const FuzzCase& c, Injection injection = Injection::kNone);
 
+// Replay-mode differential check: builds the case and runs the oracle's
+// check_replay_modes over every layout kind, requiring the batched and
+// compiled replay engines (sim/replay.h) to reproduce the interpreter's
+// counters bit for bit on every simulator.
+Report run_replay_diff(const FuzzCase& c);
+
 // Random case generation; deterministic in the Rng state.
 FuzzCase random_case(Rng& rng);
 
@@ -96,7 +103,14 @@ FuzzCase random_case(Rng& rng);
 // change only if run_case(c, injection) still fails. Returns the fixpoint.
 FuzzCase shrink_case(const FuzzCase& c, Injection injection = Injection::kNone);
 
-// Paste-ready GoogleTest snippet reconstructing the case.
-std::string emit_cpp(const FuzzCase& c, std::string_view test_name);
+// Same shrink loop against an arbitrary failure predicate (`fails` must be
+// true for `c`); used by --replay-diff to shrink replay-mode divergences.
+FuzzCase shrink_case_with(const FuzzCase& c,
+                          const std::function<bool(const FuzzCase&)>& fails);
+
+// Paste-ready GoogleTest snippet reconstructing the case. `check_fn` names
+// the verify:: entry point the emitted test calls (default "run_case").
+std::string emit_cpp(const FuzzCase& c, std::string_view test_name,
+                     std::string_view check_fn = "run_case");
 
 }  // namespace stc::verify

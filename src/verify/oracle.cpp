@@ -4,6 +4,7 @@
 #include <string>
 
 #include "cfg/types.h"
+#include "sim/replay.h"
 #include "sim/trace_cache.h"
 #include "trace/fetch_stream.h"
 
@@ -671,6 +672,178 @@ Report verify_layout(const trace::BlockTrace& trace,
   if (options.simulators) {
     report.merge(check_simulators(trace, image, layout, options.geometry),
                  layout.name());
+  }
+  return report;
+}
+
+Report check_counters_equal(const CounterSet& expected,
+                            const CounterSet& actual, std::string_view what) {
+  Report report;
+  const auto& e = expected.items();
+  const auto& a = actual.items();
+  if (e.size() != a.size()) {
+    report.fail(std::string(what) + ": " + u64(a.size()) +
+                " counters (expected " + u64(e.size()) + ")");
+    return report;
+  }
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    if (e[i].first != a[i].first) {
+      report.fail(std::string(what) + ": counter #" + u64(i) + " is '" +
+                  a[i].first + "' (expected '" + e[i].first + "')");
+      continue;
+    }
+    if (e[i].second != a[i].second) {
+      report.fail(std::string(what) + ": " + e[i].first + " = " +
+                  u64(a[i].second) + " (interp " + u64(e[i].second) + ")");
+    }
+  }
+  return report;
+}
+
+namespace {
+
+// Every simulator's counters for one replay mode, plus the Table 3
+// per-block miss attribution.
+struct ModeCounters {
+  CounterSet miss;
+  CounterSet seq;
+  CounterSet seq3;
+  CounterSet tc;
+  CounterSet fe_seq3;
+  CounterSet fe_tc;
+  std::vector<std::uint64_t> per_block;
+};
+
+// A realistic speculative front end (gshare + FDIP) so the differential
+// covers predictor/BTB/RAS cycle counts, not just the Table 3/4 baselines.
+frontend::FrontEndParams replay_diff_frontend() {
+  frontend::FrontEndParams fe;
+  fe.kind = frontend::BpredKind::kGshare;
+  fe.table_bits = 8;
+  fe.prefetch = true;
+  fe.ftq_depth = 8;
+  return fe;
+}
+
+}  // namespace
+
+Report check_replay_modes(const trace::BlockTrace& trace,
+                          const cfg::ProgramImage& image,
+                          const cfg::AddressMap& layout,
+                          const sim::CacheGeometry& geometry) {
+  Report report;
+  const sim::FetchParams fparams;
+  const sim::TraceCacheParams tc_params;
+  const frontend::FrontEndParams fe = replay_diff_frontend();
+
+  ModeCounters interp;
+  {
+    sim::ICache cache(geometry);
+    sim::run_missrate(trace, image, layout, cache, &interp.per_block)
+        .export_counters(interp.miss);
+    cache.stats().export_counters(interp.miss);
+  }
+  trace::measure_sequentiality(trace, image, layout)
+      .export_counters(interp.seq);
+  {
+    sim::ICache cache(geometry);
+    sim::run_seq3(trace, image, layout, fparams, &cache)
+        .export_counters(interp.seq3);
+    cache.stats().export_counters(interp.seq3);
+  }
+  {
+    sim::ICache cache(geometry);
+    sim::run_trace_cache(trace, image, layout, fparams, tc_params, &cache)
+        .export_counters(interp.tc);
+    cache.stats().export_counters(interp.tc);
+  }
+  {
+    sim::ICache cache(geometry);
+    const frontend::FrontEndResult r =
+        frontend::run_seq3_frontend(trace, image, layout, fparams, fe, &cache);
+    r.fetch.export_counters(interp.fe_seq3);
+    r.frontend.export_counters(interp.fe_seq3);
+    cache.stats().export_counters(interp.fe_seq3);
+  }
+  {
+    sim::ICache cache(geometry);
+    const frontend::FrontEndResult r = frontend::run_trace_cache_frontend(
+        trace, image, layout, fparams, tc_params, fe, &cache);
+    r.fetch.export_counters(interp.fe_tc);
+    r.frontend.export_counters(interp.fe_tc);
+    cache.stats().export_counters(interp.fe_tc);
+  }
+
+  for (const sim::ReplayMode mode :
+       {sim::ReplayMode::kBatched, sim::ReplayMode::kCompiled}) {
+    Result<sim::ReplayPlan> built = sim::build_replay_plan(
+        mode, trace, image, layout, geometry.line_bytes);
+    const std::string m = sim::to_string(mode);
+    if (!built.is_ok()) {
+      report.fail(m + ": plan build failed: " + built.status().to_string());
+      continue;
+    }
+    const sim::ReplayPlan& plan = built.value();
+    ModeCounters got;
+    {
+      sim::ICache cache(geometry);
+      sim::replay_missrate(plan, cache, &got.per_block)
+          .export_counters(got.miss);
+      cache.stats().export_counters(got.miss);
+    }
+    sim::replay_sequentiality(plan).export_counters(got.seq);
+    {
+      sim::ICache cache(geometry);
+      sim::run_seq3(plan, fparams, &cache).export_counters(got.seq3);
+      cache.stats().export_counters(got.seq3);
+    }
+    {
+      sim::ICache cache(geometry);
+      sim::run_trace_cache(plan, fparams, tc_params, &cache)
+          .export_counters(got.tc);
+      cache.stats().export_counters(got.tc);
+    }
+    {
+      sim::ICache cache(geometry);
+      const frontend::FrontEndResult r =
+          frontend::run_seq3_frontend(plan, fparams, fe, &cache);
+      r.fetch.export_counters(got.fe_seq3);
+      r.frontend.export_counters(got.fe_seq3);
+      cache.stats().export_counters(got.fe_seq3);
+    }
+    {
+      sim::ICache cache(geometry);
+      const frontend::FrontEndResult r =
+          frontend::run_trace_cache_frontend(plan, fparams, tc_params, fe,
+                                             &cache);
+      r.fetch.export_counters(got.fe_tc);
+      r.frontend.export_counters(got.fe_tc);
+      cache.stats().export_counters(got.fe_tc);
+    }
+
+    report.merge(check_counters_equal(interp.miss, got.miss,
+                                      "missrate[" + m + "]"));
+    report.merge(check_counters_equal(interp.seq, got.seq,
+                                      "sequentiality[" + m + "]"));
+    report.merge(check_counters_equal(interp.seq3, got.seq3,
+                                      "seq3[" + m + "]"));
+    report.merge(check_counters_equal(interp.tc, got.tc,
+                                      "trace_cache[" + m + "]"));
+    report.merge(check_counters_equal(interp.fe_seq3, got.fe_seq3,
+                                      "seq3+frontend[" + m + "]"));
+    report.merge(check_counters_equal(interp.fe_tc, got.fe_tc,
+                                      "trace_cache+frontend[" + m + "]"));
+    if (got.per_block != interp.per_block) {
+      std::size_t where = 0;
+      while (where < interp.per_block.size() &&
+             where < got.per_block.size() &&
+             interp.per_block[where] == got.per_block[where]) {
+        ++where;
+      }
+      report.fail("missrate[" + m +
+                  "]: per-block miss attribution diverges at " +
+                  block_ref(image, static_cast<BlockId>(where)));
+    }
   }
   return report;
 }

@@ -32,6 +32,7 @@
 #include "frontend/front_end.h"
 #include "sim/fetch_unit.h"
 #include "sim/icache.h"
+#include "support/stats.h"
 #include "trace/block_trace.h"
 
 namespace stc::verify {
@@ -135,6 +136,23 @@ Report check_frontend_result(const frontend::FrontEndResult& result,
                              const frontend::FrontEndParams& fe_params,
                              std::uint64_t expected_instructions,
                              bool with_trace_cache);
+
+// ---- Replay-mode differential oracle -------------------------------------
+
+// Bit-identity of two counter sets (same keys, same order, same values).
+// `what` names the comparison in error messages.
+Report check_counters_equal(const CounterSet& expected,
+                            const CounterSet& actual, std::string_view what);
+
+// Runs every simulator — miss rate (with per-block attribution),
+// sequentiality, SEQ.3, trace cache, and the speculative front end — in the
+// interp, batched and compiled replay modes (sim/replay.h) and requires the
+// counters to be bit-identical across modes. The interpreter is the
+// reference; any divergence is a replay-engine bug.
+Report check_replay_modes(const trace::BlockTrace& trace,
+                          const cfg::ProgramImage& image,
+                          const cfg::AddressMap& layout,
+                          const sim::CacheGeometry& geometry);
 
 // ---- Umbrella ------------------------------------------------------------
 

@@ -142,6 +142,31 @@ TEST(EnvTest, BpredNamesTheAcceptedSet) {
             std::string::npos);
 }
 
+TEST(EnvTest, ReplayNamesTheAcceptedSet) {
+  {
+    ScopedEnv guard("STC_REPLAY", nullptr);
+    EXPECT_EQ(replay().value(), "auto");  // unset → engine picks
+  }
+  for (const char* good : {"interp", "batched", "compiled", "auto"}) {
+    ScopedEnv guard("STC_REPLAY", good);
+    EXPECT_EQ(replay().value(), good);
+  }
+  for (const char* bad : {"jit", "Interp", "compiled ", ""}) {
+    ScopedEnv guard("STC_REPLAY", bad);
+    const auto r = replay();
+    expect_knob_error(r, "STC_REPLAY", bad);
+    EXPECT_NE(r.status().message().find("interp|batched|compiled|auto"),
+              std::string::npos);
+  }
+}
+
+TEST(EnvTest, ValidateAllChecksReplay) {
+  ScopedEnv guard("STC_REPLAY", "jit");
+  const Status s = validate_all();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("STC_REPLAY"), std::string::npos);
+}
+
 TEST(EnvTest, FtqDepthBounded) {
   {
     ScopedEnv guard("STC_FTQ_DEPTH", "0");

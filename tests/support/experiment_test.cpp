@@ -126,7 +126,7 @@ TEST(ExperimentRunnerTest, ReportCarriesSchemaVersionAndMeta) {
   runner.run(1);
   const std::string report = runner.report_json();
   EXPECT_NE(report.find("\"bench\": \"report\""), std::string::npos);
-  EXPECT_NE(report.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(report.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(report.find("\"scale_factor\": 0.01"), std::string::npos);
   EXPECT_NE(report.find("\"mode\": \"test\""), std::string::npos);
   EXPECT_NE(report.find("\"p\": \"q\""), std::string::npos);

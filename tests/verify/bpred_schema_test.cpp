@@ -114,7 +114,8 @@ std::string build_report() {
 }
 
 bool is_volatile(const std::string& path) {
-  return path == "phases.replay" || path == "throughput.blocks_per_second" ||
+  return path == "phases.replay" || path == "throughput.events_per_sec" ||
+         path == "throughput.blocks_per_second" ||
          path == "throughput.instructions_per_second";
 }
 

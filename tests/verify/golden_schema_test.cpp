@@ -62,7 +62,8 @@ std::string build_report() {
 
 // Paths whose VALUES are wall-clock dependent (structure still locked).
 bool is_volatile(const std::string& path) {
-  return path == "phases.replay" || path == "throughput.blocks_per_second" ||
+  return path == "phases.replay" || path == "throughput.events_per_sec" ||
+         path == "throughput.blocks_per_second" ||
          path == "throughput.instructions_per_second";
 }
 
@@ -84,7 +85,13 @@ TEST(GoldenSchemaTest, TopLevelShapeIsStable) {
   for (std::size_t i = 0; i < 9; ++i) {
     EXPECT_EQ(report.members[i].first, expected[i]) << "key #" << i;
   }
-  EXPECT_EQ(report.find("schema_version")->number, 2.0);
+  EXPECT_EQ(report.find("schema_version")->number, 3.0);
+  // Schema v3: the throughput block is mandatory and leads with
+  // events_per_sec.
+  const JsonValue* throughput = report.find("throughput");
+  ASSERT_TRUE(throughput != nullptr && throughput->is_object());
+  ASSERT_FALSE(throughput->members.empty());
+  EXPECT_EQ(throughput->members[0].first, "events_per_sec");
   const JsonValue* failures = report.find("failures");
   ASSERT_TRUE(failures != nullptr && failures->is_array());
   EXPECT_TRUE(failures->items.empty());  // clean run

@@ -2,6 +2,7 @@
 // trace-file deserializer.
 //
 //   stc_fuzz --iters 5000 --seed 1 [--verbose] [--inject short-block]
+//   stc_fuzz --replay-diff [--iters N] [--seed S] [--verbose]
 //   stc_fuzz --trace-bytes [--seed S] [--verbose]
 //
 // Oracle mode: each iteration derives an independent case seed from
@@ -10,6 +11,11 @@
 // shrunk to a minimal repro, the oracle report is printed together with a
 // paste-ready regression test snippet, and the process exits 1. A clean run
 // exits 0.
+//
+// --replay-diff swaps the oracle for the replay-mode differential check:
+// every generated case is replayed through the interp, batched and compiled
+// engines (sim/replay.h) over every layout kind, and any counter divergence
+// is shrunk to a paste-ready regression snippet. Exit codes as above.
 //
 // --inject short-block corrupts every produced layout with an emulated
 // off-by-one block size (see verify::Injection) — used to prove the oracle
@@ -40,8 +46,9 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--iters N] [--seed S] [--verbose] "
                "[--inject short-block]\n"
+               "       %s --replay-diff [--iters N] [--seed S] [--verbose]\n"
                "       %s --trace-bytes [--seed S] [--verbose]\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
 }
 
 // Accounting for one corpus of mutants over a serialized trace.
@@ -171,6 +178,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool verbose = false;
   bool trace_bytes = false;
+  bool replay_diff = false;
   stc::verify::Injection injection = stc::verify::Injection::kNone;
 
   for (int i = 1; i < argc; ++i) {
@@ -190,6 +198,8 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--trace-bytes") {
       trace_bytes = true;
+    } else if (arg == "--replay-diff") {
+      replay_diff = true;
     } else if (arg == "--inject") {
       const std::string what = next_value();
       if (what != "short-block") {
@@ -207,6 +217,46 @@ int main(int argc, char** argv) {
   }
 
   if (trace_bytes) return run_trace_bytes(seed, verbose);
+
+  if (replay_diff) {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      stc::Rng rng(seed * 0x9e3779b97f4a7c15ull + i);
+      const stc::verify::FuzzCase c = stc::verify::random_case(rng);
+      if (verbose) {
+        std::fprintf(stderr,
+                     "replay-diff iter %llu: %zu routines, %zu blocks, "
+                     "%zu events\n",
+                     static_cast<unsigned long long>(i), c.routines.size(),
+                     c.num_blocks(), c.trace.size());
+      }
+      const stc::verify::Report report = stc::verify::run_replay_diff(c);
+      if (report.ok()) continue;
+      std::fprintf(stderr,
+                   "replay-diff iteration %llu (seed %llu) FAILED:\n%s\n",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(seed),
+                   report.summary().c_str());
+      const stc::verify::FuzzCase shrunk = stc::verify::shrink_case_with(
+          c, [](const stc::verify::FuzzCase& candidate) {
+            return !stc::verify::run_replay_diff(candidate).ok();
+          });
+      std::fprintf(stderr, "shrunk repro (%zu routines, %zu blocks):\n%s\n",
+                   shrunk.routines.size(), shrunk.num_blocks(),
+                   stc::verify::run_replay_diff(shrunk).summary().c_str());
+      std::printf("// paste into tests/verify/regression_cases.cpp:\n%s",
+                  stc::verify::emit_cpp(
+                      shrunk,
+                      "ReplayDiff_seed" + std::to_string(seed) + "_iter" +
+                          std::to_string(i),
+                      "run_replay_diff")
+                      .c_str());
+      return 1;
+    }
+    std::printf("stc_fuzz --replay-diff: %llu iterations clean (seed %llu)\n",
+                static_cast<unsigned long long>(iters),
+                static_cast<unsigned long long>(seed));
+    return 0;
+  }
 
   std::uint64_t injectable = 0;
   for (std::uint64_t i = 0; i < iters; ++i) {
