@@ -293,6 +293,12 @@ const frontend::FrontEndParams& frontend_params() {
   return params;
 }
 
+const backend::BackendParams& backend_params() {
+  static const backend::BackendParams params =
+      backend::BackendParams::from_environment();
+  return params;
+}
+
 sim::ReplayMode replay_mode() {
   static const sim::ReplayMode mode = sim::replay_mode_from_env();
   return mode;
@@ -302,10 +308,18 @@ const sim::ReplayPlan* plan_for(const trace::BlockTrace& trace,
                                 const cfg::ProgramImage& image,
                                 const cfg::AddressMap& layout,
                                 std::uint32_t line_bytes) {
+  return plan_for(trace, image, layout, line_bytes, sim::BackendSpec{});
+}
+
+const sim::ReplayPlan* plan_for(const trace::BlockTrace& trace,
+                                const cfg::ProgramImage& image,
+                                const cfg::AddressMap& layout,
+                                std::uint32_t line_bytes,
+                                const sim::BackendSpec& backend) {
   const sim::ReplayMode mode = replay_mode();
   if (mode == sim::ReplayMode::kInterp) return nullptr;
   static sim::ReplayPlanCache cache;
-  return cache.get(mode, trace, image, layout, line_bytes);
+  return cache.get(mode, trace, image, layout, line_bytes, backend);
 }
 
 const char* to_string(ReplaySimKind kind) {
@@ -314,11 +328,21 @@ const char* to_string(ReplaySimKind kind) {
     case ReplaySimKind::kSequentiality: return "sequentiality";
     case ReplaySimKind::kSeq3: return "seq3";
     case ReplaySimKind::kTraceCache: return "trace_cache";
+    case ReplaySimKind::kBackend: return "backend";
   }
   return "unknown";
 }
 
 namespace {
+
+// The fixed machine the replay-throughput "backend" rows measure: the
+// default out-of-order window. Deliberately independent of the STC_BACKEND
+// knobs — the throughput bench compares replay engines, not machine shapes.
+backend::BackendParams replay_bench_backend() {
+  backend::BackendParams bp;
+  bp.kind = backend::BackendKind::kOoo;
+  return bp;
+}
 
 // Runs one simulator kind through either backend (interp when `plan` is
 // null) and exports its counters in the cell's canonical order.
@@ -367,6 +391,25 @@ void run_replay_sim(ReplaySimKind kind, const trace::BlockTrace& trace,
       cache.stats().export_counters(out);
       return;
     }
+    case ReplaySimKind::kBackend: {
+      const sim::FetchParams params;
+      const frontend::FrontEndParams fe;  // transparent front end
+      const backend::BackendParams bp = replay_bench_backend();
+      sim::ICache cache(geometry);
+      const auto r =
+          plan != nullptr
+              ? backend::run_seq3_backend(*plan, params, fe, bp, &cache)
+              : backend::run_seq3_backend(trace, image, layout, params, fe,
+                                          bp, &cache);
+      if (!r.is_ok()) {
+        throw StatusError(r.status().with_context("replay backend cell"));
+      }
+      r.value().fetch.export_counters(out);
+      r.value().frontend.export_counters(out);
+      r.value().backend.export_counters(out);
+      cache.stats().export_counters(out);
+      return;
+    }
   }
 }
 
@@ -387,8 +430,11 @@ ExperimentResult measure_replay_cell(const trace::BlockTrace& trace,
   std::unique_ptr<sim::ReplayPlan> plan;
   if (mode != sim::ReplayMode::kInterp) {
     const auto plan_start = std::chrono::steady_clock::now();
+    const sim::BackendSpec spec = sim_kind == ReplaySimKind::kBackend
+                                      ? replay_bench_backend().spec()
+                                      : sim::BackendSpec{};
     Result<sim::ReplayPlan> built =
-        sim::build_replay_plan(mode, trace, image, layout, line_bytes);
+        sim::build_replay_plan(mode, trace, image, layout, line_bytes, spec);
     plan_seconds = seconds_since(plan_start);
     if (!built.is_ok()) {
       throw StatusError(built.status().with_context("replay cell plan"));
@@ -432,6 +478,11 @@ ExperimentResult measure_seq3(const trace::BlockTrace& trace,
                               const sim::CacheGeometry& geometry,
                               bool perfect) {
   const frontend::FrontEndParams& fe = frontend_params();
+  const backend::BackendParams& bp = backend_params();
+  if (!bp.off()) {
+    return measure_seq3_backend(trace, image, layout, geometry, fe, bp,
+                                perfect);
+  }
   if (fe.transparent()) {
     return measure_seq3_plain(trace, image, layout, geometry, perfect);
   }
@@ -555,6 +606,69 @@ ExperimentResult measure_tc_bpred(const trace::BlockTrace& trace,
   return result;
 }
 
+ExperimentResult measure_seq3_backend(const trace::BlockTrace& trace,
+                                      const cfg::ProgramImage& image,
+                                      const cfg::AddressMap& layout,
+                                      const sim::CacheGeometry& geometry,
+                                      const frontend::FrontEndParams& fe,
+                                      const backend::BackendParams& bp,
+                                      bool perfect) {
+  STC_CHECK_MSG(!bp.off(),
+                "measure_seq3_backend requires a non-off back end");
+  if (verify_enabled()) verify_triple(trace, image, layout);
+  const sim::ReplayPlan* plan =
+      plan_for(trace, image, layout, geometry.line_bytes, bp.spec());
+  sim::FetchParams params;
+  params.perfect_icache = perfect;
+  sim::ICache cache(geometry);
+  const auto run =
+      plan != nullptr
+          ? backend::run_seq3_backend(*plan, params, fe, bp,
+                                      perfect ? nullptr : &cache)
+          : backend::run_seq3_backend(trace, image, layout, params, fe, bp,
+                                      perfect ? nullptr : &cache);
+  if (!run.is_ok()) {
+    throw StatusError(run.status().with_context("backend cell"));
+  }
+  const backend::BackendResult& sim = run.value();
+  if (verify_enabled()) {
+    require_clean(verify::check_backend_result(
+                      sim, params, fe, bp,
+                      verify::trace_instructions(trace, image)),
+                  "back-end pipeline counters");
+  }
+  ExperimentResult result;
+  result.metric("ipc", sim.ipc());
+  if (!fe.transparent()) {
+    result.metric("mpki",
+                  sim.frontend.mispredicts_per_ki(sim.fetch.instructions));
+  }
+  sim.fetch.export_counters(result.counters());
+  if (!fe.transparent()) sim.frontend.export_counters(result.counters());
+  sim.backend.export_counters(result.counters());
+  if (!perfect) cache.stats().export_counters(result.counters());
+  result.counters().add("blocks", trace.num_events());
+  if (verify_enabled() && plan != nullptr) {
+    cross_check_replay(
+        "seq3+backend", result.counters(), [&](CounterSet& out) {
+          sim::ICache ref(geometry);
+          const auto r = backend::run_seq3_backend(
+              trace, image, layout, params, fe, bp,
+              perfect ? nullptr : &ref);
+          if (!r.is_ok()) {
+            throw StatusError(
+                r.status().with_context("backend interp cross-check"));
+          }
+          r.value().fetch.export_counters(out);
+          if (!fe.transparent()) r.value().frontend.export_counters(out);
+          r.value().backend.export_counters(out);
+          if (!perfect) ref.stats().export_counters(out);
+          out.add("blocks", trace.num_events());
+        });
+  }
+  return result;
+}
+
 ExperimentResult measure_seq(const trace::BlockTrace& trace,
                              const cfg::ProgramImage& image,
                              const cfg::AddressMap& layout) {
@@ -617,6 +731,16 @@ ExperimentResult measure_tc_bpred(Setup& setup, const cfg::AddressMap& layout,
                                   bool perfect) {
   return measure_tc_bpred(setup.test_trace(), setup.image(), layout, geometry,
                           tc, fe, perfect);
+}
+
+ExperimentResult measure_seq3_backend(Setup& setup,
+                                      const cfg::AddressMap& layout,
+                                      const sim::CacheGeometry& geometry,
+                                      const frontend::FrontEndParams& fe,
+                                      const backend::BackendParams& bp,
+                                      bool perfect) {
+  return measure_seq3_backend(setup.test_trace(), setup.image(), layout,
+                              geometry, fe, bp, perfect);
 }
 
 double miss_pct(Setup& setup, const cfg::AddressMap& layout,

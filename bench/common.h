@@ -26,6 +26,14 @@
 //                   counters stay bit-identical to the interpreter (the
 //                   oracle's check_replay_modes proves it, and STC_VERIFY=1
 //                   re-checks every planned cell in-process)
+//   STC_BACKEND   - execution back end: off|inorder|ooo (default off).
+//                   off keeps every bench byte-identical to the
+//                   fetch-bandwidth baseline; inorder/ooo route every SEQ.3
+//                   cell through the full pipeline (src/backend) and the
+//                   "ipc" metric becomes retired-instructions-per-cycle
+//                   under the unified fetch+execute clock
+//   STC_IQ_DEPTH  - back-end issue-queue entries (default 16)
+//   STC_ROB_DEPTH - back-end reorder-buffer entries (default 64)
 //   STC_FAULT     - fault-injection spec, e.g. trace.load.chunk:3 (VERIFY.md)
 // Every knob is validated up front (support/env): a malformed value exits 2
 // with a structured error instead of silently defaulting.
@@ -44,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/pipeline.h"
 #include "core/layouts.h"
 #include "db/tpcd/workload.h"
 #include "frontend/front_end.h"
@@ -131,6 +140,7 @@ class Setup {
 //   measure_seq         -> "insn_per_taken"      (sequentiality headline)
 //   measure_seq3_bpred  -> "ipc", "mpki"         (speculative front end)
 //   measure_tc_bpred    -> "ipc", "tc_hit_pct", "mpki"
+//   measure_seq3_backend-> "ipc" [, "mpki"]      (full execute pipeline)
 // The generic overloads take any (trace, image, layout); the Setup overloads
 // use the Test trace and kernel image.
 //
@@ -140,6 +150,11 @@ class Setup {
 // byte-identical. A *transparent* FrontEndParams handed to the _bpred cells
 // likewise delegates to the baseline simulators, so their fetch counters
 // equal the plain cells' and the front-end counters are all zero.
+//
+// measure_seq3 additionally honors STC_BACKEND (see backend_params): with a
+// non-off kind it routes through measure_seq3_backend, whose "ipc" is
+// retired instructions per unified-pipeline cycle. "mpki" appears only when
+// the front end is realistic (non-transparent), matching the _bpred cells.
 
 ExperimentResult measure_miss(const trace::BlockTrace& trace,
                               const cfg::ProgramImage& image,
@@ -173,6 +188,13 @@ ExperimentResult measure_tc_bpred(const trace::BlockTrace& trace,
                                   const sim::TraceCacheParams& tc,
                                   const frontend::FrontEndParams& fe,
                                   bool perfect = false);
+ExperimentResult measure_seq3_backend(const trace::BlockTrace& trace,
+                                      const cfg::ProgramImage& image,
+                                      const cfg::AddressMap& layout,
+                                      const sim::CacheGeometry& geometry,
+                                      const frontend::FrontEndParams& fe,
+                                      const backend::BackendParams& bp,
+                                      bool perfect = false);
 
 ExperimentResult measure_miss(Setup& setup, const cfg::AddressMap& layout,
                               const sim::CacheGeometry& geometry,
@@ -194,10 +216,20 @@ ExperimentResult measure_tc_bpred(Setup& setup, const cfg::AddressMap& layout,
                                   const sim::TraceCacheParams& tc,
                                   const frontend::FrontEndParams& fe,
                                   bool perfect = false);
+ExperimentResult measure_seq3_backend(Setup& setup,
+                                      const cfg::AddressMap& layout,
+                                      const sim::CacheGeometry& geometry,
+                                      const frontend::FrontEndParams& fe,
+                                      const backend::BackendParams& bp,
+                                      bool perfect = false);
 
 // The process-wide front-end configuration from STC_BPRED/STC_FTQ_DEPTH
 // (read once). transparent() for the default environment.
 const frontend::FrontEndParams& frontend_params();
+
+// The process-wide back-end configuration from STC_BACKEND/STC_IQ_DEPTH/
+// STC_ROB_DEPTH (read once). off() for the default environment.
+const backend::BackendParams& backend_params();
 
 // ---- Replay engine ---------------------------------------------------------
 
@@ -214,13 +246,24 @@ const sim::ReplayPlan* plan_for(const trace::BlockTrace& trace,
                                 const cfg::AddressMap& layout,
                                 std::uint32_t line_bytes);
 
+// As above, for back-end cells: compiled plans additionally carry per-block
+// latency/register tables baked for `backend`, and the cache keys on the
+// spec fingerprint so two back-end configurations never share a plan. The
+// 4-argument overload is plan_for(..., sim::BackendSpec{}) — no tables.
+const sim::ReplayPlan* plan_for(const trace::BlockTrace& trace,
+                                const cfg::ProgramImage& image,
+                                const cfg::AddressMap& layout,
+                                std::uint32_t line_bytes,
+                                const sim::BackendSpec& backend);
+
 // One timed replay-throughput cell (bench/replay_throughput.cpp and the
 // schema-lock test). Runs the selected simulator over the triple in the
 // requested mode, timing the replay loop ("seconds", "events_per_sec") and —
 // for plan-backed modes — the plan build ("plan_seconds"). The counters are
 // always cross-checked against an untimed interpreter run; a divergence
 // throws StatusError so the runner records the cell as failed.
-enum class ReplaySimKind { kMissRate, kSequentiality, kSeq3, kTraceCache };
+enum class ReplaySimKind { kMissRate, kSequentiality, kSeq3, kTraceCache,
+                           kBackend };
 const char* to_string(ReplaySimKind kind);
 ExperimentResult measure_replay_cell(const trace::BlockTrace& trace,
                                      const cfg::ProgramImage& image,

@@ -1,5 +1,7 @@
-// Replay-engine throughput: events/second for every simulator under the
-// interp, batched and compiled replay engines over the pinned Test trace.
+// Replay-engine throughput: events/second for every simulator — including
+// the full back-end pipeline ("backend", fixed default-ooo machine) — under
+// the interp, batched and compiled replay engines over the pinned Test
+// trace.
 //
 // Every cell times its own replay loop (and, for plan-backed modes, the
 // plan build) and then re-runs the interpreter untimed to prove the
@@ -37,11 +39,13 @@ int main() {
   const bench::ReplaySimKind kinds[] = {bench::ReplaySimKind::kMissRate,
                                         bench::ReplaySimKind::kSequentiality,
                                         bench::ReplaySimKind::kSeq3,
-                                        bench::ReplaySimKind::kTraceCache};
+                                        bench::ReplaySimKind::kTraceCache,
+                                        bench::ReplaySimKind::kBackend};
+  constexpr std::size_t kNumKinds = std::size(kinds);
 
   // jobs[kind][mode]
-  std::size_t jobs[4][3];
-  for (std::size_t k = 0; k < 4; ++k) {
+  std::size_t jobs[kNumKinds][3];
+  for (std::size_t k = 0; k < kNumKinds; ++k) {
     for (std::size_t m = 0; m < 3; ++m) {
       const bench::ReplaySimKind kind = kinds[k];
       const sim::ReplayMode mode = modes[m];
@@ -62,7 +66,7 @@ int main() {
   TextTable table;
   table.header({"simulator", "interp ev/s", "batched ev/s", "compiled ev/s",
                 "batched x", "compiled x"});
-  for (std::size_t k = 0; k < 4; ++k) {
+  for (std::size_t k = 0; k < kNumKinds; ++k) {
     const double interp = runner.metric_or(jobs[k][0], "events_per_sec");
     const double batched = runner.metric_or(jobs[k][1], "events_per_sec");
     const double compiled = runner.metric_or(jobs[k][2], "events_per_sec");

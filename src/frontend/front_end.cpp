@@ -1,12 +1,10 @@
 #include "frontend/front_end.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "frontend/engine.h"
 #include "support/check.h"
 #include "support/env.h"
 
@@ -15,308 +13,6 @@ namespace stc::frontend {
 namespace {
 
 using sim::FetchPipe;
-
-// The speculative machinery shared by the SEQ.3 and trace-cache drivers:
-// committed predictor/BTB/RAS state, the in-flight prefetch book-keeping,
-// and the decoupled fetch-target queue that scans the pipe ahead of fetch.
-class Engine {
- public:
-  Engine(const sim::FetchParams& fetch, const FrontEndParams& fe,
-         sim::ICache* cache, std::uint32_t line_bytes, FrontEndStats* stats)
-      : fetch_(fetch),
-        fe_(fe),
-        cache_(cache),
-        line_bytes_(line_bytes),
-        stats_(stats),
-        perfect_(fe.kind == BpredKind::kPerfect),
-        pred_(make_predictor(fe.kind, fe.table_bits)),
-        btb_(fe.btb_entries),
-        ras_(fe.ras_depth),
-        spec_ras_(fe.ras_depth) {}
-
-  bool prefetching() const {
-    return fe_.prefetch && !fetch_.perfect_icache && cache_ != nullptr &&
-           fe_.ftq_depth > 0;
-  }
-
-  // Demand access for one fetch line. Returns true on hit; accumulates the
-  // prefetch outcome for the line and, for a line whose prefetch is still
-  // in flight, raises *wait to the residual latency.
-  bool demand_access(std::uint64_t line_addr, std::uint64_t now,
-                     std::uint64_t* wait) {
-    const bool hit = cache_->access(line_addr);
-    const auto it = inflight_.find(line_addr / line_bytes_);
-    if (it != inflight_.end()) {
-      if (hit) {
-        if (now >= it->second) {
-          ++stats_->prefetch_useful;
-        } else {
-          ++stats_->prefetch_late;
-          *wait = std::max(*wait, it->second - now);
-        }
-      } else {
-        ++stats_->prefetch_evicted;
-      }
-      inflight_.erase(it);
-    }
-    return hit;
-  }
-
-  // Resolves every control transfer of a retired fetch group against the
-  // committed predictor state, training as it goes. Returns the bubble
-  // cycles charged for mispredictions. Must be called after the group has
-  // been consumed from the pipe and after advance(group size).
-  std::uint64_t resolve(const std::vector<FetchPipe::Insn>& group,
-                        bool group_has_next, std::uint64_t group_next_addr) {
-    if (perfect_) return 0;
-    std::uint64_t bubbles = 0;
-    for (std::size_t k = 0; k < group.size(); ++k) {
-      const FetchPipe::Insn& insn = group[k];
-      if (!insn.is_branch) continue;  // layout-inserted jumps are free
-      std::uint64_t actual_next = 0;
-      if (k + 1 < group.size()) {
-        actual_next = group[k + 1].addr;
-      } else if (group_has_next) {
-        actual_next = group_next_addr;
-      } else {
-        break;  // the trace ends at this transfer: nothing to resolve
-      }
-      const std::uint64_t fallthrough = insn.addr + cfg::kInsnBytes;
-
-      // Predict the next fetch address: direction first, then the target
-      // from the RAS (returns) or the BTB (everything else).
-      ++stats_->bp_lookups;
-      std::uint64_t ras_target = 0;
-      if (insn.kind == cfg::BlockKind::kReturn) {
-        ras_target = ras_.pop();
-        ++stats_->ras_pops;
-      }
-      const bool pred_taken = pred_->predict(insn.addr);
-      std::uint64_t pred_next = fallthrough;
-      if (pred_taken) {
-        if (insn.kind == cfg::BlockKind::kReturn) {
-          pred_next = ras_target != 0 ? ras_target : fallthrough;
-        } else {
-          ++stats_->btb_lookups;
-          std::uint64_t target = 0;
-          if (btb_.lookup(insn.addr, &target)) {
-            pred_next = target;
-          } else {
-            ++stats_->btb_misses;
-          }
-        }
-      }
-
-      // Train on the resolved outcome along the actual path.
-      pred_->update(insn.addr, insn.taken);
-      if (insn.kind == cfg::BlockKind::kCall) {
-        ras_.push(fallthrough);
-        ++stats_->ras_pushes;
-      }
-      if (insn.taken && insn.kind != cfg::BlockKind::kReturn) {
-        btb_.update(insn.addr, actual_next);
-      }
-
-      if (pred_next != actual_next) {
-        ++stats_->bp_mispredicts;
-        stats_->bp_bubble_cycles += fe_.mispredict_penalty;
-        bubbles += fe_.mispredict_penalty;
-        flush_ftq();
-      }
-    }
-    return bubbles;
-  }
-
-  // Next-trace selection: would the current predictions follow the stored
-  // path of a trace-cache hit of `len` instructions? Pure check — no
-  // counters, no training; resolution happens when the group retires.
-  bool accepts_trace(FetchPipe& pipe, std::uint32_t len) {
-    if (perfect_) return true;
-    ReturnAddressStack ras = ras_;
-    FetchPipe::Insn insn;
-    FetchPipe::Insn next;
-    for (std::uint32_t k = 0; k < len; ++k) {
-      if (!pipe.peek(k, insn)) return false;
-      if (!insn.is_branch) continue;
-      if (!pipe.peek(k + 1, next)) break;  // trace ends: nothing to diverge
-      const std::uint64_t fallthrough = insn.addr + cfg::kInsnBytes;
-      std::uint64_t ras_target = 0;
-      if (insn.kind == cfg::BlockKind::kReturn) ras_target = ras.pop();
-      std::uint64_t pred_next = fallthrough;
-      if (pred_->predict(insn.addr)) {
-        if (insn.kind == cfg::BlockKind::kReturn) {
-          pred_next = ras_target != 0 ? ras_target : fallthrough;
-        } else {
-          std::uint64_t target = 0;
-          if (btb_.lookup(insn.addr, &target)) pred_next = target;
-        }
-      }
-      if (insn.kind == cfg::BlockKind::kCall) ras.push(fallthrough);
-      if (pred_next != next.addr) return false;
-    }
-    return true;
-  }
-
-  // Slides the fetch-target queue window forward over `n` just-consumed
-  // instructions.
-  void advance(std::uint32_t n) {
-    if (!prefetching()) return;
-    std::uint32_t left = n;
-    while (left > 0 && !ftq_.empty()) {
-      FtqEntry& front = ftq_.front();
-      const std::uint32_t eat = std::min(left, front.insns);
-      front.insns -= eat;
-      left -= eat;
-      if (front.insns == 0) ftq_.pop_front();
-    }
-    scan_offset_ -= std::min(scan_offset_, n);
-    if (blocked_) {
-      blocked_offset_ -= static_cast<std::int64_t>(n);
-      // The blocking branch has retired (and resolved); if it did not flush
-      // us the prediction was right after all — resume scanning.
-      if (blocked_offset_ < 0) blocked_ = false;
-    }
-  }
-
-  // Extends the run-ahead window along the predicted path, then issues up
-  // to prefetch_width line prefetches from the queue.
-  void run_ahead(FetchPipe& pipe, std::uint64_t now) {
-    if (!prefetching()) return;
-    fill_scan(pipe);
-    issue(now);
-  }
-
- private:
-  struct FtqEntry {
-    std::uint64_t line = 0;    // line index (addr / line_bytes)
-    std::uint32_t insns = 0;   // window instructions mapped onto the entry
-    bool issued = false;       // prefetch decision already made
-  };
-
-  void flush_ftq() {
-    if (!prefetching()) return;
-    ftq_.clear();
-    scan_offset_ = 0;
-    blocked_ = false;
-    spec_ras_ = ras_;
-  }
-
-  void fill_scan(FetchPipe& pipe) {
-    FetchPipe::Insn insn;
-    FetchPipe::Insn next;
-    while (!blocked_) {
-      if (!pipe.peek(scan_offset_, insn)) break;  // end of trace
-      const std::uint64_t line = insn.addr / line_bytes_;
-      if (ftq_.empty() || ftq_.back().line != line) {
-        if (ftq_.size() >= fe_.ftq_depth) break;  // window full
-        ftq_.push_back(FtqEntry{line, 0, false});
-      }
-      ++ftq_.back().insns;
-      ++scan_offset_;
-      if (!insn.is_branch || perfect_) continue;
-      if (!pipe.peek(scan_offset_, next)) break;
-      // Speculative prediction with frozen tables and a private RAS copy;
-      // a divergence from the trace means the machine would fetch the wrong
-      // path from here — stop until the branch resolves.
-      const std::uint64_t fallthrough = insn.addr + cfg::kInsnBytes;
-      std::uint64_t ras_target = 0;
-      if (insn.kind == cfg::BlockKind::kReturn) ras_target = spec_ras_.pop();
-      std::uint64_t pred_next = fallthrough;
-      if (pred_->predict(insn.addr)) {
-        if (insn.kind == cfg::BlockKind::kReturn) {
-          pred_next = ras_target != 0 ? ras_target : fallthrough;
-        } else {
-          std::uint64_t target = 0;
-          if (btb_.lookup(insn.addr, &target)) pred_next = target;
-        }
-      }
-      if (insn.kind == cfg::BlockKind::kCall) spec_ras_.push(fallthrough);
-      if (pred_next != next.addr) {
-        blocked_ = true;
-        blocked_offset_ = static_cast<std::int64_t>(scan_offset_) - 1;
-      }
-    }
-  }
-
-  void issue(std::uint64_t now) {
-    std::uint32_t issued = 0;
-    for (FtqEntry& entry : ftq_) {
-      if (issued >= fe_.prefetch_width) break;
-      if (entry.issued) continue;
-      entry.issued = true;
-      if (inflight_.count(entry.line) != 0) continue;  // already in flight
-      if (cache_->prefetch_fill(entry.line * line_bytes_)) continue;
-      inflight_[entry.line] = now + fetch_.miss_penalty;
-      ++stats_->prefetch_issued;
-      ++issued;
-    }
-  }
-
-  const sim::FetchParams fetch_;
-  const FrontEndParams fe_;
-  sim::ICache* cache_;
-  const std::uint32_t line_bytes_;
-  FrontEndStats* stats_;
-
-  const bool perfect_;
-  std::unique_ptr<BranchPredictor> pred_;
-  Btb btb_;
-  ReturnAddressStack ras_;
-
-  // Fetch-target queue state. `scan_offset_` is the window length in
-  // instructions, relative to the pipe's current front; `spec_ras_` evolves
-  // along the scanned (predicted) path and is resynced on every flush.
-  std::deque<FtqEntry> ftq_;
-  std::uint32_t scan_offset_ = 0;
-  bool blocked_ = false;
-  std::int64_t blocked_offset_ = 0;  // window offset of the blocking branch
-  ReturnAddressStack spec_ras_;
-
-  // line index -> completion cycle of the in-flight (or never-demanded)
-  // prefetch; erased at the first demand access of the line.
-  std::unordered_map<std::uint64_t, std::uint64_t> inflight_;
-};
-
-// Charges the i-cache path of one fetch request: demand accesses for the
-// one or two touched lines, the standard miss penalty, and any residual
-// wait on late prefetches.
-void charge_icache(Engine& eng, const sim::Seq3Cycle& cycle,
-                   const sim::FetchParams& params, std::uint32_t line_bytes,
-                   std::uint64_t now, FrontEndResult* out) {
-  std::uint64_t wait = 0;
-  std::uint32_t missed = 0;
-  if (!eng.demand_access(cycle.line0, now, &wait)) ++missed;
-  if (cycle.touched_line1 &&
-      !eng.demand_access(cycle.line0 + line_bytes, now, &wait)) {
-    ++missed;
-  }
-  if (missed > 0) {
-    ++out->fetch.miss_requests;
-    out->fetch.lines_missed += missed;
-    out->fetch.cycles += params.penalty_per_line
-                             ? std::uint64_t{params.miss_penalty} * missed
-                             : params.miss_penalty;
-  }
-  if (wait > 0) {
-    out->fetch.cycles += wait;
-    out->frontend.prefetch_late_cycles += wait;
-  }
-}
-
-void snapshot_group(FetchPipe& pipe, std::uint32_t len,
-                    std::vector<FetchPipe::Insn>* insns, bool* has_next,
-                    std::uint64_t* next_addr) {
-  insns->clear();
-  FetchPipe::Insn insn;
-  for (std::uint32_t k = 0; k < len; ++k) {
-    const bool ok = pipe.peek(k, insn);
-    STC_DCHECK(ok);
-    if (!ok) break;
-    insns->push_back(insn);
-  }
-  *has_next = pipe.peek(len, insn);
-  *next_addr = *has_next ? insn.addr : 0;
-}
 
 // The SEQ.3 front-end loop, backend-agnostic: both run_seq3_frontend
 // overloads feed it a FetchPipe (interpreter- or plan-backed) and get
@@ -342,7 +38,9 @@ FrontEndResult run_seq3_frontend_pipe(FetchPipe& pipe,
     ++result.fetch.fetch_requests;
     ++result.fetch.cycles;
     if (!fetch_params.perfect_icache) {
-      charge_icache(eng, cycle, fetch_params, line_bytes, now, &result);
+      result.fetch.cycles += charge_icache(eng, cycle, fetch_params,
+                                           line_bytes, now, &result.fetch,
+                                           &result.frontend);
     }
     eng.advance(cycle.supplied);
     result.fetch.cycles += eng.resolve(group.insns, group.has_next,
@@ -401,7 +99,9 @@ FrontEndResult run_trace_cache_frontend_pipe(
       ++result.fetch.fetch_requests;
       ++result.fetch.cycles;
       if (!fetch_params.perfect_icache) {
-        charge_icache(eng, cycle, fetch_params, line_bytes, now, &result);
+        result.fetch.cycles += charge_icache(eng, cycle, fetch_params,
+                                             line_bytes, now, &result.fetch,
+                                             &result.frontend);
       }
       for (const FetchPipe::Insn& insn : group.insns) tc.fill_push(insn);
       eng.advance(cycle.supplied);

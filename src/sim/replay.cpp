@@ -121,11 +121,33 @@ Status CompiledTable::build(const BlockMetaTable& meta,
   return Status::ok();
 }
 
+void BackendTable::build(const BlockMetaTable& meta, const BackendSpec& spec,
+                         ReplayArena& arena) {
+  STC_REQUIRE(spec.enabled);
+  const std::size_t n = meta.size();
+  std::uint32_t* latency = arena.alloc<std::uint32_t>(n);
+  std::uint8_t* dest = arena.alloc<std::uint8_t>(n);
+  std::uint8_t* src1 = arena.alloc<std::uint8_t>(n);
+  std::uint8_t* src2 = arena.alloc<std::uint8_t>(n);
+  for (cfg::BlockId b = 0; b < n; ++b) {
+    latency[b] = backend_op_latency(spec, meta.insns(b), meta.kind(b));
+    backend_op_regs(meta.addr(b), meta.insns(b), &dest[b], &src1[b],
+                    &src2[b]);
+  }
+  latency_ = latency;
+  dest_ = dest;
+  src1_ = src1;
+  src2_ = src2;
+  spec_ = spec;
+  valid_ = true;
+}
+
 Result<ReplayPlan> build_replay_plan(ReplayMode mode,
                                      std::shared_ptr<const EventSlab> slab,
                                      const cfg::ProgramImage& image,
                                      const cfg::AddressMap& layout,
-                                     std::uint32_t line_bytes) {
+                                     std::uint32_t line_bytes,
+                                     const BackendSpec& backend) {
   STC_REQUIRE(mode != ReplayMode::kInterp);
   STC_REQUIRE(slab != nullptr);
   ReplayPlan plan;
@@ -143,6 +165,9 @@ Result<ReplayPlan> build_replay_plan(ReplayMode mode,
         !s.is_ok()) {
       return s.with_context("compiled replay");
     }
+    if (backend.enabled) {
+      plan.backend_.build(plan.meta_, backend, *plan.arena_);
+    }
   }
   return plan;
 }
@@ -151,17 +176,20 @@ Result<ReplayPlan> build_replay_plan(ReplayMode mode,
                                      const trace::BlockTrace& trace,
                                      const cfg::ProgramImage& image,
                                      const cfg::AddressMap& layout,
-                                     std::uint32_t line_bytes) {
+                                     std::uint32_t line_bytes,
+                                     const BackendSpec& backend) {
   auto slab = std::make_shared<EventSlab>();
   slab->build(trace);
-  return build_replay_plan(mode, std::move(slab), image, layout, line_bytes);
+  return build_replay_plan(mode, std::move(slab), image, layout, line_bytes,
+                           backend);
 }
 
 const ReplayPlan* ReplayPlanCache::get(ReplayMode mode,
                                        const trace::BlockTrace& trace,
                                        const cfg::ProgramImage& image,
                                        const cfg::AddressMap& layout,
-                                       std::uint32_t line_bytes) {
+                                       std::uint32_t line_bytes,
+                                       const BackendSpec& backend) {
   if (mode == ReplayMode::kInterp) return nullptr;
 
   // Content fingerprints (see the class comment): FNV-1a over what each
@@ -190,7 +218,7 @@ const ReplayPlan* ReplayPlanCache::get(ReplayMode mode,
 
   std::lock_guard<std::mutex> lock(mu_);
   const Key key{static_cast<int>(mode), trace_fp, image_fp, layout_fp,
-                line_bytes};
+                line_bytes, backend.fingerprint()};
   auto it = plans_.find(key);
   if (it != plans_.end()) return it->second.get();
 
@@ -201,7 +229,7 @@ const ReplayPlan* ReplayPlanCache::get(ReplayMode mode,
     slab = std::move(built);
   }
   Result<ReplayPlan> plan =
-      build_replay_plan(mode, slab, image, layout, line_bytes);
+      build_replay_plan(mode, slab, image, layout, line_bytes, backend);
   if (!plan.is_ok()) {
     if (!logged_fallback_) {
       logged_fallback_ = true;

@@ -138,6 +138,75 @@ class EventSlab {
   cfg::BlockId max_id_ = 0;
 };
 
+// Synthetic back-end cost model shared by every replay mode. The back end
+// (src/backend) turns each dynamic block into one op whose latency derives
+// from the block's size and event class (call/return ops pay an extra
+// memory-latency charge) and whose register names derive deterministically
+// from the block's layout address. The spec lives here — not in
+// src/backend — because compiled plans pre-resolve these per-block values
+// into flat tables, and sim must not depend on the back-end library.
+struct BackendSpec {
+  bool enabled = false;
+  std::uint32_t base_latency = 1;  // cycles charged to every op
+  std::uint32_t mem_latency = 3;   // extra cycles for call/return ops
+  std::uint32_t size_shift = 2;    // + (insns >> size_shift) cycles
+
+  // Feeds the ReplayPlanCache key: two distinct enabled configs must never
+  // share a compiled plan (the tables bake the latencies in). Disabled
+  // specs all fingerprint to 0 so backend-off callers keep their old keys.
+  std::uint64_t fingerprint() const {
+    if (!enabled) return 0;
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint64_t v : {std::uint64_t{1}, std::uint64_t{base_latency},
+                            std::uint64_t{mem_latency},
+                            std::uint64_t{size_shift}}) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+      }
+    }
+    return h;
+  }
+
+  friend bool operator==(const BackendSpec& a, const BackendSpec& b) {
+    return a.enabled == b.enabled && a.base_latency == b.base_latency &&
+           a.mem_latency == b.mem_latency && a.size_shift == b.size_shift;
+  }
+  friend bool operator!=(const BackendSpec& a, const BackendSpec& b) {
+    return !(a == b);
+  }
+};
+
+// The synthetic register file is deliberately tiny so real dependency
+// chains form on DSS-sized traces.
+inline constexpr std::uint32_t kBackendRegs = 16;
+
+// Op latency for a block of `insns` instructions ending in `kind`. Clamped
+// to >= 1 so a misconfigured spec can never mint zero-latency ops (which
+// would let an op commit the cycle it issues).
+inline std::uint32_t backend_op_latency(const BackendSpec& spec,
+                                        std::uint32_t insns,
+                                        cfg::BlockKind kind) {
+  std::uint32_t latency = spec.base_latency + (insns >> spec.size_shift);
+  if (kind == cfg::BlockKind::kCall || kind == cfg::BlockKind::kReturn) {
+    latency += spec.mem_latency;
+  }
+  return latency == 0 ? 1 : latency;
+}
+
+// Synthetic register names for the op of a block at layout address `addr`.
+// One fixed pure function of (addr, insns) — the interpreter path computes
+// it per event, the compiled tables bake it in, and equality of the two is
+// what check_replay_modes proves.
+inline void backend_op_regs(std::uint64_t addr, std::uint32_t insns,
+                            std::uint8_t* dest, std::uint8_t* src1,
+                            std::uint8_t* src2) {
+  const std::uint64_t word = addr / cfg::kInsnBytes;
+  *dest = static_cast<std::uint8_t>(word % kBackendRegs);
+  *src1 = static_cast<std::uint8_t>((word + insns) % kBackendRegs);
+  *src2 = static_cast<std::uint8_t>((word / kBackendRegs + 7) % kBackendRegs);
+}
+
 // Compiled-mode flat tables keyed by block id: cache-line membership under
 // one fixed line size (the grid's geometry) and the trace-cache word index.
 class CompiledTable {
@@ -162,6 +231,32 @@ class CompiledTable {
   const std::uint64_t* word_index_ = nullptr;
 };
 
+// Compiled back-end tables keyed by block id: op latency and synthetic
+// register names, pre-resolved under one BackendSpec. The spec is stored so
+// a consumer can detect (and the DCHECK in run_seq3_backend does detect) a
+// plan built for a different back-end config — the stale-plan hazard the
+// ReplayPlanCache key's backend fingerprint component exists to prevent.
+class BackendTable {
+ public:
+  void build(const BlockMetaTable& meta, const BackendSpec& spec,
+             ReplayArena& arena);
+
+  bool valid() const { return valid_; }
+  const BackendSpec& spec() const { return spec_; }
+  std::uint32_t latency(cfg::BlockId b) const { return latency_[b]; }
+  std::uint8_t dest(cfg::BlockId b) const { return dest_[b]; }
+  std::uint8_t src1(cfg::BlockId b) const { return src1_[b]; }
+  std::uint8_t src2(cfg::BlockId b) const { return src2_[b]; }
+
+ private:
+  bool valid_ = false;
+  BackendSpec spec_;
+  const std::uint32_t* latency_ = nullptr;
+  const std::uint8_t* dest_ = nullptr;
+  const std::uint8_t* src1_ = nullptr;
+  const std::uint8_t* src2_ = nullptr;
+};
+
 // One built replay: a mode, the shared event slab, and the tables for a
 // specific (image, layout, line size). Immutable once built; safe to share
 // across threads.
@@ -172,6 +267,7 @@ class ReplayPlan {
   const EventSlab& slab() const { return *slab_; }
   const BlockMetaTable& meta() const { return meta_; }
   const CompiledTable& compiled() const { return compiled_; }
+  const BackendTable& backend() const { return backend_; }
 
   // Materializes event `i` as exactly the BlockRun the interpreter's
   // BlockRunStream would produce — the contract the shared FetchPipe and
@@ -197,29 +293,33 @@ class ReplayPlan {
   friend Result<ReplayPlan> build_replay_plan(
       ReplayMode mode, std::shared_ptr<const EventSlab> slab,
       const cfg::ProgramImage& image, const cfg::AddressMap& layout,
-      std::uint32_t line_bytes);
+      std::uint32_t line_bytes, const BackendSpec& backend);
 
   ReplayMode mode_ = ReplayMode::kBatched;
   std::shared_ptr<const EventSlab> slab_;
   std::unique_ptr<ReplayArena> arena_;  // stable storage behind the tables
   BlockMetaTable meta_;
   CompiledTable compiled_;
+  BackendTable backend_;
 };
 
 // Builds a plan for `mode` (kBatched or kCompiled). `line_bytes` is the
 // cache-line size the compiled tables specialize for; 0 skips the line
-// tables (layout-only plans, e.g. sequentiality). The slab may be shared
-// between plans over the same trace.
+// tables (layout-only plans, e.g. sequentiality). An enabled `backend`
+// spec additionally bakes the back-end op tables into compiled plans. The
+// slab may be shared between plans over the same trace.
 Result<ReplayPlan> build_replay_plan(ReplayMode mode,
                                      std::shared_ptr<const EventSlab> slab,
                                      const cfg::ProgramImage& image,
                                      const cfg::AddressMap& layout,
-                                     std::uint32_t line_bytes);
+                                     std::uint32_t line_bytes,
+                                     const BackendSpec& backend = {});
 Result<ReplayPlan> build_replay_plan(ReplayMode mode,
                                      const trace::BlockTrace& trace,
                                      const cfg::ProgramImage& image,
                                      const cfg::AddressMap& layout,
-                                     std::uint32_t line_bytes);
+                                     std::uint32_t line_bytes,
+                                     const BackendSpec& backend = {});
 
 // Memoizes slabs per trace and plans per (mode, trace, image, layout, line
 // size) — the bench grids evaluate many cells over few distinct layouts.
@@ -234,11 +334,15 @@ class ReplayPlanCache {
   const ReplayPlan* get(ReplayMode mode, const trace::BlockTrace& trace,
                         const cfg::ProgramImage& image,
                         const cfg::AddressMap& layout,
-                        std::uint32_t line_bytes);
+                        std::uint32_t line_bytes,
+                        const BackendSpec& backend = {});
 
  private:
+  // The trailing uint64 is BackendSpec::fingerprint(): plans carrying
+  // back-end tables bake the spec's latencies in, so two configs sharing a
+  // (trace, image, layout, line) cell must still get distinct plans.
   using Key = std::tuple<int, std::uint64_t, std::uint64_t, std::uint64_t,
-                         std::uint32_t>;
+                         std::uint32_t, std::uint64_t>;
   std::mutex mu_;
   std::map<std::uint64_t, std::shared_ptr<const EventSlab>> slabs_;
   std::map<Key, std::unique_ptr<const ReplayPlan>> plans_;  // null = fallback

@@ -140,6 +140,41 @@ Result<std::string> replay() {
       "STC_REPLAY='" + v + "': expected one of interp|batched|compiled|auto");
 }
 
+Result<std::string> backend() {
+  const char* value = std::getenv("STC_BACKEND");
+  if (value == nullptr) return std::string("off");
+  const std::string v(value);
+  for (const char* name : {"off", "inorder", "ooo"}) {
+    if (v == name) return v;
+  }
+  return invalid_argument_error("STC_BACKEND='" + v +
+                                "': expected one of off|inorder|ooo");
+}
+
+Result<std::uint32_t> iq_depth() {
+  const char* value = std::getenv("STC_IQ_DEPTH");
+  if (value == nullptr) return std::uint32_t{16};
+  Result<std::uint64_t> parsed = parse_uint("STC_IQ_DEPTH", value);
+  if (!parsed.is_ok()) return parsed.status();
+  if (parsed.value() == 0 || parsed.value() > 1024) {
+    return invalid_argument_error(std::string("STC_IQ_DEPTH='") + value +
+                                  "': expected a depth in [1, 1024]");
+  }
+  return static_cast<std::uint32_t>(parsed.value());
+}
+
+Result<std::uint32_t> rob_depth() {
+  const char* value = std::getenv("STC_ROB_DEPTH");
+  if (value == nullptr) return std::uint32_t{64};
+  Result<std::uint64_t> parsed = parse_uint("STC_ROB_DEPTH", value);
+  if (!parsed.is_ok()) return parsed.status();
+  if (parsed.value() == 0 || parsed.value() > 4096) {
+    return invalid_argument_error(std::string("STC_ROB_DEPTH='") + value +
+                                  "': expected a depth in [1, 4096]");
+  }
+  return static_cast<std::uint32_t>(parsed.value());
+}
+
 Result<double> job_timeout() {
   const char* value = std::getenv("STC_JOB_TIMEOUT");
   if (value == nullptr) return 0.0;
@@ -174,6 +209,9 @@ Status validate_all() {
   if (Status s = bpred().status(); !s.is_ok()) return s;
   if (Status s = ftq_depth().status(); !s.is_ok()) return s;
   if (Status s = replay().status(); !s.is_ok()) return s;
+  if (Status s = backend().status(); !s.is_ok()) return s;
+  if (Status s = iq_depth().status(); !s.is_ok()) return s;
+  if (Status s = rob_depth().status(); !s.is_ok()) return s;
   if (Status s = job_timeout().status(); !s.is_ok()) return s;
   if (Status s = job_retries().status(); !s.is_ok()) return s;
   if (const char* spec = std::getenv("STC_FAULT")) {

@@ -51,6 +51,19 @@ Result<std::uint32_t> ftq_depth();
 // interpreter — currently compiled). See src/sim/replay.h.
 Result<std::string> replay();
 
+// STC_BACKEND: execution back end behind the front end; one of
+// off|inorder|ooo. Default "off" (fetch-only simulation, byte-identical to
+// the paper's configuration). See src/backend/backend.h.
+Result<std::string> backend();
+
+// STC_IQ_DEPTH: back-end issue-queue depth in ops; integer in [1, 1024].
+// Default 16. Only meaningful with STC_BACKEND != off.
+Result<std::uint32_t> iq_depth();
+
+// STC_ROB_DEPTH: back-end reorder-buffer depth in ops; integer in
+// [1, 4096]. Default 64. Only meaningful with STC_BACKEND != off.
+Result<std::uint32_t> rob_depth();
+
 // STC_JOB_TIMEOUT: per-job deadline in seconds; finite double >= 0
 // (0 disables the watchdog). Default 0.
 Result<double> job_timeout();

@@ -316,11 +316,25 @@ Report run_replay_diff(const FuzzCase& c) {
   const BuiltCase built = build_case(c);
   const sim::CacheGeometry geometry{
       static_cast<std::uint32_t>(c.cache_bytes), c.line_bytes, 1};
+  // Back-end configuration derived deterministically from the case content
+  // so the corpus sweeps machine shapes (kind, IQ/ROB depths, cost model)
+  // as well as program shapes — shrinking a divergence keeps its config
+  // only as long as the content that produced it survives.
+  backend::BackendParams bp;
+  const std::uint64_t salt =
+      c.num_blocks() * 7 + c.trace.size() * 5 + c.line_bytes;
+  bp.kind = (salt % 2 == 0) ? backend::BackendKind::kOoo
+                            : backend::BackendKind::kInOrder;
+  bp.iq_depth = 2 + static_cast<std::uint32_t>(salt % 30);
+  bp.rob_depth = bp.iq_depth + 1 + static_cast<std::uint32_t>(salt % 64);
+  bp.fetch_buffer_ops = 4 + static_cast<std::uint32_t>(salt % 28);
+  bp.mem_latency = static_cast<std::uint32_t>(salt % 6);
+  bp.size_shift = 1 + static_cast<std::uint32_t>(salt % 4);
   for (core::LayoutKind kind : kAllKinds) {
     cfg::AddressMap layout =
         core::make_layout(kind, built.wcfg, c.cache_bytes, c.cfa_bytes);
     all.merge(
-        check_replay_modes(built.trace, *built.image, layout, geometry),
+        check_replay_modes(built.trace, *built.image, layout, geometry, &bp),
         core::to_string(kind));
   }
   return all;

@@ -92,7 +92,10 @@ Report run_case(const FuzzCase& c, Injection injection = Injection::kNone);
 // Replay-mode differential check: builds the case and runs the oracle's
 // check_replay_modes over every layout kind, requiring the batched and
 // compiled replay engines (sim/replay.h) to reproduce the interpreter's
-// counters bit for bit on every simulator.
+// counters bit for bit on every simulator — including the back-end
+// pipeline (src/backend), whose machine shape (inorder/ooo, IQ/ROB depths,
+// cost model) is derived deterministically from the case content so the
+// corpus sweeps configurations.
 Report run_replay_diff(const FuzzCase& c);
 
 // Random case generation; deterministic in the Rng state.

@@ -552,6 +552,121 @@ Report check_frontend_result(const frontend::FrontEndResult& result,
   return report;
 }
 
+Report check_backend_result(const backend::BackendResult& result,
+                            const sim::FetchParams& params,
+                            const frontend::FrontEndParams& fe_params,
+                            const backend::BackendParams& backend_params,
+                            std::uint64_t expected_instructions) {
+  Report report;
+  const sim::FetchResult& fetch = result.fetch;
+  const frontend::FrontEndStats& fe = result.frontend;
+  const backend::BackendStats& be = result.backend;
+  if (backend_params.off()) {
+    report.fail("backend result produced with STC_BACKEND=off");
+    return report;
+  }
+
+  // Conservation: everything fetched is retired, in ops and instructions.
+  if (fetch.instructions != expected_instructions) {
+    report.fail("backend fetched " + u64(fetch.instructions) +
+                " instructions, trace executes " +
+                u64(expected_instructions));
+  }
+  if (be.retired_insns != fetch.instructions) {
+    report.fail("backend retired " + u64(be.retired_insns) +
+                " instructions, fetch supplied " + u64(fetch.instructions));
+  }
+  if (be.retired_ops != be.dispatched_ops ||
+      be.retired_ops != be.issued_ops) {
+    report.fail("backend did not drain: retired " + u64(be.retired_ops) +
+                ", dispatched " + u64(be.dispatched_ops) + ", issued " +
+                u64(be.issued_ops) + " ops");
+  }
+  if (be.retired_ops > be.retired_insns) {
+    report.fail("more retired ops (" + u64(be.retired_ops) +
+                ") than instructions (" + u64(be.retired_insns) +
+                "): some op covered an empty block");
+  }
+  if (expected_instructions > 0 && be.retired_ops == 0) {
+    report.fail("a nonempty trace retired zero ops");
+  }
+
+  // One clock: fetch and the back end count the same cycles, and neither
+  // fetch requests nor commits can outrun their per-cycle bounds.
+  if (fetch.cycles != be.cycles) {
+    report.fail("clock split: fetch counts " + u64(fetch.cycles) +
+                " cycles, backend " + u64(be.cycles));
+  }
+  if (fetch.fetch_requests > be.cycles) {
+    report.fail("more fetch requests (" + u64(fetch.fetch_requests) +
+                ") than cycles (" + u64(be.cycles) + ")");
+  }
+  if (be.retired_ops >
+      be.cycles * std::uint64_t{backend_params.commit_width}) {
+    report.fail("retired " + u64(be.retired_ops) + " ops in " +
+                u64(be.cycles) + " cycles exceeds commit width " +
+                u64(backend_params.commit_width));
+  }
+  if (be.issued_ops > be.cycles * std::uint64_t{backend_params.issue_width}) {
+    report.fail("issued " + u64(be.issued_ops) + " ops in " + u64(be.cycles) +
+                " cycles exceeds issue width " +
+                u64(backend_params.issue_width));
+  }
+
+  // Bounded structures: high-water marks and per-cycle occupancy sums.
+  if (be.iq_peak > backend_params.iq_depth) {
+    report.fail("IQ peak " + u64(be.iq_peak) + " exceeds depth " +
+                u64(backend_params.iq_depth));
+  }
+  if (be.rob_peak > backend_params.rob_depth) {
+    report.fail("ROB peak " + u64(be.rob_peak) + " exceeds depth " +
+                u64(backend_params.rob_depth));
+  }
+  if (be.iq_occupancy_sum >
+      be.cycles * std::uint64_t{backend_params.iq_depth}) {
+    report.fail("IQ occupancy sum " + u64(be.iq_occupancy_sum) +
+                " exceeds depth x cycles");
+  }
+  if (be.rob_occupancy_sum >
+      be.cycles * std::uint64_t{backend_params.rob_depth}) {
+    report.fail("ROB occupancy sum " + u64(be.rob_occupancy_sum) +
+                " exceeds depth x cycles");
+  }
+  for (const auto& [name, value] :
+       {std::pair<const char*, std::uint64_t>{"frontend_stalls",
+                                              be.frontend_stall_cycles},
+        {"issue_stalls", be.issue_stall_cycles},
+        {"empty_cycles", be.empty_cycles}}) {
+    if (value > be.cycles) {
+      report.fail(std::string(name) + " " + u64(value) + " exceed cycles " +
+                  u64(be.cycles));
+    }
+  }
+
+  // Front-end predictor bounds that survive the unified clock (the serial
+  // front-end cycle identity does not apply here).
+  if (fe.bp_bubble_cycles !=
+      fe.bp_mispredicts * std::uint64_t{fe_params.mispredict_penalty}) {
+    report.fail("bubble cycles " + u64(fe.bp_bubble_cycles) + " != " +
+                u64(fe.bp_mispredicts) + " mispredicts x penalty " +
+                u64(fe_params.mispredict_penalty));
+  }
+  if (fe.bp_mispredicts > fe.bp_lookups) {
+    report.fail("more mispredicts (" + u64(fe.bp_mispredicts) +
+                ") than lookups (" + u64(fe.bp_lookups) + ")");
+  }
+  if (fe_params.kind == frontend::BpredKind::kPerfect &&
+      (fe.bp_lookups != 0 || fe.bp_mispredicts != 0 ||
+       fe.bp_bubble_cycles != 0)) {
+    report.fail("perfect predictor reports prediction activity");
+  }
+  if (params.perfect_icache &&
+      (fetch.miss_requests != 0 || fetch.lines_missed != 0)) {
+    report.fail("perfect icache reports misses");
+  }
+  return report;
+}
+
 Report check_simulators(const trace::BlockTrace& trace,
                         const cfg::ProgramImage& image,
                         const cfg::AddressMap& layout,
@@ -711,6 +826,7 @@ struct ModeCounters {
   CounterSet tc;
   CounterSet fe_seq3;
   CounterSet fe_tc;
+  CounterSet be;
   std::vector<std::uint64_t> per_block;
 };
 
@@ -727,14 +843,26 @@ frontend::FrontEndParams replay_diff_frontend() {
 
 }  // namespace
 
+backend::BackendParams replay_diff_backend() {
+  backend::BackendParams bp;
+  bp.kind = backend::BackendKind::kOoo;
+  bp.iq_depth = 8;
+  bp.rob_depth = 24;
+  bp.fetch_buffer_ops = 12;
+  return bp;
+}
+
 Report check_replay_modes(const trace::BlockTrace& trace,
                           const cfg::ProgramImage& image,
                           const cfg::AddressMap& layout,
-                          const sim::CacheGeometry& geometry) {
+                          const sim::CacheGeometry& geometry,
+                          const backend::BackendParams* backend_params) {
   Report report;
   const sim::FetchParams fparams;
   const sim::TraceCacheParams tc_params;
   const frontend::FrontEndParams fe = replay_diff_frontend();
+  const backend::BackendParams bp =
+      backend_params != nullptr ? *backend_params : replay_diff_backend();
 
   ModeCounters interp;
   {
@@ -773,11 +901,27 @@ Report check_replay_modes(const trace::BlockTrace& trace,
     r.frontend.export_counters(interp.fe_tc);
     cache.stats().export_counters(interp.fe_tc);
   }
+  {
+    sim::ICache cache(geometry);
+    const Result<backend::BackendResult> r = backend::run_seq3_backend(
+        trace, image, layout, fparams, fe, bp, &cache);
+    if (!r.is_ok()) {
+      report.fail("backend[interp]: " + r.status().to_string());
+    } else {
+      r.value().fetch.export_counters(interp.be);
+      r.value().frontend.export_counters(interp.be);
+      r.value().backend.export_counters(interp.be);
+      cache.stats().export_counters(interp.be);
+      report.merge(check_backend_result(r.value(), fparams, fe, bp,
+                                        trace_instructions(trace, image)),
+                   "backend[interp]");
+    }
+  }
 
   for (const sim::ReplayMode mode :
        {sim::ReplayMode::kBatched, sim::ReplayMode::kCompiled}) {
     Result<sim::ReplayPlan> built = sim::build_replay_plan(
-        mode, trace, image, layout, geometry.line_bytes);
+        mode, trace, image, layout, geometry.line_bytes, bp.spec());
     const std::string m = sim::to_string(mode);
     if (!built.is_ok()) {
       report.fail(m + ": plan build failed: " + built.status().to_string());
@@ -820,6 +964,19 @@ Report check_replay_modes(const trace::BlockTrace& trace,
       r.frontend.export_counters(got.fe_tc);
       cache.stats().export_counters(got.fe_tc);
     }
+    {
+      sim::ICache cache(geometry);
+      const Result<backend::BackendResult> r =
+          backend::run_seq3_backend(plan, fparams, fe, bp, &cache);
+      if (!r.is_ok()) {
+        report.fail("backend[" + m + "]: " + r.status().to_string());
+      } else {
+        r.value().fetch.export_counters(got.be);
+        r.value().frontend.export_counters(got.be);
+        r.value().backend.export_counters(got.be);
+        cache.stats().export_counters(got.be);
+      }
+    }
 
     report.merge(check_counters_equal(interp.miss, got.miss,
                                       "missrate[" + m + "]"));
@@ -833,6 +990,8 @@ Report check_replay_modes(const trace::BlockTrace& trace,
                                       "seq3+frontend[" + m + "]"));
     report.merge(check_counters_equal(interp.fe_tc, got.fe_tc,
                                       "trace_cache+frontend[" + m + "]"));
+    report.merge(check_counters_equal(interp.be, got.be,
+                                      "backend[" + m + "]"));
     if (got.per_block != interp.per_block) {
       std::size_t where = 0;
       while (where < interp.per_block.size() &&

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "backend/pipeline.h"
 #include "cfg/address_map.h"
 #include "cfg/program.h"
 #include "core/mapping.h"
@@ -137,6 +138,19 @@ Report check_frontend_result(const frontend::FrontEndResult& result,
                              std::uint64_t expected_instructions,
                              bool with_trace_cache);
 
+// Counter identities for a back-end pipeline run (src/backend). The back
+// end must retire exactly what fetch supplied (retired_insns ==
+// fetch.instructions == expected), drain completely (retired == dispatched
+// == issued ops), never exceed its IQ/ROB bounds (peaks and per-cycle
+// occupancy sums), and share one clock with fetch (fetch.cycles ==
+// be_cycles >= fetch_requests). Front-end predictor bounds are re-checked
+// where they still apply under the unified clock.
+Report check_backend_result(const backend::BackendResult& result,
+                            const sim::FetchParams& params,
+                            const frontend::FrontEndParams& fe_params,
+                            const backend::BackendParams& backend_params,
+                            std::uint64_t expected_instructions);
+
 // ---- Replay-mode differential oracle -------------------------------------
 
 // Bit-identity of two counter sets (same keys, same order, same values).
@@ -144,15 +158,26 @@ Report check_frontend_result(const frontend::FrontEndResult& result,
 Report check_counters_equal(const CounterSet& expected,
                             const CounterSet& actual, std::string_view what);
 
+// The back-end configuration the differential harness exercises when the
+// caller does not supply one: an out-of-order machine with a window small
+// enough that back-pressure and both dispatch-stall causes actually fire on
+// fuzz-sized traces.
+backend::BackendParams replay_diff_backend();
+
 // Runs every simulator — miss rate (with per-block attribution),
-// sequentiality, SEQ.3, trace cache, and the speculative front end — in the
-// interp, batched and compiled replay modes (sim/replay.h) and requires the
-// counters to be bit-identical across modes. The interpreter is the
-// reference; any divergence is a replay-engine bug.
+// sequentiality, SEQ.3, trace cache, the speculative front end, and the
+// back-end pipeline — in the interp, batched and compiled replay modes
+// (sim/replay.h) and requires the counters to be bit-identical across
+// modes. The interpreter is the reference; any divergence is a
+// replay-engine bug. `backend_params` overrides the back-end configuration
+// (replay_diff_backend() when null); the interp back-end run additionally
+// passes check_backend_result.
 Report check_replay_modes(const trace::BlockTrace& trace,
                           const cfg::ProgramImage& image,
                           const cfg::AddressMap& layout,
-                          const sim::CacheGeometry& geometry);
+                          const sim::CacheGeometry& geometry,
+                          const backend::BackendParams* backend_params =
+                              nullptr);
 
 // ---- Umbrella ------------------------------------------------------------
 

@@ -245,6 +245,97 @@ TEST(ReplayPlanCacheTest, KeysOnContentNotAddress) {
   EXPECT_EQ(after->meta().addr(0), addr0 + 1024);
 }
 
+// Two distinct enabled back-end specs bake different latencies into their
+// compiled tables, so they must never share a cache entry; the same spec
+// must keep hitting its own entry, and spec-less lookups keep the pre-spec
+// key shape (fingerprint 0).
+TEST(ReplayPlanCacheTest, KeysOnBackendSpec) {
+  Rng rng(7070);
+  const auto image = testing::random_image(rng, 10);
+  const trace::BlockTrace trace = testing::random_trace(*image, rng, 500);
+  const cfg::AddressMap layout = cfg::AddressMap::original(*image);
+
+  BackendSpec spec_a;
+  spec_a.enabled = true;
+  BackendSpec spec_b = spec_a;
+  spec_b.mem_latency += 2;
+
+  ReplayPlanCache cache;
+  const ReplayPlan* none =
+      cache.get(ReplayMode::kCompiled, trace, *image, layout, 32);
+  const ReplayPlan* a =
+      cache.get(ReplayMode::kCompiled, trace, *image, layout, 32, spec_a);
+  const ReplayPlan* b =
+      cache.get(ReplayMode::kCompiled, trace, *image, layout, 32, spec_b);
+  ASSERT_NE(none, nullptr);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(none, a);
+  EXPECT_NE(none, b);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(none->backend().valid());
+  EXPECT_TRUE(a->backend().valid());
+  EXPECT_EQ(a->backend().spec(), spec_a);
+  EXPECT_EQ(b->backend().spec(), spec_b);
+  // Repeat lookups hit their memoized entries.
+  EXPECT_EQ(cache.get(ReplayMode::kCompiled, trace, *image, layout, 32,
+                      spec_a),
+            a);
+  EXPECT_EQ(cache.get(ReplayMode::kCompiled, trace, *image, layout, 32), none);
+}
+
+// The compiled back-end tables agree entry for entry with the shared cost
+// helpers the interpreter uses — the identity the plan path's DCHECKs and
+// the replay-diff oracle rest on.
+TEST(CompiledTableTest, BackendTableMatchesCostHelpers) {
+  Rng rng(8080);
+  const auto image = testing::random_image(rng, 12);
+  const trace::BlockTrace trace = testing::random_trace(*image, rng, 400);
+  const cfg::AddressMap layout = cfg::AddressMap::original(*image);
+
+  BackendSpec spec;
+  spec.enabled = true;
+  spec.base_latency = 2;
+  spec.mem_latency = 5;
+  spec.size_shift = 1;
+  Result<ReplayPlan> plan = build_replay_plan(ReplayMode::kCompiled, trace,
+                                              *image, layout, 32, spec);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  const BackendTable& table = plan.value().backend();
+  ASSERT_TRUE(table.valid());
+  EXPECT_EQ(table.spec(), spec);
+  const BlockMetaTable& meta = plan.value().meta();
+  for (cfg::BlockId b = 0; b < meta.size(); ++b) {
+    EXPECT_EQ(table.latency(b),
+              backend_op_latency(spec, meta.insns(b), meta.kind(b)))
+        << "block " << b;
+    std::uint8_t dest, src1, src2;
+    backend_op_regs(meta.addr(b), meta.insns(b), &dest, &src1, &src2);
+    EXPECT_EQ(table.dest(b), dest) << "block " << b;
+    EXPECT_EQ(table.src1(b), src1) << "block " << b;
+    EXPECT_EQ(table.src2(b), src2) << "block " << b;
+  }
+}
+
+// Batched plans never carry back-end tables (the batched runner recomputes
+// from the spec per event), with or without a spec in the build call.
+TEST(CompiledTableTest, BatchedPlansCarryNoBackendTable) {
+  Rng rng(9090);
+  const auto image = testing::random_image(rng, 6);
+  const trace::BlockTrace trace = testing::random_trace(*image, rng, 200);
+  const cfg::AddressMap layout = cfg::AddressMap::original(*image);
+  BackendSpec spec;
+  spec.enabled = true;
+  Result<ReplayPlan> with_spec = build_replay_plan(
+      ReplayMode::kBatched, trace, *image, layout, 32, spec);
+  ASSERT_TRUE(with_spec.is_ok());
+  EXPECT_FALSE(with_spec.value().backend().valid());
+  Result<ReplayPlan> without = build_replay_plan(ReplayMode::kBatched, trace,
+                                                 *image, layout, 32);
+  ASSERT_TRUE(without.is_ok());
+  EXPECT_FALSE(without.value().backend().valid());
+}
+
 // Faultpoint replay.compile: a failed compiled-table build surfaces as a
 // structured error from build_replay_plan, and the plan cache converts it
 // into a clean interpreter fallback (nullptr), memoized.

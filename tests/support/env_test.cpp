@@ -160,6 +160,67 @@ TEST(EnvTest, ReplayNamesTheAcceptedSet) {
   }
 }
 
+TEST(EnvTest, BackendNamesTheAcceptedSet) {
+  {
+    ScopedEnv guard("STC_BACKEND", nullptr);
+    EXPECT_EQ(backend().value(), "off");  // unset → the paper's simulators
+  }
+  for (const char* good : {"off", "inorder", "ooo"}) {
+    ScopedEnv guard("STC_BACKEND", good);
+    EXPECT_EQ(backend().value(), good);
+  }
+  for (const char* bad : {"tomasulo", "Ooo", "ooo ", ""}) {
+    ScopedEnv guard("STC_BACKEND", bad);
+    const auto r = backend();
+    expect_knob_error(r, "STC_BACKEND", bad);
+    EXPECT_NE(r.status().message().find("off|inorder|ooo"),
+              std::string::npos);
+  }
+}
+
+TEST(EnvTest, IqDepthBounded) {
+  {
+    ScopedEnv guard("STC_IQ_DEPTH", nullptr);
+    EXPECT_EQ(iq_depth().value(), 16u);
+  }
+  {
+    ScopedEnv guard("STC_IQ_DEPTH", "1");
+    EXPECT_EQ(iq_depth().value(), 1u);
+  }
+  for (const char* bad : {"0", "1025", "deep"}) {
+    ScopedEnv guard("STC_IQ_DEPTH", bad);
+    expect_knob_error(iq_depth(), "STC_IQ_DEPTH", bad);
+  }
+}
+
+TEST(EnvTest, RobDepthBounded) {
+  {
+    ScopedEnv guard("STC_ROB_DEPTH", nullptr);
+    EXPECT_EQ(rob_depth().value(), 64u);
+  }
+  {
+    ScopedEnv guard("STC_ROB_DEPTH", "4096");
+    EXPECT_EQ(rob_depth().value(), 4096u);
+  }
+  for (const char* bad : {"0", "4097", "big"}) {
+    ScopedEnv guard("STC_ROB_DEPTH", bad);
+    expect_knob_error(rob_depth(), "STC_ROB_DEPTH", bad);
+  }
+}
+
+TEST(EnvTest, ValidateAllChecksBackendKnobs) {
+  {
+    ScopedEnv guard("STC_BACKEND", "scoreboard");
+    const Status s = validate_all();
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_NE(s.message().find("STC_BACKEND"), std::string::npos);
+  }
+  ScopedEnv guard("STC_ROB_DEPTH", "0");
+  const Status s = validate_all();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("STC_ROB_DEPTH"), std::string::npos);
+}
+
 TEST(EnvTest, ValidateAllChecksReplay) {
   ScopedEnv guard("STC_REPLAY", "jit");
   const Status s = validate_all();

@@ -204,6 +204,47 @@ TEST(FuzzRegression, DeepCallReturnAndIndirectDispatcher) {
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 
+// Back-end replay-diff corpus: run_replay_diff derives the machine shape
+// from the case content (salt = blocks*7 + events*5 + line_bytes), so these
+// two cases pin one in-order (odd salt) and one out-of-order (even salt)
+// configuration through the interp/batched/compiled differential check.
+// Call/return-heavy so every op pays the memory-latency charge and the
+// tiny derived window actually back-pressures the front end.
+TEST(FuzzRegression, ReplayDiffInOrderCallChain) {
+  stc::verify::FuzzCase c;  // 4 blocks, 7 events, line 32: salt 95 (inorder)
+  c.cache_bytes = 1024;
+  c.cfa_bytes = 256;
+  c.line_bytes = 32;
+  c.routines = {
+      {{{3, stc::cfg::BlockKind::kCall}, {2, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{6, stc::cfg::BlockKind::kCall}, {1, stc::cfg::BlockKind::kReturn}},
+       false},
+  };
+  c.edges = {{0, 2, 10}, {2, 3, 10}, {3, 1, 10}};
+  c.trace = {0, 2, 3, 1, 0, 2, 3};
+  const stc::verify::Report report = stc::verify::run_replay_diff(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzRegression, ReplayDiffOooBranchyLoop) {
+  stc::verify::FuzzCase c;  // 4 blocks, 8 events, line 32: salt 100 (ooo)
+  c.cache_bytes = 512;
+  c.cfa_bytes = 128;
+  c.line_bytes = 32;
+  c.routines = {
+      {{{9, stc::cfg::BlockKind::kBranch},
+        {2, stc::cfg::BlockKind::kBranch},
+        {12, stc::cfg::BlockKind::kFallThrough},
+        {1, stc::cfg::BlockKind::kReturn}},
+       false},
+  };
+  c.edges = {{0, 1, 20}, {1, 2, 15}, {2, 0, 15}, {1, 3, 5}};
+  c.trace = {0, 1, 2, 0, 1, 2, 1, 3};
+  const stc::verify::Report report = stc::verify::run_replay_diff(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
 TEST(FuzzRegression, TraceVisitsColdUnprofiledBlocks) {
   stc::verify::FuzzCase c;
   c.cache_bytes = 2048;
