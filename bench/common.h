@@ -35,6 +35,14 @@
 //   STC_IQ_DEPTH  - back-end issue-queue entries (default 16)
 //   STC_ROB_DEPTH - back-end reorder-buffer entries (default 64)
 //   STC_FAULT     - fault-injection spec, e.g. trace.load.chunk:3 (VERIFY.md)
+//   STC_TENANTS   - multi-tenant composer: number of client streams
+//                   (default 4; ablate_multitenant, replay_throughput)
+//   STC_QUANTUM   - composer scheduler quantum in block events per slice
+//                   (default 1000; 0 = run-to-completion)
+//   STC_ARRIVAL   - composer arrival model: rr|poisson|bursty|diurnal
+//                   (default poisson)
+//   STC_TENANT_MIX- comma list of per-tenant mixes, assigned round-robin:
+//                   dss|dss_train|oltp (default dss,oltp)
 // Every knob is validated up front (support/env): a malformed value exits 2
 // with a structured error instead of silently defaulting.
 // The paper's absolute cache sizes (8-64KB) are scaled to this kernel's
@@ -64,6 +72,7 @@
 #include "sim/trace_cache.h"
 #include "support/experiment.h"
 #include "support/table.h"
+#include "workload/composer.h"
 
 namespace stc::bench {
 
@@ -195,6 +204,19 @@ ExperimentResult measure_seq3_backend(const trace::BlockTrace& trace,
                                       const frontend::FrontEndParams& fe,
                                       const backend::BackendParams& bp,
                                       bool perfect = false);
+
+// Tenant-attributed miss rate over a composed multi-tenant trace
+// (src/workload): one pass through a shared cache, attributing every line
+// probe, miss and instruction to the tenant whose provenance segment covers
+// the event. Metrics: "miss_pct" (aggregate, equal to measure_miss on the
+// composed trace), "miss_pct_t<i>" per tenant, and "worst_miss_pct" (the
+// highest per-tenant rate) — the fairness number the tenant-partitioned CFA
+// targets. Under STC_VERIFY the per-tenant counters are re-summed against
+// an independent run_missrate pass.
+ExperimentResult measure_tenant_miss(const workload::ComposedTrace& composed,
+                                     const cfg::ProgramImage& image,
+                                     const cfg::AddressMap& layout,
+                                     const sim::CacheGeometry& geometry);
 
 ExperimentResult measure_miss(Setup& setup, const cfg::AddressMap& layout,
                               const sim::CacheGeometry& geometry,

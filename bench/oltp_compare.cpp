@@ -10,6 +10,7 @@
 #include "bench/common.h"
 #include "core/stc_layout.h"
 #include "db/tpcd/oltp.h"
+#include "workload/streams.h"
 
 int main() {
   using namespace stc;
@@ -28,17 +29,15 @@ int main() {
   runner.meta("cfa_bytes", std::uint64_t{cfa});
 
   // ---- record the OLTP trace (btree database, index-driven mix) ----------
+  // The recording itself lives in src/workload/streams (shared with the
+  // multi-tenant composer); this bench only picks the transaction count.
   trace::BlockTrace oltp_trace;
   profile::Profile oltp_profile(image);
   runner.time_phase("oltp_record", [&] {
-    trace::TraceRecorder recorder(oltp_trace);
-    cfg::TeeSink tee;
-    tee.add(&recorder);
-    tee.add(&oltp_profile);
     db::tpcd::OltpConfig config;
     config.transactions = 800;
-    const auto stats =
-        db::tpcd::run_oltp_workload(setup.btree(), config, &tee);
+    const auto stats = workload::record_oltp_stream(setup.btree(), config,
+                                                    oltp_trace, &oltp_profile);
     std::printf("OLTP mix: %llu order-status, %llu stock-check, %llu "
                 "new-order; %llu rows read, %llu inserted; %llu block "
                 "events\n\n",

@@ -12,10 +12,19 @@
 // tools/perf_gate.py consumes this bench's BENCH_replay_throughput.json:
 // it checks the batched/compiled speedup ratios over interp against
 // bench/perf_baseline.json with a tolerance band, failing CI on a >15%
-// throughput regression.
+// throughput regression. Two extra rows cover the multi-tenant composer
+// (src/workload): "compose" replays a composed multi-tenant trace through
+// the miss-rate simulator in all three modes (ratio-gated like any other
+// sim), and "compose_build" times compose() itself — labelled interp so the
+// gate records its events/sec without a ratio.
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
+#include "support/check.h"
+#include "support/env.h"
+#include "workload/composer.h"
 
 int main() {
   using namespace stc;
@@ -59,6 +68,72 @@ int main() {
           });
     }
   }
+
+  // ---- composer rows -------------------------------------------------------
+  // The composed trace splits the Test trace into STC_TENANTS contiguous
+  // streams and re-interleaves them at STC_QUANTUM/STC_ARRIVAL — no database
+  // work, so the rows time exactly the composer and the replay engines.
+  const std::uint32_t tenants = env::tenants().value_or(4);
+  const auto arrival = workload::parse_arrival(env::arrival().value_or(
+                           "poisson"))
+                           .value_or(workload::ArrivalKind::kPoisson);
+  workload::ComposeParams compose_params;
+  compose_params.quantum_events = env::quantum().value_or(1000);
+  compose_params.arrival = arrival;
+  compose_params.seed = env.seed;
+  std::vector<workload::TenantStream> streams(tenants);
+  {
+    std::vector<cfg::BlockId> events;
+    events.reserve(setup.test_trace().num_events());
+    setup.test_trace().for_each([&](cfg::BlockId b) { events.push_back(b); });
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+      streams[t].name = "span#" + std::to_string(t);
+      const std::size_t lo = events.size() * t / tenants;
+      const std::size_t hi = events.size() * (t + 1) / tenants;
+      for (std::size_t i = lo; i < hi; ++i) streams[t].trace.append(events[i]);
+    }
+  }
+  workload::ComposedTrace composed;
+  runner.time_phase("compose", [&] {
+    auto r = workload::compose(streams, compose_params);
+    STC_CHECK_MSG(r.is_ok(), r.status().to_string().c_str());
+    composed = std::move(r).take();
+  });
+  runner.meta("compose_tenants", std::uint64_t{tenants});
+  runner.meta("compose_quantum", compose_params.quantum_events);
+  runner.meta("compose_switches", composed.context_switches);
+
+  const std::size_t build_job = runner.add(
+      "compose build", {{"sim", "compose_build"}, {"mode", "interp"}},
+      [&streams, compose_params] {
+        const auto start = std::chrono::steady_clock::now();
+        auto r = workload::compose(streams, compose_params);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        STC_CHECK_MSG(r.is_ok(), r.status().to_string().c_str());
+        ExperimentResult result;
+        result.metric("seconds", seconds);
+        result.metric("events_per_sec",
+                      seconds > 0 ? r.value().trace.num_events() / seconds
+                                  : 0.0);
+        result.counters().add("blocks", r.value().trace.num_events());
+        return result;
+      });
+  std::size_t compose_jobs[3];
+  for (std::size_t m = 0; m < 3; ++m) {
+    const sim::ReplayMode mode = modes[m];
+    compose_jobs[m] = runner.add(
+        std::string("compose ") + sim::to_string(mode),
+        {{"sim", "compose"}, {"mode", sim::to_string(mode)}},
+        [&setup, &layout, geometry, &composed, mode] {
+          return bench::measure_replay_cell(composed.trace, setup.image(),
+                                            layout, geometry,
+                                            bench::ReplaySimKind::kMissRate,
+                                            mode);
+        });
+  }
   // Single worker: the cells time themselves, so they must not compete for
   // cores with sibling jobs.
   runner.run(1);
@@ -75,10 +150,22 @@ int main() {
                fmt_fixed(interp > 0 ? batched / interp : 0.0, 2),
                fmt_fixed(interp > 0 ? compiled / interp : 0.0, 2)});
   }
+  {
+    const double interp = runner.metric_or(compose_jobs[0], "events_per_sec");
+    const double batched = runner.metric_or(compose_jobs[1], "events_per_sec");
+    const double compiled = runner.metric_or(compose_jobs[2], "events_per_sec");
+    table.row({"compose (missrate)", fmt_fixed(interp, 0),
+               fmt_fixed(batched, 0), fmt_fixed(compiled, 0),
+               fmt_fixed(interp > 0 ? batched / interp : 0.0, 2),
+               fmt_fixed(interp > 0 ? compiled / interp : 0.0, 2)});
+  }
   std::fputs(table.render().c_str(), stdout);
   std::printf(
-      "\nBatched replay decodes the trace once into a contiguous slab;\n"
-      "compiled replay additionally pre-resolves per-block line indices.\n");
+      "\ncompose() itself: %.0f events/sec over %llu tenants.\n"
+      "Batched replay decodes the trace once into a contiguous slab;\n"
+      "compiled replay additionally pre-resolves per-block line indices.\n",
+      runner.metric_or(build_job, "events_per_sec"),
+      static_cast<unsigned long long>(tenants));
 
   return bench::write_report(runner);
 }

@@ -44,6 +44,61 @@ class Cursor {
   std::uint64_t pos_ = 0;
 };
 
+// Places one later pass's sequences at non-CFA offsets, keeping every
+// region's CFA window free of code so first-pass traces never see
+// interference. (With a zero CFA there is no reservation and placement
+// simply continues.) Shared between the classic and tenant-partitioned
+// mappings — `pass` is the pass number recorded in the provenance.
+template <typename NotePass>
+void place_later_pass(const cfg::ProgramImage& image, cfg::AddressMap& map,
+                      Cursor& cursor, const std::vector<Sequence>& sequences,
+                      std::uint32_t pass, const MappingParams& params,
+                      const NotePass& note_pass) {
+  for (const Sequence& seq : sequences) {
+    std::uint64_t seq_bytes = 0;
+    for (cfg::BlockId b : seq.blocks) seq_bytes += image.block(b).bytes();
+
+    cursor.skip_reserved();
+    if (params.avoid_splitting_sequences &&
+        seq_bytes > cursor.window_remaining() &&
+        seq_bytes <= params.cache_bytes - params.cfa_bytes) {
+      // Start at the next inter-CFA window so the sequence stays contiguous.
+      cursor.place(cursor.window_remaining());
+      cursor.skip_reserved();
+    }
+    for (cfg::BlockId b : seq.blocks) {
+      cursor.skip_reserved();
+      const std::uint64_t bytes = image.block(b).bytes();
+      // A block is atomic: if it cannot finish before the next region's
+      // reserved window it starts at the next inter-CFA window instead of
+      // straddling into the CFA. Blocks larger than a whole window still
+      // cover later windows, but at least begin at a window boundary.
+      const std::uint64_t window = params.cache_bytes - params.cfa_bytes;
+      if (bytes > cursor.window_remaining() &&
+          cursor.window_remaining() < window) {
+        cursor.place(cursor.window_remaining());
+        cursor.skip_reserved();
+      }
+      map.set(b, cursor.place(bytes));
+      note_pass(b, pass);
+    }
+  }
+}
+
+// Remaining blocks fill the entire address space (no reservation): this
+// rarely executed code is expected not to conflict with the CFA traces.
+template <typename NotePass>
+void place_cold(const cfg::ProgramImage& image, cfg::AddressMap& map,
+                Cursor& cursor, const std::vector<cfg::BlockId>& cold_blocks,
+                const NotePass& note_pass) {
+  for (cfg::BlockId b : cold_blocks) {
+    STC_CHECK_MSG(!map.assigned(b),
+                  "cold block already placed by a sequence pass");
+    map.set(b, cursor.place(image.block(b).bytes()));
+    note_pass(b, MappingProvenance::kColdPass);
+  }
+}
+
 }  // namespace
 
 cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
@@ -59,6 +114,9 @@ cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
     provenance->cache_bytes = params.cache_bytes;
     provenance->cfa_bytes = params.cfa_bytes;
     provenance->pass_of.assign(image.num_blocks(), MappingProvenance::kColdPass);
+    provenance->num_tenant_regions = 0;
+    provenance->tenant_of.clear();
+    provenance->tenant_region_start.clear();
   }
   const auto note_pass = [&](cfg::BlockId b, std::uint32_t pass) {
     if (provenance != nullptr) provenance->pass_of[b] = pass;
@@ -77,50 +135,79 @@ cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
                   "first-pass sequences exceed the CFA budget");
   }
 
-  // Later passes: fill non-CFA offsets, keeping every region's CFA window
-  // free of code so first-pass traces never see interference. (With a zero
-  // CFA there is no reservation and placement simply continues.)
   cursor.seek(std::max<std::uint64_t>(params.cfa_bytes, cursor.pos()));
   for (std::size_t p = 1; p < passes.size(); ++p) {
-    for (const Sequence& seq : passes[p]) {
-      std::uint64_t seq_bytes = 0;
-      for (cfg::BlockId b : seq.blocks) seq_bytes += image.block(b).bytes();
+    place_later_pass(image, map, cursor, passes[p],
+                     static_cast<std::uint32_t>(p), params, note_pass);
+  }
 
-      cursor.skip_reserved();
-      if (params.avoid_splitting_sequences &&
-          seq_bytes > cursor.window_remaining() &&
-          seq_bytes <= params.cache_bytes - params.cfa_bytes) {
-        // Start at the next inter-CFA window so the sequence stays contiguous.
-        cursor.place(cursor.window_remaining());
-        cursor.skip_reserved();
-      }
+  place_cold(image, map, cursor, cold_blocks, note_pass);
+
+  map.validate(image);
+  return map;
+}
+
+cfg::AddressMap map_sequences_partitioned(
+    const cfg::ProgramImage& image, std::string layout_name,
+    const std::vector<std::vector<Sequence>>& tenant_pass0,
+    const std::vector<std::uint64_t>& tenant_budgets,
+    const std::vector<std::vector<Sequence>>& later_passes,
+    const std::vector<cfg::BlockId>& cold_blocks, const MappingParams& params,
+    MappingProvenance* provenance) {
+  STC_REQUIRE(params.cache_bytes > 0);
+  STC_REQUIRE(params.cfa_bytes < params.cache_bytes);
+  STC_REQUIRE(!tenant_pass0.empty());
+  STC_REQUIRE(tenant_budgets.size() == tenant_pass0.size());
+  const std::uint32_t groups = static_cast<std::uint32_t>(tenant_pass0.size());
+  // Window boundaries: prefix sums of the per-tenant budgets, which must
+  // tile the CFA exactly.
+  std::vector<std::uint64_t> starts(groups + 1, 0);
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    starts[g + 1] = starts[g] + tenant_budgets[g];
+  }
+  STC_REQUIRE_MSG(starts[groups] == params.cfa_bytes,
+                  "tenant budgets must sum to cfa_bytes");
+
+  cfg::AddressMap map(std::move(layout_name), image.num_blocks());
+  if (provenance != nullptr) {
+    provenance->cache_bytes = params.cache_bytes;
+    provenance->cfa_bytes = params.cfa_bytes;
+    provenance->pass_of.assign(image.num_blocks(), MappingProvenance::kColdPass);
+    provenance->num_tenant_regions = groups;
+    provenance->tenant_of.assign(image.num_blocks(),
+                                 MappingProvenance::kNoTenant);
+    provenance->tenant_region_start = starts;
+  }
+  const auto note_pass = [&](cfg::BlockId b, std::uint32_t pass) {
+    if (provenance != nullptr) provenance->pass_of[b] = pass;
+  };
+
+  // Pass 1, per tenant: group g's sequences fill its CFA sub-window
+  // [starts[g], starts[g+1]).
+  Cursor cursor(params.cache_bytes, params.cfa_bytes);
+  std::uint64_t pass0_end = 0;
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    cursor.seek(starts[g]);
+    const std::uint64_t window_end = starts[g + 1];
+    for (const Sequence& seq : tenant_pass0[g]) {
       for (cfg::BlockId b : seq.blocks) {
-        cursor.skip_reserved();
-        const std::uint64_t bytes = image.block(b).bytes();
-        // A block is atomic: if it cannot finish before the next region's
-        // reserved window it starts at the next inter-CFA window instead of
-        // straddling into the CFA. Blocks larger than a whole window still
-        // cover later windows, but at least begin at a window boundary.
-        const std::uint64_t window = params.cache_bytes - params.cfa_bytes;
-        if (bytes > cursor.window_remaining() &&
-            cursor.window_remaining() < window) {
-          cursor.place(cursor.window_remaining());
-          cursor.skip_reserved();
-        }
-        map.set(b, cursor.place(bytes));
-        note_pass(b, static_cast<std::uint32_t>(p));
+        map.set(b, cursor.place(image.block(b).bytes()));
+        note_pass(b, 0);
+        if (provenance != nullptr) provenance->tenant_of[b] = g;
       }
     }
+    STC_CHECK_MSG(cursor.pos() <= window_end,
+                  "tenant first-pass sequences exceed the CFA sub-window");
+    pass0_end = std::max(pass0_end, cursor.pos());
   }
 
-  // Remaining blocks fill the entire address space (no reservation): this
-  // rarely executed code is expected not to conflict with the CFA traces.
-  for (cfg::BlockId b : cold_blocks) {
-    STC_CHECK_MSG(!map.assigned(b),
-                  "cold block already placed by a sequence pass");
-    map.set(b, cursor.place(image.block(b).bytes()));
-    note_pass(b, MappingProvenance::kColdPass);
+  cursor.seek(std::max<std::uint64_t>(params.cfa_bytes, pass0_end));
+  for (std::size_t p = 0; p < later_passes.size(); ++p) {
+    place_later_pass(image, map, cursor, later_passes[p],
+                     static_cast<std::uint32_t>(p + 1), params, note_pass);
   }
+
+  place_cold(image, map, cursor, cold_blocks, note_pass);
 
   map.validate(image);
   return map;

@@ -34,12 +34,27 @@ struct MappingParams {
 // carries no CFA contract.
 struct MappingProvenance {
   static constexpr std::uint32_t kColdPass = ~std::uint32_t{0};
+  static constexpr std::uint32_t kNoTenant = ~std::uint32_t{0};
 
   std::uint64_t cache_bytes = 0;
   std::uint64_t cfa_bytes = 0;
   std::vector<std::uint32_t> pass_of;  // indexed by BlockId; kColdPass = cold
 
+  // Tenant-partitioned CFA (map_sequences_partitioned): the CFA is split
+  // into `num_tenant_regions` sub-windows — sized by the caller's per-tenant
+  // budgets, not necessarily equal — and tenant g's pass-0 code must live in
+  // sub-window g. tenant_region_start holds the window boundaries as
+  // num_tenant_regions + 1 ascending byte offsets, first 0 and last
+  // cfa_bytes: window g is [tenant_region_start[g], tenant_region_start[g+1]).
+  // num_tenant_regions == 0 means the layout is unpartitioned and both
+  // vectors are empty; otherwise tenant_of is per-block with kNoTenant for
+  // any block not placed by a tenant's first pass.
+  std::uint32_t num_tenant_regions = 0;
+  std::vector<std::uint32_t> tenant_of;
+  std::vector<std::uint64_t> tenant_region_start;
+
   bool empty() const { return pass_of.empty(); }
+  bool partitioned() const { return num_tenant_regions > 0; }
 };
 
 // passes[0] feeds the CFA; its total size must not exceed cfa_bytes
@@ -52,5 +67,22 @@ cfg::AddressMap map_sequences(const cfg::ProgramImage& image,
                               const std::vector<cfg::BlockId>& cold_blocks,
                               const MappingParams& params,
                               MappingProvenance* provenance = nullptr);
+
+// Tenant-partitioned variant of the Figure 4 mapping: the CFA of every
+// cache region is divided into tenant_pass0.size() sub-windows sized by
+// `tenant_budgets` (same length as tenant_pass0; budgets must sum to
+// cfa_bytes) and tenant g's first-pass sequences are mapped contiguously
+// from the g'th window's start — so one tenant's hot loops occupy a
+// disjoint conflict-free range and can never evict another tenant's. Each
+// group's sequences must fit its sub-window (checked). `later_passes[p]`
+// plays the role of passes[p+1] in map_sequences: the shared decaying
+// passes filling non-CFA offsets, then cold blocks.
+cfg::AddressMap map_sequences_partitioned(
+    const cfg::ProgramImage& image, std::string layout_name,
+    const std::vector<std::vector<Sequence>>& tenant_pass0,
+    const std::vector<std::uint64_t>& tenant_budgets,
+    const std::vector<std::vector<Sequence>>& later_passes,
+    const std::vector<cfg::BlockId>& cold_blocks, const MappingParams& params,
+    MappingProvenance* provenance = nullptr);
 
 }  // namespace stc::core

@@ -24,6 +24,79 @@ std::vector<cfg::BlockId> later_pass_seeds(const profile::WeightedCFG& cfg,
   return seeds;
 }
 
+// Splits `sequences` at the CFA budget: the kept prefix (left in
+// `sequences`, in build order — later sequences come from less popular
+// seeds) fits within `budget_bytes`; the spilled remainder is returned for
+// the later passes. A zero budget spills everything.
+std::vector<Sequence> spill_to_budget(const cfg::ProgramImage& image,
+                                      std::vector<Sequence>& sequences,
+                                      std::uint64_t budget_bytes) {
+  std::vector<Sequence> spilled;
+  if (budget_bytes == 0) {
+    spilled = std::move(sequences);
+    sequences.clear();
+    return spilled;
+  }
+  std::uint64_t used = 0;
+  std::size_t keep = 0;
+  for (; keep < sequences.size(); ++keep) {
+    std::uint64_t bytes = 0;
+    for (cfg::BlockId b : sequences[keep].blocks) {
+      bytes += image.block(b).bytes();
+    }
+    if (used + bytes > budget_bytes) break;
+    used += bytes;
+  }
+  spilled.assign(std::make_move_iterator(sequences.begin() +
+                                         static_cast<std::ptrdiff_t>(keep)),
+                 std::make_move_iterator(sequences.end()));
+  sequences.resize(keep);
+  return spilled;
+}
+
+// The decaying later passes: starting from the pass-1 threshold, each pass
+// divides the Exec Threshold by pass_decay until it reaches 1 (the last
+// pass also drops the Branch Threshold to 0 so every executed block lands
+// in a sequence). `spilled` seeds the first later pass.
+std::vector<std::vector<Sequence>> build_decaying_passes(
+    const profile::WeightedCFG& cfg, SeedKind seed_kind,
+    std::uint64_t threshold, const StcParams& params,
+    std::vector<bool>& visited, std::vector<Sequence> spilled) {
+  const std::vector<cfg::BlockId> seeds = later_pass_seeds(cfg, seed_kind);
+  std::vector<std::vector<Sequence>> passes;
+  std::vector<Sequence> current = std::move(spilled);
+  while (true) {
+    const std::uint64_t next_threshold = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(threshold) / params.pass_decay));
+    const bool last_pass = next_threshold == 1 && threshold == 1;
+    threshold = next_threshold;
+    const double branch = last_pass ? 0.0 : params.later_branch_threshold;
+    std::vector<Sequence> built = build_traces_complete(
+        cfg, seeds, TraceBuildParams{threshold, branch}, &visited);
+    current.insert(current.end(), std::make_move_iterator(built.begin()),
+                   std::make_move_iterator(built.end()));
+    passes.push_back(std::move(current));
+    current.clear();
+    if (last_pass) break;
+  }
+  return passes;
+}
+
+// Blocks no pass visited, in original image order.
+std::vector<cfg::BlockId> cold_blocks_of(const cfg::ProgramImage& image,
+                                         const std::vector<bool>& visited) {
+  std::vector<cfg::BlockId> cold;
+  for (cfg::RoutineId r : image.routines_in_order()) {
+    const cfg::RoutineInfo& info = image.routine(r);
+    for (std::uint32_t i = 0; i < info.num_blocks; ++i) {
+      const cfg::BlockId b = info.entry + i;
+      if (!visited[b]) cold.push_back(b);
+    }
+  }
+  return cold;
+}
+
 }  // namespace
 
 std::uint64_t fit_exec_threshold(const profile::WeightedCFG& cfg,
@@ -92,55 +165,18 @@ StcResult stc_layout(const profile::WeightedCFG& cfg, SeedKind seed_kind,
   std::vector<Sequence> pass1 = build_traces_complete(
       cfg, pass1_seeds, TraceBuildParams{threshold, params.branch_threshold},
       &visited);
-  // Spill sequences that no longer fit the CFA budget into pass 2 (kept in
-  // build order: later sequences come from less popular seeds).
-  std::vector<Sequence> spilled;
-  if (params.cfa_bytes > 0) {
-    std::uint64_t used = 0;
-    std::size_t keep = 0;
-    for (; keep < pass1.size(); ++keep) {
-      std::uint64_t bytes = 0;
-      for (cfg::BlockId b : pass1[keep].blocks) bytes += image.block(b).bytes();
-      if (used + bytes > params.cfa_bytes) break;
-      used += bytes;
-    }
-    spilled.assign(std::make_move_iterator(pass1.begin() + keep),
-                   std::make_move_iterator(pass1.end()));
-    pass1.resize(keep);
-  } else {
-    spilled = std::move(pass1);
-    pass1.clear();
-  }
+  std::vector<Sequence> spilled =
+      spill_to_budget(image, pass1, params.cfa_bytes);
   passes.push_back(std::move(pass1));
 
   // ---- Later passes: decaying thresholds -------------------------------
-  const std::vector<cfg::BlockId> seeds = later_pass_seeds(cfg, seed_kind);
-  std::vector<Sequence> current = std::move(spilled);
-  while (true) {
-    const std::uint64_t next_threshold = std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(
-               static_cast<double>(threshold) / params.pass_decay));
-    const bool last_pass = next_threshold == 1 && threshold == 1;
-    threshold = next_threshold;
-    const double branch = last_pass ? 0.0 : params.later_branch_threshold;
-    std::vector<Sequence> built = build_traces_complete(
-        cfg, seeds, TraceBuildParams{threshold, branch}, &visited);
-    current.insert(current.end(), std::make_move_iterator(built.begin()),
-                   std::make_move_iterator(built.end()));
-    passes.push_back(std::move(current));
-    current.clear();
-    if (last_pass) break;
-  }
+  std::vector<std::vector<Sequence>> later = build_decaying_passes(
+      cfg, seed_kind, threshold, params, visited, std::move(spilled));
+  passes.insert(passes.end(), std::make_move_iterator(later.begin()),
+                std::make_move_iterator(later.end()));
 
   // ---- Remaining blocks: cold code in original order --------------------
-  std::vector<cfg::BlockId> cold;
-  for (cfg::RoutineId r : image.routines_in_order()) {
-    const cfg::RoutineInfo& info = image.routine(r);
-    for (std::uint32_t i = 0; i < info.num_blocks; ++i) {
-      const cfg::BlockId b = info.entry + i;
-      if (!visited[b]) cold.push_back(b);
-    }
-  }
+  const std::vector<cfg::BlockId> cold = cold_blocks_of(image, visited);
 
   MappingParams mapping;
   mapping.cache_bytes = params.cache_bytes;
@@ -155,6 +191,110 @@ StcResult stc_layout(const profile::WeightedCFG& cfg, SeedKind seed_kind,
   std::string name = std::string("stc-") + to_string(seed_kind);
   result.layout =
       map_sequences(image, std::move(name), passes, cold, mapping, provenance);
+  return result;
+}
+
+StcResult stc_layout_partitioned(
+    const std::vector<const profile::WeightedCFG*>& tenant_cfgs,
+    SeedKind seed_kind, const StcParams& params,
+    MappingProvenance* provenance) {
+  STC_REQUIRE(!tenant_cfgs.empty());
+  STC_REQUIRE(params.pass_decay > 1.0);
+  STC_REQUIRE_MSG(params.cfa_bytes >= tenant_cfgs.size(),
+                  "partitioned layout needs at least one CFA byte per tenant");
+  const std::uint32_t groups = static_cast<std::uint32_t>(tenant_cfgs.size());
+  const profile::WeightedCFG merged = profile::WeightedCFG::merge(tenant_cfgs);
+  STC_REQUIRE(merged.image != nullptr);
+  const cfg::ProgramImage& image = *merged.image;
+
+  // ---- Demand-weighted sub-windows ---------------------------------------
+  // Each tenant's CFA share is proportional to its dynamic instruction
+  // weight, with a 1-byte floor. Equal shares would starve the heavy
+  // tenants: most hot code is shared across tenants of one binary, and
+  // demoting the globally hottest traces out of the CFA costs far more than
+  // the minority tenant's guaranteed share gains. Weighting keeps the big
+  // tenants near their shared-CFA fit while still reserving a window for
+  // every tenant's residual hot code.
+  std::vector<std::uint64_t> weights(groups, 0);
+  std::uint64_t total_weight = 0;
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    const profile::WeightedCFG& tenant_cfg = *tenant_cfgs[g];
+    for (std::size_t b = 0; b < tenant_cfg.block_count.size(); ++b) {
+      weights[g] += tenant_cfg.block_count[b] *
+                    image.block(static_cast<cfg::BlockId>(b)).insns;
+    }
+    total_weight += weights[g];
+  }
+  std::vector<std::uint64_t> budgets(groups, 1);
+  std::uint64_t assigned = groups;
+  const std::uint64_t distributable = params.cfa_bytes - groups;
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    const std::uint64_t extra =
+        total_weight == 0 ? distributable / groups
+                          : distributable * weights[g] / total_weight;
+    budgets[g] += extra;
+    assigned += extra;
+  }
+  // Rounding leftover goes to the heaviest tenant (lowest index on ties).
+  std::uint32_t heaviest = 0;
+  for (std::uint32_t g = 1; g < groups; ++g) {
+    if (weights[g] > weights[heaviest]) heaviest = g;
+  }
+  budgets[heaviest] += params.cfa_bytes - assigned;
+
+  // ---- Pass 1, per tenant: each group's hot traces, fitted to its CFA
+  // sub-window. The visited set is shared, so blocks hot for several
+  // tenants are claimed by the lowest-numbered one and placed exactly once.
+  std::vector<bool> visited(merged.block_count.size(), false);
+  std::vector<std::vector<Sequence>> tenant_pass0;
+  std::vector<Sequence> spilled;
+  std::uint64_t max_threshold = 1;
+  std::uint64_t pass1_bytes = 0;
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    const profile::WeightedCFG& tenant_cfg = *tenant_cfgs[g];
+    const std::uint64_t budget = budgets[g];
+    const std::vector<cfg::BlockId> seeds = select_seeds(tenant_cfg, seed_kind);
+    const std::uint64_t threshold =
+        params.exec_threshold_pass1.has_value()
+            ? *params.exec_threshold_pass1
+            : fit_exec_threshold(tenant_cfg, seeds, params.branch_threshold,
+                                 budget);
+    max_threshold = std::max(max_threshold, threshold);
+    std::vector<Sequence> pass1 = build_traces_complete(
+        tenant_cfg, seeds, TraceBuildParams{threshold, params.branch_threshold},
+        &visited);
+    // The fit is estimated against a fresh visited set; the shared set can
+    // shift what actually gets built, so enforce the sub-window budget by
+    // spilling whole sequences into the shared later passes.
+    std::vector<Sequence> overflow = spill_to_budget(image, pass1, budget);
+    spilled.insert(spilled.end(), std::make_move_iterator(overflow.begin()),
+                   std::make_move_iterator(overflow.end()));
+    pass1_bytes += sequences_bytes(image, pass1);
+    tenant_pass0.push_back(std::move(pass1));
+  }
+
+  // ---- Later passes: decaying thresholds over the merged profile -------
+  std::vector<std::vector<Sequence>> later = build_decaying_passes(
+      merged, seed_kind, max_threshold, params, visited, std::move(spilled));
+
+  const std::vector<cfg::BlockId> cold = cold_blocks_of(image, visited);
+
+  MappingParams mapping;
+  mapping.cache_bytes = params.cache_bytes;
+  mapping.cfa_bytes = params.cfa_bytes;
+  mapping.avoid_splitting_sequences = params.avoid_splitting_sequences;
+
+  StcResult result;
+  result.exec_threshold_pass1 = max_threshold;
+  result.pass1_bytes = pass1_bytes;
+  result.num_passes = 1 + later.size();
+  for (const auto& pass : tenant_pass0) result.num_sequences += pass.size();
+  for (const auto& pass : later) result.num_sequences += pass.size();
+  std::string name = std::string("stc-") + to_string(seed_kind) + "-part" +
+                     std::to_string(groups);
+  result.layout = map_sequences_partitioned(image, std::move(name),
+                                            tenant_pass0, budgets, later, cold,
+                                            mapping, provenance);
   return result;
 }
 

@@ -51,6 +51,22 @@ StcResult stc_layout(const profile::WeightedCFG& cfg, SeedKind seed_kind,
                      const StcParams& params,
                      MappingProvenance* provenance = nullptr);
 
+// Tenant-partitioned STC layout (the multi-tenant defense): each tenant's
+// first pass is built from its *own* profile and fitted to its CFA
+// sub-window, so no tenant's hot loops can evict another's. Sub-windows are
+// sized in proportion to each tenant's dynamic instruction weight
+// (sum of block_count x insns, with a one-byte floor per tenant), so a
+// light tenant cannot starve a heavy one out of the CFA; the prefix-sum
+// boundaries are recorded in MappingProvenance::tenant_region_start and
+// checked by map_sequences_partitioned. Blocks hot for several tenants are
+// claimed by the lowest-numbered tenant (shared visited set); the decaying
+// later passes and cold section are built from the merged profile exactly
+// like stc_layout. Requires cfa_bytes >= tenant_cfgs.size() > 0.
+StcResult stc_layout_partitioned(
+    const std::vector<const profile::WeightedCFG*>& tenant_cfgs,
+    SeedKind seed_kind, const StcParams& params,
+    MappingProvenance* provenance = nullptr);
+
 // Fits the largest first-pass Exec Threshold... precisely: the smallest
 // threshold whose first-pass sequences still fit within `cfa_bytes`
 // (lower thresholds admit more code). Exposed for tests and the threshold

@@ -56,4 +56,38 @@ WeightedCFG WeightedCFG::from_profile(const Profile& profile) {
   return cfg;
 }
 
+WeightedCFG WeightedCFG::merge(const std::vector<const WeightedCFG*>& parts) {
+  STC_REQUIRE(!parts.empty());
+  WeightedCFG merged;
+  merged.image = parts.front()->image;
+  merged.block_count.assign(parts.front()->block_count.size(), 0);
+  merged.succs.resize(merged.block_count.size());
+  // Accumulate edge counts per source block, then restore the descending
+  // sort order from_profile guarantees.
+  std::vector<std::unordered_map<cfg::BlockId, std::uint64_t>> edges(
+      merged.block_count.size());
+  for (const WeightedCFG* part : parts) {
+    STC_REQUIRE(part->image == merged.image);
+    STC_REQUIRE(part->block_count.size() == merged.block_count.size());
+    for (std::size_t b = 0; b < part->block_count.size(); ++b) {
+      merged.block_count[b] += part->block_count[b];
+      for (const Succ& succ : part->succs[b]) {
+        edges[b][succ.to] += succ.count;
+      }
+    }
+  }
+  for (std::size_t b = 0; b < edges.size(); ++b) {
+    merged.succs[b].reserve(edges[b].size());
+    for (const auto& [to, count] : edges[b]) {
+      merged.succs[b].push_back({to, count});
+    }
+    std::sort(merged.succs[b].begin(), merged.succs[b].end(),
+              [](const Succ& a, const Succ& c) {
+                if (a.count != c.count) return a.count > c.count;
+                return a.to < c.to;  // deterministic tie-break
+              });
+  }
+  return merged;
+}
+
 }  // namespace stc::profile

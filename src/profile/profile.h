@@ -80,6 +80,11 @@ struct WeightedCFG {
 
   static WeightedCFG from_profile(const Profile& profile);
 
+  // Sums per-block and per-edge counts across CFGs over the same image —
+  // the combined view of several tenants' profiles that the shared later
+  // passes of a tenant-partitioned layout are built from.
+  static WeightedCFG merge(const std::vector<const WeightedCFG*>& parts);
+
   // Probability of the transition from -> succ given `from` executed.
   double transition_prob(cfg::BlockId from, const Succ& succ) const {
     const std::uint64_t total = block_count[from];

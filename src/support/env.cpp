@@ -175,6 +175,72 @@ Result<std::uint32_t> rob_depth() {
   return static_cast<std::uint32_t>(parsed.value());
 }
 
+Result<std::uint32_t> tenants() {
+  const char* value = std::getenv("STC_TENANTS");
+  if (value == nullptr) return std::uint32_t{4};
+  Result<std::uint64_t> parsed = parse_uint("STC_TENANTS", value);
+  if (!parsed.is_ok()) return parsed.status();
+  if (parsed.value() == 0 || parsed.value() > 64) {
+    return invalid_argument_error(std::string("STC_TENANTS='") + value +
+                                  "': expected a tenant count in [1, 64]");
+  }
+  return static_cast<std::uint32_t>(parsed.value());
+}
+
+Result<std::uint64_t> quantum() {
+  const char* value = std::getenv("STC_QUANTUM");
+  if (value == nullptr) return std::uint64_t{1000};
+  Result<std::uint64_t> parsed = parse_uint("STC_QUANTUM", value);
+  if (!parsed.is_ok()) return parsed.status();
+  if (parsed.value() > 1000000000) {
+    return invalid_argument_error(
+        std::string("STC_QUANTUM='") + value +
+        "': expected a quantum in [0, 1000000000] events (0 = unbounded)");
+  }
+  return parsed.value();
+}
+
+Result<std::string> arrival() {
+  const char* value = std::getenv("STC_ARRIVAL");
+  if (value == nullptr) return std::string("poisson");
+  const std::string v(value);
+  for (const char* name : {"rr", "poisson", "bursty", "diurnal"}) {
+    if (v == name) return v;
+  }
+  return invalid_argument_error(
+      "STC_ARRIVAL='" + v + "': expected one of rr|poisson|bursty|diurnal");
+}
+
+Result<std::string> tenant_mix() {
+  const char* value = std::getenv("STC_TENANT_MIX");
+  if (value == nullptr) return std::string("dss,oltp");
+  const std::string v(value);
+  std::size_t begin = 0;
+  bool any = false;
+  while (begin <= v.size()) {
+    const std::size_t comma = v.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? v.size() : comma;
+    const std::string entry = v.substr(begin, end - begin);
+    bool known = false;
+    for (const char* name : {"dss", "dss_train", "oltp"}) {
+      if (entry == name) known = true;
+    }
+    if (!known) {
+      return invalid_argument_error(
+          "STC_TENANT_MIX='" + v + "': entry '" + entry +
+          "' not one of dss|dss_train|oltp (comma-separated)");
+    }
+    any = true;
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (!any) {
+    return invalid_argument_error("STC_TENANT_MIX='" + v +
+                                  "': expected at least one mix entry");
+  }
+  return v;
+}
+
 Result<double> job_timeout() {
   const char* value = std::getenv("STC_JOB_TIMEOUT");
   if (value == nullptr) return 0.0;
@@ -212,6 +278,10 @@ Status validate_all() {
   if (Status s = backend().status(); !s.is_ok()) return s;
   if (Status s = iq_depth().status(); !s.is_ok()) return s;
   if (Status s = rob_depth().status(); !s.is_ok()) return s;
+  if (Status s = tenants().status(); !s.is_ok()) return s;
+  if (Status s = quantum().status(); !s.is_ok()) return s;
+  if (Status s = arrival().status(); !s.is_ok()) return s;
+  if (Status s = tenant_mix().status(); !s.is_ok()) return s;
   if (Status s = job_timeout().status(); !s.is_ok()) return s;
   if (Status s = job_retries().status(); !s.is_ok()) return s;
   if (const char* spec = std::getenv("STC_FAULT")) {

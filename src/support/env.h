@@ -64,6 +64,24 @@ Result<std::uint32_t> iq_depth();
 // [1, 4096]. Default 64. Only meaningful with STC_BACKEND != off.
 Result<std::uint32_t> rob_depth();
 
+// STC_TENANTS: multi-tenant composer client-stream count; integer in
+// [1, 64]. Default 4. See src/workload/composer.h.
+Result<std::uint32_t> tenants();
+
+// STC_QUANTUM: composer scheduler quantum in block events per slice;
+// integer in [0, 1000000000] where 0 means an unbounded quantum (each
+// tenant runs to completion — plain concatenation). Default 1000.
+Result<std::uint64_t> quantum();
+
+// STC_ARRIVAL: composer arrival model; one of rr|poisson|bursty|diurnal.
+// Default "poisson".
+Result<std::string> arrival();
+
+// STC_TENANT_MIX: comma-separated per-tenant workload mixes, assigned
+// round-robin across tenants; each entry one of dss|dss_train|oltp.
+// Default "dss,oltp".
+Result<std::string> tenant_mix();
+
 // STC_JOB_TIMEOUT: per-job deadline in seconds; finite double >= 0
 // (0 disables the watchdog). Default 0.
 Result<double> job_timeout();

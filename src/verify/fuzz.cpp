@@ -11,8 +11,10 @@
 #include "frontend/front_end.h"
 #include "sim/fetch_unit.h"
 #include "sim/icache.h"
+#include "core/stc_layout.h"
 #include "sim/trace_cache.h"
 #include "support/check.h"
+#include "workload/composer.h"
 
 namespace stc::verify {
 namespace {
@@ -336,6 +338,151 @@ Report run_replay_diff(const FuzzCase& c) {
     all.merge(
         check_replay_modes(built.trace, *built.image, layout, geometry, &bp),
         core::to_string(kind));
+  }
+  return all;
+}
+
+Report run_multitenant_diff(const FuzzCase& c) {
+  Report all;
+  std::string why;
+  if (!check_case(c, &why)) {
+    all.fail("invalid fuzz case: " + why);
+    return all;
+  }
+  const BuiltCase built = build_case(c);
+  const cfg::ProgramImage& image = *built.image;
+  const sim::CacheGeometry geometry{
+      static_cast<std::uint32_t>(c.cache_bytes), c.line_bytes, 1};
+
+  // Composer shape derived deterministically from the case content, like
+  // run_replay_diff's machine shape: tenant count, quantum and arrival
+  // model all sweep with the corpus and shrink with the content.
+  const std::uint64_t salt =
+      c.num_blocks() * 7 + c.trace.size() * 5 + c.line_bytes;
+  const std::uint32_t tenants = 1 + static_cast<std::uint32_t>(salt % 4);
+  workload::ComposeParams params;
+  switch (salt % 3) {
+    case 0: params.quantum_events = 0; break;
+    case 1: params.quantum_events = 1 + salt % 7; break;
+    default: params.quantum_events = 1 + salt % 97; break;
+  }
+  params.arrival = static_cast<workload::ArrivalKind>((salt / 3) % 4);
+  params.seed = salt * 0x9e3779b97f4a7c15ull + 1;
+
+  // Contiguous spans of the case trace become the tenant streams.
+  std::vector<workload::TenantStream> streams(tenants);
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    streams[t].name = "t" + std::to_string(t);
+    const std::size_t begin = c.trace.size() * t / tenants;
+    const std::size_t end = c.trace.size() * (t + 1) / tenants;
+    for (std::size_t i = begin; i < end; ++i) {
+      streams[t].trace.append(static_cast<BlockId>(c.trace[i]));
+    }
+  }
+
+  Result<workload::ComposedTrace> first = workload::compose(streams, params);
+  if (!first.is_ok()) {
+    all.fail("compose failed: " + first.status().to_string());
+    return all;
+  }
+  const workload::ComposedTrace& composed = first.value();
+
+  // Determinism: the same streams and params give a byte-identical trace.
+  Result<workload::ComposedTrace> second = workload::compose(streams, params);
+  if (!second.is_ok() ||
+      second.value().trace.serialize() != composed.trace.serialize()) {
+    all.fail("composition is not deterministic under a fixed seed");
+  }
+
+  // Conservation: per-tenant totals match the inputs, segments cover the
+  // merge exactly, and replaying the segment provenance against per-stream
+  // cursors reproduces every stream event for event.
+  std::uint64_t segment_total = 0;
+  for (const workload::TenantSegment& seg : composed.segments) {
+    segment_total += seg.events;
+    if (seg.tenant >= tenants) {
+      all.fail("segment names tenant " + std::to_string(seg.tenant));
+    }
+  }
+  if (segment_total != composed.trace.num_events()) {
+    all.fail("segments cover " + std::to_string(segment_total) +
+             " events, composed trace holds " +
+             std::to_string(composed.trace.num_events()));
+  }
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    if (composed.tenant_events[t] != streams[t].trace.num_events()) {
+      all.fail("tenant " + std::to_string(t) + " contributed " +
+               std::to_string(composed.tenant_events[t]) + " events, stream " +
+               "holds " + std::to_string(streams[t].trace.num_events()));
+    }
+  }
+  {
+    std::vector<trace::BlockTrace::Cursor> cursors;
+    for (const workload::TenantStream& s : streams) cursors.emplace_back(s.trace);
+    trace::BlockTrace::Cursor merged(composed.trace);
+    bool provenance_ok = true;
+    for (const workload::TenantSegment& seg : composed.segments) {
+      for (std::uint64_t i = 0; i < seg.events && provenance_ok; ++i) {
+        if (cursors[seg.tenant].done() ||
+            cursors[seg.tenant].next() != merged.next()) {
+          all.fail("segment provenance does not replay tenant " +
+                   std::to_string(seg.tenant) + "'s stream");
+          provenance_ok = false;
+        }
+      }
+      if (!provenance_ok) break;
+    }
+  }
+
+  // Single-tenant composition is the identity on the byte level.
+  {
+    std::vector<workload::TenantStream> single(1);
+    single[0].name = "solo";
+    for (std::uint32_t b : c.trace) {
+      single[0].trace.append(static_cast<BlockId>(b));
+    }
+    Result<workload::ComposedTrace> solo = workload::compose(single, params);
+    if (!solo.is_ok() ||
+        solo.value().trace.serialize() != built.trace.serialize()) {
+      all.fail("single-tenant composition is not byte-identical to the input");
+    }
+  }
+
+  // The composed trace must replay bit-identically across all three
+  // engines, like any recorded trace.
+  for (core::LayoutKind kind :
+       {core::LayoutKind::kOrig, core::LayoutKind::kStcOps}) {
+    cfg::AddressMap layout =
+        core::make_layout(kind, built.wcfg, c.cache_bytes, c.cfa_bytes);
+    all.merge(check_replay_modes(composed.trace, image, layout, geometry),
+              std::string("composed/") + core::to_string(kind));
+  }
+
+  // Tenant-partitioned layout from per-stream profiles, when the CFA can
+  // give every tenant at least one byte.
+  if (c.cfa_bytes >= tenants && image.num_blocks() > 0) {
+    std::vector<profile::Profile> profiles;
+    std::vector<profile::WeightedCFG> cfgs;
+    profiles.reserve(tenants);
+    cfgs.reserve(tenants);
+    for (const workload::TenantStream& s : streams) {
+      profiles.emplace_back(image);
+      profiles.back().consume(s.trace);
+      cfgs.push_back(profile::WeightedCFG::from_profile(profiles.back()));
+    }
+    std::vector<const profile::WeightedCFG*> cfg_ptrs;
+    for (const profile::WeightedCFG& w : cfgs) cfg_ptrs.push_back(&w);
+    core::StcParams stc;
+    stc.cache_bytes = c.cache_bytes;
+    stc.cfa_bytes = c.cfa_bytes;
+    core::MappingProvenance provenance;
+    const core::StcResult part = core::stc_layout_partitioned(
+        cfg_ptrs, core::SeedKind::kOps, stc, &provenance);
+    OracleOptions options;
+    options.geometry = geometry;
+    all.merge(verify_layout(composed.trace, image, part.layout, &provenance,
+                            options),
+              "partitioned");
   }
   return all;
 }

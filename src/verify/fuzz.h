@@ -98,6 +98,20 @@ Report run_case(const FuzzCase& c, Injection injection = Injection::kNone);
 // corpus sweeps configurations.
 Report run_replay_diff(const FuzzCase& c);
 
+// Multi-tenant differential check: splits the case's trace into a
+// salt-derived number of tenant streams and composes them with a
+// salt-derived quantum/arrival model (src/workload/composer.h), then checks
+//   - composition is deterministic (two runs are byte-identical),
+//   - conservation (per-tenant event totals match the streams, and the
+//     segment provenance replays each stream exactly),
+//   - a single-tenant composition is byte-identical to the input trace,
+//   - the composed trace replays bit-identically across the interp, batched
+//     and compiled engines on the original and STC-ops layouts, and
+//   - when the CFA affords at least one byte per tenant, the
+//     tenant-partitioned layout built from per-stream profiles passes the
+//     full oracle including check_tenant_partition.
+Report run_multitenant_diff(const FuzzCase& c);
+
 // Random case generation; deterministic in the Rng state.
 FuzzCase random_case(Rng& rng);
 

@@ -380,6 +380,73 @@ Report check_cfa_occupancy(const cfg::ProgramImage& image,
   return report;
 }
 
+Report check_tenant_partition(const cfg::ProgramImage& image,
+                              const cfg::AddressMap& layout,
+                              const core::MappingProvenance& provenance) {
+  Report report;
+  if (provenance.empty() || !provenance.partitioned()) return report;
+  if (provenance.pass_of.size() != image.num_blocks() ||
+      provenance.tenant_of.size() != image.num_blocks() ||
+      layout.size() != image.num_blocks()) {
+    report.fail("partitioned provenance/layout do not cover the image");
+    return report;
+  }
+  const std::uint64_t cfa = provenance.cfa_bytes;
+  const std::uint32_t groups = provenance.num_tenant_regions;
+  if (cfa < groups) {
+    report.fail("partitioned provenance has cfa_bytes " + u64(cfa) +
+                " < num_tenant_regions " + u64(groups));
+    return report;
+  }
+  // Window boundaries: groups+1 ascending offsets tiling [0, cfa).
+  const auto& starts = provenance.tenant_region_start;
+  if (starts.size() != std::size_t{groups} + 1 || starts.front() != 0 ||
+      starts.back() != cfa) {
+    report.fail("partitioned provenance has " + u64(starts.size()) +
+                " region boundaries for " + u64(groups) +
+                " regions (expected " + u64(groups + 1) +
+                " offsets from 0 to cfa_bytes)");
+    return report;
+  }
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    if (starts[g] >= starts[g + 1]) {
+      report.fail("tenant region " + u64(g) + " is empty or reversed: [" +
+                  u64(starts[g]) + ", " + u64(starts[g + 1]) + ")");
+      return report;
+    }
+  }
+
+  for (BlockId b = 0; b < image.num_blocks(); ++b) {
+    if (!layout.assigned(b)) continue;  // structure check reports this
+    const bool pass0 = provenance.pass_of[b] == 0;
+    const std::uint32_t tenant = provenance.tenant_of[b];
+    if (!pass0) {
+      if (tenant != core::MappingProvenance::kNoTenant) {
+        report.fail(block_ref(image, b) + " carries tenant " + u64(tenant) +
+                    " but was not placed by a tenant's first pass");
+      }
+      continue;
+    }
+    if (tenant >= groups) {
+      report.fail("pass-0 " + block_ref(image, b) + " has tenant id " +
+                  u64(tenant) + ", expected [0, " + u64(groups) + ")");
+      continue;
+    }
+    const std::uint64_t lo = starts[tenant];
+    const std::uint64_t hi = starts[tenant + 1];
+    const std::uint64_t addr = layout.addr(b);
+    const std::uint64_t bytes = image.block(b).bytes();
+    if (addr < lo || addr + bytes > hi) {
+      report.fail("tenant-" + u64(tenant) + " pass-0 " + block_ref(image, b) +
+                  " [" + u64(addr) + ", " + u64(addr + bytes) +
+                  ") leaves its CFA sub-window [" + u64(lo) + ", " + u64(hi) +
+                  ")");
+    }
+    if (report.total_found() >= kGiveUpAfter) break;
+  }
+  return report;
+}
+
 Report check_missrate_result(const sim::MissRateResult& result,
                              const sim::CacheStats& stats,
                              std::uint64_t expected_instructions) {
@@ -779,6 +846,8 @@ Report verify_layout(const trace::BlockTrace& trace,
   }
   if (provenance != nullptr) {
     report.merge(check_cfa_occupancy(image, layout, *provenance),
+                 layout.name());
+    report.merge(check_tenant_partition(image, layout, *provenance),
                  layout.name());
   }
   if (options.replay) {

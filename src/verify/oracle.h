@@ -107,6 +107,16 @@ Report check_cfa_occupancy(const cfg::ProgramImage& image,
                            const cfg::AddressMap& layout,
                            const core::MappingProvenance& provenance);
 
+// Tenant-partitioned CFA occupancy (map_sequences_partitioned): the
+// provenance's tenant_region_start boundaries must tile [0, cfa) with G
+// non-empty sub-windows; every pass-0 block must carry a tenant id in
+// [0, G) and lie entirely inside its tenant's sub-window, and no
+// non-pass-0 block may carry a tenant id. An unpartitioned provenance
+// (num_tenant_regions == 0) passes trivially.
+Report check_tenant_partition(const cfg::ProgramImage& image,
+                              const cfg::AddressMap& layout,
+                              const core::MappingProvenance& provenance);
+
 // Runs all three simulators (miss-rate, SEQ.3, trace cache) over the trace
 // and checks their counters against independent recounts and each other.
 Report check_simulators(const trace::BlockTrace& trace,

@@ -1,0 +1,177 @@
+#include "workload/composer.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/faultpoint.h"
+#include "support/rng.h"
+
+namespace stc::workload {
+
+const char* to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kRoundRobin:
+      return "rr";
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+Result<ArrivalKind> parse_arrival(std::string_view name) {
+  if (name == "rr") return ArrivalKind::kRoundRobin;
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "bursty") return ArrivalKind::kBursty;
+  if (name == "diurnal") return ArrivalKind::kDiurnal;
+  return invalid_argument_error("arrival model '" + std::string(name) +
+                                "': expected one of rr|poisson|bursty|diurnal");
+}
+
+namespace {
+
+// Picks the next tenant: an index into `live` (tenant ids with events left).
+std::size_t pick_tenant(const ComposeParams& params, std::size_t num_streams,
+                        const std::vector<std::uint32_t>& live,
+                        std::size_t rr_next, std::uint64_t emitted,
+                        std::uint64_t total, Rng& rng) {
+  switch (params.arrival) {
+    case ArrivalKind::kRoundRobin:
+      return rr_next % live.size();
+    case ArrivalKind::kPoisson:
+    case ArrivalKind::kBursty:
+      return static_cast<std::size_t>(rng.uniform(live.size()));
+    case ArrivalKind::kDiurnal: {
+      // Tenant g's popularity peaks when run progress reaches phase g/G — a
+      // raised cosine per tenant, so the active-session mix drifts across
+      // the composed run the way load drifts across a day.
+      const double progress =
+          total == 0 ? 0.0
+                     : static_cast<double>(emitted) / static_cast<double>(total);
+      double sum = 0.0;
+      std::vector<double> weight(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const double phase = static_cast<double>(live[i]) /
+                             static_cast<double>(num_streams);
+        weight[i] = 1.0 + 0.9 * std::cos(2.0 * std::numbers::pi *
+                                         (progress - phase));
+        sum += weight[i];
+      }
+      double draw = rng.uniform_double() * sum;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        draw -= weight[i];
+        if (draw < 0.0) return i;
+      }
+      return live.size() - 1;  // fp round-off on the last weight
+    }
+  }
+  return 0;
+}
+
+// Draws the slice length in events for the selected tenant (>= 1; the
+// caller clamps to the tenant's remaining events).
+std::uint64_t pick_slice(const ComposeParams& params, Rng& rng) {
+  switch (params.arrival) {
+    case ArrivalKind::kRoundRobin:
+    case ArrivalKind::kDiurnal:
+      return params.quantum_events;
+    case ArrivalKind::kPoisson: {
+      // Exponential service time with mean = quantum.
+      const double len = -static_cast<double>(params.quantum_events) *
+                         std::log1p(-rng.uniform_double());
+      return len < 1.0 ? 1 : static_cast<std::uint64_t>(len);
+    }
+    case ArrivalKind::kBursty: {
+      // Heavy-tailed multiple of the quantum: most slices are one quantum,
+      // a Zipf tail runs up to 8x before yielding.
+      return params.quantum_events * rng.zipf(8, 1.2);
+    }
+  }
+  return params.quantum_events;
+}
+
+}  // namespace
+
+Result<ComposedTrace> compose(const std::vector<TenantStream>& streams,
+                              const ComposeParams& params) {
+  if (streams.empty()) {
+    return invalid_argument_error(
+        "compose: expected at least one tenant stream");
+  }
+  if (streams.size() > 64) {
+    return invalid_argument_error("compose: " + std::to_string(streams.size()) +
+                                  " tenant streams exceeds the limit of 64");
+  }
+
+  ComposedTrace out;
+  out.tenant_events.assign(streams.size(), 0);
+
+  std::vector<trace::BlockTrace::Cursor> cursors;
+  std::vector<std::uint64_t> remaining;
+  std::vector<std::uint32_t> live;
+  std::uint64_t total = 0;
+  cursors.reserve(streams.size());
+  for (std::uint32_t t = 0; t < streams.size(); ++t) {
+    cursors.emplace_back(streams[t].trace);
+    remaining.push_back(streams[t].trace.num_events());
+    total += remaining.back();
+    if (remaining.back() > 0) live.push_back(t);
+  }
+
+  Rng rng(params.seed);
+  std::uint64_t emitted = 0;
+  std::size_t rr_next = 0;
+
+  while (!live.empty()) {
+    if (Status s = fault::fail_if("workload.compose",
+                                  "scheduling a tenant slice");
+        !s.is_ok()) {
+      return s;
+    }
+
+    const std::size_t pos = pick_tenant(params, streams.size(), live, rr_next,
+                                        emitted, total, rng);
+    const std::uint32_t tenant = live[pos];
+
+    std::uint64_t slice =
+        params.quantum_events == 0 ? remaining[tenant] : pick_slice(params, rng);
+    if (slice > remaining[tenant]) slice = remaining[tenant];
+
+    for (std::uint64_t i = 0; i < slice; ++i) {
+      out.trace.append(cursors[tenant].next());
+    }
+    remaining[tenant] -= slice;
+    out.tenant_events[tenant] += slice;
+    emitted += slice;
+    if (!out.segments.empty() && out.segments.back().tenant == tenant) {
+      out.segments.back().events += slice;
+    } else {
+      out.segments.push_back(TenantSegment{tenant, slice});
+    }
+
+    if (remaining[tenant] == 0) {
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pos));
+      rr_next = pos;  // the erased slot's successor shifted into `pos`
+    } else {
+      rr_next = pos + 1;
+    }
+  }
+
+  out.context_switches =
+      out.segments.empty() ? 0 : out.segments.size() - 1;
+  return out;
+}
+
+Status compose_to_file(const std::vector<TenantStream>& streams,
+                       const ComposeParams& params, const std::string& path) {
+  Result<ComposedTrace> composed = compose(streams, params);
+  if (!composed.is_ok()) {
+    return composed.status().with_context("composing '" + path + "'");
+  }
+  return composed.value().trace.save(path);
+}
+
+}  // namespace stc::workload

@@ -1,0 +1,85 @@
+// Multi-tenant workload composition: merging N client block streams into
+// one trace the way a production database's scheduler would.
+//
+// The paper measures instruction fetch for a *single* DSS query stream, but
+// its deployment setting serves many concurrent sessions: the OS context-
+// switches between clients every scheduler quantum, and each switch drops
+// the instruction working set of the preempted tenant on the floor. The
+// composer models that by round-robin / Poisson / bursty / diurnal
+// interleaving of per-tenant traces at a configurable quantum (in block
+// events), producing a single BlockTrace plus run-length tenant provenance.
+//
+// Everything is deterministic under ComposeParams::seed — the same streams
+// and params yield a byte-identical composed trace, which is what lets the
+// replay engines and the layout oracle treat composed traces exactly like
+// recorded ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+#include "trace/block_trace.h"
+
+namespace stc::workload {
+
+// How the scheduler picks the next tenant and sizes its slice
+// (STC_ARRIVAL: rr|poisson|bursty|diurnal).
+enum class ArrivalKind {
+  kRoundRobin,  // fixed cycle over live tenants, exact-quantum slices
+  kPoisson,     // uniform tenant pick, exponential slice lengths (mean = quantum)
+  kBursty,      // uniform tenant pick, Zipf-multiplied slices (heavy tail)
+  kDiurnal,     // tenant popularity follows phase-shifted sinusoids over the run
+};
+
+const char* to_string(ArrivalKind kind);
+Result<ArrivalKind> parse_arrival(std::string_view name);
+
+// One client stream: a name (for reports) and its recorded block trace.
+struct TenantStream {
+  std::string name;
+  trace::BlockTrace trace;
+};
+
+struct ComposeParams {
+  // Scheduler quantum in block events per slice; 0 = unbounded (every
+  // selected tenant runs to completion — with kRoundRobin this is plain
+  // concatenation in stream order).
+  std::uint64_t quantum_events = 1000;
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  std::uint64_t seed = 19990401;
+};
+
+// Run-length tenant provenance: `events` consecutive composed events belong
+// to tenant `tenant` (an index into the input streams). Adjacent segments
+// always name different tenants (same-tenant runs are merged).
+struct TenantSegment {
+  std::uint32_t tenant;
+  std::uint64_t events;
+};
+
+struct ComposedTrace {
+  trace::BlockTrace trace;
+  std::vector<TenantSegment> segments;
+  // Per-tenant event totals in the merge; conservation requires
+  // tenant_events[i] == streams[i].trace.num_events().
+  std::vector<std::uint64_t> tenant_events;
+  // Number of tenant-to-tenant transitions (segments.size() - 1, or 0).
+  std::uint64_t context_switches = 0;
+};
+
+// Merges the streams under the given scheduling model. Fault point
+// "workload.compose" is checked once per scheduled slice, so an armed fault
+// fails mid-compose with a structured error and no composed trace escapes.
+Result<ComposedTrace> compose(const std::vector<TenantStream>& streams,
+                              const ComposeParams& params);
+
+// compose() then BlockTrace::save(path). The save is atomic (temp + rename)
+// and composition happens entirely in memory first, so a fault at any point
+// — mid-compose or mid-write — leaves no partial trace at `path`.
+Status compose_to_file(const std::vector<TenantStream>& streams,
+                       const ComposeParams& params, const std::string& path);
+
+}  // namespace stc::workload

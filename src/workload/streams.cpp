@@ -1,0 +1,131 @@
+#include "workload/streams.h"
+
+#include <algorithm>
+#include <string>
+
+#include "db/tpcd/queries.h"
+#include "support/check.h"
+
+namespace stc::workload {
+
+const char* to_string(MixKind kind) {
+  switch (kind) {
+    case MixKind::kDss:
+      return "dss";
+    case MixKind::kDssTrain:
+      return "dss_train";
+    case MixKind::kOltp:
+      return "oltp";
+  }
+  return "?";
+}
+
+Result<MixKind> parse_mix(std::string_view name) {
+  if (name == "dss") return MixKind::kDss;
+  if (name == "dss_train") return MixKind::kDssTrain;
+  if (name == "oltp") return MixKind::kOltp;
+  return invalid_argument_error("tenant mix '" + std::string(name) +
+                                "': expected one of dss|dss_train|oltp");
+}
+
+Result<std::vector<MixKind>> parse_mix_list(std::string_view list) {
+  std::vector<MixKind> mixes;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = list.find(',', begin);
+    const std::size_t end = comma == std::string_view::npos ? list.size() : comma;
+    Result<MixKind> mix = parse_mix(list.substr(begin, end - begin));
+    if (!mix.is_ok()) return mix.status();
+    mixes.push_back(mix.value());
+    if (comma == std::string_view::npos) break;
+    begin = comma + 1;
+  }
+  if (mixes.empty()) {
+    return invalid_argument_error("tenant mix list is empty");
+  }
+  return mixes;
+}
+
+db::tpcd::OltpStats record_oltp_stream(db::Database& db,
+                                       const db::tpcd::OltpConfig& config,
+                                       trace::BlockTrace& trace,
+                                       profile::Profile* profile) {
+  trace::TraceRecorder recorder(trace);
+  cfg::TeeSink tee;
+  tee.add(&recorder);
+  if (profile != nullptr) tee.add(profile);
+  return db::tpcd::run_oltp_workload(db, config, &tee);
+}
+
+namespace {
+
+// Rotates a query set left by `tenant` positions, so same-mix tenants walk
+// the same queries starting from different phases.
+std::vector<int> rotate(std::vector<int> ids, std::uint32_t tenant) {
+  STC_REQUIRE(!ids.empty());
+  const std::size_t shift = tenant % ids.size();
+  std::rotate(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(shift),
+              ids.end());
+  return ids;
+}
+
+}  // namespace
+
+void record_stream(MixKind mix, std::uint32_t tenant, db::Database& btree,
+                   db::Database& hash, const StreamConfig& config,
+                   trace::BlockTrace& trace, profile::Profile* profile) {
+  trace::TraceRecorder recorder(trace);
+  cfg::TeeSink tee;
+  tee.add(&recorder);
+  if (profile != nullptr) tee.add(profile);
+  switch (mix) {
+    case MixKind::kDss: {
+      const std::vector<int> ids = rotate(db::tpcd::test_set(), tenant);
+      db::tpcd::run_queries(btree, ids, &tee);
+      // Independent runs: no profile edge across the database switch.
+      if (profile != nullptr) profile->break_chain();
+      db::tpcd::run_queries(hash, ids, &tee);
+      break;
+    }
+    case MixKind::kDssTrain:
+      db::tpcd::run_queries(btree, rotate(db::tpcd::training_set(), tenant),
+                            &tee);
+      break;
+    case MixKind::kOltp: {
+      db::tpcd::OltpConfig oltp;
+      oltp.transactions = config.oltp_transactions;
+      oltp.seed = config.oltp_seed + tenant;
+      db::tpcd::run_oltp_workload(btree, oltp, &tee);
+      break;
+    }
+  }
+}
+
+std::vector<TenantStream> make_tenant_streams(
+    std::uint32_t tenants, const std::vector<MixKind>& mixes,
+    db::Database& btree, db::Database& hash, const StreamConfig& config,
+    const cfg::ProgramImage& image, std::vector<profile::Profile>* profiles) {
+  STC_REQUIRE(tenants > 0);
+  STC_REQUIRE(!mixes.empty());
+  std::vector<TenantStream> streams;
+  streams.reserve(tenants);
+  if (profiles != nullptr) {
+    profiles->clear();
+    profiles->reserve(tenants);
+  }
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    const MixKind mix = mixes[t % mixes.size()];
+    TenantStream stream;
+    stream.name = std::string(to_string(mix)) + "#" + std::to_string(t);
+    profile::Profile* profile = nullptr;
+    if (profiles != nullptr) {
+      profiles->emplace_back(image);
+      profile = &profiles->back();
+    }
+    record_stream(mix, t, btree, hash, config, stream.trace, profile);
+    streams.push_back(std::move(stream));
+  }
+  return streams;
+}
+
+}  // namespace stc::workload

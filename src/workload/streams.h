@@ -1,0 +1,71 @@
+// Per-tenant stream builders: turning the repository's workload mixes (the
+// paper's DSS Training/Test query sets and the Section 8 OLTP transaction
+// mix) into the TenantStream inputs the composer schedules.
+//
+// This is also where the OLTP block-stream recording lives — extracted from
+// bench/oltp_compare.cpp so the bench and the composer share one copy of
+// the record-through-a-tee logic instead of each re-implementing it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "db/tpcd/oltp.h"
+#include "db/tpcd/workload.h"
+#include "profile/profile.h"
+#include "support/error.h"
+#include "trace/block_trace.h"
+#include "workload/composer.h"
+
+namespace stc::workload {
+
+// A tenant's query mix (STC_TENANT_MIX entries):
+//   dss       - the paper's Test set (queries 2,3,4,6,11,12,13,14,15,17 on
+//               both the btree and hash databases),
+//   dss_train - the Training set (queries 3,4,5,6,9, btree only),
+//   oltp      - the Section 8 transaction mix (Zipf-skewed order-status /
+//               stock-check / new-order).
+enum class MixKind { kDss, kDssTrain, kOltp };
+
+const char* to_string(MixKind kind);
+Result<MixKind> parse_mix(std::string_view name);
+// Parses a comma-separated STC_TENANT_MIX value ("dss,oltp").
+Result<std::vector<MixKind>> parse_mix_list(std::string_view list);
+
+struct StreamConfig {
+  // OLTP transaction count per OLTP tenant (matches the historical
+  // oltp_compare recording of 800).
+  std::uint64_t oltp_transactions = 800;
+  // Base OLTP seed; tenant t draws from oltp_seed + t so same-mix tenants
+  // issue distinct transaction sequences.
+  std::uint64_t oltp_seed = 7;
+};
+
+// Records the OLTP block stream: runs `config.transactions` transactions
+// against `db` with the recorder (and, when non-null, `profile`) attached.
+// This is the logic formerly embedded in bench/oltp_compare.cpp.
+db::tpcd::OltpStats record_oltp_stream(db::Database& db,
+                                       const db::tpcd::OltpConfig& config,
+                                       trace::BlockTrace& trace,
+                                       profile::Profile* profile);
+
+// Records one tenant's stream for `mix`. DSS tenants rotate the query order
+// by `tenant` so same-mix tenants still interleave distinct query phases;
+// OLTP tenants perturb the transaction seed the same way.
+void record_stream(MixKind mix, std::uint32_t tenant,
+                   db::Database& btree, db::Database& hash,
+                   const StreamConfig& config, trace::BlockTrace& trace,
+                   profile::Profile* profile);
+
+// Builds `tenants` streams, assigning `mixes` round-robin across tenants
+// (tenant t gets mixes[t % mixes.size()]). When `profiles` is non-null it
+// is cleared and filled with one per-tenant Profile over `image`, aligned
+// with the returned streams — the input for tenant-partitioned layouts.
+std::vector<TenantStream> make_tenant_streams(
+    std::uint32_t tenants, const std::vector<MixKind>& mixes,
+    db::Database& btree, db::Database& hash,
+    const StreamConfig& config, const cfg::ProgramImage& image,
+    std::vector<profile::Profile>* profiles = nullptr);
+
+}  // namespace stc::workload

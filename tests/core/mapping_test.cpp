@@ -118,6 +118,80 @@ TEST(MappingTest, ProducesValidPermutation) {
   map.validate(*f.image);  // aborts on overlap or missing blocks
 }
 
+TEST(MappingTest, PartitionedWindowsFollowTheBudgets) {
+  Fixture f;
+  MappingParams params{512, 256, false};
+  MappingProvenance prov;
+  // Two tenant groups: group 0's 128-byte budget holds blocks {0,1}, group
+  // 1's 128-byte budget holds block {2}. Later pass and cold fill the rest.
+  const auto map = map_sequences_partitioned(
+      *f.image, "t", {{f.seq({0, 1})}, {f.seq({2})}}, {128, 128},
+      {{f.seq({3, 4})}}, {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, params,
+      &prov);
+  EXPECT_EQ(map.addr(0), 0u);
+  EXPECT_EQ(map.addr(1), 64u);
+  EXPECT_EQ(map.addr(2), 128u);  // group 1 starts at its window boundary
+  // Later passes start past the CFA and avoid every region's [0, 256).
+  EXPECT_GE(map.addr(3), 256u);
+  EXPECT_GE(map.addr(3) % 512, 256u);
+  EXPECT_GE(map.addr(4) % 512, 256u);
+  map.validate(*f.image);
+
+  ASSERT_TRUE(prov.partitioned());
+  EXPECT_EQ(prov.num_tenant_regions, 2u);
+  const std::vector<std::uint64_t> expected_starts = {0, 128, 256};
+  EXPECT_EQ(prov.tenant_region_start, expected_starts);
+  EXPECT_EQ(prov.tenant_of[0], 0u);
+  EXPECT_EQ(prov.tenant_of[1], 0u);
+  EXPECT_EQ(prov.tenant_of[2], 1u);
+  for (BlockId b = 3; b < 16; ++b) {
+    EXPECT_EQ(prov.tenant_of[b], MappingProvenance::kNoTenant) << b;
+  }
+  EXPECT_EQ(prov.pass_of[0], 0u);
+  EXPECT_EQ(prov.pass_of[2], 0u);
+  EXPECT_EQ(prov.pass_of[3], 1u);
+}
+
+TEST(MappingTest, UnevenBudgetsShiftTheWindowBoundary) {
+  Fixture f;
+  MappingParams params{512, 256, false};
+  MappingProvenance prov;
+  // A 64/192 split: group 1 begins at offset 64 and can hold three blocks.
+  const auto map = map_sequences_partitioned(
+      *f.image, "t", {{f.seq({0})}, {f.seq({1, 2, 3})}}, {64, 192}, {},
+      {4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, params, &prov);
+  EXPECT_EQ(map.addr(0), 0u);
+  EXPECT_EQ(map.addr(1), 64u);
+  EXPECT_EQ(map.addr(3), 192u);
+  const std::vector<std::uint64_t> expected_starts = {0, 64, 256};
+  EXPECT_EQ(prov.tenant_region_start, expected_starts);
+  map.validate(*f.image);
+}
+
+TEST(MappingDeathTest, PartitionedBudgetsMustTileTheCfa) {
+  Fixture f;
+  MappingParams params{512, 256, false};
+  std::vector<BlockId> cold;
+  for (BlockId b = 2; b < 16; ++b) cold.push_back(b);
+  EXPECT_DEATH(
+      map_sequences_partitioned(*f.image, "t", {{f.seq({0})}, {f.seq({1})}},
+                                {128, 64}, {}, cold, params),
+      "sum to cfa_bytes");
+}
+
+TEST(MappingDeathTest, PartitionedSubWindowOverflowAborts) {
+  Fixture f;
+  MappingParams params{512, 256, false};
+  std::vector<BlockId> cold;
+  for (BlockId b = 4; b < 16; ++b) cold.push_back(b);
+  // Group 0 needs 192 bytes but its budget is 128.
+  EXPECT_DEATH(
+      map_sequences_partitioned(*f.image, "t",
+                                {{f.seq({0, 1, 2})}, {f.seq({3})}}, {128, 128},
+                                {}, cold, params),
+      "exceed the CFA sub-window");
+}
+
 TEST(MappingDeathTest, Pass1OverflowAborts) {
   Fixture f;
   MappingParams params{512, 128, false};

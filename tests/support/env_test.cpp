@@ -237,6 +237,80 @@ TEST(EnvTest, FtqDepthBounded) {
   expect_knob_error(ftq_depth(), "STC_FTQ_DEPTH", "1025");
 }
 
+TEST(EnvTest, TenantsBounded) {
+  {
+    ScopedEnv guard("STC_TENANTS", nullptr);
+    EXPECT_EQ(tenants().value(), 4u);
+  }
+  {
+    ScopedEnv guard("STC_TENANTS", "64");
+    EXPECT_EQ(tenants().value(), 64u);
+  }
+  for (const char* bad : {"0", "65", "many"}) {
+    ScopedEnv guard("STC_TENANTS", bad);
+    expect_knob_error(tenants(), "STC_TENANTS", bad);
+  }
+}
+
+TEST(EnvTest, QuantumZeroMeansUnbounded) {
+  {
+    ScopedEnv guard("STC_QUANTUM", nullptr);
+    EXPECT_EQ(quantum().value(), 1000u);
+  }
+  {
+    ScopedEnv guard("STC_QUANTUM", "0");
+    EXPECT_EQ(quantum().value(), 0u);
+  }
+  for (const char* bad : {"1000000001", "-1", "fast"}) {
+    ScopedEnv guard("STC_QUANTUM", bad);
+    expect_knob_error(quantum(), "STC_QUANTUM", bad);
+  }
+}
+
+TEST(EnvTest, ArrivalNamesTheAcceptedSet) {
+  {
+    ScopedEnv guard("STC_ARRIVAL", nullptr);
+    EXPECT_EQ(arrival().value(), "poisson");
+  }
+  for (const char* good : {"rr", "poisson", "bursty", "diurnal"}) {
+    ScopedEnv guard("STC_ARRIVAL", good);
+    EXPECT_EQ(arrival().value(), good);
+  }
+  ScopedEnv guard("STC_ARRIVAL", "uniform");
+  const auto r = arrival();
+  expect_knob_error(r, "STC_ARRIVAL", "uniform");
+  EXPECT_NE(r.status().message().find("rr|poisson|bursty|diurnal"),
+            std::string::npos);
+}
+
+TEST(EnvTest, TenantMixIsACommaListOfKnownMixes) {
+  {
+    ScopedEnv guard("STC_TENANT_MIX", nullptr);
+    EXPECT_EQ(tenant_mix().value(), "dss,oltp");
+  }
+  {
+    ScopedEnv guard("STC_TENANT_MIX", "oltp");
+    EXPECT_EQ(tenant_mix().value(), "oltp");
+  }
+  {
+    ScopedEnv guard("STC_TENANT_MIX", "dss,dss_train,oltp");
+    EXPECT_EQ(tenant_mix().value(), "dss,dss_train,oltp");
+  }
+  for (const char* bad : {"", "dss,", ",oltp", "tpcc", "dss;oltp"}) {
+    ScopedEnv guard("STC_TENANT_MIX", bad);
+    ASSERT_FALSE(tenant_mix().is_ok()) << "accepted '" << bad << "'";
+    EXPECT_NE(tenant_mix().status().message().find("STC_TENANT_MIX"),
+              std::string::npos);
+  }
+}
+
+TEST(EnvTest, ValidateAllChecksComposerKnobs) {
+  ScopedEnv guard("STC_ARRIVAL", "uniform");
+  const Status s = validate_all();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("STC_ARRIVAL"), std::string::npos);
+}
+
 TEST(EnvTest, JobTimeoutNonNegativeSeconds) {
   {
     ScopedEnv guard("STC_JOB_TIMEOUT", "2.5");

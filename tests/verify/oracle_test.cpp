@@ -6,6 +6,7 @@
 #include "cfg/builder.h"
 #include "core/layouts.h"
 #include "core/replication.h"
+#include "core/stc_layout.h"
 #include "support/rng.h"
 #include "testing/synthetic.h"
 #include "verify/oracle.h"
@@ -221,6 +222,112 @@ TEST(OracleTest, EmptyProvenanceCarriesNoContract) {
   auto map = core::make_layout(core::LayoutKind::kOrig, f.wcfg, 1024, 256);
   const core::MappingProvenance provenance;  // empty
   EXPECT_TRUE(check_cfa_occupancy(*f.image, map, provenance).ok());
+}
+
+// ---- Tenant-partitioned CFA ------------------------------------------------
+
+struct PartitionFixture {
+  Fixture f;
+  profile::WeightedCFG tenant_a;
+  profile::WeightedCFG tenant_b;
+  core::MappingProvenance provenance;
+  core::StcResult result;
+};
+
+PartitionFixture make_partition_fixture(std::uint64_t seed) {
+  PartitionFixture p;
+  p.f = make_fixture(seed);
+  Rng rng(seed + 1);
+  p.tenant_a = testing::random_wcfg(*p.f.image, rng);
+  p.tenant_b = testing::random_wcfg(*p.f.image, rng);
+  core::StcParams params;
+  params.cache_bytes = 1024;
+  params.cfa_bytes = 256;
+  p.result = core::stc_layout_partitioned({&p.tenant_a, &p.tenant_b},
+                                          core::SeedKind::kAuto, params,
+                                          &p.provenance);
+  return p;
+}
+
+TEST(OracleTest, TenantPartitionAcceptsProductionPartitionedLayouts) {
+  const PartitionFixture p = make_partition_fixture(601);
+  ASSERT_TRUE(p.provenance.partitioned());
+  const auto partition =
+      check_tenant_partition(*p.f.image, p.result.layout, p.provenance);
+  EXPECT_TRUE(partition.ok()) << partition.summary();
+  const auto occupancy =
+      check_cfa_occupancy(*p.f.image, p.result.layout, p.provenance);
+  EXPECT_TRUE(occupancy.ok()) << occupancy.summary();
+}
+
+TEST(OracleTest, TenantPartitionIsVacuousForUnpartitionedProvenance) {
+  const Fixture f = make_fixture(602);
+  core::MappingProvenance provenance;
+  const auto map = core::make_layout(core::LayoutKind::kStcOps, f.wcfg, 1024,
+                                     256, &provenance);
+  ASSERT_FALSE(provenance.partitioned());
+  EXPECT_TRUE(check_tenant_partition(*f.image, map, provenance).ok());
+}
+
+TEST(OracleTest, TenantPartitionDetectsBlockLeavingItsSubWindow) {
+  PartitionFixture p = make_partition_fixture(603);
+  // Move one tenant-0 pass-0 block to the far end of the CFA — almost
+  // certainly inside another tenant's sub-window and outside its own.
+  bool moved = false;
+  auto map = p.result.layout;
+  for (cfg::BlockId b = 0; b < p.f.image->num_blocks() && !moved; ++b) {
+    if (p.provenance.pass_of[b] == 0 && p.provenance.tenant_of[b] == 0) {
+      map.set(b, p.provenance.tenant_region_start.back() - 4);
+      moved = true;
+    }
+  }
+  ASSERT_TRUE(moved);
+  const auto report = check_tenant_partition(*p.f.image, map, p.provenance);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("leaves its CFA sub-window"),
+            std::string::npos);
+}
+
+TEST(OracleTest, TenantPartitionDetectsBogusTenantIds) {
+  PartitionFixture p = make_partition_fixture(604);
+  core::MappingProvenance corrupt = p.provenance;
+  // A later-pass block claiming a tenant, and a pass-0 block claiming a
+  // tenant id out of range.
+  bool tagged_later = false;
+  bool tagged_oob = false;
+  for (cfg::BlockId b = 0; b < p.f.image->num_blocks(); ++b) {
+    if (!tagged_later && corrupt.pass_of[b] != 0 &&
+        corrupt.tenant_of[b] == core::MappingProvenance::kNoTenant) {
+      corrupt.tenant_of[b] = 0;
+      tagged_later = true;
+    } else if (!tagged_oob && corrupt.pass_of[b] == 0) {
+      corrupt.tenant_of[b] = corrupt.num_tenant_regions + 5;
+      tagged_oob = true;
+    }
+  }
+  ASSERT_TRUE(tagged_later);
+  ASSERT_TRUE(tagged_oob);
+  const auto report =
+      check_tenant_partition(*p.f.image, p.result.layout, corrupt);
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.total_found(), 2u);
+}
+
+TEST(OracleTest, TenantPartitionDetectsBrokenRegionBoundaries) {
+  PartitionFixture p = make_partition_fixture(605);
+  // Boundaries must be groups+1 offsets from 0 to cfa, strictly ascending.
+  core::MappingProvenance corrupt = p.provenance;
+  corrupt.tenant_region_start.pop_back();
+  auto report =
+      check_tenant_partition(*p.f.image, p.result.layout, corrupt);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("region boundaries"), std::string::npos);
+
+  corrupt = p.provenance;
+  corrupt.tenant_region_start[1] = corrupt.tenant_region_start[0];
+  report = check_tenant_partition(*p.f.image, p.result.layout, corrupt);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("empty or reversed"), std::string::npos);
 }
 
 // ---- Replication -----------------------------------------------------------

@@ -245,6 +245,56 @@ TEST(FuzzRegression, ReplayDiffOooBranchyLoop) {
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 
+// Multi-tenant composer corpus: run_multitenant_diff derives the tenant
+// count, quantum and arrival model from the case content (the same salt as
+// run_replay_diff), so these cases pin distinct scheduler shapes through
+// the composition invariants — determinism, conservation, single-tenant
+// byte-identity, cross-engine replay identity, and the tenant-partitioned
+// layout's full-oracle pass. The first pins a two-routine loop whose trace
+// is long enough for several slices but short enough that the final slice
+// is truncated at a stream boundary — the segment-provenance edge the
+// conservation check is most sensitive to.
+TEST(FuzzRegression, MultitenantTruncatedFinalSlice) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 1024;
+  c.cfa_bytes = 256;
+  c.line_bytes = 32;
+  c.routines = {
+      {{{3, stc::cfg::BlockKind::kBranch}, {1, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{5, stc::cfg::BlockKind::kReturn}}, false},
+  };
+  c.edges = {
+      {0, 1, 12},
+      {1, 2, 8},
+      {2, 0, 8},
+  };
+  c.trace = {0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0};
+  const stc::verify::Report report = stc::verify::run_multitenant_diff(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// A CFA so small it affords exactly one byte per derived tenant: the
+// partitioned layout's demand-weighted budgets collapse to their floors and
+// every hot block spills to the shared later passes, which the oracle's
+// check_tenant_partition must still accept (empty sub-windows are legal,
+// empty *regions* are not).
+TEST(FuzzRegression, MultitenantMinimalCfaFloors) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 512;
+  c.cfa_bytes = 4;
+  c.line_bytes = 32;
+  c.routines = {
+      {{{2, stc::cfg::BlockKind::kBranch}, {2, stc::cfg::BlockKind::kReturn}},
+       false},
+      {{{7, stc::cfg::BlockKind::kReturn}}, false},
+  };
+  c.edges = {{0, 1, 6}, {1, 2, 4}};
+  c.trace = {0, 1, 2, 2, 0, 1, 2, 0, 1};
+  const stc::verify::Report report = stc::verify::run_multitenant_diff(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
 TEST(FuzzRegression, TraceVisitsColdUnprofiledBlocks) {
   stc::verify::FuzzCase c;
   c.cache_bytes = 2048;

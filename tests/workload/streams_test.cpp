@@ -1,0 +1,158 @@
+// Tests for the per-tenant stream builders (src/workload/streams): mix-list
+// parsing, the extracted OLTP recorder (determinism plus trace/profile
+// agreement through the tee), per-tenant seed/rotation perturbation, and
+// make_tenant_streams' round-robin mix assignment with aligned profiles.
+#include "workload/streams.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "db/kernel.h"
+#include "db/tpcd/oltp.h"
+#include "db/tpcd/workload.h"
+#include "profile/profile.h"
+#include "trace/block_trace.h"
+
+namespace stc::workload {
+namespace {
+
+TEST(StreamsTest, ParseMixRoundTrips) {
+  for (const MixKind kind :
+       {MixKind::kDss, MixKind::kDssTrain, MixKind::kOltp}) {
+    const Result<MixKind> parsed = parse_mix(to_string(kind));
+    ASSERT_TRUE(parsed.is_ok()) << to_string(kind);
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(parse_mix("olap").is_ok());
+  EXPECT_FALSE(parse_mix("").is_ok());
+}
+
+TEST(StreamsTest, ParseMixListSplitsOnCommas) {
+  const Result<std::vector<MixKind>> mixes = parse_mix_list("dss,oltp,dss");
+  ASSERT_TRUE(mixes.is_ok());
+  const std::vector<MixKind> expected = {MixKind::kDss, MixKind::kOltp,
+                                         MixKind::kDss};
+  EXPECT_EQ(mixes.value(), expected);
+  EXPECT_FALSE(parse_mix_list("").is_ok());
+  EXPECT_FALSE(parse_mix_list("dss,").is_ok());
+  EXPECT_FALSE(parse_mix_list("dss,unknown").is_ok());
+}
+
+// Database-backed tests share one small TPC-D pair; OLTP recordings that
+// must be reproducible use fresh databases (new-order inserts mutate state).
+class StreamsDbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db::tpcd::WorkloadConfig config;
+    config.scale_factor = 0.001;
+    btree_ = db::tpcd::make_database(config, db::IndexKind::kBTree).release();
+    hash_ = db::tpcd::make_database(config, db::IndexKind::kHash).release();
+  }
+  static void TearDownTestSuite() {
+    delete btree_;
+    delete hash_;
+    btree_ = nullptr;
+    hash_ = nullptr;
+  }
+  static std::unique_ptr<db::Database> fresh_btree() {
+    db::tpcd::WorkloadConfig config;
+    config.scale_factor = 0.001;
+    return db::tpcd::make_database(config, db::IndexKind::kBTree);
+  }
+  static db::Database* btree_;
+  static db::Database* hash_;
+};
+
+db::Database* StreamsDbTest::btree_ = nullptr;
+db::Database* StreamsDbTest::hash_ = nullptr;
+
+TEST_F(StreamsDbTest, RecordOltpStreamIsDeterministicOnFreshDatabases) {
+  db::tpcd::OltpConfig config;
+  config.transactions = 60;
+  trace::BlockTrace a;
+  trace::BlockTrace b;
+  db::tpcd::OltpStats stats_a;
+  db::tpcd::OltpStats stats_b;
+  {
+    auto fresh = fresh_btree();
+    stats_a = record_oltp_stream(*fresh, config, a, nullptr);
+  }
+  {
+    auto fresh = fresh_btree();
+    stats_b = record_oltp_stream(*fresh, config, b, nullptr);
+  }
+  EXPECT_GT(a.num_events(), 0u);
+  EXPECT_EQ(a.serialize(), b.serialize());
+  EXPECT_EQ(stats_a.order_status, stats_b.order_status);
+  EXPECT_EQ(stats_a.stock_checks, stats_b.stock_checks);
+  EXPECT_EQ(stats_a.new_orders, stats_b.new_orders);
+  EXPECT_EQ(stats_a.order_status + stats_a.stock_checks + stats_a.new_orders,
+            config.transactions);
+}
+
+TEST_F(StreamsDbTest, RecordOltpStreamTeesTraceAndProfileConsistently) {
+  db::tpcd::OltpConfig config;
+  config.transactions = 40;
+  trace::BlockTrace trace;
+  profile::Profile profile(db::kernel_image());
+  record_oltp_stream(*btree_, config, trace, &profile);
+  // The recorder and the profile sit behind one tee: every trace event is
+  // exactly one profile block-count increment.
+  const profile::WeightedCFG wcfg = profile::WeightedCFG::from_profile(profile);
+  const std::uint64_t counted = std::accumulate(
+      wcfg.block_count.begin(), wcfg.block_count.end(), std::uint64_t{0});
+  EXPECT_EQ(counted, trace.num_events());
+  EXPECT_GT(trace.num_events(), 0u);
+}
+
+TEST_F(StreamsDbTest, OltpTenantsPerturbTheTransactionSeed) {
+  StreamConfig config;
+  config.oltp_transactions = 50;
+  trace::BlockTrace t0;
+  trace::BlockTrace t1;
+  {
+    auto fresh = fresh_btree();
+    record_stream(MixKind::kOltp, 0, *fresh, *hash_, config, t0, nullptr);
+  }
+  {
+    auto fresh = fresh_btree();
+    record_stream(MixKind::kOltp, 1, *fresh, *hash_, config, t1, nullptr);
+  }
+  EXPECT_GT(t0.num_events(), 0u);
+  EXPECT_GT(t1.num_events(), 0u);
+  // Same mix, different tenant index: distinct transaction sequences.
+  EXPECT_NE(t0.serialize(), t1.serialize());
+}
+
+TEST_F(StreamsDbTest, MakeTenantStreamsAssignsMixesRoundRobin) {
+  StreamConfig config;
+  config.oltp_transactions = 30;
+  std::vector<profile::Profile> profiles;
+  const std::vector<MixKind> mixes = {MixKind::kOltp, MixKind::kDssTrain};
+  const std::vector<TenantStream> streams = make_tenant_streams(
+      3, mixes, *btree_, *hash_, config, db::kernel_image(), &profiles);
+
+  ASSERT_EQ(streams.size(), 3u);
+  EXPECT_EQ(streams[0].name, "oltp#0");
+  EXPECT_EQ(streams[1].name, "dss_train#1");
+  EXPECT_EQ(streams[2].name, "oltp#2");
+  ASSERT_EQ(profiles.size(), 3u);
+  for (std::size_t t = 0; t < streams.size(); ++t) {
+    EXPECT_GT(streams[t].trace.num_events(), 0u) << streams[t].name;
+    // Each profile is aligned with its stream: counts total the events.
+    const profile::WeightedCFG wcfg =
+        profile::WeightedCFG::from_profile(profiles[t]);
+    const std::uint64_t counted = std::accumulate(
+        wcfg.block_count.begin(), wcfg.block_count.end(), std::uint64_t{0});
+    EXPECT_EQ(counted, streams[t].trace.num_events()) << streams[t].name;
+  }
+  // Same-mix tenants are perturbed (OLTP seed offset), not clones.
+  EXPECT_NE(streams[0].trace.serialize(), streams[2].trace.serialize());
+}
+
+}  // namespace
+}  // namespace stc::workload

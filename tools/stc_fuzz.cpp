@@ -3,6 +3,7 @@
 //
 //   stc_fuzz --iters 5000 --seed 1 [--verbose] [--inject short-block]
 //   stc_fuzz --replay-diff [--iters N] [--seed S] [--verbose]
+//   stc_fuzz --multitenant [--iters N] [--seed S] [--verbose]
 //   stc_fuzz --trace-bytes [--seed S] [--verbose]
 //
 // Oracle mode: each iteration derives an independent case seed from
@@ -16,6 +17,13 @@
 // every generated case is replayed through the interp, batched and compiled
 // engines (sim/replay.h) over every layout kind, and any counter divergence
 // is shrunk to a paste-ready regression snippet. Exit codes as above.
+//
+// --multitenant swaps in the multi-tenant composer differential check
+// (verify::run_multitenant_diff): each case's trace is split into a
+// salt-derived number of tenant streams, composed under a salt-derived
+// quantum/arrival model, and checked for determinism, conservation,
+// single-tenant byte-identity, cross-engine replay bit-identity, and the
+// tenant-partitioned CFA contract. Failures shrink as in the other modes.
 //
 // --inject short-block corrupts every produced layout with an emulated
 // off-by-one block size (see verify::Injection) — used to prove the oracle
@@ -47,8 +55,9 @@ void usage(const char* argv0) {
                "usage: %s [--iters N] [--seed S] [--verbose] "
                "[--inject short-block]\n"
                "       %s --replay-diff [--iters N] [--seed S] [--verbose]\n"
+               "       %s --multitenant [--iters N] [--seed S] [--verbose]\n"
                "       %s --trace-bytes [--seed S] [--verbose]\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
 }
 
 // Accounting for one corpus of mutants over a serialized trace.
@@ -179,6 +188,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool trace_bytes = false;
   bool replay_diff = false;
+  bool multitenant = false;
   stc::verify::Injection injection = stc::verify::Injection::kNone;
 
   for (int i = 1; i < argc; ++i) {
@@ -200,6 +210,8 @@ int main(int argc, char** argv) {
       trace_bytes = true;
     } else if (arg == "--replay-diff") {
       replay_diff = true;
+    } else if (arg == "--multitenant") {
+      multitenant = true;
     } else if (arg == "--inject") {
       const std::string what = next_value();
       if (what != "short-block") {
@@ -218,41 +230,50 @@ int main(int argc, char** argv) {
 
   if (trace_bytes) return run_trace_bytes(seed, verbose);
 
-  if (replay_diff) {
+  if (replay_diff || multitenant) {
+    // Differential modes share one loop; only the check function differs.
+    const char* mode = replay_diff ? "replay-diff" : "multitenant";
+    const char* check_fn =
+        replay_diff ? "run_replay_diff" : "run_multitenant_diff";
+    const char* test_prefix = replay_diff ? "ReplayDiff" : "Multitenant";
+    const auto check = [&](const stc::verify::FuzzCase& candidate) {
+      return replay_diff ? stc::verify::run_replay_diff(candidate)
+                         : stc::verify::run_multitenant_diff(candidate);
+    };
     for (std::uint64_t i = 0; i < iters; ++i) {
       stc::Rng rng(seed * 0x9e3779b97f4a7c15ull + i);
       const stc::verify::FuzzCase c = stc::verify::random_case(rng);
       if (verbose) {
         std::fprintf(stderr,
-                     "replay-diff iter %llu: %zu routines, %zu blocks, "
+                     "%s iter %llu: %zu routines, %zu blocks, "
                      "%zu events\n",
-                     static_cast<unsigned long long>(i), c.routines.size(),
-                     c.num_blocks(), c.trace.size());
+                     mode, static_cast<unsigned long long>(i),
+                     c.routines.size(), c.num_blocks(), c.trace.size());
       }
-      const stc::verify::Report report = stc::verify::run_replay_diff(c);
+      const stc::verify::Report report = check(c);
       if (report.ok()) continue;
       std::fprintf(stderr,
-                   "replay-diff iteration %llu (seed %llu) FAILED:\n%s\n",
+                   "%s iteration %llu (seed %llu) FAILED:\n%s\n", mode,
                    static_cast<unsigned long long>(i),
                    static_cast<unsigned long long>(seed),
                    report.summary().c_str());
       const stc::verify::FuzzCase shrunk = stc::verify::shrink_case_with(
-          c, [](const stc::verify::FuzzCase& candidate) {
-            return !stc::verify::run_replay_diff(candidate).ok();
+          c, [&check](const stc::verify::FuzzCase& candidate) {
+            return !check(candidate).ok();
           });
       std::fprintf(stderr, "shrunk repro (%zu routines, %zu blocks):\n%s\n",
                    shrunk.routines.size(), shrunk.num_blocks(),
-                   stc::verify::run_replay_diff(shrunk).summary().c_str());
+                   check(shrunk).summary().c_str());
       std::printf("// paste into tests/verify/regression_cases.cpp:\n%s",
                   stc::verify::emit_cpp(
                       shrunk,
-                      "ReplayDiff_seed" + std::to_string(seed) + "_iter" +
-                          std::to_string(i),
-                      "run_replay_diff")
+                      std::string(test_prefix) + "_seed" +
+                          std::to_string(seed) + "_iter" + std::to_string(i),
+                      check_fn)
                       .c_str());
       return 1;
     }
-    std::printf("stc_fuzz --replay-diff: %llu iterations clean (seed %llu)\n",
+    std::printf("stc_fuzz --%s: %llu iterations clean (seed %llu)\n", mode,
                 static_cast<unsigned long long>(iters),
                 static_cast<unsigned long long>(seed));
     return 0;
