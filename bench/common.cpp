@@ -856,6 +856,10 @@ void print_banner(const char* title, const Env& env, const Setup& setup) {
 ExperimentRunner make_runner(const char* name, const Env& env,
                              const Setup& setup) {
   ExperimentRunner runner(name);
+  // Bench grids are rebuilt identically by every process that runs the
+  // binary with the same knobs, which is exactly the contract process
+  // sharding needs (STC_SHARDS / STC_SHARD; see support/experiment.h).
+  runner.set_shardable(true);
   runner.meta("scale_factor", env.scale_factor);
   runner.meta("seed", env.seed);
   runner.meta("line_bytes", std::uint64_t{env.line_bytes});

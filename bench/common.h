@@ -43,6 +43,15 @@
 //                   (default poisson)
 //   STC_TENANT_MIX- comma list of per-tenant mixes, assigned round-robin:
 //                   dss|dss_train|oltp (default dss,oltp)
+//   STC_SHARDS    - worker processes for the bench grid (default 1). With
+//                   N > 1 the binary re-executes itself N times, each worker
+//                   runs a modulo slice of the grid and writes a report
+//                   fragment, and the parent merges them into one report
+//                   byte-identical (outside timing fields) to STC_SHARDS=1
+//   STC_MMAP      - 1 streams on-disk traces through mmap, 0 forces buffered
+//                   reads (default 1; scale_sweep's streaming cells)
+//   STC_PLAN_CACHE_DIR - directory for the on-disk compiled replay-plan
+//                   cache (default unset = rebuild plans in-process)
 // Every knob is validated up front (support/env): a malformed value exits 2
 // with a structured error instead of silently defaulting.
 // The paper's absolute cache sizes (8-64KB) are scaled to this kernel's

@@ -2,9 +2,25 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <functional>
 
+#include "support/crc32.h"
 #include "support/env.h"
 #include "support/faultpoint.h"
+#include "support/io.h"
+#include "trace/trace_format.h"
+
+// Portable SIMD: GCC/Clang vector extensions compile to whatever the target
+// offers (AVX-512, AVX2 pairs, NEON, or plain scalar code) with identical
+// integer semantics, so the fast path needs no per-ISA intrinsics and the
+// bit-identity contract holds everywhere. STC_REPLAY_NO_SIMD forces the
+// scalar reference loops (used to cross-check, and for odd toolchains).
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(STC_REPLAY_NO_SIMD)
+#define STC_REPLAY_SIMD 1
+#else
+#define STC_REPLAY_SIMD 0
+#endif
 
 namespace stc::sim {
 
@@ -90,6 +106,12 @@ void EventSlab::build(const trace::BlockTrace& trace) {
     trace.decode_chunk(c, events_);
   }
   STC_CHECK(events_.size() == trace.num_events());
+  max_id_ = 0;
+  for (const cfg::BlockId id : events_) max_id_ = std::max(max_id_, id);
+}
+
+void EventSlab::adopt(std::vector<cfg::BlockId> events) {
+  events_ = std::move(events);
   max_id_ = 0;
   for (const cfg::BlockId id : events_) max_id_ = std::max(max_id_, id);
 }
@@ -184,6 +206,178 @@ Result<ReplayPlan> build_replay_plan(ReplayMode mode,
                            backend);
 }
 
+namespace {
+
+// On-disk plan-cache entries. Host-endian with a CRC32 over the payload:
+// these are per-machine cache files keyed by content fingerprint, not an
+// interchange format, so the only obligations are "detect corruption" and
+// "never change counters" — any validation failure is a silent rebuild.
+constexpr std::uint64_t kSlabFileMagic = 0x53544353;  // "STCS"
+constexpr std::uint64_t kPlanFileMagic = 0x53544350;  // "STCP"
+constexpr std::uint64_t kCacheFileVersion = 1;
+constexpr std::size_t kSlabHeaderBytes = 4 * 8;
+constexpr std::size_t kPlanHeaderBytes = 9 * 8;
+
+static_assert(sizeof(cfg::BlockId) == 4, "slab cache files store u32 ids");
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::shared_ptr<const EventSlab> load_slab_file(const std::string& path) {
+  Result<std::vector<std::uint8_t>> bytes = read_file(path);
+  if (!bytes.is_ok()) return nullptr;
+  const std::vector<std::uint8_t>& b = bytes.value();
+  if (b.size() < kSlabHeaderBytes) return nullptr;
+  if (trace::format::get_u64(b.data()) != kSlabFileMagic) return nullptr;
+  if (trace::format::get_u64(b.data() + 8) != kCacheFileVersion) return nullptr;
+  const std::uint64_t n = trace::format::get_u64(b.data() + 16);
+  const std::uint64_t stated_crc = trace::format::get_u64(b.data() + 24);
+  if ((b.size() - kSlabHeaderBytes) / sizeof(cfg::BlockId) != n ||
+      (b.size() - kSlabHeaderBytes) % sizeof(cfg::BlockId) != 0) {
+    return nullptr;
+  }
+  if (crc32(b.data() + kSlabHeaderBytes, b.size() - kSlabHeaderBytes) !=
+      stated_crc) {
+    return nullptr;
+  }
+  std::vector<cfg::BlockId> events(static_cast<std::size_t>(n));
+  std::memcpy(events.data(), b.data() + kSlabHeaderBytes,
+              events.size() * sizeof(cfg::BlockId));
+  for (const cfg::BlockId id : events) {
+    if (id >= cfg::kInvalidBlock) return nullptr;
+  }
+  auto slab = std::make_shared<EventSlab>();
+  slab->adopt(std::move(events));
+  return slab;
+}
+
+void save_slab_file(const std::string& path, const EventSlab& slab) {
+  std::vector<std::uint8_t> out;
+  const std::size_t payload = slab.size() * sizeof(cfg::BlockId);
+  out.reserve(kSlabHeaderBytes + payload);
+  trace::format::put_u64(out, kSlabFileMagic);
+  trace::format::put_u64(out, kCacheFileVersion);
+  trace::format::put_u64(out, slab.size());
+  trace::format::put_u64(
+      out, crc32(reinterpret_cast<const std::uint8_t*>(slab.data()), payload));
+  const std::uint8_t* raw = reinterpret_cast<const std::uint8_t*>(slab.data());
+  out.insert(out.end(), raw, raw + payload);
+  // Best-effort: a failed write just means the next invocation rebuilds.
+  (void)write_file_atomic(path, out.data(), out.size(), "plancache.write");
+}
+
+// Plan-table files carry the compiled line tables plus (when enabled) the
+// back-end op tables, all specialized to one (meta, line size, spec) — the
+// header repeats everything the tables were specialized for so a stale file
+// under a colliding name can never be adopted.
+bool load_plan_tables(const std::string& path, std::size_t num_blocks,
+                      std::uint32_t line_bytes, const BackendSpec& backend,
+                      ReplayArena& arena, CompiledTable& compiled,
+                      BackendTable& backend_table) {
+  Result<std::vector<std::uint8_t>> bytes = read_file(path);
+  if (!bytes.is_ok()) return false;
+  const std::vector<std::uint8_t>& b = bytes.value();
+  if (b.size() < kPlanHeaderBytes) return false;
+  if (trace::format::get_u64(b.data()) != kPlanFileMagic) return false;
+  if (trace::format::get_u64(b.data() + 8) != kCacheFileVersion) return false;
+  if (trace::format::get_u64(b.data() + 16) != num_blocks) return false;
+  if (trace::format::get_u64(b.data() + 24) != line_bytes) return false;
+  const std::uint64_t enabled = trace::format::get_u64(b.data() + 32);
+  if (enabled != (backend.enabled ? 1 : 0)) return false;
+  if (backend.enabled &&
+      (trace::format::get_u64(b.data() + 40) != backend.base_latency ||
+       trace::format::get_u64(b.data() + 48) != backend.mem_latency ||
+       trace::format::get_u64(b.data() + 56) != backend.size_shift)) {
+    return false;
+  }
+  const std::uint64_t stated_crc = trace::format::get_u64(b.data() + 64);
+  std::size_t expected = 3 * 8 * num_blocks;
+  if (backend.enabled) expected += (4 + 3) * num_blocks;
+  if (b.size() - kPlanHeaderBytes != expected) return false;
+  if (crc32(b.data() + kPlanHeaderBytes, expected) != stated_crc) return false;
+
+  const std::uint8_t* p = b.data() + kPlanHeaderBytes;
+  std::uint64_t* first = arena.alloc<std::uint64_t>(num_blocks);
+  std::uint64_t* last = arena.alloc<std::uint64_t>(num_blocks);
+  std::uint64_t* word = arena.alloc<std::uint64_t>(num_blocks);
+  std::memcpy(first, p, num_blocks * 8);
+  std::memcpy(last, p + num_blocks * 8, num_blocks * 8);
+  std::memcpy(word, p + num_blocks * 16, num_blocks * 8);
+  compiled.adopt(line_bytes, first, last, word);
+  if (backend.enabled) {
+    p += num_blocks * 24;
+    std::uint32_t* latency = arena.alloc<std::uint32_t>(num_blocks);
+    std::uint8_t* dest = arena.alloc<std::uint8_t>(num_blocks);
+    std::uint8_t* src1 = arena.alloc<std::uint8_t>(num_blocks);
+    std::uint8_t* src2 = arena.alloc<std::uint8_t>(num_blocks);
+    std::memcpy(latency, p, num_blocks * 4);
+    std::memcpy(dest, p + num_blocks * 4, num_blocks);
+    std::memcpy(src1, p + num_blocks * 5, num_blocks);
+    std::memcpy(src2, p + num_blocks * 6, num_blocks);
+    backend_table.adopt(backend, latency, dest, src1, src2);
+  }
+  return true;
+}
+
+void save_plan_tables(const std::string& path, std::size_t num_blocks,
+                      std::uint32_t line_bytes, const BackendSpec& backend,
+                      const CompiledTable& compiled,
+                      const BackendTable& backend_table) {
+  std::vector<std::uint8_t> payload;
+  std::size_t expected = 3 * 8 * num_blocks;
+  if (backend.enabled) expected += (4 + 3) * num_blocks;
+  payload.reserve(expected);
+  const auto put_array_u64 = [&payload, num_blocks](const auto& fn) {
+    for (cfg::BlockId b = 0; b < num_blocks; ++b) {
+      trace::format::put_u64(payload, fn(b));
+    }
+  };
+  put_array_u64([&compiled](cfg::BlockId b) { return compiled.first_line(b); });
+  put_array_u64([&compiled](cfg::BlockId b) { return compiled.last_line(b); });
+  put_array_u64([&compiled](cfg::BlockId b) { return compiled.word_index(b); });
+  if (backend.enabled) {
+    for (cfg::BlockId b = 0; b < num_blocks; ++b) {
+      const std::uint32_t v = backend_table.latency(b);
+      for (int i = 0; i < 4; ++i) {
+        payload.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      }
+    }
+    for (cfg::BlockId b = 0; b < num_blocks; ++b) {
+      payload.push_back(backend_table.dest(b));
+    }
+    for (cfg::BlockId b = 0; b < num_blocks; ++b) {
+      payload.push_back(backend_table.src1(b));
+    }
+    for (cfg::BlockId b = 0; b < num_blocks; ++b) {
+      payload.push_back(backend_table.src2(b));
+    }
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kPlanHeaderBytes + payload.size());
+  trace::format::put_u64(out, kPlanFileMagic);
+  trace::format::put_u64(out, kCacheFileVersion);
+  trace::format::put_u64(out, num_blocks);
+  trace::format::put_u64(out, line_bytes);
+  trace::format::put_u64(out, backend.enabled ? 1 : 0);
+  trace::format::put_u64(out, backend.enabled ? backend.base_latency : 0);
+  trace::format::put_u64(out, backend.enabled ? backend.mem_latency : 0);
+  trace::format::put_u64(out, backend.enabled ? backend.size_shift : 0);
+  trace::format::put_u64(out, crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  (void)write_file_atomic(path, out.data(), out.size(), "plancache.write");
+}
+
+}  // namespace
+
+ReplayPlanCache::ReplayPlanCache() {
+  const Result<std::string> dir = env::plan_cache_dir();
+  disk_dir_ = dir.is_ok() ? dir.value() : std::string();
+}
+
 const ReplayPlan* ReplayPlanCache::get(ReplayMode mode,
                                        const trace::BlockTrace& trace,
                                        const cfg::ProgramImage& image,
@@ -224,12 +418,69 @@ const ReplayPlan* ReplayPlanCache::get(ReplayMode mode,
 
   std::shared_ptr<const EventSlab>& slab = slabs_[trace_fp];
   if (slab == nullptr) {
-    auto built = std::make_shared<EventSlab>();
-    built->build(trace);
-    slab = std::move(built);
+    const std::string slab_path =
+        disk_dir_.empty()
+            ? std::string()
+            : disk_dir_ + "/slab_" + hex16(trace_fp) + ".stcs";
+    if (!slab_path.empty()) {
+      std::shared_ptr<const EventSlab> loaded = load_slab_file(slab_path);
+      // Beyond the file's own CRC, the slab must agree with the trace it
+      // claims to cache and must not name blocks the image lacks — a bad
+      // cache entry downgrades to a rebuild, never an aborted run.
+      if (loaded != nullptr && loaded->size() == trace.num_events() &&
+          (loaded->size() == 0 || loaded->max_id() < image.num_blocks())) {
+        slab = std::move(loaded);
+      }
+    }
+    if (slab == nullptr) {
+      auto built = std::make_shared<EventSlab>();
+      built->build(trace);
+      slab = std::move(built);
+      if (!slab_path.empty()) save_slab_file(slab_path, *slab);
+    }
   }
-  Result<ReplayPlan> plan =
-      build_replay_plan(mode, slab, image, layout, line_bytes, backend);
+  Result<ReplayPlan> plan = [&]() -> Result<ReplayPlan> {
+    if (disk_dir_.empty() || mode != ReplayMode::kCompiled ||
+        line_bytes == 0) {
+      return build_replay_plan(mode, slab, image, layout, line_bytes, backend);
+    }
+    // Disk path: the key fingerprint names a plan-tables file; adopt it
+    // when every specialization parameter matches, rebuild (and persist)
+    // otherwise. Fault-injected builds are not persisted — the null plan
+    // stays an in-memory fact and the next run retries the build.
+    std::uint64_t key_fp = kBasis;
+    key_fp = fnv(key_fp, static_cast<std::uint64_t>(mode));
+    key_fp = fnv(key_fp, trace_fp);
+    key_fp = fnv(key_fp, image_fp);
+    key_fp = fnv(key_fp, layout_fp);
+    key_fp = fnv(key_fp, line_bytes);
+    key_fp = fnv(key_fp, backend.fingerprint());
+    const std::string plan_path =
+        disk_dir_ + "/plan_" + hex16(key_fp) + ".stcp";
+    ReplayPlan built;
+    built.mode_ = mode;
+    built.slab_ = slab;
+    built.arena_ = std::make_unique<ReplayArena>();
+    built.meta_.build(image, layout, *built.arena_);
+    STC_CHECK_MSG(built.slab_->size() == 0 ||
+                      built.slab_->max_id() < built.meta_.size(),
+                  "trace names blocks outside the program image");
+    if (load_plan_tables(plan_path, built.meta_.size(), line_bytes, backend,
+                         *built.arena_, built.compiled_, built.backend_)) {
+      return built;
+    }
+    if (Status s =
+            built.compiled_.build(built.meta_, line_bytes, *built.arena_);
+        !s.is_ok()) {
+      return s.with_context("compiled replay");
+    }
+    if (backend.enabled) {
+      built.backend_.build(built.meta_, backend, *built.arena_);
+    }
+    save_plan_tables(plan_path, built.meta_.size(), line_bytes, backend,
+                     built.compiled_, built.backend_);
+    return built;
+  }();
   if (!plan.is_ok()) {
     if (!logged_fallback_) {
       logged_fallback_ = true;
@@ -246,6 +497,136 @@ const ReplayPlan* ReplayPlanCache::get(ReplayMode mode,
   return it->second.get();
 }
 
+namespace replay_detail {
+namespace {
+
+#if STC_REPLAY_SIMD
+typedef std::uint64_t u64x8 __attribute__((vector_size(64)));
+#endif
+constexpr std::size_t kLanes = 8;
+
+}  // namespace
+
+void missrate_span(const cfg::BlockId* events, std::size_t n,
+                   const BlockMetaTable& meta, const CompiledTable* tables,
+                   std::uint32_t line_bytes, ICache& cache,
+                   std::vector<std::uint64_t>* per_block_misses,
+                   ReplayKernel kernel, MissSpanState& state,
+                   MissRateResult& result) {
+  (void)kernel;
+  const bool use_tables = tables != nullptr && tables->valid() &&
+                          tables->line_bytes() == line_bytes;
+  std::uint64_t prev_line = state.prev_line;
+  // Same contract as the interpreter loop: consecutive instructions on one
+  // line probe once; a line re-entered after leaving probes again. The probe
+  // sequence is inherently serial (the cache is stateful), so it is shared
+  // verbatim by both kernels — SIMD only accelerates the pure per-event
+  // arithmetic around it, which is what keeps the kernels bit-identical.
+  const auto probe = [&](cfg::BlockId block, std::uint64_t first,
+                         std::uint64_t last) {
+    for (std::uint64_t l = first; l <= last; ++l) {
+      if (l == prev_line) continue;
+      ++result.line_accesses;
+      if (!cache.access(l * line_bytes)) {
+        ++result.misses;
+        if (per_block_misses != nullptr) ++(*per_block_misses)[block];
+      }
+      prev_line = l;
+    }
+  };
+  std::size_t i = 0;
+#if STC_REPLAY_SIMD
+  if (kernel == ReplayKernel::kSimd && use_tables && n >= kLanes) {
+    // Vector pre-pass per 8 events: gather the pre-resolved line bounds and
+    // accumulate instruction counts in vector lanes; then drain the probes
+    // in order from the gathered bounds.
+    u64x8 insn_acc = {};
+    std::uint64_t firsts[kLanes];
+    std::uint64_t lasts[kLanes];
+    for (; i + kLanes <= n; i += kLanes) {
+      u64x8 insns;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const cfg::BlockId b = events[i + l];
+        insns[l] = meta.insns(b);
+        firsts[l] = tables->first_line(b);
+        lasts[l] = tables->last_line(b);
+      }
+      insn_acc += insns;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        probe(events[i + l], firsts[l], lasts[l]);
+      }
+    }
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      result.instructions += insn_acc[l];
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    const cfg::BlockId block = events[i];
+    result.instructions += meta.insns(block);
+    const std::uint64_t first = use_tables ? tables->first_line(block)
+                                           : meta.addr(block) / line_bytes;
+    const std::uint64_t last = use_tables
+                                   ? tables->last_line(block)
+                                   : (meta.end_addr(block) - 1) / line_bytes;
+    probe(block, first, last);
+  }
+  state.prev_line = prev_line;
+}
+
+void sequentiality_span(const cfg::BlockId* events, std::size_t n,
+                        const BlockMetaTable& meta, ReplayKernel kernel,
+                        SeqSpanState& state,
+                        trace::SequentialityStats& stats) {
+  (void)kernel;
+  if (n == 0) return;
+  // The transition into this span belongs to the previous span's last event
+  // — the slab loop sees the two events adjacent.
+  if (state.have_prev &&
+      meta.addr(events[0]) != meta.end_addr(state.prev)) {
+    ++stats.taken_transitions;
+  }
+  stats.dynamic_blocks += n;
+  std::size_t i = 0;
+#if STC_REPLAY_SIMD
+  if (kernel == ReplayKernel::kSimd && n > kLanes) {
+    u64x8 insn_acc = {};
+    u64x8 taken_acc = {};
+    // Each lane compares event i+l's end address with event i+l+1's start
+    // address, so the loop needs one event of lookahead (i + kLanes < n).
+    for (; i + kLanes < n; i += kLanes) {
+      u64x8 next_addr;
+      u64x8 end_addr;
+      u64x8 insns;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        next_addr[l] = meta.addr(events[i + l + 1]);
+        end_addr[l] = meta.end_addr(events[i + l]);
+        insns[l] = meta.insns(events[i + l]);
+      }
+      insn_acc += insns;
+      // A vector compare fills true lanes with all-ones (-1); subtracting
+      // therefore adds one per taken transition.
+      taken_acc -= reinterpret_cast<u64x8>(next_addr != end_addr);
+    }
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      stats.instructions += insn_acc[l];
+      stats.taken_transitions += taken_acc[l];
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    stats.instructions += meta.insns(events[i]);
+    if (i + 1 < n &&
+        meta.addr(events[i + 1]) != meta.end_addr(events[i])) {
+      ++stats.taken_transitions;
+    }
+  }
+  state.have_prev = true;
+  state.prev = events[n - 1];
+}
+
+}  // namespace replay_detail
+
 MissRateResult replay_missrate(const ReplayPlan& plan, ICache& cache,
                                std::vector<std::uint64_t>* per_block_misses) {
   MissRateResult result;
@@ -253,49 +634,83 @@ MissRateResult replay_missrate(const ReplayPlan& plan, ICache& cache,
   if (per_block_misses != nullptr) {
     per_block_misses->assign(meta.size(), 0);
   }
-  const std::uint32_t line = cache.geometry().line_bytes;
-  const EventSlab& slab = plan.slab();
-  const std::size_t n = slab.size();
-  std::uint64_t prev_line = ~std::uint64_t{0};
-  const CompiledTable& compiled = plan.compiled();
-  const bool use_tables = plan.mode() == ReplayMode::kCompiled &&
-                          compiled.valid() && compiled.line_bytes() == line;
-  for (std::size_t i = 0; i < n; ++i) {
-    const cfg::BlockId block = slab[i];
-    result.instructions += meta.insns(block);
-    const std::uint64_t first =
-        use_tables ? compiled.first_line(block) : meta.addr(block) / line;
-    const std::uint64_t last = use_tables
-                                   ? compiled.last_line(block)
-                                   : (meta.end_addr(block) - 1) / line;
-    for (std::uint64_t l = first; l <= last; ++l) {
-      // Same contract as the interpreter loop: consecutive instructions on
-      // one line probe once; a line re-entered after leaving probes again.
-      if (l == prev_line) continue;
-      ++result.line_accesses;
-      if (!cache.access(l * line)) {
-        ++result.misses;
-        if (per_block_misses != nullptr) ++(*per_block_misses)[block];
-      }
-      prev_line = l;
-    }
-  }
+  const CompiledTable* tables =
+      plan.mode() == ReplayMode::kCompiled ? &plan.compiled() : nullptr;
+  replay_detail::MissSpanState state;
+  replay_detail::missrate_span(plan.slab().data(), plan.slab().size(), meta,
+                               tables, cache.geometry().line_bytes, cache,
+                               per_block_misses, ReplayKernel::kSimd, state,
+                               result);
   return result;
 }
 
 trace::SequentialityStats replay_sequentiality(const ReplayPlan& plan) {
   trace::SequentialityStats stats;
-  const BlockMetaTable& meta = plan.meta();
-  const EventSlab& slab = plan.slab();
-  const std::size_t n = slab.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const cfg::BlockId block = slab[i];
-    stats.instructions += meta.insns(block);
-    ++stats.dynamic_blocks;
-    if (i + 1 < n && meta.addr(slab[i + 1]) != meta.end_addr(block)) {
-      ++stats.taken_transitions;
+  replay_detail::SeqSpanState state;
+  replay_detail::sequentiality_span(plan.slab().data(), plan.slab().size(),
+                                    plan.meta(), ReplayKernel::kSimd, state,
+                                    stats);
+  return stats;
+}
+
+namespace {
+
+// Shared chunk pump for the streamed replays: decode, range-check against
+// the metadata table (the streamed loops index unchecked, exactly like the
+// slab loops after their one-time max_id check), replay, release pages.
+Status stream_chunks(
+    const trace::TraceReader& reader, const BlockMetaTable& meta,
+    const std::function<void(const cfg::BlockId*, std::size_t)>& on_span) {
+  std::vector<cfg::BlockId> buffer;
+  for (std::size_t c = 0; c < reader.num_chunks(); ++c) {
+    buffer.clear();
+    Result<std::size_t> decoded = reader.decode_chunk(c, buffer);
+    if (!decoded.is_ok()) {
+      return decoded.status().with_context("streamed replay");
     }
+    for (const cfg::BlockId id : buffer) {
+      if (id >= meta.size()) {
+        return corrupt_data_error("trace names block " + std::to_string(id) +
+                                  " outside the program image")
+            .with_context("streamed replay");
+      }
+    }
+    on_span(buffer.data(), buffer.size());
+    reader.release_chunk(c);
   }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<MissRateResult> replay_missrate_streamed(
+    const trace::TraceReader& reader, const BlockMetaTable& meta,
+    const CompiledTable* tables, ICache& cache, ReplayKernel kernel) {
+  MissRateResult result;
+  replay_detail::MissSpanState state;
+  const std::uint32_t line = cache.geometry().line_bytes;
+  Status s = stream_chunks(
+      reader, meta,
+      [&](const cfg::BlockId* events, std::size_t n) {
+        replay_detail::missrate_span(events, n, meta, tables, line, cache,
+                                     nullptr, kernel, state, result);
+      });
+  if (!s.is_ok()) return s;
+  return result;
+}
+
+Result<trace::SequentialityStats> replay_sequentiality_streamed(
+    const trace::TraceReader& reader, const BlockMetaTable& meta,
+    ReplayKernel kernel) {
+  trace::SequentialityStats stats;
+  replay_detail::SeqSpanState state;
+  Status s = stream_chunks(
+      reader, meta,
+      [&](const cfg::BlockId* events, std::size_t n) {
+        replay_detail::sequentiality_span(events, n, meta, kernel, state,
+                                          stats);
+      });
+  if (!s.is_ok()) return s;
   return stats;
 }
 

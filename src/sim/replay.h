@@ -26,6 +26,15 @@
 // divergences. The compiled-table build runs through faultpoint
 // "replay.compile" so fault-injection tests can force the clean fallback to
 // the interpreter.
+//
+// The missrate/sequentiality inner loops are span kernels over a raw event
+// range with explicit carried state (replay_detail), which buys two things:
+// an 8-wide SIMD fast path (portable GCC/Clang vector extensions, scalar
+// fallback elsewhere — bit-identical by construction because integer sums
+// are associative and the stateful cache probes stay scalar and in order),
+// and streaming replay (replay_*_streamed) that pulls chunks off an on-disk
+// trace through trace::TraceReader one at a time, so traces far larger than
+// RAM replay with peak memory bounded by one chunk.
 #pragma once
 
 #include <cstdint>
@@ -45,10 +54,18 @@
 #include "support/error.h"
 #include "trace/block_trace.h"
 #include "trace/fetch_stream.h"
+#include "trace/trace_io.h"
 
 namespace stc::sim {
 
 enum class ReplayMode { kInterp, kBatched, kCompiled };
+
+// Inner-loop kernel selection. kSimd takes the 8-wide vector path where the
+// toolchain provides vector extensions (GCC/Clang; define STC_REPLAY_NO_SIMD
+// to opt out) and silently degrades to the scalar reference loop elsewhere;
+// both produce bit-identical counters, so this is a speed knob, never a
+// semantics knob. Benches use kScalar for their "interp-equivalent" rows.
+enum class ReplayKernel { kScalar, kSimd };
 
 const char* to_string(ReplayMode mode);
 
@@ -125,6 +142,9 @@ class BlockMetaTable {
 class EventSlab {
  public:
   void build(const trace::BlockTrace& trace);
+  // Takes ownership of a pre-decoded event vector (the on-disk plan-cache
+  // load path); computes max_id like build() does.
+  void adopt(std::vector<cfg::BlockId> events);
 
   std::size_t size() const { return events_.size(); }
   cfg::BlockId operator[](std::size_t i) const { return events_[i]; }
@@ -216,6 +236,16 @@ class CompiledTable {
   Status build(const BlockMetaTable& meta, std::uint32_t line_bytes,
                ReplayArena& arena);
 
+  // Installs pre-built tables (the on-disk plan-cache load path). The
+  // arrays must outlive the table — they live in the owning plan's arena.
+  void adopt(std::uint32_t line_bytes, const std::uint64_t* first_line,
+             const std::uint64_t* last_line, const std::uint64_t* word_index) {
+    line_bytes_ = line_bytes;
+    first_line_ = first_line;
+    last_line_ = last_line;
+    word_index_ = word_index;
+  }
+
   bool valid() const { return line_bytes_ != 0; }
   std::uint32_t line_bytes() const { return line_bytes_; }
   std::uint64_t first_line(cfg::BlockId b) const { return first_line_[b]; }
@@ -240,6 +270,19 @@ class BackendTable {
  public:
   void build(const BlockMetaTable& meta, const BackendSpec& spec,
              ReplayArena& arena);
+
+  // Installs pre-built tables (the on-disk plan-cache load path); the
+  // arrays must outlive the table.
+  void adopt(const BackendSpec& spec, const std::uint32_t* latency,
+             const std::uint8_t* dest, const std::uint8_t* src1,
+             const std::uint8_t* src2) {
+    spec_ = spec;
+    latency_ = latency;
+    dest_ = dest;
+    src1_ = src1;
+    src2_ = src2;
+    valid_ = true;
+  }
 
   bool valid() const { return valid_; }
   const BackendSpec& spec() const { return spec_; }
@@ -294,6 +337,7 @@ class ReplayPlan {
       ReplayMode mode, std::shared_ptr<const EventSlab> slab,
       const cfg::ProgramImage& image, const cfg::AddressMap& layout,
       std::uint32_t line_bytes, const BackendSpec& backend);
+  friend class ReplayPlanCache;  // the disk-load path adopts tables directly
 
   ReplayMode mode_ = ReplayMode::kBatched;
   std::shared_ptr<const EventSlab> slab_;
@@ -331,6 +375,15 @@ Result<ReplayPlan> build_replay_plan(ReplayMode mode,
 // interpreter path. Thread-safe.
 class ReplayPlanCache {
  public:
+  // Reads STC_PLAN_CACHE_DIR once at construction. When set, decoded event
+  // slabs and compiled tables additionally persist to that directory
+  // (host-endian, CRC-checked, atomic writes under fault prefix
+  // "plancache.write"), keyed by the same content fingerprints — so plans
+  // survive across bench *invocations*, not just across cells. A corrupt or
+  // mismatched cache file is silently rebuilt and rewritten; the disk layer
+  // can slow a run down but never change its counters.
+  ReplayPlanCache();
+
   const ReplayPlan* get(ReplayMode mode, const trace::BlockTrace& trace,
                         const cfg::ProgramImage& image,
                         const cfg::AddressMap& layout,
@@ -347,7 +400,40 @@ class ReplayPlanCache {
   std::map<std::uint64_t, std::shared_ptr<const EventSlab>> slabs_;
   std::map<Key, std::unique_ptr<const ReplayPlan>> plans_;  // null = fallback
   bool logged_fallback_ = false;
+  std::string disk_dir_;  // "" = on-disk layer disabled
 };
+
+// Span kernels behind the replay loops, exposed so tests can pin SIMD
+// against scalar over arbitrary span lengths (tails included). Each kernel
+// consumes a raw event range and carries explicit state, so feeding a slab
+// in one span or chunk-by-chunk composes to exactly the same counter and
+// cache-access sequence.
+namespace replay_detail {
+
+struct MissSpanState {
+  // The last line probed, carried ACROSS events and spans (consecutive
+  // instructions on one line probe the cache once).
+  std::uint64_t prev_line = ~std::uint64_t{0};
+};
+
+struct SeqSpanState {
+  bool have_prev = false;
+  cfg::BlockId prev = 0;  // last event of the previous span
+};
+
+// `tables` may be null (or built for a different line size); the kernel
+// then derives line bounds from `meta` exactly like the batched loop.
+void missrate_span(const cfg::BlockId* events, std::size_t n,
+                   const BlockMetaTable& meta, const CompiledTable* tables,
+                   std::uint32_t line_bytes, ICache& cache,
+                   std::vector<std::uint64_t>* per_block_misses,
+                   ReplayKernel kernel, MissSpanState& state,
+                   MissRateResult& result);
+void sequentiality_span(const cfg::BlockId* events, std::size_t n,
+                        const BlockMetaTable& meta, ReplayKernel kernel,
+                        SeqSpanState& state, trace::SequentialityStats& stats);
+
+}  // namespace replay_detail
 
 // Batched/compiled equivalents of run_missrate and measure_sequentiality
 // (the fetch-unit and trace-cache plan overloads live next to their
@@ -356,5 +442,21 @@ MissRateResult replay_missrate(const ReplayPlan& plan, ICache& cache,
                                std::vector<std::uint64_t>* per_block_misses =
                                    nullptr);
 trace::SequentialityStats replay_sequentiality(const ReplayPlan& plan);
+
+// Streaming replay over an on-disk trace: chunks decode one at a time into
+// a reused buffer and (for mapped files) drop their pages behind the pass,
+// so peak resident memory is bounded by one chunk rather than the trace.
+// Counters are bit-identical to replaying the fully-loaded trace — the same
+// span kernels run over the same event sequence. `tables` may be null
+// (address math from `meta`, the interp-equivalent configuration). Each
+// decoded chunk is range-checked against `meta` before it is replayed, so a
+// corrupt trace surfaces as a clean Status, never unchecked indexing.
+Result<MissRateResult> replay_missrate_streamed(
+    const trace::TraceReader& reader, const BlockMetaTable& meta,
+    const CompiledTable* tables, ICache& cache,
+    ReplayKernel kernel = ReplayKernel::kSimd);
+Result<trace::SequentialityStats> replay_sequentiality_streamed(
+    const trace::TraceReader& reader, const BlockMetaTable& meta,
+    ReplayKernel kernel = ReplayKernel::kSimd);
 
 }  // namespace stc::sim

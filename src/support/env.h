@@ -90,6 +90,23 @@ Result<double> job_timeout();
 // Default 1.
 Result<std::uint32_t> job_retries();
 
+// STC_SHARDS: worker-process count for sharded bench grids; integer in
+// [1, 256]. Default 1 (no sharding). See src/support/experiment.h.
+Result<std::uint32_t> shards();
+
+// STC_SHARD: internal worker-side knob set by the sharding parent; either
+// unset or "<i>/<n>" with i < n and n in [1, 256]. Workers run only their
+// modulo slice of the grid and write a report *fragment*. Default "".
+Result<std::string> shard();
+
+// STC_MMAP: 0/1 — stream on-disk traces through mmap (TraceReader falls
+// back to buffered reads when mapping fails). Default 1.
+Result<bool> mmap_enabled();
+
+// STC_PLAN_CACHE_DIR: directory for on-disk replay-plan cache entries;
+// must already exist and be a directory. Default "" (cache disabled).
+Result<std::string> plan_cache_dir();
+
 // Parses every knob above plus the STC_FAULT spec syntax; returns the first
 // error. Cheap — pure parsing, no filesystem work beyond one stat.
 Status validate_all();

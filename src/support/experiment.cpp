@@ -1,9 +1,16 @@
 #include "support/experiment.h"
 
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -13,7 +20,10 @@
 #include "support/faultpoint.h"
 #include "support/io.h"
 #include "support/json.h"
+#include "support/json_read.h"
 #include "support/thread_pool.h"
+
+extern char** environ;
 
 namespace stc {
 
@@ -196,9 +206,29 @@ Result<std::size_t> ExperimentRunner::threads_from_env() {
 void ExperimentRunner::run(std::size_t threads) {
   STC_REQUIRE(!ran_);
   ran_ = true;
-  if (threads == 0) threads = threads_from_env().value();
   if (!retries_set_) max_retries_ = env::job_retries().value();
   if (!timeout_set_) job_timeout_ = env::job_timeout().value();
+  if (shardable_) {
+    const std::string spec = env::shard().value();
+    if (!spec.empty()) {
+      // Worker process: claim the modulo slice the parent assigned, then run
+      // it like any local grid. The spec was validated by env::shard().
+      const std::size_t slash = spec.find('/');
+      shard_index_ =
+          static_cast<std::uint32_t>(std::strtoul(spec.c_str(), nullptr, 10));
+      shard_count_ = static_cast<std::uint32_t>(
+          std::strtoul(spec.c_str() + slash + 1, nullptr, 10));
+    } else if (const std::uint32_t shards = env::shards().value();
+               shards > 1 && !jobs_.empty()) {
+      run_sharded(shards);
+      return;
+    }
+  }
+  run_local(threads);
+}
+
+void ExperimentRunner::run_local(std::size_t threads) {
+  if (threads == 0) threads = threads_from_env().value();
   results_.assign(jobs_.size(), ExperimentResult{});
   outcomes_.assign(jobs_.size(), JobFailure{});
   failures_.clear();
@@ -219,6 +249,10 @@ void ExperimentRunner::run(std::size_t threads) {
     JobFailure& outcome = outcomes_[i];
     outcome.index = i;
     outcome.name = jobs_[i].name;
+    if (shard_count_ > 1 && i % shard_count_ != shard_index_) {
+      outcome.status = JobStatus::kOk;  // another worker's cell
+      return;
+    }
     const std::uint32_t max_attempts = 1 + max_retries_;
     for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
       outcome.attempts = attempt;
@@ -267,7 +301,11 @@ void ExperimentRunner::run(std::size_t threads) {
   }
   watchdog.reset();
   record_phase("replay", seconds_since(start));
+  collect_failures();
+}
 
+void ExperimentRunner::collect_failures() {
+  failures_.clear();
   for (const JobFailure& outcome : outcomes_) {
     if (outcome.status != JobStatus::kOk) failures_.push_back(outcome);
   }
@@ -277,6 +315,275 @@ void ExperimentRunner::run(std::size_t threads) {
                  to_string(failure.status), failure.attempts,
                  failure.error.to_string().c_str());
   }
+}
+
+namespace {
+
+// Reconstructs a Status from the "<code>: <message>" text an outcome
+// serialized into a fragment, so the merged report's failures section is
+// byte-identical to the unsharded run's.
+Status parse_status(const std::string& text) {
+  const std::size_t sep = text.find(": ");
+  const std::string code_name =
+      sep == std::string::npos ? std::string() : text.substr(0, sep);
+  const std::string message =
+      sep == std::string::npos ? text : text.substr(sep + 2);
+  for (const ErrorCode code :
+       {ErrorCode::kInvalidArgument, ErrorCode::kCorruptData,
+        ErrorCode::kIoError, ErrorCode::kNotFound, ErrorCode::kTimeout,
+        ErrorCode::kFaultInjected, ErrorCode::kInternal}) {
+    if (code_name == to_string(code)) return Status(code, message);
+  }
+  return internal_error(text);
+}
+
+std::string shard_suffix(std::uint32_t shard, std::uint32_t count) {
+  return ".shard" + std::to_string(shard) + "of" + std::to_string(count);
+}
+
+}  // namespace
+
+Result<int> ExperimentRunner::spawn_shard(std::uint32_t shard,
+                                          std::uint32_t count) const {
+  if (Status s = fault::fail_if("shard.spawn", "spawning shard worker");
+      !s.is_ok()) {
+    return s;
+  }
+  // STC_SHARD_EXE lets tests point the worker protocol at a stand-in binary;
+  // production parents re-execute themselves.
+  const char* exe_override = std::getenv("STC_SHARD_EXE");
+  const std::string exe =
+      exe_override != nullptr ? exe_override : "/proc/self/exe";
+  const std::string spec =
+      std::to_string(shard) + "/" + std::to_string(count);
+  // Build the child's environment and argv before forking: the parent's
+  // environment minus any inherited STC_SHARD, plus this worker's slice.
+  std::vector<std::string> env_storage;
+  for (char** e = environ; *e != nullptr; ++e) {
+    if (std::strncmp(*e, "STC_SHARD=", 10) == 0) continue;
+    env_storage.emplace_back(*e);
+  }
+  env_storage.push_back("STC_SHARD=" + spec);
+  std::vector<char*> envp;
+  envp.reserve(env_storage.size() + 1);
+  for (std::string& entry : env_storage) envp.push_back(entry.data());
+  envp.push_back(nullptr);
+  std::string arg0 = exe;
+  std::string arg1 = "--shard";
+  std::string arg2 = spec;
+  char* argv[] = {arg0.data(), arg1.data(), arg2.data(), nullptr};
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return io_error(std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Worker: its table printing duplicates the parent's, so stdout goes to
+    // /dev/null — the report fragment is the real output channel.
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::close(devnull);
+    }
+    ::execve(exe.c_str(), argv, envp.data());
+    _exit(127);
+  }
+  return static_cast<int>(pid);
+}
+
+Status ExperimentRunner::absorb_fragment(std::uint32_t shard,
+                                         std::uint32_t count,
+                                         const std::string& path) {
+  const auto corrupt = [&](const std::string& what) {
+    return corrupt_data_error("shard fragment '" + path + "': " + what);
+  };
+  Result<std::vector<std::uint8_t>> bytes = read_file(path);
+  if (!bytes.is_ok()) {
+    return bytes.status().with_context("shard fragment");
+  }
+  const std::string doc(bytes.value().begin(), bytes.value().end());
+  std::string parse_error;
+  const JsonValue root = parse_json(doc, &parse_error);
+  if (!parse_error.empty()) return corrupt(parse_error);
+  if (!root.is_object()) return corrupt("not a JSON object");
+  const JsonValue* bench = root.find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->text != bench_name_) {
+    return corrupt("fragment is for a different bench");
+  }
+  const JsonValue* schema = root.find("schema_version");
+  if (schema == nullptr || !schema->is_number() || schema->number != 3.0) {
+    return corrupt("unsupported schema version");
+  }
+  const JsonValue* results = root.find("results");
+  if (results == nullptr || !results->is_array() ||
+      results->items.size() != jobs_.size()) {
+    return corrupt("grid shape mismatch");
+  }
+  // Attempt counts live in the fragment's failures section, keyed by index.
+  std::vector<std::uint32_t> attempts(jobs_.size(), 1);
+  if (const JsonValue* failures = root.find("failures");
+      failures != nullptr && failures->is_array()) {
+    for (const JsonValue& f : failures->items) {
+      const JsonValue* index = f.find("index");
+      const JsonValue* tries = f.find("attempts");
+      if (index == nullptr || tries == nullptr) continue;
+      const auto i = static_cast<std::size_t>(index->number);
+      if (i < attempts.size()) {
+        attempts[i] = static_cast<std::uint32_t>(tries->number);
+      }
+    }
+  }
+  for (std::size_t j = shard; j < jobs_.size();
+       j += static_cast<std::size_t>(count)) {
+    const JsonValue& cell = results->items[j];
+    const JsonValue* cell_name = cell.find("name");
+    if (cell_name == nullptr || cell_name->text != jobs_[j].name) {
+      return corrupt("job " + std::to_string(j) + " name mismatch");
+    }
+    ExperimentResult result;
+    if (const JsonValue* metrics = cell.find("metrics"); metrics != nullptr) {
+      // json_number() emits shortest-round-trip doubles, so parsing with
+      // strtod and re-serializing reproduces the fragment's bytes exactly.
+      for (const auto& m : metrics->members) {
+        result.metric(m.first, m.second.number);
+      }
+    }
+    if (const JsonValue* counters = cell.find("counters");
+        counters != nullptr) {
+      for (const auto& c : counters->members) {
+        result.counters().add(
+            c.first, std::strtoull(c.second.text.c_str(), nullptr, 10));
+      }
+    }
+    JobFailure& outcome = outcomes_[j];
+    outcome.index = j;
+    outcome.name = jobs_[j].name;
+    if (const JsonValue* status = cell.find("status"); status != nullptr) {
+      outcome.status = status->text == "timed_out" ? JobStatus::kTimedOut
+                                                   : JobStatus::kFailed;
+      outcome.attempts = attempts[j];
+      const JsonValue* error = cell.find("error");
+      outcome.error = parse_status(error != nullptr ? error->text
+                                                    : "missing error text");
+    } else {
+      outcome.status = JobStatus::kOk;
+      outcome.attempts = 1;
+      outcome.error = Status::ok();
+    }
+    results_[j] = std::move(result);
+  }
+  std::remove(path.c_str());
+  return Status::ok();
+}
+
+void ExperimentRunner::run_sharded(std::uint32_t shards) {
+  results_.assign(jobs_.size(), ExperimentResult{});
+  outcomes_.assign(jobs_.size(), JobFailure{});
+  failures_.clear();
+  threads_used_ = shards;
+
+  Result<std::string> dir = env::bench_dir();
+  STC_CHECK_MSG(dir.is_ok(), "STC_BENCH_DIR not validated before use");
+  const auto fragment_path = [&](std::uint32_t s) {
+    return dir.value() + "/BENCH_" + bench_name_ + shard_suffix(s, shards) +
+           ".json";
+  };
+
+  const auto start = Clock::now();
+  const std::uint32_t max_attempts = 1 + max_retries_;
+  std::vector<std::uint32_t> pending;
+  for (std::uint32_t s = 0; s < shards; ++s) pending.push_back(s);
+  std::vector<std::uint32_t> attempts(shards, 0);
+  std::vector<Status> last_error(shards, Status::ok());
+  std::vector<bool> merged(shards, false);
+
+  while (!pending.empty()) {
+    // One round: spawn every pending worker in parallel, then reap and merge
+    // as each exits. A shard whose spawn, exit, or fragment is bad retries
+    // in the next round, up to the same budget jobs get.
+    std::vector<std::pair<std::uint32_t, int>> running;
+    std::vector<std::uint32_t> retry;
+    for (const std::uint32_t s : pending) {
+      ++attempts[s];
+      Result<int> child = spawn_shard(s, shards);
+      if (!child.is_ok()) {
+        last_error[s] = child.status();
+        if (attempts[s] < max_attempts) retry.push_back(s);
+        continue;
+      }
+      running.emplace_back(s, child.value());
+    }
+    for (const auto& [s, pid] : running) {
+      int wstatus = 0;
+      pid_t reaped;
+      do {
+        reaped = ::waitpid(pid, &wstatus, 0);
+      } while (reaped < 0 && errno == EINTR);
+      Status err;
+      if (reaped != pid || !WIFEXITED(wstatus)) {
+        err = io_error("shard worker died abnormally");
+      } else if (const int code = WEXITSTATUS(wstatus);
+                 code != 0 && code != 3) {
+        // 0 = clean, 3 = partial success (per-job failures are in the
+        // fragment); anything else means the worker never got that far.
+        err = io_error("shard worker exited with code " +
+                       std::to_string(code));
+      } else {
+        err = absorb_fragment(s, shards, fragment_path(s));
+      }
+      if (!err.is_ok()) {
+        last_error[s] = err;
+        if (attempts[s] < max_attempts) retry.push_back(s);
+      } else {
+        merged[s] = true;
+      }
+    }
+    pending = std::move(retry);
+  }
+
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    if (merged[s]) continue;
+    const Status error = last_error[s].with_context(
+        "shard " + std::to_string(s) + "/" + std::to_string(shards));
+    for (std::size_t j = s; j < jobs_.size();
+         j += static_cast<std::size_t>(shards)) {
+      outcomes_[j].index = j;
+      outcomes_[j].name = jobs_[j].name;
+      outcomes_[j].status = JobStatus::kFailed;
+      outcomes_[j].attempts = attempts[s];
+      outcomes_[j].error = error.with_context("job '" + jobs_[j].name + "'");
+    }
+  }
+  record_phase("replay", seconds_since(start));
+  collect_failures();
+}
+
+Status ExperimentRunner::merge_fragments(
+    const std::vector<std::string>& fragment_paths) {
+  STC_REQUIRE(!ran_ && !fragment_paths.empty());
+  ran_ = true;
+  results_.assign(jobs_.size(), ExperimentResult{});
+  outcomes_.assign(jobs_.size(), JobFailure{});
+  failures_.clear();
+  const auto count = static_cast<std::uint32_t>(fragment_paths.size());
+  threads_used_ = count;
+  Status first_error;
+  for (std::uint32_t s = 0; s < count; ++s) {
+    Status err = absorb_fragment(s, count, fragment_paths[s]);
+    if (err.is_ok()) continue;
+    if (first_error.is_ok()) first_error = err;
+    const Status error = err.with_context("shard " + std::to_string(s) + "/" +
+                                          std::to_string(count));
+    for (std::size_t j = s; j < jobs_.size();
+         j += static_cast<std::size_t>(count)) {
+      outcomes_[j].index = j;
+      outcomes_[j].name = jobs_[j].name;
+      outcomes_[j].status = JobStatus::kFailed;
+      outcomes_[j].attempts = 1;
+      outcomes_[j].error = error.with_context("job '" + jobs_[j].name + "'");
+    }
+  }
+  collect_failures();
+  return first_error;
 }
 
 const ExperimentResult& ExperimentRunner::result(std::size_t index) const {
@@ -446,7 +753,12 @@ std::string ExperimentRunner::report_json() const {
 Result<std::string> ExperimentRunner::write_report() const {
   Result<std::string> dir = env::bench_dir();
   if (!dir.is_ok()) return dir.status().with_context("bench report");
-  const std::string path = dir.value() + "/BENCH_" + bench_name_ + ".json";
+  // A shard worker writes a fragment the parent will merge and delete; only
+  // the parent (or an unsharded run) writes the canonical report name.
+  const std::string suffix =
+      shard_count_ > 1 ? shard_suffix(shard_index_, shard_count_) : "";
+  const std::string path =
+      dir.value() + "/BENCH_" + bench_name_ + suffix + ".json";
   const std::string doc = report_json() + "\n";
   if (Status s =
           write_file_atomic(path, doc.data(), doc.size(), "report.write");

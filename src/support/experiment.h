@@ -15,6 +15,16 @@
 // the report's "failures" section; every other cell still runs and
 // serializes byte-identically to a clean run. The process exit code (via
 // exit_code()) reflects partial success.
+//
+// Grids declared shardable (bench::make_runner does this) additionally scale
+// across worker *processes*: with STC_SHARDS=N > 1 the runner re-executes
+// its own binary N times with "--shard i/N" (STC_SHARD in the environment),
+// each worker runs the modulo-i slice of the grid and writes a report
+// *fragment* (BENCH_<name>.shard<i>of<N>.json) through the same atomic
+// writer, and the parent merges the fragments back into one report that is
+// byte-identical — outside wall-clock timing fields — to an unsharded run.
+// Worker spawn/exit/fragment failures ride the same retry machinery as job
+// faults; a shard that stays broken marks only its own cells failed.
 #pragma once
 
 #include <cstddef>
@@ -98,6 +108,20 @@ class ExperimentRunner {
   void set_max_retries(std::uint32_t retries);
   void set_job_timeout(double seconds);  // 0 disables the deadline
 
+  // Opts this grid into process sharding (see the header comment). Only
+  // binaries whose main rebuilds the identical grid from the environment may
+  // set this — the worker protocol re-executes the binary and trusts job
+  // index i to mean the same cell in every process.
+  void set_shardable(bool shardable) { shardable_ = shardable; }
+  bool shardable() const { return shardable_; }
+
+  // Merges worker report fragments into this runner's results exactly as
+  // the sharding parent does: fragment_paths[i] must be shard i of
+  // fragment_paths.size(). Replaces run(); merged fragments are deleted.
+  // Returns the first absorb error (those shards' cells are marked failed);
+  // public for tests and offline tooling.
+  Status merge_fragments(const std::vector<std::string>& fragment_paths);
+
   // Executes all jobs across `threads` workers (0 = STC_THREADS, falling back
   // to hardware concurrency) and records the "replay" phase time plus
   // blocks/s and instructions/s throughput from the jobs' "blocks" /
@@ -145,10 +169,17 @@ class ExperimentRunner {
   // Writes report_json() atomically to <dir>/BENCH_<name>.json where <dir>
   // is STC_BENCH_DIR or the working directory; returns the path written or
   // a structured error (bad dir, failed write, injected "report.write.*"
-  // fault) — never a torn file.
+  // fault) — never a torn file. A shard worker writes its fragment
+  // (BENCH_<name>.shard<i>of<N>.json) instead.
   Result<std::string> write_report() const;
 
  private:
+  void run_local(std::size_t threads);
+  void run_sharded(std::uint32_t shards);
+  Result<int> spawn_shard(std::uint32_t shard, std::uint32_t count) const;
+  Status absorb_fragment(std::uint32_t shard, std::uint32_t count,
+                         const std::string& path);
+  void collect_failures();
   struct Job {
     std::string name;
     std::vector<std::pair<std::string, std::string>> params;
@@ -177,6 +208,9 @@ class ExperimentRunner {
   bool timeout_set_ = false;
   std::size_t threads_used_ = 0;
   bool ran_ = false;
+  bool shardable_ = false;
+  std::uint32_t shard_index_ = 0;  // this process's slice when shard_count_>1
+  std::uint32_t shard_count_ = 1;  // >1 only inside a worker process
 };
 
 }  // namespace stc

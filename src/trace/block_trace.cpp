@@ -7,24 +7,22 @@
 #include "support/faultpoint.h"
 #include "support/io.h"
 #include "support/varint.h"
+#include "trace/trace_format.h"
 
 namespace stc::trace {
 namespace {
 
-constexpr std::uint64_t kMagic = 0x53544331;  // "STC1"
-constexpr std::uint64_t kVersion = 2;
-constexpr std::size_t kHeaderBytes = 4 * 8;      // magic, version, events, chunks
-constexpr std::size_t kChunkHeaderBytes = 3 * 8;  // size, events, crc32
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-std::uint64_t get_u64(const std::uint8_t* data) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[i]) << (8 * i);
-  return v;
-}
+using format::get_u64;
+using format::kChunkHeaderBytes;
+using format::kChunkTargetBytes;
+using format::kHeaderBytes;
+using format::kIndexEntryBytes;
+using format::kIndexMagic;
+using format::kMagic;
+using format::kTrailerBytes;
+using format::kVersion;
+using format::kVersionV2;
+using format::put_u64;
 
 // Decodes one chunk's delta stream, validating every varint and the running
 // block id; returns the number of events or a corrupt-data error. On success
@@ -149,6 +147,8 @@ std::vector<std::uint8_t> BlockTrace::serialize() const {
   put_u64(out, chunks_.size());
   // Chunk event counts are recomputed from the payload: each chunk restarts
   // its delta base, so the count is the number of varints it holds.
+  std::vector<std::uint8_t> index;
+  index.reserve(chunks_.size() * kIndexEntryBytes);
   for (const auto& chunk : chunks_) {
     std::size_t pos = 0;
     std::uint64_t events = 0;
@@ -158,11 +158,24 @@ std::vector<std::uint8_t> BlockTrace::serialize() const {
       STC_CHECK_MSG(ok, "in-memory trace chunk is malformed");
       ++events;
     }
+    const std::uint32_t crc = crc32(chunk.data(), chunk.size());
     put_u64(out, chunk.size());
     put_u64(out, events);
-    put_u64(out, crc32(chunk.data(), chunk.size()));
+    put_u64(out, crc);
+    put_u64(index, out.size());  // absolute offset of the payload
+    put_u64(index, chunk.size());
+    put_u64(index, events);
+    put_u64(index, crc);
     out.insert(out.end(), chunk.begin(), chunk.end());
   }
+  // Version-3 footer: the index entries, then a fixed trailer that locates
+  // and checksums them so a reader can seek from the end of the file.
+  const std::uint64_t index_offset = out.size();
+  out.insert(out.end(), index.begin(), index.end());
+  put_u64(out, index_offset);
+  put_u64(out, chunks_.size());
+  put_u64(out, crc32(index.data(), index.size()));
+  put_u64(out, kIndexMagic);
   return out;
 }
 
@@ -180,9 +193,10 @@ Result<BlockTrace> BlockTrace::deserialize(const std::uint8_t* data,
     return corrupt_data_error("bad magic (not a trace file)");
   }
   const std::uint64_t version = get_u64(data + 8);
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionV2) {
     return corrupt_data_error("unsupported trace version " +
                               std::to_string(version) + " (expected " +
+                              std::to_string(kVersionV2) + " or " +
                               std::to_string(kVersion) + ")");
   }
   BlockTrace trace;
@@ -191,6 +205,49 @@ Result<BlockTrace> BlockTrace::deserialize(const std::uint8_t* data,
   if (num_chunks > (size - kHeaderBytes) / kChunkHeaderBytes) {
     return corrupt_data_error("chunk count " + std::to_string(num_chunks) +
                               " exceeds file size");
+  }
+  // Version 3 ends with a seekable index footer; locate and checksum it
+  // before walking the chunks so the walk knows where the chunk region ends
+  // and each chunk can be cross-checked against its index entry.
+  std::size_t body_end = size;
+  const std::uint8_t* index = nullptr;
+  if (version == kVersion) {
+    const std::size_t footer = format::footer_bytes(num_chunks);
+    if (size < kHeaderBytes + footer) {
+      return corrupt_data_error("file too small for a " +
+                                std::to_string(num_chunks) +
+                                "-chunk index footer");
+    }
+    const std::uint8_t* trailer = data + size - kTrailerBytes;
+    if (get_u64(trailer + 24) != kIndexMagic) {
+      return corrupt_data_error("bad index footer magic");
+    }
+    const std::uint64_t index_offset = get_u64(trailer);
+    const std::uint64_t stated_chunks = get_u64(trailer + 8);
+    const std::uint64_t stated_index_crc = get_u64(trailer + 16);
+    if (stated_chunks != num_chunks) {
+      return corrupt_data_error(
+          "index footer lists " + std::to_string(stated_chunks) +
+          " chunks but header says " + std::to_string(num_chunks));
+    }
+    if (index_offset != size - footer) {
+      return corrupt_data_error("index footer offset " +
+                                std::to_string(index_offset) +
+                                " does not match the file layout");
+    }
+    if (stated_index_crc > 0xFFFFFFFFull) {
+      return corrupt_data_error("index footer crc field out of range");
+    }
+    index = data + index_offset;
+    const std::uint32_t actual_index_crc =
+        crc32(index, num_chunks * kIndexEntryBytes);
+    if (actual_index_crc != static_cast<std::uint32_t>(stated_index_crc)) {
+      return corrupt_data_error(
+          "index footer crc mismatch (stored " +
+          std::to_string(stated_index_crc) + ", computed " +
+          std::to_string(actual_index_crc) + ")");
+    }
+    body_end = static_cast<std::size_t>(index_offset);
   }
   std::size_t pos = kHeaderBytes;
   std::uint64_t total_events = 0;
@@ -201,20 +258,33 @@ Result<BlockTrace> BlockTrace::deserialize(const std::uint8_t* data,
         !s.is_ok()) {
       return s;
     }
-    if (size - pos < kChunkHeaderBytes) {
+    if (body_end - pos < kChunkHeaderBytes) {
       return corrupt_data_error(where + ": truncated chunk header");
     }
     const std::uint64_t payload_size = get_u64(data + pos);
     const std::uint64_t stated_events = get_u64(data + pos + 8);
     const std::uint64_t stated_crc = get_u64(data + pos + 16);
     pos += kChunkHeaderBytes;
-    if (payload_size > size - pos) {
+    if (payload_size > body_end - pos) {
       return corrupt_data_error(where + ": payload of " +
                                 std::to_string(payload_size) +
-                                " bytes runs past end of file");
+                                " bytes runs past " +
+                                (index != nullptr ? "the index footer"
+                                                  : "end of file"));
     }
     if (stated_crc > 0xFFFFFFFFull) {
       return corrupt_data_error(where + ": crc field out of range");
+    }
+    if (index != nullptr) {
+      // The index entry must agree with the chunk it points at; any
+      // disagreement means either the entry or the chunk header is corrupt.
+      const std::uint8_t* entry = index + i * kIndexEntryBytes;
+      if (get_u64(entry) != pos || get_u64(entry + 8) != payload_size ||
+          get_u64(entry + 16) != stated_events ||
+          get_u64(entry + 24) != stated_crc) {
+        return corrupt_data_error(where +
+                                  ": index entry disagrees with chunk header");
+      }
     }
     std::vector<std::uint8_t> chunk(data + pos, data + pos + payload_size);
     pos += payload_size;
@@ -238,9 +308,10 @@ Result<BlockTrace> BlockTrace::deserialize(const std::uint8_t* data,
     total_events += decoded.value();
     trace.chunks_.push_back(std::move(chunk));
   }
-  if (pos != size) {
-    return corrupt_data_error(std::to_string(size - pos) +
-                              " trailing bytes after last chunk");
+  if (pos != body_end) {
+    return corrupt_data_error(
+        std::to_string(body_end - pos) + " trailing bytes after last chunk" +
+        (index != nullptr ? " (before the index footer)" : ""));
   }
   if (total_events != trace.num_events_) {
     return corrupt_data_error("chunks hold " + std::to_string(total_events) +

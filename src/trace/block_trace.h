@@ -8,13 +8,17 @@
 // Storage is chunked, delta-varint coded: consecutive block ids are close
 // together (execution is highly sequential), so most events cost 1-2 bytes.
 //
-// The on-disk format (version 2) is hardened against corruption: every
-// header field is bounds-checked against the file size, each chunk carries a
-// CRC32 and its event count, and every varint is decoded with overflow and
-// truncation checks before the trace is accepted. load()/deserialize()
-// return a structured error for any malformed input — a corrupt cache file
-// can never abort the process or replay a silently wrong stream (the
-// `stc_fuzz --trace-bytes` mode flips every byte to prove it).
+// The on-disk format (version 3, see trace_format.h) is hardened against
+// corruption: every header field is bounds-checked against the file size,
+// each chunk carries a CRC32 and its event count, and every varint is
+// decoded with overflow and truncation checks before the trace is accepted.
+// Version 3 adds a seekable per-chunk index footer (offset, byte length,
+// event count, CRC per chunk) so trace_io.h can stream chunks straight off
+// an mmap without materializing the trace; version 2 files (no footer) keep
+// loading bit-identically. load()/deserialize() return a structured error
+// for any malformed input — a corrupt cache file can never abort the process
+// or replay a silently wrong stream (the `stc_fuzz --trace-bytes` mode flips
+// every byte to prove it).
 #pragma once
 
 #include <cstdint>
@@ -54,11 +58,13 @@ class BlockTrace {
                            std::vector<cfg::BlockId>& out) const;
 
   // Binary (de)serialization, for caching workload runs on disk.
-  // Format: magic, version, event count, then per chunk
-  // {payload size, event count, crc32, payload}; all integers little-endian
-  // u64. serialize/deserialize work on in-memory buffers (the fuzz harness);
-  // save writes atomically (temp file + rename, fault prefix "trace.save"),
-  // load reads and validates end to end (fault prefix "trace.load").
+  // Format (trace_format.h): magic, version, event count, then per chunk
+  // {payload size, event count, crc32, payload}, then the version-3 index
+  // footer; all integers little-endian u64. serialize/deserialize work on
+  // in-memory buffers (the fuzz harness); save writes atomically (temp file
+  // + rename, fault prefix "trace.save"), load reads and validates end to
+  // end (fault prefix "trace.load"). deserialize accepts versions 2 and 3;
+  // serialize always emits version 3.
   std::vector<std::uint8_t> serialize() const;
   static Result<BlockTrace> deserialize(const std::uint8_t* data,
                                         std::size_t size);
@@ -85,7 +91,6 @@ class BlockTrace {
 
  private:
   friend class Cursor;
-  static constexpr std::size_t kChunkTargetBytes = 1 << 16;
 
   std::vector<std::vector<std::uint8_t>> chunks_;
   std::uint64_t num_events_ = 0;

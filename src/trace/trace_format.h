@@ -1,0 +1,55 @@
+// On-disk layout constants for the BlockTrace binary format, shared by the
+// in-memory (de)serializer (block_trace.cpp) and the streaming reader/writer
+// (trace_io.cpp). All integers are little-endian u64.
+//
+//   header   : magic, version, num_events, num_chunks
+//   chunk i  : {payload_bytes, events, crc32} + delta-svarint payload
+//   -- version 3 appends a seekable index footer --
+//   index    : per chunk {payload_offset, payload_bytes, events, crc32}
+//   trailer  : index_offset, num_chunks, index_crc32, index_magic
+//
+// The index entries duplicate the chunk headers (plus the absolute payload
+// offset) so a reader can locate and validate any chunk from the trailer
+// alone, without walking the file. Version 2 files are version 3 files minus
+// the footer; deserialize() accepts both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stc::trace::format {
+
+inline constexpr std::uint64_t kMagic = 0x53544331;       // "STC1"
+inline constexpr std::uint64_t kIndexMagic = 0x53544349;  // "STCI"
+inline constexpr std::uint64_t kVersion = 3;
+inline constexpr std::uint64_t kVersionV2 = 2;
+inline constexpr std::size_t kHeaderBytes = 4 * 8;
+inline constexpr std::size_t kChunkHeaderBytes = 3 * 8;  // size, events, crc32
+inline constexpr std::size_t kIndexEntryBytes = 4 * 8;
+inline constexpr std::size_t kTrailerBytes = 4 * 8;
+// A chunk closes once its payload reaches this size; every chunk restarts
+// the delta base so chunks decode independently.
+inline constexpr std::size_t kChunkTargetBytes = 1 << 16;
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* data) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data[i]) << (8 * i);
+  }
+  return v;
+}
+
+// Footer size for a file with `num_chunks` chunks (0 for version 2).
+inline std::size_t footer_bytes(std::uint64_t num_chunks) {
+  return static_cast<std::size_t>(num_chunks) * kIndexEntryBytes +
+         kTrailerBytes;
+}
+
+}  // namespace stc::trace::format

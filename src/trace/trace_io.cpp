@@ -1,0 +1,372 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "support/check.h"
+#include "support/crc32.h"
+#include "support/env.h"
+#include "support/faultpoint.h"
+#include "support/varint.h"
+#include "trace/trace_format.h"
+
+namespace stc::trace {
+namespace {
+
+using format::get_u64;
+using format::kChunkHeaderBytes;
+using format::kChunkTargetBytes;
+using format::kHeaderBytes;
+using format::kIndexEntryBytes;
+using format::kIndexMagic;
+using format::kMagic;
+using format::kTrailerBytes;
+using format::kVersion;
+using format::kVersionV2;
+using format::put_u64;
+
+}  // namespace
+
+std::uint64_t TraceReader::chunk_events(std::size_t index) const {
+  STC_REQUIRE(index < chunks_.size());
+  return chunks_[index].events;
+}
+
+Result<TraceReader> TraceReader::open(const std::string& path) {
+  const Result<bool> use_map = env::mmap_enabled();
+  return open(path, use_map.is_ok() ? use_map.value() : true);
+}
+
+Result<TraceReader> TraceReader::open(const std::string& path, bool want_map) {
+  const std::string context = "trace '" + path + "'";
+  if (Status s = fault::fail_if("trace.load.open", "opening " + path);
+      !s.is_ok()) {
+    return s.with_context(context);
+  }
+  Result<MappedFile> file = MappedFile::open(path, want_map, "trace.mmap.open");
+  if (!file.is_ok()) return file.status().with_context(context);
+
+  TraceReader reader;
+  reader.file_ = std::move(file).take();
+  const std::uint8_t* data = reader.file_.data();
+  const std::size_t size = reader.file_.size();
+
+  const auto corrupt = [&context](const std::string& what) {
+    return corrupt_data_error(what).with_context(context);
+  };
+  if (Status s = fault::fail_if("trace.load.header", "reading header");
+      !s.is_ok()) {
+    return s.with_context(context);
+  }
+  if (size < kHeaderBytes) {
+    return corrupt("file too small (" + std::to_string(size) +
+                   " bytes) for a trace header");
+  }
+  if (get_u64(data) != kMagic) {
+    return corrupt("bad magic (not a trace file)");
+  }
+  reader.version_ = get_u64(data + 8);
+  if (reader.version_ != kVersion && reader.version_ != kVersionV2) {
+    return corrupt("unsupported trace version " +
+                   std::to_string(reader.version_));
+  }
+  reader.num_events_ = get_u64(data + 16);
+  const std::uint64_t num_chunks = get_u64(data + 24);
+  if (num_chunks > (size - kHeaderBytes) / kChunkHeaderBytes) {
+    return corrupt("chunk count " + std::to_string(num_chunks) +
+                   " exceeds file size");
+  }
+  reader.chunks_.reserve(num_chunks);
+  std::uint64_t total_events = 0;
+
+  if (reader.version_ == kVersion) {
+    // Version 3: the index footer locates every chunk, so the open touches
+    // only the header and footer pages — that is what makes seeking and
+    // streaming cheap (even reading the 24-byte chunk headers here would
+    // fault in the whole file through readahead). Entries must tile the
+    // chunk region exactly; agreement with the on-disk chunk header is
+    // checked lazily in decode_chunk, which touches that page anyway.
+    const std::size_t footer = format::footer_bytes(num_chunks);
+    if (size < kHeaderBytes + footer) {
+      return corrupt("file too small for a " + std::to_string(num_chunks) +
+                     "-chunk index footer");
+    }
+    const std::uint8_t* trailer = data + size - kTrailerBytes;
+    if (get_u64(trailer + 24) != kIndexMagic) {
+      return corrupt("bad index footer magic");
+    }
+    const std::uint64_t index_offset = get_u64(trailer);
+    const std::uint64_t stated_chunks = get_u64(trailer + 8);
+    const std::uint64_t stated_index_crc = get_u64(trailer + 16);
+    if (stated_chunks != num_chunks) {
+      return corrupt("index footer lists " + std::to_string(stated_chunks) +
+                     " chunks but header says " + std::to_string(num_chunks));
+    }
+    if (index_offset != size - footer) {
+      return corrupt("index footer offset " + std::to_string(index_offset) +
+                     " does not match the file layout");
+    }
+    const std::uint8_t* index = data + index_offset;
+    const std::uint32_t actual_index_crc =
+        crc32(index, num_chunks * kIndexEntryBytes);
+    if (stated_index_crc > 0xFFFFFFFFull ||
+        actual_index_crc != static_cast<std::uint32_t>(stated_index_crc)) {
+      return corrupt("index footer crc mismatch");
+    }
+    std::uint64_t expect_offset = kHeaderBytes + kChunkHeaderBytes;
+    for (std::uint64_t i = 0; i < num_chunks; ++i) {
+      const std::uint8_t* entry = index + i * kIndexEntryBytes;
+      ChunkRef ref;
+      ref.offset = get_u64(entry);
+      ref.size = get_u64(entry + 8);
+      ref.events = get_u64(entry + 16);
+      ref.crc = get_u64(entry + 24);
+      const std::string where = "chunk " + std::to_string(i);
+      if (ref.offset != expect_offset || ref.size > index_offset ||
+          ref.offset + ref.size > index_offset) {
+        return corrupt(where + ": index entry does not tile the chunk region");
+      }
+      expect_offset = ref.offset + ref.size + kChunkHeaderBytes;
+      total_events += ref.events;
+      reader.chunks_.push_back(ref);
+    }
+    if (expect_offset - kChunkHeaderBytes != index_offset) {
+      return corrupt("stray bytes between last chunk and index footer");
+    }
+  } else {
+    // Version 2 has no footer: build the chunk table by walking the chunk
+    // headers (payloads are skipped, not validated — that stays per-chunk).
+    std::size_t pos = kHeaderBytes;
+    for (std::uint64_t i = 0; i < num_chunks; ++i) {
+      const std::string where = "chunk " + std::to_string(i);
+      if (size - pos < kChunkHeaderBytes) {
+        return corrupt(where + ": truncated chunk header");
+      }
+      ChunkRef ref;
+      ref.size = get_u64(data + pos);
+      ref.events = get_u64(data + pos + 8);
+      ref.crc = get_u64(data + pos + 16);
+      pos += kChunkHeaderBytes;
+      if (ref.size > size - pos) {
+        return corrupt(where + ": payload of " + std::to_string(ref.size) +
+                       " bytes runs past end of file");
+      }
+      ref.offset = pos;
+      pos += ref.size;
+      total_events += ref.events;
+      reader.chunks_.push_back(ref);
+    }
+    if (pos != size) {
+      return corrupt(std::to_string(size - pos) +
+                     " trailing bytes after last chunk");
+    }
+  }
+  if (total_events != reader.num_events_) {
+    return corrupt("chunks hold " + std::to_string(total_events) +
+                   " events but header says " +
+                   std::to_string(reader.num_events_));
+  }
+  return reader;
+}
+
+Result<std::size_t> TraceReader::decode_chunk(
+    std::size_t index, std::vector<cfg::BlockId>& out) const {
+  STC_REQUIRE(index < chunks_.size());
+  const ChunkRef& ref = chunks_[index];
+  const std::string where = "chunk " + std::to_string(index);
+  const std::uint8_t* payload = file_.data() + ref.offset;
+  if (version_ == kVersion) {
+    // Deferred from open(): the index entry (already CRC-checked there) must
+    // agree with the chunk's own header. Checking it here keeps open() from
+    // faulting in one page per chunk.
+    const std::uint8_t* header = payload - kChunkHeaderBytes;
+    if (get_u64(header) != ref.size || get_u64(header + 8) != ref.events ||
+        get_u64(header + 16) != ref.crc) {
+      return corrupt_data_error(where +
+                                ": index entry disagrees with chunk header");
+    }
+  }
+  const std::uint32_t actual_crc =
+      crc32(payload, static_cast<std::size_t>(ref.size));
+  if (ref.crc > 0xFFFFFFFFull ||
+      actual_crc != static_cast<std::uint32_t>(ref.crc)) {
+    return corrupt_data_error(where + ": crc mismatch (stored " +
+                              std::to_string(ref.crc) + ", computed " +
+                              std::to_string(actual_crc) + ")");
+  }
+  std::vector<cfg::BlockId> ids;
+  ids.reserve(static_cast<std::size_t>(ref.events));
+  std::size_t pos = 0;
+  std::int64_t last_id = 0;  // every chunk restarts the delta base
+  while (pos < ref.size) {
+    std::int64_t delta = 0;
+    if (!try_get_svarint(payload, static_cast<std::size_t>(ref.size), pos,
+                         delta)) {
+      return corrupt_data_error(where + ": malformed varint at chunk offset " +
+                                std::to_string(pos));
+    }
+    last_id += delta;
+    if (last_id < 0 ||
+        last_id >= static_cast<std::int64_t>(cfg::kInvalidBlock)) {
+      return corrupt_data_error(where + ": block id " +
+                                std::to_string(last_id) +
+                                " out of range at chunk offset " +
+                                std::to_string(pos));
+    }
+    ids.push_back(static_cast<cfg::BlockId>(last_id));
+  }
+  if (ids.size() != ref.events) {
+    return corrupt_data_error(where + ": decodes to " +
+                              std::to_string(ids.size()) +
+                              " events but index says " +
+                              std::to_string(ref.events));
+  }
+  out.insert(out.end(), ids.begin(), ids.end());
+  return ids.size();
+}
+
+void TraceReader::release_chunk(std::size_t index) const {
+  STC_REQUIRE(index < chunks_.size());
+  const ChunkRef& ref = chunks_[index];
+  file_.release(static_cast<std::size_t>(ref.offset) - kChunkHeaderBytes,
+                static_cast<std::size_t>(ref.size) + kChunkHeaderBytes);
+}
+
+TraceFileWriter& TraceFileWriter::operator=(TraceFileWriter&& other) noexcept {
+  if (this == &other) return *this;
+  abandon();
+  path_ = std::move(other.path_);
+  tmp_path_ = std::move(other.tmp_path_);
+  file_ = other.file_;
+  chunk_ = std::move(other.chunk_);
+  index_ = std::move(other.index_);
+  chunk_events_ = other.chunk_events_;
+  num_chunks_ = other.num_chunks_;
+  num_events_ = other.num_events_;
+  file_pos_ = other.file_pos_;
+  last_id_ = other.last_id_;
+  error_ = other.error_;
+  other.file_ = nullptr;
+  return *this;
+}
+
+TraceFileWriter::~TraceFileWriter() { abandon(); }
+
+void TraceFileWriter::abandon() {
+  if (file_ == nullptr) return;
+  std::fclose(file_);
+  std::remove(tmp_path_.c_str());
+  file_ = nullptr;
+}
+
+Result<TraceFileWriter> TraceFileWriter::create(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  if (Status s = fault::fail_if("trace.save.open", "opening " + tmp);
+      !s.is_ok()) {
+    return s.with_context("trace '" + path + "'");
+  }
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return io_error("cannot open '" + tmp + "' for writing")
+        .with_context("trace '" + path + "'");
+  }
+  TraceFileWriter writer;
+  writer.path_ = path;
+  writer.tmp_path_ = tmp;
+  writer.file_ = f;
+  writer.chunk_.reserve(kChunkTargetBytes + 8);
+  // Placeholder header; finalize() seeks back and patches the counts in.
+  std::vector<std::uint8_t> header;
+  put_u64(header, kMagic);
+  put_u64(header, kVersion);
+  put_u64(header, 0);
+  put_u64(header, 0);
+  writer.write_bytes(header.data(), header.size());
+  return writer;
+}
+
+void TraceFileWriter::write_bytes(const void* data, std::size_t size) {
+  if (!error_.is_ok() || file_ == nullptr) return;
+  if (size > 0 && std::fwrite(data, 1, size, file_) != size) {
+    error_ = io_error("short write to '" + tmp_path_ + "'");
+    return;
+  }
+  file_pos_ += size;
+}
+
+void TraceFileWriter::append(cfg::BlockId block) {
+  if (chunk_.size() >= kChunkTargetBytes) flush_chunk();
+  put_svarint(chunk_, static_cast<std::int64_t>(block) - last_id_);
+  last_id_ = static_cast<std::int64_t>(block);
+  ++chunk_events_;
+  ++num_events_;
+}
+
+void TraceFileWriter::flush_chunk() {
+  if (error_.is_ok()) {
+    error_ = fault::fail_if("trace.save.write", "writing " + tmp_path_);
+  }
+  const std::uint32_t crc = crc32(chunk_.data(), chunk_.size());
+  std::vector<std::uint8_t> header;
+  put_u64(header, chunk_.size());
+  put_u64(header, chunk_events_);
+  put_u64(header, crc);
+  put_u64(index_, file_pos_ + kChunkHeaderBytes);  // payload offset
+  put_u64(index_, chunk_.size());
+  put_u64(index_, chunk_events_);
+  put_u64(index_, crc);
+  write_bytes(header.data(), header.size());
+  write_bytes(chunk_.data(), chunk_.size());
+  ++num_chunks_;
+  chunk_.clear();
+  chunk_events_ = 0;
+  last_id_ = 0;  // each chunk restarts the delta base for seekability
+}
+
+Status TraceFileWriter::finalize() {
+  const std::string context = "trace '" + path_ + "'";
+  if (file_ == nullptr) {
+    return internal_error("finalize() on a spent trace writer");
+  }
+  if (!chunk_.empty()) flush_chunk();
+  const std::uint64_t index_offset = file_pos_;
+  std::vector<std::uint8_t> footer = index_;
+  put_u64(footer, index_offset);
+  put_u64(footer, num_chunks_);
+  put_u64(footer, crc32(index_.data(), index_.size()));
+  put_u64(footer, kIndexMagic);
+  write_bytes(footer.data(), footer.size());
+  // Patch the real event/chunk counts into the placeholder header.
+  if (error_.is_ok()) {
+    std::vector<std::uint8_t> header;
+    put_u64(header, kMagic);
+    put_u64(header, kVersion);
+    put_u64(header, num_events_);
+    put_u64(header, num_chunks_);
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(header.data(), 1, header.size(), file_) !=
+            header.size()) {
+      error_ = io_error("cannot patch header of '" + tmp_path_ + "'");
+    }
+  }
+  // fclose flushes; a full disk surfaces here as a failed close.
+  if (std::fclose(file_) != 0 && error_.is_ok()) {
+    error_ = io_error("cannot flush '" + tmp_path_ + "'");
+  }
+  file_ = nullptr;
+  if (error_.is_ok()) {
+    error_ = fault::fail_if("trace.save.rename", "renaming " + tmp_path_);
+  }
+  if (error_.is_ok() &&
+      std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    error_ = io_error("cannot rename '" + tmp_path_ + "' to '" + path_ + "'");
+  }
+  if (!error_.is_ok()) {
+    std::remove(tmp_path_.c_str());
+    return error_.with_context(context);
+  }
+  return error_;
+}
+
+}  // namespace stc::trace

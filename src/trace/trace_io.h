@@ -1,0 +1,123 @@
+// Streaming access to on-disk block traces.
+//
+// BlockTrace::load() materializes the whole event stream in memory; that is
+// fine for the paper's traces but not for production-scale ones. TraceReader
+// opens a version-2 or version-3 trace file as a read-only view (mmap when
+// the kernel grants one — see STC_MMAP — buffered otherwise), validates only
+// the header and the version-3 index footer up front, and decodes chunks on
+// demand: a sequential pass touches one chunk at a time and can drop each
+// chunk's pages behind itself, so peak resident memory stays bounded by the
+// chunk size rather than the trace size.
+//
+// Validation is per chunk: decode_chunk() CRC-checks and varint-validates
+// exactly the chunk it touches, so corruption in one chunk is a clean
+// corrupt-data Status that leaves every other chunk readable.
+//
+// TraceFileWriter is the producer side: events stream to disk through a
+// bounded chunk buffer and finalize() writes the index footer and renames
+// the temp file into place. The bytes it produces are identical to
+// BlockTrace::serialize() over the same event stream, so everything proven
+// about the in-memory path (fuzzing, corruption corpus) covers it too.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cfg/types.h"
+#include "support/error.h"
+#include "support/io.h"
+
+namespace stc::trace {
+
+class TraceReader {
+ public:
+  // Opens and validates `path`'s header (and, for version 3, its index
+  // footer). `want_map` requests an mmap view; the open falls back to a
+  // buffered read when mapping fails, including an injected fault at the
+  // "trace.mmap.open" fault point. The single-argument overload takes
+  // `want_map` from the STC_MMAP env knob (default on). Fault prefix
+  // "trace.load" covers the open and header steps, mirroring
+  // BlockTrace::load().
+  static Result<TraceReader> open(const std::string& path);
+  static Result<TraceReader> open(const std::string& path, bool want_map);
+
+  std::uint64_t num_events() const { return num_events_; }
+  std::size_t num_chunks() const { return chunks_.size(); }
+  std::uint64_t chunk_events(std::size_t index) const;
+  std::uint64_t file_bytes() const { return file_.size(); }
+  std::uint64_t version() const { return version_; }
+  // True when the file is served by a live mmap (release_chunk then works).
+  bool using_mmap() const { return file_.mapped(); }
+
+  // CRC-checks and decodes chunk `index`, appending its block ids to `out`;
+  // returns the event count. Corruption is a clean corrupt-data Status
+  // naming the chunk; `out` is left untouched on failure.
+  Result<std::size_t> decode_chunk(std::size_t index,
+                                   std::vector<cfg::BlockId>& out) const;
+
+  // Drops the chunk's mapped pages (no-op for buffered opens), keeping a
+  // sequential pass's resident set bounded by one chunk.
+  void release_chunk(std::size_t index) const;
+
+ private:
+  struct ChunkRef {
+    std::uint64_t offset;  // absolute file offset of the payload
+    std::uint64_t size;    // payload bytes
+    std::uint64_t events;
+    std::uint64_t crc;
+  };
+
+  MappedFile file_;
+  std::uint64_t num_events_ = 0;
+  std::uint64_t version_ = 0;
+  std::vector<ChunkRef> chunks_;
+};
+
+// Streams events to `path` in the version-3 format without buffering more
+// than one chunk. Usage: create() -> append()... -> finalize(). Write
+// errors are sticky and surface from finalize(); an unfinalized writer
+// removes its temp file on destruction, so `path` is only ever replaced by
+// a complete, validated file (fault prefix "trace.save", like
+// BlockTrace::save()).
+class TraceFileWriter {
+ public:
+  static Result<TraceFileWriter> create(const std::string& path);
+
+  TraceFileWriter(TraceFileWriter&& other) noexcept { *this = std::move(other); }
+  TraceFileWriter& operator=(TraceFileWriter&& other) noexcept;
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+  ~TraceFileWriter();
+
+  void append(cfg::BlockId block);
+  std::uint64_t num_events() const { return num_events_; }
+
+  // Flushes the last chunk, writes the index footer, patches the header and
+  // renames the temp file over `path`. Returns the first error hit anywhere
+  // in the stream. The writer is spent afterwards.
+  Status finalize();
+
+  // Empty writer (Result<T> needs it); only create() yields a usable one.
+  TraceFileWriter() = default;
+
+ private:
+  void flush_chunk();
+  void write_bytes(const void* data, std::size_t size);
+  void abandon();
+
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::uint8_t> chunk_;   // current chunk's encoded payload
+  std::vector<std::uint8_t> index_;   // accumulated index entries
+  std::uint64_t chunk_events_ = 0;
+  std::uint64_t num_chunks_ = 0;
+  std::uint64_t num_events_ = 0;
+  std::uint64_t file_pos_ = 0;
+  std::int64_t last_id_ = 0;          // encoder delta base
+  Status error_;                      // sticky; reported by finalize()
+};
+
+}  // namespace stc::trace

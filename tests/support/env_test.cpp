@@ -345,6 +345,58 @@ TEST(EnvTest, ValidateAllChecksFaultSpecSyntax) {
   EXPECT_NE(s.message().find("STC_FAULT"), std::string::npos);
 }
 
+TEST(EnvTest, ShardsBounded) {
+  EXPECT_EQ(shards().value(), 1u);  // default: no sharding
+  {
+    ScopedEnv guard("STC_SHARDS", "8");
+    EXPECT_EQ(shards().value(), 8u);
+  }
+  for (const char* bad : {"0", "257", "four"}) {
+    ScopedEnv guard("STC_SHARDS", bad);
+    expect_knob_error(shards(), "STC_SHARDS", bad);
+  }
+}
+
+TEST(EnvTest, ShardSpecIsIndexSlashCount) {
+  EXPECT_EQ(shard().value(), "");  // default: not a shard worker
+  {
+    ScopedEnv guard("STC_SHARD", "2/4");
+    EXPECT_EQ(shard().value(), "2/4");
+  }
+  for (const char* bad : {"4/4", "2", "/4", "2/", "a/b", "1/300"}) {
+    ScopedEnv guard("STC_SHARD", bad);
+    expect_knob_error(shard(), "STC_SHARD", bad);
+  }
+}
+
+TEST(EnvTest, MmapIsStrictlyBoolean) {
+  EXPECT_TRUE(mmap_enabled().value());  // default on
+  {
+    ScopedEnv guard("STC_MMAP", "0");
+    EXPECT_FALSE(mmap_enabled().value());
+  }
+  ScopedEnv guard("STC_MMAP", "yes");
+  expect_knob_error(mmap_enabled(), "STC_MMAP", "yes");
+}
+
+TEST(EnvTest, PlanCacheDirMustExist) {
+  EXPECT_EQ(plan_cache_dir().value(), "");  // default: cache disabled
+  {
+    ScopedEnv guard("STC_PLAN_CACHE_DIR", ::testing::TempDir().c_str());
+    EXPECT_EQ(plan_cache_dir().value(), ::testing::TempDir());
+  }
+  ScopedEnv guard("STC_PLAN_CACHE_DIR", "/nonexistent/cache/dir");
+  expect_knob_error(plan_cache_dir(), "STC_PLAN_CACHE_DIR",
+                    "/nonexistent/cache/dir");
+}
+
+TEST(EnvTest, ValidateAllChecksShardKnobs) {
+  ScopedEnv guard("STC_SHARDS", "1000");
+  const Status s = validate_all();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("STC_SHARDS"), std::string::npos);
+}
+
 TEST(EnvTest, ValidateAllCleanEnvironmentIsOk) {
   ScopedEnv t("STC_THREADS", nullptr);
   ScopedEnv sf("STC_SF", nullptr);

@@ -1,0 +1,309 @@
+// Sharded experiment execution: a worker process under STC_SHARD runs only
+// its modulo slice and writes a report fragment; the parent under STC_SHARDS
+// spawns workers (here: a stand-in script via STC_SHARD_EXE), absorbs their
+// fragments and produces a merged report byte-identical to an unsharded run.
+#include "support/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/faultpoint.h"
+
+namespace stc {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+class ExperimentShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::reset();
+    // Per-test directory: ctest runs the suite's tests in parallel processes.
+    dir_ = ::testing::TempDir() + "/stc_shard_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_EQ(
+        ::system(("rm -rf '" + dir_ + "' && mkdir '" + dir_ + "'").c_str()),
+        0);
+  }
+  void TearDown() override {
+    fault::reset();
+    [[maybe_unused]] int rc = ::system(("rm -rf '" + dir_ + "'").c_str());
+  }
+
+  // A deterministic 7-job grid; `ran` (when given) records which jobs
+  // actually executed in this process.
+  ExperimentRunner make_grid(std::vector<int>* ran = nullptr,
+                             int failing_index = -1) {
+    ExperimentRunner runner("shardgrid");
+    runner.set_shardable(true);
+    runner.meta("k", std::uint64_t{7});
+    for (std::size_t i = 0; i < 7; ++i) {
+      runner.add("cell " + std::to_string(i),
+                 {{"index", std::to_string(i)}}, [i, ran, failing_index] {
+                   if (ran != nullptr) ran->push_back(static_cast<int>(i));
+                   if (static_cast<int>(i) == failing_index) {
+                     throw StatusError(
+                         internal_error("deliberate failure in cell"));
+                   }
+                   ExperimentResult r;
+                   r.metric("value", double(i) * 1.25);
+                   r.metric("third", double(i) / 3.0);  // non-trivial digits
+                   r.counters().add("instructions", 100 * i + 1);
+                   return r;
+                 });
+    }
+    return runner;
+  }
+
+  std::string fragment_path(int shard, int count) const {
+    return dir_ + "/BENCH_shardgrid.shard" + std::to_string(shard) + "of" +
+           std::to_string(count) + ".json";
+  }
+
+  // Runs the grid in child mode for shard i/n and writes its fragment.
+  void produce_fragment(int shard, int count, int failing_index = -1) {
+    ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
+    ScopedEnv shard_env("STC_SHARD", (std::to_string(shard) + "/" +
+                                      std::to_string(count))
+                                         .c_str());
+    ExperimentRunner worker = make_grid(nullptr, failing_index);
+    worker.run(1);
+    auto written = worker.write_report();
+    ASSERT_TRUE(written.is_ok()) << written.status().to_string();
+    ASSERT_EQ(written.value(), fragment_path(shard, count));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ExperimentShardTest, ChildModeRunsOnlyItsModuloSlice) {
+  ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
+  ScopedEnv shard_env("STC_SHARD", "1/3");
+  std::vector<int> ran;
+  ExperimentRunner worker = make_grid(&ran);
+  worker.run(1);
+  EXPECT_EQ(ran, (std::vector<int>{1, 4}));
+  EXPECT_TRUE(worker.all_ok());  // unowned jobs report ok without running
+  auto written = worker.write_report();
+  ASSERT_TRUE(written.is_ok());
+  EXPECT_TRUE(file_exists(fragment_path(1, 3)));
+}
+
+TEST_F(ExperimentShardTest, NonShardableRunnerIgnoresShardEnv) {
+  ScopedEnv shard_env("STC_SHARD", "1/3");
+  std::vector<int> ran;
+  ExperimentRunner runner("shardgrid");
+  for (std::size_t i = 0; i < 4; ++i) {
+    runner.add("cell " + std::to_string(i), [i, &ran] {
+      ran.push_back(static_cast<int>(i));
+      return ExperimentResult();
+    });
+  }
+  runner.run(1);
+  EXPECT_EQ(ran.size(), 4u);  // every job, not a slice
+}
+
+TEST_F(ExperimentShardTest, MergedFragmentsReproduceUnshardedResultsExactly) {
+  ExperimentRunner reference = make_grid();
+  {
+    ScopedEnv shards_env("STC_SHARDS", nullptr);  // plain local run
+    reference.run(1);
+  }
+  produce_fragment(0, 2);
+  produce_fragment(1, 2);
+
+  ExperimentRunner merged = make_grid();
+  const Status s = merged.merge_fragments(
+      {fragment_path(0, 2), fragment_path(1, 2)});
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_EQ(merged.results_json(), reference.results_json());
+  EXPECT_TRUE(merged.all_ok());
+  // Fragments are consumed by the merge.
+  EXPECT_FALSE(file_exists(fragment_path(0, 2)));
+  EXPECT_FALSE(file_exists(fragment_path(1, 2)));
+}
+
+TEST_F(ExperimentShardTest, MergeCarriesFailuresAcrossTheProcessBoundary) {
+  produce_fragment(0, 2, /*failing_index=*/2);
+  produce_fragment(1, 2);
+
+  ExperimentRunner merged = make_grid();
+  const Status s = merged.merge_fragments(
+      {fragment_path(0, 2), fragment_path(1, 2)});
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_FALSE(merged.all_ok());
+  EXPECT_EQ(merged.job_status(2), JobStatus::kFailed);
+  EXPECT_EQ(merged.job_status(1), JobStatus::kOk);
+  const std::string report = merged.report_json();
+  EXPECT_NE(report.find("deliberate failure in cell"), std::string::npos);
+}
+
+TEST_F(ExperimentShardTest, MergeRejectsFragmentsFromAnotherBench) {
+  {
+    ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
+    ScopedEnv shard_env("STC_SHARD", "0/2");
+    ExperimentRunner other("otherbench");
+    other.set_shardable(true);
+    other.add("only", [] { return ExperimentResult(); });
+    other.run(1);
+    ASSERT_TRUE(other.write_report().is_ok());
+  }
+  ExperimentRunner merged = make_grid();
+  const Status s = merged.merge_fragments(
+      {dir_ + "/BENCH_otherbench.shard0of2.json"});
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+  EXPECT_NE(s.message().find("different bench"), std::string::npos);
+}
+
+TEST_F(ExperimentShardTest, MergeReportsMissingAndMalformedFragments) {
+  {
+    ExperimentRunner merged = make_grid();
+    const Status s = merged.merge_fragments({dir_ + "/nonexistent.json"});
+    ASSERT_FALSE(s.is_ok());
+  }
+  {
+    std::ofstream out(dir_ + "/garbage.json");
+    out << "{ not json";
+  }
+  ExperimentRunner merged = make_grid();
+  const Status s = merged.merge_fragments({dir_ + "/garbage.json"});
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+}
+
+// The full parent protocol — fork/exec, waitpid, fragment absorption, spawn
+// retry — against a stand-in worker: a shell script (STC_SHARD_EXE) that
+// copies a pre-baked fragment into place, exactly what a real worker's
+// write_report would produce.
+class ExperimentSpawnTest : public ExperimentShardTest {
+ protected:
+  void stage_fragments() {
+    produce_fragment(0, 2);
+    produce_fragment(1, 2);
+    // Park the fragments where the stand-in worker can find them (a live
+    // fragment would be consumed by the first merge).
+    ASSERT_EQ(::system(("mv '" + fragment_path(0, 2) + "' '" +
+                        fragment_path(0, 2) + ".baked' && mv '" +
+                        fragment_path(1, 2) + "' '" + fragment_path(1, 2) +
+                        ".baked'")
+                           .c_str()),
+              0);
+    script_ = dir_ + "/fake_worker.sh";
+    std::ofstream out(script_);
+    out << "#!/bin/sh\n"
+           "# Stand-in shard worker: 'runs' its slice by publishing the\n"
+           "# pre-baked fragment for its STC_SHARD slice.\n"
+           "i=${STC_SHARD%/*}\n"
+           "n=${STC_SHARD#*/}\n"
+        << "frag='" << dir_
+        << "/BENCH_shardgrid.shard'$i'of'$n'.json'\n"
+           "cp \"$frag.baked\" \"$frag\"\n";
+    out.close();
+    ASSERT_EQ(::system(("chmod 755 '" + script_ + "'").c_str()), 0);
+  }
+  std::string script_;
+};
+
+TEST_F(ExperimentSpawnTest, ParentSpawnsWorkersAndMergesTheirFragments) {
+  stage_fragments();
+  ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
+  ScopedEnv exe("STC_SHARD_EXE", script_.c_str());
+  ScopedEnv shards_env("STC_SHARDS", "2");
+  ScopedEnv shard_env("STC_SHARD", nullptr);
+
+  ExperimentRunner reference = make_grid();
+  {
+    ScopedEnv no_shards("STC_SHARDS", nullptr);
+    reference.run(1);
+  }
+  ExperimentRunner parent = make_grid();
+  parent.run(1);
+  EXPECT_TRUE(parent.all_ok());
+  EXPECT_EQ(parent.results_json(), reference.results_json());
+}
+
+TEST_F(ExperimentSpawnTest, SpawnFaultIsRetriedAndRecovered) {
+  stage_fragments();
+  ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
+  ScopedEnv exe("STC_SHARD_EXE", script_.c_str());
+  ScopedEnv shards_env("STC_SHARDS", "2");
+  ScopedEnv shard_env("STC_SHARD", nullptr);
+
+  fault::arm("shard.spawn");  // first spawn attempt dies; the retry succeeds
+  ExperimentRunner parent = make_grid();
+  parent.set_max_retries(1);
+  parent.run(1);
+  EXPECT_TRUE(parent.all_ok());
+}
+
+TEST_F(ExperimentSpawnTest, ExhaustedShardFailsItsOwnedJobsOnly) {
+  stage_fragments();
+  // Remove shard 1's baked fragment: its worker "runs" but publishes
+  // nothing, so the parent marks shard 1's jobs failed after retries.
+  ASSERT_EQ(::system(("rm '" + fragment_path(1, 2) + ".baked'").c_str()), 0);
+  ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
+  ScopedEnv exe("STC_SHARD_EXE", script_.c_str());
+  ScopedEnv shards_env("STC_SHARDS", "2");
+  ScopedEnv shard_env("STC_SHARD", nullptr);
+
+  ExperimentRunner parent = make_grid();
+  parent.run(1);
+  EXPECT_FALSE(parent.all_ok());
+  for (std::size_t i = 0; i < 7; ++i) {
+    const JobStatus expect =
+        (i % 2 == 1) ? JobStatus::kFailed : JobStatus::kOk;
+    EXPECT_EQ(parent.job_status(i), expect) << "job " << i;
+  }
+  ASSERT_FALSE(parent.failures().empty());
+  for (const JobFailure& failure : parent.failures()) {
+    EXPECT_EQ(failure.index % 2, 1u);
+    EXPECT_NE(failure.error.message().find("shard 1/2"), std::string::npos)
+        << failure.error.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace stc

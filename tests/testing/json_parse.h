@@ -1,230 +1,14 @@
-// Minimal recursive-descent JSON parser for tests.
-//
-// Just enough to read back the documents support/json.h writes (BENCH_*.json
-// reports): objects keep key insertion order so structural comparisons can
-// assert the exact serialization order the writer guarantees. Not a general
-// validator — numbers parse via strtod, strings handle the writer's escape
-// set, and parse errors surface as a null value plus an error string.
+// Compatibility shim: the test-only JSON parser moved to support/json_read.h
+// when the sharded experiment runner started parsing report fragments in
+// production code. Tests keep their stc::testing:: spelling.
 #pragma once
 
-#include <cctype>
-#include <cstdlib>
-#include <string>
-#include <string_view>
-#include <utility>
-#include <vector>
+#include "support/json_read.h"
 
 namespace stc::testing {
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;  // string value, or the raw token for numbers
-  std::vector<JsonValue> items;                             // arrays
-  std::vector<std::pair<std::string, JsonValue>> members;   // objects
-
-  bool is_object() const { return kind == Kind::kObject; }
-  bool is_array() const { return kind == Kind::kArray; }
-  bool is_number() const { return kind == Kind::kNumber; }
-  bool is_string() const { return kind == Kind::kString; }
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& m : members) {
-      if (m.first == key) return &m.second;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view doc) : doc_(doc) {}
-
-  // Parses the whole document; on failure returns null and sets error().
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (error_.empty() && pos_ != doc_.size()) {
-      set_error("trailing characters");
-    }
-    if (!error_.empty()) return JsonValue{};
-    return v;
-  }
-
-  const std::string& error() const { return error_; }
-
- private:
-  void set_error(const std::string& what) {
-    if (error_.empty()) {
-      error_ = what + " at offset " + std::to_string(pos_);
-    }
-  }
-
-  void skip_ws() {
-    while (pos_ < doc_.size() &&
-           std::isspace(static_cast<unsigned char>(doc_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < doc_.size() && doc_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool literal(std::string_view word) {
-    if (doc_.substr(pos_, word.size()) == word) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    JsonValue v;
-    if (pos_ >= doc_.size()) {
-      set_error("unexpected end of document");
-      return v;
-    }
-    const char c = doc_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      v.kind = JsonValue::Kind::kString;
-      v.text = string();
-      return v;
-    }
-    if (literal("null")) return v;
-    if (literal("true")) {
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (literal("false")) {
-      v.kind = JsonValue::Kind::kBool;
-      return v;
-    }
-    return number();
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < doc_.size() &&
-           (std::isdigit(static_cast<unsigned char>(doc_[pos_])) ||
-            doc_[pos_] == '-' || doc_[pos_] == '+' || doc_[pos_] == '.' ||
-            doc_[pos_] == 'e' || doc_[pos_] == 'E')) {
-      ++pos_;
-    }
-    JsonValue v;
-    if (pos_ == start) {
-      set_error("expected value");
-      return v;
-    }
-    v.kind = JsonValue::Kind::kNumber;
-    v.text = std::string(doc_.substr(start, pos_ - start));
-    v.number = std::strtod(v.text.c_str(), nullptr);
-    return v;
-  }
-
-  std::string string() {
-    std::string out;
-    ++pos_;  // opening quote
-    while (pos_ < doc_.size() && doc_[pos_] != '"') {
-      char c = doc_[pos_++];
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= doc_.size()) break;
-      const char esc = doc_[pos_++];
-      switch (esc) {
-        case 'n': out.push_back('\n'); break;
-        case 't': out.push_back('\t'); break;
-        case 'r': out.push_back('\r'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'u': {
-          // The writer only emits \u00XX for control bytes.
-          if (pos_ + 4 <= doc_.size()) {
-            const std::string hex(doc_.substr(pos_, 4));
-            out.push_back(
-                static_cast<char>(std::strtol(hex.c_str(), nullptr, 16)));
-            pos_ += 4;
-          }
-          break;
-        }
-        default: out.push_back(esc); break;
-      }
-    }
-    if (pos_ >= doc_.size()) {
-      set_error("unterminated string");
-    } else {
-      ++pos_;  // closing quote
-    }
-    return out;
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    skip_ws();
-    if (consume(']')) return v;
-    while (true) {
-      v.items.push_back(value());
-      if (!error_.empty()) return v;
-      if (consume(']')) return v;
-      if (!consume(',')) {
-        set_error("expected ',' or ']'");
-        return v;
-      }
-    }
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    skip_ws();
-    if (consume('}')) return v;
-    while (true) {
-      skip_ws();
-      if (pos_ >= doc_.size() || doc_[pos_] != '"') {
-        set_error("expected object key");
-        return v;
-      }
-      std::string key = string();
-      if (!consume(':')) {
-        set_error("expected ':'");
-        return v;
-      }
-      v.members.emplace_back(std::move(key), value());
-      if (!error_.empty()) return v;
-      if (consume('}')) return v;
-      if (!consume(',')) {
-        set_error("expected ',' or '}'");
-        return v;
-      }
-    }
-  }
-
-  std::string_view doc_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
-
-inline JsonValue parse_json(std::string_view doc, std::string* error = nullptr) {
-  JsonParser parser(doc);
-  JsonValue v = parser.parse();
-  if (error != nullptr) *error = parser.error();
-  return v;
-}
+using stc::JsonParser;
+using stc::JsonValue;
+using stc::parse_json;
 
 }  // namespace stc::testing

@@ -11,6 +11,7 @@
 #include "support/crc32.h"
 #include "support/error.h"
 #include "support/rng.h"
+#include "trace/trace_format.h"
 
 namespace stc::trace {
 namespace {
@@ -161,6 +162,12 @@ class BlockTraceCorruptionTest : public ::testing::Test {
     }
   }
 
+  // Size of the version-3 index footer, read back from the header's chunk
+  // count so the tests track the real chunking.
+  std::size_t footer_size() const {
+    return format::footer_bytes(format::get_u64(&bytes_[24]));
+  }
+
   static Status expect_rejected(const std::vector<std::uint8_t>& bytes) {
     auto r = BlockTrace::deserialize(bytes.empty() ? nullptr : bytes.data(),
                                      bytes.size());
@@ -211,7 +218,7 @@ TEST_F(BlockTraceCorruptionTest, TruncatedAtEveryStructuralBoundary) {
 }
 
 TEST_F(BlockTraceCorruptionTest, PayloadCrcMismatch) {
-  bytes_.back() ^= 0x01;  // last payload byte
+  bytes_[bytes_.size() - footer_size() - 1] ^= 0x01;  // last payload byte
   const Status s = expect_rejected(bytes_);
   EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
   EXPECT_NE(s.message().find("crc"), std::string::npos);
@@ -243,6 +250,87 @@ TEST_F(BlockTraceCorruptionTest, VarintOverflowInPayload) {
   const Status s = expect_rejected(file);
   EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
   EXPECT_NE(s.message().find("varint"), std::string::npos);
+}
+
+// ---- version-3 index footer ------------------------------------------------
+
+TEST_F(BlockTraceCorruptionTest, TruncatedFooter) {
+  // Drop the trailer's last 8 bytes: the index magic is gone.
+  bytes_.resize(bytes_.size() - 8);
+  const Status s = expect_rejected(bytes_);
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+}
+
+TEST_F(BlockTraceCorruptionTest, IndexEntryDisagreesWithChunkHeader) {
+  // Flip the first index entry's payload_bytes field; the chunk headers are
+  // untouched, so the footer and the body now disagree.
+  const std::size_t index_offset = bytes_.size() - footer_size();
+  bytes_[index_offset + 8] ^= 0x01;
+  const Status s = expect_rejected(bytes_);
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+  EXPECT_NE(s.message().find("index"), std::string::npos);
+}
+
+TEST_F(BlockTraceCorruptionTest, IndexCrcMismatch) {
+  // Flip a bit in the trailer's index crc field.
+  bytes_[bytes_.size() - 16] ^= 0x01;
+  const Status s = expect_rejected(bytes_);
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+  EXPECT_NE(s.message().find("index"), std::string::npos);
+}
+
+TEST_F(BlockTraceCorruptionTest, TrailerIndexOffsetWrong) {
+  put_u64_at(bytes_, bytes_.size() - 32, 0);  // index_offset
+  EXPECT_EQ(expect_rejected(bytes_).code(), ErrorCode::kCorruptData);
+}
+
+TEST(BlockTraceV3Test, SerializeEmitsVersion3WithIndexFooter) {
+  BlockTrace t;
+  for (cfg::BlockId id = 0; id < 100; ++id) t.append(id);
+  const auto bytes = t.serialize();
+  EXPECT_EQ(format::get_u64(&bytes[8]), format::kVersion);
+  const std::uint64_t chunks = format::get_u64(&bytes[24]);
+  ASSERT_GE(bytes.size(), format::footer_bytes(chunks));
+  EXPECT_EQ(format::get_u64(&bytes[bytes.size() - 8]), format::kIndexMagic);
+}
+
+// Turns version-3 bytes into the version-2 encoding of the same trace: v2 is
+// exactly v3 minus the index footer, with the header version patched.
+std::vector<std::uint8_t> strip_to_v2(std::vector<std::uint8_t> bytes) {
+  const std::uint64_t chunks = format::get_u64(&bytes[24]);
+  bytes.resize(bytes.size() - format::footer_bytes(chunks));
+  for (int i = 0; i < 8; ++i) {
+    bytes[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(format::kVersionV2 >> (8 * i));
+  }
+  return bytes;
+}
+
+TEST(BlockTraceV3Test, Version2FilesStillLoadBitIdentically) {
+  BlockTrace t;
+  Rng rng(2024);
+  for (int i = 0; i < 60000; ++i) {
+    t.append(static_cast<cfg::BlockId>(rng.uniform(1 << 21)));
+  }
+  const auto v3 = t.serialize();
+  const auto v2 = strip_to_v2(v3);
+  ASSERT_LT(v2.size(), v3.size());
+  auto loaded = BlockTrace::deserialize(v2.data(), v2.size());
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().num_events(), t.num_events());
+  EXPECT_EQ(loaded.value().content_hash(), t.content_hash());
+  // Re-serializing a v2 load upgrades it to the identical v3 bytes.
+  EXPECT_EQ(loaded.value().serialize(), v3);
+}
+
+TEST(BlockTraceV3Test, Version2RejectsTrailingBytes) {
+  BlockTrace t;
+  for (cfg::BlockId id = 0; id < 50; ++id) t.append(id);
+  auto v2 = strip_to_v2(t.serialize());
+  v2.push_back(0x00);
+  auto r = BlockTrace::deserialize(v2.data(), v2.size());
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kCorruptData);
 }
 
 TEST_F(BlockTraceCorruptionTest, CorruptFileOnDiskLoadsAsError) {

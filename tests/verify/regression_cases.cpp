@@ -8,6 +8,11 @@
 // seed lists, and extreme CFA budgets.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "trace/block_trace.h"
+#include "trace/trace_format.h"
 #include "verify/fuzz.h"
 
 // Shrunk from stc_fuzz --inject short-block --seed 1 (iteration 2): the
@@ -292,6 +297,75 @@ TEST(FuzzRegression, MultitenantMinimalCfaFloors) {
   c.edges = {{0, 1, 6}, {1, 2, 4}};
   c.trace = {0, 1, 2, 2, 0, 1, 2, 0, 1};
   const stc::verify::Report report = stc::verify::run_multitenant_diff(c);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// Pinned from the stc_fuzz --trace-bytes corpus after the v3 format grew a
+// chunk-index footer: every byte of the footer (index entries, count, index
+// CRC, trailing magic) is flipped and every truncation inside the footer is
+// tried, and each mutant must either be rejected with a structured error or
+// decode to a byte-identical round-trip — never a silently different trace.
+TEST(FuzzRegression, TraceBytesV3IndexFooterMutations) {
+  stc::trace::BlockTrace trace;
+  std::uint32_t id = 0;
+  // Short deltas until the payload spills past one chunk so the footer
+  // indexes more than one entry (the cross-entry tiling checks fire).
+  while (trace.num_chunks() < 3) {
+    id = (id * 37 + 11) % 4096;
+    trace.append(id);
+  }
+  const std::vector<std::uint8_t> original = trace.serialize();
+  const std::size_t footer =
+      stc::trace::format::footer_bytes(trace.num_chunks());
+  ASSERT_GT(original.size(), footer);
+
+  const auto accepts_only_roundtrip = [&](const std::vector<std::uint8_t>& m) {
+    auto decoded = stc::trace::BlockTrace::deserialize(m.data(), m.size());
+    return !decoded.is_ok() || decoded.value().serialize() == m;
+  };
+  std::vector<std::uint8_t> mutant = original;
+  for (std::size_t off = original.size() - footer; off < original.size();
+       ++off) {
+    for (const std::uint8_t bit :
+         {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0xff}) {
+      mutant[off] = original[off] ^ static_cast<std::uint8_t>(bit);
+      EXPECT_TRUE(accepts_only_roundtrip(mutant))
+          << "bit flip 0x" << std::hex << int{bit} << " at offset " << std::dec
+          << off;
+      mutant[off] = original[off];
+    }
+    EXPECT_TRUE(accepts_only_roundtrip(
+        std::vector<std::uint8_t>(original.begin(),
+                                  original.begin() + static_cast<long>(off))))
+        << "truncation at " << off;
+  }
+}
+
+// Pins the compiled engine's SIMD tail: 61 events is 5 mod 8, so the 8-wide
+// vector main loop (sim/replay.cpp kLanes) leaves a scalar tail — and the
+// sequentiality kernel's one-event lookahead splits at a different boundary
+// than the miss-rate kernel's. Both widths must agree with the interpreter
+// bit for bit. Salt 4*7 + 61*5 + 32 = 365 (odd): in-order back end.
+TEST(FuzzRegression, ReplayDiffSimdTailOddLength) {
+  stc::verify::FuzzCase c;
+  c.cache_bytes = 1024;
+  c.cfa_bytes = 256;
+  c.line_bytes = 32;
+  c.routines = {
+      {{{5, stc::cfg::BlockKind::kBranch},
+        {3, stc::cfg::BlockKind::kBranch},
+        {8, stc::cfg::BlockKind::kFallThrough},
+        {1, stc::cfg::BlockKind::kReturn}},
+       false},
+  };
+  c.edges = {{0, 1, 40}, {1, 2, 30}, {2, 0, 30}, {1, 3, 10}};
+  c.trace.clear();
+  for (int i = 0; i < 20; ++i) {  // 20 loop trips then the exit: 61 events
+    c.trace.insert(c.trace.end(), {0, 1, 2});
+  }
+  c.trace.push_back(3);
+  ASSERT_EQ(c.trace.size() % 8, 5u);
+  const stc::verify::Report report = stc::verify::run_replay_diff(c);
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate over BENCH_replay_throughput.json.
+"""CI perf-regression gate over replay-throughput bench reports.
 
 Wall-clock events/sec is machine-dependent, so the gate works on *speedup
 ratios*: for every simulator cell, events_per_sec in the batched/compiled
@@ -16,9 +16,13 @@ engines must actually be worth having), and validates the report's schema:
 schema_version == 3 with a throughput.events_per_sec field.
 
 Usage:
-    perf_gate.py BENCH_replay_throughput.json [--baseline FILE]
-                 [--tolerance 0.15] [--write-baseline FILE]
-                 [--scale-non-interp F]
+    perf_gate.py BENCH_replay_throughput.json [BENCH_scale_sweep.json ...]
+                 [--baseline FILE] [--tolerance 0.15]
+                 [--write-baseline FILE] [--scale-non-interp F]
+
+Several reports gate together in one invocation (each is schema-validated
+and must be failure-free; their cells merge, and a (sim, mode) pair that
+appears in two reports is an error).
 
 --write-baseline records the current run's ratios as a new baseline (after
 a deliberate engine change; scale the recorded ratios down first if the
@@ -38,9 +42,8 @@ def fail(msg):
     return 1
 
 
-def load_cells(report, scale_non_interp):
-    """Returns {(sim, mode): events_per_sec} from the report's results."""
-    cells = {}
+def load_cells(report, scale_non_interp, cells):
+    """Merges {(sim, mode): events_per_sec} from the report into cells."""
     for result in report.get("results", []):
         params = result.get("params", {})
         metrics = result.get("metrics")
@@ -51,9 +54,15 @@ def load_cells(report, scale_non_interp):
         if sim is None or mode is None:
             raise ValueError(
                 f"job '{result.get('name')}' lacks sim/mode params")
+        if "events_per_sec" not in metrics:
+            raise ValueError(
+                f"job '{result.get('name')}': metrics lack 'events_per_sec'")
         eps = metrics["events_per_sec"]
         if mode != "interp":
             eps *= scale_non_interp
+        if (sim, mode) in cells:
+            raise ValueError(
+                f"cell ('{sim}', '{mode}') appears in more than one report")
         cells[(sim, mode)] = eps
     return cells
 
@@ -73,35 +82,45 @@ def speedups(cells):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("report")
+    parser.add_argument("reports", nargs="+", metavar="report")
     parser.add_argument("--baseline", default="bench/perf_baseline.json")
     parser.add_argument("--tolerance", type=float, default=0.15)
     parser.add_argument("--write-baseline", metavar="FILE")
     parser.add_argument("--scale-non-interp", type=float, default=1.0)
     args = parser.parse_args()
 
-    with open(args.report) as f:
-        report = json.load(f)
+    cells = {}
+    benches = []
+    for path in args.reports:
+        with open(path) as f:
+            report = json.load(f)
+        benches.append(report.get("bench"))
 
-    # Schema v3 validation: mandatory throughput.events_per_sec.
-    if report.get("schema_version") != 3:
-        return fail(f"schema_version is {report.get('schema_version')!r}, "
-                    "expected 3")
-    throughput = report.get("throughput")
-    if not isinstance(throughput, dict) or "events_per_sec" not in throughput:
-        return fail("report lacks throughput.events_per_sec (schema v3)")
-    if report.get("failures"):
-        return fail(f"report records {len(report['failures'])} failed jobs")
+        # Schema v3 validation: mandatory throughput.events_per_sec.
+        if report.get("schema_version") != 3:
+            return fail(f"{path}: schema_version is "
+                        f"{report.get('schema_version')!r}, expected 3")
+        throughput = report.get("throughput")
+        if (not isinstance(throughput, dict)
+                or "events_per_sec" not in throughput):
+            return fail(f"{path}: report lacks throughput.events_per_sec "
+                        "(schema v3)")
+        if report.get("failures"):
+            return fail(f"{path}: report records "
+                        f"{len(report['failures'])} failed jobs")
+        try:
+            load_cells(report, args.scale_non_interp, cells)
+        except ValueError as e:
+            return fail(f"{path}: {e}")
 
     try:
-        cells = load_cells(report, args.scale_non_interp)
         current = speedups(cells)
-    except (ValueError, KeyError) as e:
+    except ValueError as e:
         return fail(str(e))
 
     if args.write_baseline:
         baseline = {
-            "bench": report.get("bench"),
+            "bench": "+".join(benches),
             "tolerance": args.tolerance,
             "min_best_speedup": 2.0,
             "speedups": {k: round(v, 4) for k, v in current.items()},
