@@ -52,6 +52,19 @@
 //                   reads (default 1; scale_sweep's streaming cells)
 //   STC_PLAN_CACHE_DIR - directory for the on-disk compiled replay-plan
 //                   cache (default unset = rebuild plans in-process)
+//   STC_RESUME    - 1 resumes a killed/crashed run from BENCH_<name>.journal,
+//                   re-running only the cells the journal does not cover; the
+//                   finished report is byte-identical to an uninterrupted run
+//                   (default 0 = start fresh, stale journals are discarded)
+//   STC_HEARTBEAT - sharded runs: seconds a worker's journal may stall before
+//                   the parent SIGKILLs it and reassigns its slice within the
+//                   STC_JOB_RETRIES budget (default 0 = exit-status-only
+//                   supervision)
+//   STC_CRASH     - kill-injection spec, same grammar as STC_FAULT: SIGKILL
+//                   the process at the Nth hit of a fault point, e.g.
+//                   journal.append.write:3 (tools/crash_harness, VERIFY.md)
+//   STC_ZERO_TIMINGS - 1 zeroes phase timings in the report so two runs of
+//                   the same grid are byte-comparable (default 0)
 // Every knob is validated up front (support/env): a malformed value exits 2
 // with a structured error instead of silently defaulting.
 // The paper's absolute cache sizes (8-64KB) are scaled to this kernel's

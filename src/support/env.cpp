@@ -302,6 +302,37 @@ Result<std::string> shard() {
   return v;
 }
 
+Result<bool> resume() {
+  const char* value = std::getenv("STC_RESUME");
+  if (value == nullptr) return false;
+  const std::string v(value);
+  if (v == "0" || v == "") return false;
+  if (v == "1") return true;
+  return invalid_argument_error("STC_RESUME='" + v + "': expected 0 or 1");
+}
+
+Result<double> heartbeat() {
+  const char* value = std::getenv("STC_HEARTBEAT");
+  if (value == nullptr) return 0.0;
+  Result<double> parsed = parse_double("STC_HEARTBEAT", value);
+  if (!parsed.is_ok()) return parsed.status();
+  if (parsed.value() < 0.0) {
+    return invalid_argument_error(std::string("STC_HEARTBEAT='") + value +
+                                  "': expected seconds >= 0 (0 disables)");
+  }
+  return parsed.value();
+}
+
+Result<bool> zero_timings() {
+  const char* value = std::getenv("STC_ZERO_TIMINGS");
+  if (value == nullptr) return false;
+  const std::string v(value);
+  if (v == "0" || v == "") return false;
+  if (v == "1") return true;
+  return invalid_argument_error("STC_ZERO_TIMINGS='" + v +
+                                "': expected 0 or 1");
+}
+
 Result<bool> mmap_enabled() {
   const char* value = std::getenv("STC_MMAP");
   if (value == nullptr) return true;
@@ -343,11 +374,19 @@ Status validate_all() {
   if (Status s = job_retries().status(); !s.is_ok()) return s;
   if (Status s = shards().status(); !s.is_ok()) return s;
   if (Status s = shard().status(); !s.is_ok()) return s;
+  if (Status s = resume().status(); !s.is_ok()) return s;
+  if (Status s = heartbeat().status(); !s.is_ok()) return s;
+  if (Status s = zero_timings().status(); !s.is_ok()) return s;
   if (Status s = mmap_enabled().status(); !s.is_ok()) return s;
   if (Status s = plan_cache_dir().status(); !s.is_ok()) return s;
   if (const char* spec = std::getenv("STC_FAULT")) {
     if (Status s = fault::validate_spec(spec); !s.is_ok()) {
       return s.with_context("STC_FAULT");
+    }
+  }
+  if (const char* spec = std::getenv("STC_CRASH")) {
+    if (Status s = fault::validate_spec(spec); !s.is_ok()) {
+      return s.with_context("STC_CRASH");
     }
   }
   return Status::ok();

@@ -1,9 +1,13 @@
 #include "support/experiment.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -21,6 +25,7 @@
 #include "support/io.h"
 #include "support/json.h"
 #include "support/json_read.h"
+#include "support/logsink.h"
 #include "support/thread_pool.h"
 
 extern char** environ;
@@ -35,6 +40,90 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+// Live shard-worker pids, readable from a signal handler. A slot is a pid
+// when a worker is running, 0 when free.
+constexpr std::size_t kMaxShardPids = 256;
+std::atomic<pid_t> g_shard_pids[kMaxShardPids];
+
+int register_shard_pid(pid_t pid) {
+  for (std::size_t i = 0; i < kMaxShardPids; ++i) {
+    pid_t expected = 0;
+    if (g_shard_pids[i].compare_exchange_strong(expected, pid)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void unregister_shard_pid(int slot) {
+  if (slot >= 0) g_shard_pids[slot].store(0);
+}
+
+// SIGINT/SIGTERM: an interrupted run must stay resumable and leave no
+// litter. The journal needs no flushing here — every append is already
+// fsync'd — so the handler only unlinks in-flight temp files, takes the
+// shard workers down with it, and dies by the original signal. All calls
+// are async-signal-safe.
+void interrupt_handler(int sig) {
+  unlink_signal_cleanup_paths();
+  for (std::size_t i = 0; i < kMaxShardPids; ++i) {
+    const pid_t pid = g_shard_pids[i].load();
+    if (pid > 0) ::kill(pid, SIGKILL);
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void install_interrupt_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction action = {};
+    action.sa_handler = interrupt_handler;
+    ::sigemptyset(&action.sa_mask);
+    for (const int sig : {SIGINT, SIGTERM}) {
+      struct sigaction previous = {};
+      // Leave non-default dispositions (a test harness's, SIG_IGN) alone.
+      if (::sigaction(sig, nullptr, &previous) == 0 &&
+          previous.sa_handler == SIG_DFL) {
+        ::sigaction(sig, &action, nullptr);
+      }
+    }
+  });
+}
+
+// Removes every directory entry named <prefix>...<suffix>. Best-effort;
+// returns the number removed.
+std::size_t remove_matching_files(const std::string& dir,
+                                  const std::string& prefix,
+                                  const std::string& suffix) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  std::vector<std::string> victims;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    victims.push_back(dir + "/" + name);
+  }
+  ::closedir(d);
+  for (const std::string& path : victims) std::remove(path.c_str());
+  return victims.size();
+}
+
+std::int64_t file_size_or(const std::string& path, std::int64_t fallback) {
+  struct stat st = {};
+  if (::stat(path.c_str(), &st) != 0) return fallback;
+  return static_cast<std::int64_t>(st.st_size);
+}
+
+std::string shard_suffix(std::uint32_t shard, std::uint32_t count) {
+  return ".shard" + std::to_string(shard) + "of" + std::to_string(count);
+}
+
 // Warns (once per job) on stderr when a running job overruns its deadline.
 // Jobs are cooperative — the watchdog cannot kill a stuck simulation, but it
 // makes a wedged sweep diagnosable instead of silent; the overrun is then
@@ -45,6 +134,7 @@ class DeadlineWatchdog {
       : timeout_(timeout_seconds),
         names_(names),
         start_(names.size(), Clock::time_point::min()),
+        attempt_(names.size(), 1),
         warned_(names.size(), false),
         thread_([this] { loop(); }) {}
 
@@ -57,9 +147,10 @@ class DeadlineWatchdog {
     thread_.join();
   }
 
-  void begin(std::size_t index) {
+  void begin(std::size_t index, std::uint32_t attempt) {
     std::lock_guard<std::mutex> lock(mu_);
     start_[index] = Clock::now();
+    attempt_[index] = attempt;
     warned_[index] = false;
   }
 
@@ -80,9 +171,15 @@ class DeadlineWatchdog {
             std::chrono::duration<double>(now - start_[i]).count();
         if (elapsed > timeout_) {
           warned_[i] = true;
-          std::fprintf(stderr,
-                       "watchdog: job '%s' is %.1fs past its %.3gs deadline\n",
-                       names_[i].c_str(), elapsed - timeout_, timeout_);
+          char message[256];
+          std::snprintf(message, sizeof message,
+                        "watchdog: job '%s' (attempt %u) is %.1fs past its "
+                        "%.3gs deadline",
+                        names_[i].c_str(), attempt_[i], elapsed - timeout_,
+                        timeout_);
+          // One locked sink: the warning comes from the watchdog's own
+          // thread and must not interleave with bench output.
+          log::line(message);
         }
       }
     }
@@ -91,6 +188,7 @@ class DeadlineWatchdog {
   const double timeout_;
   const std::vector<std::string>& names_;
   std::vector<Clock::time_point> start_;
+  std::vector<std::uint32_t> attempt_;
   std::vector<bool> warned_;
   std::mutex mu_;
   std::condition_variable cv_;
@@ -163,6 +261,13 @@ void ExperimentRunner::meta(std::string_view key, std::uint64_t value) {
 }
 
 void ExperimentRunner::record_phase(std::string_view phase, double seconds) {
+  // STC_ZERO_TIMINGS makes reports fully byte-deterministic (the crash
+  // harness compares whole files); malformed values are caught by
+  // validate_all, not here.
+  if (const Result<bool> zero = env::zero_timings();
+      zero.is_ok() && zero.value()) {
+    seconds = 0.0;
+  }
   for (auto& p : phases_) {
     if (p.first == phase) {
       p.second += seconds;
@@ -199,6 +304,20 @@ void ExperimentRunner::set_job_timeout(double seconds) {
   timeout_set_ = true;
 }
 
+void ExperimentRunner::set_heartbeat(double seconds) {
+  STC_REQUIRE(seconds >= 0.0);
+  heartbeat_ = seconds;
+  heartbeat_set_ = true;
+}
+
+Result<std::string> ExperimentRunner::journal_path() const {
+  Result<std::string> dir = env::bench_dir();
+  if (!dir.is_ok()) return dir.status().with_context("journal");
+  const std::string suffix =
+      shard_count_ > 1 ? shard_suffix(shard_index_, shard_count_) : "";
+  return dir.value() + "/BENCH_" + bench_name_ + suffix + ".journal";
+}
+
 Result<std::size_t> ExperimentRunner::threads_from_env() {
   return env::threads();
 }
@@ -208,6 +327,10 @@ void ExperimentRunner::run(std::size_t threads) {
   ran_ = true;
   if (!retries_set_) max_retries_ = env::job_retries().value();
   if (!timeout_set_) job_timeout_ = env::job_timeout().value();
+  if (!heartbeat_set_) heartbeat_ = env::heartbeat().value();
+  if (!journaling_set_) journaling_ = shardable_;
+  resume_ = env::resume().value();
+  install_interrupt_handlers();
   if (shardable_) {
     const std::string spec = env::shard().value();
     if (!spec.empty()) {
@@ -232,6 +355,8 @@ void ExperimentRunner::run_local(std::size_t threads) {
   results_.assign(jobs_.size(), ExperimentResult{});
   outcomes_.assign(jobs_.size(), JobFailure{});
   failures_.clear();
+  done_.assign(jobs_.size(), 0);
+  if (journaling_) prepare_journal();
 
   std::vector<std::string> job_names;
   job_names.reserve(jobs_.size());
@@ -247,6 +372,7 @@ void ExperimentRunner::run_local(std::size_t threads) {
   // deterministic simulation that overran once will overrun again.
   const auto run_job = [this, &watchdog](std::size_t i) {
     JobFailure& outcome = outcomes_[i];
+    if (done_[i]) return;  // replayed from the journal; outcome is final
     outcome.index = i;
     outcome.name = jobs_[i].name;
     if (shard_count_ > 1 && i % shard_count_ != shard_index_) {
@@ -256,7 +382,7 @@ void ExperimentRunner::run_local(std::size_t threads) {
     const std::uint32_t max_attempts = 1 + max_retries_;
     for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
       outcome.attempts = attempt;
-      if (watchdog) watchdog->begin(i);
+      if (watchdog) watchdog->begin(i, attempt);
       const auto start = Clock::now();
       Status error;
       ExperimentResult result;
@@ -280,17 +406,19 @@ void ExperimentRunner::run_local(std::size_t threads) {
             timeout_error("ran past the " + json_number(job_timeout_) +
                           "s deadline")
                 .with_context("job '" + jobs_[i].name + "'");
-        return;  // deadline overruns are not transient: no retry
+        break;  // deadline overruns are not transient: no retry
       }
       if (error.is_ok()) {
         results_[i] = std::move(result);
         outcome.status = JobStatus::kOk;
         outcome.error = Status::ok();
-        return;
+        break;
       }
       outcome.status = JobStatus::kFailed;
       outcome.error = error.with_context("job '" + jobs_[i].name + "'");
     }
+    // The cell's fate is sealed — make it durable before the pool moves on.
+    journal_append_outcome(i);
   };
 
   const auto start = Clock::now();
@@ -310,10 +438,10 @@ void ExperimentRunner::collect_failures() {
     if (outcome.status != JobStatus::kOk) failures_.push_back(outcome);
   }
   for (const JobFailure& failure : failures_) {
-    std::fprintf(stderr, "[%s] job '%s' %s after %u attempt(s): %s\n",
-                 bench_name_.c_str(), failure.name.c_str(),
-                 to_string(failure.status), failure.attempts,
-                 failure.error.to_string().c_str());
+    log::line("[" + bench_name_ + "] job '" + failure.name + "' " +
+              to_string(failure.status) + " after " +
+              std::to_string(failure.attempts) +
+              " attempt(s): " + failure.error.to_string());
   }
 }
 
@@ -337,14 +465,164 @@ Status parse_status(const std::string& text) {
   return internal_error(text);
 }
 
-std::string shard_suffix(std::uint32_t shard, std::uint32_t count) {
-  return ".shard" + std::to_string(shard) + "of" + std::to_string(count);
-}
-
 }  // namespace
 
+// Opens this process's journal, first replaying it under STC_RESUME=1. A
+// record that fails to absorb (the grid changed under the journal) drops it
+// and everything after; the journal is then truncated to what was kept, so
+// appends continue from a clean prefix. Journal trouble never fails the run
+// — it degrades to journaling-off with a logged warning.
+void ExperimentRunner::prepare_journal() {
+  Result<std::string> path = journal_path();
+  if (!path.is_ok()) {
+    log::line("journal: " + path.status().to_string() +
+              "; journaling disabled");
+    journaling_ = false;
+    return;
+  }
+  std::uint64_t keep = 0;
+  if (resume_) {
+    Result<JournalScan> scan = read_journal(path.value());
+    if (!scan.is_ok()) {
+      log::line("journal: " + scan.status().to_string() + "; starting fresh");
+    } else {
+      std::size_t absorbed = 0;
+      for (const std::string& payload : scan.value().payloads) {
+        if (Status s = absorb_journal_payload(payload); !s.is_ok()) {
+          log::line("journal: " + s.to_string() +
+                    "; dropping it and later records");
+          break;
+        }
+        ++absorbed;
+      }
+      if (absorbed > 0) keep = scan.value().record_ends[absorbed - 1];
+      if (scan.value().torn) {
+        log::line("journal '" + path.value() + "': torn tail (" +
+                  scan.value().tear_reason + ") truncated");
+      }
+    }
+  }
+  if (Status s = journal_.open(path.value(), keep); !s.is_ok()) {
+    log::line("journal: " + s.to_string() + "; journaling disabled");
+    journaling_ = false;
+  }
+}
+
+void ExperimentRunner::journal_append_outcome(std::size_t index) {
+  if (!journaling_ || !journal_.is_open()) return;
+  const JobFailure& outcome = outcomes_[index];
+  JsonWriter w;
+  w.begin_object();
+  w.key("index").value(static_cast<std::uint64_t>(index));
+  w.key("name").value(jobs_[index].name);
+  w.key("status").value(to_string(outcome.status));
+  w.key("attempts").value(std::uint64_t{outcome.attempts});
+  if (outcome.status != JobStatus::kOk) {
+    w.key("error").value(outcome.error.to_string());
+  }
+  w.key("metrics").begin_object();
+  for (const auto& m : results_[index].metrics()) {
+    w.key(m.first).value(m.second);
+  }
+  w.end_object();
+  w.key("counters").begin_object();
+  for (const auto& c : results_[index].counters().items()) {
+    w.key(c.first).value(c.second);
+  }
+  w.end_object();
+  w.end_object();
+  if (Status s = journal_.append(w.str()); !s.is_ok()) {
+    // A lost record only means resume re-runs this cell; the run goes on.
+    log::line("journal: " + s.to_string());
+  }
+}
+
+// One journal record back into the grid. Failed/timed_out records are as
+// final as ok ones: the original run exhausted the retry budget, and the
+// resumed report must serialize byte-identically to the uninterrupted one.
+Status ExperimentRunner::absorb_journal_payload(const std::string& payload) {
+  const auto corrupt = [](const std::string& what) {
+    return corrupt_data_error("journal record: " + what);
+  };
+  std::string parse_error;
+  const JsonValue root = parse_json(payload, &parse_error);
+  if (!parse_error.empty()) return corrupt(parse_error);
+  if (!root.is_object()) return corrupt("not a JSON object");
+  const JsonValue* index = root.find("index");
+  if (index == nullptr || !index->is_number()) return corrupt("missing index");
+  const auto i = static_cast<std::size_t>(index->number);
+  if (i >= jobs_.size()) return corrupt("index out of range");
+  if (shard_count_ > 1 && i % shard_count_ != shard_index_) {
+    return corrupt("record outside this shard's slice");
+  }
+  const JsonValue* name = root.find("name");
+  if (name == nullptr || !name->is_string() || name->text != jobs_[i].name) {
+    return corrupt("job " + std::to_string(i) + " name mismatch");
+  }
+  const JsonValue* status = root.find("status");
+  if (status == nullptr || !status->is_string()) {
+    return corrupt("missing status");
+  }
+  JobFailure& outcome = outcomes_[i];
+  outcome.index = i;
+  outcome.name = jobs_[i].name;
+  const JsonValue* tries = root.find("attempts");
+  outcome.attempts = tries != nullptr && tries->is_number()
+                         ? static_cast<std::uint32_t>(tries->number)
+                         : 1;
+  if (status->text == "ok") {
+    outcome.status = JobStatus::kOk;
+    outcome.error = Status::ok();
+  } else if (status->text == "failed" || status->text == "timed_out") {
+    outcome.status = status->text == "timed_out" ? JobStatus::kTimedOut
+                                                 : JobStatus::kFailed;
+    const JsonValue* error = root.find("error");
+    outcome.error =
+        parse_status(error != nullptr ? error->text : "missing error text");
+  } else {
+    return corrupt("unknown status '" + status->text + "'");
+  }
+  ExperimentResult result;
+  if (const JsonValue* metrics = root.find("metrics"); metrics != nullptr) {
+    // json_number() round-trips exactly (see absorb_fragment).
+    for (const auto& m : metrics->members) {
+      result.metric(m.first, m.second.number);
+    }
+  }
+  if (const JsonValue* counters = root.find("counters"); counters != nullptr) {
+    for (const auto& c : counters->members) {
+      result.counters().add(c.first,
+                            std::strtoull(c.second.text.c_str(), nullptr, 10));
+    }
+  }
+  results_[i] = std::move(result);
+  done_[i] = 1;
+  return Status::ok();
+}
+
+// The final report is durable — resume state has nothing left to add.
+// Removes this run's journal and any worker journals.
+void ExperimentRunner::remove_resume_state(const std::string& dir) const {
+  journal_.close();
+  std::remove((dir + "/BENCH_" + bench_name_ + ".journal").c_str());
+  remove_matching_files(dir, "BENCH_" + bench_name_ + ".shard", ".journal");
+}
+
+// Fragment and temp-file hygiene (journals are resume state and survive
+// unless explicitly dropped). Stale fragments from a previous crashed run
+// must never be absorbed as fresh results.
+void ExperimentRunner::cleanup_shard_scratch(const std::string& dir,
+                                             bool keep_journals) const {
+  const std::string prefix = "BENCH_" + bench_name_ + ".shard";
+  remove_matching_files(dir, prefix, ".json");
+  remove_matching_files(dir, prefix, ".json.tmp");
+  std::remove((dir + "/BENCH_" + bench_name_ + ".json.tmp").c_str());
+  if (!keep_journals) remove_matching_files(dir, prefix, ".journal");
+}
+
 Result<int> ExperimentRunner::spawn_shard(std::uint32_t shard,
-                                          std::uint32_t count) const {
+                                          std::uint32_t count, bool resume,
+                                          bool strip_crash) const {
   if (Status s = fault::fail_if("shard.spawn", "spawning shard worker");
       !s.is_ok()) {
     return s;
@@ -357,13 +635,19 @@ Result<int> ExperimentRunner::spawn_shard(std::uint32_t shard,
   const std::string spec =
       std::to_string(shard) + "/" + std::to_string(count);
   // Build the child's environment and argv before forking: the parent's
-  // environment minus any inherited STC_SHARD, plus this worker's slice.
+  // environment minus any inherited STC_SHARD/STC_RESUME, plus this worker's
+  // slice. A respawn after a worker death resumes from the worker's journal
+  // and sheds STC_CRASH — a worker that crashed once must not crash at the
+  // same point forever.
   std::vector<std::string> env_storage;
   for (char** e = environ; *e != nullptr; ++e) {
     if (std::strncmp(*e, "STC_SHARD=", 10) == 0) continue;
+    if (std::strncmp(*e, "STC_RESUME=", 11) == 0) continue;
+    if (strip_crash && std::strncmp(*e, "STC_CRASH=", 10) == 0) continue;
     env_storage.emplace_back(*e);
   }
   env_storage.push_back("STC_SHARD=" + spec);
+  if (resume) env_storage.push_back("STC_RESUME=1");
   std::vector<char*> envp;
   envp.reserve(env_storage.size() + 1);
   for (std::string& entry : env_storage) envp.push_back(entry.data());
@@ -487,72 +771,149 @@ void ExperimentRunner::run_sharded(std::uint32_t shards) {
     return dir.value() + "/BENCH_" + bench_name_ + shard_suffix(s, shards) +
            ".json";
   };
+  const auto worker_journal_path = [&](std::uint32_t s) {
+    return dir.value() + "/BENCH_" + bench_name_ + shard_suffix(s, shards) +
+           ".journal";
+  };
+
+  // Stale fragments and temp files from an earlier crashed run are cleaned,
+  // never trusted; worker journals survive only when this run resumes from
+  // them.
+  cleanup_shard_scratch(dir.value(), /*keep_journals=*/resume_);
 
   const auto start = Clock::now();
   const std::uint32_t max_attempts = 1 + max_retries_;
-  std::vector<std::uint32_t> pending;
-  for (std::uint32_t s = 0; s < shards; ++s) pending.push_back(s);
-  std::vector<std::uint32_t> attempts(shards, 0);
-  std::vector<Status> last_error(shards, Status::ok());
-  std::vector<bool> merged(shards, false);
 
-  while (!pending.empty()) {
-    // One round: spawn every pending worker in parallel, then reap and merge
-    // as each exits. A shard whose spawn, exit, or fragment is bad retries
-    // in the next round, up to the same budget jobs get.
-    std::vector<std::pair<std::uint32_t, int>> running;
-    std::vector<std::uint32_t> retry;
-    for (const std::uint32_t s : pending) {
-      ++attempts[s];
-      Result<int> child = spawn_shard(s, shards);
-      if (!child.is_ok()) {
-        last_error[s] = child.status();
-        if (attempts[s] < max_attempts) retry.push_back(s);
+  struct Worker {
+    pid_t pid = -1;
+    int pid_slot = -1;
+    std::uint32_t attempts = 0;
+    bool running = false;
+    bool merged = false;
+    bool hang_killed = false;
+    std::int64_t journal_size = -1;
+    Clock::time_point last_progress;
+    Status last_error;
+  };
+  std::vector<Worker> workers(shards);
+
+  // Spawns (or respawns) worker s, consuming one attempt per try; immediate
+  // spawn failures burn through the budget here. First attempts inherit the
+  // parent's resume mode; a respawn after a worker death always resumes from
+  // the journal the dead worker left behind, and sheds STC_CRASH so a
+  // crashed-once worker is not doomed to crash at the same point forever.
+  const auto spawn = [&](std::uint32_t s) {
+    Worker& w = workers[s];
+    while (w.attempts < max_attempts) {
+      ++w.attempts;
+      const bool resume_child = resume_ || w.attempts > 1;
+      Result<int> child =
+          spawn_shard(s, shards, resume_child, /*strip_crash=*/w.attempts > 1);
+      if (child.is_ok()) {
+        w.pid = static_cast<pid_t>(child.value());
+        w.pid_slot = register_shard_pid(w.pid);
+        w.running = true;
+        w.hang_killed = false;
+        w.journal_size = file_size_or(worker_journal_path(s), -1);
+        w.last_progress = Clock::now();
+        return;
+      }
+      w.last_error = child.status();
+    }
+  };
+
+  // One worker left the running set: judge its exit, absorb its fragment,
+  // respawn within the budget on any failure.
+  const auto reap = [&](std::uint32_t s, int wstatus, bool reaped_ok) {
+    Worker& w = workers[s];
+    unregister_shard_pid(w.pid_slot);
+    w.pid_slot = -1;
+    w.running = false;
+    Status err;
+    if (w.hang_killed) {
+      err = timeout_error("shard worker made no journal progress within its " +
+                          json_number(heartbeat_) + "s heartbeat deadline");
+    } else if (!reaped_ok || !WIFEXITED(wstatus)) {
+      err = io_error("shard worker died abnormally");
+    } else if (const int code = WEXITSTATUS(wstatus); code != 0 && code != 3) {
+      // 0 = clean, 3 = partial success (per-job failures are in the
+      // fragment); anything else means the worker never got that far.
+      err = io_error("shard worker exited with code " + std::to_string(code));
+    } else {
+      err = absorb_fragment(s, shards, fragment_path(s));
+    }
+    if (err.is_ok()) {
+      w.merged = true;
+      return;
+    }
+    w.last_error = err;
+    if (w.attempts < max_attempts) spawn(s);
+  };
+
+  for (std::uint32_t s = 0; s < shards; ++s) spawn(s);
+
+  // Supervision loop: reap exits without blocking; the worker journal's
+  // growth is the liveness signal (every completed cell fsyncs a record), so
+  // a journal that stalls past the heartbeat deadline marks a wedged worker
+  // — SIGKILL it and reassign its slice. Heartbeat 0 supervises by exit
+  // status alone.
+  while (true) {
+    bool any_running = false;
+    bool any_event = false;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      Worker& w = workers[s];
+      if (!w.running) continue;
+      any_running = true;
+      int wstatus = 0;
+      pid_t r;
+      do {
+        r = ::waitpid(w.pid, &wstatus, WNOHANG);
+      } while (r < 0 && errno == EINTR);
+      if (r != 0) {
+        any_event = true;
+        reap(s, wstatus, r == w.pid);
         continue;
       }
-      running.emplace_back(s, child.value());
-    }
-    for (const auto& [s, pid] : running) {
-      int wstatus = 0;
-      pid_t reaped;
-      do {
-        reaped = ::waitpid(pid, &wstatus, 0);
-      } while (reaped < 0 && errno == EINTR);
-      Status err;
-      if (reaped != pid || !WIFEXITED(wstatus)) {
-        err = io_error("shard worker died abnormally");
-      } else if (const int code = WEXITSTATUS(wstatus);
-                 code != 0 && code != 3) {
-        // 0 = clean, 3 = partial success (per-job failures are in the
-        // fragment); anything else means the worker never got that far.
-        err = io_error("shard worker exited with code " +
-                       std::to_string(code));
-      } else {
-        err = absorb_fragment(s, shards, fragment_path(s));
-      }
-      if (!err.is_ok()) {
-        last_error[s] = err;
-        if (attempts[s] < max_attempts) retry.push_back(s);
-      } else {
-        merged[s] = true;
+      if (heartbeat_ > 0.0) {
+        const std::int64_t size = file_size_or(worker_journal_path(s), -1);
+        if (size != w.journal_size) {
+          w.journal_size = size;
+          w.last_progress = Clock::now();
+        } else if (seconds_since(w.last_progress) > heartbeat_) {
+          // Wedged. SIGKILL cannot be blocked, so the blocking reap here is
+          // prompt.
+          w.hang_killed = true;
+          ::kill(w.pid, SIGKILL);
+          do {
+            r = ::waitpid(w.pid, &wstatus, 0);
+          } while (r < 0 && errno == EINTR);
+          any_event = true;
+          reap(s, wstatus, r == w.pid);
+        }
       }
     }
-    pending = std::move(retry);
+    if (!any_running) break;
+    if (!any_event) std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
 
   for (std::uint32_t s = 0; s < shards; ++s) {
-    if (merged[s]) continue;
-    const Status error = last_error[s].with_context(
+    if (workers[s].merged) continue;
+    const Status error = workers[s].last_error.with_context(
         "shard " + std::to_string(s) + "/" + std::to_string(shards));
     for (std::size_t j = s; j < jobs_.size();
          j += static_cast<std::size_t>(shards)) {
       outcomes_[j].index = j;
       outcomes_[j].name = jobs_[j].name;
       outcomes_[j].status = JobStatus::kFailed;
-      outcomes_[j].attempts = attempts[s];
+      outcomes_[j].attempts = workers[s].attempts;
       outcomes_[j].error = error.with_context("job '" + jobs_[j].name + "'");
     }
   }
+  // Fragments are absorbed-and-deleted on success; whatever is left — a
+  // corrupt fragment from an exhausted shard, temp litter from a killed
+  // worker — goes now. Worker journals stay: they are the resume state a
+  // future STC_RESUME=1 run (or write_report on success) retires.
+  cleanup_shard_scratch(dir.value(), /*keep_journals=*/true);
   record_phase("replay", seconds_since(start));
   collect_failures();
 }
@@ -765,6 +1126,10 @@ Result<std::string> ExperimentRunner::write_report() const {
       !s.is_ok()) {
     return s.with_context("bench report '" + path + "'");
   }
+  // The canonical report is durable: the journal(s) that would rebuild it
+  // are spent. A worker keeps its journal — only the parent's merge makes
+  // the worker's cells durable in the canonical report.
+  if (shard_count_ == 1) remove_resume_state(dir.value());
   return path;
 }
 

@@ -1,5 +1,8 @@
 #include "support/faultpoint.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -17,7 +20,10 @@ struct Registry {
   std::map<std::string, std::uint64_t, std::less<>> hit_counts;
   // point -> absolute hit number that fires (0 = disarmed after firing).
   std::map<std::string, std::uint64_t, std::less<>> armed;
-  double rate = 0.0;  // probabilistic mode when > 0
+  // point -> absolute hit number that SIGKILLs the process (STC_CRASH).
+  std::map<std::string, std::uint64_t, std::less<>> crash_armed;
+  std::string dump_path;  // STC_FAULT_DUMP target, empty = no dump
+  double rate = 0.0;      // probabilistic mode when > 0
   std::uint64_t seed = 0;
 };
 
@@ -94,6 +100,38 @@ Status arm_spec_locked(Registry& r, std::string_view spec) {
   return Status::ok();
 }
 
+// Appends one "point hit-count" line per seen point to STC_FAULT_DUMP.
+// Append mode: a sharded run has every process (parent + workers) dump into
+// the same file; readers take the max count per point, which is exactly the
+// per-process hit number STC_CRASH arming needs.
+void dump_hits_at_exit() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.dump_path.empty()) return;
+  std::FILE* f = std::fopen(r.dump_path.c_str(), "ab");
+  if (f == nullptr) return;
+  std::string out;
+  for (const auto& [point, count] : r.hit_counts) {
+    out += point;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  // One fwrite per process keeps concurrent dumps line-intact in practice.
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+}
+
+// Must hold r.mu. Parses a crash spec and arms SIGKILL hits.
+Status arm_crash_spec_locked(Registry& r, std::string_view spec) {
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+  if (Status s = parse_spec(spec, &entries); !s.is_ok()) return s;
+  for (const auto& [point, nth] : entries) {
+    r.crash_armed[point] = r.hit_counts[point] + nth;
+  }
+  return Status::ok();
+}
+
 // Must hold r.mu. One-time arming from the environment.
 void load_env_locked(Registry& r) {
   if (r.env_loaded) return;
@@ -104,6 +142,19 @@ void load_env_locked(Registry& r) {
       // Misconfigured injection must not silently run a clean experiment.
       std::fprintf(stderr, "STC_FAULT: %s\n", s.to_string().c_str());
       std::exit(2);
+    }
+  }
+  if (const char* spec = std::getenv("STC_CRASH")) {
+    const Status s = arm_crash_spec_locked(r, spec);
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "STC_CRASH: %s\n", s.to_string().c_str());
+      std::exit(2);
+    }
+  }
+  if (const char* dump = std::getenv("STC_FAULT_DUMP")) {
+    if (*dump != '\0') {
+      r.dump_path = dump;
+      std::atexit(dump_hits_at_exit);
     }
   }
   if (const char* rate = std::getenv("STC_FAULT_RATE")) {
@@ -129,6 +180,13 @@ bool fire(std::string_view point) {
   std::lock_guard<std::mutex> lock(r.mu);
   load_env_locked(r);
   const std::uint64_t hit = ++r.hit_counts[std::string(point)];
+  if (const auto it = r.crash_armed.find(point);
+      it != r.crash_armed.end() && it->second == hit) {
+    // Die the way a real crash does: no unwinding, no atexit, no flush.
+    // SIGKILL cannot be caught, so anything not already durable is lost —
+    // which is the property the resume path is tested against.
+    ::kill(::getpid(), SIGKILL);
+  }
   if (const auto it = r.armed.find(point); it != r.armed.end()) {
     if (it->second == hit) {
       r.armed.erase(it);  // one-shot: retries of the same site succeed
@@ -166,6 +224,14 @@ void arm_probabilistic(double rate, std::uint64_t seed) {
   r.seed = seed;
 }
 
+void arm_crash(std::string_view point, std::uint64_t nth) {
+  STC_REQUIRE(nth > 0);
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  load_env_locked(r);
+  r.crash_armed[std::string(point)] = r.hit_counts[std::string(point)] + nth;
+}
+
 Status arm_from_spec(std::string_view spec) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -184,6 +250,7 @@ void reset() {
   r.env_loaded = true;  // tests own the state from here on
   r.hit_counts.clear();
   r.armed.clear();
+  r.crash_armed.clear();
   r.rate = 0.0;
   r.seed = 0;
 }

@@ -13,6 +13,14 @@
 //     fires iff hash(seed, point, hit#) < rate — fully deterministic, so a
 //     failing run replays exactly.
 //
+// Crash injection: STC_CRASH=point:N (same spec grammar as STC_FAULT) makes
+// the Nth hit of a point SIGKILL the process instead of returning an error —
+// the real failure mode the journal/resume layer must survive, with no
+// destructors, no atexit, no flush. Crash arming is checked before error
+// arming, so a point listed in both crashes. STC_FAULT_DUMP=<path> appends
+// one "point hit-count" line per fired-or-not point at process exit, which is
+// how tools/crash_harness discovers every write boundary a workload crosses.
+//
 // Point names are dotted lowercase paths, site-first: trace.load.chunk,
 // trace.save.rename, report.write.open, job.exec. Tests arm points
 // programmatically with arm()/reset() (see tests/support/faultpoint_test.cpp).
@@ -41,6 +49,10 @@ void arm(std::string_view point, std::uint64_t nth = 1);
 
 // Arms every point to fire with probability `rate` per hit, keyed by `seed`.
 void arm_probabilistic(double rate, std::uint64_t seed);
+
+// Arms `point` to SIGKILL the process on its `nth` hit from now, exactly as
+// STC_CRASH would. For death tests; reset() clears it.
+void arm_crash(std::string_view point, std::uint64_t nth = 1);
 
 // Parses a STC_FAULT spec ("a.b:2,c.d") and arms it. Structured error on
 // malformed specs (bad count, empty point name).

@@ -1,0 +1,170 @@
+#include "support/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/check.h"
+#include "support/crc32.h"
+#include "support/faultpoint.h"
+#include "support/io.h"
+
+namespace stc {
+
+namespace {
+
+constexpr std::string_view kMagic = "STCJ1 ";
+
+std::string crc_hex(std::uint32_t crc) {
+  char buffer[9];
+  std::snprintf(buffer, sizeof buffer, "%08x", crc);
+  return std::string(buffer);
+}
+
+}  // namespace
+
+Result<JournalScan> read_journal(const std::string& path) {
+  JournalScan scan;
+  Result<std::vector<std::uint8_t>> bytes = read_file(path);
+  if (!bytes.is_ok()) {
+    if (bytes.status().code() == ErrorCode::kNotFound) return scan;
+    return bytes.status().with_context("journal '" + path + "'");
+  }
+  const std::string_view doc(
+      reinterpret_cast<const char*>(bytes.value().data()),
+      bytes.value().size());
+  std::size_t pos = 0;
+  const auto tear = [&](const std::string& why) {
+    scan.torn = pos < doc.size();
+    scan.tear_reason = scan.torn ? why : std::string();
+    return scan;
+  };
+  while (pos < doc.size()) {
+    // Header line: "STCJ1 <size> <crc8hex>\n".
+    if (doc.substr(pos, kMagic.size()) != kMagic) {
+      return tear("bad record magic");
+    }
+    const std::size_t header_end = doc.find('\n', pos);
+    if (header_end == std::string_view::npos) return tear("torn header");
+    const std::string_view header =
+        doc.substr(pos + kMagic.size(), header_end - pos - kMagic.size());
+    const std::size_t space = header.find(' ');
+    if (space == std::string_view::npos || space == 0 ||
+        header.size() - space - 1 != 8) {
+      return tear("malformed header");
+    }
+    std::uint64_t size = 0;
+    for (const char c : header.substr(0, space)) {
+      if (c < '0' || c > '9' || size > (std::uint64_t{1} << 40)) {
+        return tear("malformed record size");
+      }
+      size = size * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    std::uint32_t want_crc = 0;
+    for (const char c : header.substr(space + 1)) {
+      std::uint32_t digit;
+      if (c >= '0' && c <= '9') digit = static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = 10u + static_cast<std::uint32_t>(c - 'a');
+      else return tear("malformed record crc");
+      want_crc = want_crc * 16 + digit;
+    }
+    const std::size_t payload_begin = header_end + 1;
+    // Payload plus its trailing newline must be fully present.
+    if (doc.size() - payload_begin < size + 1) return tear("torn payload");
+    const std::string_view payload = doc.substr(payload_begin, size);
+    if (doc[payload_begin + size] != '\n') return tear("missing terminator");
+    if (crc32(payload.data(), payload.size()) != want_crc) {
+      return tear("record crc mismatch");
+    }
+    pos = payload_begin + size + 1;
+    scan.payloads.emplace_back(payload);
+    scan.record_ends.push_back(pos);
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+Status JournalWriter::open(const std::string& path, std::uint64_t keep_bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  STC_REQUIRE(file_ == nullptr);
+  if (Status s = fault::fail_if("journal.open", "opening journal '" + path +
+                                                    "'");
+      !s.is_ok()) {
+    return s;
+  }
+  // "ab" creates the file when absent; truncate() trims a stale or torn
+  // suffix first so appends continue exactly after the last valid record.
+  if (::truncate(path.c_str(), static_cast<off_t>(keep_bytes)) != 0 &&
+      errno != ENOENT) {
+    return io_error("cannot truncate journal '" + path + "'");
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return io_error("cannot open journal '" + path + "' for append");
+  }
+  path_ = path;
+  return Status::ok();
+}
+
+Status JournalWriter::append(std::string_view payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return io_error("journal is not open");
+  }
+  if (Status s = fault::fail_if("journal.append.write",
+                                "appending journal record");
+      !s.is_ok()) {
+    return s;
+  }
+  const long start = std::ftell(file_);
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  const std::string header = std::string(kMagic) +
+                             std::to_string(payload.size()) + " " +
+                             crc_hex(crc) + "\n";
+  // The tear point sits after a deliberately partial write: a crash here
+  // (STC_CRASH) leaves a torn tail for read_journal to detect, while the
+  // error path truncates the partial frame back off before returning.
+  const std::size_t half = payload.size() / 2;
+  bool short_write =
+      std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(payload.data(), 1, half, file_) != half;
+  Status torn = short_write
+                    ? io_error("short journal write")
+                    : fault::fail_if("journal.append.tear",
+                                     "appending journal record");
+  if (torn.is_ok()) {
+    short_write =
+        std::fwrite(payload.data() + half, 1, payload.size() - half,
+                    file_) != payload.size() - half ||
+        std::fwrite("\n", 1, 1, file_) != 1;
+    if (short_write) torn = io_error("short journal write");
+  }
+  if (!torn.is_ok()) {
+    // Undo the partial frame so the on-disk journal stays clean.
+    std::fflush(file_);
+    if (start >= 0) {
+      [[maybe_unused]] const int rc =
+          ::ftruncate(::fileno(file_), static_cast<off_t>(start));
+      std::fseek(file_, 0, SEEK_END);
+    }
+    return torn;
+  }
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return io_error("cannot flush journal '" + path_ + "'");
+  }
+  return Status::ok();
+}
+
+void JournalWriter::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace stc

@@ -1,0 +1,106 @@
+// Crash-safe append-only record journal.
+//
+// The experiment runner appends each completed grid cell to
+// BENCH_<name>.journal as it finishes, so a crashed or killed sweep can be
+// resumed (STC_RESUME=1) from the last durable record instead of starting
+// over. The format is built for exactly one failure mode: a writer that dies
+// mid-record, at any byte.
+//
+//   record := "STCJ1 " <payload-size-decimal> " " <crc32-lowercase-hex-8> "\n"
+//             <payload bytes> "\n"
+//
+// Every append is flushed and fsync'd before it returns, so a record either
+// survives a SIGKILL completely or is a detectable torn tail. Readers scan
+// records in order and stop at the first frame that does not check out —
+// short header, missing bytes, CRC mismatch, anything — reporting the valid
+// prefix length so the writer can truncate the tear away and append from
+// there. Nothing after a bad frame is ever trusted: a torn tail is a clean
+// "stop here", never corrupt data flowing into a report.
+//
+// Fault points (STC_FAULT error injection, STC_CRASH kill injection):
+//   journal.open         - opening/creating the journal file
+//   journal.append.write - before a record's bytes are written
+//   journal.append.tear  - mid-record, after a partial frame is on disk; the
+//                          error path truncates the tear back off, the crash
+//                          path leaves it for the reader to detect
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace stc {
+
+// The result of scanning a journal: every valid record's payload in append
+// order, plus where the valid prefix ends.
+struct JournalScan {
+  std::vector<std::string> payloads;
+  // Byte offset just past record i — record_ends.size() == payloads.size().
+  // Truncating the file to record_ends[i] keeps records 0..i exactly.
+  std::vector<std::size_t> record_ends;
+  // End of the whole valid prefix (0 for an empty or absent journal).
+  std::size_t valid_bytes = 0;
+  // True when bytes after the valid prefix were dropped (torn tail).
+  bool torn = false;
+  std::string tear_reason;  // diagnostic; empty when !torn
+};
+
+// Scans `path`. A missing file is an empty scan, not an error; unreadable
+// files surface as io-error. Never throws on any byte content.
+Result<JournalScan> read_journal(const std::string& path);
+
+// Append-side handle. Thread-safe: concurrent append() calls from pool
+// workers serialize internally. Movable (so owners like ExperimentRunner
+// stay movable) but not copyable; moving while another thread appends is
+// undefined, like any handle.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  JournalWriter(JournalWriter&& other) noexcept
+      : file_(other.file_), path_(std::move(other.path_)) {
+    other.file_ = nullptr;
+    other.path_.clear();
+  }
+  JournalWriter& operator=(JournalWriter&& other) noexcept {
+    if (this != &other) {
+      close();
+      file_ = other.file_;
+      path_ = std::move(other.path_);
+      other.file_ = nullptr;
+      other.path_.clear();
+    }
+    return *this;
+  }
+  ~JournalWriter();
+
+  // Opens (creating if needed) `path` for appending, first truncating the
+  // file to `keep_bytes` — the valid prefix a prior read_journal reported
+  // (0 starts fresh). May be called once per writer.
+  Status open(const std::string& path, std::uint64_t keep_bytes);
+
+  // Appends one CRC-framed record and makes it durable (flush + fsync)
+  // before returning. On an injected tear error the partial frame is
+  // truncated back off, so an error return always leaves a clean journal.
+  Status append(std::string_view payload);
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  // Flushes and closes; further appends fail. Idempotent.
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::mutex mu_;
+};
+
+}  // namespace stc

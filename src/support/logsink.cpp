@@ -1,0 +1,18 @@
+#include "support/logsink.h"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace stc::log {
+
+void line(std::string_view text) {
+  static std::mutex mu;
+  std::string buffer(text);
+  if (buffer.empty() || buffer.back() != '\n') buffer.push_back('\n');
+  const std::lock_guard<std::mutex> lock(mu);
+  std::fwrite(buffer.data(), 1, buffer.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace stc::log

@@ -1,0 +1,18 @@
+// One locked sink for human-facing diagnostics.
+//
+// Bench grids print their tables on stdout while the runner's watchdog and
+// failure reporting write warnings from worker threads. Raw fprintf calls
+// from multiple threads interleave mid-line; everything that writes a
+// diagnostic line goes through log::line instead, which emits the whole line
+// (newline included) as one write under a process-wide lock.
+#pragma once
+
+#include <string_view>
+
+namespace stc::log {
+
+// Writes `text` to stderr as one atomic unit, appending a trailing newline
+// when `text` does not end with one, and flushes. Thread-safe.
+void line(std::string_view text);
+
+}  // namespace stc::log

@@ -397,6 +397,80 @@ TEST(EnvTest, ValidateAllChecksShardKnobs) {
   EXPECT_NE(s.message().find("STC_SHARDS"), std::string::npos);
 }
 
+TEST(EnvTest, ResumeIsStrictlyBoolean) {
+  {
+    ScopedEnv guard("STC_RESUME", nullptr);
+    EXPECT_FALSE(resume().value());  // default: fresh run
+  }
+  {
+    ScopedEnv guard("STC_RESUME", "1");
+    EXPECT_TRUE(resume().value());
+  }
+  {
+    ScopedEnv guard("STC_RESUME", "0");
+    EXPECT_FALSE(resume().value());
+  }
+  for (const char* bad : {"yes", "true", "2"}) {
+    ScopedEnv guard("STC_RESUME", bad);
+    expect_knob_error(resume(), "STC_RESUME", bad);
+  }
+}
+
+TEST(EnvTest, HeartbeatNonNegativeSeconds) {
+  {
+    ScopedEnv guard("STC_HEARTBEAT", nullptr);
+    EXPECT_DOUBLE_EQ(heartbeat().value(), 0.0);  // default: supervision off
+  }
+  {
+    ScopedEnv guard("STC_HEARTBEAT", "2.5");
+    EXPECT_DOUBLE_EQ(heartbeat().value(), 2.5);
+  }
+  {
+    ScopedEnv guard("STC_HEARTBEAT", "0");
+    EXPECT_DOUBLE_EQ(heartbeat().value(), 0.0);
+  }
+  for (const char* bad : {"-1", "inf", "nan", "soon", ""}) {
+    ScopedEnv guard("STC_HEARTBEAT", bad);
+    expect_knob_error(heartbeat(), "STC_HEARTBEAT", bad);
+  }
+}
+
+TEST(EnvTest, ZeroTimingsIsStrictlyBoolean) {
+  {
+    ScopedEnv guard("STC_ZERO_TIMINGS", nullptr);
+    EXPECT_FALSE(zero_timings().value());
+  }
+  {
+    ScopedEnv guard("STC_ZERO_TIMINGS", "1");
+    EXPECT_TRUE(zero_timings().value());
+  }
+  for (const char* bad : {"yes", "2"}) {
+    ScopedEnv guard("STC_ZERO_TIMINGS", bad);
+    expect_knob_error(zero_timings(), "STC_ZERO_TIMINGS", bad);
+  }
+}
+
+TEST(EnvTest, ValidateAllChecksResilienceKnobs) {
+  {
+    ScopedEnv guard("STC_RESUME", "maybe");
+    const Status s = validate_all();
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_NE(s.message().find("STC_RESUME"), std::string::npos);
+  }
+  {
+    ScopedEnv guard("STC_HEARTBEAT", "-3");
+    const Status s = validate_all();
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_NE(s.message().find("STC_HEARTBEAT"), std::string::npos);
+  }
+  // STC_CRASH shares the fault-spec grammar; malformed specs are rejected up
+  // front rather than exploding inside a worker.
+  ScopedEnv guard("STC_CRASH", "point:");
+  const Status s = validate_all();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("STC_CRASH"), std::string::npos);
+}
+
 TEST(EnvTest, ValidateAllCleanEnvironmentIsOk) {
   ScopedEnv t("STC_THREADS", nullptr);
   ScopedEnv sf("STC_SF", nullptr);

@@ -4,6 +4,7 @@
 // fragments and produces a merged report byte-identical to an unsharded run.
 #include "support/experiment.h"
 
+#include <dirent.h>
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -48,12 +49,6 @@ class ScopedEnv {
 
 bool file_exists(const std::string& path) {
   return std::ifstream(path).good();
-}
-
-std::string slurp(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  return std::string(std::istreambuf_iterator<char>(in),
-                     std::istreambuf_iterator<char>());
 }
 
 class ExperimentShardTest : public ::testing::Test {
@@ -148,6 +143,7 @@ TEST_F(ExperimentShardTest, NonShardableRunnerIgnoresShardEnv) {
 TEST_F(ExperimentShardTest, MergedFragmentsReproduceUnshardedResultsExactly) {
   ExperimentRunner reference = make_grid();
   {
+    ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
     ScopedEnv shards_env("STC_SHARDS", nullptr);  // plain local run
     reference.run(1);
   }
@@ -220,6 +216,20 @@ TEST_F(ExperimentShardTest, MergeReportsMissingAndMalformedFragments) {
 // write_report would produce.
 class ExperimentSpawnTest : public ExperimentShardTest {
  protected:
+  // Installs the stand-in worker: a shell script with `$i`, `$n` and `$frag`
+  // (this slice's fragment path) pre-bound, followed by `body`.
+  void write_script(const std::string& body) {
+    script_ = dir_ + "/fake_worker.sh";
+    std::ofstream out(script_);
+    out << "#!/bin/sh\n"
+           "i=${STC_SHARD%/*}\n"
+           "n=${STC_SHARD#*/}\n"
+        << "frag='" << dir_ << "/BENCH_shardgrid.shard'$i'of'$n'.json'\n"
+        << body;
+    out.close();
+    ASSERT_EQ(::system(("chmod 755 '" + script_ + "'").c_str()), 0);
+  }
+
   void stage_fragments() {
     produce_fragment(0, 2);
     produce_fragment(1, 2);
@@ -231,19 +241,35 @@ class ExperimentSpawnTest : public ExperimentShardTest {
                         ".baked'")
                            .c_str()),
               0);
-    script_ = dir_ + "/fake_worker.sh";
-    std::ofstream out(script_);
-    out << "#!/bin/sh\n"
-           "# Stand-in shard worker: 'runs' its slice by publishing the\n"
-           "# pre-baked fragment for its STC_SHARD slice.\n"
-           "i=${STC_SHARD%/*}\n"
-           "n=${STC_SHARD#*/}\n"
-        << "frag='" << dir_
-        << "/BENCH_shardgrid.shard'$i'of'$n'.json'\n"
-           "cp \"$frag.baked\" \"$frag\"\n";
-    out.close();
-    ASSERT_EQ(::system(("chmod 755 '" + script_ + "'").c_str()), 0);
+    // The default stand-in 'runs' its slice by publishing its pre-baked
+    // fragment, exactly what a real worker's write_report would produce.
+    write_script("cp \"$frag.baked\" \"$frag\"\n");
   }
+
+  // Shard-scratch litter (fragments, temp files) left in dir_ — the set the
+  // parent promises to clean on every exit path. Journals are excluded:
+  // they are resume state and survive failed runs by design.
+  std::vector<std::string> scratch_litter() {
+    std::vector<std::string> hits;
+    DIR* d = ::opendir(dir_.c_str());
+    if (d == nullptr) return hits;
+    const std::string frag_prefix = "BENCH_shardgrid.shard";
+    while (dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      const auto ends_with = [&name](const std::string& tail) {
+        return name.size() >= tail.size() &&
+               name.compare(name.size() - tail.size(), tail.size(), tail) ==
+                   0;
+      };
+      if (ends_with(".tmp") ||
+          (name.rfind(frag_prefix, 0) == 0 && ends_with(".json"))) {
+        hits.push_back(name);
+      }
+    }
+    ::closedir(d);
+    return hits;
+  }
+
   std::string script_;
 };
 
@@ -303,6 +329,112 @@ TEST_F(ExperimentSpawnTest, ExhaustedShardFailsItsOwnedJobsOnly) {
     EXPECT_NE(failure.error.message().find("shard 1/2"), std::string::npos)
         << failure.error.to_string();
   }
+}
+
+TEST_F(ExperimentSpawnTest, HungWorkerIsKilledAndItsSliceReassigned) {
+  stage_fragments();
+  // Shard 1's first incarnation wedges (no journal progress, no exit); the
+  // parent must SIGKILL it at the heartbeat deadline and the respawn then
+  // publishes the fragment normally.
+  write_script("marker='" + dir_ +
+               "/hung_once'\n"
+               "if [ \"$i\" = \"1\" ] && [ ! -e \"$marker\" ]; then\n"
+               "  : > \"$marker\"\n"
+               "  exec sleep 60\n"
+               "fi\n"
+               "cp \"$frag.baked\" \"$frag\"\n");
+  ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
+  ScopedEnv exe("STC_SHARD_EXE", script_.c_str());
+  ScopedEnv shards_env("STC_SHARDS", "2");
+  ScopedEnv shard_env("STC_SHARD", nullptr);
+
+  ExperimentRunner reference = make_grid();
+  {
+    ScopedEnv no_shards("STC_SHARDS", nullptr);
+    reference.run(1);
+  }
+  ExperimentRunner parent = make_grid();
+  parent.set_heartbeat(1.0);
+  parent.set_max_retries(1);
+  parent.run(1);
+  EXPECT_TRUE(parent.all_ok());
+  EXPECT_EQ(parent.results_json(), reference.results_json());
+  EXPECT_TRUE(file_exists(dir_ + "/hung_once"));  // the hang really happened
+}
+
+TEST_F(ExperimentSpawnTest, ExhaustedHeartbeatFailsTheSliceWithContext) {
+  stage_fragments();
+  // Shard 1 wedges on every attempt; with no retry budget its slice must be
+  // marked failed with the heartbeat deadline spelled out, while shard 0's
+  // cells land normally.
+  write_script("if [ \"$i\" = \"1\" ]; then exec sleep 60; fi\n"
+               "cp \"$frag.baked\" \"$frag\"\n");
+  ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
+  ScopedEnv exe("STC_SHARD_EXE", script_.c_str());
+  ScopedEnv shards_env("STC_SHARDS", "2");
+  ScopedEnv shard_env("STC_SHARD", nullptr);
+
+  ExperimentRunner parent = make_grid();
+  parent.set_heartbeat(0.5);
+  parent.set_max_retries(0);
+  parent.run(1);
+  EXPECT_FALSE(parent.all_ok());
+  for (std::size_t i = 0; i < 7; ++i) {
+    const JobStatus expect =
+        (i % 2 == 1) ? JobStatus::kFailed : JobStatus::kOk;
+    EXPECT_EQ(parent.job_status(i), expect) << "job " << i;
+  }
+  ASSERT_FALSE(parent.failures().empty());
+  for (const JobFailure& failure : parent.failures()) {
+    EXPECT_NE(failure.error.message().find("heartbeat deadline"),
+              std::string::npos)
+        << failure.error.to_string();
+  }
+}
+
+TEST_F(ExperimentSpawnTest, CorruptFragmentsAndTempLitterAreCleaned) {
+  // The worker publishes a corrupt fragment plus a stray temp file — the
+  // merge must fail AND every piece of scratch must be gone afterwards, on
+  // the failure path just like the success path.
+  write_script("printf '{ not json' > \"$frag\"\n"
+               "printf 'stale' > \"$frag.tmp\"\n");
+  ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
+  ScopedEnv exe("STC_SHARD_EXE", script_.c_str());
+  ScopedEnv shards_env("STC_SHARDS", "2");
+  ScopedEnv shard_env("STC_SHARD", nullptr);
+
+  ExperimentRunner parent = make_grid();
+  parent.set_max_retries(0);
+  parent.run(1);
+  EXPECT_FALSE(parent.all_ok());
+  EXPECT_EQ(scratch_litter(), std::vector<std::string>{});
+}
+
+TEST_F(ExperimentSpawnTest, StaleFragmentsFromACrashedRunAreNotTrusted) {
+  stage_fragments();
+  // A fragment for shard 0 already sits in the bench dir — litter from some
+  // earlier crashed run. This run's shard 0 worker publishes nothing; if the
+  // parent absorbed the stale fragment, shard 0 would look 'ok' with results
+  // this run never produced.
+  ASSERT_EQ(::system(("cp '" + fragment_path(0, 2) + ".baked' '" +
+                      fragment_path(0, 2) + "'")
+                         .c_str()),
+            0);
+  write_script("if [ \"$i\" = \"0\" ]; then exit 0; fi\n"
+               "cp \"$frag.baked\" \"$frag\"\n");
+  ScopedEnv bench_dir("STC_BENCH_DIR", dir_.c_str());
+  ScopedEnv exe("STC_SHARD_EXE", script_.c_str());
+  ScopedEnv shards_env("STC_SHARDS", "2");
+  ScopedEnv shard_env("STC_SHARD", nullptr);
+
+  ExperimentRunner parent = make_grid();
+  parent.set_max_retries(0);
+  parent.run(1);
+  EXPECT_FALSE(parent.all_ok());
+  for (std::size_t i = 0; i < 7; i += 2) {
+    EXPECT_EQ(parent.job_status(i), JobStatus::kFailed) << "job " << i;
+  }
+  EXPECT_EQ(scratch_litter(), std::vector<std::string>{});
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "support/error.h"
@@ -108,6 +110,29 @@ TEST_F(FaultPointTest, ResetClearsArmsAndCounts) {
   reset();
   EXPECT_EQ(hits("test.reset"), 0u);
   for (int i = 0; i < 10; ++i) EXPECT_FALSE(fire("test.reset"));
+}
+
+TEST_F(FaultPointTest, ArmedCrashKillsTheProcessAtTheNthHit) {
+  // SIGKILL, not exit(): the crash harness relies on the process dying with
+  // no chance to flush, unwind, or run atexit hooks.
+  EXPECT_EXIT(
+      {
+        arm_crash("test.crash", 2);
+        fire("test.crash");  // 1st hit survives
+        fire("test.crash");  // 2nd hit dies here
+        std::exit(0);        // never reached
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+}
+
+TEST_F(FaultPointTest, CrashArmsAndErrorArmsAreIndependent) {
+  // An error-armed point still fires as a Status while a crash is armed on a
+  // different point; reset clears crash arms too.
+  arm_crash("test.crash.other", 1);
+  arm("test.error");
+  EXPECT_TRUE(fire("test.error"));
+  reset();
+  EXPECT_FALSE(fire("test.crash.other"));  // would have SIGKILLed if armed
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// The crash-safe journal: CRC-framed appends that survive SIGKILL at any
+// byte, a reader that treats every torn tail as a clean "stop here", and a
+// writer whose error paths never leave a partial frame behind.
+#include "support/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "support/faultpoint.h"
+#include "support/io.h"
+
+namespace stc {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::reset();
+    path_ = ::testing::TempDir() + "/stc_journal_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".journal";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    fault::reset();
+    std::remove(path_.c_str());
+  }
+
+  std::string slurp() {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void dump(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+};
+
+TEST_F(JournalTest, RoundTripsPayloadsInOrder) {
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open(path_, 0).is_ok());
+  // Payloads with newlines, embedded frame magic, and emptiness: the framing
+  // is length-prefixed, so none of these can confuse the reader.
+  const std::string payloads[] = {"{\"index\": 0}\n{\"nested\": true}",
+                                  "STCJ1 99 deadbeef", ""};
+  for (const std::string& p : payloads) {
+    ASSERT_TRUE(writer.append(p).is_ok());
+  }
+  writer.close();
+
+  Result<JournalScan> scan = read_journal(path_);
+  ASSERT_TRUE(scan.is_ok()) << scan.status().to_string();
+  ASSERT_EQ(scan.value().payloads.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(scan.value().payloads[i], payloads[i]);
+  }
+  EXPECT_FALSE(scan.value().torn);
+  EXPECT_EQ(scan.value().valid_bytes, slurp().size());
+  ASSERT_EQ(scan.value().record_ends.size(), 3u);
+  EXPECT_EQ(scan.value().record_ends[2], scan.value().valid_bytes);
+}
+
+TEST_F(JournalTest, MissingFileIsAnEmptyScanNotAnError) {
+  Result<JournalScan> scan = read_journal(path_);
+  ASSERT_TRUE(scan.is_ok());
+  EXPECT_TRUE(scan.value().payloads.empty());
+  EXPECT_EQ(scan.value().valid_bytes, 0u);
+  EXPECT_FALSE(scan.value().torn);
+}
+
+TEST_F(JournalTest, EveryTruncationOfAValidJournalStopsCleanly) {
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open(path_, 0).is_ok());
+  ASSERT_TRUE(writer.append("{\"index\": 0, \"status\": \"ok\"}").is_ok());
+  ASSERT_TRUE(writer.append("{\"index\": 1, \"status\": \"failed\"}").is_ok());
+  ASSERT_TRUE(writer.append("{\"index\": 2}").is_ok());
+  writer.close();
+  const std::string full = slurp();
+  Result<JournalScan> whole = read_journal(path_);
+  ASSERT_TRUE(whole.is_ok());
+  const std::vector<std::size_t> ends = whole.value().record_ends;
+
+  // A SIGKILL can stop the writer at any byte; whatever survives must parse
+  // as an exact record prefix with the tail flagged, never garbage records.
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    dump(full.substr(0, cut));
+    Result<JournalScan> scan = read_journal(path_);
+    ASSERT_TRUE(scan.is_ok()) << "cut at " << cut;
+    std::size_t expect_records = 0;
+    for (const std::size_t end : ends) {
+      if (cut >= end) ++expect_records;
+    }
+    EXPECT_EQ(scan.value().payloads.size(), expect_records)
+        << "cut at " << cut;
+    const bool mid_record =
+        cut != 0 && (expect_records == 0 || cut != ends[expect_records - 1]);
+    EXPECT_EQ(scan.value().torn, mid_record) << "cut at " << cut;
+  }
+}
+
+TEST_F(JournalTest, CorruptedBytesAreATornTailNotData) {
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open(path_, 0).is_ok());
+  ASSERT_TRUE(writer.append("first").is_ok());
+  ASSERT_TRUE(writer.append("second").is_ok());
+  writer.close();
+  std::string bytes = slurp();
+  // Flip a payload byte of the second record: its CRC no longer checks out.
+  bytes[bytes.size() - 2] ^= 0x20;
+  dump(bytes);
+
+  Result<JournalScan> scan = read_journal(path_);
+  ASSERT_TRUE(scan.is_ok());
+  ASSERT_EQ(scan.value().payloads.size(), 1u);
+  EXPECT_EQ(scan.value().payloads[0], "first");
+  EXPECT_TRUE(scan.value().torn);
+  EXPECT_EQ(scan.value().tear_reason, "record crc mismatch");
+
+  // Truncating to the reported valid prefix and appending continues cleanly.
+  JournalWriter resumed;
+  ASSERT_TRUE(resumed.open(path_, scan.value().valid_bytes).is_ok());
+  ASSERT_TRUE(resumed.append("third").is_ok());
+  resumed.close();
+  Result<JournalScan> rescan = read_journal(path_);
+  ASSERT_TRUE(rescan.is_ok());
+  ASSERT_EQ(rescan.value().payloads.size(), 2u);
+  EXPECT_EQ(rescan.value().payloads[1], "third");
+  EXPECT_FALSE(rescan.value().torn);
+}
+
+TEST_F(JournalTest, OpenWithKeepZeroDiscardsAStaleJournal) {
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open(path_, 0).is_ok());
+  ASSERT_TRUE(writer.append("stale").is_ok());
+  writer.close();
+
+  JournalWriter fresh;
+  ASSERT_TRUE(fresh.open(path_, 0).is_ok());
+  ASSERT_TRUE(fresh.append("new").is_ok());
+  fresh.close();
+  Result<JournalScan> scan = read_journal(path_);
+  ASSERT_TRUE(scan.is_ok());
+  ASSERT_EQ(scan.value().payloads.size(), 1u);
+  EXPECT_EQ(scan.value().payloads[0], "new");
+}
+
+TEST_F(JournalTest, InjectedTearErrorLeavesNoPartialFrame) {
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open(path_, 0).is_ok());
+  ASSERT_TRUE(writer.append("before the tear").is_ok());
+  fault::arm("journal.append.tear");
+  const Status torn = writer.append("the record that tears");
+  ASSERT_FALSE(torn.is_ok());
+  EXPECT_EQ(torn.code(), ErrorCode::kFaultInjected);
+  // The failed append truncated its partial frame off; the journal is clean
+  // and the writer still usable.
+  ASSERT_TRUE(writer.append("after the tear").is_ok());
+  writer.close();
+  Result<JournalScan> scan = read_journal(path_);
+  ASSERT_TRUE(scan.is_ok());
+  ASSERT_EQ(scan.value().payloads.size(), 2u);
+  EXPECT_EQ(scan.value().payloads[0], "before the tear");
+  EXPECT_EQ(scan.value().payloads[1], "after the tear");
+  EXPECT_FALSE(scan.value().torn);
+}
+
+TEST_F(JournalTest, OpenAndWriteFaultPointsSurfaceAsErrors) {
+  {
+    fault::arm("journal.open");
+    JournalWriter writer;
+    const Status s = writer.open(path_, 0);
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_FALSE(writer.is_open());
+  }
+  fault::reset();
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open(path_, 0).is_ok());
+  ASSERT_TRUE(writer.append("kept").is_ok());
+  fault::arm("journal.append.write");
+  ASSERT_FALSE(writer.append("lost").is_ok());
+  writer.close();
+  Result<JournalScan> scan = read_journal(path_);
+  ASSERT_TRUE(scan.is_ok());
+  ASSERT_EQ(scan.value().payloads.size(), 1u);
+  EXPECT_FALSE(scan.value().torn);
+}
+
+TEST_F(JournalTest, AppendOnAClosedWriterFails) {
+  JournalWriter writer;
+  EXPECT_FALSE(writer.append("nowhere to go").is_ok());
+  EXPECT_FALSE(writer.is_open());
+}
+
+}  // namespace
+}  // namespace stc
